@@ -1,0 +1,247 @@
+//! Criterion benchmarks of each figure's computational kernel at reduced
+//! scale, plus the ablation benches DESIGN.md calls out (reward weight,
+//! ε-decay schedule, swap-action space, price quantization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parole::casestudy::CaseStudy;
+use parole::defense::max_reorder_profit;
+use parole::fleet::{run_fleet, FleetConfig};
+use parole::{GentranseqModule, ReorderEnv, RewardConfig};
+use parole_bench::economy::Economy;
+use parole_bench::kde::KernelDensity;
+use parole_drl::DqnConfig;
+use parole_snapshots::{scan_corpus, CaptureModel, SnapshotConfig, SnapshotCorpus};
+use parole_solvers::{MinosLike, SequenceSolver, SnoptLike};
+use std::hint::black_box;
+
+/// A tiny GENTRANSEQ profile so criterion iterations stay sub-second.
+fn tiny_module(seed: u64) -> GentranseqModule {
+    GentranseqModule::new(
+        DqnConfig {
+            episodes: 4,
+            max_steps: 20,
+            hidden: [16, 16],
+            batch_size: 4,
+            seed,
+            ..DqnConfig::paper()
+        },
+        RewardConfig::default(),
+    )
+}
+
+fn bench_case_studies(c: &mut Criterion) {
+    let cs = CaseStudy::paper_setup();
+    c.bench_function("fig5/evaluate_case3", |b| {
+        b.iter(|| cs.evaluate(black_box(&cs.optimal_order())))
+    });
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_fig7/fleet");
+    group.sample_size(10);
+    let config = FleetConfig {
+        n_aggregators: 3,
+        adversarial_fraction: 0.34,
+        mempool_size: 8,
+        n_users: 10,
+        collection_supply: 60,
+        gentranseq: tiny_module(1),
+        ..FleetConfig::default()
+    };
+    group.bench_function("3_aggregators_mempool_8", |b| {
+        b.iter(|| run_fleet(black_box(&config)))
+    });
+    group.finish();
+}
+
+fn bench_gentranseq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_fig9/gentranseq");
+    group.sample_size(10);
+    for n in [6usize, 10] {
+        let economy = Economy::build(n, 1, 1);
+        let window = economy.window(n, 1);
+        let module = tiny_module(2);
+        group.bench_with_input(BenchmarkId::new("train_and_infer", n), &n, |b, _| {
+            b.iter(|| module.run(black_box(&economy.state), black_box(&window), &economy.ifus))
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let corpus = SnapshotCorpus::generate(SnapshotConfig {
+        collections_per_cell: 4,
+        ..SnapshotConfig::default()
+    });
+    c.bench_function("fig10/scan_corpus", |b| {
+        b.iter(|| scan_corpus(black_box(&corpus), &CaptureModel::default()))
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11/solvers");
+    group.sample_size(10);
+    let economy = Economy::build(8, 1, 1);
+    let window = economy.window(8, 1);
+    let env = ReorderEnv::new(
+        economy.state.clone(),
+        window,
+        economy.ifus.clone(),
+        RewardConfig::default(),
+    );
+    group.bench_function("minos_like_n8", |b| {
+        b.iter(|| MinosLike::default().solve(black_box(&env)))
+    });
+    group.bench_function("snopt_like_n8", |b| {
+        b.iter(|| SnoptLike::default().solve(black_box(&env)))
+    });
+    group.finish();
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+    let kde = KernelDensity::fit(&samples);
+    c.bench_function("fig9/kde_curve", |b| {
+        b.iter(|| kde.curve(0.0, 20.0, black_box(200)))
+    });
+}
+
+/// Ablation: the reward weight `W` (Eq. 8). Compares search effectiveness
+/// with the paper's high-penalty shaping against flat rewards.
+fn bench_ablation_reward_weight(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reward_weight");
+    group.sample_size(10);
+    let economy = Economy::build(8, 1, 4);
+    let window = economy.window(8, 4);
+    for (label, weight) in [("paper_w10", 10.0), ("flat_w1", 1.0)] {
+        let module = GentranseqModule::new(
+            DqnConfig {
+                episodes: 4,
+                max_steps: 20,
+                hidden: [16, 16],
+                batch_size: 4,
+                ..DqnConfig::paper()
+            },
+            RewardConfig { penalty_weight: weight, ..RewardConfig::default() },
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| module.run(black_box(&economy.state), black_box(&window), &economy.ifus))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the paper's C(N,2) swap-action space vs adjacent-only swaps.
+fn bench_ablation_action_space(c: &mut Criterion) {
+    use parole::ActionSpace;
+    use parole_drl::{DqnAgent, Environment};
+
+    let mut group = c.benchmark_group("ablation/action_space");
+    group.sample_size(10);
+    let economy = Economy::build(10, 1, 6);
+    let window = economy.window(10, 6);
+    for (label, space) in [("all_pairs", ActionSpace::AllPairs), ("adjacent", ActionSpace::AdjacentOnly)] {
+        let economy = economy.clone();
+        let window = window.clone();
+        group.bench_function(label, move |b| {
+            b.iter(|| {
+                let mut env = parole::ReorderEnv::with_action_space(
+                    economy.state.clone(),
+                    window.clone(),
+                    economy.ifus.clone(),
+                    RewardConfig::default(),
+                    space,
+                );
+                let mut agent = DqnAgent::new(
+                    env.state_dim(),
+                    env.action_count().max(1),
+                    DqnConfig {
+                        episodes: 4,
+                        max_steps: 20,
+                        hidden: [16, 16],
+                        batch_size: 4,
+                        ..DqnConfig::paper()
+                    },
+                );
+                agent.train(&mut env);
+                black_box(env.best_profit())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: vanilla DQN (the paper) vs Double-DQN targets.
+fn bench_ablation_double_dqn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/double_dqn");
+    group.sample_size(10);
+    let economy = Economy::build(8, 1, 7);
+    let window = economy.window(8, 7);
+    for (label, double) in [("vanilla", false), ("double", true)] {
+        let module = GentranseqModule::new(
+            DqnConfig {
+                episodes: 4,
+                max_steps: 20,
+                hidden: [16, 16],
+                batch_size: 4,
+                double_dqn: double,
+                ..DqnConfig::paper()
+            },
+            RewardConfig::default(),
+        );
+        let economy = economy.clone();
+        let window = window.clone();
+        group.bench_function(label, move |b| {
+            b.iter(|| module.run(black_box(&economy.state), black_box(&window), &economy.ifus))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: hill-climb passes for the §VIII defense detector.
+fn bench_ablation_defense_passes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/defense_passes");
+    group.sample_size(10);
+    let cs = CaseStudy::paper_setup();
+    for passes in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("hill_climb", passes), &passes, |b, &p| {
+            b.iter(|| max_reorder_profit(black_box(cs.state()), cs.window(), &[cs.ifu], p))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: price quantization (the paper's two-decimal truncation) versus
+/// exact rational pricing, exercised through case-study evaluation.
+fn bench_ablation_quantization(c: &mut Criterion) {
+    use parole_nft::{Collection, CollectionConfig};
+    use parole_primitives::{Address, TokenId, Wei};
+    let mut group = c.benchmark_group("ablation/price_quantization");
+    for (label, quantum) in [("paper_2dp", Wei::from_centi_eth(1)), ("exact", Wei::ZERO)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut config = CollectionConfig::parole_token();
+                config.price_quantum = quantum;
+                let mut coll = Collection::new(config);
+                for i in 0..10u64 {
+                    coll.mint(Address::from_low_u64(1), TokenId::new(i)).unwrap();
+                    black_box(coll.price());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_case_studies, bench_fleet, bench_gentranseq, bench_snapshots,
+        bench_solvers, bench_kde, bench_ablation_reward_weight,
+        bench_ablation_action_space, bench_ablation_double_dqn,
+        bench_ablation_defense_passes, bench_ablation_quantization
+);
+criterion_main!(figures);

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of the reproduction's hot kernels: the
+//! cryptographic substrate, OVM sequence execution, mempool ordering and the
+//! DQN forward/backward passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parole_bench::economy::Economy;
+use parole_crypto::{keccak256, MerkleTree};
+use parole_drl::Mlp;
+use parole_mempool::BedrockMempool;
+use parole_ovm::Ovm;
+use parole_primitives::Wei;
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    let payload = vec![0xA5u8; 256];
+    group.bench_function("keccak256_256B", |b| {
+        b.iter(|| keccak256(black_box(&payload)))
+    });
+    let leaves: Vec<_> = (0..256u64).map(|i| keccak256(&i.to_be_bytes())).collect();
+    group.bench_function("merkle_256_leaves", |b| {
+        b.iter(|| MerkleTree::from_leaves(black_box(leaves.clone())).root())
+    });
+    let tree = MerkleTree::from_leaves(leaves.clone());
+    let proof = tree.prove(100).unwrap();
+    group.bench_function("merkle_verify", |b| {
+        b.iter(|| black_box(&proof).verify(leaves[100], tree.root()))
+    });
+    group.finish();
+}
+
+fn bench_ovm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ovm");
+    for n in [10usize, 50] {
+        let economy = Economy::build(n, 1, 1);
+        let window = economy.window(n, 1);
+        let ovm = Ovm::new();
+        group.bench_with_input(BenchmarkId::new("simulate_sequence", n), &n, |b, _| {
+            b.iter(|| ovm.simulate_sequence(black_box(&economy.state), black_box(&window)))
+        });
+        group.bench_with_input(BenchmarkId::new("state_root", n), &n, |b, _| {
+            b.iter(|| black_box(&economy.state).state_root())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mempool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mempool");
+    let economy = Economy::build(100, 1, 2);
+    let txs = economy.window(100, 2);
+    group.bench_function("collect_100_of_100", |b| {
+        b.iter(|| {
+            let mut pool = BedrockMempool::new(Wei::from_gwei(1));
+            pool.submit_all(txs.iter().copied());
+            black_box(pool.collect(100))
+        })
+    });
+    group.finish();
+}
+
+fn bench_calldata(c: &mut Criterion) {
+    use parole_primitives::{AggregatorId, Hash32};
+    use parole_rollup::{calldata, Batch, StateCommitment};
+
+    let economy = Economy::build(50, 1, 3);
+    let txs = economy.window(50, 3);
+    let batch = Batch {
+        aggregator: AggregatorId::new(0),
+        commitment: StateCommitment {
+            pre_state_root: Hash32::ZERO,
+            post_state_root: Hash32::ZERO,
+            tx_root: Batch::compute_tx_root(&txs),
+        },
+        txs,
+        receipts: vec![],
+    };
+    let mut group = c.benchmark_group("calldata");
+    group.bench_function("encode_compress_50tx", |b| {
+        b.iter(|| calldata::compress(&calldata::encode_batch(black_box(&batch))))
+    });
+    group.bench_function("posting_cost_50tx", |b| {
+        b.iter(|| calldata::batch_posting_cost(black_box(&batch)))
+    });
+    group.finish();
+}
+
+fn bench_dqn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dqn");
+    // The paper-shaped network for a mempool of 50: 400 inputs, C(50,2)
+    // outputs.
+    let mut net = Mlp::new(&[400, 128, 128, 1225], 1);
+    let obs = vec![0.3f64; 400];
+    group.bench_function("forward_n50", |b| b.iter(|| net.forward(black_box(&obs))));
+    let target = net.forward(&obs);
+    group.bench_function("backward_n50", |b| {
+        b.iter(|| net.backward(black_box(&obs), black_box(&target)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_crypto, bench_ovm, bench_mempool, bench_calldata, bench_dqn
+);
+criterion_main!(kernels);

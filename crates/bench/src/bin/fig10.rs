@@ -1,0 +1,53 @@
+//! Fig. 10: real-world monetary impact via NFT snapshots — total arbitrage
+//! profit opportunity per transaction-frequency bucket (LFT/MFT/HFT) on
+//! Optimism vs Arbitrum, over the synthetic snapshot corpus (the holders.at
+//! substitute; see DESIGN.md substitution #3).
+
+use parole_bench::report::{print_table, write_json};
+use parole_snapshots::{scan_corpus, CaptureModel, Chain, FtBucket, SnapshotConfig, SnapshotCorpus};
+
+fn main() {
+    let corpus = SnapshotCorpus::generate(SnapshotConfig::default());
+    let reports = scan_corpus(&corpus, &CaptureModel::default());
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.chain.to_string(),
+                r.bucket.to_string(),
+                r.collections.to_string(),
+                r.windows.to_string(),
+                format!("{}", r.total_profit),
+                format!("{}", r.profit_per_collection),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 10: arbitrage profit opportunity from NFT snapshots",
+        &["Chain", "FT bucket", "Collections", "Windows", "Total profit", "Per collection"],
+        &rows,
+    );
+
+    // The paper's two headline observations.
+    for bucket in FtBucket::ALL {
+        let get = |chain: Chain| {
+            reports
+                .iter()
+                .find(|r| r.chain == chain && r.bucket == bucket)
+                .expect("cell scanned")
+                .total_profit
+        };
+        println!(
+            "shape {bucket}: Arbitrum {} vs Optimism {} ({})",
+            get(Chain::Arbitrum),
+            get(Chain::Optimism),
+            if get(Chain::Arbitrum) > get(Chain::Optimism) {
+                "Arbitrum higher, as in the paper"
+            } else {
+                "UNEXPECTED"
+            }
+        );
+    }
+    write_json("fig10", &reports);
+}

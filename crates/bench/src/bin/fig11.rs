@@ -1,0 +1,164 @@
+//! Fig. 11: DQN inference versus NLP-solver stand-ins — (a) execution time
+//! and (b) memory footprint as the mempool size grows.
+//!
+//! Following the paper ("the IFU trains the model offline"), the DQN is
+//! trained *before* the stopwatch starts; only the greedy inference pass is
+//! timed. Each solver attacks the identical window through the identical OVM
+//! objective. Memory is the modeled peak workspace (see `parole-solvers`
+//! docs); the DQN's footprint is its parameter buffer plus one observation.
+
+use parole::encode::FEATURES_PER_TX;
+use parole::{GentranseqModule, ReorderEnv, RewardConfig};
+use parole_bench::economy::Economy;
+use parole_bench::report::{print_table, write_json};
+use parole_bench::Scale;
+use parole_drl::{DqnAgent, Environment};
+use parole_solvers::{ApoptLike, MinosLike, SequenceSolver, SnoptLike};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    mempool: usize,
+    solver: String,
+    time_ms: f64,
+    memory_kib: f64,
+    profit_gwei: i128,
+}
+
+fn dqn_row(n: usize, scale: Scale) -> Row {
+    let economy = Economy::build(n, 1, 3);
+    let window = economy.window(n, 3);
+    let mut env = ReorderEnv::new(
+        economy.state.clone(),
+        window,
+        economy.ifus.clone(),
+        RewardConfig::default(),
+    );
+    // Offline training (untimed).
+    let module = match scale {
+        Scale::Fast => GentranseqModule::fast(),
+        Scale::Full => GentranseqModule::fast().with_seed(1),
+    };
+    let mut agent = DqnAgent::new(
+        env.state_dim(),
+        env.action_count().max(1),
+        *module.dqn_config(),
+    );
+    let _ = agent.train(&mut env);
+
+    // Timed inference pass.
+    let started = Instant::now();
+    let mut obs = env.reset();
+    for _ in 0..module.dqn_config().max_steps {
+        let action = agent.act_greedy(&obs);
+        let out = env.step(action);
+        obs = out.next_state;
+    }
+    let elapsed = started.elapsed();
+
+    let memory = agent.q_network().parameter_bytes() + env.state_dim() * 8;
+    let (_, best_balance) = env.best_order();
+    Row {
+        mempool: n,
+        solver: "DQN (inference)".to_string(),
+        time_ms: elapsed.as_secs_f64() * 1000.0,
+        memory_kib: memory as f64 / 1024.0,
+        profit_gwei: best_balance.signed_sub(env.original_balance()).gwei(),
+    }
+}
+
+fn solver_row(n: usize, solver: &mut dyn SequenceSolver) -> Row {
+    let economy = Economy::build(n, 1, 3);
+    let window = economy.window(n, 3);
+    let env = ReorderEnv::new(
+        economy.state.clone(),
+        window,
+        economy.ifus.clone(),
+        RewardConfig::default(),
+    );
+    let result = solver.solve(&env);
+    Row {
+        mempool: n,
+        solver: result.solver.to_string(),
+        time_ms: result.wall_time.as_secs_f64() * 1000.0,
+        memory_kib: result.peak_memory_bytes as f64 / 1024.0,
+        profit_gwei: result.profit().gwei(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = scale.fig11_mempool_sizes();
+
+    let rows: Vec<Row> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sizes
+            .iter()
+            .flat_map(|&n| {
+                vec![
+                    scope.spawn(move || dqn_row(n, scale)),
+                    scope.spawn(move || solver_row(n, &mut ApoptLike)),
+                    scope.spawn(move || solver_row(n, &mut MinosLike::default())),
+                    scope.spawn(move || solver_row(n, &mut SnoptLike::default())),
+                ]
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("row panicked")).collect()
+    });
+
+    let solvers = ["DQN (inference)", "apopt-like", "minos-like", "snopt-like"];
+    for (title, field) in [
+        ("Fig 11(a): execution time (ms)", 0usize),
+        ("Fig 11(b): memory (KiB)", 1),
+    ] {
+        let table_rows: Vec<Vec<String>> = sizes
+            .iter()
+            .map(|&n| {
+                let mut row = vec![n.to_string()];
+                for s in &solvers {
+                    let cell = rows
+                        .iter()
+                        .find(|r| r.mempool == n && r.solver == *s)
+                        .expect("row computed");
+                    row.push(if field == 0 {
+                        format!("{:.2}", cell.time_ms)
+                    } else {
+                        format!("{:.1}", cell.memory_kib)
+                    });
+                }
+                row
+            })
+            .collect();
+        let header: Vec<String> = std::iter::once("Mempool".to_string())
+            .chain(solvers.iter().map(|s| s.to_string()))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        print_table(title, &header_refs, &table_rows);
+    }
+
+    // Shape checks from the paper.
+    let biggest = *sizes.last().expect("non-empty");
+    let time_of = |solver: &str, n: usize| {
+        rows.iter()
+            .find(|r| r.mempool == n && r.solver == solver)
+            .map(|r| r.time_ms)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "\nshape at mempool {biggest}: DQN {:.2} ms vs apopt {:.2} / minos {:.2} / snopt {:.2} ms",
+        time_of("DQN (inference)", biggest),
+        time_of("apopt-like", biggest),
+        time_of("minos-like", biggest),
+        time_of("snopt-like", biggest),
+    );
+    let dqn_mem = rows
+        .iter()
+        .find(|r| r.mempool == biggest && r.solver == "DQN (inference)")
+        .map(|r| r.memory_kib)
+        .unwrap_or(f64::NAN);
+    println!(
+        "DQN observation width at N={biggest}: {} features; param memory {dqn_mem:.1} KiB",
+        biggest * FEATURES_PER_TX
+    );
+    write_json("fig11", &rows);
+}

@@ -1,0 +1,28 @@
+//! Table II: modeling parameters of the GENTRANSEQ module.
+
+use parole_bench::report::print_table;
+use parole_drl::DqnConfig;
+
+fn main() {
+    let c = DqnConfig::paper();
+    let rows = vec![
+        vec!["Exploration parameter (epsilon)".into(), format!("{}", c.epsilon)],
+        vec!["Epsilon decay (d)".into(), format!("{}", c.epsilon_decay)],
+        vec!["Discount factor (gamma)".into(), format!("{}", c.gamma)],
+        vec!["Episodes".into(), format!("{}", c.episodes)],
+        vec!["Steps (Each episode)".into(), format!("{}", c.max_steps)],
+        vec!["Learning rate (alpha)".into(), format!("{}", c.alpha)],
+        vec!["Reply memory buffer size".into(), format!("{}", c.replay_capacity)],
+        vec!["Q-network update".into(), format!("Every {} steps", c.q_update_every)],
+        vec![
+            "Target network update".into(),
+            format!("Every {} steps", c.target_update_every),
+        ],
+    ];
+    print_table(
+        "Table II: modeling parameters of the GENTRANSEQ module",
+        &["Parameter Name", "Assigned Values"],
+        &rows,
+    );
+    parole_bench::report::write_json("table2", &c);
+}

@@ -1,0 +1,121 @@
+//! Gaussian kernel density estimation (the Fig. 9 curves).
+
+/// A Gaussian KDE over one-dimensional samples.
+///
+/// Bandwidth defaults to Silverman's rule of thumb; Fig. 9's "solution size"
+/// samples (swap counts) are small positive integers, so the estimate is
+/// evaluated on a dense grid over the observed range.
+#[derive(Debug, Clone)]
+pub struct KernelDensity {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl KernelDensity {
+    /// Fits a KDE with Silverman bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn fit(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "KDE needs samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let sigma = var.sqrt();
+        let bandwidth = (1.06 * sigma * n.powf(-0.2)).max(0.25);
+        KernelDensity {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// Fits with an explicit bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set or non-positive bandwidth.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Self {
+        assert!(!samples.is_empty() && bandwidth > 0.0);
+        KernelDensity {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h * self.samples.len() as f64);
+        self.samples
+            .iter()
+            .map(|&s| {
+                let z = (x - s) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density over `points` evenly spaced grid positions
+    /// across `[lo, hi]`, returning `(x, density)` pairs.
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && hi > lo);
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+
+    /// The x position of the density's maximum over a grid (the mode —
+    /// Fig. 9's "highest probability" solution size).
+    pub fn mode(&self, lo: f64, hi: f64, points: usize) -> f64 {
+        self.curve(lo, hi, points)
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("points >= 2")
+            .0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one_approximately() {
+        let kde = KernelDensity::fit(&[1.0, 2.0, 2.5, 3.0, 5.0]);
+        let curve = kde.curve(-5.0, 12.0, 2000);
+        let dx = 17.0 / 1999.0;
+        let integral: f64 = curve.iter().map(|(_, d)| d * dx).sum();
+        assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
+    }
+
+    #[test]
+    fn mode_lands_on_the_cluster() {
+        let samples = [5.0, 5.0, 5.0, 5.5, 4.5, 12.0];
+        let kde = KernelDensity::fit(&samples);
+        let mode = kde.mode(0.0, 20.0, 500);
+        assert!((mode - 5.0).abs() < 1.0, "mode {mode}");
+    }
+
+    #[test]
+    fn spread_samples_give_wider_bandwidth() {
+        let tight = KernelDensity::fit(&[5.0, 5.1, 4.9, 5.05]);
+        let wide = KernelDensity::fit(&[1.0, 10.0, 20.0, 30.0]);
+        assert!(wide.bandwidth() > tight.bandwidth());
+    }
+
+    #[test]
+    #[should_panic(expected = "KDE needs samples")]
+    fn empty_samples_panic() {
+        let _ = KernelDensity::fit(&[]);
+    }
+}

@@ -1,0 +1,125 @@
+//! # parole-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation section (run e.g. `cargo run --release -p parole-bench --bin
+//! fig6`), plus criterion micro-benchmarks of the hot kernels.
+//!
+//! Binaries honour the `PAROLE_SCALE` environment variable:
+//!
+//! - `PAROLE_SCALE=fast` (default) — reduced mempool sizes / training
+//!   budgets, finishes in seconds to a couple of minutes per figure;
+//! - `PAROLE_SCALE=full` — the paper's dimensions (mempool up to 100,
+//!   Table II training budget); expect minutes per figure.
+//!
+//! Each binary prints the reproduced table/series and writes a JSON record
+//! under `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod economy;
+pub mod kde;
+pub mod report;
+
+use parole::GentranseqModule;
+use parole_drl::DqnConfig;
+
+/// Experiment scale selected via `PAROLE_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced dimensions for quick runs and CI.
+    Fast,
+    /// The paper's dimensions.
+    Full,
+}
+
+impl Scale {
+    /// Reads `PAROLE_SCALE` (default fast).
+    pub fn from_env() -> Scale {
+        match std::env::var("PAROLE_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Fast,
+        }
+    }
+
+    /// The mempool sizes swept by Fig. 6 at this scale.
+    pub fn fig6_mempool_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Fast => vec![10, 15, 25],
+            Scale::Full => vec![25, 50, 100],
+        }
+    }
+
+    /// The mempool sizes swept by Fig. 7/9 at this scale.
+    pub fn fig7_mempool_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Fast => vec![15, 25],
+            Scale::Full => vec![50, 100],
+        }
+    }
+
+    /// The mempool sizes swept by Fig. 11 at this scale.
+    pub fn fig11_mempool_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Fast => vec![5, 10, 15, 25],
+            Scale::Full => vec![5, 10, 25, 50, 100],
+        }
+    }
+
+    /// The GENTRANSEQ profile for fleet sweeps at this scale.
+    pub fn gentranseq(self) -> GentranseqModule {
+        match self {
+            Scale::Fast => GentranseqModule::fast(),
+            Scale::Full => GentranseqModule::new(
+                DqnConfig {
+                    episodes: 40,
+                    max_steps: 80,
+                    hidden: [64, 64],
+                    batch_size: 16,
+                    ..DqnConfig::paper()
+                },
+                Default::default(),
+            ),
+        }
+    }
+
+    /// The GENTRANSEQ profile for single-window training traces (Fig. 8):
+    /// the paper's full Table II budget at full scale.
+    pub fn gentranseq_training(self) -> GentranseqModule {
+        match self {
+            Scale::Fast => GentranseqModule::new(
+                DqnConfig {
+                    episodes: 40,
+                    max_steps: 60,
+                    hidden: [48, 48],
+                    ..DqnConfig::paper()
+                },
+                Default::default(),
+            ),
+            Scale::Full => GentranseqModule::paper(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_fast() {
+        // The test environment does not set PAROLE_SCALE.
+        if std::env::var("PAROLE_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Fast);
+        }
+    }
+
+    #[test]
+    fn full_scale_matches_paper_dimensions() {
+        assert_eq!(Scale::Full.fig6_mempool_sizes(), vec![25, 50, 100]);
+        assert_eq!(Scale::Full.fig7_mempool_sizes(), vec![50, 100]);
+        assert_eq!(
+            Scale::Full.gentranseq_training().dqn_config().episodes,
+            100
+        );
+    }
+}

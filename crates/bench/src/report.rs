@@ -1,0 +1,88 @@
+//! Table printing and JSON experiment records.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints an aligned text table: a header row plus data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes a JSON experiment record to `target/experiments/<name>.json`,
+/// returning the path. Failures are reported but non-fatal (the printed
+/// table is the primary artifact).
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from("target/experiments");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("note: could not create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => match fs::write(&path, body) {
+            Ok(()) => {
+                println!("  [recorded {}]", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("note: could not write {}: {e}", path.display());
+                None
+            }
+        },
+        Err(e) => {
+            eprintln!("note: could not serialize {name}: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn print_table_handles_ragged_rows() {
+        // Smoke test: must not panic on rows narrower/wider than the header.
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn write_json_roundtrip() {
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        let path = write_json("bench_report_test", &R { x: 7 });
+        if let Some(p) = path {
+            let body = std::fs::read_to_string(&p).unwrap();
+            assert!(body.contains("\"x\": 7"));
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

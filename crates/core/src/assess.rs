@@ -1,0 +1,204 @@
+//! Arbitrage-opportunity assessment (paper §V-B).
+//!
+//! Before paying for a GENTRANSEQ search, the PAROLE module checks whether
+//! the collected window can possibly be re-ordered in the IFU's favor:
+//!
+//! 1. the IFU must be involved in **multiple** transactions — "ideally … at
+//!    least a pair of minting and transfer transactions";
+//! 2. the window must contain at least one price-moving transaction (a mint
+//!    or a burn): transfers alone leave the bonding curve flat, so every
+//!    ordering yields the same balances;
+//! 3. re-ordering must have room to act (`N ≥ 2`).
+
+use parole_ovm::{NftTransaction, TxKind};
+use parole_primitives::Address;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of assessing one window for one set of IFUs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbitrageAssessment {
+    /// Whether the window is worth a GENTRANSEQ run.
+    pub opportunity: bool,
+    /// Transactions in which at least one IFU participates.
+    pub ifu_tx_count: usize,
+    /// Whether some IFU appears in a mint.
+    pub ifu_mints: bool,
+    /// Whether some IFU appears as a party to a transfer.
+    pub ifu_transfers: bool,
+    /// Price-moving (mint/burn) transactions in the window.
+    pub price_moving_count: usize,
+    /// Window size.
+    pub window_len: usize,
+}
+
+impl ArbitrageAssessment {
+    /// The paper's "ideal" precondition: the IFU holds both a mint and a
+    /// transfer in the window.
+    pub fn has_ideal_pair(&self) -> bool {
+        self.ifu_mints && self.ifu_transfers
+    }
+}
+
+impl fmt::Display for ArbitrageAssessment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "assessment(opportunity={}, ifu_txs={}/{}, price_moving={})",
+            self.opportunity, self.ifu_tx_count, self.window_len, self.price_moving_count
+        )
+    }
+}
+
+/// Assesses whether `window` offers a potential arbitrage for `ifus`.
+///
+/// The check is intentionally cheap (no OVM execution): it bounds what a
+/// re-ordering *could* achieve, not what it will. The GENTRANSEQ search is
+/// the expensive confirmation step.
+pub fn assess(window: &[NftTransaction], ifus: &[Address]) -> ArbitrageAssessment {
+    let mut ifu_tx_count = 0;
+    let mut ifu_mints = false;
+    let mut ifu_transfers = false;
+    let mut price_moving_count = 0;
+
+    for tx in window {
+        let involved = ifus.iter().any(|&u| tx.involves(u));
+        if involved {
+            ifu_tx_count += 1;
+        }
+        match tx.kind {
+            TxKind::Mint { .. } => {
+                price_moving_count += 1;
+                if involved {
+                    ifu_mints = true;
+                }
+            }
+            TxKind::Burn { .. } => price_moving_count += 1,
+            TxKind::Transfer { .. } => {
+                if involved {
+                    ifu_transfers = true;
+                }
+            }
+        }
+    }
+
+    let opportunity = window.len() >= 2
+        && ifu_tx_count >= 2
+        && price_moving_count >= 1
+        // A window where *only* IFU transactions exist can still be arbitraged
+        // (IFU mints around others' burns), but with zero price movers there
+        // is nothing to exploit; conversely price movers with < 2 IFU slots
+        // leave nothing to re-position.
+        ;
+
+    ArbitrageAssessment {
+        opportunity,
+        ifu_tx_count,
+        ifu_mints,
+        ifu_transfers,
+        price_moving_count,
+        window_len: window.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_primitives::TokenId;
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    fn coll() -> Address {
+        addr(100)
+    }
+
+    fn mint(sender: Address, token: u64) -> NftTransaction {
+        NftTransaction::simple(sender, TxKind::Mint { collection: coll(), token: TokenId::new(token) })
+    }
+
+    fn transfer(from: Address, to: Address, token: u64) -> NftTransaction {
+        NftTransaction::simple(
+            from,
+            TxKind::Transfer { collection: coll(), token: TokenId::new(token), to },
+        )
+    }
+
+    fn burn(sender: Address, token: u64) -> NftTransaction {
+        NftTransaction::simple(sender, TxKind::Burn { collection: coll(), token: TokenId::new(token) })
+    }
+
+    #[test]
+    fn ideal_pair_is_an_opportunity() {
+        let ifu = addr(1000);
+        let window = vec![
+            mint(ifu, 5),
+            transfer(addr(1), ifu, 0),
+            burn(addr(2), 1),
+            transfer(addr(3), addr(4), 2),
+        ];
+        let a = assess(&window, &[ifu]);
+        assert!(a.opportunity);
+        assert!(a.has_ideal_pair());
+        assert_eq!(a.ifu_tx_count, 2);
+        assert_eq!(a.price_moving_count, 2);
+    }
+
+    #[test]
+    fn single_ifu_tx_is_not_enough() {
+        let ifu = addr(1000);
+        let window = vec![mint(ifu, 5), burn(addr(2), 1), transfer(addr(3), addr(4), 2)];
+        let a = assess(&window, &[ifu]);
+        assert!(!a.opportunity);
+        assert_eq!(a.ifu_tx_count, 1);
+    }
+
+    #[test]
+    fn transfers_only_window_has_no_opportunity() {
+        let ifu = addr(1000);
+        let window = vec![
+            transfer(ifu, addr(1), 0),
+            transfer(addr(2), ifu, 1),
+            transfer(addr(3), addr(4), 2),
+        ];
+        let a = assess(&window, &[ifu]);
+        assert!(!a.opportunity, "no price movers, nothing to exploit");
+        assert_eq!(a.price_moving_count, 0);
+    }
+
+    #[test]
+    fn uninvolved_ifu_has_no_opportunity() {
+        let ifu = addr(1000);
+        let window = vec![mint(addr(1), 5), burn(addr(2), 1)];
+        let a = assess(&window, &[ifu]);
+        assert!(!a.opportunity);
+        assert_eq!(a.ifu_tx_count, 0);
+    }
+
+    #[test]
+    fn multiple_ifus_pool_their_involvement() {
+        let (ifu_a, ifu_b) = (addr(1000), addr(1001));
+        let window = vec![mint(ifu_a, 5), transfer(addr(1), ifu_b, 0), burn(addr(2), 1)];
+        let a = assess(&window, &[ifu_a, ifu_b]);
+        assert!(a.opportunity);
+        assert_eq!(a.ifu_tx_count, 2);
+    }
+
+    #[test]
+    fn buyer_side_involvement_counts() {
+        let ifu = addr(1000);
+        let window = vec![transfer(addr(1), ifu, 0), mint(addr(9), 5), transfer(addr(2), ifu, 1)];
+        let a = assess(&window, &[ifu]);
+        assert!(a.opportunity);
+        assert!(!a.ifu_mints);
+        assert!(a.ifu_transfers);
+    }
+
+    #[test]
+    fn tiny_windows_rejected() {
+        let ifu = addr(1000);
+        assert!(!assess(&[], &[ifu]).opportunity);
+        assert!(!assess(&[mint(ifu, 5)], &[ifu]).opportunity);
+    }
+}

@@ -1,0 +1,352 @@
+//! The paper's three case studies (Fig. 5), reproduced on the real OVM.
+//!
+//! ## Fidelity note (documented deviation)
+//!
+//! The paper's altered sequences (Cases 2 and 3) place `TX4` — "Transfer PT:
+//! U19 → U6" — *before* `TX2` — "Mint PT: U19". Under the paper's own
+//! constraint model (its Eq. 3 requires `O_k^{i,t-1}`), U19 owns nothing
+//! until its mint executes, so those exact orders are infeasible; the
+//! paper's tables track only price and IFU balance and silently skip the
+//! ownership check for bystander transfers.
+//!
+//! This reproduction keeps strict constraint semantics and instead uses the
+//! *equivalent feasible orders* in which `TX4` executes right after `TX2`.
+//! Because transfers never move the bonding curve and `TX4` does not involve
+//! the IFU, every price and IFU-balance value of the paper's tables is
+//! reproduced exactly; only the row at which `TX4` appears shifts. The
+//! headline numbers are identical: final total balance 2.5 ETH (Case 1),
+//! 2.57 ETH (Case 2, +7% non-volatile L2 balance), 2.74 ETH (Case 3, +24%).
+
+use parole_nft::CollectionConfig;
+use parole_ovm::{NftTransaction, Ovm, TxKind};
+use parole_primitives::{Address, TokenId, Wei};
+use parole_state::L2State;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of a case-study table: the state right after a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseStudyRow {
+    /// Paper transaction number (1-based: `TX1` … `TX8`).
+    pub tx_number: usize,
+    /// Whether the transaction executed (always true in these fixtures).
+    pub executed: bool,
+    /// PT price after the transaction.
+    pub price: Wei,
+    /// IFU's spendable L2 balance after the transaction.
+    pub ifu_l2_balance: Wei,
+    /// Number of PT tokens the IFU holds after the transaction.
+    pub ifu_tokens: u64,
+    /// IFU total balance: `L2 balance + tokens × price`.
+    pub ifu_total_balance: Wei,
+}
+
+/// Evaluation of one ordering of the case-study window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseStudyReport {
+    /// Per-transaction rows in execution order.
+    pub rows: Vec<CaseStudyRow>,
+    /// IFU total balance after the last transaction.
+    pub final_total_balance: Wei,
+    /// IFU L2 (non-volatile) balance after the last transaction.
+    pub final_l2_balance: Wei,
+    /// Whether every transaction executed successfully.
+    pub all_executed: bool,
+}
+
+impl fmt::Display for CaseStudyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            writeln!(
+                f,
+                "TX{}  price {}  IFU {} + {}×{} = {}",
+                row.tx_number,
+                row.price,
+                row.ifu_l2_balance,
+                row.ifu_tokens,
+                row.price,
+                row.ifu_total_balance
+            )?;
+        }
+        write!(f, "final: {}", self.final_total_balance)
+    }
+}
+
+/// The Fig. 5 scenario: the PT collection with five pre-minted tokens, the
+/// IFU holding two of them plus 1.5 ETH, and the eight-transaction window.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    state: L2State,
+    /// PT contract address.
+    pub collection: Address,
+    /// The illicitly favored user.
+    pub ifu: Address,
+    /// `txs[k]` is the paper's `TX(k+1)`.
+    txs: Vec<NftTransaction>,
+}
+
+impl CaseStudy {
+    /// Builds the exact paper setup: `S^0 = 10`, `P^0 = 0.2 ETH`, 5 tokens
+    /// pre-minted (price 0.4 ETH), IFU balance 1.5 ETH + 2 PT
+    /// (total 2.3 ETH).
+    pub fn paper_setup() -> Self {
+        let mut state = L2State::new();
+        let collection = state.deploy_collection(CollectionConfig::parole_token());
+        let ifu = Address::from_low_u64(1000);
+        let u = Address::from_low_u64; // U1, U2, …
+
+        // Balances: the IFU's 1.5 ETH from the paper; bystanders get enough
+        // to cover their purchases at any reachable price.
+        state.credit(ifu, Wei::from_milli_eth(1500));
+        for id in [1, 2, 3, 6, 11, 19] {
+            state.credit(u(id), Wei::from_eth(1));
+        }
+
+        {
+            let coll = state.collection_mut(collection).unwrap();
+            // 5 pre-minted: IFU holds 0 and 1; U1 holds 2 and 3; U13 holds 4.
+            coll.mint(ifu, TokenId::new(0)).unwrap();
+            coll.mint(ifu, TokenId::new(1)).unwrap();
+            coll.mint(u(1), TokenId::new(2)).unwrap();
+            coll.mint(u(1), TokenId::new(3)).unwrap();
+            coll.mint(u(13), TokenId::new(4)).unwrap();
+        }
+
+        let tx = |sender: Address, kind: TxKind| NftTransaction::simple(sender, kind);
+        let txs = vec![
+            // TX1: Transfer PT: U1 -> U2 (token 2).
+            tx(u(1), TxKind::Transfer { collection, token: TokenId::new(2), to: u(2) }),
+            // TX2: Mint PT: U19 (token 5).
+            tx(u(19), TxKind::Mint { collection, token: TokenId::new(5) }),
+            // TX3: Transfer PT: IFU -> U11 (token 0).
+            tx(ifu, TxKind::Transfer { collection, token: TokenId::new(0), to: u(11) }),
+            // TX4: Transfer PT: U19 -> U6 (token 5, the one TX2 minted).
+            tx(u(19), TxKind::Transfer { collection, token: TokenId::new(5), to: u(6) }),
+            // TX5: Mint PT: IFU (token 6).
+            tx(ifu, TxKind::Mint { collection, token: TokenId::new(6) }),
+            // TX6: Transfer PT: U13 -> U3 (token 4).
+            tx(u(13), TxKind::Transfer { collection, token: TokenId::new(4), to: u(3) }),
+            // TX7: Burn PT: U2 (token 2, received in TX1).
+            tx(u(2), TxKind::Burn { collection, token: TokenId::new(2) }),
+            // TX8: Transfer PT: U1 -> IFU (token 3).
+            tx(u(1), TxKind::Transfer { collection, token: TokenId::new(3), to: ifu }),
+        ];
+
+        CaseStudy {
+            state,
+            collection,
+            ifu,
+            txs,
+        }
+    }
+
+    /// The pre-window L2 state.
+    pub fn state(&self) -> &L2State {
+        &self.state
+    }
+
+    /// The window in original (paper TX1…TX8) order.
+    pub fn window(&self) -> &[NftTransaction] {
+        &self.txs
+    }
+
+    /// Case 1: the original fee order `TX1 … TX8`.
+    pub fn original_order(&self) -> Vec<usize> {
+        (0..8).collect()
+    }
+
+    /// Case 2 (candidate): the paper's `TX1, TX7, TX5, TX4, TX3, TX6, TX2,
+    /// TX8` with the infeasible `TX4`-before-`TX2` corrected by executing
+    /// `TX4` right after `TX2` (see the module-level fidelity note).
+    pub fn candidate_order(&self) -> Vec<usize> {
+        // Paper numbering:  TX1, TX7, TX5, TX3, TX6, TX2, TX4, TX8
+        vec![0, 6, 4, 2, 5, 1, 3, 7]
+    }
+
+    /// Case 3 (optimal): the paper's `TX1, TX7, TX8, TX5, TX4, TX3, TX6,
+    /// TX2` with the same `TX4` correction applied.
+    pub fn optimal_order(&self) -> Vec<usize> {
+        // Paper numbering:  TX1, TX7, TX8, TX5, TX3, TX6, TX2, TX4
+        vec![0, 6, 7, 4, 2, 5, 1, 3]
+    }
+
+    /// Executes the window in the given order (indices into
+    /// [`CaseStudy::window`]) and reports every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `order` is not a permutation of `0..8`.
+    pub fn evaluate(&self, order: &[usize]) -> CaseStudyReport {
+        assert_eq!(order.len(), self.txs.len(), "order must cover the window");
+        let ovm = Ovm::new();
+        let mut state = self.state.clone();
+        let mut rows = Vec::with_capacity(order.len());
+        let mut all_executed = true;
+        for &idx in order {
+            let tx = &self.txs[idx];
+            let receipt = ovm.execute(&mut state, tx);
+            all_executed &= receipt.is_success();
+            let coll = state.collection(self.collection).expect("PT deployed");
+            rows.push(CaseStudyRow {
+                tx_number: idx + 1,
+                executed: receipt.is_success(),
+                price: coll.price(),
+                ifu_l2_balance: state.balance_of(self.ifu),
+                ifu_tokens: coll.balance_of(self.ifu),
+                ifu_total_balance: state.total_balance_of(self.ifu),
+            });
+        }
+        CaseStudyReport {
+            final_total_balance: state.total_balance_of(self.ifu),
+            final_l2_balance: state.balance_of(self.ifu),
+            all_executed,
+            rows,
+        }
+    }
+}
+
+impl Default for CaseStudy {
+    fn default() -> Self {
+        CaseStudy::paper_setup()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn milli(v: u64) -> Wei {
+        Wei::from_milli_eth(v)
+    }
+
+    #[test]
+    fn initial_conditions_match_figure5() {
+        let cs = CaseStudy::paper_setup();
+        let coll = cs.state().collection(cs.collection).unwrap();
+        assert_eq!(coll.price(), milli(400));
+        assert_eq!(coll.remaining_supply(), 5);
+        assert_eq!(cs.state().total_balance_of(cs.ifu), milli(2300));
+    }
+
+    #[test]
+    fn case1_reproduces_every_row() {
+        let cs = CaseStudy::paper_setup();
+        let report = cs.evaluate(&cs.original_order());
+        assert!(report.all_executed);
+        let expect_price = [400, 500, 500, 500, 660, 660, 500, 500].map(milli);
+        let expect_total = [2300, 2500, 2500, 2500, 2820, 2820, 2500, 2500].map(milli);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.price, expect_price[i], "price at row {}", i + 1);
+            assert_eq!(row.ifu_total_balance, expect_total[i], "balance at row {}", i + 1);
+        }
+        assert_eq!(report.final_total_balance, milli(2500));
+        assert_eq!(report.final_l2_balance, milli(1000));
+    }
+
+    #[test]
+    fn case2_reproduces_paper_balances() {
+        let cs = CaseStudy::paper_setup();
+        let report = cs.evaluate(&cs.candidate_order());
+        assert!(report.all_executed, "corrected case-2 order must be feasible");
+        // Paper values in our corrected row order
+        // (TX1, TX7, TX5, TX3, TX6, TX2, TX4, TX8).
+        let expect_price = [400, 330, 400, 400, 400, 500, 500, 500].map(milli);
+        let expect_total = [2300, 2160, 2370, 2370, 2370, 2570, 2570, 2570].map(milli);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.price, expect_price[i], "price at row {}", i + 1);
+            assert_eq!(row.ifu_total_balance, expect_total[i], "balance at row {}", i + 1);
+        }
+        assert_eq!(report.final_total_balance, milli(2570));
+        // The non-volatile (L2) part grew 7%: 1.0 -> 1.07 ETH.
+        assert_eq!(report.final_l2_balance, milli(1070));
+    }
+
+    #[test]
+    fn case3_reproduces_paper_balances() {
+        let cs = CaseStudy::paper_setup();
+        let report = cs.evaluate(&cs.optimal_order());
+        assert!(report.all_executed, "corrected case-3 order must be feasible");
+        // (TX1, TX7, TX8, TX5, TX3, TX6, TX2, TX4).
+        let expect_price = [400, 330, 330, 400, 400, 400, 500, 500].map(milli);
+        let expect_total = [2300, 2160, 2160, 2440, 2440, 2440, 2740, 2740].map(milli);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.price, expect_price[i], "price at row {}", i + 1);
+            assert_eq!(row.ifu_total_balance, expect_total[i], "balance at row {}", i + 1);
+        }
+        assert_eq!(report.final_total_balance, milli(2740));
+        // The non-volatile part grew 24%: 1.0 -> 1.24 ETH.
+        assert_eq!(report.final_l2_balance, milli(1240));
+    }
+
+    #[test]
+    fn case_ordering_is_strictly_improving() {
+        let cs = CaseStudy::paper_setup();
+        let c1 = cs.evaluate(&cs.original_order()).final_total_balance;
+        let c2 = cs.evaluate(&cs.candidate_order()).final_total_balance;
+        let c3 = cs.evaluate(&cs.optimal_order()).final_total_balance;
+        assert!(c1 < c2 && c2 < c3, "2.5 < 2.57 < 2.74");
+    }
+
+    #[test]
+    fn paper_verbatim_case2_order_is_infeasible_under_strict_semantics() {
+        // Documents the fidelity note: the paper's literal order executes
+        // TX4 (U19's sale) before TX2 (U19's mint) and must revert there.
+        let cs = CaseStudy::paper_setup();
+        let paper_case2 = [0usize, 6, 4, 3, 2, 5, 1, 7]; // TX1,TX7,TX5,TX4,TX3,TX6,TX2,TX8
+        let report = cs.evaluate(&paper_case2);
+        assert!(!report.all_executed);
+        let tx4_row = report.rows.iter().find(|r| r.tx_number == 4).unwrap();
+        assert!(!tx4_row.executed);
+    }
+
+    #[test]
+    fn optimal_order_is_the_exhaustive_feasible_maximum() {
+        // Verify 2.74 ETH is the true optimum over all 8! = 40 320 orders
+        // that keep every transaction executable.
+        let cs = CaseStudy::paper_setup();
+        let mut indices: Vec<usize> = (0..8).collect();
+        let mut best = Wei::ZERO;
+        // Heap's algorithm, iterative.
+        let mut c = [0usize; 8];
+        let eval = |order: &[usize], best: &mut Wei| {
+            let report = cs.evaluate(order);
+            if report.all_executed {
+                *best = (*best).max(report.final_total_balance);
+            }
+        };
+        eval(&indices, &mut best);
+        let mut i = 0;
+        while i < 8 {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    indices.swap(0, i);
+                } else {
+                    indices.swap(c[i], i);
+                }
+                eval(&indices, &mut best);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        // Reproduction finding (recorded in EXPERIMENTS.md): under strict
+        // constraint semantics the true optimum is 2.86 ETH — *better* than
+        // the paper's "optimal" Case 3 (2.74 ETH). The 2.86 order defers the
+        // burn to the end so the IFU sells at the doubly-inflated 0.66 price:
+        // TX1, TX8, TX5, TX2, TX3, TX4, TX6, TX7.
+        assert_eq!(best, milli(2860), "2.86 ETH is the strict-semantics optimum");
+        assert!(best > cs.evaluate(&cs.optimal_order()).final_total_balance);
+    }
+
+    #[test]
+    fn beyond_paper_order_reaches_2_86() {
+        let cs = CaseStudy::paper_setup();
+        // TX1, TX8, TX5, TX2, TX3, TX4, TX6, TX7 (0-based indices).
+        let report = cs.evaluate(&[0, 7, 4, 1, 2, 3, 5, 6]);
+        assert!(report.all_executed);
+        assert_eq!(report.final_total_balance, milli(2860));
+        assert_eq!(report.final_l2_balance, milli(1360));
+    }
+}

@@ -1,0 +1,396 @@
+//! The §VIII counter-measure: GENTRANSEQ as a mempool-side detector.
+//!
+//! The paper's proposed defense runs the re-ordering search *inside*
+//! Bedrock's mempool, against every user, before handing windows to
+//! aggregators: compute the worst case — the maximum profit any involved
+//! user could be handed by some re-ordering — and, when it exceeds a
+//! threshold, defer the minimal set of transactions "to the block behind"
+//! until the window no longer admits meaningful arbitrage.
+//!
+//! The detector does not need the full DQN: it must merely *bound* the best
+//! re-ordering profit, and it runs in the trusted sequencer where
+//! determinism is a feature. We therefore use a deterministic best-swap
+//! hill-climb with restarts ([`max_reorder_profit`]); the ablation benches
+//! compare it against the DQN search on identical windows.
+
+use crate::mdp::{ReorderEnv, RewardConfig};
+use parole_ovm::{GasSchedule, NftTransaction};
+use parole_primitives::{Address, Wei, WeiDelta};
+use parole_state::L2State;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Defense tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DefenseConfig {
+    /// Worst-case profit above which the window is treated as arbitrage
+    /// bait (the paper makes this a function of the priority fees; a flat
+    /// threshold captures the mechanism).
+    pub threshold: Wei,
+    /// Upper bound on transactions deferred per window.
+    pub max_deferrals: usize,
+    /// Hill-climb restarts (each restart re-seeds from the original order
+    /// with one greedy pass).
+    pub search_passes: usize,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            threshold: Wei::from_milli_eth(10),
+            max_deferrals: 4,
+            search_passes: 3,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// Builds a configuration whose threshold follows §VIII's prescription
+    /// that it "depend\[s\] on the priority fee": arbitrage is negligible when
+    /// it is worth no more than `multiplier ×` the total tips riding on the
+    /// window — deferring transactions then costs the sequencer more fee
+    /// revenue than the arbitrage it prevents.
+    pub fn fee_proportional(
+        window: &[NftTransaction],
+        base_fee: Wei,
+        schedule: &GasSchedule,
+        multiplier: u64,
+    ) -> Self {
+        DefenseConfig {
+            threshold: window_tip_revenue(window, base_fee, schedule).mul_count(multiplier),
+            ..DefenseConfig::default()
+        }
+    }
+}
+
+/// Total priority-fee (tip) revenue the window carries at `base_fee`.
+pub fn window_tip_revenue(
+    window: &[NftTransaction],
+    base_fee: Wei,
+    schedule: &GasSchedule,
+) -> Wei {
+    window
+        .iter()
+        .map(|tx| {
+            let gas = schedule.gas_for(&tx.kind);
+            Wei::from_wei(tx.fees.effective_tip(base_fee).wei() * gas.units() as u128)
+        })
+        .sum()
+}
+
+/// What the mempool decided about one window.
+#[derive(Debug, Clone)]
+pub struct ScreeningOutcome {
+    /// Worst-case re-ordering profit over all candidate beneficiaries of the
+    /// *original* window.
+    pub worst_case_profit: WeiDelta,
+    /// The beneficiary realizing the worst case.
+    pub worst_case_user: Option<Address>,
+    /// Transactions admitted to aggregators this block.
+    pub admitted: Vec<NftTransaction>,
+    /// Transactions deferred to the block behind.
+    pub deferred: Vec<NftTransaction>,
+}
+
+impl ScreeningOutcome {
+    /// Whether the detector intervened.
+    pub fn intervened(&self) -> bool {
+        !self.deferred.is_empty()
+    }
+}
+
+/// Deterministic best-swap hill-climb: from the original order, repeatedly
+/// apply the single swap that most improves the beneficiary's final balance;
+/// stop when no swap improves. This lower-bounds the attacker's best
+/// re-ordering and in the paper's case-study-sized windows reaches the true
+/// optimum (tests pin this).
+pub fn max_reorder_profit(
+    state: &L2State,
+    window: &[NftTransaction],
+    beneficiaries: &[Address],
+    passes: usize,
+) -> WeiDelta {
+    if window.len() < 2 {
+        return WeiDelta::ZERO;
+    }
+    let env = ReorderEnv::new(
+        state.clone(),
+        window.to_vec(),
+        beneficiaries.to_vec(),
+        RewardConfig::default(),
+    );
+    let original = env.original_balance();
+
+    let mut best_overall = original;
+    let mut order: Vec<NftTransaction> = window.to_vec();
+    for _pass in 0..passes.max(1) {
+        loop {
+            let mut best_gain = Wei::ZERO;
+            let mut best_swap: Option<(usize, usize)> = None;
+            let current_balance = env.balance_of_order(&order).unwrap_or(Wei::ZERO);
+            for i in 0..order.len() {
+                for j in i + 1..order.len() {
+                    order.swap(i, j);
+                    if let Some(balance) = env.balance_of_order(&order) {
+                        if balance > current_balance
+                            && balance - current_balance > best_gain
+                        {
+                            best_gain = balance - current_balance;
+                            best_swap = Some((i, j));
+                        }
+                    }
+                    order.swap(i, j);
+                }
+            }
+            match best_swap {
+                Some((i, j)) => order.swap(i, j),
+                None => break,
+            }
+        }
+        if let Some(balance) = env.balance_of_order(&order) {
+            best_overall = best_overall.max(balance);
+        }
+        // Restart passes begin from a rotated order to escape plateaus.
+        order.rotate_left(1);
+    }
+    best_overall.signed_sub(original)
+}
+
+/// Users involved in at least two window transactions — the only candidates
+/// who can be favored by a re-ordering (paper §V-B).
+pub fn candidate_beneficiaries(window: &[NftTransaction]) -> Vec<Address> {
+    let mut counts: std::collections::BTreeMap<Address, usize> = Default::default();
+    for tx in window {
+        let mut parties = BTreeSet::new();
+        parties.insert(tx.sender);
+        if let parole_ovm::TxKind::Transfer { to, .. } = tx.kind {
+            parties.insert(to);
+        }
+        for p in parties {
+            *counts.entry(p).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c >= 2)
+        .map(|(a, _)| a)
+        .collect()
+}
+
+/// Screens a window before it reaches aggregators.
+///
+/// Computes the worst-case profit over all candidate beneficiaries; when it
+/// exceeds the threshold, greedily defers the involved transaction whose
+/// removal shrinks the worst case the most, and repeats until the window is
+/// clean or the deferral budget is spent.
+pub fn screen_window(
+    state: &L2State,
+    window: &[NftTransaction],
+    config: &DefenseConfig,
+) -> ScreeningOutcome {
+    let mut admitted: Vec<NftTransaction> = window.to_vec();
+    let mut deferred: Vec<NftTransaction> = Vec::new();
+
+    let (mut worst, mut worst_user) = worst_case(state, &admitted, config);
+    let initial_worst = worst;
+    let initial_user = worst_user;
+
+    while worst.to_wei_amount().map_or(false, |w| w > config.threshold)
+        && deferred.len() < config.max_deferrals
+        && admitted.len() > 1
+    {
+        // Try deferring each transaction involving the worst-case user; keep
+        // the deferral that shrinks the worst case the most.
+        let user = worst_user.expect("positive worst case implies a beneficiary");
+        let mut best_choice: Option<(usize, WeiDelta, Option<Address>)> = None;
+        for (idx, tx) in admitted.iter().enumerate() {
+            if !tx.involves(user) {
+                continue;
+            }
+            let mut trial = admitted.clone();
+            trial.remove(idx);
+            let (trial_worst, trial_user) = worst_case(state, &trial, config);
+            let better = match &best_choice {
+                None => true,
+                Some((_, best_worst, _)) => trial_worst < *best_worst,
+            };
+            if better {
+                best_choice = Some((idx, trial_worst, trial_user));
+            }
+        }
+        match best_choice {
+            Some((idx, new_worst, new_user)) => {
+                deferred.push(admitted.remove(idx));
+                worst = new_worst;
+                worst_user = new_user;
+            }
+            None => break,
+        }
+    }
+
+    ScreeningOutcome {
+        worst_case_profit: initial_worst,
+        worst_case_user: initial_user,
+        admitted,
+        deferred,
+    }
+}
+
+/// Worst case over all candidate beneficiaries of `window`.
+///
+/// Per-beneficiary searches are independent, so they fan out across a
+/// crossbeam scope — the detector sits on the sequencer's critical path and
+/// windows routinely have several candidate beneficiaries.
+fn worst_case(
+    state: &L2State,
+    window: &[NftTransaction],
+    config: &DefenseConfig,
+) -> (WeiDelta, Option<Address>) {
+    let candidates = candidate_beneficiaries(window);
+    if candidates.is_empty() {
+        return (WeiDelta::ZERO, None);
+    }
+    let profits: Vec<(Address, WeiDelta)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .iter()
+            .map(|&user| {
+                scope.spawn(move |_| {
+                    (user, max_reorder_profit(state, window, &[user], config.search_passes))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let mut worst = WeiDelta::ZERO;
+    let mut who = None;
+    for (user, profit) in profits {
+        if profit > worst {
+            worst = profit;
+            who = Some(user);
+        }
+    }
+    (worst, who)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::CaseStudy;
+    use parole_primitives::Wei;
+
+    #[test]
+    fn hill_climb_bounds_the_case_study_profit() {
+        let cs = CaseStudy::paper_setup();
+        let profit = max_reorder_profit(cs.state(), cs.window(), &[cs.ifu], 3);
+        // The strict-semantics exhaustive optimum is 2.86 − 2.50 = 0.36 ETH;
+        // the deterministic hill-climb must at least match the paper's own
+        // Case 3 profit (0.24 ETH) and can never exceed the true optimum.
+        let paper_case3 = WeiDelta::from_wei(Wei::from_milli_eth(240).wei() as i128);
+        let exhaustive = WeiDelta::from_wei(Wei::from_milli_eth(360).wei() as i128);
+        assert!(profit >= paper_case3, "hill-climb too weak: {profit}");
+        assert!(profit <= exhaustive, "impossible profit: {profit}");
+    }
+
+    #[test]
+    fn candidate_beneficiaries_need_two_involvements() {
+        let cs = CaseStudy::paper_setup();
+        let candidates = candidate_beneficiaries(cs.window());
+        assert!(candidates.contains(&cs.ifu), "the IFU is a candidate");
+        // U11 appears exactly once (buyer in TX3) and must not be a candidate.
+        assert!(!candidates.contains(&Address::from_low_u64(11)));
+        // U1 appears in TX1 and TX8 and is a candidate.
+        assert!(candidates.contains(&Address::from_low_u64(1)));
+    }
+
+    #[test]
+    fn screening_detects_and_defuses_the_case_study() {
+        let cs = CaseStudy::paper_setup();
+        let config = DefenseConfig {
+            threshold: Wei::from_milli_eth(50),
+            ..DefenseConfig::default()
+        };
+        let outcome = screen_window(cs.state(), cs.window(), &config);
+        assert!(
+            outcome.worst_case_profit.to_wei_amount().unwrap() > config.threshold,
+            "the case-study window is arbitrage bait"
+        );
+        assert!(outcome.intervened());
+        // After deferral, the remaining window is below threshold.
+        let (residual, _) = super::worst_case(cs.state(), &outcome.admitted, &config);
+        assert!(
+            residual.to_wei_amount().map_or(true, |w| w <= config.threshold),
+            "deferral must defuse the window: residual {residual}"
+        );
+        // Admitted + deferred partition the original window.
+        assert_eq!(
+            outcome.admitted.len() + outcome.deferred.len(),
+            cs.window().len()
+        );
+    }
+
+    #[test]
+    fn fee_proportional_threshold_scales_with_tips() {
+        use parole_primitives::FeeBundle;
+
+        let cs = CaseStudy::paper_setup();
+        let schedule = parole_ovm::GasSchedule::paper_calibrated();
+        let base_fee = Wei::from_gwei(1);
+        let low = DefenseConfig::fee_proportional(cs.window(), base_fee, &schedule, 1);
+        let high = DefenseConfig::fee_proportional(cs.window(), base_fee, &schedule, 10);
+        assert!(low.threshold > Wei::ZERO);
+        assert_eq!(high.threshold, low.threshold.mul_count(10));
+
+        // Raising every tip raises the revenue, hence the threshold.
+        let mut juiced: Vec<_> = cs.window().to_vec();
+        for tx in &mut juiced {
+            tx.fees = FeeBundle::from_gwei(100, 50);
+        }
+        let juiced_cfg = DefenseConfig::fee_proportional(&juiced, base_fee, &schedule, 1);
+        assert!(juiced_cfg.threshold > low.threshold);
+    }
+
+    #[test]
+    fn fee_proportional_screening_detects_case_study() {
+        // The case-study window's tips are tiny (2 Gwei × ~500k gas total
+        // ≈ 10⁻³ ETH), so the 0.36 ETH worst case dwarfs the threshold and
+        // the detector intervenes.
+        let cs = CaseStudy::paper_setup();
+        let schedule = parole_ovm::GasSchedule::paper_calibrated();
+        let config = DefenseConfig::fee_proportional(
+            cs.window(),
+            Wei::from_gwei(1),
+            &schedule,
+            10,
+        );
+        let outcome = screen_window(cs.state(), cs.window(), &config);
+        assert!(outcome.intervened(), "case study must trip the fee-relative detector");
+    }
+
+    #[test]
+    fn clean_window_passes_untouched() {
+        let cs = CaseStudy::paper_setup();
+        // A high threshold treats everything as negligible.
+        let config = DefenseConfig {
+            threshold: Wei::from_eth(100),
+            ..DefenseConfig::default()
+        };
+        let outcome = screen_window(cs.state(), cs.window(), &config);
+        assert!(!outcome.intervened());
+        assert_eq!(outcome.admitted.len(), cs.window().len());
+    }
+
+    #[test]
+    fn tiny_windows_are_trivially_safe() {
+        let cs = CaseStudy::paper_setup();
+        let one = &cs.window()[..1];
+        assert_eq!(
+            max_reorder_profit(cs.state(), one, &[cs.ifu], 3),
+            WeiDelta::ZERO
+        );
+    }
+}

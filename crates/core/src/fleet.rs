@@ -1,0 +1,324 @@
+//! The multi-aggregator fleet simulation behind Fig. 6 and Fig. 7.
+//!
+//! A population of aggregators serves a shared rollup. A configurable
+//! fraction is adversarial: those run the PAROLE pipeline on every window
+//! they collect; the rest execute the fee order honestly. Traffic is
+//! generated round by round from the evolving chain state, so each window is
+//! executable at its collection point (the property Bedrock's fee ordering
+//! provides on the real chain).
+//!
+//! Profit accounting follows the paper: for every exploited window, the
+//! attack profit is the difference between the IFUs' final combined balance
+//! under the executed (GENTRANSEQ) order and under the original fee order,
+//! measured at decision time. Fig. 6 plots the *average profit per IFU*;
+//! Fig. 7 plots the *total* profit. The paper's y-axis unit ("Satoshis") is
+//! reported here as Gwei (see EXPERIMENTS.md).
+
+use crate::defense::window_tip_revenue;
+use crate::{GentranseqModule, ParoleModule, ParoleStrategy};
+use parole_mempool::{WorkloadConfig, WorkloadGenerator};
+use parole_nft::CollectionConfig;
+use parole_ovm::{GasSchedule, Ovm};
+use parole_primitives::{Address, AggregatorId, Wei, WeiDelta};
+use parole_rollup::{Aggregator, FeePriorityStrategy};
+use parole_state::L2State;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one fleet experiment cell.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Total number of aggregators.
+    pub n_aggregators: usize,
+    /// Fraction of aggregators running PAROLE (0.1 in Fig. 6(a), 0.5 in
+    /// Fig. 6(b); swept 0.1–0.5 in Fig. 7).
+    pub adversarial_fraction: f64,
+    /// Window size each aggregator collects (the paper's per-aggregator
+    /// "Mempool" size: 25 / 50 / 100).
+    pub mempool_size: usize,
+    /// Number of colluding IFUs served by every adversarial aggregator.
+    pub n_ifus: usize,
+    /// Size of the general user population.
+    pub n_users: usize,
+    /// Rounds of window collection per aggregator.
+    pub rounds: usize,
+    /// Minimum collection max-supply; the effective supply is
+    /// `max(collection_supply, 2 × mempool_size)`.
+    pub collection_supply: u64,
+    /// Initial bonding-curve price in milli-ETH.
+    pub initial_price_milli: u64,
+    /// Funding per user in ETH.
+    pub user_funding_eth: u64,
+    /// Probability that generated traffic is steered to involve an IFU.
+    /// Note this is *per transaction*, independent of `n_ifus`: the total
+    /// IFU-involving mass in a window stays constant as it is split across
+    /// more IFUs, which is what makes Fig. 6's per-IFU average decrease.
+    pub ifu_participation: f64,
+    /// Guarantee each IFU a mint + transfer pair at the stream head. Leave
+    /// off for Fig. 6-style sweeps (it would grow the IFU mass linearly in
+    /// `n_ifus`).
+    pub ensure_ifu_pair: bool,
+    /// GENTRANSEQ profile for the adversarial aggregators.
+    pub gentranseq: GentranseqModule,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_aggregators: 10,
+            adversarial_fraction: 0.1,
+            mempool_size: 25,
+            n_ifus: 1,
+            n_users: 20,
+            rounds: 1,
+            collection_supply: 40,
+            initial_price_milli: 500,
+            user_funding_eth: 50,
+            ifu_participation: 0.35,
+            ensure_ifu_pair: false,
+            gentranseq: GentranseqModule::fast(),
+            seed: 42,
+        }
+    }
+}
+
+/// Per-aggregator accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregatorReport {
+    /// The aggregator's id.
+    pub id: u64,
+    /// Whether it ran the PAROLE strategy.
+    pub adversarial: bool,
+    /// Windows it processed.
+    pub windows: u64,
+    /// Windows where a profitable re-ordering was executed.
+    pub exploited: u64,
+    /// Its cumulative attack profit (zero for honest aggregators).
+    pub profit: WeiDelta,
+    /// Cumulative priority-fee (tip) revenue over its windows — the honest
+    /// income an aggregator earns regardless of strategy. Comparing this to
+    /// `profit` answers "is attacking worth it".
+    pub tip_revenue: Wei,
+}
+
+/// Outcome of one fleet experiment cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetOutcome {
+    /// Sum of attack profits over all adversarial aggregators (Fig. 7's y).
+    pub total_profit: WeiDelta,
+    /// `total_profit / n_ifus` (Fig. 6's y).
+    pub avg_profit_per_ifu: WeiDelta,
+    /// Number of adversarial aggregators in the fleet.
+    pub adversarial_count: usize,
+    /// Honest tip revenue of the adversarial aggregators (the income they
+    /// would have earned anyway).
+    pub adversarial_tip_revenue: Wei,
+    /// Per-aggregator detail.
+    pub per_aggregator: Vec<AggregatorReport>,
+}
+
+impl FleetOutcome {
+    /// Total profit in Gwei (the reporting unit of Fig. 6/7).
+    pub fn total_profit_gwei(&self) -> i128 {
+        self.total_profit.gwei()
+    }
+
+    /// Average per-IFU profit in Gwei.
+    pub fn avg_profit_per_ifu_gwei(&self) -> i128 {
+        self.avg_profit_per_ifu.gwei()
+    }
+}
+
+/// Runs one fleet experiment cell.
+pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
+    assert!(config.n_aggregators > 0 && config.mempool_size > 0);
+    let adversarial_count = ((config.n_aggregators as f64 * config.adversarial_fraction).round()
+        as usize)
+        .clamp(if config.adversarial_fraction > 0.0 { 1 } else { 0 }, config.n_aggregators);
+
+    // Economy: one limited-edition collection, funded users, funded IFUs
+    // holding a couple of tokens each (the case-study shape).
+    let mut state = L2State::new();
+    // `collection_supply` acts as a floor; the effective supply scales with
+    // the window size so the bonding curve keeps moving under long windows.
+    let supply = config.collection_supply.max(config.mempool_size as u64 * 2);
+    let collection = state.deploy_collection(CollectionConfig::limited_edition(
+        "FleetPT",
+        supply,
+        config.initial_price_milli,
+    ));
+    let users: Vec<Address> = (1..=config.n_users as u64).map(Address::from_low_u64).collect();
+    for &u in &users {
+        state.credit(u, Wei::from_eth(config.user_funding_eth));
+    }
+    let ifus: Vec<Address> = (0..config.n_ifus as u64)
+        .map(|i| Address::from_low_u64(10_000 + i))
+        .collect();
+    for &ifu in &ifus {
+        state.credit(ifu, Wei::from_eth(config.user_funding_eth));
+    }
+    {
+        let coll = state.collection_mut(collection).expect("just deployed");
+        let mut token = 0u64;
+        for &ifu in &ifus {
+            coll.mint(ifu, parole_primitives::TokenId::new(token)).unwrap();
+            coll.mint(ifu, parole_primitives::TokenId::new(token + 1)).unwrap();
+            token += 2;
+        }
+        // Bystanders holding tokens give transfers and burns material.
+        for (i, &u) in users.iter().take(8).enumerate() {
+            coll.mint(u, parole_primitives::TokenId::new(token + i as u64)).unwrap();
+        }
+    }
+
+    // Build the fleet: the first `adversarial_count` aggregators attack.
+    let mut aggregators: Vec<Aggregator> = (0..config.n_aggregators)
+        .map(|i| {
+            let id = AggregatorId::new(i as u64);
+            if i < adversarial_count {
+                let module = ParoleModule::new(
+                    config.gentranseq.with_seed(config.seed.wrapping_add(i as u64)),
+                );
+                Aggregator::new(
+                    id,
+                    Wei::from_eth(10),
+                    Box::new(ParoleStrategy::new(module, ifus.clone())),
+                )
+            } else {
+                Aggregator::new(id, Wei::from_eth(10), Box::new(FeePriorityStrategy))
+            }
+        })
+        .collect();
+
+    // Traffic generation + chained execution.
+    let workload = WorkloadConfig {
+        ifu_participation: config.ifu_participation,
+        ensure_ifu_pair: config.ensure_ifu_pair,
+        ..WorkloadConfig::default()
+    };
+    let mut generator = WorkloadGenerator::new(config.seed, workload);
+    let ovm = Ovm::new();
+    let mut reports: Vec<AggregatorReport> = aggregators
+        .iter()
+        .enumerate()
+        .map(|(i, a)| AggregatorReport {
+            id: a.id().value(),
+            adversarial: i < adversarial_count,
+            windows: 0,
+            exploited: 0,
+            profit: WeiDelta::ZERO,
+            tip_revenue: Wei::ZERO,
+        })
+        .collect();
+
+    let gas_schedule = GasSchedule::paper_calibrated();
+    let base_fee = Wei::from_gwei(1);
+    for _round in 0..config.rounds {
+        for (i, agg) in aggregators.iter_mut().enumerate() {
+            let window =
+                generator.generate(&state, collection, &users, &ifus, config.mempool_size);
+            if window.is_empty() {
+                continue;
+            }
+            reports[i].tip_revenue += window_tip_revenue(&window, base_fee, &gas_schedule);
+            let batch = agg.build_batch(&state, window);
+            // Commit the executed (possibly re-ordered) batch to the chain.
+            let _ = ovm.execute_sequence(&mut state, &batch.txs);
+            state.advance_block();
+            reports[i].windows += 1;
+        }
+    }
+
+    // Harvest per-strategy profit through the attack-stats probe.
+    let mut total_profit = WeiDelta::ZERO;
+    for (report, agg) in reports.iter_mut().zip(&aggregators) {
+        if let Some((profit, seen, exploited)) = agg.strategy_stats() {
+            report.profit = profit;
+            report.windows = seen;
+            report.exploited = exploited;
+            total_profit += profit;
+        }
+    }
+
+    let n_ifus = config.n_ifus.max(1) as i128;
+    let adversarial_tip_revenue = reports
+        .iter()
+        .filter(|r| r.adversarial)
+        .map(|r| r.tip_revenue)
+        .sum();
+    FleetOutcome {
+        total_profit,
+        avg_profit_per_ifu: WeiDelta::from_wei(total_profit.wei() / n_ifus),
+        adversarial_count,
+        adversarial_tip_revenue,
+        per_aggregator: reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            n_aggregators: 4,
+            adversarial_fraction: 0.25,
+            mempool_size: 10,
+            n_users: 10,
+            collection_supply: 60,
+            gentranseq: GentranseqModule::fast(),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_produces_profit_for_the_adversary() {
+        let outcome = run_fleet(&small_config());
+        assert_eq!(outcome.adversarial_count, 1);
+        assert_eq!(outcome.per_aggregator.len(), 4);
+        // The adversarial aggregator should extract non-negative profit, and
+        // with price-moving traffic it should essentially always be positive.
+        assert!(
+            !outcome.total_profit.is_loss(),
+            "attack profit cannot be negative: {}",
+            outcome.total_profit
+        );
+        let adv: Vec<_> = outcome.per_aggregator.iter().filter(|r| r.adversarial).collect();
+        assert_eq!(adv.len(), 1);
+        assert!(adv[0].windows >= 1);
+    }
+
+    #[test]
+    fn more_adversaries_mean_no_less_total_profit() {
+        let low = run_fleet(&FleetConfig { adversarial_fraction: 0.25, ..small_config() });
+        let high = run_fleet(&FleetConfig { adversarial_fraction: 0.75, ..small_config() });
+        assert!(high.adversarial_count > low.adversarial_count);
+        assert!(
+            high.total_profit >= low.total_profit,
+            "more attackers should extract at least as much: {} vs {}",
+            high.total_profit,
+            low.total_profit
+        );
+    }
+
+    #[test]
+    fn tip_revenue_is_tracked_for_every_aggregator() {
+        let outcome = run_fleet(&small_config());
+        for report in &outcome.per_aggregator {
+            if report.windows > 0 {
+                assert!(report.tip_revenue > Wei::ZERO, "windows carry tips");
+            }
+        }
+        assert!(outcome.adversarial_tip_revenue > Wei::ZERO);
+    }
+
+    #[test]
+    fn avg_profit_divides_by_ifus() {
+        let outcome = run_fleet(&FleetConfig { n_ifus: 2, ..small_config() });
+        assert_eq!(
+            outcome.avg_profit_per_ifu.wei(),
+            outcome.total_profit.wei() / 2
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The PAROLE module: Algorithm 1 end to end.
+
+use crate::{assess, GentranseqModule, GentranseqOutcome};
+use parole_ovm::NftTransaction;
+use parole_primitives::Address;
+use parole_state::L2State;
+
+/// The complete PAROLE pipeline (paper Algorithm 1): arbitrage assessment
+/// followed, when warranted, by a GENTRANSEQ search.
+///
+/// ```text
+/// Function PAROLE(U_IFU, Chain^L2, TxSeq^Original):
+///     if Arbitrage(U_IFU, TxSeq^Original) then
+///         … train DQN, track the profitable final sequence …
+///     return TxSeq^Final
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParoleModule {
+    gentranseq: GentranseqModule,
+}
+
+impl ParoleModule {
+    /// Builds the module around a configured GENTRANSEQ engine.
+    pub fn new(gentranseq: GentranseqModule) -> Self {
+        ParoleModule { gentranseq }
+    }
+
+    /// The underlying GENTRANSEQ engine.
+    pub fn gentranseq(&self) -> &GentranseqModule {
+        &self.gentranseq
+    }
+
+    /// Runs the pipeline: returns `None` when the assessment finds no
+    /// arbitrage opportunity or the search found nothing strictly better;
+    /// otherwise the full [`GentranseqOutcome`].
+    pub fn process(
+        &self,
+        ifus: &[Address],
+        chain: &L2State,
+        window: &[NftTransaction],
+    ) -> Option<GentranseqOutcome> {
+        if window.is_empty() || !assess(window, ifus).opportunity {
+            return None;
+        }
+        let outcome = self.gentranseq.run(chain, window, ifus);
+        outcome.improved().then_some(outcome)
+    }
+
+    /// Algorithm 1's return contract: the final sequence — the profitable
+    /// re-ordering when one exists, the original order otherwise.
+    pub fn final_sequence(
+        &self,
+        ifus: &[Address],
+        chain: &L2State,
+        window: Vec<NftTransaction>,
+    ) -> Vec<NftTransaction> {
+        match self.process(ifus, chain, &window) {
+            Some(outcome) => outcome.best_order,
+            None => window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_nft::CollectionConfig;
+    use parole_ovm::TxKind;
+    use parole_primitives::{TokenId, Wei};
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    fn setup() -> (L2State, Vec<NftTransaction>, Address) {
+        let mut state = L2State::new();
+        let pt = state.deploy_collection(CollectionConfig::parole_token());
+        let ifu = addr(1000);
+        state.credit(ifu, Wei::from_milli_eth(1500));
+        state.credit(addr(11), Wei::from_eth(1));
+        {
+            let coll = state.collection_mut(pt).unwrap();
+            coll.mint(ifu, TokenId::new(0)).unwrap();
+            coll.mint(ifu, TokenId::new(1)).unwrap();
+            coll.mint(addr(2), TokenId::new(3)).unwrap();
+        }
+        let window = vec![
+            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
+            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+            ),
+        ];
+        (state, window, ifu)
+    }
+
+    #[test]
+    fn full_pipeline_returns_profitable_order() {
+        let (state, window, ifu) = setup();
+        let module = ParoleModule::new(GentranseqModule::fast());
+        let outcome = module.process(&[ifu], &state, &window).expect("opportunity exists");
+        assert!(outcome.profit().is_gain());
+        let final_seq = module.final_sequence(&[ifu], &state, window.clone());
+        assert_ne!(final_seq, window, "the order must actually change");
+    }
+
+    #[test]
+    fn no_opportunity_passes_through_unchanged() {
+        let (state, window, _) = setup();
+        let uninvolved = addr(4242);
+        let module = ParoleModule::new(GentranseqModule::fast());
+        assert!(module.process(&[uninvolved], &state, &window).is_none());
+        assert_eq!(
+            module.final_sequence(&[uninvolved], &state, window.clone()),
+            window
+        );
+    }
+
+    #[test]
+    fn empty_window_is_a_noop() {
+        let (state, _, ifu) = setup();
+        let module = ParoleModule::new(GentranseqModule::fast());
+        assert!(module.process(&[ifu], &state, &[]).is_none());
+        assert!(module.final_sequence(&[ifu], &state, vec![]).is_empty());
+    }
+}

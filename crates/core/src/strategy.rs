@@ -1,0 +1,199 @@
+//! The adversarial ordering strategy plugged into rollup aggregators.
+
+use crate::ParoleModule;
+use parole_ovm::NftTransaction;
+use parole_primitives::{Address, WeiDelta};
+use parole_rollup::OrderingStrategy;
+use parole_state::L2State;
+use std::fmt;
+
+/// An [`OrderingStrategy`] that runs the PAROLE pipeline on every collected
+/// window, executing the GENTRANSEQ order whenever it is strictly profitable
+/// for the colluding IFUs, and the honest fee order otherwise.
+///
+/// Accumulates per-window profit so fleet experiments (Fig. 6/7) can read
+/// the attack's take directly off the strategy.
+pub struct ParoleStrategy {
+    module: ParoleModule,
+    ifus: Vec<Address>,
+    total_profit: WeiDelta,
+    windows_seen: u64,
+    windows_exploited: u64,
+}
+
+impl fmt::Debug for ParoleStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParoleStrategy")
+            .field("ifus", &self.ifus.len())
+            .field("total_profit", &self.total_profit)
+            .field("windows_exploited", &self.windows_exploited)
+            .finish()
+    }
+}
+
+impl ParoleStrategy {
+    /// Creates the strategy colluding with `ifus`.
+    pub fn new(module: ParoleModule, ifus: Vec<Address>) -> Self {
+        ParoleStrategy {
+            module,
+            ifus,
+            total_profit: WeiDelta::ZERO,
+            windows_seen: 0,
+            windows_exploited: 0,
+        }
+    }
+
+    /// The colluding IFUs.
+    pub fn ifus(&self) -> &[Address] {
+        &self.ifus
+    }
+
+    /// Cumulative profit extracted across all windows.
+    pub fn total_profit(&self) -> WeiDelta {
+        self.total_profit
+    }
+
+    /// `(windows seen, windows where a profitable re-ordering was executed)`.
+    pub fn window_stats(&self) -> (u64, u64) {
+        (self.windows_seen, self.windows_exploited)
+    }
+}
+
+impl OrderingStrategy for ParoleStrategy {
+    fn name(&self) -> &str {
+        "parole"
+    }
+
+    fn order(&mut self, state: &L2State, window: Vec<NftTransaction>) -> Vec<NftTransaction> {
+        self.windows_seen += 1;
+        match self.module.process(&self.ifus, state, &window) {
+            Some(outcome) => {
+                self.windows_exploited += 1;
+                self.total_profit += outcome.profit();
+                outcome.best_order
+            }
+            None => window,
+        }
+    }
+
+    fn attack_stats(&self) -> Option<(WeiDelta, u64, u64)> {
+        Some((self.total_profit, self.windows_seen, self.windows_exploited))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GentranseqModule;
+    use parole_nft::CollectionConfig;
+    use parole_ovm::TxKind;
+    use parole_primitives::{AggregatorId, TokenId, VerifierId, Wei};
+    use parole_rollup::{Aggregator, RollupConfig, RollupContract, Verifier};
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    /// End-to-end protocol test: a PAROLE batch sails through the rollup
+    /// with a valid fraud proof, and the IFU ends richer than under the
+    /// honest ordering.
+    #[test]
+    fn parole_batch_finalizes_with_valid_fraud_proof() {
+        let mut rollup = RollupContract::new(RollupConfig::default());
+        let pt = rollup
+            .l2_state_for_setup()
+            .deploy_collection(CollectionConfig::parole_token());
+        rollup.commit_setup();
+        let ifu = addr(1000);
+        rollup.deposit(ifu, Wei::from_milli_eth(1500)).unwrap();
+        rollup.deposit(addr(11), Wei::from_eth(1)).unwrap();
+        rollup.deposit(addr(2), Wei::from_eth(1)).unwrap();
+
+        // Pre-mint the fixture inside a setup batch from an honest aggregator.
+        rollup.bond_aggregator(AggregatorId::new(0));
+        rollup.bond_aggregator(AggregatorId::new(1));
+        rollup.bond_verifier(VerifierId::new(0));
+        let mut honest = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+        let setup_txs = vec![
+            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(0) }),
+            NftTransaction::simple(addr(2), TxKind::Mint { collection: pt, token: TokenId::new(3) }),
+        ];
+        // Fund the IFU's mint: it pays 0.2, fine with 1.5 ETH.
+        let setup_batch = honest.build_batch(rollup.l2_state(), setup_txs);
+        rollup.submit_batch(setup_batch).unwrap();
+
+        // The attack window: IFU mint + unrelated burn + IFU sale.
+        let window = vec![
+            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
+            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+            ),
+        ];
+
+        // Honest baseline for comparison.
+        let honest_baseline = {
+            let (_, post) = parole_ovm::Ovm::new().simulate_sequence(rollup.l2_state(), &window);
+            post.total_balance_of(ifu)
+        };
+
+        let strategy = ParoleStrategy::new(
+            ParoleModule::new(GentranseqModule::fast()),
+            vec![ifu],
+        );
+        let mut adversary = Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
+        let batch = adversary.build_batch(rollup.l2_state(), window);
+
+        // The verifier cannot tell anything is wrong.
+        let verifier = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
+        assert!(
+            verifier.validate(rollup.l2_state(), &batch),
+            "a PAROLE batch must carry a valid fraud proof"
+        );
+
+        rollup.submit_batch(batch).unwrap();
+        rollup.finalize_all();
+        assert_eq!(rollup.undetected_forgeries(), 0, "reordering is not forgery");
+
+        let attacked = rollup.finalized_state().total_balance_of(ifu);
+        assert!(
+            attacked > honest_baseline,
+            "IFU must profit: honest {honest_baseline}, attacked {attacked}"
+        );
+    }
+
+    #[test]
+    fn strategy_tracks_profit_stats() {
+        let mut state = L2State::new();
+        let pt = state.deploy_collection(CollectionConfig::parole_token());
+        let ifu = addr(1000);
+        state.credit(ifu, Wei::from_milli_eth(1500));
+        state.credit(addr(11), Wei::from_eth(1));
+        {
+            let coll = state.collection_mut(pt).unwrap();
+            coll.mint(ifu, TokenId::new(0)).unwrap();
+            coll.mint(addr(2), TokenId::new(3)).unwrap();
+        }
+        let window = vec![
+            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
+            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+            ),
+        ];
+        let mut strategy =
+            ParoleStrategy::new(ParoleModule::new(GentranseqModule::fast()), vec![ifu]);
+        let ordered = strategy.order(&state, window.clone());
+        assert_ne!(ordered, window);
+        assert!(strategy.total_profit().is_gain());
+        assert_eq!(strategy.window_stats(), (1, 1));
+
+        // A window with no opportunity passes through and counts as seen.
+        let boring = vec![window[1]];
+        let unchanged = strategy.order(&state, boring.clone());
+        assert_eq!(unchanged, boring);
+        assert_eq!(strategy.window_stats(), (2, 1));
+    }
+}

@@ -1,0 +1,552 @@
+//! The secp256k1 elliptic curve and ECDSA, from scratch.
+//!
+//! Implements the curve `y² = x³ + 7` over the prime field
+//! `p = 2^256 − 2^32 − 977`, with group order `n`, Jacobian-coordinate point
+//! arithmetic, and ECDSA with deterministic (RFC-6979-style, Keccak-based)
+//! nonces.
+//!
+//! Field multiplication uses the fast "fold" reduction enabled by the special
+//! form of `p` (`2^256 ≡ 2^32 + 977 (mod p)`); scalar arithmetic modulo `n`
+//! falls back to the generic [`U256`] reduction, which is fine because a
+//! signature needs only a handful of mod-`n` operations.
+//!
+//! This is an educational implementation: it is *not* constant-time and must
+//! never guard real funds. Within the simulation it provides authentic
+//! transaction authentication semantics (unforgeability against the
+//! simulated adversaries, who do not mount timing attacks).
+
+use crate::keccak::Keccak256;
+use crate::u256::U256;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// The field prime `p = 2^256 − 2^32 − 977`.
+pub fn field_prime() -> &'static U256 {
+    static P: OnceLock<U256> = OnceLock::new();
+    P.get_or_init(|| {
+        U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+    })
+}
+
+/// The group order `n`.
+pub fn group_order() -> &'static U256 {
+    static N: OnceLock<U256> = OnceLock::new();
+    N.get_or_init(|| {
+        U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
+    })
+}
+
+/// The generator point `G`.
+pub fn generator() -> &'static AffinePoint {
+    static G: OnceLock<AffinePoint> = OnceLock::new();
+    G.get_or_init(|| AffinePoint {
+        x: U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+        y: U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"),
+        infinity: false,
+    })
+}
+
+const FOLD: u64 = 977;
+
+/// Multiplies two field elements modulo `p` using the fold reduction.
+fn fmul(a: &U256, b: &U256) -> U256 {
+    let wide = a.widening_mul(b);
+    reduce_fold(wide)
+}
+
+/// Squares a field element.
+fn fsqr(a: &U256) -> U256 {
+    fmul(a, a)
+}
+
+/// Reduces a 512-bit product modulo `p` by folding the high half twice:
+/// `2^256 ≡ 2^32 + 977 (mod p)`.
+fn reduce_fold(wide: [u64; 8]) -> U256 {
+    // Split into low and high 256-bit halves.
+    let lo = U256::from_limbs([wide[0], wide[1], wide[2], wide[3]]);
+    let hi = U256::from_limbs([wide[4], wide[5], wide[6], wide[7]]);
+    // hi * (2^32 + 977) fits in 512-33 bits; compute as 320-bit value.
+    let folded = mul_small(&hi, FOLD, 32);
+    let (sum, carry) = lo.overflowing_add(&folded.0);
+    // Residual carries: folded.1 holds limb-4 overflow of the fold; `carry`
+    // holds the add carry. Fold them again (each represents 2^256).
+    let mut acc = sum;
+    let extra = folded.1 + carry as u64;
+    if extra > 0 {
+        // extra * (2^32 + 977) is tiny; add directly.
+        let (f2, of2) = mul_small(&U256::from_u64(extra), FOLD, 32);
+        debug_assert_eq!(of2, 0);
+        let (s2, c2) = acc.overflowing_add(&f2);
+        acc = s2;
+        if c2 {
+            let (f3, _) = mul_small(&U256::ONE, FOLD, 32);
+            let (s3, _) = acc.overflowing_add(&f3);
+            acc = s3;
+        }
+    }
+    // Final conditional subtractions.
+    let p = field_prime();
+    while &acc >= p {
+        let (d, _) = acc.overflowing_sub(p);
+        acc = d;
+    }
+    acc
+}
+
+/// Computes `v * (2^shift + small)`, returning (low 256 bits, limb-4 carry).
+fn mul_small(v: &U256, small: u64, shift: u32) -> (U256, u64) {
+    let limbs = [v.low_u64(), limb(v, 1), limb(v, 2), limb(v, 3)];
+    let mut out = [0u64; 5];
+    // v * small
+    let mut carry: u128 = 0;
+    for i in 0..4 {
+        let cur = limbs[i] as u128 * small as u128 + carry;
+        out[i] = cur as u64;
+        carry = cur >> 64;
+    }
+    out[4] = carry as u64;
+    // + v << shift (shift < 64)
+    let mut carry2: u128 = 0;
+    for i in 0..4 {
+        let shifted = (limbs[i] as u128) << shift;
+        let cur = out[i] as u128 + (shifted & 0xFFFF_FFFF_FFFF_FFFF) + carry2;
+        out[i] = cur as u64;
+        carry2 = (cur >> 64) + (shifted >> 64);
+    }
+    let cur = out[4] as u128 + carry2;
+    out[4] = cur as u64;
+    debug_assert_eq!(cur >> 64, 0);
+    (U256::from_limbs([out[0], out[1], out[2], out[3]]), out[4])
+}
+
+fn limb(v: &U256, i: usize) -> u64 {
+    let bytes = v.to_be_bytes();
+    let start = 32 - (i + 1) * 8;
+    u64::from_be_bytes(bytes[start..start + 8].try_into().expect("8"))
+}
+
+fn fadd(a: &U256, b: &U256) -> U256 {
+    a.add_mod(b, field_prime())
+}
+
+fn fsub(a: &U256, b: &U256) -> U256 {
+    a.sub_mod(b, field_prime())
+}
+
+fn finv(a: &U256) -> U256 {
+    a.inv_mod_prime(field_prime())
+}
+
+/// A point on secp256k1 in affine coordinates (or the point at infinity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AffinePoint {
+    /// x-coordinate.
+    pub x: U256,
+    /// y-coordinate.
+    pub y: U256,
+    /// Whether this is the identity element.
+    pub infinity: bool,
+}
+
+impl AffinePoint {
+    /// The point at infinity (group identity).
+    pub const INFINITY: AffinePoint = AffinePoint {
+        x: U256::ZERO,
+        y: U256::ZERO,
+        infinity: true,
+    };
+
+    /// Checks the curve equation `y² = x³ + 7 (mod p)`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let lhs = fsqr(&self.y);
+        let rhs = fadd(&fmul(&fsqr(&self.x), &self.x), &U256::from_u64(7));
+        lhs == rhs
+    }
+
+    /// Serializes as 64 bytes (x ‖ y, big-endian). Infinity is all zeros.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        if !self.infinity {
+            out[..32].copy_from_slice(&self.x.to_be_bytes());
+            out[32..].copy_from_slice(&self.y.to_be_bytes());
+        }
+        out
+    }
+}
+
+impl fmt::Display for AffinePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "Point(infinity)")
+        } else {
+            write!(f, "Point({}, {})", self.x, self.y)
+        }
+    }
+}
+
+/// A point in Jacobian projective coordinates `(X, Y, Z)` with
+/// `x = X/Z²`, `y = Y/Z³`.
+#[derive(Debug, Clone, Copy)]
+struct JacobianPoint {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl JacobianPoint {
+    const INFINITY: JacobianPoint = JacobianPoint {
+        x: U256::ONE,
+        y: U256::ONE,
+        z: U256::ZERO,
+    };
+
+    fn from_affine(p: &AffinePoint) -> Self {
+        if p.infinity {
+            JacobianPoint::INFINITY
+        } else {
+            JacobianPoint { x: p.x, y: p.y, z: U256::ONE }
+        }
+    }
+
+    fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    fn to_affine(self) -> AffinePoint {
+        if self.is_infinity() {
+            return AffinePoint::INFINITY;
+        }
+        let zinv = finv(&self.z);
+        let zinv2 = fsqr(&zinv);
+        let zinv3 = fmul(&zinv2, &zinv);
+        AffinePoint {
+            x: fmul(&self.x, &zinv2),
+            y: fmul(&self.y, &zinv3),
+            infinity: false,
+        }
+    }
+
+    /// Point doubling (dbl-2009-l formulas, a = 0).
+    fn double(&self) -> JacobianPoint {
+        if self.is_infinity() || self.y.is_zero() {
+            return JacobianPoint::INFINITY;
+        }
+        let a = fsqr(&self.x);
+        let b = fsqr(&self.y);
+        let c = fsqr(&b);
+        // d = 2*((x + b)^2 - a - c)
+        let t = fsqr(&fadd(&self.x, &b));
+        let d = {
+            let inner = fsub(&fsub(&t, &a), &c);
+            fadd(&inner, &inner)
+        };
+        // e = 3a
+        let e = fadd(&fadd(&a, &a), &a);
+        let f = fsqr(&e);
+        // x3 = f - 2d
+        let x3 = fsub(&f, &fadd(&d, &d));
+        // y3 = e*(d - x3) - 8c
+        let c8 = {
+            let c2 = fadd(&c, &c);
+            let c4 = fadd(&c2, &c2);
+            fadd(&c4, &c4)
+        };
+        let y3 = fsub(&fmul(&e, &fsub(&d, &x3)), &c8);
+        // z3 = 2*y*z
+        let yz = fmul(&self.y, &self.z);
+        let z3 = fadd(&yz, &yz);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition of a Jacobian point and an affine point
+    /// (madd-2007-bl formulas).
+    fn add_affine(&self, q: &AffinePoint) -> JacobianPoint {
+        if q.infinity {
+            return *self;
+        }
+        if self.is_infinity() {
+            return JacobianPoint::from_affine(q);
+        }
+        let z1z1 = fsqr(&self.z);
+        let u2 = fmul(&q.x, &z1z1);
+        let s2 = fmul(&fmul(&q.y, &self.z), &z1z1);
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return JacobianPoint::INFINITY;
+        }
+        let h = fsub(&u2, &self.x);
+        let hh = fsqr(&h);
+        // i = 4*hh
+        let i = {
+            let hh2 = fadd(&hh, &hh);
+            fadd(&hh2, &hh2)
+        };
+        let j = fmul(&h, &i);
+        // r = 2*(s2 - y1)
+        let r = {
+            let d = fsub(&s2, &self.y);
+            fadd(&d, &d)
+        };
+        let v = fmul(&self.x, &i);
+        // x3 = r^2 - j - 2v
+        let x3 = fsub(&fsub(&fsqr(&r), &j), &fadd(&v, &v));
+        // y3 = r*(v - x3) - 2*y1*j
+        let y1j = fmul(&self.y, &j);
+        let y3 = fsub(&fmul(&r, &fsub(&v, &x3)), &fadd(&y1j, &y1j));
+        // z3 = 2*z1*h  ( (z1+h)^2 - z1z1 - hh )
+        let z3 = fsub(&fsub(&fsqr(&fadd(&self.z, &h)), &z1z1), &hh);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+}
+
+/// Scalar multiplication `k·P` by double-and-add.
+pub fn scalar_mul(k: &U256, p: &AffinePoint) -> AffinePoint {
+    let k = k.rem(group_order());
+    let mut acc = JacobianPoint::INFINITY;
+    let nbits = k.bits();
+    for i in (0..nbits).rev() {
+        acc = acc.double();
+        if k.bit(i) {
+            acc = acc.add_affine(p);
+        }
+    }
+    acc.to_affine()
+}
+
+/// An ECDSA secret key (a non-zero scalar modulo `n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey {
+    scalar: U256,
+}
+
+impl SecretKey {
+    /// Creates a secret key from a scalar, reducing modulo `n`.
+    ///
+    /// Returns `None` for the zero scalar.
+    pub fn from_scalar(scalar: U256) -> Option<Self> {
+        let reduced = scalar.rem(group_order());
+        if reduced.is_zero() {
+            None
+        } else {
+            Some(SecretKey { scalar: reduced })
+        }
+    }
+
+    /// Derives a key deterministically from a 64-bit seed (test/simulation
+    /// convenience; hashes the seed so nearby seeds give unrelated keys).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut h = Keccak256::new();
+        h.update(b"parole-secret-key");
+        h.update(&seed.to_be_bytes());
+        let digest = h.finalize();
+        SecretKey::from_scalar(U256::from_be_bytes(digest.as_bytes()))
+            .expect("hash output is astronomically unlikely to be 0 mod n")
+    }
+
+    /// The corresponding public key `d·G`.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey {
+            point: scalar_mul(&self.scalar, generator()),
+        }
+    }
+
+    /// Signs a 32-byte message digest with a deterministic nonce.
+    ///
+    /// The nonce is `keccak(d ‖ z ‖ ctr) mod n`, retried on the (negligible)
+    /// degenerate cases — the same determinism benefit as RFC 6979 without
+    /// the full HMAC-DRBG construction.
+    pub fn sign(&self, digest: &[u8; 32]) -> Signature {
+        let n = group_order();
+        let z = U256::from_be_bytes(digest).rem(n);
+        let mut ctr: u64 = 0;
+        loop {
+            let mut h = Keccak256::new();
+            h.update(&self.scalar.to_be_bytes());
+            h.update(digest);
+            h.update(&ctr.to_be_bytes());
+            let k = U256::from_be_bytes(h.finalize().as_bytes()).rem(n);
+            ctr += 1;
+            if k.is_zero() {
+                continue;
+            }
+            let rp = scalar_mul(&k, generator());
+            let r = rp.x.rem(n);
+            if r.is_zero() {
+                continue;
+            }
+            let kinv = k.inv_mod_prime(n);
+            let s = kinv.mul_mod(&z.add_mod(&r.mul_mod(&self.scalar, n), n), n);
+            if s.is_zero() {
+                continue;
+            }
+            return Signature { r, s };
+        }
+    }
+}
+
+/// An ECDSA public key (a curve point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey {
+    point: AffinePoint,
+}
+
+impl PublicKey {
+    /// The underlying curve point.
+    pub fn point(&self) -> &AffinePoint {
+        &self.point
+    }
+
+    /// Uncompressed 64-byte encoding (x ‖ y).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.point.to_bytes()
+    }
+
+    /// Verifies an ECDSA signature over a 32-byte digest.
+    pub fn verify(&self, digest: &[u8; 32], sig: &Signature) -> bool {
+        let n = group_order();
+        if sig.r.is_zero() || sig.s.is_zero() || &sig.r >= n || &sig.s >= n {
+            return false;
+        }
+        if self.point.infinity || !self.point.is_on_curve() {
+            return false;
+        }
+        let z = U256::from_be_bytes(digest).rem(n);
+        let sinv = sig.s.inv_mod_prime(n);
+        let u1 = z.mul_mod(&sinv, n);
+        let u2 = sig.r.mul_mod(&sinv, n);
+        // R = u1*G + u2*Q
+        let p1 = JacobianPoint::from_affine(&scalar_mul(&u1, generator()));
+        let sum = p1.add_affine(&scalar_mul(&u2, &self.point)).to_affine();
+        if sum.infinity {
+            return false;
+        }
+        sum.x.rem(n) == sig.r
+    }
+}
+
+/// An ECDSA signature `(r, s)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signature {
+    /// The `r` component.
+    pub r: U256,
+    /// The `s` component.
+    pub s: U256,
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig(r={}, s={})", self.r, self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(generator().is_on_curve());
+    }
+
+    #[test]
+    fn two_g_matches_known_vector() {
+        let two_g = scalar_mul(&U256::from_u64(2), generator());
+        assert_eq!(
+            two_g.x,
+            U256::from_hex("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5")
+        );
+        assert_eq!(
+            two_g.y,
+            U256::from_hex("1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a")
+        );
+        assert!(two_g.is_on_curve());
+    }
+
+    #[test]
+    fn scalar_one_is_generator() {
+        let p = scalar_mul(&U256::ONE, generator());
+        assert_eq!(&p, generator());
+    }
+
+    #[test]
+    fn order_times_g_is_infinity() {
+        // n·G = O. scalar_mul reduces k mod n, so use composition instead:
+        // (n-1)·G + G = O.
+        let (n_minus_1, _) = group_order().overflowing_sub(&U256::ONE);
+        let p = scalar_mul(&n_minus_1, generator());
+        let sum = JacobianPoint::from_affine(&p).add_affine(generator()).to_affine();
+        assert!(sum.infinity);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        // 5G == 2G + 3G
+        let five = scalar_mul(&U256::from_u64(5), generator());
+        let two = scalar_mul(&U256::from_u64(2), generator());
+        let three = scalar_mul(&U256::from_u64(3), generator());
+        let sum = JacobianPoint::from_affine(&two).add_affine(&three).to_affine();
+        assert_eq!(five, sum);
+        assert!(five.is_on_curve());
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let sk = SecretKey::from_seed(7);
+        let pk = sk.public_key();
+        assert!(pk.point().is_on_curve());
+        let digest = crate::keccak::keccak256(b"attack at dawn").into_bytes();
+        let sig = sk.sign(&digest);
+        assert!(pk.verify(&digest, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message() {
+        let sk = SecretKey::from_seed(8);
+        let pk = sk.public_key();
+        let digest = crate::keccak::keccak256(b"original").into_bytes();
+        let sig = sk.sign(&digest);
+        let other = crate::keccak::keccak256(b"tampered").into_bytes();
+        assert!(!pk.verify(&other, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let sk1 = SecretKey::from_seed(9);
+        let sk2 = SecretKey::from_seed(10);
+        let digest = crate::keccak::keccak256(b"msg").into_bytes();
+        let sig = sk1.sign(&digest);
+        assert!(!sk2.public_key().verify(&digest, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_degenerate_signature() {
+        let pk = SecretKey::from_seed(11).public_key();
+        let digest = [0u8; 32];
+        let zero_sig = Signature { r: U256::ZERO, s: U256::ZERO };
+        assert!(!pk.verify(&digest, &zero_sig));
+        let big_sig = Signature { r: *group_order(), s: U256::ONE };
+        assert!(!pk.verify(&digest, &big_sig));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let sk = SecretKey::from_seed(12);
+        let digest = crate::keccak::keccak256(b"same message").into_bytes();
+        assert_eq!(sk.sign(&digest), sk.sign(&digest));
+    }
+
+    #[test]
+    fn fold_reduction_agrees_with_generic() {
+        let a = U256::from_hex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+        let b = U256::from_hex("9c1185a5c5e9fc54612808977ee8f548b2258d31a8d56e7fcf0bdcdd3c5dd2a4");
+        let fast = fmul(&a, &b);
+        let slow = a.mul_mod(&b, field_prime());
+        assert_eq!(fast, slow);
+    }
+}

@@ -1,0 +1,106 @@
+//! Ethereum-style wallets: key pairs plus derived addresses.
+
+use crate::keccak::keccak256;
+use crate::secp256k1::{PublicKey, SecretKey, Signature};
+use parole_primitives::Address;
+use std::fmt;
+
+/// A key pair with its derived Ethereum-style address.
+///
+/// The address is the low 20 bytes of `keccak256(pubkey_x ‖ pubkey_y)`,
+/// exactly as Ethereum derives externally-owned-account addresses from
+/// uncompressed public keys.
+///
+/// In the attack workflow (paper §IV-B) the adversarial aggregator is handed
+/// "the private wallet information of the IFU" — in this reproduction that is
+/// literally a [`Wallet`] value.
+///
+/// # Example
+///
+/// ```
+/// use parole_crypto::Wallet;
+/// let w = Wallet::from_seed(1);
+/// let digest = parole_crypto::keccak256(b"hello");
+/// let sig = w.sign(digest.as_bytes());
+/// assert!(w.public_key().verify(digest.as_bytes(), &sig));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wallet {
+    secret: SecretKey,
+    public: PublicKey,
+    address: Address,
+}
+
+impl Wallet {
+    /// Derives a wallet deterministically from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let secret = SecretKey::from_seed(seed);
+        Wallet::from_secret(secret)
+    }
+
+    /// Builds a wallet from an existing secret key.
+    pub fn from_secret(secret: SecretKey) -> Self {
+        let public = secret.public_key();
+        let digest = keccak256(&public.to_bytes());
+        let mut addr = [0u8; 20];
+        addr.copy_from_slice(&digest.as_bytes()[12..]);
+        Wallet {
+            secret,
+            public,
+            address: Address::from_bytes(addr),
+        }
+    }
+
+    /// The wallet's address.
+    pub fn address(&self) -> Address {
+        self.address
+    }
+
+    /// The wallet's public key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Signs a 32-byte digest with the wallet's secret key.
+    pub fn sign(&self, digest: &[u8; 32]) -> Signature {
+        self.secret.sign(digest)
+    }
+}
+
+impl fmt::Display for Wallet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Wallet({})", self.address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_seeds_distinct_addresses() {
+        let a = Wallet::from_seed(1);
+        let b = Wallet::from_seed(2);
+        assert_ne!(a.address(), b.address());
+    }
+
+    #[test]
+    fn same_seed_same_address() {
+        assert_eq!(Wallet::from_seed(5).address(), Wallet::from_seed(5).address());
+    }
+
+    #[test]
+    fn address_is_nonzero() {
+        assert!(!Wallet::from_seed(3).address().is_zero());
+    }
+
+    #[test]
+    fn signature_binds_to_wallet() {
+        let w1 = Wallet::from_seed(1);
+        let w2 = Wallet::from_seed(2);
+        let digest = keccak256(b"tx payload").into_bytes();
+        let sig = w1.sign(&digest);
+        assert!(w1.public_key().verify(&digest, &sig));
+        assert!(!w2.public_key().verify(&digest, &sig));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the cryptographic substrate.
+
+use parole_crypto::secp256k1::{self, SecretKey};
+use parole_crypto::{keccak256, MerkleTree, U256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Keccak over split inputs equals keccak over the joined input.
+    #[test]
+    fn keccak_incremental_agrees(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let joined = keccak256(&data);
+        let mut h = parole_crypto::Keccak256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), joined);
+    }
+
+    /// U256 big-endian byte round-trip.
+    #[test]
+    fn u256_bytes_roundtrip(v in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
+    }
+
+    /// Modular addition is commutative and subtraction inverts it.
+    #[test]
+    fn mod_add_sub_inverse(a in arb_u256(), b in arb_u256()) {
+        let n = secp256k1::group_order();
+        let ar = a.rem(n);
+        let br = b.rem(n);
+        let sum = ar.add_mod(&br, n);
+        prop_assert_eq!(sum, br.add_mod(&ar, n));
+        prop_assert_eq!(sum.sub_mod(&br, n), ar);
+    }
+
+    /// Fermat inverse is a genuine inverse modulo the field prime.
+    #[test]
+    fn field_inverse(a in arb_u256()) {
+        let p = secp256k1::field_prime();
+        let ar = a.rem(p);
+        prop_assume!(!ar.is_zero());
+        let inv = ar.inv_mod_prime(p);
+        prop_assert_eq!(ar.mul_mod(&inv, p), U256::ONE);
+    }
+
+    /// Merkle proofs verify for every leaf, and fail against a different root.
+    #[test]
+    fn merkle_proof_sound(n in 1usize..40, tamper in any::<u64>()) {
+        let leaves: Vec<_> = (0..n).map(|i| keccak256(&(i as u64).to_be_bytes())).collect();
+        let tree = MerkleTree::from_leaves(leaves.clone());
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(proof.verify(*leaf, tree.root()));
+            prop_assert!(!proof.verify(keccak256(&tamper.to_be_bytes()), tree.root())
+                || keccak256(&tamper.to_be_bytes()) == *leaf);
+        }
+    }
+}
+
+proptest! {
+    // Signing is expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// ECDSA sign/verify round-trips and rejects a flipped digest bit.
+    #[test]
+    fn ecdsa_roundtrip(seed in 1u64..1_000_000, msg in prop::collection::vec(any::<u8>(), 1..64)) {
+        let sk = SecretKey::from_seed(seed);
+        let pk = sk.public_key();
+        let digest = keccak256(&msg).into_bytes();
+        let sig = sk.sign(&digest);
+        prop_assert!(pk.verify(&digest, &sig));
+        let mut flipped = digest;
+        flipped[0] ^= 1;
+        prop_assert!(!pk.verify(&flipped, &sig));
+    }
+}

@@ -1,0 +1,35 @@
+//! The environment abstraction the DQN agent trains against.
+
+/// Result of taking one action in an [`Environment`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// Reward for the action.
+    pub reward: f64,
+    /// Observation after the action.
+    pub next_state: Vec<f64>,
+    /// Whether the episode should terminate now.
+    pub done: bool,
+}
+
+/// A discrete-action MDP.
+///
+/// The GENTRANSEQ transaction re-ordering environment implements this in the
+/// `parole` core crate; the tests here use a toy line-world.
+pub trait Environment {
+    /// Dimensionality of the observation vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn action_count(&self) -> usize;
+
+    /// Resets the environment for a new episode, returning the initial
+    /// observation.
+    fn reset(&mut self) -> Vec<f64>;
+
+    /// Applies `action`, returning the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `action ≥ action_count()`.
+    fn step(&mut self, action: usize) -> StepOutcome;
+}

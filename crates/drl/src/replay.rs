@@ -1,0 +1,146 @@
+//! The replay memory buffer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One stored experience `(s, a, r, s', done)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Observation before the action.
+    pub state: Vec<f64>,
+    /// The action taken (index into the Q-value vector).
+    pub action: usize,
+    /// Reward received.
+    pub reward: f64,
+    /// Observation after the action.
+    pub next_state: Vec<f64>,
+    /// Whether the episode terminated at this step (no bootstrap).
+    pub done: bool,
+}
+
+/// A fixed-capacity ring buffer of [`Transition`]s — the paper's "reply
+/// memory buffer" of 5 000 experiences (Table II).
+///
+/// # Example
+///
+/// ```
+/// use parole_drl::{ReplayBuffer, Transition};
+/// let mut buf = ReplayBuffer::new(2);
+/// for i in 0..3 {
+///     buf.push(Transition {
+///         state: vec![i as f64],
+///         action: 0,
+///         reward: 0.0,
+///         next_state: vec![],
+///         done: false,
+///     });
+/// }
+/// assert_eq!(buf.len(), 2); // oldest evicted
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    items: Vec<Transition>,
+    capacity: usize,
+    /// Next write position once the buffer is full.
+    write: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer {
+            items: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            write: 0,
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.write] = t;
+            self.write = (self.write + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `batch` transitions uniformly with replacement.
+    ///
+    /// Returns an empty vector when the buffer is empty.
+    pub fn sample(&self, batch: usize, rng: &mut StdRng) -> Vec<&Transition> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..batch)
+            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(v: f64) -> Transition {
+        Transition {
+            state: vec![v],
+            action: 0,
+            reward: v,
+            next_state: vec![v + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut buf = ReplayBuffer::new(3);
+        for i in 0..5 {
+            buf.push(t(i as f64));
+        }
+        assert_eq!(buf.len(), 3);
+        // Items 3 and 4 overwrote 0 and 1; 2 survives.
+        let rewards: Vec<f64> = buf.items.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_respects_batch_size() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..4 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(buf.sample(32, &mut rng).len(), 32);
+        assert!(ReplayBuffer::new(5).sample(8, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

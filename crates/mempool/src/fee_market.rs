@@ -1,0 +1,155 @@
+//! EIP-1559-style base-fee dynamics.
+//!
+//! Bedrock inherits Ethereum's fee market: each block's base fee moves
+//! toward equilibrium by at most 1/8 per block, proportionally to how far
+//! the block's gas consumption deviated from the target. The fleet
+//! simulations use this to let sustained NFT-drop congestion reprice the
+//! mempool over time, which in turn changes which transactions are
+//! includable — the "send the lowest-fee transactions to the block behind"
+//! behaviour §VIII builds on.
+
+use parole_primitives::{Gas, Wei};
+use serde::{Deserialize, Serialize};
+
+/// The base-fee controller (EIP-1559 update rule).
+///
+/// # Example
+///
+/// ```
+/// use parole_mempool::BaseFeeController;
+/// use parole_primitives::{Gas, Wei};
+///
+/// let mut ctl = BaseFeeController::new(Wei::from_gwei(10), Gas::new(1_000_000));
+/// // A completely full block (2× target) raises the fee by 1/8.
+/// ctl.on_block(Gas::new(2_000_000));
+/// assert!(ctl.base_fee() > Wei::from_gwei(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaseFeeController {
+    base_fee: Wei,
+    target_gas: Gas,
+    /// Lower clamp so the market never reaches zero (Bedrock keeps a
+    /// 1-wei-class floor too).
+    floor: Wei,
+}
+
+impl BaseFeeController {
+    /// Maximum per-block change denominator (EIP-1559 uses 8).
+    pub const CHANGE_DENOMINATOR: u128 = 8;
+
+    /// Creates a controller at `initial` targeting `target_gas` per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero gas target.
+    pub fn new(initial: Wei, target_gas: Gas) -> Self {
+        assert!(target_gas.units() > 0, "gas target must be positive");
+        BaseFeeController {
+            base_fee: initial,
+            target_gas,
+            floor: Wei::from_wei(7), // symbolic wei floor
+        }
+    }
+
+    /// The current base fee.
+    pub fn base_fee(&self) -> Wei {
+        self.base_fee
+    }
+
+    /// The per-block gas target.
+    pub fn target_gas(&self) -> Gas {
+        self.target_gas
+    }
+
+    /// Applies one block's gas usage, returning the new base fee.
+    ///
+    /// `new = old + old × (used − target) / target / 8`, clamped at the
+    /// floor — the exact EIP-1559 rule with integer arithmetic.
+    pub fn on_block(&mut self, gas_used: Gas) -> Wei {
+        let target = self.target_gas.units() as u128;
+        let used = gas_used.units() as u128;
+        let old = self.base_fee.wei();
+        let new = if used >= target {
+            let delta = old * (used - target) / target / Self::CHANGE_DENOMINATOR;
+            // A full block always moves the fee by at least 1 wei.
+            old + delta.max(1)
+        } else {
+            let delta = old * (target - used) / target / Self::CHANGE_DENOMINATOR;
+            old.saturating_sub(delta)
+        };
+        self.base_fee = Wei::from_wei(new).max(self.floor);
+        self.base_fee
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> BaseFeeController {
+        BaseFeeController::new(Wei::from_gwei(8), Gas::new(1_000_000))
+    }
+
+    #[test]
+    fn exactly_target_leaves_fee_unchanged_modulo_tick() {
+        let mut c = ctl();
+        let before = c.base_fee();
+        // used == target hits the `used >= target` branch with delta 0,
+        // bumped by the 1-wei minimum.
+        c.on_block(Gas::new(1_000_000));
+        assert_eq!(c.base_fee().wei(), before.wei() + 1);
+    }
+
+    #[test]
+    fn full_block_raises_by_one_eighth() {
+        let mut c = ctl();
+        c.on_block(Gas::new(2_000_000));
+        assert_eq!(c.base_fee(), Wei::from_gwei(9)); // 8 + 8/8
+    }
+
+    #[test]
+    fn empty_block_lowers_by_one_eighth() {
+        let mut c = ctl();
+        c.on_block(Gas::ZERO);
+        assert_eq!(c.base_fee(), Wei::from_gwei(7)); // 8 − 8/8
+    }
+
+    #[test]
+    fn fee_never_drops_below_floor() {
+        let mut c = BaseFeeController::new(Wei::from_wei(8), Gas::new(100));
+        for _ in 0..100 {
+            c.on_block(Gas::ZERO);
+        }
+        assert_eq!(c.base_fee(), Wei::from_wei(7));
+    }
+
+    #[test]
+    fn sustained_congestion_compounds() {
+        let mut c = ctl();
+        for _ in 0..10 {
+            c.on_block(Gas::new(2_000_000));
+        }
+        // (9/8)^10 ≈ 3.25×
+        let ratio = c.base_fee().wei() as f64 / Wei::from_gwei(8).wei() as f64;
+        assert!(ratio > 3.0 && ratio < 3.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn congestion_then_calm_reverts() {
+        let mut c = ctl();
+        for _ in 0..5 {
+            c.on_block(Gas::new(2_000_000));
+        }
+        let peak = c.base_fee();
+        for _ in 0..5 {
+            c.on_block(Gas::ZERO);
+        }
+        assert!(c.base_fee() < peak);
+    }
+
+    #[test]
+    #[should_panic(expected = "gas target must be positive")]
+    fn zero_target_rejected() {
+        let _ = BaseFeeController::new(Wei::from_gwei(1), Gas::ZERO);
+    }
+}

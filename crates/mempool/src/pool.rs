@@ -1,0 +1,304 @@
+//! The fee-priority mempool.
+
+use parking_lot::Mutex;
+use parole_ovm::NftTransaction;
+use parole_primitives::Wei;
+use std::fmt;
+use std::sync::Arc;
+
+/// One pending entry: the transaction plus its arrival sequence number.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    tx: NftTransaction,
+    arrival: u64,
+}
+
+/// Bedrock's private mempool.
+///
+/// Pending transactions are handed out strictly in fee-priority order
+/// (descending [`effective tip`](parole_primitives::FeeBundle::effective_tip)
+/// at the pool's base fee, FIFO within equal tips). Transactions whose fee
+/// cap is below the base fee are parked — they stay pending but are never
+/// collected, matching the real mempool's "send the lowest-fee transactions
+/// to the block behind" behaviour the paper quotes in §VIII.
+#[derive(Debug)]
+pub struct BedrockMempool {
+    pending: Vec<Pending>,
+    base_fee: Wei,
+    next_arrival: u64,
+    /// Simulated block interval in ticks (Bedrock seals blocks at fixed
+    /// intervals rather than per transaction).
+    block_interval_ticks: u64,
+    now: u64,
+}
+
+impl BedrockMempool {
+    /// Creates an empty mempool with the given base fee and a default block
+    /// interval of 2 ticks (Bedrock's 2-second blocks).
+    pub fn new(base_fee: Wei) -> Self {
+        BedrockMempool {
+            pending: Vec::new(),
+            base_fee,
+            next_arrival: 0,
+            block_interval_ticks: 2,
+            now: 0,
+        }
+    }
+
+    /// The base fee used for effective-tip computation.
+    pub fn base_fee(&self) -> Wei {
+        self.base_fee
+    }
+
+    /// Updates the base fee (fee-market drift between blocks).
+    pub fn set_base_fee(&mut self, base_fee: Wei) {
+        self.base_fee = base_fee;
+    }
+
+    /// Number of pending transactions (including parked ones).
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Current simulated time in ticks.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances simulated time; returns `true` when a block boundary was
+    /// crossed (i.e. aggregators should collect now).
+    pub fn tick(&mut self) -> bool {
+        self.now += 1;
+        self.now % self.block_interval_ticks == 0
+    }
+
+    /// Submits a transaction.
+    pub fn submit(&mut self, tx: NftTransaction) {
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.pending.push(Pending { tx, arrival });
+    }
+
+    /// Submits a batch, preserving the iterator's arrival order.
+    pub fn submit_all<I: IntoIterator<Item = NftTransaction>>(&mut self, txs: I) {
+        for tx in txs {
+            self.submit(tx);
+        }
+    }
+
+    /// Collects up to `n` includable transactions in fee-priority order,
+    /// removing them from the pool. This is the window an aggregator
+    /// receives — the paper's per-aggregator "Mempool" of size N.
+    pub fn collect(&mut self, n: usize) -> Vec<NftTransaction> {
+        // Sort indexes of includable transactions by (tip desc, arrival asc).
+        let base_fee = self.base_fee;
+        let mut order: Vec<usize> = (0..self.pending.len())
+            .filter(|&i| self.pending[i].tx.fees.is_includable(base_fee))
+            .collect();
+        order.sort_by(|&a, &b| {
+            let ta = self.pending[a].tx.fees.effective_tip(base_fee);
+            let tb = self.pending[b].tx.fees.effective_tip(base_fee);
+            tb.cmp(&ta)
+                .then(self.pending[a].arrival.cmp(&self.pending[b].arrival))
+        });
+        order.truncate(n);
+
+        let mut taken: Vec<bool> = vec![false; self.pending.len()];
+        for &i in &order {
+            taken[i] = true;
+        }
+        let collected: Vec<NftTransaction> =
+            order.iter().map(|&i| self.pending[i].tx).collect();
+        let mut keep = Vec::with_capacity(self.pending.len() - collected.len());
+        for (i, p) in self.pending.drain(..).enumerate() {
+            if !taken[i] {
+                keep.push(p);
+            }
+        }
+        self.pending = keep;
+        collected
+    }
+
+    /// The fee-priority order of everything currently pending, without
+    /// removing anything (what an honest aggregator *should* execute).
+    pub fn priority_preview(&self) -> Vec<NftTransaction> {
+        let mut items: Vec<&Pending> = self
+            .pending
+            .iter()
+            .filter(|p| p.tx.fees.is_includable(self.base_fee))
+            .collect();
+        items.sort_by(|a, b| {
+            let ta = a.tx.fees.effective_tip(self.base_fee);
+            let tb = b.tx.fees.effective_tip(self.base_fee);
+            tb.cmp(&ta).then(a.arrival.cmp(&b.arrival))
+        });
+        items.into_iter().map(|p| p.tx).collect()
+    }
+}
+
+impl fmt::Display for BedrockMempool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BedrockMempool({} pending, base fee {} gwei)",
+            self.pending.len(),
+            self.base_fee.gwei()
+        )
+    }
+}
+
+/// A cloneable, thread-safe handle to a shared [`BedrockMempool`].
+///
+/// Fleet simulations spawn one thread per aggregator; all of them drain the
+/// same pool. `parking_lot::Mutex` keeps the hot `collect` path cheap.
+#[derive(Debug, Clone)]
+pub struct SharedMempool {
+    inner: Arc<Mutex<BedrockMempool>>,
+}
+
+impl SharedMempool {
+    /// Wraps a mempool for shared use.
+    pub fn new(pool: BedrockMempool) -> Self {
+        SharedMempool {
+            inner: Arc::new(Mutex::new(pool)),
+        }
+    }
+
+    /// Submits a transaction.
+    pub fn submit(&self, tx: NftTransaction) {
+        self.inner.lock().submit(tx);
+    }
+
+    /// Submits a batch.
+    pub fn submit_all<I: IntoIterator<Item = NftTransaction>>(&self, txs: I) {
+        self.inner.lock().submit_all(txs);
+    }
+
+    /// Collects up to `n` transactions in fee-priority order.
+    pub fn collect(&self, n: usize) -> Vec<NftTransaction> {
+        self.inner.lock().collect(n)
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_ovm::TxKind;
+    use parole_primitives::{Address, FeeBundle, TokenId};
+
+    fn tx(sender: u64, tip: u64) -> NftTransaction {
+        NftTransaction::with_fees(
+            Address::from_low_u64(sender),
+            TxKind::Mint {
+                collection: Address::from_low_u64(100),
+                token: TokenId::new(sender),
+            },
+            FeeBundle::from_gwei(30, tip),
+        )
+    }
+
+    #[test]
+    fn collect_orders_by_tip_then_fifo() {
+        let mut pool = BedrockMempool::new(Wei::from_gwei(1));
+        pool.submit(tx(1, 5));
+        pool.submit(tx(2, 9));
+        pool.submit(tx(3, 5)); // same tip as tx 1, arrived later
+        let window = pool.collect(3);
+        let senders: Vec<u64> = window
+            .iter()
+            .map(|t| {
+                let b = t.sender.as_bytes();
+                u64::from_be_bytes(b[12..].try_into().unwrap())
+            })
+            .collect();
+        assert_eq!(senders, vec![2, 1, 3]);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn collect_respects_window_size() {
+        let mut pool = BedrockMempool::new(Wei::from_gwei(1));
+        for i in 0..10 {
+            pool.submit(tx(i, i));
+        }
+        let window = pool.collect(4);
+        assert_eq!(window.len(), 4);
+        assert_eq!(pool.len(), 6);
+        // The collected four had the highest tips (9, 8, 7, 6).
+        let min_collected_tip = window
+            .iter()
+            .map(|t| t.fees.effective_tip(Wei::from_gwei(1)))
+            .min()
+            .unwrap();
+        assert_eq!(min_collected_tip, Wei::from_gwei(6));
+    }
+
+    #[test]
+    fn unincludable_txs_are_parked() {
+        let mut pool = BedrockMempool::new(Wei::from_gwei(100));
+        pool.submit(tx(1, 5)); // max fee 30 < base fee 100
+        assert_eq!(pool.collect(10).len(), 0);
+        assert_eq!(pool.len(), 1);
+        // Base fee falls; the parked transaction becomes collectable.
+        pool.set_base_fee(Wei::from_gwei(1));
+        assert_eq!(pool.collect(10).len(), 1);
+    }
+
+    #[test]
+    fn tick_marks_block_boundaries() {
+        let mut pool = BedrockMempool::new(Wei::from_gwei(1));
+        assert!(!pool.tick()); // t = 1
+        assert!(pool.tick()); // t = 2, boundary
+        assert!(!pool.tick());
+        assert!(pool.tick());
+        assert_eq!(pool.now(), 4);
+    }
+
+    #[test]
+    fn priority_preview_is_nondestructive() {
+        let mut pool = BedrockMempool::new(Wei::from_gwei(1));
+        pool.submit(tx(1, 5));
+        pool.submit(tx(2, 9));
+        let preview = pool.priority_preview();
+        assert_eq!(preview.len(), 2);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn shared_pool_concurrent_drain() {
+        let pool = SharedMempool::new(BedrockMempool::new(Wei::from_gwei(1)));
+        for i in 0..100 {
+            pool.submit(tx(i, i % 10));
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = pool.clone();
+                std::thread::spawn(move || {
+                    let mut mine = 0;
+                    while !p.is_empty() {
+                        mine += p.collect(5).len();
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Bedrock's sequencer: fixed-interval block production from the private
+//! mempool.
+//!
+//! The sequencer closes the loop between the mempool's fee-priority queue,
+//! per-block gas limits, the EIP-1559 base-fee controller, and — when the
+//! §VIII defense is deployed — a *screening hook* that may defer
+//! transactions "to the block behind". The attack-side crates never talk to
+//! the sequencer (aggregators collect raw windows); it exists so the defense
+//! can be evaluated in its intended position.
+
+use crate::{BaseFeeController, BedrockMempool};
+use parole_ovm::{GasSchedule, NftTransaction};
+use parole_primitives::Gas;
+use parole_state::L2State;
+use std::fmt;
+
+/// What a screening hook decides about a prospective block.
+#[derive(Debug, Clone)]
+pub struct Screened {
+    /// Transactions admitted into the block.
+    pub admitted: Vec<NftTransaction>,
+    /// Transactions pushed back into the mempool for a later block.
+    pub deferred: Vec<NftTransaction>,
+}
+
+/// A screening hook, e.g. the §VIII GENTRANSEQ-based detector from the
+/// `parole` core crate (`defense::screen_window` adapts directly).
+pub type ScreeningHook<'a> = dyn FnMut(&L2State, Vec<NftTransaction>) -> Screened + 'a;
+
+/// One sealed L2 block.
+#[derive(Debug, Clone)]
+pub struct SealedBlock {
+    /// Block ordinal since the sequencer started.
+    pub number: u64,
+    /// Transactions in final order.
+    pub txs: Vec<NftTransaction>,
+    /// Gas consumed by the block.
+    pub gas_used: Gas,
+    /// Base fee the block was built under.
+    pub base_fee: parole_primitives::Wei,
+}
+
+/// The block-producing sequencer.
+pub struct Sequencer {
+    mempool: BedrockMempool,
+    fee_controller: BaseFeeController,
+    gas_schedule: GasSchedule,
+    gas_limit: Gas,
+    blocks_sealed: u64,
+}
+
+impl fmt::Debug for Sequencer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sequencer")
+            .field("pending", &self.mempool.len())
+            .field("base_fee_gwei", &self.fee_controller.base_fee().gwei())
+            .field("blocks_sealed", &self.blocks_sealed)
+            .finish()
+    }
+}
+
+impl Sequencer {
+    /// Creates a sequencer over the given mempool with a per-block gas
+    /// limit; the fee controller targets half the limit (EIP-1559's
+    /// elasticity of 2).
+    pub fn new(mempool: BedrockMempool, gas_limit: Gas) -> Self {
+        let base_fee = mempool.base_fee();
+        let target = Gas::new((gas_limit.units() / 2).max(1));
+        Sequencer {
+            mempool,
+            fee_controller: BaseFeeController::new(base_fee, target),
+            gas_schedule: GasSchedule::paper_calibrated(),
+            gas_limit,
+            blocks_sealed: 0,
+        }
+    }
+
+    /// Pending transactions in the underlying mempool.
+    pub fn pending(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// The mempool (e.g. to submit traffic).
+    pub fn mempool_mut(&mut self) -> &mut BedrockMempool {
+        &mut self.mempool
+    }
+
+    /// Blocks sealed so far.
+    pub fn blocks_sealed(&self) -> u64 {
+        self.blocks_sealed
+    }
+
+    /// Current base fee.
+    pub fn base_fee(&self) -> parole_primitives::Wei {
+        self.fee_controller.base_fee()
+    }
+
+    /// Seals one block: pulls fee-ordered transactions until the gas limit,
+    /// optionally runs the screening hook (deferred transactions go back to
+    /// the mempool), updates the base fee from the block's fullness and
+    /// returns the sealed block.
+    pub fn seal_block(
+        &mut self,
+        state: &L2State,
+        screening: Option<&mut ScreeningHook<'_>>,
+    ) -> SealedBlock {
+        // Pull candidates up to the gas limit.
+        let mut candidates = Vec::new();
+        let mut gas = Gas::ZERO;
+        loop {
+            let next = self.mempool.collect(1);
+            let Some(tx) = next.into_iter().next() else { break };
+            let tx_gas = self.gas_schedule.gas_for(&tx.kind);
+            if (gas + tx_gas).units() > self.gas_limit.units() {
+                // Does not fit: park it again and stop filling.
+                self.mempool.submit(tx);
+                break;
+            }
+            gas += tx_gas;
+            candidates.push(tx);
+        }
+
+        // Screening (§VIII): deferred transactions return to the mempool.
+        let txs = match screening {
+            Some(hook) => {
+                let screened = hook(state, candidates);
+                for tx in &screened.deferred {
+                    self.mempool.submit(*tx);
+                }
+                screened.admitted
+            }
+            None => candidates,
+        };
+
+        let gas_used = txs.iter().map(|t| self.gas_schedule.gas_for(&t.kind)).sum();
+        let base_fee = self.fee_controller.base_fee();
+        let new_fee = self.fee_controller.on_block(gas_used);
+        self.mempool.set_base_fee(new_fee);
+        self.blocks_sealed += 1;
+        SealedBlock {
+            number: self.blocks_sealed,
+            txs,
+            gas_used,
+            base_fee,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_ovm::TxKind;
+    use parole_primitives::{Address, FeeBundle, TokenId, Wei};
+
+    fn tx(sender: u64, tip: u64) -> NftTransaction {
+        NftTransaction::with_fees(
+            Address::from_low_u64(sender),
+            TxKind::Mint {
+                collection: Address::from_low_u64(100),
+                token: TokenId::new(sender),
+            },
+            FeeBundle::from_gwei(300, tip),
+        )
+    }
+
+    fn sequencer_with(txs: Vec<NftTransaction>, gas_limit: u64) -> Sequencer {
+        let mut pool = BedrockMempool::new(Wei::from_gwei(1));
+        pool.submit_all(txs);
+        Sequencer::new(pool, Gas::new(gas_limit))
+    }
+
+    #[test]
+    fn block_respects_gas_limit() {
+        // Mints cost 100_001 gas; a 250k limit fits two.
+        let mut seq = sequencer_with((1..=5).map(|i| tx(i, i)).collect(), 250_000);
+        let block = seq.seal_block(&L2State::new(), None);
+        assert_eq!(block.txs.len(), 2);
+        assert!(block.gas_used.units() <= 250_000);
+        // The rest stays pending.
+        assert_eq!(seq.pending(), 3);
+    }
+
+    #[test]
+    fn blocks_take_highest_tips_first() {
+        let mut seq = sequencer_with(vec![tx(1, 1), tx(2, 9), tx(3, 5)], 250_000);
+        let block = seq.seal_block(&L2State::new(), None);
+        let senders: Vec<_> = block.txs.iter().map(|t| t.sender).collect();
+        assert_eq!(senders, vec![Address::from_low_u64(2), Address::from_low_u64(3)]);
+    }
+
+    #[test]
+    fn full_blocks_raise_the_base_fee() {
+        let mut seq = sequencer_with((1..=20).map(|i| tx(i, 5)).collect(), 200_002);
+        let before = seq.base_fee();
+        for _ in 0..4 {
+            seq.seal_block(&L2State::new(), None);
+        }
+        assert!(seq.base_fee() > before, "sustained full blocks must reprice");
+    }
+
+    #[test]
+    fn screening_hook_defers_back_to_mempool() {
+        let mut seq = sequencer_with((1..=3).map(|i| tx(i, i)).collect(), 1_000_000);
+        let mut hook = |_state: &L2State, mut txs: Vec<NftTransaction>| {
+            // Defer the last transaction of every block.
+            let deferred = txs.split_off(txs.len().saturating_sub(1));
+            Screened { admitted: txs, deferred }
+        };
+        let block = seq.seal_block(&L2State::new(), Some(&mut hook));
+        assert_eq!(block.txs.len(), 2);
+        assert_eq!(seq.pending(), 1, "deferred tx returned to the pool");
+        // It gets its chance in the next block.
+        let block2 = seq.seal_block(&L2State::new(), Some(&mut hook));
+        assert_eq!(block2.txs.len(), 0);
+        assert_eq!(seq.pending(), 1);
+    }
+
+    #[test]
+    fn empty_mempool_seals_empty_blocks() {
+        let mut seq = sequencer_with(vec![], 1_000_000);
+        let block = seq.seal_block(&L2State::new(), None);
+        assert!(block.txs.is_empty());
+        assert_eq!(block.gas_used, Gas::ZERO);
+        assert_eq!(seq.blocks_sealed(), 1);
+    }
+}

@@ -1,0 +1,622 @@
+//! The limited-edition ERC-721 collection state machine.
+
+use crate::{Erc721Event, NftError};
+use parole_primitives::{Address, TokenId, Wei};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Immutable parameters fixed at contract deployment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Human-readable collection name (ERC-721 `name()`).
+    pub name: String,
+    /// Ticker symbol (ERC-721 `symbol()`).
+    pub symbol: String,
+    /// Maximum number of simultaneously existing tokens (`S^0`).
+    pub max_supply: u64,
+    /// Price when the full supply is available (`P^0`).
+    pub initial_price: Wei,
+    /// Quantum the bonding-curve price is floored to. The paper's case
+    /// studies truncate to two decimals of ETH (`Wei::from_centi_eth(1)`);
+    /// `Wei::ZERO` disables quantization.
+    pub price_quantum: Wei,
+    /// Address credited with primary-sale (mint) revenue.
+    pub creator: Address,
+}
+
+impl CollectionConfig {
+    /// The PAROLE Token (PT) configuration used throughout the paper's case
+    /// studies: `S^0 = 10`, `P^0 = 0.2 ETH`, prices shown truncated to two
+    /// decimals.
+    pub fn parole_token() -> Self {
+        CollectionConfig {
+            name: "ParoleToken".to_string(),
+            symbol: "PT".to_string(),
+            max_supply: 10,
+            initial_price: Wei::from_milli_eth(200),
+            price_quantum: Wei::from_centi_eth(1),
+            creator: Address::from_low_u64(0xC0FFEE),
+        }
+    }
+
+    /// A generic limited-edition collection with the given supply and
+    /// initial price in milli-ETH. Unlike [`CollectionConfig::parole_token`]
+    /// (which truncates to two decimals so the paper's Fig. 5 tables match
+    /// digit for digit), generic collections quantize to 0.001 ETH so the
+    /// bonding curve stays visible at larger supplies.
+    pub fn limited_edition(name: &str, max_supply: u64, initial_price_milli_eth: u64) -> Self {
+        CollectionConfig {
+            name: name.to_string(),
+            symbol: name.chars().take(4).collect::<String>().to_uppercase(),
+            max_supply,
+            initial_price: Wei::from_milli_eth(initial_price_milli_eth),
+            price_quantum: Wei::from_milli_eth(1),
+            creator: Address::from_low_u64(0xC0FFEE),
+        }
+    }
+}
+
+/// A deployed limited-edition ERC-721 collection.
+///
+/// Invariants maintained:
+/// - `owners.len() == active token count ≤ max_supply`;
+/// - `remaining_supply() == max_supply − owners.len()` (`S^t` in the paper);
+/// - the event log grows monotonically and replaying it reconstructs the
+///   ownership map (checked by tests).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Collection {
+    config: CollectionConfig,
+    /// Current owner of every *active* (minted, not burned) token.
+    owners: BTreeMap<TokenId, Address>,
+    /// Per-token approved operator (cleared on every transfer/burn).
+    approvals: BTreeMap<TokenId, Address>,
+    /// Append-only event log.
+    events: Vec<Erc721Event>,
+    /// Lifetime counters (for snapshot/marketplace statistics).
+    total_mints: u64,
+    total_transfers: u64,
+    total_burns: u64,
+}
+
+impl Collection {
+    /// Deploys a new collection with zero tokens minted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_supply` is zero — a collection that can never mint is
+    /// a deployment bug.
+    pub fn new(config: CollectionConfig) -> Self {
+        assert!(config.max_supply > 0, "max_supply must be positive");
+        Collection {
+            config,
+            owners: BTreeMap::new(),
+            approvals: BTreeMap::new(),
+            events: Vec::new(),
+            total_mints: 0,
+            total_transfers: 0,
+            total_burns: 0,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &CollectionConfig {
+        &self.config
+    }
+
+    /// Number of tokens still mintable (`S^t`). Burning frees supply.
+    pub fn remaining_supply(&self) -> u64 {
+        self.config.max_supply - self.owners.len() as u64
+    }
+
+    /// Number of currently active tokens.
+    pub fn active_supply(&self) -> u64 {
+        self.owners.len() as u64
+    }
+
+    /// The current bonding-curve price (paper Eq. 10):
+    /// `P^t = S^0 / S^t × P^0`, floored to the configured quantum.
+    ///
+    /// When the collection is sold out (`S^t = 0`) the price is reported at
+    /// the last-mintable-unit level `S^0 × P^0`, the curve's supremum — no
+    /// mint can execute anyway (Eq. 1's supply constraint).
+    pub fn price(&self) -> Wei {
+        self.price_at_remaining(self.remaining_supply())
+    }
+
+    /// The bonding-curve price for a hypothetical remaining supply.
+    pub fn price_at_remaining(&self, remaining: u64) -> Wei {
+        let s0 = self.config.max_supply;
+        let denom = remaining.max(1).min(s0);
+        self.config
+            .initial_price
+            .mul_ratio(s0, denom)
+            .expect("denominator is clamped positive")
+            .quantize_floor(self.config.price_quantum)
+    }
+
+    /// Current owner of `token`, if it is active.
+    pub fn owner_of(&self, token: TokenId) -> Option<Address> {
+        self.owners.get(&token).copied()
+    }
+
+    /// `true` when `who` currently owns `token` (`O_k^{i,t}`).
+    pub fn is_owner(&self, who: Address, token: TokenId) -> bool {
+        self.owner_of(token) == Some(who)
+    }
+
+    /// Number of active tokens owned by `who` (ERC-721 `balanceOf`).
+    pub fn balance_of(&self, who: Address) -> u64 {
+        self.owners.values().filter(|&&o| o == who).count() as u64
+    }
+
+    /// The active tokens owned by `who`, in token-id order.
+    pub fn tokens_of(&self, who: Address) -> Vec<TokenId> {
+        self.owners
+            .iter()
+            .filter(|(_, &o)| o == who)
+            .map(|(&t, _)| t)
+            .collect()
+    }
+
+    /// Iterates over `(token, owner)` pairs of active tokens.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, Address)> + '_ {
+        self.owners.iter().map(|(&t, &o)| (t, o))
+    }
+
+    /// The append-only event log.
+    pub fn events(&self) -> &[Erc721Event] {
+        &self.events
+    }
+
+    /// Lifetime `(mints, transfers, burns)` counters.
+    pub fn lifetime_counts(&self) -> (u64, u64, u64) {
+        (self.total_mints, self.total_transfers, self.total_burns)
+    }
+
+    /// The lowest unminted token id, if any — convenience for workload
+    /// generators that mint "the next" token.
+    pub fn next_free_token(&self) -> Option<TokenId> {
+        (0..self.config.max_supply)
+            .map(TokenId::new)
+            .find(|t| !self.owners.contains_key(t))
+    }
+
+    /// Simple metadata URI (ERC-721 `tokenURI`).
+    pub fn token_uri(&self, token: TokenId) -> Option<String> {
+        self.owners
+            .get(&token)
+            .map(|_| format!("ipfs://{}/{}", self.config.symbol.to_lowercase(), token.value()))
+    }
+
+    /// Checks the contract-level mint constraints without mutating
+    /// (the supply half of Eq. 1).
+    pub fn can_mint(&self, token: TokenId) -> Result<(), NftError> {
+        if token.value() >= self.config.max_supply {
+            return Err(NftError::InvalidTokenId(token));
+        }
+        if self.owners.contains_key(&token) {
+            return Err(NftError::AlreadyMinted(token));
+        }
+        if self.remaining_supply() == 0 {
+            return Err(NftError::SoldOut);
+        }
+        Ok(())
+    }
+
+    /// Mints `token` to `to` (paper Eq. 2 minus the balance debit).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the id is invalid, already active, or the collection is
+    /// sold out.
+    pub fn mint(&mut self, to: Address, token: TokenId) -> Result<(), NftError> {
+        self.can_mint(token)?;
+        let old_price = self.price();
+        self.owners.insert(token, to);
+        self.total_mints += 1;
+        self.events.push(Erc721Event::Transfer {
+            from: Address::ZERO,
+            to,
+            token,
+        });
+        self.push_price_event(old_price);
+        Ok(())
+    }
+
+    /// Checks the contract-level transfer constraints without mutating
+    /// (the ownership half of Eq. 3).
+    pub fn can_transfer(&self, from: Address, to: Address, token: TokenId) -> Result<(), NftError> {
+        if to.is_zero() {
+            return Err(NftError::TransferToZero);
+        }
+        if from == to {
+            return Err(NftError::SelfTransfer);
+        }
+        match self.owner_of(token) {
+            None => Err(NftError::NotMinted(token)),
+            Some(actual) if actual != from => Err(NftError::NotOwner {
+                claimed: from,
+                actual,
+                token,
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Transfers `token` from `from` to `to` (paper Eq. 4 minus the balance
+    /// movement). Clears any outstanding approval.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `from` is not the owner, the token is inactive, or the
+    /// destination is degenerate.
+    pub fn transfer(&mut self, from: Address, to: Address, token: TokenId) -> Result<(), NftError> {
+        self.can_transfer(from, to, token)?;
+        self.owners.insert(token, to);
+        self.approvals.remove(&token);
+        self.total_transfers += 1;
+        self.events.push(Erc721Event::Transfer { from, to, token });
+        Ok(())
+    }
+
+    /// Approves `operator` to move `token` (ERC-721 `approve`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `owner` does not own the token.
+    pub fn approve(
+        &mut self,
+        owner: Address,
+        operator: Address,
+        token: TokenId,
+    ) -> Result<(), NftError> {
+        match self.owner_of(token) {
+            None => Err(NftError::NotMinted(token)),
+            Some(actual) if actual != owner => Err(NftError::NotOwner {
+                claimed: owner,
+                actual,
+                token,
+            }),
+            Some(_) => {
+                if operator.is_zero() {
+                    self.approvals.remove(&token);
+                } else {
+                    self.approvals.insert(token, operator);
+                }
+                self.events.push(Erc721Event::Approval {
+                    owner,
+                    approved: operator,
+                    token,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    /// The approved operator for `token`, if any.
+    pub fn get_approved(&self, token: TokenId) -> Option<Address> {
+        self.approvals.get(&token).copied()
+    }
+
+    /// Transfers on behalf of the owner; `operator` must be the owner or the
+    /// approved operator (ERC-721 `transferFrom`).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NftError::NotAuthorized`] for unapproved operators, plus
+    /// every [`Collection::transfer`] failure mode.
+    pub fn transfer_from(
+        &mut self,
+        operator: Address,
+        from: Address,
+        to: Address,
+        token: TokenId,
+    ) -> Result<(), NftError> {
+        let authorized =
+            self.is_owner(operator, token) || self.get_approved(token) == Some(operator);
+        if !authorized {
+            return Err(NftError::NotAuthorized { operator, token });
+        }
+        self.transfer(from, to, token)
+    }
+
+    /// Checks the contract-level burn constraint (Eq. 5) without mutating.
+    pub fn can_burn(&self, owner: Address, token: TokenId) -> Result<(), NftError> {
+        match self.owner_of(token) {
+            None => Err(NftError::NotMinted(token)),
+            Some(actual) if actual != owner => Err(NftError::NotOwner {
+                claimed: owner,
+                actual,
+                token,
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Burns `token` (paper Eq. 6): the token becomes inactive and the
+    /// mintable supply — hence the price — moves accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `owner` does not own the token.
+    pub fn burn(&mut self, owner: Address, token: TokenId) -> Result<(), NftError> {
+        self.can_burn(owner, token)?;
+        let old_price = self.price();
+        self.owners.remove(&token);
+        self.approvals.remove(&token);
+        self.total_burns += 1;
+        self.events.push(Erc721Event::Transfer {
+            from: owner,
+            to: Address::ZERO,
+            token,
+        });
+        self.push_price_event(old_price);
+        Ok(())
+    }
+
+    /// The market valuation of `who`'s holdings at the current price:
+    /// `balance_of(who) × price()`. This is the "PAROLE portion" of the total
+    /// balance in the paper's case studies.
+    pub fn holdings_value(&self, who: Address) -> Wei {
+        self.price().mul_count(self.balance_of(who))
+    }
+
+    fn push_price_event(&mut self, old_price: Wei) {
+        let new_price = self.price();
+        if new_price != old_price {
+            self.events.push(Erc721Event::PriceChanged {
+                old_price,
+                new_price,
+                remaining_supply: self.remaining_supply(),
+            });
+        }
+    }
+}
+
+impl fmt::Display for Collection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {}/{} minted, price {}",
+            self.config.name,
+            self.config.symbol,
+            self.active_supply(),
+            self.config.max_supply,
+            self.price()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt() -> Collection {
+        Collection::new(CollectionConfig::parole_token())
+    }
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    /// Mints tokens 0..n to the given owner, panicking on failure.
+    fn mint_n(c: &mut Collection, n: u64, owner: Address) {
+        for i in 0..n {
+            c.mint(owner, TokenId::new(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn initial_state_matches_paper_setup() {
+        let c = pt();
+        assert_eq!(c.remaining_supply(), 10);
+        assert_eq!(c.price(), Wei::from_milli_eth(200));
+        assert_eq!(c.active_supply(), 0);
+    }
+
+    #[test]
+    fn price_curve_matches_case_study_table() {
+        // The case studies start with 5 minted (S = 5, price 0.4 ETH).
+        let mut c = pt();
+        mint_n(&mut c, 5, addr(1));
+        assert_eq!(c.price(), Wei::from_milli_eth(400));
+        // One more mint: S = 4, price 0.5 ETH.
+        c.mint(addr(2), TokenId::new(5)).unwrap();
+        assert_eq!(c.price(), Wei::from_milli_eth(500));
+        // Another mint: S = 3, price 0.66 ETH (truncated).
+        c.mint(addr(2), TokenId::new(6)).unwrap();
+        assert_eq!(c.price(), Wei::from_milli_eth(660));
+        // A burn: S = 4, price back to 0.5 ETH.
+        c.burn(addr(2), TokenId::new(6)).unwrap();
+        assert_eq!(c.price(), Wei::from_milli_eth(500));
+    }
+
+    #[test]
+    fn burn_below_initial_supply_lowers_price() {
+        // S = 6 -> price 0.33 ETH (truncated from 0.3333…).
+        let mut c = pt();
+        mint_n(&mut c, 5, addr(1));
+        c.burn(addr(1), TokenId::new(0)).unwrap();
+        assert_eq!(c.remaining_supply(), 6);
+        assert_eq!(c.price(), Wei::from_milli_eth(330));
+    }
+
+    #[test]
+    fn mint_rejects_duplicates_and_out_of_range() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        assert_eq!(
+            c.mint(addr(2), TokenId::new(0)),
+            Err(NftError::AlreadyMinted(TokenId::new(0)))
+        );
+        assert_eq!(
+            c.mint(addr(2), TokenId::new(10)),
+            Err(NftError::InvalidTokenId(TokenId::new(10)))
+        );
+    }
+
+    #[test]
+    fn sold_out_collection_rejects_mints_and_reports_supremum_price() {
+        let mut c = pt();
+        mint_n(&mut c, 10, addr(1));
+        assert_eq!(c.remaining_supply(), 0);
+        // Every id is taken, so a fresh id is out of range and existing ids
+        // collide; a hypothetical free slot would still be SoldOut.
+        assert!(c.can_mint(TokenId::new(3)).is_err());
+        // Price reports the S = 1 supremum (2.0 ETH for PT).
+        assert_eq!(c.price(), Wei::from_eth(2));
+    }
+
+    #[test]
+    fn burned_id_can_be_reminted() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(4)).unwrap();
+        c.burn(addr(1), TokenId::new(4)).unwrap();
+        assert!(c.owner_of(TokenId::new(4)).is_none());
+        c.mint(addr(2), TokenId::new(4)).unwrap();
+        assert_eq!(c.owner_of(TokenId::new(4)), Some(addr(2)));
+    }
+
+    #[test]
+    fn transfer_moves_ownership_and_clears_approval() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        c.approve(addr(1), addr(9), TokenId::new(0)).unwrap();
+        assert_eq!(c.get_approved(TokenId::new(0)), Some(addr(9)));
+        c.transfer(addr(1), addr(2), TokenId::new(0)).unwrap();
+        assert_eq!(c.owner_of(TokenId::new(0)), Some(addr(2)));
+        assert_eq!(c.get_approved(TokenId::new(0)), None);
+    }
+
+    #[test]
+    fn transfer_constraint_failures() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        assert_eq!(
+            c.transfer(addr(2), addr(3), TokenId::new(0)),
+            Err(NftError::NotOwner { claimed: addr(2), actual: addr(1), token: TokenId::new(0) })
+        );
+        assert_eq!(
+            c.transfer(addr(1), addr(1), TokenId::new(0)),
+            Err(NftError::SelfTransfer)
+        );
+        assert_eq!(
+            c.transfer(addr(1), Address::ZERO, TokenId::new(0)),
+            Err(NftError::TransferToZero)
+        );
+        assert_eq!(
+            c.transfer(addr(1), addr(2), TokenId::new(5)),
+            Err(NftError::NotMinted(TokenId::new(5)))
+        );
+    }
+
+    #[test]
+    fn transfer_from_requires_authorization() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        assert_eq!(
+            c.transfer_from(addr(9), addr(1), addr(2), TokenId::new(0)),
+            Err(NftError::NotAuthorized { operator: addr(9), token: TokenId::new(0) })
+        );
+        c.approve(addr(1), addr(9), TokenId::new(0)).unwrap();
+        c.transfer_from(addr(9), addr(1), addr(2), TokenId::new(0)).unwrap();
+        assert_eq!(c.owner_of(TokenId::new(0)), Some(addr(2)));
+    }
+
+    #[test]
+    fn approve_requires_ownership() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        assert!(c.approve(addr(2), addr(9), TokenId::new(0)).is_err());
+        assert!(c.approve(addr(1), addr(9), TokenId::new(7)).is_err());
+        // Clearing via zero address.
+        c.approve(addr(1), addr(9), TokenId::new(0)).unwrap();
+        c.approve(addr(1), Address::ZERO, TokenId::new(0)).unwrap();
+        assert_eq!(c.get_approved(TokenId::new(0)), None);
+    }
+
+    #[test]
+    fn burn_requires_ownership() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        assert!(c.burn(addr(2), TokenId::new(0)).is_err());
+        c.burn(addr(1), TokenId::new(0)).unwrap();
+        assert_eq!(
+            c.burn(addr(1), TokenId::new(0)),
+            Err(NftError::NotMinted(TokenId::new(0)))
+        );
+    }
+
+    #[test]
+    fn holdings_value_tracks_price() {
+        let mut c = pt();
+        mint_n(&mut c, 5, addr(1));
+        // 5 tokens at 0.4 ETH.
+        assert_eq!(c.holdings_value(addr(1)), Wei::from_eth(2));
+        assert_eq!(c.holdings_value(addr(2)), Wei::ZERO);
+    }
+
+    #[test]
+    fn event_log_replays_to_ownership_map() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        c.mint(addr(2), TokenId::new(1)).unwrap();
+        c.transfer(addr(1), addr(3), TokenId::new(0)).unwrap();
+        c.burn(addr(2), TokenId::new(1)).unwrap();
+
+        let mut replay: BTreeMap<TokenId, Address> = BTreeMap::new();
+        for ev in c.events() {
+            if let Erc721Event::Transfer { from, to, token } = ev {
+                if to.is_zero() {
+                    replay.remove(token);
+                } else {
+                    let _ = from;
+                    replay.insert(*token, *to);
+                }
+            }
+        }
+        let live: BTreeMap<TokenId, Address> = c.iter().collect();
+        assert_eq!(replay, live);
+    }
+
+    #[test]
+    fn price_events_emitted_on_mint_and_burn_only() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        c.transfer(addr(1), addr(2), TokenId::new(0)).unwrap();
+        c.burn(addr(2), TokenId::new(0)).unwrap();
+        let price_events: Vec<_> = c
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Erc721Event::PriceChanged { .. }))
+            .collect();
+        assert_eq!(price_events.len(), 2);
+    }
+
+    #[test]
+    fn lifetime_counts_accumulate() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        c.mint(addr(1), TokenId::new(1)).unwrap();
+        c.transfer(addr(1), addr(2), TokenId::new(0)).unwrap();
+        c.burn(addr(1), TokenId::new(1)).unwrap();
+        assert_eq!(c.lifetime_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn next_free_token_scans_gaps() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        c.mint(addr(1), TokenId::new(2)).unwrap();
+        assert_eq!(c.next_free_token(), Some(TokenId::new(1)));
+    }
+
+    #[test]
+    fn token_uri_only_for_active_tokens() {
+        let mut c = pt();
+        assert_eq!(c.token_uri(TokenId::new(0)), None);
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        assert_eq!(c.token_uri(TokenId::new(0)).unwrap(), "ipfs://pt/0");
+    }
+}

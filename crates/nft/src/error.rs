@@ -1,0 +1,64 @@
+//! Errors raised by the ERC-721 collection state machine.
+
+use parole_primitives::{Address, TokenId};
+use std::fmt;
+
+/// An ERC-721 operation failed one of its contract-level constraints.
+///
+/// These map to the preconditions of the paper's Eq. 1 (mint), Eq. 3
+/// (transfer) and Eq. 5 (burn), minus the balance checks which the OVM
+/// enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NftError {
+    /// Minting was requested but the collection is sold out
+    /// (`S^{t-1} ≥ 1` violated).
+    SoldOut,
+    /// The token identifier is outside `[0, max_supply)`.
+    InvalidTokenId(TokenId),
+    /// The token identifier is already minted and active.
+    AlreadyMinted(TokenId),
+    /// The token does not currently exist (never minted, or burned).
+    NotMinted(TokenId),
+    /// `from` does not own the token (`O_k^{i,t-1}` violated).
+    NotOwner {
+        /// The address that attempted the operation.
+        claimed: Address,
+        /// The actual current owner.
+        actual: Address,
+        /// The token in question.
+        token: TokenId,
+    },
+    /// The operator is neither the owner nor approved for the token.
+    NotAuthorized {
+        /// The unauthorized operator.
+        operator: Address,
+        /// The token in question.
+        token: TokenId,
+    },
+    /// Transfer to the zero address (burns must use `burn`).
+    TransferToZero,
+    /// Self-transfer, which the simulated marketplace rejects as a trivial
+    /// wash trade.
+    SelfTransfer,
+}
+
+impl fmt::Display for NftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NftError::SoldOut => write!(f, "collection is sold out"),
+            NftError::InvalidTokenId(id) => write!(f, "invalid token id {id}"),
+            NftError::AlreadyMinted(id) => write!(f, "{id} is already minted"),
+            NftError::NotMinted(id) => write!(f, "{id} does not exist"),
+            NftError::NotOwner { claimed, actual, token } => {
+                write!(f, "{claimed} does not own {token} (owner is {actual})")
+            }
+            NftError::NotAuthorized { operator, token } => {
+                write!(f, "{operator} is not authorized for {token}")
+            }
+            NftError::TransferToZero => write!(f, "transfer to the zero address"),
+            NftError::SelfTransfer => write!(f, "self-transfer rejected"),
+        }
+    }
+}
+
+impl std::error::Error for NftError {}

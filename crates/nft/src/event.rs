@@ -1,0 +1,112 @@
+//! ERC-721 event log entries.
+
+use parole_primitives::{Address, TokenId, Wei};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An entry in a collection's append-only event log.
+///
+/// Mirrors the ERC-721 standard events (`Transfer`, `Approval`) with the
+/// convention that mints are transfers *from* the zero address and burns are
+/// transfers *to* it. [`Erc721Event::PriceChanged`] is an extension event the
+/// limited-edition contract emits whenever the bonding curve moves — the
+/// snapshot analyzer (Fig. 10) consumes these to find arbitrage windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Erc721Event {
+    /// Ownership of `token` moved from `from` to `to`.
+    Transfer {
+        /// Previous owner ([`Address::ZERO`] for mints).
+        from: Address,
+        /// New owner ([`Address::ZERO`] for burns).
+        to: Address,
+        /// The token that moved.
+        token: TokenId,
+    },
+    /// `owner` approved `approved` to move `token`.
+    Approval {
+        /// The token owner granting approval.
+        owner: Address,
+        /// The approved operator ([`Address::ZERO`] clears approval).
+        approved: Address,
+        /// The token in question.
+        token: TokenId,
+    },
+    /// The bonding-curve price moved after a mint or burn.
+    PriceChanged {
+        /// Price before the operation.
+        old_price: Wei,
+        /// Price after the operation.
+        new_price: Wei,
+        /// Tokens still mintable after the operation (`S^t`).
+        remaining_supply: u64,
+    },
+}
+
+impl Erc721Event {
+    /// `true` for a `Transfer` event that represents a mint.
+    pub fn is_mint(&self) -> bool {
+        matches!(self, Erc721Event::Transfer { from, .. } if from.is_zero())
+    }
+
+    /// `true` for a `Transfer` event that represents a burn.
+    pub fn is_burn(&self) -> bool {
+        matches!(self, Erc721Event::Transfer { to, .. } if to.is_zero())
+    }
+}
+
+impl fmt::Display for Erc721Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Erc721Event::Transfer { from, to, token } if from.is_zero() => {
+                write!(f, "Mint({token} -> {to})")
+            }
+            Erc721Event::Transfer { from, to, token } if to.is_zero() => {
+                write!(f, "Burn({token} from {from})")
+            }
+            Erc721Event::Transfer { from, to, token } => {
+                write!(f, "Transfer({token}: {from} -> {to})")
+            }
+            Erc721Event::Approval { owner, approved, token } => {
+                write!(f, "Approval({token}: {owner} approves {approved})")
+            }
+            Erc721Event::PriceChanged { old_price, new_price, remaining_supply } => {
+                write!(f, "PriceChanged({old_price} -> {new_price}, S={remaining_supply})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_burn_classification() {
+        let mint = Erc721Event::Transfer {
+            from: Address::ZERO,
+            to: Address::from_low_u64(1),
+            token: TokenId::new(0),
+        };
+        assert!(mint.is_mint());
+        assert!(!mint.is_burn());
+        assert_eq!(mint.to_string(), "Mint(token#0 -> 0x0000000000000000000000000000000000000001)");
+
+        let burn = Erc721Event::Transfer {
+            from: Address::from_low_u64(1),
+            to: Address::ZERO,
+            token: TokenId::new(0),
+        };
+        assert!(burn.is_burn());
+        assert!(!burn.is_mint());
+    }
+
+    #[test]
+    fn plain_transfer_is_neither() {
+        let t = Erc721Event::Transfer {
+            from: Address::from_low_u64(1),
+            to: Address::from_low_u64(2),
+            token: TokenId::new(3),
+        };
+        assert!(!t.is_mint() && !t.is_burn());
+    }
+}

@@ -1,0 +1,488 @@
+//! The OVM execution engine.
+
+use crate::{GasSchedule, NftTransaction, Receipt, RevertReason, TxKind, TxStatus};
+use parole_nft::NftError;
+use parole_primitives::Wei;
+use parole_state::L2State;
+use serde::{Deserialize, Serialize};
+
+/// Execution policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OvmConfig {
+    /// Gas accounting schedule.
+    pub gas_schedule: GasSchedule,
+    /// Block base fee used for fee computation.
+    pub base_fee: Wei,
+    /// Verify attached ECDSA signatures. Protocol tests enable this; the
+    /// large fleet simulations leave transactions unsigned, and unsigned
+    /// transactions always pass.
+    pub verify_signatures: bool,
+    /// Charge gas fees to sender balances. Off by default because the
+    /// paper's case-study arithmetic (Fig. 5) ignores gas; the Table III
+    /// harness switches it on.
+    pub charge_fees: bool,
+}
+
+impl Default for OvmConfig {
+    fn default() -> Self {
+        OvmConfig {
+            gas_schedule: GasSchedule::paper_calibrated(),
+            base_fee: Wei::from_gwei(1),
+            verify_signatures: true,
+            charge_fees: false,
+        }
+    }
+}
+
+/// The Optimistic Virtual Machine.
+///
+/// Stateless by itself — every method takes the [`L2State`] it should act on,
+/// which is what makes speculative forks trivial.
+#[derive(Debug, Clone, Default)]
+pub struct Ovm {
+    config: OvmConfig,
+}
+
+impl Ovm {
+    /// An OVM with the default (paper-calibrated) configuration.
+    pub fn new() -> Self {
+        Ovm::default()
+    }
+
+    /// An OVM with an explicit configuration.
+    pub fn with_config(config: OvmConfig) -> Self {
+        Ovm { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OvmConfig {
+        &self.config
+    }
+
+    /// Executes a single transaction against `state`, committing its effects
+    /// on success and leaving `state` untouched by the operation (except gas
+    /// and nonce accounting) on revert.
+    pub fn execute(&self, state: &mut L2State, tx: &NftTransaction) -> Receipt {
+        let gas_used = self.config.gas_schedule.gas_for(&tx.kind);
+        let fee = if self.config.charge_fees {
+            tx.fees.total_fee(gas_used, self.config.base_fee)
+        } else {
+            Wei::ZERO
+        };
+
+        let price_before = state
+            .collection(tx.kind.collection())
+            .map(|c| c.price())
+            .unwrap_or(Wei::ZERO);
+
+        let receipt = |status: TxStatus, price_after: Wei| Receipt {
+            tx_hash: tx.tx_hash(),
+            status,
+            gas_used,
+            fee_paid: fee,
+            price_before,
+            price_after,
+        };
+
+        // Signature check precedes everything (an invalid signature would
+        // never enter a block on the real chain; here it burns gas like an
+        // invalid op so adversarial flooding is not free).
+        if self.config.verify_signatures && !tx.verify_signature() {
+            return receipt(TxStatus::Reverted(RevertReason::BadSignature), price_before);
+        }
+
+        // Fees are charged up front; a sender who cannot pay reverts.
+        if self.config.charge_fees {
+            if state.debit(tx.sender, fee).is_err() {
+                return receipt(TxStatus::Reverted(RevertReason::CannotPayFees), price_before);
+            }
+            state.bump_nonce(tx.sender);
+        } else {
+            state.bump_nonce(tx.sender);
+        }
+
+        let status = self.apply_operation(state, tx, price_before);
+        let price_after = state
+            .collection(tx.kind.collection())
+            .map(|c| c.price())
+            .unwrap_or(Wei::ZERO);
+        receipt(status, price_after)
+    }
+
+    /// Applies the NFT operation itself; returns the resulting status.
+    fn apply_operation(
+        &self,
+        state: &mut L2State,
+        tx: &NftTransaction,
+        price: Wei,
+    ) -> TxStatus {
+        let collection_addr = tx.kind.collection();
+        if state.collection(collection_addr).is_none() {
+            return TxStatus::Reverted(RevertReason::NoSuchCollection);
+        }
+
+        match tx.kind {
+            // Eq. 1 / Eq. 2: mint — pay `P^{t-1}` to the creator, supply
+            // shrinks, price rises.
+            TxKind::Mint { token, .. } => {
+                let contract_ok = state
+                    .collection(collection_addr)
+                    .expect("checked above")
+                    .can_mint(token);
+                if let Err(e) = contract_ok {
+                    return map_nft_error(e);
+                }
+                if state.balance_of(tx.sender) < price {
+                    return TxStatus::Reverted(RevertReason::InsufficientBalance);
+                }
+                let creator = state
+                    .collection(collection_addr)
+                    .expect("checked above")
+                    .config()
+                    .creator;
+                state.debit(tx.sender, price).expect("balance just checked");
+                state.credit(creator, price);
+                state
+                    .collection_mut(collection_addr)
+                    .expect("checked above")
+                    .mint(tx.sender, token)
+                    .expect("constraints just checked");
+                TxStatus::Executed
+            }
+            // Eq. 3 / Eq. 4: transfer — buyer pays `P^{t-1}` to the seller,
+            // ownership moves, price unchanged.
+            TxKind::Transfer { token, to, .. } => {
+                let contract_ok = state
+                    .collection(collection_addr)
+                    .expect("checked above")
+                    .can_transfer(tx.sender, to, token);
+                if let Err(e) = contract_ok {
+                    return map_nft_error(e);
+                }
+                if state.balance_of(to) < price {
+                    return TxStatus::Reverted(RevertReason::InsufficientBalance);
+                }
+                state.transfer_balance(to, tx.sender, price).expect("just checked");
+                state
+                    .collection_mut(collection_addr)
+                    .expect("checked above")
+                    .transfer(tx.sender, to, token)
+                    .expect("constraints just checked");
+                TxStatus::Executed
+            }
+            // Eq. 5 / Eq. 6: burn — supply grows, price falls, no payment.
+            TxKind::Burn { token, .. } => {
+                let contract_ok = state
+                    .collection(collection_addr)
+                    .expect("checked above")
+                    .can_burn(tx.sender, token);
+                if let Err(e) = contract_ok {
+                    return map_nft_error(e);
+                }
+                state
+                    .collection_mut(collection_addr)
+                    .expect("checked above")
+                    .burn(tx.sender, token)
+                    .expect("constraints just checked");
+                TxStatus::Executed
+            }
+        }
+    }
+
+    /// Executes a whole sequence in order, committing to `state`.
+    pub fn execute_sequence(
+        &self,
+        state: &mut L2State,
+        txs: &[NftTransaction],
+    ) -> Vec<Receipt> {
+        txs.iter().map(|tx| self.execute(state, tx)).collect()
+    }
+
+    /// Speculatively executes a sequence on a fork of `state`, returning the
+    /// receipts and the resulting state without touching the original.
+    ///
+    /// This is the primitive the GENTRANSEQ environment calls once per
+    /// candidate ordering.
+    pub fn simulate_sequence(
+        &self,
+        state: &L2State,
+        txs: &[NftTransaction],
+    ) -> (Vec<Receipt>, L2State) {
+        let mut fork = state.clone();
+        let receipts = self.execute_sequence(&mut fork, txs);
+        (receipts, fork)
+    }
+
+    /// Whether `tx` would execute successfully as the next transaction on
+    /// `state` (speculative single-transaction check).
+    pub fn would_succeed(&self, state: &L2State, tx: &NftTransaction) -> bool {
+        let mut fork = state.clone();
+        self.execute(&mut fork, tx).is_success()
+    }
+}
+
+/// Maps contract-level NFT errors to OVM revert reasons.
+fn map_nft_error(e: NftError) -> TxStatus {
+    let reason = match e {
+        NftError::SoldOut => RevertReason::SoldOut,
+        NftError::InvalidTokenId(_) | NftError::AlreadyMinted(_) => RevertReason::BadTokenId,
+        NftError::NotMinted(_) => RevertReason::NoSuchToken,
+        NftError::NotOwner { .. } | NftError::NotAuthorized { .. } => RevertReason::NotOwner,
+        NftError::TransferToZero | NftError::SelfTransfer => RevertReason::BadTransfer,
+    };
+    TxStatus::Reverted(reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_nft::CollectionConfig;
+    use parole_primitives::{Address, TokenId};
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    /// The canonical case-study fixture: PT with 5 pre-minted tokens, the
+    /// IFU holding 2 of them plus 1.5 ETH.
+    fn case_study_state() -> (L2State, Address, Address) {
+        let mut state = L2State::new();
+        let pt = state.deploy_collection(CollectionConfig::parole_token());
+        let ifu = addr(1000);
+        state.credit(ifu, Wei::from_milli_eth(1500));
+        let coll = state.collection_mut(pt).unwrap();
+        coll.mint(ifu, TokenId::new(0)).unwrap();
+        coll.mint(ifu, TokenId::new(1)).unwrap();
+        coll.mint(addr(1), TokenId::new(2)).unwrap();
+        coll.mint(addr(2), TokenId::new(3)).unwrap();
+        coll.mint(addr(13), TokenId::new(4)).unwrap();
+        (state, pt, ifu)
+    }
+
+    fn ovm() -> Ovm {
+        Ovm::new()
+    }
+
+    #[test]
+    fn case_study_initial_conditions() {
+        let (state, pt, ifu) = case_study_state();
+        assert_eq!(state.collection(pt).unwrap().price(), Wei::from_milli_eth(400));
+        assert_eq!(state.total_balance_of(ifu), Wei::from_milli_eth(2300));
+    }
+
+    #[test]
+    fn mint_pays_pre_mint_price_and_moves_curve() {
+        let (mut state, pt, ifu) = case_study_state();
+        let tx = NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        let r = ovm().execute(&mut state, &tx);
+        assert!(r.is_success());
+        assert_eq!(r.price_before, Wei::from_milli_eth(400));
+        assert_eq!(r.price_after, Wei::from_milli_eth(500));
+        // IFU paid 0.4; holds 3 tokens at 0.5 → total 1.1 + 1.5 = 2.6.
+        assert_eq!(state.balance_of(ifu), Wei::from_milli_eth(1100));
+        assert_eq!(state.total_balance_of(ifu), Wei::from_milli_eth(2600));
+        // Creator received the primary-sale revenue.
+        let creator = state.collection(pt).unwrap().config().creator;
+        assert_eq!(state.balance_of(creator), Wei::from_milli_eth(400));
+    }
+
+    #[test]
+    fn mint_reverts_when_broke() {
+        let (mut state, pt, _) = case_study_state();
+        let pauper = addr(77);
+        let tx =
+            NftTransaction::simple(pauper, TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        let r = ovm().execute(&mut state, &tx);
+        assert_eq!(r.revert_reason(), Some(RevertReason::InsufficientBalance));
+        assert_eq!(state.collection(pt).unwrap().remaining_supply(), 5);
+    }
+
+    #[test]
+    fn transfer_buyer_pays_seller() {
+        let (mut state, pt, ifu) = case_study_state();
+        let buyer = addr(11);
+        state.credit(buyer, Wei::from_eth(1));
+        let tx = NftTransaction::simple(
+            ifu,
+            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: buyer },
+        );
+        let r = ovm().execute(&mut state, &tx);
+        assert!(r.is_success());
+        // Price unchanged by transfer.
+        assert_eq!(r.price_before, r.price_after);
+        // Seller gained 0.4, buyer spent 0.4 and owns the token.
+        assert_eq!(state.balance_of(ifu), Wei::from_milli_eth(1900));
+        assert_eq!(state.balance_of(buyer), Wei::from_milli_eth(600));
+        assert!(state.collection(pt).unwrap().is_owner(buyer, TokenId::new(0)));
+    }
+
+    #[test]
+    fn transfer_reverts_when_buyer_broke() {
+        let (mut state, pt, ifu) = case_study_state();
+        let buyer = addr(11); // zero balance
+        let tx = NftTransaction::simple(
+            ifu,
+            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: buyer },
+        );
+        let r = ovm().execute(&mut state, &tx);
+        assert_eq!(r.revert_reason(), Some(RevertReason::InsufficientBalance));
+        assert!(state.collection(pt).unwrap().is_owner(ifu, TokenId::new(0)));
+    }
+
+    #[test]
+    fn transfer_reverts_for_non_owner() {
+        let (mut state, pt, _) = case_study_state();
+        let buyer = addr(11);
+        state.credit(buyer, Wei::from_eth(1));
+        let tx = NftTransaction::simple(
+            addr(55),
+            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: buyer },
+        );
+        assert_eq!(
+            ovm().execute(&mut state, &tx).revert_reason(),
+            Some(RevertReason::NotOwner)
+        );
+    }
+
+    #[test]
+    fn burn_lowers_price_for_everyone() {
+        let (mut state, pt, ifu) = case_study_state();
+        let tx = NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) });
+        let r = ovm().execute(&mut state, &tx);
+        assert!(r.is_success());
+        assert_eq!(r.price_after, Wei::from_milli_eth(330));
+        // IFU's 2 tokens revalue at 0.33: total = 1.5 + 0.66 = 2.16.
+        assert_eq!(state.total_balance_of(ifu), Wei::from_milli_eth(2160));
+    }
+
+    #[test]
+    fn reverted_tx_preserves_state_root() {
+        let (mut state, pt, _) = case_study_state();
+        // Nonce accounting does change, so compare collection state + balances
+        // via a fresh execution on a fork.
+        let tx = NftTransaction::simple(
+            addr(55),
+            TxKind::Burn { collection: pt, token: TokenId::new(0) },
+        );
+        let balances_before: Vec<_> =
+            (0..20).map(|i| state.balance_of(addr(i))).collect();
+        let supply_before = state.collection(pt).unwrap().remaining_supply();
+        let r = ovm().execute(&mut state, &tx);
+        assert!(!r.is_success());
+        let balances_after: Vec<_> = (0..20).map(|i| state.balance_of(addr(i))).collect();
+        assert_eq!(balances_before, balances_after);
+        assert_eq!(state.collection(pt).unwrap().remaining_supply(), supply_before);
+    }
+
+    #[test]
+    fn missing_collection_reverts() {
+        let mut state = L2State::new();
+        let tx = NftTransaction::simple(
+            addr(1),
+            TxKind::Mint { collection: addr(9999), token: TokenId::new(0) },
+        );
+        assert_eq!(
+            ovm().execute(&mut state, &tx).revert_reason(),
+            Some(RevertReason::NoSuchCollection)
+        );
+    }
+
+    #[test]
+    fn signature_enforcement() {
+        use parole_crypto::Wallet;
+        use parole_primitives::{FeeBundle, TxNonce};
+
+        let mut state = L2State::new();
+        let pt = state.deploy_collection(CollectionConfig::parole_token());
+        let wallet = Wallet::from_seed(5);
+        state.credit(wallet.address(), Wei::from_eth(1));
+
+        let good = NftTransaction::signed(
+            &wallet,
+            TxKind::Mint { collection: pt, token: TokenId::new(0) },
+            FeeBundle::from_gwei(30, 2),
+            TxNonce::new(0),
+        );
+        assert!(ovm().execute(&mut state, &good).is_success());
+
+        // Forge: claim a different sender on signed material.
+        let mut forged = good;
+        forged.sender = addr(9);
+        forged.kind = TxKind::Mint { collection: pt, token: TokenId::new(1) };
+        assert_eq!(
+            ovm().execute(&mut state, &forged).revert_reason(),
+            Some(RevertReason::BadSignature)
+        );
+    }
+
+    #[test]
+    fn fee_charging_mode() {
+        let mut config = OvmConfig::default();
+        config.charge_fees = true;
+        config.base_fee = Wei::from_gwei(1);
+        let ovm = Ovm::with_config(config);
+
+        let mut state = L2State::new();
+        let pt = state.deploy_collection(CollectionConfig::parole_token());
+        state.credit(addr(1), Wei::from_eth(1));
+        let tx = NftTransaction::simple(addr(1), TxKind::Mint { collection: pt, token: TokenId::new(0) });
+        let r = ovm.execute(&mut state, &tx);
+        assert!(r.is_success());
+        assert!(r.fee_paid > Wei::ZERO);
+        // Balance dropped by price + fee.
+        assert_eq!(
+            state.balance_of(addr(1)),
+            Wei::from_eth(1) - Wei::from_milli_eth(200) - r.fee_paid
+        );
+
+        // A sender with nothing can't even pay fees.
+        let broke_tx =
+            NftTransaction::simple(addr(2), TxKind::Mint { collection: pt, token: TokenId::new(1) });
+        assert_eq!(
+            ovm.execute(&mut state, &broke_tx).revert_reason(),
+            Some(RevertReason::CannotPayFees)
+        );
+    }
+
+    #[test]
+    fn simulate_sequence_leaves_original_untouched() {
+        let (state, pt, ifu) = case_study_state();
+        let txs = vec![
+            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
+            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
+        ];
+        let root_before = state.state_root();
+        let (receipts, fork) = ovm().simulate_sequence(&state, &txs);
+        assert!(receipts.iter().all(Receipt::is_success));
+        assert_eq!(state.state_root(), root_before);
+        assert_ne!(fork.state_root(), root_before);
+    }
+
+    #[test]
+    fn would_succeed_is_side_effect_free() {
+        let (state, pt, ifu) = case_study_state();
+        let tx = NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        assert!(ovm().would_succeed(&state, &tx));
+        let bad = NftTransaction::simple(addr(77), TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        assert!(!ovm().would_succeed(&state, &bad));
+    }
+
+    #[test]
+    fn sequence_order_changes_outcome() {
+        // The essence of the attack: the same set of transactions yields
+        // different IFU balances in different orders.
+        let (state, pt, ifu) = case_study_state();
+        state.collection(pt).unwrap();
+        let mint = NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        let burn = NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) });
+
+        let (_, after_mint_first) = ovm().simulate_sequence(&state, &[mint, burn]);
+        let (_, after_burn_first) = ovm().simulate_sequence(&state, &[burn, mint]);
+
+        // Burn-first lets the IFU mint at 0.33 instead of 0.4.
+        assert!(
+            after_burn_first.total_balance_of(ifu) > after_mint_first.total_balance_of(ifu),
+            "burn-first should be strictly better for the IFU"
+        );
+    }
+}

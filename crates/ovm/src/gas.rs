@@ -1,0 +1,130 @@
+//! The OVM gas schedule.
+
+use crate::TxKind;
+use parole_primitives::Gas;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation gas costs and limits.
+///
+/// Calibrated so that [`GasSchedule::paper_calibrated`] reproduces the gas
+/// utilisation shape of the paper's Table III (PT transactions on OpenSea via
+/// Optimism Goerli): minting is the heaviest operation and runs closest to
+/// its limit (90.91%), while transfer (69.84%) and burn (69.82%) sit close
+/// together at lower utilisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GasSchedule {
+    /// Gas consumed by a mint.
+    pub mint_gas: Gas,
+    /// Gas limit a wallet attaches to a mint.
+    pub mint_limit: Gas,
+    /// Gas consumed by a transfer.
+    pub transfer_gas: Gas,
+    /// Gas limit a wallet attaches to a transfer.
+    pub transfer_limit: Gas,
+    /// Gas consumed by a burn.
+    pub burn_gas: Gas,
+    /// Gas limit a wallet attaches to a burn.
+    pub burn_limit: Gas,
+}
+
+impl GasSchedule {
+    /// The schedule calibrated to Table III's utilisation percentages.
+    pub fn paper_calibrated() -> Self {
+        GasSchedule {
+            // 100_001 / 110_000 = 90.91%
+            mint_gas: Gas::new(100_001),
+            mint_limit: Gas::new(110_000),
+            // 48_888 / 70_000 = 69.84%
+            transfer_gas: Gas::new(48_888),
+            transfer_limit: Gas::new(70_000),
+            // 48_874 / 70_000 = 69.82%
+            burn_gas: Gas::new(48_874),
+            burn_limit: Gas::new(70_000),
+        }
+    }
+
+    /// A flat schedule where every operation costs the same — used by
+    /// ablation benches to isolate fee effects.
+    pub fn flat(gas: u64) -> Self {
+        GasSchedule {
+            mint_gas: Gas::new(gas),
+            mint_limit: Gas::new(gas * 2),
+            transfer_gas: Gas::new(gas),
+            transfer_limit: Gas::new(gas * 2),
+            burn_gas: Gas::new(gas),
+            burn_limit: Gas::new(gas * 2),
+        }
+    }
+
+    /// Gas consumed by an operation of the given kind.
+    pub fn gas_for(&self, kind: &TxKind) -> Gas {
+        match kind {
+            TxKind::Mint { .. } => self.mint_gas,
+            TxKind::Transfer { .. } => self.transfer_gas,
+            TxKind::Burn { .. } => self.burn_gas,
+        }
+    }
+
+    /// Gas limit attached to an operation of the given kind.
+    pub fn limit_for(&self, kind: &TxKind) -> Gas {
+        match kind {
+            TxKind::Mint { .. } => self.mint_limit,
+            TxKind::Transfer { .. } => self.transfer_limit,
+            TxKind::Burn { .. } => self.burn_limit,
+        }
+    }
+
+    /// Utilisation percentage for the given kind (Table III's "gas usage"
+    /// column).
+    pub fn utilisation_for(&self, kind: &TxKind) -> f64 {
+        self.gas_for(kind).utilisation_pct(self.limit_for(kind))
+    }
+}
+
+impl Default for GasSchedule {
+    fn default() -> Self {
+        GasSchedule::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_primitives::{Address, TokenId};
+
+    fn kinds() -> [TxKind; 3] {
+        let c = Address::from_low_u64(1);
+        let t = TokenId::new(0);
+        [
+            TxKind::Mint { collection: c, token: t },
+            TxKind::Transfer { collection: c, token: t, to: Address::from_low_u64(2) },
+            TxKind::Burn { collection: c, token: t },
+        ]
+    }
+
+    #[test]
+    fn paper_utilisation_matches_table3() {
+        let sched = GasSchedule::paper_calibrated();
+        let [mint, transfer, burn] = kinds();
+        assert!((sched.utilisation_for(&mint) - 90.91).abs() < 0.01);
+        assert!((sched.utilisation_for(&transfer) - 69.84).abs() < 0.01);
+        assert!((sched.utilisation_for(&burn) - 69.82).abs() < 0.01);
+    }
+
+    #[test]
+    fn mint_is_the_heaviest_operation() {
+        let sched = GasSchedule::paper_calibrated();
+        let [mint, transfer, burn] = kinds();
+        assert!(sched.gas_for(&mint) > sched.gas_for(&transfer));
+        assert!(sched.gas_for(&mint) > sched.gas_for(&burn));
+    }
+
+    #[test]
+    fn flat_schedule_is_uniform() {
+        let sched = GasSchedule::flat(1000);
+        let [mint, transfer, burn] = kinds();
+        assert_eq!(sched.gas_for(&mint), sched.gas_for(&transfer));
+        assert_eq!(sched.gas_for(&burn), Gas::new(1000));
+        assert!((sched.utilisation_for(&mint) - 50.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,304 @@
+//! The NFT transaction model.
+
+use parole_crypto::secp256k1::{PublicKey, Signature};
+use parole_crypto::{keccak256, Hash32, Wallet};
+use parole_primitives::{Address, FeeBundle, TokenId, TxNonce};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operation a transaction performs — the paper's three NFT transaction
+/// types (`M_k^{i,t}`, `T_{k,j}^{i,t}`, `D_k^{i,t}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxKind {
+    /// Mint `token` from `collection` to the sender, paying the current
+    /// bonding-curve price to the collection creator.
+    Mint {
+        /// Collection contract address.
+        collection: Address,
+        /// Token identifier to mint.
+        token: TokenId,
+    },
+    /// Sell `token` to `to`: ownership moves sender → `to`, and `to` pays the
+    /// current bonding-curve price to the sender.
+    Transfer {
+        /// Collection contract address.
+        collection: Address,
+        /// Token identifier to transfer.
+        token: TokenId,
+        /// The buyer receiving the token and paying the price.
+        to: Address,
+    },
+    /// Destroy `token`, returning one unit of mintable supply.
+    Burn {
+        /// Collection contract address.
+        collection: Address,
+        /// Token identifier to burn.
+        token: TokenId,
+    },
+}
+
+impl TxKind {
+    /// The collection this operation touches.
+    pub fn collection(&self) -> Address {
+        match self {
+            TxKind::Mint { collection, .. }
+            | TxKind::Transfer { collection, .. }
+            | TxKind::Burn { collection, .. } => *collection,
+        }
+    }
+
+    /// The token this operation touches.
+    pub fn token(&self) -> TokenId {
+        match self {
+            TxKind::Mint { token, .. }
+            | TxKind::Transfer { token, .. }
+            | TxKind::Burn { token, .. } => *token,
+        }
+    }
+
+    /// Short label for displays and feature encodings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TxKind::Mint { .. } => "mint",
+            TxKind::Transfer { .. } => "transfer",
+            TxKind::Burn { .. } => "burn",
+        }
+    }
+}
+
+/// Signature material attached to a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxAuth {
+    /// The sender's public key (the simulated chain resolves addresses from
+    /// keys directly rather than using signature recovery).
+    pub public_key: PublicKey,
+    /// ECDSA signature over [`NftTransaction::signing_digest`].
+    pub signature: Signature,
+}
+
+/// A signed (or simulation-unsigned) NFT transaction.
+///
+/// Large-scale experiments construct unsigned transactions via
+/// [`NftTransaction::simple`] because signing thousands of transactions with
+/// the from-scratch ECDSA dominates runtime without changing any measured
+/// quantity; protocol-level tests use [`NftTransaction::signed`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NftTransaction {
+    /// The submitting user (`U_k`).
+    pub sender: Address,
+    /// The operation.
+    pub kind: TxKind,
+    /// EIP-1559-style fee parameters (the mempool's only ordering key).
+    pub fees: FeeBundle,
+    /// Sender nonce (informational in the simulation; the OVM does not
+    /// enforce nonce ordering because the attack's whole point is that the
+    /// aggregator controls ordering).
+    pub nonce: TxNonce,
+    /// Optional signature material.
+    pub auth: Option<TxAuth>,
+}
+
+impl NftTransaction {
+    /// Builds an unsigned transaction with default fees.
+    pub fn simple(sender: Address, kind: TxKind) -> Self {
+        NftTransaction {
+            sender,
+            kind,
+            fees: FeeBundle::from_gwei(30, 2),
+            nonce: TxNonce::default(),
+            auth: None,
+        }
+    }
+
+    /// Builds an unsigned transaction with explicit fees.
+    pub fn with_fees(sender: Address, kind: TxKind, fees: FeeBundle) -> Self {
+        NftTransaction {
+            sender,
+            kind,
+            fees,
+            nonce: TxNonce::default(),
+            auth: None,
+        }
+    }
+
+    /// Builds and signs a transaction with `wallet` (whose address becomes
+    /// the sender).
+    pub fn signed(wallet: &Wallet, kind: TxKind, fees: FeeBundle, nonce: TxNonce) -> Self {
+        let mut tx = NftTransaction {
+            sender: wallet.address(),
+            kind,
+            fees,
+            nonce,
+            auth: None,
+        };
+        let digest = tx.signing_digest();
+        tx.auth = Some(TxAuth {
+            public_key: *wallet.public_key(),
+            signature: wallet.sign(digest.as_bytes()),
+        });
+        tx
+    }
+
+    /// Deterministic byte encoding of the signed fields.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(96);
+        out.extend_from_slice(self.sender.as_bytes());
+        match self.kind {
+            TxKind::Mint { collection, token } => {
+                out.push(0);
+                out.extend_from_slice(collection.as_bytes());
+                out.extend_from_slice(&token.value().to_be_bytes());
+            }
+            TxKind::Transfer { collection, token, to } => {
+                out.push(1);
+                out.extend_from_slice(collection.as_bytes());
+                out.extend_from_slice(&token.value().to_be_bytes());
+                out.extend_from_slice(to.as_bytes());
+            }
+            TxKind::Burn { collection, token } => {
+                out.push(2);
+                out.extend_from_slice(collection.as_bytes());
+                out.extend_from_slice(&token.value().to_be_bytes());
+            }
+        }
+        out.extend_from_slice(&self.fees.max_fee_per_gas.wei().to_be_bytes());
+        out.extend_from_slice(&self.fees.max_priority_fee_per_gas.wei().to_be_bytes());
+        out.extend_from_slice(&self.nonce.value().to_be_bytes());
+        out
+    }
+
+    /// The digest a wallet signs.
+    pub fn signing_digest(&self) -> Hash32 {
+        keccak256(&self.encode())
+    }
+
+    /// The transaction hash (over the encoding; signatures are simulation
+    /// metadata and excluded so signed and unsigned copies of the same
+    /// logical transaction coincide).
+    pub fn tx_hash(&self) -> Hash32 {
+        self.signing_digest()
+    }
+
+    /// Verifies the attached signature, if any.
+    ///
+    /// Returns `false` when signature material is present but invalid or the
+    /// key does not belong to the sender; `true` for unsigned transactions
+    /// (the simulation's permissive mode) and valid signatures.
+    pub fn verify_signature(&self) -> bool {
+        match &self.auth {
+            None => true,
+            Some(auth) => {
+                let wallet_addr = {
+                    let digest = keccak256(&auth.public_key.to_bytes());
+                    let mut a = [0u8; 20];
+                    a.copy_from_slice(&digest.as_bytes()[12..]);
+                    Address::from_bytes(a)
+                };
+                wallet_addr == self.sender
+                    && auth
+                        .public_key
+                        .verify(self.signing_digest().as_bytes(), &auth.signature)
+            }
+        }
+    }
+
+    /// `true` when `who` is a party to this transaction (sender, or buyer of
+    /// a transfer) — the IFU-involvement test of the arbitrage assessment.
+    pub fn involves(&self, who: Address) -> bool {
+        if self.sender == who {
+            return true;
+        }
+        matches!(self.kind, TxKind::Transfer { to, .. } if to == who)
+    }
+}
+
+impl fmt::Display for NftTransaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TxKind::Mint { token, .. } => write!(f, "Mint {} by {}", token, self.sender),
+            TxKind::Transfer { token, to, .. } => {
+                write!(f, "Transfer {}: {} -> {}", token, self.sender, to)
+            }
+            TxKind::Burn { token, .. } => write!(f, "Burn {} by {}", token, self.sender),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    fn kind() -> TxKind {
+        TxKind::Mint {
+            collection: addr(100),
+            token: TokenId::new(3),
+        }
+    }
+
+    #[test]
+    fn encoding_distinguishes_kinds() {
+        let c = addr(100);
+        let t = TokenId::new(1);
+        let mint = NftTransaction::simple(addr(1), TxKind::Mint { collection: c, token: t });
+        let burn = NftTransaction::simple(addr(1), TxKind::Burn { collection: c, token: t });
+        let xfer = NftTransaction::simple(
+            addr(1),
+            TxKind::Transfer { collection: c, token: t, to: addr(2) },
+        );
+        assert_ne!(mint.tx_hash(), burn.tx_hash());
+        assert_ne!(mint.tx_hash(), xfer.tx_hash());
+        assert_ne!(burn.tx_hash(), xfer.tx_hash());
+    }
+
+    #[test]
+    fn unsigned_txs_verify_permissively() {
+        assert!(NftTransaction::simple(addr(1), kind()).verify_signature());
+    }
+
+    #[test]
+    fn signed_tx_verifies_and_binds_sender() {
+        let wallet = Wallet::from_seed(42);
+        let tx = NftTransaction::signed(&wallet, kind(), FeeBundle::from_gwei(30, 2), TxNonce::new(0));
+        assert_eq!(tx.sender, wallet.address());
+        assert!(tx.verify_signature());
+
+        // Tampering with the payload breaks verification.
+        let mut forged = tx;
+        forged.sender = addr(9);
+        assert!(!forged.verify_signature());
+        let mut bumped = tx;
+        bumped.nonce = TxNonce::new(7);
+        assert!(!bumped.verify_signature());
+    }
+
+    #[test]
+    fn involvement_covers_buyer_side() {
+        let seller = addr(1);
+        let buyer = addr(2);
+        let tx = NftTransaction::simple(
+            seller,
+            TxKind::Transfer { collection: addr(100), token: TokenId::new(0), to: buyer },
+        );
+        assert!(tx.involves(seller));
+        assert!(tx.involves(buyer));
+        assert!(!tx.involves(addr(3)));
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let k = kind();
+        assert_eq!(k.collection(), addr(100));
+        assert_eq!(k.token(), TokenId::new(3));
+        assert_eq!(k.label(), "mint");
+    }
+
+    #[test]
+    fn display_shapes() {
+        let tx = NftTransaction::simple(addr(1), kind());
+        assert!(tx.to_string().starts_with("Mint token#3 by"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the OVM: economic conservation laws and
+//! execution invariants under random transaction streams.
+
+use parole_nft::CollectionConfig;
+use parole_ovm::{NftTransaction, Ovm, TxKind};
+use parole_primitives::{Address, TokenId, Wei};
+use parole_state::L2State;
+use proptest::prelude::*;
+
+/// A raw operation the strategy generates; may or may not be executable.
+#[derive(Debug, Clone)]
+enum RawOp {
+    Mint { sender: u64, token: u64 },
+    Transfer { sender: u64, token: u64, to: u64 },
+    Burn { sender: u64, token: u64 },
+}
+
+fn arb_op(users: u64, tokens: u64) -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        (0..users, 0..tokens).prop_map(|(sender, token)| RawOp::Mint { sender, token }),
+        (0..users, 0..tokens, 0..users)
+            .prop_map(|(sender, token, to)| RawOp::Transfer { sender, token, to }),
+        (0..users, 0..tokens).prop_map(|(sender, token)| RawOp::Burn { sender, token }),
+    ]
+}
+
+fn world() -> (L2State, Address) {
+    let mut state = L2State::new();
+    let coll = state.deploy_collection(CollectionConfig::limited_edition("Prop", 12, 200));
+    for u in 1..=6u64 {
+        state.credit(Address::from_low_u64(u), Wei::from_eth(5));
+    }
+    (state, coll)
+}
+
+fn to_tx(op: &RawOp, coll: Address) -> NftTransaction {
+    let a = |v: u64| Address::from_low_u64(v + 1);
+    match *op {
+        RawOp::Mint { sender, token } => NftTransaction::simple(
+            a(sender),
+            TxKind::Mint { collection: coll, token: TokenId::new(token) },
+        ),
+        RawOp::Transfer { sender, token, to } => NftTransaction::simple(
+            a(sender),
+            TxKind::Transfer { collection: coll, token: TokenId::new(token), to: a(to) },
+        ),
+        RawOp::Burn { sender, token } => NftTransaction::simple(
+            a(sender),
+            TxKind::Burn { collection: coll, token: TokenId::new(token) },
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// L2 token supply is conserved by every NFT transaction sequence
+    /// (payments only move balances between accounts).
+    #[test]
+    fn value_conservation(ops in prop::collection::vec(arb_op(6, 12), 1..60)) {
+        let (mut state, coll) = world();
+        let supply_before = state.total_supply();
+        let ovm = Ovm::new();
+        for op in &ops {
+            let _ = ovm.execute(&mut state, &to_tx(op, coll));
+        }
+        prop_assert_eq!(state.total_supply(), supply_before);
+    }
+
+    /// The bonding-curve invariant holds after any stream:
+    /// `active + remaining == max_supply` and the price matches Eq. 10.
+    #[test]
+    fn supply_invariant(ops in prop::collection::vec(arb_op(6, 12), 1..60)) {
+        let (mut state, coll) = world();
+        let ovm = Ovm::new();
+        for op in &ops {
+            let _ = ovm.execute(&mut state, &to_tx(op, coll));
+        }
+        let c = state.collection(coll).unwrap();
+        prop_assert_eq!(c.active_supply() + c.remaining_supply(), 12);
+        prop_assert_eq!(c.price(), c.price_at_remaining(c.remaining_supply()));
+    }
+
+    /// Reverted transactions change nothing except the sender's nonce:
+    /// executing the same stream with reverts filtered out produces the
+    /// same balances and ownership.
+    #[test]
+    fn reverts_are_side_effect_free(ops in prop::collection::vec(arb_op(6, 12), 1..40)) {
+        let (state, coll) = world();
+        let ovm = Ovm::new();
+        let txs: Vec<NftTransaction> = ops.iter().map(|o| to_tx(o, coll)).collect();
+
+        let (receipts, full_run) = ovm.simulate_sequence(&state, &txs);
+        let executed_only: Vec<NftTransaction> = txs
+            .iter()
+            .zip(&receipts)
+            .filter(|(_, r)| r.is_success())
+            .map(|(t, _)| *t)
+            .collect();
+        let (_, filtered_run) = ovm.simulate_sequence(&state, &executed_only);
+
+        for u in 1..=6u64 {
+            let who = Address::from_low_u64(u);
+            prop_assert_eq!(full_run.balance_of(who), filtered_run.balance_of(who));
+        }
+        let a: Vec<_> = full_run.collection(coll).unwrap().iter().collect();
+        let b: Vec<_> = filtered_run.collection(coll).unwrap().iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// `simulate_sequence` never mutates the input state, and re-running is
+    /// deterministic.
+    #[test]
+    fn simulation_is_pure(ops in prop::collection::vec(arb_op(6, 12), 1..30)) {
+        let (state, coll) = world();
+        let ovm = Ovm::new();
+        let txs: Vec<NftTransaction> = ops.iter().map(|o| to_tx(o, coll)).collect();
+        let root_before = state.state_root();
+        let (r1, s1) = ovm.simulate_sequence(&state, &txs);
+        let (r2, s2) = ovm.simulate_sequence(&state, &txs);
+        prop_assert_eq!(state.state_root(), root_before);
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(s1.state_root(), s2.state_root());
+    }
+
+    /// Total wealth (L2 balance + NFT holdings at current price) summed over
+    /// all users changes only through price moves, never through transfers:
+    /// in a stream of transfers only, every user's total-balance sum is
+    /// constant.
+    #[test]
+    fn transfers_conserve_total_wealth(
+        pairs in prop::collection::vec((0u64..6, 0u64..6, 0u64..6), 1..30),
+    ) {
+        let (mut state, coll) = world();
+        // Mint a few tokens first so transfers have material.
+        let ovm = Ovm::new();
+        for i in 0..6u64 {
+            let tx = to_tx(&RawOp::Mint { sender: i % 6, token: i }, coll);
+            prop_assert!(ovm.execute(&mut state, &tx).is_success());
+        }
+        let users: Vec<Address> = (1..=6).map(Address::from_low_u64).collect();
+        let wealth = |s: &L2State| -> Wei {
+            users.iter().map(|&u| s.total_balance_of(u)).sum()
+        };
+        let before = wealth(&state);
+        for (sender, token, to) in pairs {
+            let tx = to_tx(&RawOp::Transfer { sender, token, to }, coll);
+            let _ = ovm.execute(&mut state, &tx);
+        }
+        // The creator received mint revenue before the snapshot; transfers
+        // keep the user-side wealth pool constant.
+        prop_assert_eq!(wealth(&state), before);
+    }
+}

@@ -1,0 +1,155 @@
+//! Account addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 20-byte account address, as used by Ethereum and its rollups.
+///
+/// Addresses identify every actor in the simulation: rollup users (including
+/// the illicitly favored user, IFU), aggregators' fee recipients, NFT
+/// contract deployers and the optimistic-rollup smart contract itself.
+///
+/// # Example
+///
+/// ```
+/// use parole_primitives::Address;
+/// let a = Address::from_low_u64(7);
+/// assert_eq!(a.to_string(), "0x0000000000000000000000000000000000000007");
+/// assert_eq!("0x0000000000000000000000000000000000000007".parse::<Address>().unwrap(), a);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Address([u8; 20]);
+
+impl Address {
+    /// The all-zero address, conventionally used as the mint/burn sentinel in
+    /// ERC-721 `Transfer` events.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Creates an address from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+
+    /// Creates an address whose low eight bytes are `v` (big-endian); handy
+    /// for tests and synthetic populations (`U_1`, `U_2`, … in the paper).
+    pub const fn from_low_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        let mut out = [0u8; 20];
+        let mut i = 0;
+        while i < 8 {
+            out[12 + i] = b[i];
+            i += 1;
+        }
+        Address(out)
+    }
+
+    /// The raw 20 bytes.
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Returns `true` for the zero sentinel address.
+    pub const fn is_zero(&self) -> bool {
+        let mut i = 0;
+        while i < 20 {
+            if self.0[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// A shortened display form like `0x7A..c8e`, as the paper renders
+    /// contract addresses in Fig. 10.
+    pub fn short(&self) -> String {
+        let full = self.to_string();
+        format!("{}..{}", &full[..4], &full[full.len() - 3..])
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing an [`Address`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddressError;
+
+impl fmt::Display for ParseAddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address syntax (want 0x + 40 hex digits)")
+    }
+}
+
+impl std::error::Error for ParseAddressError {}
+
+impl FromStr for Address {
+    type Err = ParseAddressError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex = s.strip_prefix("0x").unwrap_or(s);
+        if hex.len() != 40 {
+            return Err(ParseAddressError);
+        }
+        let mut out = [0u8; 20];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16).ok_or(ParseAddressError)?;
+            let lo = (chunk[1] as char).to_digit(16).ok_or(ParseAddressError)?;
+            out[i] = (hi * 16 + lo) as u8;
+        }
+        Ok(Address(out))
+    }
+}
+
+impl From<[u8; 20]> for Address {
+    fn from(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let a = Address::from_low_u64(0xdead_beef);
+        let s = a.to_string();
+        assert_eq!(s.parse::<Address>().unwrap(), a);
+    }
+
+    #[test]
+    fn zero_sentinel() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_low_u64(1).is_zero());
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("0x1234".parse::<Address>().is_err());
+        assert!("zz".repeat(20).parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn short_form() {
+        let a: Address = "0x7A00000000000000000000000000000000000c8e".parse().unwrap();
+        assert_eq!(a.short(), "0x7a..c8e");
+    }
+}

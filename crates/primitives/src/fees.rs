@@ -1,0 +1,137 @@
+//! Transaction fee bundles.
+
+use crate::{Gas, Wei};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The EIP-1559-style fee parameters attached to a transaction.
+///
+/// Bedrock's mempool "prioritizes the transactions according to only the base
+/// and priority fees" (paper §VIII); aggregators sort their collected window
+/// by [`FeeBundle::effective_tip`]. The PAROLE attack exploits precisely the
+/// gap between this fee-priority contract and the aggregator's actual freedom
+/// to execute in any order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FeeBundle {
+    /// Maximum total fee per gas the sender will pay.
+    pub max_fee_per_gas: Wei,
+    /// Maximum priority fee (tip) per gas on top of the block base fee.
+    pub max_priority_fee_per_gas: Wei,
+}
+
+impl FeeBundle {
+    /// Creates a fee bundle from per-gas amounts expressed in Gwei.
+    pub fn from_gwei(max_fee: u64, max_priority: u64) -> Self {
+        FeeBundle {
+            max_fee_per_gas: Wei::from_gwei(max_fee),
+            max_priority_fee_per_gas: Wei::from_gwei(max_priority),
+        }
+    }
+
+    /// The tip per gas the aggregator actually receives given the current
+    /// block `base_fee`: `min(max_priority, max_fee − base_fee)`, floored at
+    /// zero when the base fee alone exceeds the cap.
+    pub fn effective_tip(&self, base_fee: Wei) -> Wei {
+        let headroom = self.max_fee_per_gas.saturating_sub(base_fee);
+        self.max_priority_fee_per_gas.min(headroom)
+    }
+
+    /// The total per-gas price charged to the sender for the given
+    /// `base_fee`: `base_fee + effective_tip`, capped at `max_fee_per_gas`.
+    pub fn effective_gas_price(&self, base_fee: Wei) -> Wei {
+        base_fee
+            .saturating_add(self.effective_tip(base_fee))
+            .min(self.max_fee_per_gas)
+    }
+
+    /// Total fee charged for `gas_used` at the given `base_fee`.
+    pub fn total_fee(&self, gas_used: Gas, base_fee: Wei) -> Wei {
+        Wei::from_wei(self.effective_gas_price(base_fee).wei() * gas_used.units() as u128)
+    }
+
+    /// Whether the transaction is includable at all under `base_fee`.
+    pub fn is_includable(&self, base_fee: Wei) -> bool {
+        self.max_fee_per_gas >= base_fee
+    }
+}
+
+impl fmt::Display for FeeBundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fee(max={} gwei, tip={} gwei)",
+            self.max_fee_per_gas.gwei(),
+            self.max_priority_fee_per_gas.gwei()
+        )
+    }
+}
+
+/// Coarse tiers used by the synthetic fee market when generating traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeeMarketTier {
+    /// Low-urgency traffic: minimal tip.
+    Economy,
+    /// Typical traffic.
+    Standard,
+    /// High-urgency traffic: generous tip (e.g. NFT drop snipers).
+    Urgent,
+}
+
+impl FeeMarketTier {
+    /// A representative fee bundle for this tier over the given base fee
+    /// (both expressed in Gwei).
+    pub fn representative_bundle(self, base_fee_gwei: u64) -> FeeBundle {
+        let (mult, tip) = match self {
+            FeeMarketTier::Economy => (2, 1),
+            FeeMarketTier::Standard => (2, 2),
+            FeeMarketTier::Urgent => (3, 10),
+        };
+        FeeBundle::from_gwei(base_fee_gwei * mult + tip, tip)
+    }
+}
+
+impl fmt::Display for FeeMarketTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FeeMarketTier::Economy => "economy",
+            FeeMarketTier::Standard => "standard",
+            FeeMarketTier::Urgent => "urgent",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_tip_is_capped_by_headroom() {
+        let fees = FeeBundle::from_gwei(10, 5);
+        // Base fee 8 leaves only 2 Gwei of headroom.
+        assert_eq!(fees.effective_tip(Wei::from_gwei(8)), Wei::from_gwei(2));
+        // Base fee 2 leaves plenty; full tip applies.
+        assert_eq!(fees.effective_tip(Wei::from_gwei(2)), Wei::from_gwei(5));
+        // Base fee above the cap: zero tip, not includable.
+        assert_eq!(fees.effective_tip(Wei::from_gwei(12)), Wei::ZERO);
+        assert!(!fees.is_includable(Wei::from_gwei(12)));
+    }
+
+    #[test]
+    fn total_fee_scales_with_gas() {
+        let fees = FeeBundle::from_gwei(10, 2);
+        let fee = fees.total_fee(Gas::new(21_000), Wei::from_gwei(3));
+        assert_eq!(fee, Wei::from_gwei(21_000 * 5));
+    }
+
+    #[test]
+    fn tiers_order_by_tip() {
+        let base = 5;
+        let e = FeeMarketTier::Economy.representative_bundle(base);
+        let s = FeeMarketTier::Standard.representative_bundle(base);
+        let u = FeeMarketTier::Urgent.representative_bundle(base);
+        let b = Wei::from_gwei(base);
+        assert!(e.effective_tip(b) < s.effective_tip(b));
+        assert!(s.effective_tip(b) < u.effective_tip(b));
+    }
+}

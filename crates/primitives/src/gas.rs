@@ -1,0 +1,110 @@
+//! Gas quantities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An amount of execution gas.
+///
+/// Gas measures the computational weight of a transaction; the OVM's gas
+/// model charges every mint/transfer/burn a type-specific amount (calibrated
+/// to reproduce the shape of the paper's Table III) and the fee a user pays
+/// is `gas_used × (base_fee + priority_fee)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Gas(u64);
+
+impl Gas {
+    /// Zero gas.
+    pub const ZERO: Gas = Gas(0);
+
+    /// Creates a gas amount from raw units.
+    pub const fn new(units: u64) -> Self {
+        Gas(units)
+    }
+
+    /// Raw gas units.
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Utilisation of this gas amount against a limit, as a percentage.
+    ///
+    /// Table III reports "gas usage" as a percentage of the transaction's gas
+    /// limit (e.g. 90.91% for the PT minting transaction).
+    pub fn utilisation_pct(self, limit: Gas) -> f64 {
+        if limit.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / limit.0 as f64 * 100.0
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Gas) -> Gas {
+        Gas(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Gas {
+    type Output = Gas;
+    fn add(self, rhs: Gas) -> Gas {
+        Gas(self.0.checked_add(rhs.0).expect("gas overflow"))
+    }
+}
+
+impl AddAssign for Gas {
+    fn add_assign(&mut self, rhs: Gas) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Gas {
+    type Output = Gas;
+    fn sub(self, rhs: Gas) -> Gas {
+        Gas(self.0.checked_sub(rhs.0).expect("gas underflow"))
+    }
+}
+
+impl Sum for Gas {
+    fn sum<I: Iterator<Item = Gas>>(iter: I) -> Gas {
+        iter.fold(Gas::ZERO, |acc, g| acc + g)
+    }
+}
+
+impl fmt::Display for Gas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} gas", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_matches_table3_shape() {
+        // 90.91% of a 110_000 gas limit is 100_001 gas used.
+        let used = Gas::new(100_001);
+        let limit = Gas::new(110_000);
+        let pct = used.utilisation_pct(limit);
+        assert!((pct - 90.91).abs() < 0.01, "got {pct}");
+    }
+
+    #[test]
+    fn utilisation_of_zero_limit_is_zero() {
+        assert_eq!(Gas::new(5).utilisation_pct(Gas::ZERO), 0.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Gas::new(3) + Gas::new(4), Gas::new(7));
+        assert_eq!(Gas::new(4) - Gas::new(3), Gas::new(1));
+        assert_eq!(Gas::new(3).saturating_sub(Gas::new(4)), Gas::ZERO);
+        let total: Gas = [Gas::new(1), Gas::new(2)].into_iter().sum();
+        assert_eq!(total, Gas::new(3));
+    }
+}

@@ -1,0 +1,98 @@
+//! 32-byte hash values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte hash digest (Keccak-256 output, Merkle roots, tx hashes).
+///
+/// The digest computation itself lives in `parole-crypto`; this type is kept
+/// in the primitives crate so every layer can carry hashes without depending
+/// on the hashing implementation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Hash32([u8; 32]);
+
+impl Hash32 {
+    /// The all-zero hash, used as the empty-tree sentinel.
+    pub const ZERO: Hash32 = Hash32([0u8; 32]);
+
+    /// Creates a hash from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash32(bytes)
+    }
+
+    /// The raw 32 bytes.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the hash, returning the raw bytes.
+    pub const fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Returns `true` for the all-zero sentinel.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// First eight bytes interpreted as a big-endian integer; used to derive
+    /// deterministic pseudo-random values from digests.
+    pub fn to_low_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    /// A shortened display form like `0x8f56…`, as the paper renders tx
+    /// hashes in Table III.
+    pub fn short(&self) -> String {
+        format!("0x{:02x}{:02x}..", self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Display for Hash32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<[u8; 32]> for Hash32 {
+    fn from(bytes: [u8; 32]) -> Self {
+        Hash32(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Hash32 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_low_u64() {
+        assert!(Hash32::ZERO.is_zero());
+        let mut b = [0u8; 32];
+        b[7] = 5;
+        let h = Hash32::from_bytes(b);
+        assert!(!h.is_zero());
+        assert_eq!(h.to_low_u64(), 5);
+    }
+
+    #[test]
+    fn display_is_full_hex() {
+        let h = Hash32::from_bytes([0xab; 32]);
+        let s = h.to_string();
+        assert_eq!(s.len(), 2 + 64);
+        assert!(s.starts_with("0xabab"));
+        assert_eq!(h.short(), "0xabab..");
+    }
+}

@@ -1,0 +1,101 @@
+//! Identifier newtypes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Creates an identifier from its raw integer value.
+            pub const fn new(v: u64) -> Self {
+                $name(v)
+            }
+
+            /// The raw integer value.
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+
+            /// The next identifier in sequence.
+            pub const fn next(self) -> Self {
+                $name(self.0 + 1)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// The unique identifier of an ERC-721 token instance within its
+    /// collection (the `i` in the paper's `M_k^{i,t}` notation).
+    TokenId,
+    "token#"
+);
+
+id_newtype!(
+    /// An L2 block number.
+    BlockNumber,
+    "block#"
+);
+
+id_newtype!(
+    /// Per-account transaction nonce.
+    TxNonce,
+    "nonce:"
+);
+
+id_newtype!(
+    /// Identifier of a rollup aggregator (`A_k` in the paper).
+    AggregatorId,
+    "agg#"
+);
+
+id_newtype!(
+    /// Identifier of a rollup verifier (`V_k` in the paper).
+    VerifierId,
+    "ver#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(TokenId::new(3).to_string(), "token#3");
+        assert_eq!(BlockNumber::new(17934499).to_string(), "block#17934499");
+        assert_eq!(AggregatorId::new(0).to_string(), "agg#0");
+        assert_eq!(VerifierId::new(9).to_string(), "ver#9");
+        assert_eq!(TxNonce::new(2).to_string(), "nonce:2");
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(TokenId::new(1).next(), TokenId::new(2));
+        assert_eq!(BlockNumber::default().next().value(), 1);
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(TokenId::new(1) < TokenId::new(2));
+    }
+}

@@ -1,0 +1,430 @@
+//! Fixed-point ether amounts.
+
+use crate::PrimitiveError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of wei in one ETH (10^18).
+pub const WEI_PER_ETH: u128 = 1_000_000_000_000_000_000;
+/// Number of wei in one Gwei (10^9).
+pub const WEI_PER_GWEI: u128 = 1_000_000_000;
+
+/// An unsigned amount of ether expressed in wei (1 ETH = 10^18 wei).
+///
+/// `Wei` is the currency type for every balance, price and fee in the
+/// simulation. Plain `+`/`-` operators panic on overflow/underflow (a logic
+/// bug in the simulation); the `checked_*` variants return errors for code
+/// paths where failure is a legitimate outcome (e.g. an NFT buyer who cannot
+/// afford the current price).
+///
+/// # Example
+///
+/// ```
+/// use parole_primitives::Wei;
+/// let p = Wei::from_milli_eth(660);
+/// assert_eq!(p.to_string(), "0.66 ETH");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Wei(u128);
+
+impl Wei {
+    /// The zero amount.
+    pub const ZERO: Wei = Wei(0);
+
+    /// Creates an amount from a raw wei count.
+    pub const fn from_wei(wei: u128) -> Self {
+        Wei(wei)
+    }
+
+    /// Creates an amount from whole ETH.
+    pub const fn from_eth(eth: u64) -> Self {
+        Wei(eth as u128 * WEI_PER_ETH)
+    }
+
+    /// Creates an amount from thousandths of an ETH (0.001 ETH units).
+    ///
+    /// The paper's case studies use prices such as 0.4, 0.33 and 0.66 ETH;
+    /// those are `from_milli_eth(400)`, `(330)` and `(660)`.
+    pub const fn from_milli_eth(milli: u64) -> Self {
+        Wei(milli as u128 * (WEI_PER_ETH / 1_000))
+    }
+
+    /// Creates an amount from hundredths of an ETH (0.01 ETH units).
+    pub const fn from_centi_eth(centi: u64) -> Self {
+        Wei(centi as u128 * (WEI_PER_ETH / 100))
+    }
+
+    /// Creates an amount from Gwei (10^9 wei).
+    pub const fn from_gwei(gwei: u64) -> Self {
+        Wei(gwei as u128 * WEI_PER_GWEI)
+    }
+
+    /// Raw wei count.
+    pub const fn wei(self) -> u128 {
+        self.0
+    }
+
+    /// Amount in Gwei, truncating sub-Gwei dust.
+    pub const fn gwei(self) -> u128 {
+        self.0 / WEI_PER_GWEI
+    }
+
+    /// Approximate amount in ETH as `f64` (for reporting only).
+    pub fn eth_f64(self) -> f64 {
+        self.0 as f64 / WEI_PER_ETH as f64
+    }
+
+    /// Returns `true` if the amount is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimitiveError::Overflow`] when the sum does not fit in
+    /// 128 bits.
+    pub fn checked_add(self, rhs: Wei) -> Result<Wei, PrimitiveError> {
+        self.0
+            .checked_add(rhs.0)
+            .map(Wei)
+            .ok_or(PrimitiveError::Overflow)
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimitiveError::Underflow`] when `rhs > self`.
+    pub fn checked_sub(self, rhs: Wei) -> Result<Wei, PrimitiveError> {
+        self.0
+            .checked_sub(rhs.0)
+            .map(Wei)
+            .ok_or(PrimitiveError::Underflow)
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition (clamps at `u128::MAX`).
+    pub fn saturating_add(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies the amount by an integer count (e.g. tokens owned × price).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow; simulated balances never approach `u128::MAX`.
+    pub fn mul_count(self, count: u64) -> Wei {
+        Wei(self.0.checked_mul(count as u128).expect("wei overflow"))
+    }
+
+    /// Computes `self * numer / denom` with full 128-bit intermediate math.
+    ///
+    /// This is the kernel of the scarcity bonding curve (paper Eq. 10):
+    /// `P^t = S^0 / S^t × P^0` is evaluated as `P^0.mul_ratio(S^0, S^t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimitiveError::DivisionByZero`] when `denom == 0` and
+    /// [`PrimitiveError::Overflow`] when the scaled numerator overflows.
+    pub fn mul_ratio(self, numer: u64, denom: u64) -> Result<Wei, PrimitiveError> {
+        if denom == 0 {
+            return Err(PrimitiveError::DivisionByZero);
+        }
+        let scaled = self
+            .0
+            .checked_mul(numer as u128)
+            .ok_or(PrimitiveError::Overflow)?;
+        Ok(Wei(scaled / denom as u128))
+    }
+
+    /// Truncates the amount downwards to a multiple of `quantum`.
+    ///
+    /// The paper's case-study tables (Fig. 5) quote prices truncated to two
+    /// decimals (0.2 × 10/3 is shown as 0.66 ETH, 0.2 × 10/6 as 0.33 ETH), so
+    /// the reference quantum there is `Wei::from_centi_eth(1)`.
+    ///
+    /// A zero `quantum` leaves the amount untouched (no quantization).
+    pub fn quantize_floor(self, quantum: Wei) -> Wei {
+        if quantum.is_zero() {
+            self
+        } else {
+            Wei(self.0 / quantum.0 * quantum.0)
+        }
+    }
+
+    /// Absolute difference between two amounts.
+    pub fn abs_diff(self, rhs: Wei) -> Wei {
+        Wei(self.0.abs_diff(rhs.0))
+    }
+
+    /// Signed difference `self - rhs` as a [`WeiDelta`].
+    pub fn signed_sub(self, rhs: Wei) -> WeiDelta {
+        WeiDelta(self.0 as i128 - rhs.0 as i128)
+    }
+}
+
+impl Add for Wei {
+    type Output = Wei;
+    fn add(self, rhs: Wei) -> Wei {
+        Wei(self.0.checked_add(rhs.0).expect("wei overflow"))
+    }
+}
+
+impl AddAssign for Wei {
+    fn add_assign(&mut self, rhs: Wei) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Wei {
+    type Output = Wei;
+    fn sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.checked_sub(rhs.0).expect("wei underflow"))
+    }
+}
+
+impl SubAssign for Wei {
+    fn sub_assign(&mut self, rhs: Wei) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Wei {
+    type Output = Wei;
+    fn mul(self, rhs: u64) -> Wei {
+        self.mul_count(rhs)
+    }
+}
+
+impl Div<u64> for Wei {
+    type Output = Wei;
+    fn div(self, rhs: u64) -> Wei {
+        Wei(self.0 / rhs as u128)
+    }
+}
+
+impl Sum for Wei {
+    fn sum<I: Iterator<Item = Wei>>(iter: I) -> Wei {
+        iter.fold(Wei::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for Wei {
+    /// Renders the amount in ETH, trimming trailing zeros:
+    /// `0.66 ETH`, `2 ETH`, `0.000001 ETH`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.0 / WEI_PER_ETH;
+        let frac = self.0 % WEI_PER_ETH;
+        if frac == 0 {
+            return write!(f, "{whole} ETH");
+        }
+        let mut s = format!("{frac:018}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        write!(f, "{whole}.{s} ETH")
+    }
+}
+
+/// A signed amount of wei: balance deltas, profits and losses.
+///
+/// The attack's central quantity — IFU profit — can be negative during
+/// exploration, so rewards and profit reporting use `WeiDelta` rather than
+/// [`Wei`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct WeiDelta(i128);
+
+impl WeiDelta {
+    /// The zero delta.
+    pub const ZERO: WeiDelta = WeiDelta(0);
+
+    /// Creates a delta from a raw signed wei count.
+    pub const fn from_wei(wei: i128) -> Self {
+        WeiDelta(wei)
+    }
+
+    /// Raw signed wei count.
+    pub const fn wei(self) -> i128 {
+        self.0
+    }
+
+    /// Delta in signed Gwei, truncating toward zero.
+    pub const fn gwei(self) -> i128 {
+        self.0 / WEI_PER_GWEI as i128
+    }
+
+    /// Approximate delta in ETH as `f64` (for reporting only).
+    pub fn eth_f64(self) -> f64 {
+        self.0 as f64 / WEI_PER_ETH as f64
+    }
+
+    /// `true` when the delta is strictly positive (a profit).
+    pub const fn is_gain(self) -> bool {
+        self.0 > 0
+    }
+
+    /// `true` when the delta is strictly negative (a loss).
+    pub const fn is_loss(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Converts a gain into an unsigned amount.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrimitiveError::Underflow`] for negative deltas.
+    pub fn to_wei_amount(self) -> Result<Wei, PrimitiveError> {
+        if self.0 < 0 {
+            Err(PrimitiveError::Underflow)
+        } else {
+            Ok(Wei::from_wei(self.0 as u128))
+        }
+    }
+}
+
+impl From<Wei> for WeiDelta {
+    fn from(w: Wei) -> Self {
+        WeiDelta(w.wei() as i128)
+    }
+}
+
+impl Add for WeiDelta {
+    type Output = WeiDelta;
+    fn add(self, rhs: WeiDelta) -> WeiDelta {
+        WeiDelta(self.0.checked_add(rhs.0).expect("delta overflow"))
+    }
+}
+
+impl AddAssign for WeiDelta {
+    fn add_assign(&mut self, rhs: WeiDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for WeiDelta {
+    type Output = WeiDelta;
+    fn sub(self, rhs: WeiDelta) -> WeiDelta {
+        WeiDelta(self.0.checked_sub(rhs.0).expect("delta overflow"))
+    }
+}
+
+impl Mul<i128> for WeiDelta {
+    type Output = WeiDelta;
+    fn mul(self, rhs: i128) -> WeiDelta {
+        WeiDelta(self.0.checked_mul(rhs).expect("delta overflow"))
+    }
+}
+
+impl Sum for WeiDelta {
+    fn sum<I: Iterator<Item = WeiDelta>>(iter: I) -> WeiDelta {
+        iter.fold(WeiDelta::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl fmt::Display for WeiDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 0 {
+            write!(f, "-{}", Wei::from_wei(self.0.unsigned_abs()))
+        } else {
+            write!(f, "+{}", Wei::from_wei(self.0 as u128))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Wei::from_eth(1), Wei::from_milli_eth(1000));
+        assert_eq!(Wei::from_milli_eth(10), Wei::from_centi_eth(1));
+        assert_eq!(Wei::from_gwei(1_000_000_000), Wei::from_eth(1));
+    }
+
+    #[test]
+    fn display_trims_zeros() {
+        assert_eq!(Wei::from_milli_eth(400).to_string(), "0.4 ETH");
+        assert_eq!(Wei::from_eth(2).to_string(), "2 ETH");
+        assert_eq!(Wei::from_milli_eth(2370).to_string(), "2.37 ETH");
+        assert_eq!(Wei::from_gwei(1).to_string(), "0.000000001 ETH");
+    }
+
+    #[test]
+    fn bonding_curve_ratio_matches_paper() {
+        // Eq. 10 with S0 = 10, P0 = 0.2 ETH.
+        let p0 = Wei::from_milli_eth(200);
+        let q = Wei::from_centi_eth(1);
+        // 5 remaining -> 0.4 ETH.
+        assert_eq!(p0.mul_ratio(10, 5).unwrap().quantize_floor(q), Wei::from_milli_eth(400));
+        // 4 remaining -> 0.5 ETH.
+        assert_eq!(p0.mul_ratio(10, 4).unwrap().quantize_floor(q), Wei::from_milli_eth(500));
+        // 3 remaining -> 0.666... truncated to 0.66 ETH.
+        assert_eq!(p0.mul_ratio(10, 3).unwrap().quantize_floor(q), Wei::from_milli_eth(660));
+        // 6 remaining -> 0.333... truncated to 0.33 ETH.
+        assert_eq!(p0.mul_ratio(10, 6).unwrap().quantize_floor(q), Wei::from_milli_eth(330));
+    }
+
+    #[test]
+    fn ratio_by_zero_supply_errors() {
+        assert_eq!(
+            Wei::from_eth(1).mul_ratio(10, 0),
+            Err(PrimitiveError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn checked_sub_underflow() {
+        assert_eq!(
+            Wei::from_eth(1).checked_sub(Wei::from_eth(2)),
+            Err(PrimitiveError::Underflow)
+        );
+        assert_eq!(
+            Wei::from_eth(1).saturating_sub(Wei::from_eth(2)),
+            Wei::ZERO
+        );
+    }
+
+    #[test]
+    fn signed_delta_roundtrip() {
+        let d = Wei::from_eth(1).signed_sub(Wei::from_eth(3));
+        assert!(d.is_loss());
+        assert_eq!(d.wei(), -2 * WEI_PER_ETH as i128);
+        assert_eq!(d.to_string(), "-2 ETH");
+        let g = Wei::from_eth(3).signed_sub(Wei::from_eth(1));
+        assert!(g.is_gain());
+        assert_eq!(g.to_wei_amount().unwrap(), Wei::from_eth(2));
+    }
+
+    #[test]
+    fn quantize_zero_quantum_is_identity() {
+        let x = Wei::from_wei(123_456_789);
+        assert_eq!(x.quantize_floor(Wei::ZERO), x);
+    }
+
+    #[test]
+    fn sum_iterates() {
+        let total: Wei = (1..=4u64).map(Wei::from_eth).sum();
+        assert_eq!(total, Wei::from_eth(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "wei underflow")]
+    fn operator_sub_panics_on_underflow() {
+        let _ = Wei::from_eth(1) - Wei::from_eth(2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the primitive value types.
+
+use parole_primitives::{Address, FeeBundle, Gas, Wei, WeiDelta};
+use proptest::prelude::*;
+
+proptest! {
+    /// Addition then subtraction round-trips.
+    #[test]
+    fn wei_add_sub_roundtrip(a in 0u128..u64::MAX as u128, b in 0u128..u64::MAX as u128) {
+        let wa = Wei::from_wei(a);
+        let wb = Wei::from_wei(b);
+        prop_assert_eq!((wa + wb) - wb, wa);
+    }
+
+    /// `quantize_floor` never increases an amount and is idempotent.
+    #[test]
+    fn quantize_floor_monotone(a in 0u128..u64::MAX as u128, q in 1u128..1_000_000_000_000u128) {
+        let w = Wei::from_wei(a);
+        let quantum = Wei::from_wei(q);
+        let once = w.quantize_floor(quantum);
+        prop_assert!(once <= w);
+        prop_assert_eq!(once.quantize_floor(quantum), once);
+        // It lands on a multiple of the quantum.
+        prop_assert_eq!(once.wei() % q, 0);
+    }
+
+    /// The bonding curve is monotone: fewer remaining tokens, higher price.
+    #[test]
+    fn bonding_curve_monotone(p0 in 1u128..=Wei::from_eth(100).wei(), s0 in 1u64..10_000) {
+        let base = Wei::from_wei(p0);
+        let mut prev = Wei::ZERO;
+        for remaining in (1..=s0).rev() {
+            let price = base.mul_ratio(s0, remaining).unwrap();
+            prop_assert!(price >= prev, "price dropped as supply shrank");
+            prev = price;
+        }
+    }
+
+    /// Display → parse round-trip for addresses.
+    #[test]
+    fn address_display_parse(v in any::<u64>()) {
+        let a = Address::from_low_u64(v);
+        prop_assert_eq!(a.to_string().parse::<Address>().unwrap(), a);
+    }
+
+    /// Signed subtraction agrees with unsigned subtraction on the larger side.
+    #[test]
+    fn signed_sub_consistent(a in 0u128..u64::MAX as u128, b in 0u128..u64::MAX as u128) {
+        let wa = Wei::from_wei(a);
+        let wb = Wei::from_wei(b);
+        let d = wa.signed_sub(wb);
+        if a >= b {
+            prop_assert_eq!(d.to_wei_amount().unwrap(), wa - wb);
+        } else {
+            prop_assert!(d.is_loss());
+            prop_assert_eq!(d.wei(), -((b - a) as i128));
+        }
+    }
+
+    /// Effective gas price never exceeds the fee cap and never undercuts the
+    /// base fee when includable.
+    #[test]
+    fn fee_bounds(max_fee in 1u64..10_000, tip in 0u64..10_000, base in 0u64..10_000) {
+        let fees = FeeBundle::from_gwei(max_fee, tip);
+        let base_fee = Wei::from_gwei(base);
+        let price = fees.effective_gas_price(base_fee);
+        prop_assert!(price <= fees.max_fee_per_gas);
+        if fees.is_includable(base_fee) {
+            prop_assert!(price >= base_fee);
+        }
+    }
+
+    /// Gas utilisation stays in [0, 100] whenever used ≤ limit.
+    #[test]
+    fn gas_utilisation_bounds(used in 0u64..1_000_000, limit in 1u64..1_000_000) {
+        let pct = Gas::new(used.min(limit)).utilisation_pct(Gas::new(limit));
+        prop_assert!((0.0..=100.0).contains(&pct));
+    }
+
+    /// Delta sum of pairwise differences telescopes to last-minus-first.
+    #[test]
+    fn delta_telescopes(vals in prop::collection::vec(0u128..u64::MAX as u128, 2..20)) {
+        let deltas: WeiDelta = vals
+            .windows(2)
+            .map(|w| Wei::from_wei(w[1]).signed_sub(Wei::from_wei(w[0])))
+            .sum();
+        let direct = Wei::from_wei(*vals.last().unwrap())
+            .signed_sub(Wei::from_wei(vals[0]));
+        prop_assert_eq!(deltas, direct);
+    }
+}

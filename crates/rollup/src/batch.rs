@@ -1,0 +1,178 @@
+//! Transaction batches and state commitments.
+
+use parole_crypto::{Hash32, MerkleTree};
+use parole_ovm::{NftTransaction, Receipt};
+use parole_primitives::AggregatorId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a submitted batch (assigned by the ORSC in order).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct BatchId(u64);
+
+impl BatchId {
+    /// Creates a batch id from its raw value.
+    pub const fn new(v: u64) -> Self {
+        BatchId(v)
+    }
+
+    /// The raw value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// The next id in sequence.
+    pub const fn next(self) -> Self {
+        BatchId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for BatchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch#{}", self.0)
+    }
+}
+
+/// The "fraud proof" an aggregator submits alongside its batch: the claimed
+/// state transition `(pre_state_root, tx_root) → post_state_root`.
+///
+/// Verifiers re-execute the batch from the pre-state and compare roots; the
+/// commitment is *valid* iff honest re-execution of exactly these
+/// transactions in exactly this order reproduces `post_state_root`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateCommitment {
+    /// L2 state root before the batch.
+    pub pre_state_root: Hash32,
+    /// Claimed L2 state root after the batch.
+    pub post_state_root: Hash32,
+    /// Merkle root over the batch's transaction hashes (binding the order:
+    /// leaves are `keccak(index ‖ tx_hash)`).
+    pub tx_root: Hash32,
+}
+
+/// A batch of ordered transactions with its execution evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Batch {
+    /// The submitting aggregator.
+    pub aggregator: AggregatorId,
+    /// The transactions in execution order.
+    pub txs: Vec<NftTransaction>,
+    /// The receipts the aggregator claims the execution produced.
+    pub receipts: Vec<Receipt>,
+    /// The state commitment (fraud proof).
+    pub commitment: StateCommitment,
+}
+
+impl Batch {
+    /// Computes the order-binding Merkle root over a transaction sequence.
+    pub fn compute_tx_root(txs: &[NftTransaction]) -> Hash32 {
+        let leaves: Vec<Hash32> = txs
+            .iter()
+            .enumerate()
+            .map(|(i, tx)| {
+                let mut buf = Vec::with_capacity(40);
+                buf.extend_from_slice(&(i as u64).to_be_bytes());
+                buf.extend_from_slice(tx.tx_hash().as_bytes());
+                parole_crypto::keccak256(&buf)
+            })
+            .collect();
+        MerkleTree::from_leaves(leaves).root()
+    }
+
+    /// `true` when the embedded `tx_root` matches the embedded transactions —
+    /// a cheap well-formedness check done before accepting a submission.
+    pub fn tx_root_consistent(&self) -> bool {
+        Batch::compute_tx_root(&self.txs) == self.commitment.tx_root
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// `true` when the batch carries no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+}
+
+impl fmt::Display for Batch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Batch({} txs by {}, {} -> {})",
+            self.txs.len(),
+            self.aggregator,
+            self.commitment.pre_state_root.short(),
+            self.commitment.post_state_root.short(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_ovm::TxKind;
+    use parole_primitives::{Address, TokenId};
+
+    fn txs(n: u64) -> Vec<NftTransaction> {
+        (0..n)
+            .map(|i| {
+                NftTransaction::simple(
+                    Address::from_low_u64(i + 1),
+                    TxKind::Mint {
+                        collection: Address::from_low_u64(100),
+                        token: TokenId::new(i),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tx_root_binds_order() {
+        let a = txs(4);
+        let mut b = a.clone();
+        b.swap(1, 2);
+        assert_ne!(Batch::compute_tx_root(&a), Batch::compute_tx_root(&b));
+    }
+
+    #[test]
+    fn tx_root_binds_content() {
+        let a = txs(4);
+        let b = txs(5);
+        assert_ne!(Batch::compute_tx_root(&a), Batch::compute_tx_root(&b));
+    }
+
+    #[test]
+    fn consistency_check() {
+        let list = txs(3);
+        let commitment = StateCommitment {
+            pre_state_root: Hash32::ZERO,
+            post_state_root: Hash32::ZERO,
+            tx_root: Batch::compute_tx_root(&list),
+        };
+        let batch = Batch {
+            aggregator: AggregatorId::new(0),
+            txs: list,
+            receipts: vec![],
+            commitment,
+        };
+        assert!(batch.tx_root_consistent());
+        assert_eq!(batch.len(), 3);
+
+        let mut tampered = batch.clone();
+        tampered.txs.swap(0, 2);
+        assert!(!tampered.tx_root_consistent());
+    }
+
+    #[test]
+    fn batch_id_sequence() {
+        assert_eq!(BatchId::new(1).next(), BatchId::new(2));
+        assert_eq!(BatchId::default().value(), 0);
+        assert_eq!(BatchId::new(7).to_string(), "batch#7");
+    }
+}

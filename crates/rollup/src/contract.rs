@@ -1,0 +1,749 @@
+//! The optimistic rollup smart contract (ORSC).
+
+use crate::{Batch, BatchId, L1Chain};
+use parole_crypto::Hash32;
+use parole_ovm::Ovm;
+use parole_primitives::{Address, AggregatorId, BlockNumber, VerifierId, Wei};
+use parole_state::L2State;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Protocol parameters of the rollup deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupConfig {
+    /// How many L1 blocks a batch stays challengeable.
+    pub challenge_period: u64,
+    /// Bond an aggregator must post before submitting batches.
+    pub aggregator_bond: Wei,
+    /// Bond a verifier must post before challenging.
+    pub verifier_bond: Wei,
+    /// Fraction (numerator over 100) of a slashed aggregator bond paid to the
+    /// successful challenger.
+    pub challenger_reward_pct: u64,
+    /// Maximum transactions per batch.
+    pub max_batch_size: usize,
+}
+
+impl Default for RollupConfig {
+    fn default() -> Self {
+        RollupConfig {
+            challenge_period: 3,
+            aggregator_bond: Wei::from_eth(10),
+            verifier_bond: Wei::from_eth(5),
+            challenger_reward_pct: 50,
+            max_batch_size: 256,
+        }
+    }
+}
+
+/// Errors returned by ORSC entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RollupError {
+    /// The submitting aggregator has not posted (or has lost) its bond.
+    NotBonded(AggregatorId),
+    /// The challenging verifier has not posted (or has lost) its bond.
+    VerifierNotBonded(VerifierId),
+    /// The batch's embedded tx root does not match its transactions.
+    MalformedBatch,
+    /// The batch's pre-state root does not extend the current staged state.
+    StaleBatch {
+        /// What the batch claimed.
+        claimed: Hash32,
+        /// What the contract expected.
+        expected: Hash32,
+    },
+    /// The batch exceeds the configured size limit.
+    BatchTooLarge(usize),
+    /// No pending batch carries this id (already finalized, reverted or
+    /// never submitted).
+    UnknownBatch(BatchId),
+    /// A deposit of zero is meaningless and rejected.
+    ZeroDeposit,
+    /// The withdrawer's L2 balance cannot cover the request.
+    InsufficientL2Balance,
+}
+
+impl fmt::Display for RollupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RollupError::NotBonded(a) => write!(f, "aggregator {a} is not bonded"),
+            RollupError::VerifierNotBonded(v) => write!(f, "verifier {v} is not bonded"),
+            RollupError::MalformedBatch => write!(f, "batch tx root mismatch"),
+            RollupError::StaleBatch { claimed, expected } => write!(
+                f,
+                "batch pre-state {} does not extend staged state {}",
+                claimed.short(),
+                expected.short()
+            ),
+            RollupError::BatchTooLarge(n) => write!(f, "batch of {n} txs exceeds limit"),
+            RollupError::UnknownBatch(id) => write!(f, "unknown batch {id}"),
+            RollupError::ZeroDeposit => write!(f, "zero deposit"),
+            RollupError::InsufficientL2Balance => write!(f, "insufficient L2 balance"),
+        }
+    }
+}
+
+impl std::error::Error for RollupError {}
+
+/// Result of adjudicating a challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChallengeOutcome {
+    /// The fraud proof was invalid: the aggregator's bond was slashed by the
+    /// given amount and the batch (plus everything built on it) reverted.
+    FraudProven {
+        /// Amount slashed from the aggregator.
+        slashed: Wei,
+        /// Amount paid to the challenger.
+        reward: Wei,
+    },
+    /// The proof was valid: the verifier's bond was slashed.
+    ChallengeRejected {
+        /// Amount slashed from the verifier.
+        slashed: Wei,
+    },
+}
+
+/// A pending (not yet finalized) L2 action.
+#[derive(Debug, Clone)]
+enum PendingAction {
+    /// A bridge deposit, finalized unconditionally (L1-forced inclusion).
+    Deposit { user: Address, amount: Wei },
+    /// A bridge withdrawal, likewise L1-forced.
+    Withdraw { user: Address, amount: Wei },
+    /// A submitted batch awaiting its challenge window.
+    Batch {
+        id: BatchId,
+        batch: Batch,
+        submitted_at: BlockNumber,
+    },
+}
+
+/// The L1 smart contract coordinating the rollup (paper §V-A).
+///
+/// Holds the canonical (finalized) L2 state, the staged state (canonical
+/// plus every pending action), the pending queue with per-action pre-state
+/// snapshots for challenge rollback, participant bonds, and the simulated
+/// [`L1Chain`].
+pub struct RollupContract {
+    config: RollupConfig,
+    l1: L1Chain,
+    /// Finalized L2 state.
+    canonical: L2State,
+    /// Canonical + all pending actions applied.
+    staged: L2State,
+    /// Pending actions in submission order, each with the staged state as it
+    /// was *before* the action (for challenge rollback).
+    pending: VecDeque<(PendingAction, L2State)>,
+    next_batch_id: BatchId,
+    aggregator_bonds: BTreeMap<AggregatorId, Wei>,
+    verifier_bonds: BTreeMap<VerifierId, Wei>,
+    ovm: Ovm,
+    /// Count of batches that finalized with a post-root different from
+    /// honest re-execution (undetected state forgery — only possible when no
+    /// verifier challenged in time).
+    undetected_forgeries: u64,
+}
+
+impl fmt::Debug for RollupContract {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RollupContract")
+            .field("l1_height", &self.l1.height())
+            .field("pending", &self.pending.len())
+            .field("next_batch_id", &self.next_batch_id)
+            .finish()
+    }
+}
+
+impl RollupContract {
+    /// Deploys the contract with the given parameters.
+    pub fn new(config: RollupConfig) -> Self {
+        RollupContract {
+            config,
+            l1: L1Chain::new(),
+            canonical: L2State::new(),
+            staged: L2State::new(),
+            pending: VecDeque::new(),
+            next_batch_id: BatchId::default(),
+            aggregator_bonds: BTreeMap::new(),
+            verifier_bonds: BTreeMap::new(),
+            ovm: Ovm::new(),
+            undetected_forgeries: 0,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &RollupConfig {
+        &self.config
+    }
+
+    /// The simulated L1 chain.
+    pub fn l1(&self) -> &L1Chain {
+        &self.l1
+    }
+
+    /// The staged L2 state (what the next batch must build on). This is the
+    /// state aggregators and the attack machinery read.
+    pub fn l2_state(&self) -> &L2State {
+        &self.staged
+    }
+
+    /// Mutable access to the staged L2 state for *setup only* (deploying
+    /// collections, pre-minting fixtures). Mirrors into the canonical state
+    /// so the two stay consistent; panics if called while batches are
+    /// pending.
+    pub fn l2_state_for_setup(&mut self) -> &mut L2State {
+        assert!(
+            self.pending.is_empty(),
+            "setup mutations are only allowed before batches are pending"
+        );
+        self.canonical = self.staged.clone();
+        // Keep canonical == staged: hand out staged, then copy on next call.
+        // Callers mutate staged; finalize() naturally reconciles canonical
+        // because snapshots chain from staged.
+        &mut self.staged
+    }
+
+    /// Finishes a setup phase by re-synchronising the canonical state with
+    /// the staged one.
+    pub fn commit_setup(&mut self) {
+        assert!(self.pending.is_empty(), "cannot commit setup mid-flight");
+        self.canonical = self.staged.clone();
+    }
+
+    /// The finalized L2 state.
+    pub fn finalized_state(&self) -> &L2State {
+        &self.canonical
+    }
+
+    /// Number of batches finalized with forged roots nobody challenged.
+    pub fn undetected_forgeries(&self) -> u64 {
+        self.undetected_forgeries
+    }
+
+    /// Posts an aggregator bond (idempotent top-up).
+    pub fn bond_aggregator(&mut self, id: AggregatorId) {
+        *self.aggregator_bonds.entry(id).or_insert(Wei::ZERO) = self.config.aggregator_bond;
+    }
+
+    /// Posts a verifier bond (idempotent top-up).
+    pub fn bond_verifier(&mut self, id: VerifierId) {
+        *self.verifier_bonds.entry(id).or_insert(Wei::ZERO) = self.config.verifier_bond;
+    }
+
+    /// Remaining bond of an aggregator.
+    pub fn aggregator_bond(&self, id: AggregatorId) -> Wei {
+        self.aggregator_bonds.get(&id).copied().unwrap_or(Wei::ZERO)
+    }
+
+    /// Remaining bond of a verifier.
+    pub fn verifier_bond(&self, id: VerifierId) -> Wei {
+        self.verifier_bonds.get(&id).copied().unwrap_or(Wei::ZERO)
+    }
+
+    /// Bridges `amount` of L1 ETH into L2 tokens for `user`
+    /// (`C^{L1} → t^{L2}`, the paper's User-2 path).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero deposits.
+    pub fn deposit(&mut self, user: Address, amount: Wei) -> Result<(), RollupError> {
+        if amount.is_zero() {
+            return Err(RollupError::ZeroDeposit);
+        }
+        let pre = self.staged.clone();
+        self.staged.credit(user, amount);
+        self.pending
+            .push_back((PendingAction::Deposit { user, amount }, pre));
+        Ok(())
+    }
+
+    /// Withdraws `amount` of L2 tokens back to L1 for `user`. Debited from
+    /// the staged state immediately (real rollups additionally delay the L1
+    /// payout by the challenge period; the delay does not interact with
+    /// anything the paper measures).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the staged balance cannot cover the withdrawal.
+    pub fn withdraw(&mut self, user: Address, amount: Wei) -> Result<(), RollupError> {
+        let pre = self.staged.clone();
+        self.staged
+            .debit(user, amount)
+            .map_err(|_| RollupError::InsufficientL2Balance)?;
+        self.pending
+            .push_back((PendingAction::Withdraw { user, amount }, pre));
+        Ok(())
+    }
+
+    /// Accepts a batch submission from a bonded aggregator.
+    ///
+    /// Checks only what the real contract can check: the aggregator's bond,
+    /// the batch's well-formedness, its size, and that it extends the staged
+    /// state root. **It cannot check the ordering policy** — PAROLE batches
+    /// sail through.
+    ///
+    /// # Errors
+    ///
+    /// See [`RollupError`].
+    pub fn submit_batch(&mut self, batch: Batch) -> Result<BatchId, RollupError> {
+        let bond = self.aggregator_bond(batch.aggregator);
+        if bond.is_zero() {
+            return Err(RollupError::NotBonded(batch.aggregator));
+        }
+        if batch.len() > self.config.max_batch_size {
+            return Err(RollupError::BatchTooLarge(batch.len()));
+        }
+        if !batch.tx_root_consistent() {
+            return Err(RollupError::MalformedBatch);
+        }
+        let expected = self.staged.state_root();
+        if batch.commitment.pre_state_root != expected {
+            return Err(RollupError::StaleBatch {
+                claimed: batch.commitment.pre_state_root,
+                expected,
+            });
+        }
+
+        let id = self.next_batch_id;
+        self.next_batch_id = self.next_batch_id.next();
+        let pre = self.staged.clone();
+        // Optimistically advance the staged state by honest execution. (The
+        // claimed post-root may disagree — that is exactly what challenges
+        // catch; finalization records the divergence if nobody does.)
+        let _ = self.ovm.execute_sequence(&mut self.staged, &batch.txs);
+        self.staged.advance_block();
+        self.pending.push_back((
+            PendingAction::Batch {
+                id,
+                batch,
+                submitted_at: self.l1.height(),
+            },
+            pre,
+        ));
+        Ok(id)
+    }
+
+    /// The pending batch with the given id, if still challengeable.
+    pub fn pending_batch(&self, id: BatchId) -> Option<&Batch> {
+        self.pending.iter().find_map(|(a, _)| match a {
+            PendingAction::Batch { id: bid, batch, .. } if *bid == id => Some(batch),
+            _ => None,
+        })
+    }
+
+    /// Ids of all currently pending batches, oldest first.
+    pub fn pending_batch_ids(&self) -> Vec<BatchId> {
+        self.pending
+            .iter()
+            .filter_map(|(a, _)| match a {
+                PendingAction::Batch { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The pre-state snapshot a challenge against `id` would re-execute from.
+    pub fn challenge_pre_state(&self, id: BatchId) -> Option<&L2State> {
+        self.pending.iter().find_map(|(a, pre)| match a {
+            PendingAction::Batch { id: bid, .. } if *bid == id => Some(pre),
+            _ => None,
+        })
+    }
+
+    /// Adjudicates a challenge by `verifier` against pending batch `id`.
+    ///
+    /// The contract re-executes the batch from its pre-state snapshot:
+    ///
+    /// - post-root mismatch → fraud proven: the aggregator's bond is slashed,
+    ///   part of it rewarded to the challenger, the batch and every action
+    ///   after it are reverted (deposits are re-applied; dependent batches
+    ///   are dropped, as on a real rollup where they chained on a bad root);
+    /// - post-root match → the challenge was frivolous: the verifier's bond
+    ///   is slashed.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the verifier is unbonded or the batch is not pending.
+    pub fn challenge(
+        &mut self,
+        verifier: VerifierId,
+        id: BatchId,
+    ) -> Result<ChallengeOutcome, RollupError> {
+        let vbond = self.verifier_bond(verifier);
+        if vbond.is_zero() {
+            return Err(RollupError::VerifierNotBonded(verifier));
+        }
+        let idx = self
+            .pending
+            .iter()
+            .position(|(a, _)| matches!(a, PendingAction::Batch { id: bid, .. } if *bid == id))
+            .ok_or(RollupError::UnknownBatch(id))?;
+
+        let (action, pre) = &self.pending[idx];
+        let PendingAction::Batch { batch, .. } = action else {
+            unreachable!("position matched a batch");
+        };
+
+        let (_, reexecuted) = self.ovm.simulate_sequence(pre, &batch.txs);
+        let mut re_state = reexecuted;
+        re_state.advance_block();
+        let honest_root = re_state.state_root();
+
+        if honest_root == batch.commitment.post_state_root {
+            // Frivolous challenge.
+            let slashed = vbond;
+            self.verifier_bonds.insert(verifier, Wei::ZERO);
+            return Ok(ChallengeOutcome::ChallengeRejected { slashed });
+        }
+
+        // Fraud proven: slash, reward, roll back.
+        let aggregator = batch.aggregator;
+        let abond = self.aggregator_bond(aggregator);
+        let reward = abond.mul_ratio(self.config.challenger_reward_pct, 100).unwrap_or(Wei::ZERO);
+        self.aggregator_bonds.insert(aggregator, Wei::ZERO);
+        if let Some(v) = self.verifier_bonds.get_mut(&verifier) {
+            *v += reward;
+        }
+
+        // Roll back to the fraudulent batch's pre-state, then re-apply the
+        // deposits that arrived after it (forced inclusions survive; later
+        // batches chained on the bad root and are dropped).
+        let (_, pre_state) = self.pending[idx].clone();
+        let tail: Vec<(PendingAction, L2State)> = self.pending.drain(idx..).skip(1).collect();
+        self.staged = pre_state;
+        for (action, _) in tail {
+            match action {
+                PendingAction::Deposit { user, amount } => {
+                    let pre = self.staged.clone();
+                    self.staged.credit(user, amount);
+                    self.pending
+                        .push_back((PendingAction::Deposit { user, amount }, pre));
+                }
+                PendingAction::Withdraw { user, amount } => {
+                    // A withdrawal funded by the reverted batch may no longer
+                    // be coverable; it is then dropped, as the L1 bridge
+                    // would refuse the payout.
+                    let pre = self.staged.clone();
+                    if self.staged.debit(user, amount).is_ok() {
+                        self.pending
+                            .push_back((PendingAction::Withdraw { user, amount }, pre));
+                    }
+                }
+                PendingAction::Batch { .. } => {
+                    // Dependent batches chained on the fraudulent root and
+                    // are dropped.
+                }
+            }
+        }
+
+        Ok(ChallengeOutcome::FraudProven {
+            slashed: abond,
+            reward,
+        })
+    }
+
+    /// Seals an L1 block: everything pending whose challenge window expired
+    /// finalizes into the canonical state. Returns the new L1 height.
+    pub fn advance_l1_block(&mut self) -> BlockNumber {
+        let height_after = self.l1.height().value() + 1;
+        let mut finalized = Vec::new();
+        while let Some((action, _)) = self.pending.front() {
+            let ready = match action {
+                PendingAction::Deposit { .. } | PendingAction::Withdraw { .. } => true,
+                PendingAction::Batch { submitted_at, .. } => {
+                    height_after >= submitted_at.value() + self.config.challenge_period
+                }
+            };
+            if !ready {
+                break;
+            }
+            let (action, _pre) = self.pending.pop_front().expect("front checked");
+            match action {
+                PendingAction::Deposit { user, amount } => {
+                    self.canonical.credit(user, amount);
+                }
+                PendingAction::Withdraw { user, amount } => {
+                    self.canonical
+                        .debit(user, amount)
+                        .expect("withdrawal was validated against the staged state");
+                }
+                PendingAction::Batch { id, batch, .. } => {
+                    let _ = self.ovm.execute_sequence(&mut self.canonical, &batch.txs);
+                    self.canonical.advance_block();
+                    if self.canonical.state_root() != batch.commitment.post_state_root {
+                        self.undetected_forgeries += 1;
+                    }
+                    finalized.push(id);
+                }
+            }
+        }
+        self.l1.seal_block(finalized)
+    }
+
+    /// Convenience: advances L1 until nothing is pending.
+    pub fn finalize_all(&mut self) {
+        for _ in 0..=self.config.challenge_period + 1 {
+            self.advance_l1_block();
+            if self.pending.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Aggregator, Verifier};
+    use parole_nft::CollectionConfig;
+    use parole_ovm::{NftTransaction, TxKind};
+    use parole_primitives::TokenId;
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    /// Deploys a rollup with a PT collection, two funded users and a bonded
+    /// honest aggregator + verifier.
+    fn deployed() -> (RollupContract, Address, Aggregator, Verifier) {
+        let mut rollup = RollupContract::new(RollupConfig::default());
+        let pt = rollup
+            .l2_state_for_setup()
+            .deploy_collection(CollectionConfig::parole_token());
+        rollup.commit_setup();
+        rollup.deposit(addr(1), Wei::from_eth(5)).unwrap();
+        rollup.deposit(addr(2), Wei::from_eth(5)).unwrap();
+        rollup.bond_aggregator(AggregatorId::new(0));
+        rollup.bond_verifier(VerifierId::new(0));
+        let agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+        let ver = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
+        (rollup, pt, agg, ver)
+    }
+
+    fn mint_txs(pt: Address, n: u64) -> Vec<NftTransaction> {
+        (0..n)
+            .map(|i| {
+                NftTransaction::simple(
+                    addr(1 + i % 2),
+                    TxKind::Mint { collection: pt, token: TokenId::new(i) },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deposit_credits_staged_state() {
+        let (rollup, _, _, _) = deployed();
+        assert_eq!(rollup.l2_state().balance_of(addr(1)), Wei::from_eth(5));
+    }
+
+    #[test]
+    fn zero_deposit_rejected() {
+        let mut rollup = RollupContract::new(RollupConfig::default());
+        assert_eq!(rollup.deposit(addr(1), Wei::ZERO), Err(RollupError::ZeroDeposit));
+    }
+
+    #[test]
+    fn withdraw_roundtrip() {
+        let (mut rollup, _, _, _) = deployed();
+        rollup.withdraw(addr(1), Wei::from_eth(2)).unwrap();
+        assert_eq!(rollup.l2_state().balance_of(addr(1)), Wei::from_eth(3));
+        assert!(matches!(
+            rollup.withdraw(addr(1), Wei::from_eth(100)),
+            Err(RollupError::InsufficientL2Balance)
+        ));
+    }
+
+    #[test]
+    fn honest_batch_lifecycle_finalizes() {
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 3));
+        let id = rollup.submit_batch(batch).unwrap();
+        assert_eq!(rollup.pending_batch_ids(), vec![id]);
+
+        rollup.finalize_all();
+        assert!(rollup.pending_batch_ids().is_empty());
+        assert_eq!(rollup.undetected_forgeries(), 0);
+        // Canonical state caught up with execution.
+        assert_eq!(
+            rollup.finalized_state().collection(pt).unwrap().active_supply(),
+            3
+        );
+        assert_eq!(
+            rollup.finalized_state().state_root(),
+            rollup.l2_state().state_root()
+        );
+    }
+
+    #[test]
+    fn unbonded_aggregator_rejected() {
+        let (mut rollup, pt, _, _) = deployed();
+        let mut rogue = Aggregator::honest(AggregatorId::new(99), Wei::from_eth(10));
+        let batch = rogue.build_batch(rollup.l2_state(), mint_txs(pt, 1));
+        assert_eq!(
+            rollup.submit_batch(batch),
+            Err(RollupError::NotBonded(AggregatorId::new(99)))
+        );
+    }
+
+    #[test]
+    fn stale_batch_rejected() {
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 1));
+        // A deposit lands between build and submit: the pre-root is stale.
+        rollup.deposit(addr(3), Wei::from_eth(1)).unwrap();
+        assert!(matches!(
+            rollup.submit_batch(batch),
+            Err(RollupError::StaleBatch { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_batch_rejected() {
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let mut batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 2));
+        batch.txs.swap(0, 1); // break the tx root
+        assert_eq!(rollup.submit_batch(batch), Err(RollupError::MalformedBatch));
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let (rollup, pt, mut agg, _) = deployed();
+        let mut config = RollupConfig::default();
+        config.max_batch_size = 2;
+        let mut small = RollupContract::new(config);
+        small.bond_aggregator(AggregatorId::new(0));
+        let _ = pt;
+        let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 3));
+        assert_eq!(small.submit_batch(batch), Err(RollupError::BatchTooLarge(3)));
+    }
+
+    #[test]
+    fn forged_batch_challenge_slashes_aggregator() {
+        let (mut rollup, pt, mut agg, ver) = deployed();
+        let batch = agg.build_forged_batch(rollup.l2_state(), mint_txs(pt, 2));
+        let pre = rollup.l2_state().clone();
+        // Forged batches fail the pre-root check only if forging touched it;
+        // ours forges the post root, so submission succeeds.
+        let id = rollup.submit_batch(batch).unwrap();
+
+        // The verifier detects the forgery from the snapshot.
+        let snapshot = rollup.challenge_pre_state(id).unwrap().clone();
+        assert_eq!(snapshot.state_root(), pre.state_root());
+        let outcome = rollup.challenge(ver.id(), id).unwrap();
+        match outcome {
+            ChallengeOutcome::FraudProven { slashed, reward } => {
+                assert_eq!(slashed, RollupConfig::default().aggregator_bond);
+                assert_eq!(reward, slashed.mul_ratio(50, 100).unwrap());
+            }
+            other => panic!("expected fraud proven, got {other:?}"),
+        }
+        // Aggregator bond gone; verifier rewarded.
+        assert_eq!(rollup.aggregator_bond(AggregatorId::new(0)), Wei::ZERO);
+        assert_eq!(
+            rollup.verifier_bond(VerifierId::new(0)),
+            RollupConfig::default().verifier_bond + Wei::from_eth(5)
+        );
+        // The batch is gone and the staged state rolled back.
+        assert!(rollup.pending_batch_ids().is_empty());
+        assert_eq!(rollup.l2_state().state_root(), pre.state_root());
+    }
+
+    #[test]
+    fn frivolous_challenge_slashes_verifier() {
+        let (mut rollup, pt, mut agg, ver) = deployed();
+        let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 2));
+        let id = rollup.submit_batch(batch).unwrap();
+        let outcome = rollup.challenge(ver.id(), id).unwrap();
+        assert!(matches!(outcome, ChallengeOutcome::ChallengeRejected { .. }));
+        assert_eq!(rollup.verifier_bond(VerifierId::new(0)), Wei::ZERO);
+        // The batch survives and finalizes.
+        rollup.finalize_all();
+        assert_eq!(rollup.undetected_forgeries(), 0);
+        assert_eq!(
+            rollup.finalized_state().collection(pt).unwrap().active_supply(),
+            2
+        );
+    }
+
+    #[test]
+    fn unchallenged_forgery_is_counted() {
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let batch = agg.build_forged_batch(rollup.l2_state(), mint_txs(pt, 1));
+        rollup.submit_batch(batch).unwrap();
+        rollup.finalize_all();
+        assert_eq!(rollup.undetected_forgeries(), 1);
+    }
+
+    #[test]
+    fn challenge_requires_bonded_verifier() {
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 1));
+        let id = rollup.submit_batch(batch).unwrap();
+        assert_eq!(
+            rollup.challenge(VerifierId::new(9), id),
+            Err(RollupError::VerifierNotBonded(VerifierId::new(9)))
+        );
+    }
+
+    #[test]
+    fn challenge_unknown_batch_fails() {
+        let (mut rollup, _, _, ver) = deployed();
+        assert_eq!(
+            rollup.challenge(ver.id(), BatchId::new(42)),
+            Err(RollupError::UnknownBatch(BatchId::new(42)))
+        );
+    }
+
+    #[test]
+    fn chained_batches_finalize_in_order() {
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let b1 = agg.build_batch(rollup.l2_state(), mint_txs(pt, 2));
+        rollup.submit_batch(b1).unwrap();
+        let txs2 = vec![NftTransaction::simple(
+            addr(1),
+            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(2) },
+        )];
+        let b2 = agg.build_batch(rollup.l2_state(), txs2);
+        rollup.submit_batch(b2).unwrap();
+        rollup.finalize_all();
+        assert_eq!(rollup.undetected_forgeries(), 0);
+        let coll = rollup.finalized_state().collection(pt).unwrap();
+        assert!(coll.is_owner(addr(2), TokenId::new(0)));
+    }
+
+    #[test]
+    fn fraud_rollback_drops_dependent_batches_but_keeps_deposits() {
+        let (mut rollup, pt, mut agg, ver) = deployed();
+        let forged = agg.build_forged_batch(rollup.l2_state(), mint_txs(pt, 1));
+        let forged_id = rollup.submit_batch(forged).unwrap();
+        // A dependent batch and a deposit arrive afterwards.
+        let dep_batch = agg.build_batch(rollup.l2_state(), vec![NftTransaction::simple(
+            addr(2),
+            TxKind::Mint { collection: pt, token: TokenId::new(5) },
+        )]);
+        let dep_id = rollup.submit_batch(dep_batch).unwrap();
+        rollup.deposit(addr(7), Wei::from_eth(3)).unwrap();
+
+        rollup.challenge(ver.id(), forged_id).unwrap();
+        // Dependent batch dropped, deposit survived.
+        assert!(rollup.pending_batch(dep_id).is_none());
+        assert_eq!(rollup.l2_state().balance_of(addr(7)), Wei::from_eth(3));
+        rollup.finalize_all();
+        assert_eq!(rollup.finalized_state().balance_of(addr(7)), Wei::from_eth(3));
+        assert_eq!(
+            rollup.finalized_state().collection(pt).unwrap().active_supply(),
+            0
+        );
+    }
+
+    #[test]
+    fn l1_chain_grows_with_blocks() {
+        let (mut rollup, _, _, _) = deployed();
+        let h0 = rollup.l1().height();
+        rollup.advance_l1_block();
+        rollup.advance_l1_block();
+        assert_eq!(rollup.l1().height().value(), h0.value() + 2);
+        assert!(rollup.l1().verify_integrity());
+    }
+}

@@ -1,0 +1,158 @@
+//! The simulated L1 chain.
+
+use crate::BatchId;
+use parole_crypto::{keccak256, Hash32};
+use parole_primitives::BlockNumber;
+use std::fmt;
+
+/// A block on the simulated L1 chain.
+///
+/// L1 blocks carry the identifiers of rollup batches finalized in them; the
+/// challenge period is measured in L1 blocks, matching the paper's "L1 state
+/// index" column in Table III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L1Block {
+    /// Height of this block.
+    pub number: BlockNumber,
+    /// Hash of the parent block.
+    pub parent_hash: Hash32,
+    /// This block's hash.
+    pub hash: Hash32,
+    /// Rollup batches finalized in this block.
+    pub finalized_batches: Vec<BatchId>,
+}
+
+/// An append-only chain of [`L1Block`]s.
+///
+/// # Example
+///
+/// ```
+/// use parole_rollup::L1Chain;
+/// let mut chain = L1Chain::new();
+/// chain.seal_block(vec![]);
+/// assert_eq!(chain.height().value(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L1Chain {
+    blocks: Vec<L1Block>,
+}
+
+impl L1Chain {
+    /// A chain containing only the genesis block.
+    pub fn new() -> Self {
+        let genesis = L1Block {
+            number: BlockNumber::new(0),
+            parent_hash: Hash32::ZERO,
+            hash: keccak256(b"parole-l1-genesis"),
+            finalized_batches: Vec::new(),
+        };
+        L1Chain {
+            blocks: vec![genesis],
+        }
+    }
+
+    /// Current chain height (genesis is height 0).
+    pub fn height(&self) -> BlockNumber {
+        self.blocks.last().expect("genesis always present").number
+    }
+
+    /// The tip block.
+    pub fn tip(&self) -> &L1Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// The block at `number`, if mined.
+    pub fn block(&self, number: BlockNumber) -> Option<&L1Block> {
+        self.blocks.get(number.value() as usize)
+    }
+
+    /// Seals a new block recording the given finalized batches, returning its
+    /// height.
+    pub fn seal_block(&mut self, finalized_batches: Vec<BatchId>) -> BlockNumber {
+        let parent = self.tip();
+        let number = parent.number.next();
+        let mut buf = Vec::with_capacity(48 + finalized_batches.len() * 8);
+        buf.extend_from_slice(parent.hash.as_bytes());
+        buf.extend_from_slice(&number.value().to_be_bytes());
+        for b in &finalized_batches {
+            buf.extend_from_slice(&b.value().to_be_bytes());
+        }
+        let block = L1Block {
+            number,
+            parent_hash: parent.hash,
+            hash: keccak256(&buf),
+            finalized_batches,
+        };
+        self.blocks.push(block);
+        number
+    }
+
+    /// Verifies the hash-chain linkage of the whole chain.
+    pub fn verify_integrity(&self) -> bool {
+        self.blocks.windows(2).all(|w| {
+            w[1].parent_hash == w[0].hash && w[1].number.value() == w[0].number.value() + 1
+        })
+    }
+
+    /// Iterates over all blocks from genesis to tip.
+    pub fn iter(&self) -> impl Iterator<Item = &L1Block> {
+        self.blocks.iter()
+    }
+}
+
+impl Default for L1Chain {
+    fn default() -> Self {
+        L1Chain::new()
+    }
+}
+
+impl fmt::Display for L1Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L1Chain(height {})", self.height())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_chain_is_valid() {
+        let chain = L1Chain::new();
+        assert_eq!(chain.height().value(), 0);
+        assert!(chain.verify_integrity());
+    }
+
+    #[test]
+    fn sealing_links_blocks() {
+        let mut chain = L1Chain::new();
+        for i in 0..5 {
+            let n = chain.seal_block(vec![BatchId::new(i)]);
+            assert_eq!(n.value(), i + 1);
+        }
+        assert!(chain.verify_integrity());
+        assert_eq!(chain.iter().count(), 6);
+        assert_eq!(
+            chain.block(BlockNumber::new(3)).unwrap().finalized_batches,
+            vec![BatchId::new(2)]
+        );
+    }
+
+    #[test]
+    fn tampering_breaks_integrity() {
+        let mut chain = L1Chain::new();
+        chain.seal_block(vec![]);
+        chain.seal_block(vec![]);
+        chain.blocks[1].hash = Hash32::ZERO;
+        assert!(!chain.verify_integrity());
+    }
+
+    #[test]
+    fn block_hashes_depend_on_content() {
+        let mut a = L1Chain::new();
+        let mut b = L1Chain::new();
+        a.seal_block(vec![BatchId::new(1)]);
+        b.seal_block(vec![BatchId::new(2)]);
+        assert_ne!(a.tip().hash, b.tip().hash);
+    }
+}

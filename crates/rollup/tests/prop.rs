@@ -1,0 +1,173 @@
+//! Property-based tests of the rollup protocol: chain integrity, batch
+//! lifecycle invariants and the fraud-proof game under random histories.
+
+use parole_nft::CollectionConfig;
+use parole_rollup::calldata;
+use parole_ovm::{NftTransaction, TxKind};
+use parole_primitives::{Address, AggregatorId, TokenId, VerifierId, Wei};
+use parole_rollup::{Aggregator, Batch, RollupConfig, RollupContract, Verifier};
+use proptest::prelude::*;
+
+/// A protocol-level action the property machine performs.
+#[derive(Debug, Clone)]
+enum Action {
+    Deposit { user: u64, eth: u64 },
+    Withdraw { user: u64, eth: u64 },
+    HonestBatch { mint_token: u64 },
+    ForgedBatch { mint_token: u64 },
+    ChallengeOldest,
+    AdvanceL1,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1u64..5, 1u64..4).prop_map(|(user, eth)| Action::Deposit { user, eth }),
+        (1u64..5, 1u64..3).prop_map(|(user, eth)| Action::Withdraw { user, eth }),
+        (0u64..10).prop_map(|mint_token| Action::HonestBatch { mint_token }),
+        (0u64..10).prop_map(|mint_token| Action::ForgedBatch { mint_token }),
+        Just(Action::ChallengeOldest),
+        Just(Action::AdvanceL1),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever happens — deposits, withdrawals, honest and forged batches,
+    /// challenges, finalizations — the protocol invariants hold:
+    /// the L1 hash chain stays intact, no forged batch that was challenged
+    /// ever finalizes, and the canonical state equals the staged state once
+    /// nothing is pending.
+    #[test]
+    fn protocol_invariants_under_random_histories(
+        actions in prop::collection::vec(arb_action(), 1..40),
+    ) {
+        let mut rollup = RollupContract::new(RollupConfig::default());
+        let pt = rollup
+            .l2_state_for_setup()
+            .deploy_collection(CollectionConfig::parole_token());
+        rollup.commit_setup();
+        for u in 1..5u64 {
+            rollup.deposit(Address::from_low_u64(u), Wei::from_eth(5)).unwrap();
+        }
+        rollup.bond_aggregator(AggregatorId::new(0));
+        rollup.bond_verifier(VerifierId::new(0));
+        let mut agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+        let verifier = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
+        let mut challenged_forgeries = 0u64;
+        let mut submitted_forgeries = 0u64;
+
+        for action in actions {
+            match action {
+                Action::Deposit { user, eth } => {
+                    rollup
+                        .deposit(Address::from_low_u64(user), Wei::from_eth(eth))
+                        .expect("non-zero deposits always accepted");
+                }
+                Action::Withdraw { user, eth } => {
+                    // May legitimately fail on insufficient balance.
+                    let _ = rollup.withdraw(Address::from_low_u64(user), Wei::from_eth(eth));
+                }
+                Action::HonestBatch { mint_token } => {
+                    let tx = NftTransaction::simple(
+                        Address::from_low_u64(1 + mint_token % 4),
+                        TxKind::Mint { collection: pt, token: TokenId::new(mint_token) },
+                    );
+                    let batch = agg.build_batch(rollup.l2_state(), vec![tx]);
+                    if rollup.aggregator_bond(AggregatorId::new(0)) > Wei::ZERO {
+                        rollup.submit_batch(batch).expect("fresh honest batch");
+                    }
+                }
+                Action::ForgedBatch { mint_token } => {
+                    let tx = NftTransaction::simple(
+                        Address::from_low_u64(1 + mint_token % 4),
+                        TxKind::Mint { collection: pt, token: TokenId::new(mint_token) },
+                    );
+                    let batch = agg.build_forged_batch(rollup.l2_state(), vec![tx]);
+                    if rollup.aggregator_bond(AggregatorId::new(0)) > Wei::ZERO
+                        && rollup.submit_batch(batch).is_ok()
+                    {
+                        submitted_forgeries += 1;
+                    }
+                }
+                Action::ChallengeOldest => {
+                    if rollup.verifier_bond(VerifierId::new(0)).is_zero() {
+                        continue;
+                    }
+                    if let Some(&id) = rollup.pending_batch_ids().first() {
+                        let pre = rollup.challenge_pre_state(id).unwrap().clone();
+                        let batch = rollup.pending_batch(id).unwrap().clone();
+                        // Only challenge when the verifier would: frivolous
+                        // challenges lose the bond and end the game early.
+                        if verifier.should_challenge(&pre, &batch) {
+                            rollup.challenge(VerifierId::new(0), id).unwrap();
+                            challenged_forgeries += 1;
+                            // The aggregator got slashed; re-bond so the
+                            // machine keeps running.
+                            rollup.bond_aggregator(AggregatorId::new(0));
+                        }
+                    }
+                }
+                Action::AdvanceL1 => {
+                    rollup.advance_l1_block();
+                }
+            }
+            prop_assert!(rollup.l1().verify_integrity());
+        }
+
+        rollup.finalize_all();
+        prop_assert!(rollup.pending_batch_ids().is_empty());
+        prop_assert_eq!(
+            rollup.finalized_state().state_root(),
+            rollup.l2_state().state_root(),
+            "canonical must converge to staged when nothing is pending"
+        );
+        // Every forgery the verifier caught was excluded from finality;
+        // only unchallenged ones may have slipped through.
+        prop_assert!(
+            rollup.undetected_forgeries() + challenged_forgeries <= submitted_forgeries + challenged_forgeries
+        );
+        prop_assert!(rollup.undetected_forgeries() <= submitted_forgeries);
+    }
+
+    /// Calldata compression round-trips on arbitrary byte strings.
+    #[test]
+    fn calldata_compression_roundtrip(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let compressed = calldata::compress(&data);
+        prop_assert_eq!(calldata::decompress(&compressed), Some(data.clone()));
+        // Metering is consistent: compressed posting never costs more gas
+        // when the data is at least half zeros.
+        let zeros = data.iter().filter(|&&b| b == 0).count();
+        if zeros * 2 >= data.len() && !data.is_empty() {
+            prop_assert!(
+                calldata::calldata_gas(&compressed).units()
+                    <= calldata::calldata_gas(&data).units()
+            );
+        }
+    }
+
+    /// tx_root is a permutation-sensitive commitment: any reordering or
+    /// substitution of a batch's transactions changes the root.
+    #[test]
+    fn tx_root_detects_any_tampering(
+        n in 2usize..12,
+        swap_a in 0usize..12,
+        swap_b in 0usize..12,
+    ) {
+        let coll = Address::from_low_u64(100);
+        let txs: Vec<NftTransaction> = (0..n as u64)
+            .map(|i| {
+                NftTransaction::simple(
+                    Address::from_low_u64(i + 1),
+                    TxKind::Mint { collection: coll, token: TokenId::new(i) },
+                )
+            })
+            .collect();
+        let root = Batch::compute_tx_root(&txs);
+        let (a, b) = (swap_a % n, swap_b % n);
+        prop_assume!(a != b);
+        let mut swapped = txs.clone();
+        swapped.swap(a, b);
+        prop_assert_ne!(Batch::compute_tx_root(&swapped), root);
+    }
+}

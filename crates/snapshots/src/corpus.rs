@@ -1,0 +1,287 @@
+//! Synthetic snapshot corpus generation.
+
+use parole_primitives::{Address, Wei};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which optimistic rollup a collection is deployed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Chain {
+    /// OP Mainnet (lower NFT turnover in the paper's observations).
+    Optimism,
+    /// Arbitrum One (higher turnover/volatility per the paper's Fig. 10).
+    Arbitrum,
+}
+
+impl Chain {
+    /// Both chains.
+    pub const ALL: [Chain; 2] = [Chain::Optimism, Chain::Arbitrum];
+}
+
+impl fmt::Display for Chain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Chain::Optimism => f.write_str("Optimism"),
+            Chain::Arbitrum => f.write_str("Arbitrum"),
+        }
+    }
+}
+
+/// The paper's transaction-frequency buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FtBucket {
+    /// Low FT: fewer than 100 ownerships.
+    Lft,
+    /// Medium FT: 101–3000 ownerships.
+    Mft,
+    /// High FT: more than 3000 ownerships.
+    Hft,
+}
+
+impl FtBucket {
+    /// All buckets in ascending activity order.
+    pub const ALL: [FtBucket; 3] = [FtBucket::Lft, FtBucket::Mft, FtBucket::Hft];
+
+    /// Classifies an ownership count into its bucket (paper §VII-E).
+    pub fn classify(ownerships: u64) -> FtBucket {
+        if ownerships < 100 {
+            FtBucket::Lft
+        } else if ownerships <= 3000 {
+            FtBucket::Mft
+        } else {
+            FtBucket::Hft
+        }
+    }
+
+    /// Representative ownership range for synthesis.
+    pub fn ownership_range(self) -> (u64, u64) {
+        match self {
+            FtBucket::Lft => (10, 99),
+            FtBucket::Mft => (101, 3000),
+            FtBucket::Hft => (3001, 20_000),
+        }
+    }
+}
+
+impl fmt::Display for FtBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtBucket::Lft => f.write_str("LFT"),
+            FtBucket::Mft => f.write_str("MFT"),
+            FtBucket::Hft => f.write_str("HFT"),
+        }
+    }
+}
+
+/// One point of a collection's observed price history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PricePoint {
+    /// Snapshot timestamp (abstract ticks).
+    pub time: u64,
+    /// Floor price observed at that time.
+    pub price: Wei,
+}
+
+/// A historical snapshot of one NFT collection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NftSnapshot {
+    /// The collection's contract address (rendered `0x7A..c8e`-style in
+    /// reports, as the paper does).
+    pub contract: Address,
+    /// Deployment chain.
+    pub chain: Chain,
+    /// Total distinct ownerships observed (the FT measure).
+    pub ownerships: u64,
+    /// Observed price trajectory.
+    pub price_history: Vec<PricePoint>,
+}
+
+impl NftSnapshot {
+    /// The collection's FT bucket.
+    pub fn bucket(&self) -> FtBucket {
+        FtBucket::classify(self.ownerships)
+    }
+}
+
+/// Corpus synthesis parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotConfig {
+    /// Collections generated per (chain, bucket) cell.
+    pub collections_per_cell: usize,
+    /// Price points per collection trajectory.
+    pub history_len: usize,
+    /// Base floor price in milli-ETH around which trajectories start.
+    pub base_price_milli: u64,
+    /// Per-step volatility on Optimism (fraction of price).
+    pub optimism_volatility: f64,
+    /// Per-step volatility on Arbitrum (higher, per the paper's Fig. 10).
+    pub arbitrum_volatility: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        SnapshotConfig {
+            collections_per_cell: 12,
+            history_len: 64,
+            base_price_milli: 300,
+            optimism_volatility: 0.05,
+            arbitrum_volatility: 0.11,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated corpus of snapshots across both chains and all FT buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotCorpus {
+    /// All generated snapshots.
+    pub snapshots: Vec<NftSnapshot>,
+    /// The configuration that produced them.
+    pub config: SnapshotConfig,
+}
+
+impl SnapshotCorpus {
+    /// Generates a deterministic corpus covering every (chain, bucket) cell.
+    pub fn generate(config: SnapshotConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut snapshots = Vec::new();
+        let mut contract_counter = 1u64;
+        for chain in Chain::ALL {
+            let volatility = match chain {
+                Chain::Optimism => config.optimism_volatility,
+                Chain::Arbitrum => config.arbitrum_volatility,
+            };
+            for bucket in FtBucket::ALL {
+                let (lo, hi) = bucket.ownership_range();
+                for _ in 0..config.collections_per_cell {
+                    let ownerships = rng.gen_range(lo..=hi);
+                    // Busier collections get re-priced more often per window,
+                    // which the scanner sees as more snapshot points.
+                    let history = synth_history(
+                        &mut rng,
+                        config.history_len,
+                        config.base_price_milli,
+                        volatility,
+                        ownerships,
+                    );
+                    snapshots.push(NftSnapshot {
+                        contract: Address::from_low_u64(0xABCD_0000 + contract_counter),
+                        chain,
+                        ownerships,
+                        price_history: history,
+                    });
+                    contract_counter += 1;
+                }
+            }
+        }
+        SnapshotCorpus { snapshots, config }
+    }
+
+    /// Snapshots on `chain` in `bucket`.
+    pub fn cell(&self, chain: Chain, bucket: FtBucket) -> Vec<&NftSnapshot> {
+        self.snapshots
+            .iter()
+            .filter(|s| s.chain == chain && s.bucket() == bucket)
+            .collect()
+    }
+}
+
+/// Synthesizes one bounded random-walk price trajectory. Turnover scales
+/// with the ownership count: busier collections take more (and larger
+/// relative) re-pricing steps, which is what gives HFT collections more
+/// arbitrage windows.
+fn synth_history(
+    rng: &mut StdRng,
+    len: usize,
+    base_milli: u64,
+    volatility: f64,
+    ownerships: u64,
+) -> Vec<PricePoint> {
+    let activity = 1.0 + (ownerships as f64).log10() / 4.0;
+    let mut price = base_milli as f64 * rng.gen_range(0.5..2.0);
+    let mut out = Vec::with_capacity(len);
+    for t in 0..len {
+        let step = rng.gen_range(-1.0..1.0) * volatility * activity;
+        price = (price * (1.0 + step)).clamp(10.0, 100_000.0);
+        out.push(PricePoint {
+            time: t as u64,
+            price: Wei::from_milli_eth(price.round() as u64),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_classification_matches_paper_boundaries() {
+        assert_eq!(FtBucket::classify(99), FtBucket::Lft);
+        assert_eq!(FtBucket::classify(100), FtBucket::Mft);
+        assert_eq!(FtBucket::classify(101), FtBucket::Mft);
+        assert_eq!(FtBucket::classify(3000), FtBucket::Mft);
+        assert_eq!(FtBucket::classify(3001), FtBucket::Hft);
+    }
+
+    #[test]
+    fn corpus_covers_every_cell() {
+        let corpus = SnapshotCorpus::generate(SnapshotConfig::default());
+        for chain in Chain::ALL {
+            for bucket in FtBucket::ALL {
+                let cell = corpus.cell(chain, bucket);
+                assert_eq!(cell.len(), 12, "{chain}/{bucket}");
+                for snap in cell {
+                    assert_eq!(snap.bucket(), bucket);
+                    assert_eq!(snap.price_history.len(), 64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SnapshotCorpus::generate(SnapshotConfig::default());
+        let b = SnapshotCorpus::generate(SnapshotConfig::default());
+        assert_eq!(a, b);
+        let c = SnapshotCorpus::generate(SnapshotConfig { seed: 8, ..SnapshotConfig::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prices_stay_positive_and_bounded() {
+        let corpus = SnapshotCorpus::generate(SnapshotConfig::default());
+        for snap in &corpus.snapshots {
+            for p in &snap.price_history {
+                assert!(p.price >= Wei::from_milli_eth(10));
+                assert!(p.price <= Wei::from_eth(100));
+            }
+        }
+    }
+
+    #[test]
+    fn arbitrum_trajectories_are_more_volatile() {
+        let corpus = SnapshotCorpus::generate(SnapshotConfig::default());
+        let mean_abs_move = |chain: Chain| -> f64 {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for snap in corpus.snapshots.iter().filter(|s| s.chain == chain) {
+                for w in snap.price_history.windows(2) {
+                    let a = w[0].price.eth_f64();
+                    let b = w[1].price.eth_f64();
+                    total += ((b - a) / a).abs();
+                    count += 1;
+                }
+            }
+            total / count as f64
+        };
+        assert!(
+            mean_abs_move(Chain::Arbitrum) > mean_abs_move(Chain::Optimism),
+            "Arbitrum must re-price harder"
+        );
+    }
+}

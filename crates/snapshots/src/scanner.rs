@@ -1,0 +1,234 @@
+//! The arbitrage scanner over snapshot corpora.
+
+use crate::{Chain, FtBucket, NftSnapshot, SnapshotCorpus};
+use parole_primitives::Wei;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The simulation-derived capture relation.
+///
+/// The paper "calculate\[s\] the total profit opportunity by deriving the
+/// relation we obtained through our simulation-based experiments": an
+/// adversarial aggregator converts a fraction of each observed re-pricing
+/// spread into IFU profit. The default capture fraction (24%) is the
+/// non-volatile balance gain of the optimally re-ordered case study
+/// (Fig. 5, Case 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaptureModel {
+    /// Fraction of each qualifying price spread captured as profit.
+    pub capture_fraction: f64,
+    /// Minimum relative spread (|ΔP| / P) that counts as an arbitrage
+    /// window at all — tiny re-pricings are below fee noise.
+    pub min_relative_spread: f64,
+}
+
+impl Default for CaptureModel {
+    fn default() -> Self {
+        CaptureModel {
+            capture_fraction: 0.24,
+            min_relative_spread: 0.02,
+        }
+    }
+}
+
+/// One arbitrage window found in one collection's history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArbitrageFinding {
+    /// Snapshot time of the earlier observation.
+    pub from_time: u64,
+    /// Snapshot time of the later observation.
+    pub to_time: u64,
+    /// Price before.
+    pub price_before: Wei,
+    /// Price after.
+    pub price_after: Wei,
+}
+
+impl ArbitrageFinding {
+    /// Absolute spread of the window.
+    pub fn spread(&self) -> Wei {
+        self.price_after.abs_diff(self.price_before)
+    }
+}
+
+/// Aggregated result for one (chain, bucket) cell — one bar of Fig. 10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketReport {
+    /// Deployment chain.
+    pub chain: Chain,
+    /// FT bucket.
+    pub bucket: FtBucket,
+    /// Collections examined.
+    pub collections: usize,
+    /// Qualifying arbitrage windows found.
+    pub windows: usize,
+    /// Total estimated profit opportunity.
+    pub total_profit: Wei,
+    /// Mean estimated profit per collection.
+    pub profit_per_collection: Wei,
+}
+
+impl fmt::Display for BucketReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: {} windows over {} collections, total {}",
+            self.chain, self.bucket, self.windows, self.collections, self.total_profit
+        )
+    }
+}
+
+/// Finds the qualifying re-pricing windows in one collection's history
+/// ("instances where the same NFT was priced differently at different
+/// times").
+pub fn find_windows(snapshot: &NftSnapshot, model: &CaptureModel) -> Vec<ArbitrageFinding> {
+    snapshot
+        .price_history
+        .windows(2)
+        .filter_map(|w| {
+            let before = w[0].price;
+            let after = w[1].price;
+            let spread = after.abs_diff(before);
+            let relative = spread.eth_f64() / before.eth_f64().max(f64::MIN_POSITIVE);
+            (relative >= model.min_relative_spread).then_some(ArbitrageFinding {
+                from_time: w[0].time,
+                to_time: w[1].time,
+                price_before: before,
+                price_after: after,
+            })
+        })
+        .collect()
+}
+
+/// Scans a whole corpus, producing one [`BucketReport`] per (chain, bucket)
+/// cell in chain-major order — the six bars of Fig. 10.
+pub fn scan_corpus(corpus: &SnapshotCorpus, model: &CaptureModel) -> Vec<BucketReport> {
+    let mut reports = Vec::with_capacity(6);
+    for chain in Chain::ALL {
+        for bucket in FtBucket::ALL {
+            let cell = corpus.cell(chain, bucket);
+            let mut windows = 0usize;
+            let mut total = Wei::ZERO;
+            for snap in &cell {
+                for finding in find_windows(snap, model) {
+                    windows += 1;
+                    let captured = finding.spread().eth_f64() * model.capture_fraction;
+                    total += Wei::from_milli_eth((captured * 1000.0).round() as u64);
+                }
+            }
+            let per_collection = if cell.is_empty() {
+                Wei::ZERO
+            } else {
+                total / cell.len() as u64
+            };
+            reports.push(BucketReport {
+                chain,
+                bucket,
+                collections: cell.len(),
+                windows,
+                total_profit: total,
+                profit_per_collection: per_collection,
+            });
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PricePoint, SnapshotConfig};
+    use parole_primitives::Address;
+
+    fn model() -> CaptureModel {
+        CaptureModel::default()
+    }
+
+    #[test]
+    fn windows_require_minimum_spread() {
+        let snap = NftSnapshot {
+            contract: Address::from_low_u64(1),
+            chain: Chain::Optimism,
+            ownerships: 50,
+            price_history: vec![
+                PricePoint { time: 0, price: Wei::from_milli_eth(1000) },
+                PricePoint { time: 1, price: Wei::from_milli_eth(1005) }, // 0.5%: noise
+                PricePoint { time: 2, price: Wei::from_milli_eth(1200) }, // 19%: real
+            ],
+        };
+        let findings = find_windows(&snap, &model());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].spread(), Wei::from_milli_eth(195));
+        assert_eq!(findings[0].from_time, 1);
+    }
+
+    #[test]
+    fn scan_covers_six_cells() {
+        let corpus = crate::SnapshotCorpus::generate(SnapshotConfig::default());
+        let reports = scan_corpus(&corpus, &model());
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            assert_eq!(r.collections, 12);
+            assert!(r.windows > 0, "{r}");
+            assert!(r.total_profit > Wei::ZERO, "{r}");
+        }
+    }
+
+    #[test]
+    fn arbitrum_beats_optimism_in_every_bucket() {
+        // The paper's headline Fig. 10 observation.
+        let corpus = crate::SnapshotCorpus::generate(SnapshotConfig::default());
+        let reports = scan_corpus(&corpus, &model());
+        for bucket in FtBucket::ALL {
+            let op = reports
+                .iter()
+                .find(|r| r.chain == Chain::Optimism && r.bucket == bucket)
+                .unwrap();
+            let arb = reports
+                .iter()
+                .find(|r| r.chain == Chain::Arbitrum && r.bucket == bucket)
+                .unwrap();
+            assert!(
+                arb.total_profit > op.total_profit,
+                "{bucket}: Arbitrum {} vs Optimism {}",
+                arb.total_profit,
+                op.total_profit
+            );
+        }
+    }
+
+    #[test]
+    fn profit_grows_with_transaction_frequency() {
+        let corpus = crate::SnapshotCorpus::generate(SnapshotConfig::default());
+        let reports = scan_corpus(&corpus, &model());
+        for chain in Chain::ALL {
+            let by_bucket: Vec<Wei> = FtBucket::ALL
+                .iter()
+                .map(|&b| {
+                    reports
+                        .iter()
+                        .find(|r| r.chain == chain && r.bucket == b)
+                        .unwrap()
+                        .total_profit
+                })
+                .collect();
+            assert!(
+                by_bucket[0] < by_bucket[2],
+                "{chain}: HFT must out-earn LFT ({} vs {})",
+                by_bucket[2],
+                by_bucket[0]
+            );
+        }
+    }
+
+    #[test]
+    fn capture_fraction_scales_profit_linearly() {
+        let corpus = crate::SnapshotCorpus::generate(SnapshotConfig::default());
+        let low = scan_corpus(&corpus, &CaptureModel { capture_fraction: 0.1, ..model() });
+        let high = scan_corpus(&corpus, &CaptureModel { capture_fraction: 0.2, ..model() });
+        for (l, h) in low.iter().zip(&high) {
+            let ratio = h.total_profit.eth_f64() / l.total_profit.eth_f64();
+            assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The baseline solver implementations.
+
+use crate::{SequenceSolver, SolverResult};
+use parole::ReorderEnv;
+use parole_ovm::NftTransaction;
+use parole_primitives::Wei;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Shared bookkeeping: evaluate an order, tracking the best and the count.
+struct Tracker<'a> {
+    env: &'a ReorderEnv,
+    best_order: Vec<NftTransaction>,
+    best_balance: Wei,
+    evaluations: u64,
+}
+
+impl<'a> Tracker<'a> {
+    fn new(env: &'a ReorderEnv) -> Self {
+        Tracker {
+            best_order: env.original_window().to_vec(),
+            best_balance: env.original_balance(),
+            evaluations: 0,
+            env,
+        }
+    }
+
+    /// Evaluates `order`, returns its balance when valid.
+    fn eval(&mut self, order: &[NftTransaction]) -> Option<Wei> {
+        self.evaluations += 1;
+        let balance = self.env.balance_of_order(order)?;
+        if balance > self.best_balance {
+            self.best_balance = balance;
+            self.best_order = order.to_vec();
+        }
+        Some(balance)
+    }
+
+    fn finish(
+        self,
+        solver: &'static str,
+        peak_memory_bytes: usize,
+        started: Instant,
+    ) -> SolverResult {
+        SolverResult {
+            solver,
+            best_order: self.best_order,
+            best_balance: self.best_balance,
+            original_balance: self.env.original_balance(),
+            evaluations: self.evaluations,
+            peak_memory_bytes,
+            wall_time: started.elapsed(),
+        }
+    }
+}
+
+/// Size of one stored ordering in bytes (used by the memory accounting).
+fn order_bytes(n: usize) -> usize {
+    n * std::mem::size_of::<NftTransaction>()
+}
+
+/// Ground truth: enumerates every permutation (Heap's algorithm).
+///
+/// Exact but factorial; intended for `N ≤ 9`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExhaustiveSolver;
+
+impl SequenceSolver for ExhaustiveSolver {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn solve(&mut self, env: &ReorderEnv) -> SolverResult {
+        let started = Instant::now();
+        let n = env.original_window().len();
+        assert!(n <= 9, "exhaustive search beyond 9! evaluations is a bug");
+        let mut tracker = Tracker::new(env);
+        let mut order: Vec<NftTransaction> = env.original_window().to_vec();
+        let mut c = vec![0usize; n];
+        tracker.eval(&order);
+        let mut i = 0;
+        while i < n {
+            if c[i] < i {
+                if i % 2 == 0 {
+                    order.swap(0, i);
+                } else {
+                    order.swap(c[i], i);
+                }
+                tracker.eval(&order);
+                c[i] += 1;
+                i = 0;
+            } else {
+                c[i] = 0;
+                i += 1;
+            }
+        }
+        // Workspace: the order, the counter array, and the best copy.
+        let mem = 2 * order_bytes(n) + n * 8;
+        tracker.finish("exhaustive", mem, started)
+    }
+}
+
+/// Uniform random permutations; the weakest baseline.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Number of random permutations to try.
+    pub samples: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch { samples: 200, seed: 0 }
+    }
+}
+
+impl SequenceSolver for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn solve(&mut self, env: &ReorderEnv) -> SolverResult {
+        let started = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = Tracker::new(env);
+        let mut order: Vec<NftTransaction> = env.original_window().to_vec();
+        for _ in 0..self.samples {
+            order.shuffle(&mut rng);
+            tracker.eval(&order);
+        }
+        let mem = 2 * order_bytes(order.len());
+        tracker.finish("random", mem, started)
+    }
+}
+
+/// APOPT stand-in: active-set style beam search over order prefixes.
+///
+/// Level `k` extends each frontier prefix by every unused transaction,
+/// scores the completed order (prefix + remaining suffix in original order)
+/// and keeps the best `beam = N` nodes. `O(N³)` objective evaluations, and
+/// the frontier holds `beam × N` transaction slots (`O(N²)` memory) plus
+/// per-node bound arrays — the dominant cost of active-set methods.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApoptLike;
+
+impl SequenceSolver for ApoptLike {
+    fn name(&self) -> &'static str {
+        "apopt-like"
+    }
+
+    fn solve(&mut self, env: &ReorderEnv) -> SolverResult {
+        let started = Instant::now();
+        let window = env.original_window();
+        let n = window.len();
+        let beam_width = n.max(2);
+        let mut tracker = Tracker::new(env);
+
+        // Frontier of (prefix indices, score).
+        let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut peak_nodes = 1usize;
+        for _level in 0..n {
+            let mut next: Vec<(Vec<usize>, Wei)> = Vec::new();
+            for prefix in &frontier {
+                for cand in 0..n {
+                    if prefix.contains(&cand) {
+                        continue;
+                    }
+                    let mut order_idx: Vec<usize> = prefix.clone();
+                    order_idx.push(cand);
+                    // Complete with the remaining txs in original order.
+                    for rest in 0..n {
+                        if !order_idx.contains(&rest) {
+                            order_idx.push(rest);
+                        }
+                    }
+                    let order: Vec<NftTransaction> =
+                        order_idx.iter().map(|&i| window[i]).collect();
+                    if let Some(score) = tracker.eval(&order) {
+                        let mut prefix_plus = prefix.clone();
+                        prefix_plus.push(cand);
+                        next.push((prefix_plus, score));
+                    }
+                }
+            }
+            next.sort_by(|a, b| b.1.cmp(&a.1));
+            next.truncate(beam_width);
+            peak_nodes = peak_nodes.max(next.len() * (frontier.first().map_or(1, |p| p.len() + 1)));
+            frontier = next.into_iter().map(|(p, _)| p).collect();
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        // Frontier memory: beam nodes × full-order workspace each, plus the
+        // completed-order scratch.
+        let mem = beam_width * (order_bytes(n) + n * 8) + 2 * order_bytes(n);
+        let _ = peak_nodes;
+        tracker.finish("apopt-like", mem, started)
+    }
+}
+
+/// MINOS stand-in: dense iterative improvement.
+///
+/// Each major iteration recomputes the full `N×N` swap-gain matrix (every
+/// pairwise swap is evaluated through the OVM), applies the best strictly
+/// improving swap, and repeats until no entry improves — `O(N²)` evaluations
+/// per sweep with an `O(N²)` dense resident matrix, the MINOS cost shape.
+#[derive(Debug, Clone, Copy)]
+pub struct MinosLike {
+    /// Safety cap on major iterations.
+    pub max_sweeps: usize,
+}
+
+impl Default for MinosLike {
+    fn default() -> Self {
+        MinosLike { max_sweeps: 64 }
+    }
+}
+
+impl SequenceSolver for MinosLike {
+    fn name(&self) -> &'static str {
+        "minos-like"
+    }
+
+    fn solve(&mut self, env: &ReorderEnv) -> SolverResult {
+        let started = Instant::now();
+        let n = env.original_window().len();
+        let mut tracker = Tracker::new(env);
+        let mut order: Vec<NftTransaction> = env.original_window().to_vec();
+        let mut gain = vec![0i128; n * n]; // dense matrix, the memory hog
+
+        for _sweep in 0..self.max_sweeps {
+            let current = match tracker.eval(&order) {
+                Some(b) => b,
+                None => break,
+            };
+            let mut best: Option<(usize, usize, i128)> = None;
+            for i in 0..n {
+                for j in i + 1..n {
+                    order.swap(i, j);
+                    let delta = tracker
+                        .eval(&order)
+                        .map(|b| b.signed_sub(current).wei())
+                        .unwrap_or(i128::MIN);
+                    gain[i * n + j] = delta;
+                    order.swap(i, j);
+                    if delta > 0 && best.map_or(true, |(_, _, d)| delta > d) {
+                        best = Some((i, j, delta));
+                    }
+                }
+            }
+            match best {
+                Some((i, j, _)) => order.swap(i, j),
+                None => break,
+            }
+        }
+        let mem = gain.len() * std::mem::size_of::<i128>() + 2 * order_bytes(n);
+        tracker.finish("minos-like", mem, started)
+    }
+}
+
+/// Deterministic best-swap hill-climb with rotation restarts — the same
+/// search the §VIII defense detector uses, packaged as a solver so Fig. 11
+/// extensions and the solver soundness tests can compare it directly.
+#[derive(Debug, Clone, Copy)]
+pub struct HillClimb {
+    /// Rotation restarts.
+    pub passes: usize,
+}
+
+impl Default for HillClimb {
+    fn default() -> Self {
+        HillClimb { passes: 3 }
+    }
+}
+
+impl SequenceSolver for HillClimb {
+    fn name(&self) -> &'static str {
+        "hill-climb"
+    }
+
+    fn solve(&mut self, env: &ReorderEnv) -> SolverResult {
+        let started = Instant::now();
+        let n = env.original_window().len();
+        let mut tracker = Tracker::new(env);
+        let mut order: Vec<NftTransaction> = env.original_window().to_vec();
+        for _pass in 0..self.passes.max(1) {
+            loop {
+                let current = tracker.eval(&order);
+                let mut best: Option<(usize, usize, Wei)> = None;
+                for i in 0..n {
+                    for j in i + 1..n {
+                        order.swap(i, j);
+                        if let Some(b) = tracker.eval(&order) {
+                            let improves = current.map_or(true, |c| b > c)
+                                && best.map_or(true, |(_, _, bb)| b > bb);
+                            if improves {
+                                best = Some((i, j, b));
+                            }
+                        }
+                        order.swap(i, j);
+                    }
+                }
+                match best {
+                    Some((i, j, _)) => order.swap(i, j),
+                    None => break,
+                }
+            }
+            order.rotate_left(1);
+        }
+        let mem = 3 * order_bytes(n);
+        tracker.finish("hill-climb", mem, started)
+    }
+}
+
+/// SNOPT stand-in: sparse annealed search.
+///
+/// Simulated annealing over swaps with an iteration budget that grows as
+/// `N^1.8` (with restarts) — competitive at `N = 5`, degrading sharply by
+/// `N = 100`, the Fig. 11(a) SNOPT curve. Memory stays small (a handful of
+/// orderings), the Fig. 11(b) "sparse" advantage over MINOS/APOPT that the
+/// DQN nevertheless beats.
+#[derive(Debug, Clone, Copy)]
+pub struct SnoptLike {
+    /// RNG seed.
+    pub seed: u64,
+    /// Budget multiplier.
+    pub budget_scale: f64,
+}
+
+impl Default for SnoptLike {
+    fn default() -> Self {
+        SnoptLike { seed: 0, budget_scale: 1.0 }
+    }
+}
+
+impl SequenceSolver for SnoptLike {
+    fn name(&self) -> &'static str {
+        "snopt-like"
+    }
+
+    fn solve(&mut self, env: &ReorderEnv) -> SolverResult {
+        let started = Instant::now();
+        let n = env.original_window().len();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = Tracker::new(env);
+
+        let budget = ((n as f64).powf(1.8) * 6.0 * self.budget_scale).ceil() as u64;
+        let restarts = (n / 10).max(1);
+        for restart in 0..restarts {
+            let mut order: Vec<NftTransaction> = env.original_window().to_vec();
+            if restart > 0 {
+                order.shuffle(&mut rng);
+            }
+            let mut current = match tracker.eval(&order) {
+                Some(b) => b,
+                None => continue,
+            };
+            let mut temperature = 1.0f64;
+            for step in 0..budget / restarts as u64 {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                if i == j {
+                    continue;
+                }
+                order.swap(i, j);
+                match tracker.eval(&order) {
+                    Some(b) if b >= current => current = b,
+                    Some(b) => {
+                        let delta = current.signed_sub(b).eth_f64();
+                        if rng.gen::<f64>() < (-delta / temperature.max(1e-6)).exp() {
+                            current = b; // accept downhill
+                        } else {
+                            order.swap(i, j); // reject
+                        }
+                    }
+                    None => order.swap(i, j),
+                }
+                temperature = 1.0 * (1.0 - step as f64 / budget.max(1) as f64);
+            }
+        }
+        let mem = 3 * order_bytes(n);
+        tracker.finish("snopt-like", mem, started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole::casestudy::CaseStudy;
+    use parole::RewardConfig;
+    use parole_primitives::Wei;
+
+    fn case_env() -> ReorderEnv {
+        let cs = CaseStudy::paper_setup();
+        ReorderEnv::new(
+            cs.state().clone(),
+            cs.window().to_vec(),
+            vec![cs.ifu],
+            RewardConfig::default(),
+        )
+    }
+
+    #[test]
+    fn exhaustive_finds_the_true_optimum() {
+        let env = case_env();
+        let result = ExhaustiveSolver.solve(&env);
+        assert_eq!(result.best_balance, Wei::from_milli_eth(2860));
+        assert!(result.evaluations >= 40_320);
+    }
+
+    #[test]
+    fn all_heuristics_beat_or_match_the_original() {
+        let env = case_env();
+        let results = [
+            RandomSearch::default().solve(&env),
+            ApoptLike.solve(&env),
+            MinosLike::default().solve(&env),
+            SnoptLike::default().solve(&env),
+        ];
+        for r in &results {
+            assert!(
+                r.best_balance >= env.original_balance(),
+                "{} regressed below the original order",
+                r.solver
+            );
+            assert!(!r.best_order.is_empty());
+            assert!(r.evaluations > 0);
+        }
+    }
+
+    #[test]
+    fn heuristics_find_substantial_profit_on_the_case_study() {
+        let env = case_env();
+        // All three solver stand-ins should reach at least the paper's
+        // Case 2 level (2.57 ETH) on this small window.
+        for result in [
+            ApoptLike.solve(&env),
+            MinosLike::default().solve(&env),
+            SnoptLike { seed: 3, budget_scale: 2.0 }.solve(&env),
+        ] {
+            assert!(
+                result.best_balance >= Wei::from_milli_eth(2570),
+                "{} found only {}",
+                result.solver,
+                result.best_balance
+            );
+        }
+    }
+
+    #[test]
+    fn memory_accounting_follows_solver_families() {
+        let env = case_env();
+        let n = env.original_window().len();
+        let minos = MinosLike::default().solve(&env);
+        let snopt = SnoptLike::default().solve(&env);
+        let apopt = ApoptLike.solve(&env);
+        // MINOS carries the dense N×N gain matrix.
+        assert!(minos.peak_memory_bytes >= n * n * std::mem::size_of::<i128>());
+        // SNOPT keeps only a handful of orderings.
+        assert!(snopt.peak_memory_bytes <= 4 * n * std::mem::size_of::<parole_ovm::NftTransaction>());
+        // APOPT's frontier scales with the beam (≥ N nodes).
+        assert!(apopt.peak_memory_bytes >= n * n * std::mem::size_of::<parole_ovm::NftTransaction>());
+        // The quadratic terms dominate the sparse one asymptotically: check
+        // the accounting formulas directly at N = 100 equivalents.
+        let n_big = 100usize;
+        let minos_big = n_big * n_big * std::mem::size_of::<i128>();
+        let snopt_big = 3 * n_big * std::mem::size_of::<parole_ovm::NftTransaction>();
+        assert!(minos_big > snopt_big);
+    }
+
+    #[test]
+    fn evaluation_counts_scale_with_solver_family() {
+        let env = case_env();
+        let exhaustive = ExhaustiveSolver.solve(&env);
+        let apopt = ApoptLike.solve(&env);
+        let random = RandomSearch { samples: 50, seed: 1 }.solve(&env);
+        assert!(exhaustive.evaluations > apopt.evaluations);
+        assert_eq!(random.evaluations, 50);
+        // The beam search visits every level of the prefix tree.
+        let n = env.original_window().len() as u64;
+        assert!(apopt.evaluations >= n * n);
+    }
+
+    #[test]
+    fn deterministic_solvers_are_deterministic() {
+        let env = case_env();
+        let a = MinosLike::default().solve(&env);
+        let b = MinosLike::default().solve(&env);
+        assert_eq!(a.best_balance, b.best_balance);
+        assert_eq!(a.evaluations, b.evaluations);
+        let s1 = SnoptLike { seed: 9, budget_scale: 1.0 }.solve(&env);
+        let s2 = SnoptLike { seed: 9, budget_scale: 1.0 }.solve(&env);
+        assert_eq!(s1.best_balance, s2.best_balance);
+    }
+}

@@ -1,0 +1,39 @@
+//! # parole-solvers
+//!
+//! Baseline optimizers for the transaction re-ordering objective, standing in
+//! for the commercial non-linear-programming solvers the paper compares
+//! against in Fig. 11 (APOPT, MINOS, SNOPT), plus ground-truth searches.
+//!
+//! ## Substitution note
+//!
+//! The closed-source solvers cannot be shipped; what Fig. 11 demonstrates is
+//! a *scaling shape* — general-purpose solvers blow up in execution time and
+//! memory as the mempool grows, while trained-DQN inference stays nearly
+//! linear with a small footprint. Each stand-in here solves the **identical
+//! objective through the identical OVM evaluation** and inherits the cost
+//! structure of the solver family it models:
+//!
+//! - [`ApoptLike`] — active-set style beam search over order prefixes
+//!   (APOPT's branch-and-bound flavour): `O(N³)` objective evaluations and an
+//!   `O(N²)` frontier.
+//! - [`MinosLike`] — dense iterative improvement recomputing a full `N×N`
+//!   swap-gain matrix per major iteration (MINOS's dense-basis flavour):
+//!   `O(N² · sweeps)` evaluations, `O(N²)` resident matrix.
+//! - [`SnoptLike`] — sparse annealed search, cheap at small `N` but with a
+//!   restart schedule that grows superlinearly (SNOPT's good-small/poor-large
+//!   behaviour in the paper's Fig. 11(a)).
+//! - [`ExhaustiveSolver`] — ground truth for `N ≤ 9`.
+//! - [`RandomSearch`] — the weakest baseline, for sanity floors.
+//!
+//! Every solver reports wall time, objective-evaluation counts and a modeled
+//! peak-workspace size (allocation accounting, documented per solver) so the
+//! Fig. 11 harness can print both panels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod result;
+
+pub use baselines::{ApoptLike, ExhaustiveSolver, HillClimb, MinosLike, RandomSearch, SnoptLike};
+pub use result::{SequenceSolver, SolverResult};

@@ -1,0 +1,62 @@
+//! The solver interface and result type.
+
+use parole::ReorderEnv;
+use parole_ovm::NftTransaction;
+use parole_primitives::{Wei, WeiDelta};
+use std::fmt;
+use std::time::Duration;
+
+/// Outcome of one solver run on one window.
+#[derive(Debug, Clone)]
+pub struct SolverResult {
+    /// Which solver produced this.
+    pub solver: &'static str,
+    /// The best valid ordering found.
+    pub best_order: Vec<NftTransaction>,
+    /// Final IFU balance under `best_order`.
+    pub best_balance: Wei,
+    /// Final IFU balance under the original order.
+    pub original_balance: Wei,
+    /// Number of objective (OVM sequence) evaluations performed.
+    pub evaluations: u64,
+    /// Modeled peak workspace in bytes (solver-family allocation
+    /// accounting; see the crate docs).
+    pub peak_memory_bytes: usize,
+    /// Measured wall-clock time.
+    pub wall_time: Duration,
+}
+
+impl SolverResult {
+    /// Profit over the original order.
+    pub fn profit(&self) -> WeiDelta {
+        self.best_balance.signed_sub(self.original_balance)
+    }
+}
+
+impl fmt::Display for SolverResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: profit {} in {:?} ({} evals, {} KiB)",
+            self.solver,
+            self.profit(),
+            self.wall_time,
+            self.evaluations,
+            self.peak_memory_bytes / 1024
+        )
+    }
+}
+
+/// A solver for the re-ordering objective.
+///
+/// Solvers receive the attack environment (which owns the base state, the
+/// window and the IFU set) and search over permutations using
+/// [`ReorderEnv::balance_of_order`] as the oracle — exactly the objective the
+/// GENTRANSEQ DQN optimizes.
+pub trait SequenceSolver {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Searches for the most profitable valid ordering.
+    fn solve(&mut self, env: &ReorderEnv) -> SolverResult;
+}

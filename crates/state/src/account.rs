@@ -1,0 +1,66 @@
+//! Per-account L2 state.
+
+use parole_primitives::{TxNonce, Wei};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The state of a single L2 account: its `t^L2` token balance and nonce.
+///
+/// The balance is the "non-volatile part" of a user's holdings in the
+/// paper's terminology — unlike NFT holdings it does not revalue when the
+/// bonding curve moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccountState {
+    /// Spendable L2 token balance.
+    pub balance: Wei,
+    /// Next expected transaction nonce.
+    pub nonce: TxNonce,
+}
+
+impl AccountState {
+    /// A fresh account holding `balance`.
+    pub fn with_balance(balance: Wei) -> Self {
+        AccountState {
+            balance,
+            nonce: TxNonce::default(),
+        }
+    }
+
+    /// Serializes the account into a deterministic byte string for state-root
+    /// hashing.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24);
+        out.extend_from_slice(&self.balance.wei().to_be_bytes());
+        out.extend_from_slice(&self.nonce.value().to_be_bytes());
+        out
+    }
+}
+
+impl fmt::Display for AccountState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "account(balance={}, {})", self.balance, self.nonce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_injective_on_fields() {
+        let a = AccountState::with_balance(Wei::from_eth(1));
+        let mut b = a;
+        b.nonce = b.nonce.next();
+        assert_ne!(a.encode(), b.encode());
+        let mut c = a;
+        c.balance = Wei::from_eth(2);
+        assert_ne!(a.encode(), c.encode());
+    }
+
+    #[test]
+    fn default_is_empty_account() {
+        let a = AccountState::default();
+        assert!(a.balance.is_zero());
+        assert_eq!(a.nonce.value(), 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! The complete L2 world state.
+
+use crate::AccountState;
+use parole_crypto::{keccak256, Hash32, MerkleTree};
+use parole_nft::{Collection, CollectionConfig};
+use parole_primitives::{Address, BlockNumber, PrimitiveError, Wei};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised by balance operations on the world state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// A debit exceeded the account's balance.
+    InsufficientBalance {
+        /// The account being debited.
+        account: Address,
+        /// The balance it actually held.
+        held: Wei,
+        /// The amount requested.
+        requested: Wei,
+    },
+    /// A collection was deployed at an address that is already occupied.
+    AddressOccupied(Address),
+    /// The referenced collection does not exist.
+    NoSuchCollection(Address),
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::InsufficientBalance { account, held, requested } => write!(
+                f,
+                "insufficient balance: {account} holds {held}, needs {requested}"
+            ),
+            StateError::AddressOccupied(a) => write!(f, "address {a} already occupied"),
+            StateError::NoSuchCollection(a) => write!(f, "no collection deployed at {a}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl From<PrimitiveError> for StateError {
+    fn from(_: PrimitiveError) -> Self {
+        // The only primitive error that can escape balance arithmetic here is
+        // underflow, which we surface with context at the call sites; this
+        // impl exists for `?`-ergonomics in generic helpers.
+        StateError::InsufficientBalance {
+            account: Address::ZERO,
+            held: Wei::ZERO,
+            requested: Wei::ZERO,
+        }
+    }
+}
+
+/// The L2 chain's world state: accounts plus deployed NFT collections.
+///
+/// `L2State` is `Clone`; a clone is an independent speculative fork. See the
+/// crate docs for how the attack machinery uses that.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct L2State {
+    accounts: BTreeMap<Address, AccountState>,
+    collections: BTreeMap<Address, Collection>,
+    block: BlockNumber,
+}
+
+impl L2State {
+    /// An empty world state at block 0.
+    pub fn new() -> Self {
+        L2State {
+            accounts: BTreeMap::new(),
+            collections: BTreeMap::new(),
+            block: BlockNumber::default(),
+        }
+    }
+
+    /// The current L2 block number.
+    pub fn block(&self) -> BlockNumber {
+        self.block
+    }
+
+    /// Advances the block number (called by the rollup when a batch seals).
+    pub fn advance_block(&mut self) {
+        self.block = self.block.next();
+    }
+
+    /// Spendable balance of `who` (zero for unknown accounts).
+    pub fn balance_of(&self, who: Address) -> Wei {
+        self.accounts.get(&who).map_or(Wei::ZERO, |a| a.balance)
+    }
+
+    /// Full account record of `who`, if it exists.
+    pub fn account(&self, who: Address) -> Option<&AccountState> {
+        self.accounts.get(&who)
+    }
+
+    /// Number of non-empty accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Credits `amount` to `who`, creating the account if needed.
+    pub fn credit(&mut self, who: Address, amount: Wei) {
+        self.accounts.entry(who).or_default().balance += amount;
+    }
+
+    /// Debits `amount` from `who`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::InsufficientBalance`] without mutating when the
+    /// account cannot cover the amount — this is the enforcement point of the
+    /// balance half of the paper's Eq. 1 and Eq. 3.
+    pub fn debit(&mut self, who: Address, amount: Wei) -> Result<(), StateError> {
+        let held = self.balance_of(who);
+        if held < amount {
+            return Err(StateError::InsufficientBalance {
+                account: who,
+                held,
+                requested: amount,
+            });
+        }
+        self.accounts.entry(who).or_default().balance -= amount;
+        Ok(())
+    }
+
+    /// Moves `amount` from `from` to `to` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving both accounts untouched) when `from` cannot cover the
+    /// amount.
+    pub fn transfer_balance(
+        &mut self,
+        from: Address,
+        to: Address,
+        amount: Wei,
+    ) -> Result<(), StateError> {
+        self.debit(from, amount)?;
+        self.credit(to, amount);
+        Ok(())
+    }
+
+    /// Bumps `who`'s nonce, creating the account if needed.
+    pub fn bump_nonce(&mut self, who: Address) {
+        let acct = self.accounts.entry(who).or_default();
+        acct.nonce = acct.nonce.next();
+    }
+
+    /// Deploys a collection at a deterministic address derived from its
+    /// configuration and the current collection count, returning the address.
+    pub fn deploy_collection(&mut self, config: CollectionConfig) -> Address {
+        let digest = keccak256(
+            format!(
+                "deploy:{}:{}:{}",
+                config.name,
+                config.max_supply,
+                self.collections.len()
+            )
+            .as_bytes(),
+        );
+        let mut bytes = [0u8; 20];
+        bytes.copy_from_slice(&digest.as_bytes()[12..]);
+        let addr = Address::from_bytes(bytes);
+        self.deploy_collection_at(addr, config)
+            .expect("derived address cannot collide");
+        addr
+    }
+
+    /// Deploys a collection at an explicit address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address already hosts a collection.
+    pub fn deploy_collection_at(
+        &mut self,
+        addr: Address,
+        config: CollectionConfig,
+    ) -> Result<(), StateError> {
+        if self.collections.contains_key(&addr) {
+            return Err(StateError::AddressOccupied(addr));
+        }
+        self.collections.insert(addr, Collection::new(config));
+        Ok(())
+    }
+
+    /// The collection deployed at `addr`, if any.
+    pub fn collection(&self, addr: Address) -> Option<&Collection> {
+        self.collections.get(&addr)
+    }
+
+    /// Mutable access to the collection at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed
+    /// there.
+    pub fn collection_mut(&mut self, addr: Address) -> Result<&mut Collection, StateError> {
+        self.collections
+            .get_mut(&addr)
+            .ok_or(StateError::NoSuchCollection(addr))
+    }
+
+    /// Iterates over `(address, collection)` pairs in address order.
+    pub fn collections(&self) -> impl Iterator<Item = (Address, &Collection)> {
+        self.collections.iter().map(|(&a, c)| (a, c))
+    }
+
+    /// The paper's "total balance" of a user: spendable L2 balance plus the
+    /// market valuation of every NFT held across all collections
+    /// (`L2 balance + Σ owned × price`).
+    pub fn total_balance_of(&self, who: Address) -> Wei {
+        let nft_value: Wei = self
+            .collections
+            .values()
+            .map(|c| c.holdings_value(who))
+            .sum();
+        self.balance_of(who) + nft_value
+    }
+
+    /// Computes the Merkle state root committing to every account and every
+    /// collection's ownership/supply state.
+    ///
+    /// Leaves are `keccak(domain ‖ key ‖ encoded-record)` in deterministic
+    /// (BTreeMap) order, so two states with identical contents always produce
+    /// identical roots — the property the fraud-proof game relies on.
+    pub fn state_root(&self) -> Hash32 {
+        let mut leaves = Vec::with_capacity(self.accounts.len() + self.collections.len());
+        for (addr, acct) in &self.accounts {
+            let mut buf = Vec::with_capacity(64);
+            buf.extend_from_slice(b"acct");
+            buf.extend_from_slice(addr.as_bytes());
+            buf.extend_from_slice(&acct.encode());
+            leaves.push(keccak256(&buf));
+        }
+        for (addr, coll) in &self.collections {
+            let mut buf = Vec::with_capacity(64 + coll.active_supply() as usize * 28);
+            buf.extend_from_slice(b"coll");
+            buf.extend_from_slice(addr.as_bytes());
+            buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
+            for (token, owner) in coll.iter() {
+                buf.extend_from_slice(&token.value().to_be_bytes());
+                buf.extend_from_slice(owner.as_bytes());
+            }
+            leaves.push(keccak256(&buf));
+        }
+        MerkleTree::from_leaves(leaves).root()
+    }
+
+    /// Total L2 tokens in circulation (sum of all account balances) —
+    /// conserved by everything except explicit credits/debits, which the
+    /// conservation tests rely on.
+    pub fn total_supply(&self) -> Wei {
+        self.accounts.values().map(|a| a.balance).sum()
+    }
+}
+
+impl Default for L2State {
+    fn default() -> Self {
+        L2State::new()
+    }
+}
+
+impl fmt::Display for L2State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L2State({} accounts, {} collections, {})",
+            self.accounts.len(),
+            self.collections.len(),
+            self.block
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_primitives::TokenId;
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    #[test]
+    fn credit_debit_roundtrip() {
+        let mut s = L2State::new();
+        s.credit(addr(1), Wei::from_eth(3));
+        s.debit(addr(1), Wei::from_eth(1)).unwrap();
+        assert_eq!(s.balance_of(addr(1)), Wei::from_eth(2));
+    }
+
+    #[test]
+    fn debit_rejects_overdraft_without_mutation() {
+        let mut s = L2State::new();
+        s.credit(addr(1), Wei::from_eth(1));
+        let err = s.debit(addr(1), Wei::from_eth(2)).unwrap_err();
+        assert!(matches!(err, StateError::InsufficientBalance { .. }));
+        assert_eq!(s.balance_of(addr(1)), Wei::from_eth(1));
+    }
+
+    #[test]
+    fn transfer_balance_conserves_supply() {
+        let mut s = L2State::new();
+        s.credit(addr(1), Wei::from_eth(5));
+        s.credit(addr(2), Wei::from_eth(1));
+        let before = s.total_supply();
+        s.transfer_balance(addr(1), addr(2), Wei::from_eth(2)).unwrap();
+        assert_eq!(s.total_supply(), before);
+        assert_eq!(s.balance_of(addr(2)), Wei::from_eth(3));
+        // Failed transfer leaves everything alone.
+        assert!(s.transfer_balance(addr(2), addr(1), Wei::from_eth(100)).is_err());
+        assert_eq!(s.total_supply(), before);
+    }
+
+    #[test]
+    fn deploy_and_lookup_collection() {
+        let mut s = L2State::new();
+        let pt = s.deploy_collection(CollectionConfig::parole_token());
+        assert!(s.collection(pt).is_some());
+        assert!(s.collection_mut(pt).is_ok());
+        assert!(matches!(
+            s.collection_mut(addr(99)),
+            Err(StateError::NoSuchCollection(_))
+        ));
+        // Explicit redeploy at the same address fails.
+        assert!(matches!(
+            s.deploy_collection_at(pt, CollectionConfig::parole_token()),
+            Err(StateError::AddressOccupied(_))
+        ));
+    }
+
+    #[test]
+    fn total_balance_includes_nft_valuation() {
+        let mut s = L2State::new();
+        let pt = s.deploy_collection(CollectionConfig::parole_token());
+        s.credit(addr(1), Wei::from_milli_eth(1500));
+        let coll = s.collection_mut(pt).unwrap();
+        for i in 0..5 {
+            let owner = if i < 2 { addr(1) } else { addr(9) };
+            coll.mint(owner, TokenId::new(i)).unwrap();
+        }
+        // Case-study setup: 1.5 ETH + 2 PT at 0.4 = 2.3 ETH.
+        assert_eq!(s.total_balance_of(addr(1)), Wei::from_milli_eth(2300));
+    }
+
+    #[test]
+    fn state_root_deterministic_and_sensitive() {
+        let mut a = L2State::new();
+        a.credit(addr(1), Wei::from_eth(1));
+        let pt = a.deploy_collection(CollectionConfig::parole_token());
+        a.collection_mut(pt).unwrap().mint(addr(1), TokenId::new(0)).unwrap();
+
+        let mut b = L2State::new();
+        b.credit(addr(1), Wei::from_eth(1));
+        let pt_b = b.deploy_collection(CollectionConfig::parole_token());
+        b.collection_mut(pt_b).unwrap().mint(addr(1), TokenId::new(0)).unwrap();
+
+        assert_eq!(a.state_root(), b.state_root());
+
+        // Any divergence moves the root.
+        b.credit(addr(2), Wei::from_gwei(1));
+        assert_ne!(a.state_root(), b.state_root());
+    }
+
+    #[test]
+    fn state_root_tracks_nft_ownership() {
+        let mut s = L2State::new();
+        let pt = s.deploy_collection(CollectionConfig::parole_token());
+        s.collection_mut(pt).unwrap().mint(addr(1), TokenId::new(0)).unwrap();
+        let before = s.state_root();
+        s.collection_mut(pt)
+            .unwrap()
+            .transfer(addr(1), addr(2), TokenId::new(0))
+            .unwrap();
+        assert_ne!(s.state_root(), before);
+    }
+
+    #[test]
+    fn clone_forks_are_independent() {
+        let mut s = L2State::new();
+        s.credit(addr(1), Wei::from_eth(1));
+        let mut fork = s.clone();
+        fork.debit(addr(1), Wei::from_eth(1)).unwrap();
+        assert_eq!(s.balance_of(addr(1)), Wei::from_eth(1));
+        assert_eq!(fork.balance_of(addr(1)), Wei::ZERO);
+        assert_ne!(s.state_root(), fork.state_root());
+    }
+
+    #[test]
+    fn nonce_and_block_progress() {
+        let mut s = L2State::new();
+        s.bump_nonce(addr(1));
+        s.bump_nonce(addr(1));
+        assert_eq!(s.account(addr(1)).unwrap().nonce.value(), 2);
+        s.advance_block();
+        assert_eq!(s.block().value(), 1);
+    }
+
+    #[test]
+    fn empty_state_has_sentinel_root() {
+        assert!(L2State::new().state_root().is_zero());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the L2 world state: state-root determinism,
+//! balance conservation and fork independence.
+
+use parole_nft::CollectionConfig;
+use parole_primitives::{Address, TokenId, Wei};
+use parole_state::L2State;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Credit { user: u64, amount: u64 },
+    Debit { user: u64, amount: u64 },
+    Transfer { from: u64, to: u64, amount: u64 },
+    Mint { user: u64, token: u64 },
+    Burn { user: u64, token: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..6, 1u64..10).prop_map(|(user, amount)| Op::Credit { user, amount }),
+        (1u64..6, 1u64..10).prop_map(|(user, amount)| Op::Debit { user, amount }),
+        (1u64..6, 1u64..6, 1u64..10)
+            .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
+        (1u64..6, 0u64..8).prop_map(|(user, token)| Op::Mint { user, token }),
+        (1u64..6, 0u64..8).prop_map(|(user, token)| Op::Burn { user, token }),
+    ]
+}
+
+fn apply(state: &mut L2State, coll: Address, op: &Op) {
+    let a = |v: u64| Address::from_low_u64(v);
+    match *op {
+        Op::Credit { user, amount } => state.credit(a(user), Wei::from_milli_eth(amount)),
+        Op::Debit { user, amount } => {
+            let _ = state.debit(a(user), Wei::from_milli_eth(amount));
+        }
+        Op::Transfer { from, to, amount } => {
+            let _ = state.transfer_balance(a(from), a(to), Wei::from_milli_eth(amount));
+        }
+        Op::Mint { user, token } => {
+            let _ = state
+                .collection_mut(coll)
+                .and_then(|c| c.mint(a(user), TokenId::new(token)).map_err(|_| {
+                    parole_state::StateError::NoSuchCollection(coll)
+                }));
+        }
+        Op::Burn { user, token } => {
+            let _ = state
+                .collection_mut(coll)
+                .and_then(|c| c.burn(a(user), TokenId::new(token)).map_err(|_| {
+                    parole_state::StateError::NoSuchCollection(coll)
+                }));
+        }
+    }
+}
+
+fn fresh() -> (L2State, Address) {
+    let mut s = L2State::new();
+    let coll = s.deploy_collection(CollectionConfig::limited_edition("SP", 8, 100));
+    (s, coll)
+}
+
+proptest! {
+    /// Two states built by the same operation sequence have identical roots;
+    /// diverging by one credit separates them.
+    #[test]
+    fn state_root_is_a_function_of_content(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let (mut a, coll_a) = fresh();
+        let (mut b, coll_b) = fresh();
+        for op in &ops {
+            apply(&mut a, coll_a, op);
+            apply(&mut b, coll_b, op);
+        }
+        prop_assert_eq!(a.state_root(), b.state_root());
+        b.credit(Address::from_low_u64(42), Wei::from_wei(1));
+        prop_assert_ne!(a.state_root(), b.state_root());
+    }
+
+    /// Transfers conserve the total supply; only credits/debits change it by
+    /// exactly their accepted amounts.
+    #[test]
+    fn supply_accounting_is_exact(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let (mut s, coll) = fresh();
+        let mut expected = Wei::ZERO;
+        for op in &ops {
+            match *op {
+                Op::Credit { user, amount } => {
+                    s.credit(Address::from_low_u64(user), Wei::from_milli_eth(amount));
+                    expected += Wei::from_milli_eth(amount);
+                }
+                Op::Debit { user, amount } => {
+                    if s.debit(Address::from_low_u64(user), Wei::from_milli_eth(amount)).is_ok() {
+                        expected -= Wei::from_milli_eth(amount);
+                    }
+                }
+                _ => apply(&mut s, coll, op),
+            }
+            prop_assert_eq!(s.total_supply(), expected);
+        }
+    }
+
+    /// Forks are fully independent: mutating a clone never touches the
+    /// original, in balances or collections.
+    #[test]
+    fn forks_are_independent(
+        setup in prop::collection::vec(arb_op(), 1..20),
+        divergence in prop::collection::vec(arb_op(), 1..20),
+    ) {
+        let (mut base, coll) = fresh();
+        for op in &setup {
+            apply(&mut base, coll, op);
+        }
+        let snapshot = base.state_root();
+        let mut fork = base.clone();
+        for op in &divergence {
+            apply(&mut fork, coll, op);
+        }
+        prop_assert_eq!(base.state_root(), snapshot);
+    }
+}

@@ -1,0 +1,119 @@
+//! NFT-drop front-running: the full pipeline on a realistic scenario.
+//!
+//! ```sh
+//! cargo run --release --example nft_drop_frontrun
+//! ```
+//!
+//! A hyped limited-edition drop (high mint traffic, speculative burns and
+//! flips) flows through Bedrock's private mempool. Two aggregators collect
+//! fee-ordered windows: one honest, one running PAROLE for a colluding IFU.
+//! Both produce batches with valid fraud proofs; the rollup finalizes both;
+//! only the IFU's balance shows what happened.
+
+use parole::{GentranseqModule, ParoleModule, ParoleStrategy};
+use parole_mempool::{BedrockMempool, WorkloadConfig, WorkloadGenerator};
+use parole_nft::CollectionConfig;
+use parole_primitives::{Address, AggregatorId, TokenId, VerifierId, Wei};
+use parole_rollup::{Aggregator, RollupConfig, RollupContract, Verifier};
+
+fn main() {
+    // --- The rollup and the drop -----------------------------------------
+    let mut rollup = RollupContract::new(RollupConfig::default());
+    let drop = rollup
+        .l2_state_for_setup()
+        .deploy_collection(CollectionConfig::limited_edition("HypedApes", 48, 500));
+    rollup.commit_setup();
+
+    let users: Vec<Address> = (1..=14u64).map(Address::from_low_u64).collect();
+    let ifu = Address::from_low_u64(9_999);
+    for &u in &users {
+        rollup.deposit(u, Wei::from_eth(40)).unwrap();
+    }
+    rollup.deposit(ifu, Wei::from_eth(40)).unwrap();
+
+    // Seed holdings: the IFU speculates early; some users already hold.
+    {
+        // Setup batch through an honest aggregator so the protocol stays
+        // authentic end to end.
+        rollup.bond_aggregator(AggregatorId::new(0));
+        let mut setup_agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+        let mut seed_txs = Vec::new();
+        for (i, owner) in [ifu, ifu, users[0], users[1], users[2], users[3]].iter().enumerate() {
+            seed_txs.push(parole_ovm::NftTransaction::simple(
+                *owner,
+                parole_ovm::TxKind::Mint { collection: drop, token: TokenId::new(i as u64) },
+            ));
+        }
+        let batch = setup_agg.build_batch(rollup.l2_state(), seed_txs);
+        rollup.submit_batch(batch).unwrap();
+        rollup.finalize_all();
+    }
+    println!(
+        "drop seeded: {}",
+        rollup.l2_state().collection(drop).unwrap()
+    );
+    println!("IFU starts with total balance {}", rollup.l2_state().total_balance_of(ifu));
+
+    // --- Drop-day traffic into Bedrock's private mempool ------------------
+    let mut mempool = BedrockMempool::new(Wei::from_gwei(1));
+    let mut generator = WorkloadGenerator::new(
+        7,
+        WorkloadConfig {
+            mint_weight: 5, // drop day: heavy minting
+            transfer_weight: 4,
+            burn_weight: 2,
+            ifu_participation: 0.3,
+            ..WorkloadConfig::default()
+        },
+    );
+    let traffic = generator.generate(rollup.l2_state(), drop, &users, &[ifu], 24);
+    println!("\n{} drop-day transactions entered the mempool", traffic.len());
+    mempool.submit_all(traffic);
+
+    // --- Two aggregators collect fee-ordered windows ----------------------
+    rollup.bond_aggregator(AggregatorId::new(1));
+    rollup.bond_aggregator(AggregatorId::new(2));
+    rollup.bond_verifier(VerifierId::new(0));
+    let verifier = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
+
+    let strategy = ParoleStrategy::new(ParoleModule::new(GentranseqModule::fast()), vec![ifu]);
+    let mut adversary = Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
+    let mut honest = Aggregator::honest(AggregatorId::new(2), Wei::from_eth(10));
+
+    let ifu_before = rollup.l2_state().total_balance_of(ifu);
+
+    // First window: the adversary is quicker on drop day.
+    let window_a = mempool.collect(12);
+    let honest_outcome = {
+        // What the IFU would have ended with had the window run honestly.
+        let (_, post) = parole_ovm::Ovm::new().simulate_sequence(rollup.l2_state(), &window_a);
+        post.total_balance_of(ifu)
+    };
+    let batch_a = adversary.build_batch(rollup.l2_state(), window_a);
+    assert!(
+        verifier.validate(rollup.l2_state(), &batch_a),
+        "PAROLE batch must carry a valid fraud proof"
+    );
+    rollup.submit_batch(batch_a).unwrap();
+
+    // Second window: the honest aggregator takes the rest.
+    let window_b = mempool.collect(12);
+    if !window_b.is_empty() {
+        let batch_b = honest.build_batch(rollup.l2_state(), window_b);
+        rollup.submit_batch(batch_b).unwrap();
+    }
+    rollup.finalize_all();
+
+    // --- Outcome -----------------------------------------------------------
+    let ifu_after = rollup.finalized_state().total_balance_of(ifu);
+    println!("\nIFU total balance: before window {ifu_before}");
+    println!("  honest execution of the same window would have left: {honest_outcome}");
+    println!("  after the PAROLE-ordered batch finalized:            {ifu_after}");
+    println!(
+        "undetected forgeries on chain: {} (reordering is not forgery)",
+        rollup.undetected_forgeries()
+    );
+    if let Some((profit, seen, exploited)) = adversary.strategy_stats() {
+        println!("adversary stats: {exploited}/{seen} windows exploited, cumulative profit {profit}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: run the PAROLE attack on the paper's case-study window.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the exact Fig. 5 scenario (the PT collection with five pre-minted
+//! tokens, an IFU holding 1.5 ETH + 2 PT), shows the honest outcome, then
+//! lets the PAROLE module search for a profitable re-ordering with its DQN.
+
+use parole::casestudy::CaseStudy;
+use parole::{assess, GentranseqModule, ParoleModule};
+
+fn main() {
+    // 1. The world: paper Fig. 5 initial conditions.
+    let cs = CaseStudy::paper_setup();
+    println!("collection: {}", cs.state().collection(cs.collection).unwrap());
+    println!("IFU {} starts with total balance {}", cs.ifu, cs.state().total_balance_of(cs.ifu));
+
+    // 2. The honest outcome: execute the fee order.
+    let honest = cs.evaluate(&cs.original_order());
+    println!("\nhonest (fee-order) execution → IFU ends with {}", honest.final_total_balance);
+
+    // 3. The adversarial aggregator's view: is this window worth attacking?
+    let assessment = assess(cs.window(), &[cs.ifu]);
+    println!("\narbitrage assessment: {assessment}");
+    assert!(assessment.opportunity, "the case-study window is attackable");
+
+    // 4. Run the full PAROLE pipeline (assessment + GENTRANSEQ DQN).
+    let module = ParoleModule::new(GentranseqModule::fast());
+    let outcome = module
+        .process(&[cs.ifu], cs.state(), cs.window())
+        .expect("a profitable re-ordering exists");
+
+    println!("\nGENTRANSEQ re-ordering found:");
+    for (i, tx) in outcome.best_order.iter().enumerate() {
+        println!("  {:>2}. {tx}", i + 1);
+    }
+    println!(
+        "\nIFU balance: honest {} → attacked {} (profit {})",
+        outcome.original_balance,
+        outcome.best_balance,
+        outcome.profit()
+    );
+}

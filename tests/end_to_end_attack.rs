@@ -1,0 +1,197 @@
+//! Integration test: the complete attack pipeline across every crate —
+//! traffic generation → Bedrock mempool → adversarial aggregator with
+//! GENTRANSEQ → batch with valid fraud proof → rollup finalization on the
+//! simulated L1 — and the §VIII defense neutralizing the same window.
+
+use parole::defense::{screen_window, DefenseConfig};
+use parole::{GentranseqModule, ParoleModule, ParoleStrategy};
+use parole_mempool::{BedrockMempool, WorkloadConfig, WorkloadGenerator};
+use parole_nft::CollectionConfig;
+use parole_ovm::Ovm;
+use parole_primitives::{Address, AggregatorId, TokenId, VerifierId, Wei};
+use parole_rollup::{Aggregator, RollupConfig, RollupContract, Verifier};
+
+struct World {
+    rollup: RollupContract,
+    collection: Address,
+    users: Vec<Address>,
+    ifu: Address,
+}
+
+/// Builds a funded rollup world with a seeded collection.
+fn world() -> World {
+    let mut rollup = RollupContract::new(RollupConfig::default());
+    let collection = rollup
+        .l2_state_for_setup()
+        .deploy_collection(CollectionConfig::limited_edition("E2E", 60, 500));
+    let users: Vec<Address> = (1..=12u64).map(Address::from_low_u64).collect();
+    let ifu = Address::from_low_u64(7_777);
+    rollup.commit_setup();
+    for &u in &users {
+        rollup.deposit(u, Wei::from_eth(40)).unwrap();
+    }
+    rollup.deposit(ifu, Wei::from_eth(40)).unwrap();
+    // Seed holdings through an honest batch so protocol invariants hold.
+    rollup.bond_aggregator(AggregatorId::new(0));
+    let mut setup = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+    let seed_txs: Vec<_> = [ifu, ifu, users[0], users[1], users[2], users[3]]
+        .iter()
+        .enumerate()
+        .map(|(i, &owner)| {
+            parole_ovm::NftTransaction::simple(
+                owner,
+                parole_ovm::TxKind::Mint { collection, token: TokenId::new(i as u64) },
+            )
+        })
+        .collect();
+    let batch = setup.build_batch(rollup.l2_state(), seed_txs);
+    rollup.submit_batch(batch).unwrap();
+    rollup.finalize_all();
+    World {
+        rollup,
+        collection,
+        users,
+        ifu,
+    }
+}
+
+#[test]
+fn attack_extracts_profit_and_survives_verification() {
+    let mut w = world();
+    let mut mempool = BedrockMempool::new(Wei::from_gwei(1));
+    let mut generator = WorkloadGenerator::new(
+        3,
+        WorkloadConfig {
+            ifu_participation: 0.35,
+            ..WorkloadConfig::default()
+        },
+    );
+    let traffic = generator.generate(w.rollup.l2_state(), w.collection, &w.users, &[w.ifu], 16);
+    assert!(traffic.len() >= 12, "traffic generation must not stall");
+    mempool.submit_all(traffic);
+
+    let window = mempool.collect(16);
+    let honest_outcome = {
+        let (_, post) = Ovm::new().simulate_sequence(w.rollup.l2_state(), &window);
+        post.total_balance_of(w.ifu)
+    };
+
+    w.rollup.bond_aggregator(AggregatorId::new(1));
+    w.rollup.bond_verifier(VerifierId::new(0));
+    let strategy = ParoleStrategy::new(ParoleModule::new(GentranseqModule::fast()), vec![w.ifu]);
+    let mut adversary =
+        Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
+    let batch = adversary.build_batch(w.rollup.l2_state(), window);
+
+    // Verifiers cannot distinguish the PAROLE batch from an honest one.
+    let verifier = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
+    assert!(verifier.validate(w.rollup.l2_state(), &batch));
+
+    w.rollup.submit_batch(batch).unwrap();
+
+    // A frivolous challenge against it costs the challenger its bond.
+    let ids = w.rollup.pending_batch_ids();
+    let outcome = w.rollup.challenge(VerifierId::new(0), ids[0]).unwrap();
+    assert!(matches!(
+        outcome,
+        parole_rollup::ChallengeOutcome::ChallengeRejected { .. }
+    ));
+
+    w.rollup.finalize_all();
+    assert_eq!(w.rollup.undetected_forgeries(), 0);
+
+    let attacked = w.rollup.finalized_state().total_balance_of(w.ifu);
+    let (profit, seen, exploited) = adversary.strategy_stats().expect("parole strategy");
+    assert_eq!(seen, 1);
+    if exploited == 1 {
+        assert!(
+            attacked > honest_outcome,
+            "exploited window must leave the IFU richer: {attacked} vs {honest_outcome}"
+        );
+        assert!(profit.is_gain());
+    } else {
+        // Even when no profitable order exists, the batch must be byte-level
+        // identical to honest execution.
+        assert_eq!(attacked, honest_outcome);
+    }
+}
+
+#[test]
+fn defense_screening_neutralizes_the_window() {
+    let w = world();
+    let mut generator = WorkloadGenerator::new(
+        3,
+        WorkloadConfig {
+            ifu_participation: 0.35,
+            ..WorkloadConfig::default()
+        },
+    );
+    let window = generator.generate(w.rollup.l2_state(), w.collection, &w.users, &[w.ifu], 12);
+
+    let config = DefenseConfig {
+        threshold: Wei::from_milli_eth(5),
+        max_deferrals: 6,
+        search_passes: 2,
+    };
+    let screened = screen_window(w.rollup.l2_state(), &window, &config);
+
+    // The screened window must admit strictly less PAROLE profit than the
+    // raw one (or the raw one was already clean).
+    let module = ParoleModule::new(GentranseqModule::fast());
+    let raw_profit = module
+        .process(&[w.ifu], w.rollup.l2_state(), &window)
+        .map(|o| o.profit().wei())
+        .unwrap_or(0);
+    let screened_profit = module
+        .process(&[w.ifu], w.rollup.l2_state(), &screened.admitted)
+        .map(|o| o.profit().wei())
+        .unwrap_or(0);
+    if screened.intervened() {
+        assert!(
+            screened_profit < raw_profit,
+            "screening must shrink the attack: {screened_profit} vs {raw_profit}"
+        );
+    } else {
+        assert!(raw_profit <= Wei::from_milli_eth(5).wei() as i128 * 4,
+            "non-intervention is only acceptable for near-clean windows");
+    }
+    // Deferral never loses transactions.
+    assert_eq!(
+        screened.admitted.len() + screened.deferred.len(),
+        window.len()
+    );
+}
+
+#[test]
+fn multi_batch_attack_session_accumulates_profit() {
+    let mut w = world();
+    w.rollup.bond_aggregator(AggregatorId::new(1));
+    let strategy = ParoleStrategy::new(ParoleModule::new(GentranseqModule::fast()), vec![w.ifu]);
+    let mut adversary =
+        Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
+
+    let mut generator = WorkloadGenerator::new(
+        5,
+        WorkloadConfig {
+            ifu_participation: 0.35,
+            ..WorkloadConfig::default()
+        },
+    );
+    for round in 0..3 {
+        let window =
+            generator.generate(w.rollup.l2_state(), w.collection, &w.users, &[w.ifu], 10);
+        if window.is_empty() {
+            continue;
+        }
+        let batch = adversary.build_batch(w.rollup.l2_state(), window);
+        w.rollup
+            .submit_batch(batch)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        w.rollup.finalize_all();
+    }
+    let (profit, seen, _) = adversary.strategy_stats().expect("parole strategy");
+    assert_eq!(seen, 3);
+    assert!(!profit.is_loss(), "cumulative attack profit cannot be negative");
+    assert_eq!(w.rollup.undetected_forgeries(), 0);
+    assert!(w.rollup.l1().verify_integrity());
+}

@@ -1,0 +1,206 @@
+//! Integration test: protocol-safety properties of the rollup substrate
+//! under adversarial conditions — forged batches, frivolous challenges,
+//! deep batch chains, deposit/withdraw interleaving, and signature
+//! enforcement across crate boundaries.
+
+use parole_crypto::Wallet;
+use parole_nft::CollectionConfig;
+use parole_ovm::{NftTransaction, Ovm, OvmConfig, TxKind};
+use parole_primitives::{Address, AggregatorId, FeeBundle, TokenId, TxNonce, VerifierId, Wei};
+use parole_rollup::{
+    Aggregator, ChallengeOutcome, RollupConfig, RollupContract, Verifier,
+};
+
+fn addr(v: u64) -> Address {
+    Address::from_low_u64(v)
+}
+
+fn deployed() -> (RollupContract, Address) {
+    let mut rollup = RollupContract::new(RollupConfig::default());
+    let pt = rollup
+        .l2_state_for_setup()
+        .deploy_collection(CollectionConfig::parole_token());
+    rollup.commit_setup();
+    for u in 1..=6u64 {
+        rollup.deposit(addr(u), Wei::from_eth(5)).unwrap();
+    }
+    (rollup, pt)
+}
+
+#[test]
+fn forged_batch_cannot_survive_an_honest_verifier() {
+    let (mut rollup, pt) = deployed();
+    rollup.bond_aggregator(AggregatorId::new(0));
+    rollup.bond_verifier(VerifierId::new(0));
+    let mut crooked = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+    let verifier = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
+
+    let txs = vec![NftTransaction::simple(
+        addr(1),
+        TxKind::Mint { collection: pt, token: TokenId::new(0) },
+    )];
+    let forged = crooked.build_forged_batch(rollup.l2_state(), txs);
+    assert!(verifier.should_challenge(rollup.l2_state(), &forged));
+    let id = rollup.submit_batch(forged).unwrap();
+    let outcome = rollup.challenge(VerifierId::new(0), id).unwrap();
+    assert!(matches!(outcome, ChallengeOutcome::FraudProven { .. }));
+    // The fraudulent state never finalizes.
+    rollup.finalize_all();
+    assert_eq!(rollup.undetected_forgeries(), 0);
+    assert_eq!(
+        rollup.finalized_state().collection(pt).unwrap().active_supply(),
+        0
+    );
+}
+
+#[test]
+fn slashed_aggregator_cannot_submit_again() {
+    let (mut rollup, pt) = deployed();
+    rollup.bond_aggregator(AggregatorId::new(0));
+    rollup.bond_verifier(VerifierId::new(0));
+    let mut crooked = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+
+    let forged = crooked.build_forged_batch(
+        rollup.l2_state(),
+        vec![NftTransaction::simple(
+            addr(1),
+            TxKind::Mint { collection: pt, token: TokenId::new(0) },
+        )],
+    );
+    let id = rollup.submit_batch(forged).unwrap();
+    rollup.challenge(VerifierId::new(0), id).unwrap();
+
+    // Bond is gone; the next submission bounces.
+    let retry = crooked.build_batch(
+        rollup.l2_state(),
+        vec![NftTransaction::simple(
+            addr(2),
+            TxKind::Mint { collection: pt, token: TokenId::new(1) },
+        )],
+    );
+    assert!(matches!(
+        rollup.submit_batch(retry),
+        Err(parole_rollup::RollupError::NotBonded(_))
+    ));
+}
+
+#[test]
+fn deep_batch_chain_finalizes_in_order_with_consistent_roots() {
+    let (mut rollup, pt) = deployed();
+    rollup.bond_aggregator(AggregatorId::new(0));
+    let mut agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+
+    // Five chained batches, each building on the staged state of the last.
+    for k in 0..5u64 {
+        let tx = NftTransaction::simple(
+            addr(1 + k % 3),
+            TxKind::Mint { collection: pt, token: TokenId::new(k) },
+        );
+        let batch = agg.build_batch(rollup.l2_state(), vec![tx]);
+        rollup.submit_batch(batch).unwrap();
+    }
+    assert_eq!(rollup.pending_batch_ids().len(), 5);
+    rollup.finalize_all();
+    assert!(rollup.pending_batch_ids().is_empty());
+    assert_eq!(rollup.undetected_forgeries(), 0);
+    assert_eq!(
+        rollup.finalized_state().state_root(),
+        rollup.l2_state().state_root(),
+        "canonical and staged states converge when nothing is pending"
+    );
+    assert_eq!(
+        rollup.finalized_state().collection(pt).unwrap().active_supply(),
+        5
+    );
+    assert!(rollup.l1().verify_integrity());
+}
+
+#[test]
+fn deposits_and_withdrawals_interleave_with_batches() {
+    let (mut rollup, pt) = deployed();
+    rollup.bond_aggregator(AggregatorId::new(0));
+    let mut agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+
+    let batch = agg.build_batch(
+        rollup.l2_state(),
+        vec![NftTransaction::simple(
+            addr(1),
+            TxKind::Mint { collection: pt, token: TokenId::new(0) },
+        )],
+    );
+    rollup.submit_batch(batch).unwrap();
+    rollup.deposit(addr(9), Wei::from_eth(7)).unwrap();
+    rollup.withdraw(addr(2), Wei::from_eth(1)).unwrap();
+
+    rollup.finalize_all();
+    let state = rollup.finalized_state();
+    assert_eq!(state.balance_of(addr(9)), Wei::from_eth(7));
+    assert_eq!(state.balance_of(addr(2)), Wei::from_eth(4));
+    assert!(state.collection(pt).unwrap().is_owner(addr(1), TokenId::new(0)));
+}
+
+#[test]
+fn signed_transactions_enforce_authenticity_through_the_pipeline() {
+    let (mut rollup, pt) = deployed();
+    let wallet = Wallet::from_seed(1234);
+    rollup.deposit(wallet.address(), Wei::from_eth(3)).unwrap();
+    rollup.bond_aggregator(AggregatorId::new(0));
+    let mut agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+
+    let good = NftTransaction::signed(
+        &wallet,
+        TxKind::Mint { collection: pt, token: TokenId::new(0) },
+        FeeBundle::from_gwei(30, 2),
+        TxNonce::new(0),
+    );
+    // An attacker replays the signed payload under a different sender.
+    let mut forged = good;
+    forged.sender = addr(3);
+
+    let batch = agg.build_batch(rollup.l2_state(), vec![good, forged]);
+    // Receipt 0 executes; receipt 1 reverts with a bad signature.
+    assert!(batch.receipts[0].is_success());
+    assert_eq!(
+        batch.receipts[1].revert_reason(),
+        Some(parole_ovm::RevertReason::BadSignature)
+    );
+    rollup.submit_batch(batch).unwrap();
+    rollup.finalize_all();
+    assert_eq!(rollup.undetected_forgeries(), 0);
+    // Only the legitimate mint landed.
+    let coll = rollup.finalized_state().collection(pt).unwrap();
+    assert_eq!(coll.active_supply(), 1);
+    assert!(coll.is_owner(wallet.address(), TokenId::new(0)));
+}
+
+#[test]
+fn gas_fees_drain_spammers_when_enabled() {
+    // An OVM with fee charging: reverted transactions still burn fees, so
+    // spam has a price.
+    let config = OvmConfig {
+        charge_fees: true,
+        base_fee: Wei::from_gwei(5),
+        ..OvmConfig::default()
+    };
+    let ovm = Ovm::with_config(config);
+    let mut state = parole_state::L2State::new();
+    let pt = state.deploy_collection(CollectionConfig::parole_token());
+    let spammer = addr(66);
+    state.credit(spammer, Wei::from_milli_eth(10));
+
+    let before = state.balance_of(spammer);
+    // Burn attempts on a token the spammer does not own: all revert.
+    for _ in 0..3 {
+        let tx = NftTransaction::simple(
+            spammer,
+            TxKind::Burn { collection: pt, token: TokenId::new(0) },
+        );
+        let receipt = ovm.execute(&mut state, &tx);
+        assert!(!receipt.is_success());
+        assert!(receipt.fee_paid > Wei::ZERO);
+    }
+    assert!(
+        state.balance_of(spammer) < before,
+        "spam must cost gas even when it reverts"
+    );
+}
