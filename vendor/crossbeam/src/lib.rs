@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` (scoped fork/join with
+//! the pre-std-scope API where the spawn closure receives the scope handle).
+//! This shim maps that API onto `std::thread::scope`, which provides the same
+//! structured-concurrency guarantees natively since Rust 1.63.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Handle passed to [`scope`]'s closure; spawns borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowing threads can be spawned; all threads
+    /// are joined before the call returns. Returns `Err` with the panic
+    /// payload if the closure (or an unjoined child) panicked, matching
+    /// crossbeam's signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&v| scope.spawn(move |_| v * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn scope_reports_panics() {
+        let result = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            // An explicitly-joined panic is surfaced on the handle, and the
+            // scope itself still exits cleanly afterwards.
+            assert!(h.join().is_err());
+            7
+        });
+        assert_eq!(result.unwrap(), 7);
+    }
+}

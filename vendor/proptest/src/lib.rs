@@ -1,0 +1,37 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the API subset the workspace's property tests use: the
+//! `proptest!` macro, `prop_assert*`/`prop_assume!`, integer-range and
+//! tuple strategies, `Just`, `prop_oneof!`, `any::<T>()` and
+//! `prop::collection::vec`. Cases are drawn from a deterministic per-test
+//! RNG (seeded from the test name), so failures reproduce across runs.
+//!
+//! Deliberate simplification: no shrinking. A failing case reports the
+//! sampled inputs via the assertion message instead of a minimized example.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+mod macros;
+
+/// Mirrors upstream's `prop` re-export module so `prop::collection::vec`
+/// works through the prelude.
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub use arbitrary::any;
+
+/// The glob-import surface used by every test file.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}

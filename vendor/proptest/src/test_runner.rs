@@ -1,0 +1,64 @@
+//! Runner configuration, case errors, and the deterministic test RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// How many accepted (non-rejected) cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Builds a config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Leaner than upstream's 256: these suites run inside tier-1
+        // `cargo test` on every push.
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — resample, don't fail.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Deterministic generator for drawing cases, seeded from the test name so
+/// every test has a stable but distinct stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (the `proptest!` macro passes the test
+    /// function's name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serialization framework that keeps serde's *surface* — the
+//! `Serialize`/`Deserialize` traits, the `#[derive(...)]` macros and the
+//! `#[serde(transparent)]` / `#[serde(skip)]` attributes — while collapsing
+//! the data model to a single self-describing [`Value`] tree. `serde_json`
+//! (also vendored) renders and parses that tree.
+//!
+//! Deliberate simplifications, documented so nobody trips over them later:
+//! - Maps with non-string keys serialize as arrays of `[key, value]` pairs
+//!   (upstream serde_json errors on them instead).
+//! - Enums use externally-tagged encoding only (serde's default).
+//! - Unsupported shapes (generics on derived types) fail at compile time in
+//!   the derive macro rather than silently misbehaving.
+
+mod impls;
+mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Error produced when a [`Value`] cannot be decoded into a target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// The human-readable reason.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the self-describing value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Compatibility aliases mirroring serde's module layout, so imports like
+/// `serde::ser::Serialize` keep working.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// See [`crate::ser`].
+pub mod de {
+    pub use crate::{DeError, Deserialize};
+}
+
+/// Support machinery for derive-generated code. Not part of the public API
+/// surface the workspace should call directly.
+pub mod __private {
+    use crate::{DeError, Value};
+
+    static NULL: Value = Value::Null;
+
+    /// Looks up `name` in a map value; missing fields read as `Null` so
+    /// `Option` fields can default to `None`.
+    pub fn field<'v>(value: &'v Value, type_name: &str, name: &str) -> Result<&'v Value, DeError> {
+        match value {
+            Value::Map(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(DeError::custom(format!(
+                "{type_name}: expected object for struct, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Decodes the externally-tagged enum envelope: either a bare string
+    /// (unit variant) or a single-entry map `{variant: payload}`.
+    pub fn variant<'v>(value: &'v Value, type_name: &str) -> Result<(&'v str, &'v Value), DeError> {
+        match value {
+            Value::Str(name) => Ok((name.as_str(), &NULL)),
+            Value::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Value::Str(name), payload) => Ok((name.as_str(), payload)),
+                _ => Err(DeError::custom(format!(
+                    "{type_name}: enum tag must be a string"
+                ))),
+            },
+            other => Err(DeError::custom(format!(
+                "{type_name}: expected enum envelope, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The `n`-th element of a sequence payload (tuple variants / structs).
+    pub fn seq_item<'v>(
+        value: &'v Value,
+        type_name: &str,
+        n: usize,
+        len: usize,
+    ) -> Result<&'v Value, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == len => Ok(&items[n]),
+            Value::Seq(items) => Err(DeError::custom(format!(
+                "{type_name}: expected {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::custom(format!(
+                "{type_name}: expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

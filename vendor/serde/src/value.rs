@@ -1,0 +1,101 @@
+//! The self-describing value tree shared by `serde` and `serde_json`.
+
+use std::fmt;
+
+/// A JSON-shaped number. Integers keep full 128-bit precision so `Wei`-sized
+/// amounts (u128) round-trip exactly; floats use `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An unsigned integer.
+    UInt(u128),
+    /// A negative integer.
+    Int(i128),
+    /// A binary64 float.
+    Float(f64),
+}
+
+impl Number {
+    /// Reads the number as `f64` (integers are converted).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::UInt(v) => v as f64,
+            Number::Int(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Reads the number as `u128` if it is a non-negative integer.
+    pub fn as_u128(self) -> Option<u128> {
+        match self {
+            Number::UInt(v) => Some(v),
+            Number::Int(v) => u128::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Reads the number as `i128` if it is an integer that fits.
+    pub fn as_i128(self) -> Option<i128> {
+        match self {
+            Number::UInt(v) => i128::try_from(v).ok(),
+            Number::Int(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// The self-describing tree every `Serialize` impl renders into.
+///
+/// Maps preserve insertion order (struct field order) and may carry
+/// non-string keys; the JSON layer decides how to render those.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object (or pair array when keys are not strings).
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    /// Short description of the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// True when every key in a map is a string (renderable as an object).
+    pub fn is_object_like(&self) -> bool {
+        match self {
+            Value::Map(entries) => entries.iter().all(|(k, _)| matches!(k, Value::Str(_))),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(Number::UInt(v)) => write!(f, "{v}"),
+            Value::Num(Number::Int(v)) => write!(f, "{v}"),
+            Value::Num(Number::Float(v)) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Seq(_) => write!(f, "<sequence>"),
+            Value::Map(_) => write!(f, "<map>"),
+        }
+    }
+}

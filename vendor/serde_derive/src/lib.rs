@@ -1,0 +1,459 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate depends on `syn`/`quote`, which are unavailable in this
+//! build environment, so the derive input is parsed directly from the
+//! `proc_macro` token stream. The supported shape grammar is exactly what the
+//! workspace uses: non-generic structs (named / tuple / unit) and non-generic
+//! enums (unit / tuple / struct variants), plus the `#[serde(transparent)]`
+//! and `#[serde(skip)]` attributes. Anything else panics at compile time
+//! with a clear message rather than silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Data {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    transparent: bool,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes, returning whether `#[serde(word)]` appeared.
+fn eat_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>, word: &str) -> bool {
+    let mut found = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                if matches!(&inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        for tok in args.stream() {
+                            if matches!(&tok, TokenTree::Ident(i) if i.to_string() == word) {
+                                found = true;
+                            }
+                        }
+                    }
+                }
+            }
+            other => panic!("serde derive: malformed attribute near {other:?}"),
+        }
+    }
+    found
+}
+
+fn eat_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists, tracking `<...>` nesting so commas
+/// inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let skip = eat_attrs(&mut tokens, "skip");
+        if tokens.peek().is_none() {
+            break;
+        }
+        eat_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':' after field `{name}`, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut in_field = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => in_field = false,
+                _ => {
+                    if !in_field {
+                        in_field = true;
+                        count += 1;
+                    }
+                }
+            },
+            _ => {
+                if !in_field {
+                    in_field = true;
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        eat_attrs(&mut tokens, "skip");
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let transparent = eat_attrs(&mut tokens, "transparent");
+    eat_visibility(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    let data = match keyword.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Shape::Unit),
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Input {
+        name,
+        transparent,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, fully-qualified paths)
+// ---------------------------------------------------------------------------
+
+fn str_value(text: &str) -> String {
+    format!("::serde::Value::Str(::std::string::String::from(\"{text}\"))")
+}
+
+fn tagged(tag: &str, payload: String) -> String {
+    format!("::serde::Value::Map(vec![({}, {payload})])", str_value(tag))
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Data::Struct(Shape::Named(fields)) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            if input.transparent {
+                assert!(
+                    live.len() == 1,
+                    "serde derive: #[serde(transparent)] on `{name}` needs exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", live[0].name)
+            } else {
+                let entries: Vec<String> = live
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({}, ::serde::Serialize::to_value(&self.{}))",
+                            str_value(&f.name),
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+            }
+        }
+        Data::Struct(Shape::Tuple(n)) => {
+            if *n == 1 {
+                // Newtype structs serialize as their inner value, matching
+                // serde's default (and `transparent` collapses to the same).
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("{name}::{vname} => {},", str_value(vname))
+                        }
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => {},",
+                            tagged(vname, "::serde::Serialize::to_value(__f0)".into())
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                tagged(vname, format!("::serde::Value::Seq(vec![{}])", items.join(", ")))
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = live
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({}, ::serde::Serialize::to_value({}))",
+                                        str_value(&f.name),
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                binds.join(", "),
+                                tagged(vname, format!("::serde::Value::Map(vec![{}])", entries.join(", ")))
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Data::Struct(Shape::Named(fields)) => {
+            let live_count = fields.iter().filter(|f| !f.skip).count();
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else if input.transparent && live_count == 1 {
+                        format!("{}: ::serde::Deserialize::from_value(__v)?", f.name)
+                    } else {
+                        format!(
+                            "{}: ::serde::Deserialize::from_value(::serde::__private::field(__v, \"{name}\", \"{}\")?)?",
+                            f.name, f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Data::Struct(Shape::Tuple(n)) => {
+            if *n == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(::serde::__private::seq_item(__v, \"{name}\", {i}, {n})?)?"
+                        )
+                    })
+                    .collect();
+                format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+            }
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::Unit => {
+                            format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                        }
+                        Shape::Tuple(1) => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(::serde::__private::seq_item(__payload, \"{name}\", {i}, {n})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({})),",
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.skip {
+                                        format!("{}: ::std::default::Default::default()", f.name)
+                                    } else {
+                                        format!(
+                                            "{}: ::serde::Deserialize::from_value(::serde::__private::field(__payload, \"{name}\", \"{}\")?)?",
+                                            f.name, f.name
+                                        )
+                                    }
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = ::serde::__private::variant(__v, \"{name}\")?;\n\
+                 let _ = __payload;\n\
+                 match __tag {{ {} __other => ::std::result::Result::Err(::serde::DeError::custom(format!(\"{name}: unknown variant {{}}\", __other))) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    // `let _ = __v;` keeps unit shapes from tripping unused-variable lints.
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ let _ = __v; {body} }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Serialize impl did not parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated Deserialize impl did not parse")
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders and parses JSON text over the vendored `serde` [`Value`] tree.
+//! Numbers keep 128-bit integer precision; floats print with Rust's
+//! shortest-roundtrip `Display`, so `f64` values survive a
+//! serialize/deserialize cycle bit-exactly (the upstream `float_roundtrip`
+//! behaviour). Maps with non-string keys are rendered as `[[key, value], ...]`
+//! pair arrays instead of erroring like upstream.
+
+mod parse;
+mod render;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error raised by JSON parsing, rendering, or decoding into a target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.message().to_owned())
+    }
+}
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(render::render(&value.to_value(), None))
+}
+
+/// Serializes `value` to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(render::render(&value.to_value(), Some(0)))
+}
+
+/// Serializes `value` as JSON onto any writer.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Number;
+
+    #[test]
+    fn compact_and_pretty_objects() {
+        let v = Value::Map(vec![
+            (Value::Str("x".into()), Value::Num(Number::UInt(7))),
+            (
+                Value::Str("ys".into()),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"x":7,"ys":[true,null]}"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"x\": 7"), "pretty output: {pretty}");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"a": [1, -2, 3.5], "b": {"nested": "va\"l"}, "c": null}"#;
+        let v: Value = from_str(text).unwrap();
+        let again: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, again);
+    }
+
+    #[test]
+    fn u128_precision_survives() {
+        let big: u128 = 340_282_366_920_938_463_463_374_607_431_768_211_455;
+        let text = to_string(&big).unwrap();
+        assert_eq!(text, big.to_string());
+        assert_eq!(from_str::<u128>(&text).unwrap(), big);
+    }
+
+    #[test]
+    fn f64_roundtrips_bit_exactly() {
+        for &f in &[0.1f64, 1.0 / 3.0, 1e-300, 123456.789_012_345, -0.0] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "mismatch for {f} via {text}");
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\tand \\ unicode \u{1}".to_string();
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn non_string_keys_become_pair_arrays() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(3u64, "three".to_string());
+        let text = to_string(&map).unwrap();
+        assert_eq!(text, r#"[[3,"three"]]"#);
+        let back: std::collections::BTreeMap<u64, String> = from_str(&text).unwrap();
+        assert_eq!(back, map);
+    }
+}

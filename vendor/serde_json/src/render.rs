@@ -1,0 +1,130 @@
+//! Value-tree → JSON text.
+
+use serde::{Number, Value};
+
+/// Renders `value`; `indent = Some(level)` selects pretty mode.
+pub(crate) fn render(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent);
+    out
+}
+
+fn pad(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            let entries: Vec<&Value> = items.iter().collect();
+            write_array(out, &entries, indent);
+        }
+        Value::Map(entries) => {
+            if value.is_object_like() {
+                write_object(out, entries, indent);
+            } else {
+                // Non-string keys: render as [[key, value], ...] pairs.
+                let pairs: Vec<Value> = entries
+                    .iter()
+                    .map(|(k, v)| Value::Seq(vec![k.clone(), v.clone()]))
+                    .collect();
+                let refs: Vec<&Value> = pairs.iter().collect();
+                write_array(out, &refs, indent);
+            }
+        }
+    }
+}
+
+fn write_array(out: &mut String, items: &[&Value], indent: Option<usize>) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(level) = indent {
+            pad(out, level + 1);
+            write_value(out, item, Some(level + 1));
+        } else {
+            write_value(out, item, None);
+        }
+    }
+    if let Some(level) = indent {
+        pad(out, level);
+    }
+    out.push(']');
+}
+
+fn write_object(out: &mut String, entries: &[(Value, Value)], indent: Option<usize>) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, val)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(level) = indent {
+            pad(out, level + 1);
+        }
+        match key {
+            Value::Str(s) => write_string(out, s),
+            _ => unreachable!("object rendering requires string keys"),
+        }
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(out, val, indent.map(|level| level + 1));
+    }
+    if let Some(level) = indent {
+        pad(out, level);
+    }
+    out.push('}');
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::UInt(v) => out.push_str(&v.to_string()),
+        Number::Int(v) => out.push_str(&v.to_string()),
+        Number::Float(v) => {
+            if v.is_finite() {
+                let text = v.to_string();
+                out.push_str(&text);
+            } else {
+                // JSON has no NaN/Infinity literal; match serde_json's
+                // lossy-writer behaviour of emitting null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
