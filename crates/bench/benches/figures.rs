@@ -122,7 +122,10 @@ fn bench_ablation_reward_weight(c: &mut Criterion) {
                 batch_size: 4,
                 ..DqnConfig::paper()
             },
-            RewardConfig { penalty_weight: weight, ..RewardConfig::default() },
+            RewardConfig {
+                penalty_weight: weight,
+                ..RewardConfig::default()
+            },
         );
         group.bench_function(label, |b| {
             b.iter(|| module.run(black_box(&economy.state), black_box(&window), &economy.ifus))
@@ -140,7 +143,10 @@ fn bench_ablation_action_space(c: &mut Criterion) {
     group.sample_size(10);
     let economy = Economy::build(10, 1, 6);
     let window = economy.window(10, 6);
-    for (label, space) in [("all_pairs", ActionSpace::AllPairs), ("adjacent", ActionSpace::AdjacentOnly)] {
+    for (label, space) in [
+        ("all_pairs", ActionSpace::AllPairs),
+        ("adjacent", ActionSpace::AdjacentOnly),
+    ] {
         let economy = economy.clone();
         let window = window.clone();
         group.bench_function(label, move |b| {
@@ -224,7 +230,8 @@ fn bench_ablation_quantization(c: &mut Criterion) {
                 config.price_quantum = quantum;
                 let mut coll = Collection::new(config);
                 for i in 0..10u64 {
-                    coll.mint(Address::from_low_u64(1), TokenId::new(i)).unwrap();
+                    coll.mint(Address::from_low_u64(1), TokenId::new(i))
+                        .unwrap();
                     black_box(coll.price());
                 }
             })

@@ -85,6 +85,45 @@ fn bench_calldata(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_reorder_env(c: &mut Criterion) {
+    use parole::{ActionSpace, EvalConfig, ReorderEnv, RewardConfig};
+    use parole_drl::Environment;
+
+    let mut group = c.benchmark_group("reorder_env");
+    // The GENTRANSEQ training hot loop is step() — swap two positions,
+    // re-evaluate the window. Naive evaluation clones the world and replays
+    // all N slots; the prefix-cached path replays only the diverged suffix
+    // and never copies state the window doesn't touch — hence the rich
+    // background state.
+    for n in [10usize, 20] {
+        let economy = Economy::build(n, 1, 1).with_background(10_000, 16);
+        let window = economy.window(n, 1);
+        for (label, eval) in [
+            ("step_naive", EvalConfig::naive()),
+            ("step_cached", EvalConfig::default()),
+        ] {
+            let mut env = ReorderEnv::with_eval_config(
+                economy.state.clone(),
+                window.clone(),
+                economy.ifus.clone(),
+                RewardConfig::default(),
+                ActionSpace::AllPairs,
+                eval,
+            );
+            env.reset();
+            let actions = env.action_count();
+            let mut a = 0usize;
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    a = (a + 7) % actions;
+                    black_box(env.step(a))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_dqn(c: &mut Criterion) {
     let mut group = c.benchmark_group("dqn");
     // The paper-shaped network for a mempool of 50: 400 inputs, C(50,2)
@@ -105,6 +144,6 @@ criterion_group!(
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_crypto, bench_ovm, bench_mempool, bench_calldata, bench_dqn
+    targets = bench_crypto, bench_ovm, bench_mempool, bench_calldata, bench_reorder_env, bench_dqn
 );
 criterion_main!(kernels);

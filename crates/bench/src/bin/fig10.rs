@@ -4,7 +4,9 @@
 //! substitute; see DESIGN.md substitution #3).
 
 use parole_bench::report::{print_table, write_json};
-use parole_snapshots::{scan_corpus, CaptureModel, Chain, FtBucket, SnapshotConfig, SnapshotCorpus};
+use parole_snapshots::{
+    scan_corpus, CaptureModel, Chain, FtBucket, SnapshotConfig, SnapshotCorpus,
+};
 
 fn main() {
     let corpus = SnapshotCorpus::generate(SnapshotConfig::default());
@@ -25,7 +27,14 @@ fn main() {
         .collect();
     print_table(
         "Fig 10: arbitrage profit opportunity from NFT snapshots",
-        &["Chain", "FT bucket", "Collections", "Windows", "Total profit", "Per collection"],
+        &[
+            "Chain",
+            "FT bucket",
+            "Collections",
+            "Windows",
+            "Total profit",
+            "Per collection",
+        ],
         &rows,
     );
 

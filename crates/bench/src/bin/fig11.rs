@@ -103,7 +103,10 @@ fn main() {
                 ]
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("row panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("row panicked"))
+            .collect()
     });
 
     let solvers = ["DQN (inference)", "apopt-like", "minos-like", "snopt-like"];

@@ -16,11 +16,18 @@ fn show_case(cs: &CaseStudy, title: &str, order: &[usize]) {
             vec![
                 format!("TX{}", r.tx_number),
                 format!("{}", r.price),
-                format!("{} + {}x{} = {}", r.ifu_l2_balance, r.ifu_tokens, r.price, r.ifu_total_balance),
+                format!(
+                    "{} + {}x{} = {}",
+                    r.ifu_l2_balance, r.ifu_tokens, r.price, r.ifu_total_balance
+                ),
             ]
         })
         .collect();
-    print_table(title, &["TX", "PT Price (1 unit)", "IFU Total Balance"], &rows);
+    print_table(
+        title,
+        &["TX", "PT Price (1 unit)", "IFU Total Balance"],
+        &rows,
+    );
     println!(
         "  final total balance: {}   (non-volatile L2 part: {})",
         report.final_total_balance, report.final_l2_balance
@@ -30,9 +37,21 @@ fn show_case(cs: &CaseStudy, title: &str, order: &[usize]) {
 
 fn main() {
     let cs = CaseStudy::paper_setup();
-    show_case(&cs, "Fig 5(a) Case 1: original sequence", &cs.original_order());
-    show_case(&cs, "Fig 5(b) Case 2: candidate altered sequence", &cs.candidate_order());
-    show_case(&cs, "Fig 5(c) Case 3: optimally altered sequence (paper)", &cs.optimal_order());
+    show_case(
+        &cs,
+        "Fig 5(a) Case 1: original sequence",
+        &cs.original_order(),
+    );
+    show_case(
+        &cs,
+        "Fig 5(b) Case 2: candidate altered sequence",
+        &cs.candidate_order(),
+    );
+    show_case(
+        &cs,
+        "Fig 5(c) Case 3: optimally altered sequence (paper)",
+        &cs.optimal_order(),
+    );
     // Reproduction finding: strict constraint semantics admit an even better
     // order than the paper's Case 3.
     show_case(

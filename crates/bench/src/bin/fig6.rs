@@ -3,6 +3,7 @@
 //! (a) 10% adversarial aggregators and (b) 50%.
 
 use parole::fleet::{run_fleet, FleetConfig};
+use parole::par::{parallel_map, threads_from_env};
 use parole_bench::report::{print_table, write_json};
 use parole_bench::Scale;
 use serde::Serialize;
@@ -30,37 +31,36 @@ fn main() {
             }
         }
     }
-    let results: Vec<Cell> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(pct, fraction, mempool, ifus)| {
-                let gentranseq = scale.gentranseq();
-                scope.spawn(move || {
-                    // Average over independent seeds to denoise the cell.
-                    const SEEDS: u64 = 3;
-                    let mut acc: i128 = 0;
-                    for rep in 0..SEEDS {
-                        let config = FleetConfig {
-                            adversarial_fraction: fraction,
-                            mempool_size: mempool,
-                            n_ifus: ifus,
-                            gentranseq: gentranseq.clone(),
-                            seed: 42 + mempool as u64 * 100 + ifus as u64 * 10 + rep,
-                            ..FleetConfig::default()
-                        };
-                        acc += run_fleet(&config).avg_profit_per_ifu_gwei();
-                    }
-                    Cell {
-                        adversarial_pct: pct,
-                        mempool,
-                        ifus,
-                        avg_profit_per_ifu_gwei: acc / SEEDS as i128,
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("cell panicked")).collect()
-    });
+    // Sweep cells on a bounded pool (PAROLE_THREADS overrides the size); the
+    // inner fleets stay single-threaded so cells don't fight for cores.
+    let results: Vec<Cell> = parallel_map(
+        jobs,
+        threads_from_env(),
+        |(pct, fraction, mempool, ifus)| {
+            let gentranseq = scale.gentranseq();
+            // Average over independent seeds to denoise the cell.
+            const SEEDS: u64 = 3;
+            let mut acc: i128 = 0;
+            for rep in 0..SEEDS {
+                let config = FleetConfig {
+                    adversarial_fraction: fraction,
+                    mempool_size: mempool,
+                    n_ifus: ifus,
+                    gentranseq: gentranseq.clone(),
+                    seed: 42 + mempool as u64 * 100 + ifus as u64 * 10 + rep,
+                    threads: 1,
+                    ..FleetConfig::default()
+                };
+                acc += run_fleet(&config).avg_profit_per_ifu_gwei();
+            }
+            Cell {
+                adversarial_pct: pct,
+                mempool,
+                ifus,
+                avg_profit_per_ifu_gwei: acc / SEEDS as i128,
+            }
+        },
+    );
 
     for &(pct, _) in &fractions {
         let mut rows = Vec::new();
@@ -102,7 +102,11 @@ fn main() {
             println!(
                 "shape {pct}%/mempool {mempool}: per-IFU profit 1 IFU = {p1} vs 4 IFUs = {p4} \
                  ({})",
-                if p1 >= p4 { "decreasing, as in the paper" } else { "NOT decreasing" }
+                if p1 >= p4 {
+                    "decreasing, as in the paper"
+                } else {
+                    "NOT decreasing"
+                }
             );
         }
     }

@@ -3,6 +3,7 @@
 //! (a) 1 IFU and (b) 2 IFUs.
 
 use parole::fleet::{run_fleet, FleetConfig};
+use parole::par::{parallel_map, threads_from_env};
 use parole_bench::report::{print_table, write_json};
 use parole_bench::Scale;
 use serde::Serialize;
@@ -30,40 +31,35 @@ fn main() {
             }
         }
     }
-    let results: Vec<Cell> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(ifus, mempool, pct)| {
-                let gentranseq = scale.gentranseq();
-                scope.spawn(move || {
-                    // Average over independent seeds to denoise the cell.
-                    const SEEDS: u64 = 3;
-                    let mut acc: i128 = 0;
-                    let mut tips: u128 = 0;
-                    for rep in 0..SEEDS {
-                        let config = FleetConfig {
-                            adversarial_fraction: pct as f64 / 100.0,
-                            mempool_size: mempool,
-                            n_ifus: ifus,
-                            gentranseq: gentranseq.clone(),
-                            seed: 77 + mempool as u64 * 100 + pct as u64 * 10 + rep,
-                            ..FleetConfig::default()
-                        };
-                        let outcome = run_fleet(&config);
-                        acc += outcome.total_profit_gwei();
-                        tips += outcome.adversarial_tip_revenue.gwei();
-                    }
-                    Cell {
-                        ifus,
-                        mempool,
-                        adversarial_pct: pct,
-                        total_profit_gwei: acc / SEEDS as i128,
-                        adversarial_tips_gwei: tips / SEEDS as u128,
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("cell panicked")).collect()
+    // Sweep cells on a bounded pool (PAROLE_THREADS overrides the size); the
+    // inner fleets stay single-threaded so cells don't fight for cores.
+    let results: Vec<Cell> = parallel_map(jobs, threads_from_env(), |(ifus, mempool, pct)| {
+        let gentranseq = scale.gentranseq();
+        // Average over independent seeds to denoise the cell.
+        const SEEDS: u64 = 3;
+        let mut acc: i128 = 0;
+        let mut tips: u128 = 0;
+        for rep in 0..SEEDS {
+            let config = FleetConfig {
+                adversarial_fraction: pct as f64 / 100.0,
+                mempool_size: mempool,
+                n_ifus: ifus,
+                gentranseq: gentranseq.clone(),
+                seed: 77 + mempool as u64 * 100 + pct as u64 * 10 + rep,
+                threads: 1,
+                ..FleetConfig::default()
+            };
+            let outcome = run_fleet(&config);
+            acc += outcome.total_profit_gwei();
+            tips += outcome.adversarial_tip_revenue.gwei();
+        }
+        Cell {
+            ifus,
+            mempool,
+            adversarial_pct: pct,
+            total_profit_gwei: acc / SEEDS as i128,
+            adversarial_tips_gwei: tips / SEEDS as u128,
+        }
     });
 
     for &ifus in &ifu_counts {
@@ -103,7 +99,11 @@ fn main() {
                 .total_profit_gwei;
             println!(
                 "shape {ifus} IFU/mempool {mempool}: 10% -> {lo}, 50% -> {hi} ({})",
-                if hi >= lo { "increasing, as in the paper" } else { "NOT increasing" }
+                if hi >= lo {
+                    "increasing, as in the paper"
+                } else {
+                    "NOT increasing"
+                }
             );
         }
     }

@@ -2,6 +2,7 @@
 //! DQN agent, for initial exploration rates ε₀ ∈ {0, 0.5, 1}, serving
 //! (a) 1 IFU and (b) 2 IFUs.
 
+use parole::par::{parallel_map, threads_from_env};
 use parole::{ReorderEnv, RewardConfig};
 use parole_bench::economy::Economy;
 use parole_bench::report::{print_table, write_json};
@@ -68,17 +69,17 @@ fn main() {
             jobs.push((ifus, eps));
         }
     }
-    let series: Vec<Series> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(ifus, eps)| scope.spawn(move || train_series(ifus, eps, scale)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("series panicked")).collect()
+    let series: Vec<Series> = parallel_map(jobs, threads_from_env(), |(ifus, eps)| {
+        train_series(ifus, eps, scale)
     });
 
     for &ifus in &ifu_counts {
         let cell: Vec<&Series> = series.iter().filter(|s| s.ifus == ifus).collect();
-        let len = cell.iter().map(|s| s.moving_avg_rewards.len()).min().unwrap_or(0);
+        let len = cell
+            .iter()
+            .map(|s| s.moving_avg_rewards.len())
+            .min()
+            .unwrap_or(0);
         let stride = (len / 12).max(1);
         let mut rows = Vec::new();
         for i in (0..len).step_by(stride) {

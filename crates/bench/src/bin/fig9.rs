@@ -3,6 +3,7 @@
 //! solution (an ordering strictly better than the original) appears — for
 //! 1–4 IFUs and two mempool sizes.
 
+use parole::par::{parallel_map, threads_from_env};
 use parole::GentranseqModule;
 use parole_bench::economy::Economy;
 use parole_bench::kde::KernelDensity;
@@ -19,7 +20,12 @@ struct Curve {
     kde: Vec<(f64, f64)>,
 }
 
-fn collect_samples(mempool: usize, ifus: usize, module: &GentranseqModule, runs: usize) -> Vec<usize> {
+fn collect_samples(
+    mempool: usize,
+    ifus: usize,
+    module: &GentranseqModule,
+    runs: usize,
+) -> Vec<usize> {
     let workload = parole_mempool::WorkloadConfig {
         ifu_participation: 0.25,
         ..parole_mempool::WorkloadConfig::default()
@@ -56,34 +62,26 @@ fn main() {
             jobs.push((mempool, ifus));
         }
     }
-    let curves: Vec<Curve> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(mempool, ifus)| {
-                // Fig. 9 measures the *trained* agent's behaviour, so use the
-                // training profile rather than the cheap fleet profile.
-                let module = scale.gentranseq_training();
-                scope.spawn(move || {
-                    let samples = collect_samples(mempool, ifus, &module, runs);
-                    let floats: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
-                    let (mode, kde) = if floats.is_empty() {
-                        (f64::NAN, Vec::new())
-                    } else {
-                        let k = KernelDensity::fit(&floats);
-                        let hi = floats.iter().cloned().fold(1.0, f64::max) + 5.0;
-                        (k.mode(0.0, hi, 200), k.curve(0.0, hi, 40))
-                    };
-                    Curve {
-                        mempool,
-                        ifus,
-                        samples,
-                        mode_swaps: mode,
-                        kde,
-                    }
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("curve panicked")).collect()
+    let curves: Vec<Curve> = parallel_map(jobs, threads_from_env(), |(mempool, ifus)| {
+        // Fig. 9 measures the *trained* agent's behaviour, so use the
+        // training profile rather than the cheap fleet profile.
+        let module = scale.gentranseq_training();
+        let samples = collect_samples(mempool, ifus, &module, runs);
+        let floats: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        let (mode, kde) = if floats.is_empty() {
+            (f64::NAN, Vec::new())
+        } else {
+            let k = KernelDensity::fit(&floats);
+            let hi = floats.iter().cloned().fold(1.0, f64::max) + 5.0;
+            (k.mode(0.0, hi, 200), k.curve(0.0, hi, 40))
+        };
+        Curve {
+            mempool,
+            ifus,
+            samples,
+            mode_swaps: mode,
+            kde,
+        }
     });
 
     for &mempool in &mempools {

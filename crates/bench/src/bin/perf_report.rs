@@ -1,0 +1,186 @@
+//! Performance report for the prefix-cached evaluator and the parallel
+//! fleet: measures the optimizations end to end and writes
+//! `target/experiments/BENCH_PR1.json`.
+//!
+//! Three measurements:
+//!
+//! 1. **Window evaluation throughput** — `ReorderEnv::step` rate (candidate
+//!    orderings per second) with the naive clone-and-replay evaluator vs the
+//!    prefix-cached one, at windows of 10 and 20 transactions.
+//! 2. **Fleet wall-clock** — `run_fleet` at 1 worker thread vs the machine's
+//!    parallelism, asserting the outcomes are bit-identical.
+//! 3. **DQN minibatch update** — `train_step` time with the batched
+//!    forward/backward paths at the paper's batch size.
+
+use parole::fleet::{run_fleet, FleetConfig};
+use parole::{ActionSpace, EvalConfig, GentranseqModule, ReorderEnv, RewardConfig};
+use parole_bench::economy::Economy;
+use parole_bench::report::write_json;
+use parole_drl::{DqnAgent, DqnConfig, Environment, Transition};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct EvalThroughput {
+    window: usize,
+    steps: usize,
+    naive_evals_per_sec: f64,
+    cached_evals_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct FleetTiming {
+    rounds: usize,
+    aggregators: usize,
+    single_thread_ms: f64,
+    pooled_ms: f64,
+    speedup: f64,
+    outcomes_identical: bool,
+}
+
+#[derive(Serialize)]
+struct TrainTiming {
+    batch_size: usize,
+    updates: usize,
+    mean_update_us: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    eval_throughput: Vec<EvalThroughput>,
+    fleet: FleetTiming,
+    train_step: TrainTiming,
+}
+
+fn time_env_steps(eval: EvalConfig, window_len: usize, steps: usize) -> f64 {
+    // Rich background state: the naive evaluator clones all of it per
+    // candidate; the journaled evaluator touches only what the window does.
+    let economy = Economy::build(window_len, 1, 1).with_background(10_000, 16);
+    let window = economy.window(window_len, 1);
+    let mut env = ReorderEnv::with_eval_config(
+        economy.state.clone(),
+        window,
+        economy.ifus.clone(),
+        RewardConfig::default(),
+        ActionSpace::AllPairs,
+        eval,
+    );
+    env.reset();
+    let actions = env.action_count();
+    // Warm-up pass so the cached variant's first full replay is off-clock.
+    for a in 0..actions.min(16) {
+        env.step(a);
+    }
+    let start = Instant::now();
+    let mut a = 0usize;
+    for _ in 0..steps {
+        a = (a + 7) % actions;
+        env.step(a);
+    }
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // 1. Evaluation throughput, naive vs prefix-cached.
+    let steps = 2_000;
+    let eval_throughput: Vec<EvalThroughput> = [10usize, 20]
+        .iter()
+        .map(|&window| {
+            let naive = time_env_steps(EvalConfig::naive(), window, steps);
+            let cached = time_env_steps(EvalConfig::default(), window, steps);
+            EvalThroughput {
+                window,
+                steps,
+                naive_evals_per_sec: naive,
+                cached_evals_per_sec: cached,
+                speedup: cached / naive,
+            }
+        })
+        .collect();
+    for t in &eval_throughput {
+        println!(
+            "window {:>2}: naive {:>9.0} evals/s | cached {:>9.0} evals/s | {:.1}x",
+            t.window, t.naive_evals_per_sec, t.cached_evals_per_sec, t.speedup
+        );
+    }
+
+    // 2. Fleet wall-clock, pool of one vs auto.
+    let fleet_config = FleetConfig {
+        n_aggregators: 8,
+        adversarial_fraction: 0.5,
+        mempool_size: 15,
+        rounds: 2,
+        gentranseq: GentranseqModule::fast(),
+        ..FleetConfig::default()
+    };
+    let start = Instant::now();
+    let single = run_fleet(&FleetConfig {
+        threads: 1,
+        ..fleet_config.clone()
+    });
+    let single_thread_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let pooled = run_fleet(&FleetConfig {
+        threads: 0,
+        ..fleet_config.clone()
+    });
+    let pooled_ms = start.elapsed().as_secs_f64() * 1e3;
+    let fleet = FleetTiming {
+        rounds: fleet_config.rounds,
+        aggregators: fleet_config.n_aggregators,
+        single_thread_ms,
+        pooled_ms,
+        speedup: single_thread_ms / pooled_ms,
+        outcomes_identical: single == pooled,
+    };
+    println!(
+        "fleet ({} aggregators x {} rounds): 1 thread {:.0} ms | pooled {:.0} ms | {:.1}x | identical: {}",
+        fleet.aggregators, fleet.rounds, fleet.single_thread_ms, fleet.pooled_ms, fleet.speedup,
+        fleet.outcomes_identical
+    );
+    assert!(
+        fleet.outcomes_identical,
+        "fleet outcome must not depend on pool size"
+    );
+
+    // 3. Batched DQN minibatch update at the paper's batch size.
+    let config = DqnConfig {
+        hidden: [128, 128],
+        ..DqnConfig::paper()
+    };
+    let state_dim = 8 * 20;
+    let action_count = 20 * 19 / 2;
+    let mut agent = DqnAgent::new(state_dim, action_count, config);
+    for i in 0..512usize {
+        let v = (i as f64 * 0.37).sin();
+        agent.remember(Transition {
+            state: vec![v; state_dim],
+            action: i % action_count,
+            reward: v,
+            next_state: vec![-v; state_dim],
+            done: i % 60 == 59,
+        });
+    }
+    let updates = 200;
+    let start = Instant::now();
+    for _ in 0..updates {
+        agent.train_step();
+    }
+    let train_step = TrainTiming {
+        batch_size: agent.config().batch_size,
+        updates,
+        mean_update_us: start.elapsed().as_secs_f64() * 1e6 / updates as f64,
+    };
+    println!(
+        "train_step (batch {}): {:.0} us/update over {} updates",
+        train_step.batch_size, train_step.mean_update_us, train_step.updates
+    );
+
+    let report = Report {
+        eval_throughput,
+        fleet,
+        train_step,
+    };
+    write_json("BENCH_PR1", &report);
+}

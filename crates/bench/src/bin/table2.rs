@@ -6,14 +6,23 @@ use parole_drl::DqnConfig;
 fn main() {
     let c = DqnConfig::paper();
     let rows = vec![
-        vec!["Exploration parameter (epsilon)".into(), format!("{}", c.epsilon)],
+        vec![
+            "Exploration parameter (epsilon)".into(),
+            format!("{}", c.epsilon),
+        ],
         vec!["Epsilon decay (d)".into(), format!("{}", c.epsilon_decay)],
         vec!["Discount factor (gamma)".into(), format!("{}", c.gamma)],
         vec!["Episodes".into(), format!("{}", c.episodes)],
         vec!["Steps (Each episode)".into(), format!("{}", c.max_steps)],
         vec!["Learning rate (alpha)".into(), format!("{}", c.alpha)],
-        vec!["Reply memory buffer size".into(), format!("{}", c.replay_capacity)],
-        vec!["Q-network update".into(), format!("Every {} steps", c.q_update_every)],
+        vec![
+            "Reply memory buffer size".into(),
+            format!("{}", c.replay_capacity),
+        ],
+        vec![
+            "Q-network update".into(),
+            format!("Every {} steps", c.q_update_every),
+        ],
         vec![
             "Target network update".into(),
             format!("Every {} steps", c.target_update_every),

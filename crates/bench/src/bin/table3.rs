@@ -36,7 +36,9 @@ fn main() {
     let wallet = Wallet::from_seed(0xB0B);
     let buyer_wallet = Wallet::from_seed(0xA11CE);
     rollup.deposit(wallet.address(), Wei::from_eth(2)).unwrap();
-    rollup.deposit(buyer_wallet.address(), Wei::from_eth(2)).unwrap();
+    rollup
+        .deposit(buyer_wallet.address(), Wei::from_eth(2))
+        .unwrap();
 
     rollup.bond_aggregator(AggregatorId::new(0));
     let mut aggregator = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
@@ -54,7 +56,10 @@ fn main() {
             "Minting",
             NftTransaction::signed(
                 &wallet,
-                TxKind::Mint { collection: pt, token: TokenId::new(0) },
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(0),
+                },
                 fees,
                 TxNonce::new(0),
             ),
@@ -76,7 +81,10 @@ fn main() {
             "Burning",
             NftTransaction::signed(
                 &buyer_wallet,
-                TxKind::Burn { collection: pt, token: TokenId::new(0) },
+                TxKind::Burn {
+                    collection: pt,
+                    token: TokenId::new(0),
+                },
                 fees,
                 TxNonce::new(0),
             ),
@@ -120,7 +128,14 @@ fn main() {
 
     print_table(
         "Table III: behaviour of PAROLE Token transactions (simulated chain)",
-        &["TX Type", "TX Hash", "Block", "L1 state index", "Gas usage", "TX fees"],
+        &[
+            "TX Type",
+            "TX Hash",
+            "Block",
+            "L1 state index",
+            "Gas usage",
+            "TX fees",
+        ],
         &rows,
     );
     println!(

@@ -32,9 +32,8 @@ impl Economy {
         // Supply scales with the window so the bonding curve keeps moving
         // (a curve quantized flat admits no arbitrage at all).
         let supply = (mempool_size as u64 * 2).max(40);
-        let collection = state.deploy_collection(CollectionConfig::limited_edition(
-            "BenchPT", supply, 500,
-        ));
+        let collection =
+            state.deploy_collection(CollectionConfig::limited_edition("BenchPT", supply, 500));
         let users: Vec<Address> = (1..=20u64).map(Address::from_low_u64).collect();
         for &u in &users {
             state.credit(u, Wei::from_eth(50));
@@ -64,6 +63,35 @@ impl Economy {
             users,
             ifus,
         }
+    }
+
+    /// Adds chain background unrelated to the attack window: `accounts`
+    /// funded bystander accounts and `collections` spectator NFT collections
+    /// with partially minted-out supplies (and the event logs that come with
+    /// them).
+    ///
+    /// A realistic L2 state dwarfs any single attack window. The naive
+    /// clone-per-candidate evaluator pays to copy all of it on *every*
+    /// candidate ordering; the journaled prefix evaluator pays only for what
+    /// the window's transactions actually touch. The `reorder_env` kernel
+    /// benchmarks and `perf_report` measure on this enriched state.
+    pub fn with_background(mut self, accounts: usize, collections: usize) -> Self {
+        for i in 0..accounts as u64 {
+            self.state
+                .credit(Address::from_low_u64(1_000_000 + i), Wei::from_gwei(1 + i));
+        }
+        for c in 0..collections as u64 {
+            let addr = self
+                .state
+                .deploy_collection(CollectionConfig::limited_edition("Background", 64, 100));
+            let coll = self.state.collection_mut(addr).expect("deployed");
+            for t in 0..48u64 {
+                let holder = 1_000_000 + (c * 48 + t) % accounts.max(1) as u64;
+                coll.mint(Address::from_low_u64(holder), TokenId::new(t))
+                    .unwrap();
+            }
+        }
+        self
     }
 
     /// Generates one executable attack window of `n` transactions.

@@ -117,9 +117,6 @@ mod tests {
     fn full_scale_matches_paper_dimensions() {
         assert_eq!(Scale::Full.fig6_mempool_sizes(), vec![25, 50, 100]);
         assert_eq!(Scale::Full.fig7_mempool_sizes(), vec![50, 100]);
-        assert_eq!(
-            Scale::Full.gentranseq_training().dqn_config().episodes,
-            100
-        );
+        assert_eq!(Scale::Full.gentranseq_training().dqn_config().episodes, 100);
     }
 }

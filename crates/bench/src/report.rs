@@ -68,7 +68,10 @@ mod tests {
         print_table(
             "t",
             &["a", "b"],
-            &[vec!["1".into()], vec!["22".into(), "333".into(), "4".into()]],
+            &[
+                vec!["1".into()],
+                vec!["22".into(), "333".into(), "4".into()],
+            ],
         );
     }
 

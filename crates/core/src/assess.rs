@@ -115,18 +115,34 @@ mod tests {
     }
 
     fn mint(sender: Address, token: u64) -> NftTransaction {
-        NftTransaction::simple(sender, TxKind::Mint { collection: coll(), token: TokenId::new(token) })
+        NftTransaction::simple(
+            sender,
+            TxKind::Mint {
+                collection: coll(),
+                token: TokenId::new(token),
+            },
+        )
     }
 
     fn transfer(from: Address, to: Address, token: u64) -> NftTransaction {
         NftTransaction::simple(
             from,
-            TxKind::Transfer { collection: coll(), token: TokenId::new(token), to },
+            TxKind::Transfer {
+                collection: coll(),
+                token: TokenId::new(token),
+                to,
+            },
         )
     }
 
     fn burn(sender: Address, token: u64) -> NftTransaction {
-        NftTransaction::simple(sender, TxKind::Burn { collection: coll(), token: TokenId::new(token) })
+        NftTransaction::simple(
+            sender,
+            TxKind::Burn {
+                collection: coll(),
+                token: TokenId::new(token),
+            },
+        )
     }
 
     #[test]
@@ -148,7 +164,11 @@ mod tests {
     #[test]
     fn single_ifu_tx_is_not_enough() {
         let ifu = addr(1000);
-        let window = vec![mint(ifu, 5), burn(addr(2), 1), transfer(addr(3), addr(4), 2)];
+        let window = vec![
+            mint(ifu, 5),
+            burn(addr(2), 1),
+            transfer(addr(3), addr(4), 2),
+        ];
         let a = assess(&window, &[ifu]);
         assert!(!a.opportunity);
         assert_eq!(a.ifu_tx_count, 1);
@@ -179,7 +199,11 @@ mod tests {
     #[test]
     fn multiple_ifus_pool_their_involvement() {
         let (ifu_a, ifu_b) = (addr(1000), addr(1001));
-        let window = vec![mint(ifu_a, 5), transfer(addr(1), ifu_b, 0), burn(addr(2), 1)];
+        let window = vec![
+            mint(ifu_a, 5),
+            transfer(addr(1), ifu_b, 0),
+            burn(addr(2), 1),
+        ];
         let a = assess(&window, &[ifu_a, ifu_b]);
         assert!(a.opportunity);
         assert_eq!(a.ifu_tx_count, 2);
@@ -188,7 +212,11 @@ mod tests {
     #[test]
     fn buyer_side_involvement_counts() {
         let ifu = addr(1000);
-        let window = vec![transfer(addr(1), ifu, 0), mint(addr(9), 5), transfer(addr(2), ifu, 1)];
+        let window = vec![
+            transfer(addr(1), ifu, 0),
+            mint(addr(9), 5),
+            transfer(addr(2), ifu, 1),
+        ];
         let a = assess(&window, &[ifu]);
         assert!(a.opportunity);
         assert!(!a.ifu_mints);

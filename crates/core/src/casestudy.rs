@@ -115,21 +115,74 @@ impl CaseStudy {
         let tx = |sender: Address, kind: TxKind| NftTransaction::simple(sender, kind);
         let txs = vec![
             // TX1: Transfer PT: U1 -> U2 (token 2).
-            tx(u(1), TxKind::Transfer { collection, token: TokenId::new(2), to: u(2) }),
+            tx(
+                u(1),
+                TxKind::Transfer {
+                    collection,
+                    token: TokenId::new(2),
+                    to: u(2),
+                },
+            ),
             // TX2: Mint PT: U19 (token 5).
-            tx(u(19), TxKind::Mint { collection, token: TokenId::new(5) }),
+            tx(
+                u(19),
+                TxKind::Mint {
+                    collection,
+                    token: TokenId::new(5),
+                },
+            ),
             // TX3: Transfer PT: IFU -> U11 (token 0).
-            tx(ifu, TxKind::Transfer { collection, token: TokenId::new(0), to: u(11) }),
+            tx(
+                ifu,
+                TxKind::Transfer {
+                    collection,
+                    token: TokenId::new(0),
+                    to: u(11),
+                },
+            ),
             // TX4: Transfer PT: U19 -> U6 (token 5, the one TX2 minted).
-            tx(u(19), TxKind::Transfer { collection, token: TokenId::new(5), to: u(6) }),
+            tx(
+                u(19),
+                TxKind::Transfer {
+                    collection,
+                    token: TokenId::new(5),
+                    to: u(6),
+                },
+            ),
             // TX5: Mint PT: IFU (token 6).
-            tx(ifu, TxKind::Mint { collection, token: TokenId::new(6) }),
+            tx(
+                ifu,
+                TxKind::Mint {
+                    collection,
+                    token: TokenId::new(6),
+                },
+            ),
             // TX6: Transfer PT: U13 -> U3 (token 4).
-            tx(u(13), TxKind::Transfer { collection, token: TokenId::new(4), to: u(3) }),
+            tx(
+                u(13),
+                TxKind::Transfer {
+                    collection,
+                    token: TokenId::new(4),
+                    to: u(3),
+                },
+            ),
             // TX7: Burn PT: U2 (token 2, received in TX1).
-            tx(u(2), TxKind::Burn { collection, token: TokenId::new(2) }),
+            tx(
+                u(2),
+                TxKind::Burn {
+                    collection,
+                    token: TokenId::new(2),
+                },
+            ),
             // TX8: Transfer PT: U1 -> IFU (token 3).
-            tx(u(1), TxKind::Transfer { collection, token: TokenId::new(3), to: ifu }),
+            tx(
+                u(1),
+                TxKind::Transfer {
+                    collection,
+                    token: TokenId::new(3),
+                    to: ifu,
+                },
+            ),
         ];
 
         CaseStudy {
@@ -237,7 +290,12 @@ mod tests {
         let expect_total = [2300, 2500, 2500, 2500, 2820, 2820, 2500, 2500].map(milli);
         for (i, row) in report.rows.iter().enumerate() {
             assert_eq!(row.price, expect_price[i], "price at row {}", i + 1);
-            assert_eq!(row.ifu_total_balance, expect_total[i], "balance at row {}", i + 1);
+            assert_eq!(
+                row.ifu_total_balance,
+                expect_total[i],
+                "balance at row {}",
+                i + 1
+            );
         }
         assert_eq!(report.final_total_balance, milli(2500));
         assert_eq!(report.final_l2_balance, milli(1000));
@@ -247,14 +305,22 @@ mod tests {
     fn case2_reproduces_paper_balances() {
         let cs = CaseStudy::paper_setup();
         let report = cs.evaluate(&cs.candidate_order());
-        assert!(report.all_executed, "corrected case-2 order must be feasible");
+        assert!(
+            report.all_executed,
+            "corrected case-2 order must be feasible"
+        );
         // Paper values in our corrected row order
         // (TX1, TX7, TX5, TX3, TX6, TX2, TX4, TX8).
         let expect_price = [400, 330, 400, 400, 400, 500, 500, 500].map(milli);
         let expect_total = [2300, 2160, 2370, 2370, 2370, 2570, 2570, 2570].map(milli);
         for (i, row) in report.rows.iter().enumerate() {
             assert_eq!(row.price, expect_price[i], "price at row {}", i + 1);
-            assert_eq!(row.ifu_total_balance, expect_total[i], "balance at row {}", i + 1);
+            assert_eq!(
+                row.ifu_total_balance,
+                expect_total[i],
+                "balance at row {}",
+                i + 1
+            );
         }
         assert_eq!(report.final_total_balance, milli(2570));
         // The non-volatile (L2) part grew 7%: 1.0 -> 1.07 ETH.
@@ -265,13 +331,21 @@ mod tests {
     fn case3_reproduces_paper_balances() {
         let cs = CaseStudy::paper_setup();
         let report = cs.evaluate(&cs.optimal_order());
-        assert!(report.all_executed, "corrected case-3 order must be feasible");
+        assert!(
+            report.all_executed,
+            "corrected case-3 order must be feasible"
+        );
         // (TX1, TX7, TX8, TX5, TX3, TX6, TX2, TX4).
         let expect_price = [400, 330, 330, 400, 400, 400, 500, 500].map(milli);
         let expect_total = [2300, 2160, 2160, 2440, 2440, 2440, 2740, 2740].map(milli);
         for (i, row) in report.rows.iter().enumerate() {
             assert_eq!(row.price, expect_price[i], "price at row {}", i + 1);
-            assert_eq!(row.ifu_total_balance, expect_total[i], "balance at row {}", i + 1);
+            assert_eq!(
+                row.ifu_total_balance,
+                expect_total[i],
+                "balance at row {}",
+                i + 1
+            );
         }
         assert_eq!(report.final_total_balance, milli(2740));
         // The non-volatile part grew 24%: 1.0 -> 1.24 ETH.
@@ -336,7 +410,11 @@ mod tests {
         // the paper's "optimal" Case 3 (2.74 ETH). The 2.86 order defers the
         // burn to the end so the IFU sells at the doubly-inflated 0.66 price:
         // TX1, TX8, TX5, TX2, TX3, TX4, TX6, TX7.
-        assert_eq!(best, milli(2860), "2.86 ETH is the strict-semantics optimum");
+        assert_eq!(
+            best,
+            milli(2860),
+            "2.86 ETH is the strict-semantics optimum"
+        );
         assert!(best > cs.evaluate(&cs.optimal_order()).final_total_balance);
     }
 

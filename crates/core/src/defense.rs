@@ -64,11 +64,7 @@ impl DefenseConfig {
 }
 
 /// Total priority-fee (tip) revenue the window carries at `base_fee`.
-pub fn window_tip_revenue(
-    window: &[NftTransaction],
-    base_fee: Wei,
-    schedule: &GasSchedule,
-) -> Wei {
+pub fn window_tip_revenue(window: &[NftTransaction], base_fee: Wei, schedule: &GasSchedule) -> Wei {
     window
         .iter()
         .map(|tx| {
@@ -132,9 +128,7 @@ pub fn max_reorder_profit(
                 for j in i + 1..order.len() {
                     order.swap(i, j);
                     if let Some(balance) = env.balance_of_order(&order) {
-                        if balance > current_balance
-                            && balance - current_balance > best_gain
-                        {
+                        if balance > current_balance && balance - current_balance > best_gain {
                             best_gain = balance - current_balance;
                             best_swap = Some((i, j));
                         }
@@ -195,7 +189,7 @@ pub fn screen_window(
     let initial_worst = worst;
     let initial_user = worst_user;
 
-    while worst.to_wei_amount().map_or(false, |w| w > config.threshold)
+    while worst.to_wei_amount().is_ok_and(|w| w > config.threshold)
         && deferred.len() < config.max_deferrals
         && admitted.len() > 1
     {
@@ -255,7 +249,10 @@ fn worst_case(
             .iter()
             .map(|&user| {
                 scope.spawn(move |_| {
-                    (user, max_reorder_profit(state, window, &[user], config.search_passes))
+                    (
+                        user,
+                        max_reorder_profit(state, window, &[user], config.search_passes),
+                    )
                 })
             })
             .collect();
@@ -323,7 +320,9 @@ mod tests {
         // After deferral, the remaining window is below threshold.
         let (residual, _) = super::worst_case(cs.state(), &outcome.admitted, &config);
         assert!(
-            residual.to_wei_amount().map_or(true, |w| w <= config.threshold),
+            residual
+                .to_wei_amount()
+                .map_or(true, |w| w <= config.threshold),
             "deferral must defuse the window: residual {residual}"
         );
         // Admitted + deferred partition the original window.
@@ -361,14 +360,12 @@ mod tests {
         // the detector intervenes.
         let cs = CaseStudy::paper_setup();
         let schedule = parole_ovm::GasSchedule::paper_calibrated();
-        let config = DefenseConfig::fee_proportional(
-            cs.window(),
-            Wei::from_gwei(1),
-            &schedule,
-            10,
-        );
+        let config = DefenseConfig::fee_proportional(cs.window(), Wei::from_gwei(1), &schedule, 10);
         let outcome = screen_window(cs.state(), cs.window(), &config);
-        assert!(outcome.intervened(), "case study must trip the fee-relative detector");
+        assert!(
+            outcome.intervened(),
+            "case study must trip the fee-relative detector"
+        );
     }
 
     #[test]

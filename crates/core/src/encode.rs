@@ -37,7 +37,10 @@ pub fn pair_to_index(i: usize, j: usize, n: usize) -> usize {
 ///
 /// Panics when `index ≥ C(n,2)`.
 pub fn pair_from_index(index: usize, n: usize) -> (usize, usize) {
-    assert!(index < pair_count(n), "action index {index} out of range for n={n}");
+    assert!(
+        index < pair_count(n),
+        "action index {index} out of range for n={n}"
+    );
     let mut remaining = index;
     for i in 0..n {
         let row = n - 1 - i;
@@ -53,12 +56,12 @@ pub fn pair_from_index(index: usize, n: usize) -> (usize, usize) {
 /// candidate ordering) into its feature vector.
 ///
 /// Features, in order:
-/// 1. IFU involvement flag,
-/// 2–4. one-hot transaction type (mint / transfer / burn),
-/// 5. bonding-curve price observed at its execution slot (ETH),
-/// 6. remaining mintable supply after it executed (scaled),
-/// 7. whether it executed successfully in the current order,
-/// 8. its normalized position in the sequence.
+/// - 1: IFU involvement flag,
+/// - 2–4: one-hot transaction type (mint / transfer / burn),
+/// - 5: bonding-curve price observed at its execution slot (ETH),
+/// - 6: remaining mintable supply after it executed (scaled),
+/// - 7: whether it executed successfully in the current order,
+/// - 8: its normalized position in the sequence.
 pub fn encode_tx(
     tx: &NftTransaction,
     receipt: &Receipt,
@@ -86,7 +89,11 @@ pub fn encode_tx(
             supply_after as f64 / max_supply as f64
         },
         receipt.is_success() as u8 as f64,
-        if n <= 1 { 0.0 } else { position as f64 / (n - 1) as f64 },
+        if n <= 1 {
+            0.0
+        } else {
+            position as f64 / (n - 1) as f64
+        },
     ]
 }
 

@@ -7,6 +7,17 @@
 //! executable at its collection point (the property Bedrock's fee ordering
 //! provides on the real chain).
 //!
+//! Within a round every aggregator collects its window from the same
+//! round-start state — the fleet collects concurrently, as it would on the
+//! real chain — from its own seeded traffic stream. That makes the expensive
+//! per-aggregator ordering step (`build_batch`, which runs GENTRANSEQ
+//! training for adversarial aggregators) independent across the fleet, so
+//! [`run_fleet`] fans it out over a bounded worker pool
+//! ([`crate::par::parallel_map`]) and then commits batches in aggregator
+//! order. Because each aggregator owns its RNG streams and commits are
+//! serialized in a fixed order, the [`FleetOutcome`] is **bit-identical for
+//! every pool size** (see the `thread_count` determinism test).
+//!
 //! Profit accounting follows the paper: for every exploited window, the
 //! attack profit is the difference between the IFUs' final combined balance
 //! under the executed (GENTRANSEQ) order and under the original fee order,
@@ -61,6 +72,10 @@ pub struct FleetConfig {
     pub gentranseq: GentranseqModule,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker-pool size for the per-aggregator ordering step (`0` = the
+    /// machine's available parallelism). Results are identical for every
+    /// value — this only trades wall-clock for cores.
+    pub threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -79,12 +94,13 @@ impl Default for FleetConfig {
             ensure_ifu_pair: false,
             gentranseq: GentranseqModule::fast(),
             seed: 42,
+            threads: 0,
         }
     }
 }
 
 /// Per-aggregator accounting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AggregatorReport {
     /// The aggregator's id.
     pub id: u64,
@@ -103,7 +119,7 @@ pub struct AggregatorReport {
 }
 
 /// Outcome of one fleet experiment cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetOutcome {
     /// Sum of attack profits over all adversarial aggregators (Fig. 7's y).
     pub total_profit: WeiDelta,
@@ -133,9 +149,15 @@ impl FleetOutcome {
 /// Runs one fleet experiment cell.
 pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
     assert!(config.n_aggregators > 0 && config.mempool_size > 0);
-    let adversarial_count = ((config.n_aggregators as f64 * config.adversarial_fraction).round()
-        as usize)
-        .clamp(if config.adversarial_fraction > 0.0 { 1 } else { 0 }, config.n_aggregators);
+    let adversarial_count =
+        ((config.n_aggregators as f64 * config.adversarial_fraction).round() as usize).clamp(
+            if config.adversarial_fraction > 0.0 {
+                1
+            } else {
+                0
+            },
+            config.n_aggregators,
+        );
 
     // Economy: one limited-edition collection, funded users, funded IFUs
     // holding a couple of tokens each (the case-study shape).
@@ -148,7 +170,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
         supply,
         config.initial_price_milli,
     ));
-    let users: Vec<Address> = (1..=config.n_users as u64).map(Address::from_low_u64).collect();
+    let users: Vec<Address> = (1..=config.n_users as u64)
+        .map(Address::from_low_u64)
+        .collect();
     for &u in &users {
         state.credit(u, Wei::from_eth(config.user_funding_eth));
     }
@@ -162,13 +186,16 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
         let coll = state.collection_mut(collection).expect("just deployed");
         let mut token = 0u64;
         for &ifu in &ifus {
-            coll.mint(ifu, parole_primitives::TokenId::new(token)).unwrap();
-            coll.mint(ifu, parole_primitives::TokenId::new(token + 1)).unwrap();
+            coll.mint(ifu, parole_primitives::TokenId::new(token))
+                .unwrap();
+            coll.mint(ifu, parole_primitives::TokenId::new(token + 1))
+                .unwrap();
             token += 2;
         }
         // Bystanders holding tokens give transfers and burns material.
         for (i, &u) in users.iter().take(8).enumerate() {
-            coll.mint(u, parole_primitives::TokenId::new(token + i as u64)).unwrap();
+            coll.mint(u, parole_primitives::TokenId::new(token + i as u64))
+                .unwrap();
         }
     }
 
@@ -178,7 +205,9 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
             let id = AggregatorId::new(i as u64);
             if i < adversarial_count {
                 let module = ParoleModule::new(
-                    config.gentranseq.with_seed(config.seed.wrapping_add(i as u64)),
+                    config
+                        .gentranseq
+                        .with_seed(config.seed.wrapping_add(i as u64)),
                 );
                 Aggregator::new(
                     id,
@@ -191,13 +220,23 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
         })
         .collect();
 
-    // Traffic generation + chained execution.
+    // Traffic generation + chained execution. Each aggregator draws from its
+    // own seeded stream (golden-ratio spaced so streams do not collide), so
+    // window contents are a pure function of (config, aggregator, round) —
+    // never of which worker thread served the aggregator.
     let workload = WorkloadConfig {
         ifu_participation: config.ifu_participation,
         ensure_ifu_pair: config.ensure_ifu_pair,
         ..WorkloadConfig::default()
     };
-    let mut generator = WorkloadGenerator::new(config.seed, workload);
+    let mut generators: Vec<WorkloadGenerator> = (0..config.n_aggregators)
+        .map(|i| {
+            let stream = config
+                .seed
+                .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1));
+            WorkloadGenerator::new(stream, workload.clone())
+        })
+        .collect();
     let ovm = Ovm::new();
     let mut reports: Vec<AggregatorReport> = aggregators
         .iter()
@@ -215,18 +254,44 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
     let gas_schedule = GasSchedule::paper_calibrated();
     let base_fee = Wei::from_gwei(1);
     for _round in 0..config.rounds {
-        for (i, agg) in aggregators.iter_mut().enumerate() {
-            let window =
-                generator.generate(&state, collection, &users, &ifus, config.mempool_size);
-            if window.is_empty() {
-                continue;
+        // Every aggregator collects its window from the round-start state
+        // (concurrent collection, like the real chain). Generation itself is
+        // cheap and stays sequential so generator state advances in a fixed
+        // order.
+        let windows: Vec<_> = generators
+            .iter_mut()
+            .map(|g| g.generate(&state, collection, &users, &ifus, config.mempool_size))
+            .collect();
+
+        // Fan the expensive ordering step (GENTRANSEQ training for the
+        // adversarial aggregators) across the pool. Tip revenue is a
+        // permutation-invariant sum, so it can be read off the re-ordered
+        // batch inside the worker.
+        let state_ref = &state;
+        let gas_ref = &gas_schedule;
+        let built = crate::par::parallel_map(
+            aggregators.iter_mut().zip(windows).collect(),
+            config.threads,
+            move |(agg, window): (&mut Aggregator, Vec<_>)| {
+                if window.is_empty() {
+                    return None;
+                }
+                let batch = agg.build_batch(state_ref, window);
+                let tips = window_tip_revenue(&batch.txs, base_fee, gas_ref);
+                Some((batch, tips))
+            },
+        );
+
+        // Commit the executed (possibly re-ordered) batches to the chain in
+        // aggregator order — the serialization point that keeps the outcome
+        // independent of the pool size.
+        for (i, item) in built.into_iter().enumerate() {
+            if let Some((batch, tips)) = item {
+                reports[i].tip_revenue += tips;
+                let _ = ovm.execute_sequence(&mut state, &batch.txs);
+                state.advance_block();
+                reports[i].windows += 1;
             }
-            reports[i].tip_revenue += window_tip_revenue(&window, base_fee, &gas_schedule);
-            let batch = agg.build_batch(&state, window);
-            // Commit the executed (possibly re-ordered) batch to the chain.
-            let _ = ovm.execute_sequence(&mut state, &batch.txs);
-            state.advance_block();
-            reports[i].windows += 1;
         }
     }
 
@@ -284,15 +349,25 @@ mod tests {
             "attack profit cannot be negative: {}",
             outcome.total_profit
         );
-        let adv: Vec<_> = outcome.per_aggregator.iter().filter(|r| r.adversarial).collect();
+        let adv: Vec<_> = outcome
+            .per_aggregator
+            .iter()
+            .filter(|r| r.adversarial)
+            .collect();
         assert_eq!(adv.len(), 1);
         assert!(adv[0].windows >= 1);
     }
 
     #[test]
     fn more_adversaries_mean_no_less_total_profit() {
-        let low = run_fleet(&FleetConfig { adversarial_fraction: 0.25, ..small_config() });
-        let high = run_fleet(&FleetConfig { adversarial_fraction: 0.75, ..small_config() });
+        let low = run_fleet(&FleetConfig {
+            adversarial_fraction: 0.25,
+            ..small_config()
+        });
+        let high = run_fleet(&FleetConfig {
+            adversarial_fraction: 0.75,
+            ..small_config()
+        });
         assert!(high.adversarial_count > low.adversarial_count);
         assert!(
             high.total_profit >= low.total_profit,
@@ -314,8 +389,35 @@ mod tests {
     }
 
     #[test]
+    fn fleet_outcome_is_bit_identical_across_pool_sizes() {
+        let base = FleetConfig {
+            rounds: 2,
+            ..small_config()
+        };
+        let one = run_fleet(&FleetConfig {
+            threads: 1,
+            ..base.clone()
+        });
+        let two = run_fleet(&FleetConfig {
+            threads: 2,
+            ..base.clone()
+        });
+        let four = run_fleet(&FleetConfig {
+            threads: 4,
+            ..base.clone()
+        });
+        let auto = run_fleet(&FleetConfig { threads: 0, ..base });
+        assert_eq!(one, two);
+        assert_eq!(one, four);
+        assert_eq!(one, auto);
+    }
+
+    #[test]
     fn avg_profit_divides_by_ifus() {
-        let outcome = run_fleet(&FleetConfig { n_ifus: 2, ..small_config() });
+        let outcome = run_fleet(&FleetConfig {
+            n_ifus: 2,
+            ..small_config()
+        });
         assert_eq!(
             outcome.avg_profit_per_ifu.wei(),
             outcome.total_profit.wei() / 2

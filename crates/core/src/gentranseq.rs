@@ -208,11 +208,27 @@ mod tests {
             coll.mint(addr(13), TokenId::new(4)).unwrap();
         }
         let window = vec![
-            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
-            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
             NftTransaction::simple(
                 ifu,
-                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(5),
+                },
+            ),
+            NftTransaction::simple(
+                addr(2),
+                TxKind::Burn {
+                    collection: pt,
+                    token: TokenId::new(3),
+                },
+            ),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(0),
+                    to: addr(11),
+                },
             ),
         ];
         (state, window, ifu)
@@ -242,7 +258,10 @@ mod tests {
             .iter()
             .position(|t| matches!(t.kind, TxKind::Mint { .. }) && t.sender == ifu)
             .unwrap();
-        assert!(mint_pos < sell_pos && sell_pos < burn_pos, "optimal order is mint, sell, burn");
+        assert!(
+            mint_pos < sell_pos && sell_pos < burn_pos,
+            "optimal order is mint, sell, burn"
+        );
         assert_eq!(outcome.best_balance, Wei::from_milli_eth(2400));
         assert!(outcome.profit().is_gain());
         assert_eq!(outcome.episode_stats.len(), module.dqn_config().episodes);
@@ -258,7 +277,12 @@ mod tests {
         let env = module.environment(&state, &window, &[ifu]);
         let mut best = Wei::ZERO;
         let perms: [[usize; 3]; 6] = [
-            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
         ];
         for p in perms {
             let seq: Vec<_> = p.iter().map(|&i| window[i]).collect();
@@ -266,7 +290,10 @@ mod tests {
                 best = best.max(b);
             }
         }
-        assert_eq!(outcome.best_balance, best, "DQN must reach the exhaustive optimum");
+        assert_eq!(
+            outcome.best_balance, best,
+            "DQN must reach the exhaustive optimum"
+        );
     }
 
     #[test]
@@ -295,11 +322,19 @@ mod tests {
         let window = vec![
             NftTransaction::simple(
                 ifu,
-                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(2) },
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(0),
+                    to: addr(2),
+                },
             ),
             NftTransaction::simple(
                 addr(1),
-                TxKind::Transfer { collection: pt, token: TokenId::new(1), to: addr(2) },
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(1),
+                    to: addr(2),
+                },
             ),
         ];
         let outcome = GentranseqModule::fast().run(&state, &window, &[ifu]);

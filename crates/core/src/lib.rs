@@ -45,11 +45,12 @@ pub mod fleet;
 pub mod gentranseq;
 pub mod mdp;
 mod module;
+pub mod par;
 mod strategy;
 
 pub use assess::{assess, ArbitrageAssessment};
 pub use encode::{pair_count, pair_from_index, pair_to_index, FEATURES_PER_TX};
 pub use gentranseq::{GentranseqModule, GentranseqOutcome};
-pub use mdp::{ActionSpace, ReorderEnv, RewardConfig};
+pub use mdp::{ActionSpace, EvalConfig, ReorderEnv, RewardConfig};
 pub use module::ParoleModule;
 pub use strategy::ParoleStrategy;

@@ -17,7 +17,7 @@
 
 use crate::encode::{self, pair_from_index, FEATURES_PER_TX};
 use parole_drl::{Environment, StepOutcome};
-use parole_ovm::{NftTransaction, Ovm, Receipt, TxKind};
+use parole_ovm::{NftTransaction, Ovm, PrefixExecutor, Receipt, TxKind};
 use parole_primitives::{Address, Wei, WeiDelta};
 use parole_state::L2State;
 use serde::{Deserialize, Serialize};
@@ -64,6 +64,40 @@ impl Default for RewardConfig {
     }
 }
 
+/// How candidate orderings are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Evaluate through a [`PrefixExecutor`]: keep one journaled working
+    /// state and replay only the suffix that diverged from the previous
+    /// candidate, instead of cloning the base state and replaying the whole
+    /// window. Results are bit-identical either way (pinned by the
+    /// equivalence proptests); the naive path exists as the oracle and for
+    /// those tests.
+    pub prefix_cached: bool,
+    /// Journal-checkpoint stride of the prefix executor (in slots); ignored
+    /// on the naive path. 1 checkpoints every slot.
+    pub checkpoint_stride: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            prefix_cached: true,
+            checkpoint_stride: 1,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Full re-execution per candidate — the pre-optimization behavior.
+    pub fn naive() -> Self {
+        EvalConfig {
+            prefix_cached: false,
+            checkpoint_stride: 1,
+        }
+    }
+}
+
 /// Evaluation artifacts for one candidate ordering.
 #[derive(Debug, Clone)]
 struct Evaluation {
@@ -84,6 +118,12 @@ pub struct ReorderEnv {
     ifus: Vec<Address>,
     reward: RewardConfig,
     action_space: ActionSpace,
+    /// Incremental executor for the hot path (`None` on the naive path).
+    prefix: Option<PrefixExecutor>,
+    /// Reusable buffer for materializing `current` as a transaction
+    /// sequence, so evaluation does not allocate a fresh `Vec` per
+    /// candidate.
+    scratch_seq: Vec<NftTransaction>,
     /// Current permutation: `current[k]` is the index into `original` of the
     /// transaction executed `k`-th.
     current: Vec<usize>,
@@ -142,6 +182,31 @@ impl ReorderEnv {
         reward: RewardConfig,
         action_space: ActionSpace,
     ) -> Self {
+        ReorderEnv::with_eval_config(
+            state,
+            window,
+            ifus,
+            reward,
+            action_space,
+            EvalConfig::default(),
+        )
+    }
+
+    /// Like [`ReorderEnv::with_action_space`] with an explicit
+    /// [`EvalConfig`] — primarily for the equivalence tests and benchmarks
+    /// that pit the prefix-cached evaluator against the naive one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is empty.
+    pub fn with_eval_config(
+        state: L2State,
+        window: Vec<NftTransaction>,
+        ifus: Vec<Address>,
+        reward: RewardConfig,
+        action_space: ActionSpace,
+        eval_config: EvalConfig,
+    ) -> Self {
         assert!(!window.is_empty(), "cannot re-order an empty window");
         let ovm = Ovm::new();
         let collection = window[0].kind.collection();
@@ -149,6 +214,10 @@ impl ReorderEnv {
             .collection(collection)
             .map(|c| (c.config().max_supply, c.remaining_supply()))
             .unwrap_or((1, 1));
+
+        let prefix = eval_config
+            .prefix_cached
+            .then(|| PrefixExecutor::new(ovm.clone(), &state, eval_config.checkpoint_stride));
 
         let identity: Vec<usize> = (0..window.len()).collect();
         let mut env = ReorderEnv {
@@ -158,6 +227,8 @@ impl ReorderEnv {
             ifus,
             reward,
             action_space,
+            prefix,
+            scratch_seq: Vec::new(),
             current: identity.clone(),
             cached: Evaluation {
                 receipts: Vec::new(),
@@ -174,7 +245,7 @@ impl ReorderEnv {
             first_improvement: None,
             episode_first_improvements: Vec::new(),
         };
-        env.cached = env.evaluate(&identity);
+        env.cached = env.evaluate_current();
         env.original_executed = env.cached.executed.clone();
         env.original_balance = env.cached.final_balance;
         env.best = (identity, env.original_balance);
@@ -225,19 +296,34 @@ impl ReorderEnv {
         &self.episode_first_improvements
     }
 
-    /// Evaluates a permutation: executes it speculatively and reports the
-    /// IFUs' final combined total balance.
-    fn evaluate(&self, perm: &[usize]) -> Evaluation {
-        let seq: Vec<NftTransaction> = perm.iter().map(|&i| self.original[i]).collect();
-        let (receipts, post) = self.ovm.simulate_sequence(&self.base_state, &seq);
-        let final_balance = self
-            .ifus
-            .iter()
-            .map(|&u| post.total_balance_of(u))
-            .sum();
-        let mut executed = vec![false; perm.len()];
+    /// Evaluates the current permutation: executes it speculatively and
+    /// reports the IFUs' final combined total balance.
+    ///
+    /// On the prefix-cached path only the suffix diverging from the
+    /// previously evaluated candidate is replayed; the naive path re-executes
+    /// the whole window on a fresh state clone. Both produce identical
+    /// artifacts.
+    fn evaluate_current(&mut self) -> Evaluation {
+        self.scratch_seq.clear();
+        for &i in &self.current {
+            self.scratch_seq.push(self.original[i]);
+        }
+
+        let (receipts, final_balance) = if let Some(exec) = self.prefix.as_mut() {
+            let (receipts, post) = exec.execute(&self.scratch_seq);
+            let balance = self.ifus.iter().map(|&u| post.total_balance_of(u)).sum();
+            (receipts.to_vec(), balance)
+        } else {
+            let (receipts, post) = self
+                .ovm
+                .simulate_sequence(&self.base_state, &self.scratch_seq);
+            let balance = self.ifus.iter().map(|&u| post.total_balance_of(u)).sum();
+            (receipts, balance)
+        };
+
+        let mut executed = vec![false; self.current.len()];
         for (slot, receipt) in receipts.iter().enumerate() {
-            executed[perm[slot]] = receipt.is_success();
+            executed[self.current[slot]] = receipt.is_success();
         }
         Evaluation {
             receipts,
@@ -286,11 +372,8 @@ impl ReorderEnv {
         let n = self.current.len();
         let mut obs = Vec::with_capacity(n * FEATURES_PER_TX);
         let mut supply = self.base_remaining;
-        for (pos, (&orig_idx, receipt)) in self
-            .current
-            .iter()
-            .zip(&self.cached.receipts)
-            .enumerate()
+        for (pos, (&orig_idx, receipt)) in
+            self.current.iter().zip(&self.cached.receipts).enumerate()
         {
             let tx = &self.original[orig_idx];
             if receipt.is_success() {
@@ -331,7 +414,7 @@ impl Environment for ReorderEnv {
             self.episode_first_improvements.push(self.first_improvement);
         }
         self.current = (0..self.original.len()).collect();
-        self.cached = self.evaluate(&self.current);
+        self.cached = self.evaluate_current();
         self.swaps_since_reset = 0;
         self.first_improvement = None;
         self.observation()
@@ -341,18 +424,24 @@ impl Environment for ReorderEnv {
         let (i, j) = match self.action_space {
             ActionSpace::AllPairs => pair_from_index(action, self.original.len()),
             ActionSpace::AdjacentOnly => {
-                assert!(action + 1 < self.original.len(), "adjacent action out of range");
+                assert!(
+                    action + 1 < self.original.len(),
+                    "adjacent action out of range"
+                );
                 (action, action + 1)
             }
         };
         self.swaps_since_reset += 1;
 
-        let mut candidate = self.current.clone();
-        candidate.swap(i, j);
-        let eval = self.evaluate(&candidate);
+        // Apply the swap in place and evaluate; a rejected swap is undone by
+        // swapping back (no clone of the permutation per step).
+        self.current.swap(i, j);
+        let eval = self.evaluate_current();
 
         if self.reward.require_all_executed && !self.preserves_original_execution(&eval) {
-            // Infeasible: penalize and stay (the swap is undone).
+            // Infeasible: penalize and stay (the swap is undone; `cached`
+            // still describes the pre-swap ordering).
+            self.current.swap(i, j);
             return StepOutcome {
                 reward: -self.reward.invalid_swap_penalty,
                 next_state: self.observation(),
@@ -361,7 +450,6 @@ impl Environment for ReorderEnv {
         }
 
         // Commit the swap.
-        self.current = candidate;
         self.cached = eval;
 
         let delta_eth = self
@@ -380,8 +468,7 @@ impl Environment for ReorderEnv {
             self.best = (self.current.clone(), self.cached.final_balance);
             self.best_found_depth = Some(self.swaps_since_reset);
         }
-        if self.first_improvement.is_none() && self.cached.final_balance > self.original_balance
-        {
+        if self.first_improvement.is_none() && self.cached.final_balance > self.original_balance {
             self.first_improvement = Some(self.swaps_since_reset);
         }
 
@@ -422,13 +509,29 @@ mod tests {
         }
         let window = vec![
             // IFU mints (price mover, IFU-involving).
-            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(5),
+                },
+            ),
             // Unrelated burn (price mover).
-            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
+            NftTransaction::simple(
+                addr(2),
+                TxKind::Burn {
+                    collection: pt,
+                    token: TokenId::new(3),
+                },
+            ),
             // IFU sells a token.
             NftTransaction::simple(
                 ifu,
-                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(0),
+                    to: addr(11),
+                },
             ),
         ];
         ReorderEnv::new(state, window, vec![ifu], RewardConfig::default())
@@ -489,17 +592,30 @@ mod tests {
         state.credit(buyer, Wei::from_eth(2));
         let ifu = seller; // keep the assessment happy; irrelevant here
         let window = vec![
-            NftTransaction::simple(seller, TxKind::Mint { collection: pt, token: TokenId::new(0) }),
             NftTransaction::simple(
                 seller,
-                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: buyer },
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(0),
+                },
+            ),
+            NftTransaction::simple(
+                seller,
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(0),
+                    to: buyer,
+                },
             ),
         ];
         let mut env = ReorderEnv::new(state, window, vec![ifu], RewardConfig::default());
         let obs0 = env.reset();
         let out = env.step(0); // the only action: swap (0,1) — invalid
         assert!(out.reward < 0.0);
-        assert_eq!(out.next_state, obs0, "state must be unchanged after an undone swap");
+        assert_eq!(
+            out.next_state, obs0,
+            "state must be unchanged after an undone swap"
+        );
         assert!(env.best_profit() == WeiDelta::ZERO);
     }
 

@@ -85,11 +85,27 @@ mod tests {
             coll.mint(addr(2), TokenId::new(3)).unwrap();
         }
         let window = vec![
-            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
-            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
             NftTransaction::simple(
                 ifu,
-                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(5),
+                },
+            ),
+            NftTransaction::simple(
+                addr(2),
+                TxKind::Burn {
+                    collection: pt,
+                    token: TokenId::new(3),
+                },
+            ),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(0),
+                    to: addr(11),
+                },
             ),
         ];
         (state, window, ifu)
@@ -99,7 +115,9 @@ mod tests {
     fn full_pipeline_returns_profitable_order() {
         let (state, window, ifu) = setup();
         let module = ParoleModule::new(GentranseqModule::fast());
-        let outcome = module.process(&[ifu], &state, &window).expect("opportunity exists");
+        let outcome = module
+            .process(&[ifu], &state, &window)
+            .expect("opportunity exists");
         assert!(outcome.profit().is_gain());
         let final_seq = module.final_sequence(&[ifu], &state, window.clone());
         assert_ne!(final_seq, window, "the order must actually change");

@@ -115,8 +115,20 @@ mod tests {
         rollup.bond_verifier(VerifierId::new(0));
         let mut honest = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
         let setup_txs = vec![
-            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(0) }),
-            NftTransaction::simple(addr(2), TxKind::Mint { collection: pt, token: TokenId::new(3) }),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(0),
+                },
+            ),
+            NftTransaction::simple(
+                addr(2),
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(3),
+                },
+            ),
         ];
         // Fund the IFU's mint: it pays 0.2, fine with 1.5 ETH.
         let setup_batch = honest.build_batch(rollup.l2_state(), setup_txs);
@@ -124,11 +136,27 @@ mod tests {
 
         // The attack window: IFU mint + unrelated burn + IFU sale.
         let window = vec![
-            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
-            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
             NftTransaction::simple(
                 ifu,
-                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(5),
+                },
+            ),
+            NftTransaction::simple(
+                addr(2),
+                TxKind::Burn {
+                    collection: pt,
+                    token: TokenId::new(3),
+                },
+            ),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(0),
+                    to: addr(11),
+                },
             ),
         ];
 
@@ -138,11 +166,9 @@ mod tests {
             post.total_balance_of(ifu)
         };
 
-        let strategy = ParoleStrategy::new(
-            ParoleModule::new(GentranseqModule::fast()),
-            vec![ifu],
-        );
-        let mut adversary = Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
+        let strategy = ParoleStrategy::new(ParoleModule::new(GentranseqModule::fast()), vec![ifu]);
+        let mut adversary =
+            Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
         let batch = adversary.build_batch(rollup.l2_state(), window);
 
         // The verifier cannot tell anything is wrong.
@@ -154,7 +180,11 @@ mod tests {
 
         rollup.submit_batch(batch).unwrap();
         rollup.finalize_all();
-        assert_eq!(rollup.undetected_forgeries(), 0, "reordering is not forgery");
+        assert_eq!(
+            rollup.undetected_forgeries(),
+            0,
+            "reordering is not forgery"
+        );
 
         let attacked = rollup.finalized_state().total_balance_of(ifu);
         assert!(
@@ -176,11 +206,27 @@ mod tests {
             coll.mint(addr(2), TokenId::new(3)).unwrap();
         }
         let window = vec![
-            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
-            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
             NftTransaction::simple(
                 ifu,
-                TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(11) },
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(5),
+                },
+            ),
+            NftTransaction::simple(
+                addr(2),
+                TxKind::Burn {
+                    collection: pt,
+                    token: TokenId::new(3),
+                },
+            ),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Transfer {
+                    collection: pt,
+                    token: TokenId::new(0),
+                    to: addr(11),
+                },
             ),
         ];
         let mut strategy =

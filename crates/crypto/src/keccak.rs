@@ -48,6 +48,7 @@ const ROTATION: [[u32; 5]; 5] = [
 const RATE: usize = 136;
 
 /// Applies the 24-round Keccak-f[1600] permutation to the state in place.
+#[allow(clippy::needless_range_loop)] // x/y lattice indexing mirrors the spec
 fn keccak_f(state: &mut [[u64; 5]; 5]) {
     for &rc in ROUND_CONSTANTS.iter() {
         // θ (theta)

@@ -142,7 +142,9 @@ mod tests {
     use crate::keccak::keccak256;
 
     fn leaves(n: usize) -> Vec<Hash32> {
-        (0..n).map(|i| keccak256(&(i as u64).to_be_bytes())).collect()
+        (0..n)
+            .map(|i| keccak256(&(i as u64).to_be_bytes()))
+            .collect()
     }
 
     #[test]

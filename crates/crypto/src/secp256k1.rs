@@ -208,7 +208,11 @@ impl JacobianPoint {
         if p.infinity {
             JacobianPoint::INFINITY
         } else {
-            JacobianPoint { x: p.x, y: p.y, z: U256::ONE }
+            JacobianPoint {
+                x: p.x,
+                y: p.y,
+                z: U256::ONE,
+            }
         }
     }
 
@@ -259,7 +263,11 @@ impl JacobianPoint {
         // z3 = 2*y*z
         let yz = fmul(&self.y, &self.z);
         let z3 = fadd(&yz, &yz);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition of a Jacobian point and an affine point
@@ -301,7 +309,11 @@ impl JacobianPoint {
         let y3 = fsub(&fmul(&r, &fsub(&v, &x3)), &fadd(&y1j, &y1j));
         // z3 = 2*z1*h  ( (z1+h)^2 - z1z1 - hh )
         let z3 = fsub(&fsub(&fsqr(&fadd(&self.z, &h)), &z1z1), &hh);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 }
 
@@ -480,7 +492,9 @@ mod tests {
         // (n-1)·G + G = O.
         let (n_minus_1, _) = group_order().overflowing_sub(&U256::ONE);
         let p = scalar_mul(&n_minus_1, generator());
-        let sum = JacobianPoint::from_affine(&p).add_affine(generator()).to_affine();
+        let sum = JacobianPoint::from_affine(&p)
+            .add_affine(generator())
+            .to_affine();
         assert!(sum.infinity);
     }
 
@@ -490,7 +504,9 @@ mod tests {
         let five = scalar_mul(&U256::from_u64(5), generator());
         let two = scalar_mul(&U256::from_u64(2), generator());
         let three = scalar_mul(&U256::from_u64(3), generator());
-        let sum = JacobianPoint::from_affine(&two).add_affine(&three).to_affine();
+        let sum = JacobianPoint::from_affine(&two)
+            .add_affine(&three)
+            .to_affine();
         assert_eq!(five, sum);
         assert!(five.is_on_curve());
     }
@@ -528,9 +544,15 @@ mod tests {
     fn verify_rejects_degenerate_signature() {
         let pk = SecretKey::from_seed(11).public_key();
         let digest = [0u8; 32];
-        let zero_sig = Signature { r: U256::ZERO, s: U256::ZERO };
+        let zero_sig = Signature {
+            r: U256::ZERO,
+            s: U256::ZERO,
+        };
         assert!(!pk.verify(&digest, &zero_sig));
-        let big_sig = Signature { r: *group_order(), s: U256::ONE };
+        let big_sig = Signature {
+            r: *group_order(),
+            s: U256::ONE,
+        };
         assert!(!pk.verify(&digest, &big_sig));
     }
 

@@ -30,7 +30,9 @@ impl U256 {
     /// Zero.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// One.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
 
     /// Constructs from little-endian limbs.
     pub const fn from_limbs(limbs: [u64; 4]) -> Self {
@@ -39,7 +41,9 @@ impl U256 {
 
     /// Constructs from a single `u64`.
     pub const fn from_u64(v: u64) -> Self {
-        U256 { limbs: [v, 0, 0, 0] }
+        U256 {
+            limbs: [v, 0, 0, 0],
+        }
     }
 
     /// Parses a 32-byte big-endian representation.
@@ -113,6 +117,7 @@ impl U256 {
     }
 
     /// Wrapping addition, returning the carry-out.
+    #[allow(clippy::needless_range_loop)] // limb index couples out/self/rhs
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
@@ -126,6 +131,7 @@ impl U256 {
     }
 
     /// Wrapping subtraction, returning the borrow-out.
+    #[allow(clippy::needless_range_loop)] // limb index couples out/self/rhs
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
@@ -144,9 +150,7 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + self.limbs[i] as u128 * rhs.limbs[j] as u128
-                    + carry;
+                let cur = out[i + j] as u128 + self.limbs[i] as u128 * rhs.limbs[j] as u128 + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -195,6 +199,7 @@ impl U256 {
     }
 
     /// Logical left shift by one bit (drops the top bit).
+    #[allow(clippy::needless_range_loop)] // limb index couples out/self/rhs
     fn shl1(&self) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
@@ -308,7 +313,11 @@ mod tests {
 
     #[test]
     fn be_bytes_roundtrip() {
-        let v = U256::from_hex("0x0123456789abcdef_fedcba9876543210".replace('_', "").as_str());
+        let v = U256::from_hex(
+            "0x0123456789abcdef_fedcba9876543210"
+                .replace('_', "")
+                .as_str(),
+        );
         assert_eq!(U256::from_be_bytes(&v.to_be_bytes()), v);
     }
 

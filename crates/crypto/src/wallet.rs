@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn same_seed_same_address() {
-        assert_eq!(Wallet::from_seed(5).address(), Wallet::from_seed(5).address());
+        assert_eq!(
+            Wallet::from_seed(5).address(),
+            Wallet::from_seed(5).address()
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The deep Q-network agent.
 
-use crate::{Adam, Environment, Mlp, ReplayBuffer, Transition};
+use crate::{Adam, BatchScratch, Environment, Mlp, ReplayBuffer, Transition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -123,17 +123,20 @@ pub struct DqnAgent {
     optimizer: Adam,
     rng: StdRng,
     steps_seen: usize,
+    /// Reusable flat batch buffers and activation planes for
+    /// [`DqnAgent::train_step`]; kept across updates so a training run does
+    /// not re-allocate per minibatch.
+    batch_states: Vec<f64>,
+    batch_next: Vec<f64>,
+    batch_targets: Vec<f64>,
+    scratch: BatchScratch,
+    next_scratch: BatchScratch,
 }
 
 impl DqnAgent {
     /// Creates an agent for the given observation/action dimensions.
     pub fn new(state_dim: usize, action_count: usize, config: DqnConfig) -> Self {
-        let sizes = [
-            state_dim,
-            config.hidden[0],
-            config.hidden[1],
-            action_count,
-        ];
+        let sizes = [state_dim, config.hidden[0], config.hidden[1], action_count];
         let q_net = Mlp::new(&sizes, config.seed);
         let mut target_net = Mlp::new(&sizes, config.seed.wrapping_add(1));
         target_net.copy_from(&q_net);
@@ -145,6 +148,11 @@ impl DqnAgent {
             rng: StdRng::seed_from_u64(config.seed.wrapping_add(2)),
             config,
             steps_seen: 0,
+            batch_states: Vec::new(),
+            batch_next: Vec::new(),
+            batch_targets: Vec::new(),
+            scratch: BatchScratch::default(),
+            next_scratch: BatchScratch::default(),
         }
     }
 
@@ -185,52 +193,96 @@ impl DqnAgent {
     /// Performs one minibatch Q-network update from replay (the `QNet.update`
     /// line of the paper's Algorithm 1). Returns the mean TD error of the
     /// batch, or `None` when the buffer is still empty.
+    ///
+    /// The whole minibatch goes through [`Mlp::forward_batch`] /
+    /// [`Mlp::backward_batch`] (one matrix-shaped pass over reusable scratch
+    /// planes instead of `batch_size` per-sample passes), which is
+    /// bit-identical to the per-sample formulation: sampling consumes the RNG
+    /// draw for draw like [`ReplayBuffer::sample`], and the batched backward
+    /// accumulates per-sample gradients in the same order the old
+    /// `Gradients::accumulate` chain did.
     pub fn train_step(&mut self) -> Option<f64> {
-        let batch: Vec<Transition> = self
+        let indices = self
             .buffer
-            .sample(self.config.batch_size, &mut self.rng)
-            .into_iter()
-            .cloned()
-            .collect();
-        if batch.is_empty() {
+            .sample_indices(self.config.batch_size, &mut self.rng);
+        if indices.is_empty() {
             return None;
         }
+        let batch = indices.len();
+        let out_dim = self.q_net.output_dim();
 
-        let mut total_td = 0.0;
-        let mut accumulated: Option<crate::Gradients> = None;
-        for t in &batch {
-            let mut target_vec = self.q_net.forward(&t.state);
-            let current_q = target_vec[t.action];
-            // TD target bootstrapped through the *target* network.
-            let bootstrap = if t.done {
-                0.0
-            } else if self.config.double_dqn {
-                // Double DQN: online net picks the action, target net rates it.
-                let online_next = self.q_net.forward(&t.next_state);
-                let chosen = argmax(&online_next);
-                let next_q = self.target_net.forward(&t.next_state);
-                self.config.gamma * next_q[chosen]
-            } else {
-                let next_q = self.target_net.forward(&t.next_state);
-                self.config.gamma * next_q.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-            };
-            let td_target = t.reward + bootstrap;
-            let td_error = td_target - current_q;
-            total_td += td_error.abs();
-            // α-blended regression target (Table II's learning rate).
-            target_vec[t.action] = current_q + self.config.alpha * td_error;
+        // Gather the sampled transitions into flat sample-major planes.
+        self.batch_states.clear();
+        self.batch_next.clear();
+        let mut actions = Vec::with_capacity(batch);
+        let mut rewards = Vec::with_capacity(batch);
+        let mut dones = Vec::with_capacity(batch);
+        for &i in &indices {
+            let t = self.buffer.get(i);
+            self.batch_states.extend_from_slice(&t.state);
+            self.batch_next.extend_from_slice(&t.next_state);
+            actions.push(t.action);
+            rewards.push(t.reward);
+            dones.push(t.done);
+        }
 
-            let grads = self.q_net.backward(&t.state, &target_vec);
-            match accumulated.as_mut() {
-                None => accumulated = Some(grads),
-                Some(acc) => acc.accumulate(&grads),
+        // TD bootstrap through the *target* network, one batched forward.
+        // `done` rows ride along (forwarding is side-effect free and their
+        // outputs are discarded) — cheaper than compacting the plane.
+        let mut bootstrap = vec![0.0; batch];
+        if self.config.double_dqn {
+            // Double DQN: online net picks the action, target net rates it.
+            let target_next = self
+                .target_net
+                .forward_batch(&self.batch_next, batch, &mut self.next_scratch)
+                .to_vec();
+            let online_next =
+                self.q_net
+                    .forward_batch(&self.batch_next, batch, &mut self.next_scratch);
+            for b in 0..batch {
+                if !dones[b] {
+                    let row = &online_next[b * out_dim..(b + 1) * out_dim];
+                    let chosen = argmax(row);
+                    bootstrap[b] = self.config.gamma * target_next[b * out_dim + chosen];
+                }
+            }
+        } else {
+            let target_next =
+                self.target_net
+                    .forward_batch(&self.batch_next, batch, &mut self.next_scratch);
+            for b in 0..batch {
+                if !dones[b] {
+                    let row = &target_next[b * out_dim..(b + 1) * out_dim];
+                    bootstrap[b] =
+                        self.config.gamma * row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                }
             }
         }
-        let mut grads = accumulated.expect("batch non-empty");
-        grads.scale(1.0 / batch.len() as f64);
+
+        // Online forward last, so the activation planes left in `scratch`
+        // belong to the states and feed straight into the backward pass.
+        let q_rows = self
+            .q_net
+            .forward_batch(&self.batch_states, batch, &mut self.scratch);
+        self.batch_targets.clear();
+        self.batch_targets.extend_from_slice(q_rows);
+        let mut total_td = 0.0;
+        for b in 0..batch {
+            let slot = b * out_dim + actions[b];
+            let current_q = self.batch_targets[slot];
+            let td_error = (rewards[b] + bootstrap[b]) - current_q;
+            total_td += td_error.abs();
+            // α-blended regression target (Table II's learning rate).
+            self.batch_targets[slot] = current_q + self.config.alpha * td_error;
+        }
+
+        let mut grads = self
+            .q_net
+            .backward_batch(&self.batch_targets, batch, &self.scratch);
+        grads.scale(1.0 / batch as f64);
         grads.clip(10.0);
         self.optimizer.apply(&mut self.q_net, &grads);
-        Some(total_td / batch.len() as f64)
+        Some(total_td / batch as f64)
     }
 
     /// Copies the Q-network into the target network.
@@ -263,10 +315,13 @@ impl DqnAgent {
             state = outcome.next_state;
             steps += 1;
             self.steps_seen += 1;
-            if self.steps_seen % self.config.q_update_every == 0 {
+            if self.steps_seen.is_multiple_of(self.config.q_update_every) {
                 self.train_step();
             }
-            if self.steps_seen % self.config.target_update_every == 0 {
+            if self
+                .steps_seen
+                .is_multiple_of(self.config.target_update_every)
+            {
                 self.sync_target();
             }
             if outcome.done {
@@ -392,7 +447,10 @@ mod tests {
             .sum::<f64>()
             / 10.0;
         let early: f64 = stats[..10].iter().map(|s| s.total_reward).sum::<f64>() / 10.0;
-        assert!(late > early, "double-DQN reward should improve: {early} -> {late}");
+        assert!(
+            late > early,
+            "double-DQN reward should improve: {early} -> {late}"
+        );
     }
 
     #[test]
@@ -446,7 +504,10 @@ mod tests {
             .map(|s| s.total_reward)
             .sum::<f64>()
             / 10.0;
-        assert!(late > early, "reward should improve: early {early}, late {late}");
+        assert!(
+            late > early,
+            "reward should improve: early {early}, late {late}"
+        );
     }
 
     #[test]
@@ -458,7 +519,14 @@ mod tests {
 
     #[test]
     fn epsilon_one_explores_epsilon_zero_exploits() {
-        let mut agent = DqnAgent::new(1, 4, DqnConfig { seed: 9, ..DqnConfig::fast() });
+        let mut agent = DqnAgent::new(
+            1,
+            4,
+            DqnConfig {
+                seed: 9,
+                ..DqnConfig::fast()
+            },
+        );
         let s = [0.5];
         let greedy = agent.act_greedy(&s);
         // ε = 0 always matches greedy.
@@ -479,7 +547,10 @@ mod tests {
     #[test]
     fn train_step_reports_td_error() {
         let mut agent = DqnAgent::new(1, 2, DqnConfig::fast());
-        assert!(agent.train_step().is_none(), "empty buffer yields no update");
+        assert!(
+            agent.train_step().is_none(),
+            "empty buffer yields no update"
+        );
         agent.remember(Transition {
             state: vec![0.0],
             action: 0,

@@ -49,5 +49,5 @@ mod replay;
 
 pub use dqn::{moving_average, DqnAgent, DqnConfig, EpisodeStats};
 pub use env::{Environment, StepOutcome};
-pub use network::{Adam, Gradients, Mlp, Sgd};
+pub use network::{Adam, BatchScratch, Gradients, Mlp, Sgd};
 pub use replay::{ReplayBuffer, Transition};

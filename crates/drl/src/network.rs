@@ -52,13 +52,29 @@ pub struct Gradients {
 
 impl Gradients {
     /// Elementwise accumulation (for minibatch averaging).
+    ///
+    /// Both operands must come from networks of identical architecture; a
+    /// mismatch is a caller bug (zip would silently truncate), caught by the
+    /// debug assertions.
     pub fn accumulate(&mut self, other: &Gradients) {
+        debug_assert_eq!(
+            self.weight_grads.len(),
+            other.weight_grads.len(),
+            "gradient layer count mismatch"
+        );
+        debug_assert_eq!(
+            self.bias_grads.len(),
+            other.bias_grads.len(),
+            "gradient layer count mismatch"
+        );
         for (a, b) in self.weight_grads.iter_mut().zip(&other.weight_grads) {
+            debug_assert_eq!(a.len(), b.len(), "weight gradient shape mismatch");
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
             }
         }
         for (a, b) in self.bias_grads.iter_mut().zip(&other.bias_grads) {
+            debug_assert_eq!(a.len(), b.len(), "bias gradient shape mismatch");
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
             }
@@ -67,7 +83,12 @@ impl Gradients {
 
     /// Scales every gradient by `factor` (e.g. `1/batch`).
     pub fn scale(&mut self, factor: f64) {
-        for g in self.weight_grads.iter_mut().chain(self.bias_grads.iter_mut()) {
+        debug_assert!(factor.is_finite(), "non-finite gradient scale {factor}");
+        for g in self
+            .weight_grads
+            .iter_mut()
+            .chain(self.bias_grads.iter_mut())
+        {
             for x in g.iter_mut() {
                 *x *= factor;
             }
@@ -92,6 +113,17 @@ impl Gradients {
             self.scale(max_norm / norm);
         }
     }
+}
+
+/// Reusable activation planes for [`Mlp::forward_batch`] /
+/// [`Mlp::backward_batch`], so repeated minibatch updates allocate nothing
+/// after the first.
+///
+/// `acts[l]` holds layer `l`'s post-activation outputs for the whole batch
+/// in sample-major layout (`acts[0]` is the input plane itself).
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    acts: Vec<Vec<f64>>,
 }
 
 /// A multi-layer perceptron with ReLU hidden activations and a linear output
@@ -179,6 +211,151 @@ impl Mlp {
         acts
     }
 
+    /// Runs the network forward over a whole minibatch at once (matrix–matrix
+    /// instead of `batch` matrix–vector passes), keeping every layer's
+    /// activations in `scratch` for a following [`Mlp::backward_batch`].
+    ///
+    /// `xs` is sample-major (`batch × input_dim` flattened); the returned
+    /// slice is the output plane, `batch × output_dim`. Per-sample arithmetic
+    /// is performed in exactly the order of [`Mlp::forward`], so results are
+    /// bit-identical to `batch` individual passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs.len() != batch * input_dim`.
+    pub fn forward_batch<'a>(
+        &self,
+        xs: &[f64],
+        batch: usize,
+        scratch: &'a mut BatchScratch,
+    ) -> &'a [f64] {
+        assert_eq!(xs.len(), batch * self.input_dim(), "bad input plane shape");
+        let planes = &mut scratch.acts;
+        planes.resize(self.layers.len() + 1, Vec::new());
+        planes[0].clear();
+        planes[0].extend_from_slice(xs);
+
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (done, todo) = planes.split_at_mut(li + 1);
+            let src = &done[li];
+            let dst = &mut todo[0];
+            dst.clear();
+            dst.reserve(batch * layer.outputs);
+            for b in 0..batch {
+                let x = &src[b * layer.inputs..(b + 1) * layer.inputs];
+                for o in 0..layer.outputs {
+                    let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                    let mut acc = layer.bias[o];
+                    for (w, xi) in row.iter().zip(x) {
+                        acc += w * xi;
+                    }
+                    dst.push(if li != last { acc.max(0.0) } else { acc });
+                }
+            }
+        }
+        planes.last().expect("non-empty")
+    }
+
+    /// Backpropagates the MSE loss for a whole minibatch in one pass,
+    /// reusing the activations left in `scratch` by the immediately
+    /// preceding [`Mlp::forward_batch`] call on the same inputs.
+    ///
+    /// Returns the *sum* of per-sample gradients, accumulated in sample
+    /// order — bit-identical to calling [`Mlp::backward`] per sample and
+    /// chaining [`Gradients::accumulate`], but with one gradient allocation
+    /// for the whole batch instead of one per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `targets` does not match `batch × output_dim` or the
+    /// scratch planes do not match this network.
+    pub fn backward_batch(
+        &self,
+        targets: &[f64],
+        batch: usize,
+        scratch: &BatchScratch,
+    ) -> Gradients {
+        let layer_count = self.layers.len();
+        let out_w = self.output_dim();
+        assert_eq!(targets.len(), batch * out_w, "bad target plane shape");
+        assert_eq!(
+            scratch.acts.len(),
+            layer_count + 1,
+            "scratch not from forward_batch"
+        );
+        assert_eq!(
+            scratch.acts[layer_count].len(),
+            batch * out_w,
+            "scratch batch mismatch"
+        );
+
+        let mut weight_grads: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut bias_grads: Vec<Vec<f64>> =
+            self.layers.iter().map(|l| vec![0.0; l.outputs]).collect();
+
+        let mut delta: Vec<f64> = Vec::new();
+        let mut prev_delta: Vec<f64> = Vec::new();
+        for b in 0..batch {
+            let output = &scratch.acts[layer_count][b * out_w..(b + 1) * out_w];
+            let target = &targets[b * out_w..(b + 1) * out_w];
+            delta.clear();
+            delta.extend(output.iter().zip(target).map(|(o, t)| o - t));
+
+            for li in (0..layer_count).rev() {
+                let layer = &self.layers[li];
+                let input = &scratch.acts[li][b * layer.inputs..(b + 1) * layer.inputs];
+                for (o, &d) in delta.iter().enumerate() {
+                    let grow = &mut weight_grads[li][o * layer.inputs..(o + 1) * layer.inputs];
+                    // First sample assigns, later ones add — reproducing the
+                    // per-sample accumulate chain float-op for float-op.
+                    if b == 0 {
+                        for (g, xi) in grow.iter_mut().zip(input) {
+                            *g = d * xi;
+                        }
+                    } else {
+                        for (g, xi) in grow.iter_mut().zip(input) {
+                            *g += d * xi;
+                        }
+                    }
+                }
+                if b == 0 {
+                    bias_grads[li].copy_from_slice(&delta);
+                } else {
+                    for (g, d) in bias_grads[li].iter_mut().zip(&delta) {
+                        *g += d;
+                    }
+                }
+
+                if li > 0 {
+                    prev_delta.clear();
+                    prev_delta.resize(layer.inputs, 0.0);
+                    for (o, &d) in delta.iter().enumerate() {
+                        let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                        for (pd, w) in prev_delta.iter_mut().zip(row) {
+                            *pd += d * w;
+                        }
+                    }
+                    for (pd, a) in prev_delta.iter_mut().zip(input) {
+                        if *a <= 0.0 {
+                            *pd = 0.0;
+                        }
+                    }
+                    std::mem::swap(&mut delta, &mut prev_delta);
+                }
+            }
+        }
+
+        Gradients {
+            weight_grads,
+            bias_grads,
+        }
+    }
+
     /// Backpropagates the MSE loss `½‖y − target‖²` for one sample, returning
     /// the gradients (the caller applies them through an optimizer).
     ///
@@ -214,8 +391,7 @@ impl Mlp {
             // Propagate to the previous layer (through the ReLU if li > 0).
             if li > 0 {
                 let mut prev_delta = vec![0.0; layer.inputs];
-                for o in 0..layer.outputs {
-                    let d = delta[o];
+                for (o, &d) in delta.iter().enumerate() {
                     let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
                     for (pd, w) in prev_delta.iter_mut().zip(row) {
                         *pd += d * w;
@@ -260,9 +436,17 @@ impl Mlp {
     ///
     /// Panics when the architectures differ.
     pub fn copy_from(&mut self, source: &Mlp) {
-        assert_eq!(self.layers.len(), source.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            source.layers.len(),
+            "architecture mismatch"
+        );
         for (dst, src) in self.layers.iter_mut().zip(&source.layers) {
-            assert_eq!(dst.weights.len(), src.weights.len(), "architecture mismatch");
+            assert_eq!(
+                dst.weights.len(),
+                src.weights.len(),
+                "architecture mismatch"
+            );
             dst.weights.copy_from_slice(&src.weights);
             dst.bias.copy_from_slice(&src.bias);
         }
@@ -383,16 +567,22 @@ mod tests {
         assert_eq!(net.output_dim(), 4);
         assert_eq!(net.parameter_count(), 8 * 16 + 16 + 16 * 4 + 4);
         assert_eq!(net.parameter_bytes(), net.parameter_count() * 8);
-        assert_eq!(net.forward(&vec![0.1; 8]).len(), 4);
+        assert_eq!(net.forward(&[0.1; 8]).len(), 4);
     }
 
     #[test]
     fn deterministic_for_seed() {
         let a = Mlp::new(&[4, 8, 2], 7);
         let b = Mlp::new(&[4, 8, 2], 7);
-        assert_eq!(a.forward(&[1.0, 2.0, 3.0, 4.0]), b.forward(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(
+            a.forward(&[1.0, 2.0, 3.0, 4.0]),
+            b.forward(&[1.0, 2.0, 3.0, 4.0])
+        );
         let c = Mlp::new(&[4, 8, 2], 8);
-        assert_ne!(a.forward(&[1.0, 2.0, 3.0, 4.0]), c.forward(&[1.0, 2.0, 3.0, 4.0]));
+        assert_ne!(
+            a.forward(&[1.0, 2.0, 3.0, 4.0]),
+            c.forward(&[1.0, 2.0, 3.0, 4.0])
+        );
     }
 
     #[test]
@@ -406,7 +596,11 @@ mod tests {
         let eps = 1e-6;
         let loss = |net: &Mlp| -> f64 {
             let y = net.forward(&x);
-            0.5 * y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            0.5 * y
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
         };
         for (li, wi) in [(0usize, 4usize), (1usize, 7usize)] {
             let mut plus = net.clone();
@@ -505,6 +699,41 @@ mod tests {
         let x = [0.1, -0.4, 0.9];
         assert_eq!(net.forward(&x), restored.forward(&x));
         assert!(Mlp::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_singles() {
+        let net = Mlp::new(&[4, 9, 5, 3], 13);
+        let batch = 6;
+        let xs: Vec<f64> = (0..batch * 4).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut scratch = BatchScratch::default();
+        let plane = net.forward_batch(&xs, batch, &mut scratch).to_vec();
+        for b in 0..batch {
+            let single = net.forward(&xs[b * 4..(b + 1) * 4]);
+            assert_eq!(&plane[b * 3..(b + 1) * 3], single.as_slice());
+        }
+    }
+
+    #[test]
+    fn backward_batch_is_bit_identical_to_accumulated_singles() {
+        let mut net = Mlp::new(&[3, 7, 4], 17);
+        let batch = 5;
+        let xs: Vec<f64> = (0..batch * 3).map(|i| (i as f64 * 0.73).cos()).collect();
+        let targets: Vec<f64> = (0..batch * 4).map(|i| (i as f64 * 0.11).sin()).collect();
+
+        let mut scratch = BatchScratch::default();
+        net.forward_batch(&xs, batch, &mut scratch);
+        let batched = net.backward_batch(&targets, batch, &scratch);
+
+        let mut accumulated: Option<Gradients> = None;
+        for b in 0..batch {
+            let g = net.backward(&xs[b * 3..(b + 1) * 3], &targets[b * 4..(b + 1) * 4]);
+            match accumulated.as_mut() {
+                None => accumulated = Some(g),
+                Some(acc) => acc.accumulate(&g),
+            }
+        }
+        assert_eq!(batched, accumulated.unwrap());
     }
 
     #[test]

@@ -85,16 +85,42 @@ impl ReplayBuffer {
         }
     }
 
-    /// Samples `batch` transitions uniformly with replacement.
+    /// Samples `batch` transitions uniformly **with replacement**: every
+    /// draw is independent, so the result can (and for `batch > len()`
+    /// *must*) contain duplicates, and always has exactly `batch` entries.
+    /// This mirrors the common DQN formulation where each minibatch slot is
+    /// an i.i.d. draw from replay memory; it deliberately does not dedupe or
+    /// shrink the batch while the buffer is still filling.
     ///
     /// Returns an empty vector when the buffer is empty.
     pub fn sample(&self, batch: usize, rng: &mut StdRng) -> Vec<&Transition> {
+        self.sample_indices(batch, rng)
+            .into_iter()
+            .map(|i| &self.items[i])
+            .collect()
+    }
+
+    /// Index-returning variant of [`ReplayBuffer::sample`] (same
+    /// with-replacement semantics, same RNG consumption draw for draw), for
+    /// callers that gather fields into flat batch buffers instead of cloning
+    /// whole transitions.
+    pub fn sample_indices(&self, batch: usize, rng: &mut StdRng) -> Vec<usize> {
         if self.items.is_empty() {
             return Vec::new();
         }
         (0..batch)
-            .map(|_| &self.items[rng.gen_range(0..self.items.len())])
+            .map(|_| rng.gen_range(0..self.items.len()))
             .collect()
+    }
+
+    /// The transition in storage slot `idx` (as returned by
+    /// [`ReplayBuffer::sample_indices`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx >= len()`.
+    pub fn get(&self, idx: usize) -> &Transition {
+        &self.items[idx]
     }
 }
 
@@ -142,5 +168,46 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn oversized_batches_sample_with_replacement() {
+        // Pins the with-replacement contract: batch_size > len() still
+        // yields a full batch, necessarily containing duplicates, with every
+        // draw in range.
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..3 {
+            buf.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let batch = buf.sample(8, &mut rng);
+        assert_eq!(batch.len(), 8);
+        let distinct: std::collections::BTreeSet<u64> =
+            batch.iter().map(|t| t.reward as u64).collect();
+        assert!(distinct.len() <= 3);
+        assert!(batch.iter().all(|t| t.reward < 3.0));
+    }
+
+    #[test]
+    fn sample_indices_matches_sample_draw_for_draw() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..5 {
+            buf.push(t(i as f64));
+        }
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let by_ref: Vec<f64> = buf
+            .sample(12, &mut rng_a)
+            .iter()
+            .map(|t| t.reward)
+            .collect();
+        let by_idx: Vec<f64> = buf
+            .sample_indices(12, &mut rng_b)
+            .into_iter()
+            .map(|i| buf.get(i).reward)
+            .collect();
+        assert_eq!(by_ref, by_idx);
+        // Both RNGs ended in the same state.
+        assert_eq!(rng_a.gen_range(0..1000), rng_b.gen_range(0..1000));
     }
 }

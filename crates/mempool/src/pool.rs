@@ -74,7 +74,7 @@ impl BedrockMempool {
     /// crossed (i.e. aggregators should collect now).
     pub fn tick(&mut self) -> bool {
         self.now += 1;
-        self.now % self.block_interval_ticks == 0
+        self.now.is_multiple_of(self.block_interval_ticks)
     }
 
     /// Submits a transaction.
@@ -112,8 +112,7 @@ impl BedrockMempool {
         for &i in &order {
             taken[i] = true;
         }
-        let collected: Vec<NftTransaction> =
-            order.iter().map(|&i| self.pending[i].tx).collect();
+        let collected: Vec<NftTransaction> = order.iter().map(|&i| self.pending[i].tx).collect();
         let mut keep = Vec::with_capacity(self.pending.len() - collected.len());
         for (i, p) in self.pending.drain(..).enumerate() {
             if !taken[i] {

@@ -109,7 +109,9 @@ impl Sequencer {
         let mut gas = Gas::ZERO;
         loop {
             let next = self.mempool.collect(1);
-            let Some(tx) = next.into_iter().next() else { break };
+            let Some(tx) = next.into_iter().next() else {
+                break;
+            };
             let tx_gas = self.gas_schedule.gas_for(&tx.kind);
             if (gas + tx_gas).units() > self.gas_limit.units() {
                 // Does not fit: park it again and stop filling.
@@ -185,7 +187,10 @@ mod tests {
         let mut seq = sequencer_with(vec![tx(1, 1), tx(2, 9), tx(3, 5)], 250_000);
         let block = seq.seal_block(&L2State::new(), None);
         let senders: Vec<_> = block.txs.iter().map(|t| t.sender).collect();
-        assert_eq!(senders, vec![Address::from_low_u64(2), Address::from_low_u64(3)]);
+        assert_eq!(
+            senders,
+            vec![Address::from_low_u64(2), Address::from_low_u64(3)]
+        );
     }
 
     #[test]
@@ -195,7 +200,10 @@ mod tests {
         for _ in 0..4 {
             seq.seal_block(&L2State::new(), None);
         }
-        assert!(seq.base_fee() > before, "sustained full blocks must reprice");
+        assert!(
+            seq.base_fee() > before,
+            "sustained full blocks must reprice"
+        );
     }
 
     #[test]
@@ -204,7 +212,10 @@ mod tests {
         let mut hook = |_state: &L2State, mut txs: Vec<NftTransaction>| {
             // Defer the last transaction of every block.
             let deferred = txs.split_off(txs.len().saturating_sub(1));
-            Screened { admitted: txs, deferred }
+            Screened {
+                admitted: txs,
+                deferred,
+            }
         };
         let block = seq.seal_block(&L2State::new(), Some(&mut hook));
         assert_eq!(block.txs.len(), 2);

@@ -11,7 +11,7 @@
 //! executes each candidate transaction against a private fork of the state
 //! and only emits transactions that succeed there.
 
-use parole_ovm::{Ovm, NftTransaction, TxKind};
+use parole_ovm::{NftTransaction, Ovm, TxKind};
 use parole_primitives::{Address, FeeBundle};
 use parole_state::L2State;
 use rand::rngs::StdRng;
@@ -151,8 +151,7 @@ impl WorkloadGenerator {
         actor: Address,
         users: &[Address],
     ) -> Option<NftTransaction> {
-        let total =
-            self.config.mint_weight + self.config.transfer_weight + self.config.burn_weight;
+        let total = self.config.mint_weight + self.config.transfer_weight + self.config.burn_weight;
         let roll = self.rng.gen_range(0..total);
         if roll < self.config.mint_weight {
             self.try_mint(fork, collection, actor)
@@ -208,7 +207,11 @@ impl WorkloadGenerator {
             let buyer = *candidates.choose(&mut self.rng)?;
             Some(NftTransaction::with_fees(
                 actor,
-                TxKind::Transfer { collection, token, to: buyer },
+                TxKind::Transfer {
+                    collection,
+                    token,
+                    to: buyer,
+                },
                 self.fees(),
             ))
         } else {
@@ -220,7 +223,11 @@ impl WorkloadGenerator {
             let &(token, seller) = holdings.choose(&mut self.rng)?;
             Some(NftTransaction::with_fees(
                 seller,
-                TxKind::Transfer { collection, token, to: actor },
+                TxKind::Transfer {
+                    collection,
+                    token,
+                    to: actor,
+                },
                 self.fees(),
             ))
         }
@@ -246,7 +253,11 @@ impl WorkloadGenerator {
         let buyer = *candidates.choose(&mut self.rng)?;
         Some(NftTransaction::with_fees(
             seller,
-            TxKind::Transfer { collection, token, to: buyer },
+            TxKind::Transfer {
+                collection,
+                token,
+                to: buyer,
+            },
             self.fees(),
         ))
     }
@@ -291,7 +302,8 @@ mod tests {
             coll.mint(ifu, TokenId::new(0)).unwrap();
             coll.mint(ifu, TokenId::new(1)).unwrap();
             for i in 2..10 {
-                coll.mint(users[(i % users.len() as u64) as usize], TokenId::new(i)).unwrap();
+                coll.mint(users[(i % users.len() as u64) as usize], TokenId::new(i))
+                    .unwrap();
             }
         }
         (state, coll_addr, users, ifu)

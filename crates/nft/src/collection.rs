@@ -57,6 +57,23 @@ impl CollectionConfig {
     }
 }
 
+/// Everything one mint/transfer/burn mutated, captured *before* the
+/// mutation so [`Collection::apply_undo`] can restore it exactly.
+///
+/// Undo records are produced by the `*_undoable` operation variants and are
+/// only valid against the collection that produced them, applied in LIFO
+/// order (newest first). The state undo-log journal relies on this to make
+/// speculative forks cheap: a token operation journals ~60 bytes instead of
+/// a full collection snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectionUndo {
+    token: TokenId,
+    prev_owner: Option<Address>,
+    prev_approval: Option<Address>,
+    events_len: usize,
+    prev_counts: (u64, u64, u64),
+}
+
 /// A deployed limited-edition ERC-721 collection.
 ///
 /// Invariants maintained:
@@ -184,9 +201,13 @@ impl Collection {
 
     /// Simple metadata URI (ERC-721 `tokenURI`).
     pub fn token_uri(&self, token: TokenId) -> Option<String> {
-        self.owners
-            .get(&token)
-            .map(|_| format!("ipfs://{}/{}", self.config.symbol.to_lowercase(), token.value()))
+        self.owners.get(&token).map(|_| {
+            format!(
+                "ipfs://{}/{}",
+                self.config.symbol.to_lowercase(),
+                token.value()
+            )
+        })
     }
 
     /// Checks the contract-level mint constraints without mutating
@@ -211,7 +232,22 @@ impl Collection {
     /// Fails when the id is invalid, already active, or the collection is
     /// sold out.
     pub fn mint(&mut self, to: Address, token: TokenId) -> Result<(), NftError> {
+        self.mint_undoable(to, token).map(drop)
+    }
+
+    /// [`Collection::mint`] that also returns an undo record for the journal.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Collection::mint`]; on error nothing is
+    /// mutated and no undo record is produced.
+    pub fn mint_undoable(
+        &mut self,
+        to: Address,
+        token: TokenId,
+    ) -> Result<CollectionUndo, NftError> {
         self.can_mint(token)?;
+        let undo = self.undo_point(token);
         let old_price = self.price();
         self.owners.insert(token, to);
         self.total_mints += 1;
@@ -221,7 +257,7 @@ impl Collection {
             token,
         });
         self.push_price_event(old_price);
-        Ok(())
+        Ok(undo)
     }
 
     /// Checks the contract-level transfer constraints without mutating
@@ -252,12 +288,29 @@ impl Collection {
     /// Fails when `from` is not the owner, the token is inactive, or the
     /// destination is degenerate.
     pub fn transfer(&mut self, from: Address, to: Address, token: TokenId) -> Result<(), NftError> {
+        self.transfer_undoable(from, to, token).map(drop)
+    }
+
+    /// [`Collection::transfer`] that also returns an undo record for the
+    /// journal.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Collection::transfer`]; on error nothing is
+    /// mutated and no undo record is produced.
+    pub fn transfer_undoable(
+        &mut self,
+        from: Address,
+        to: Address,
+        token: TokenId,
+    ) -> Result<CollectionUndo, NftError> {
         self.can_transfer(from, to, token)?;
+        let undo = self.undo_point(token);
         self.owners.insert(token, to);
         self.approvals.remove(&token);
         self.total_transfers += 1;
         self.events.push(Erc721Event::Transfer { from, to, token });
-        Ok(())
+        Ok(undo)
     }
 
     /// Approves `operator` to move `token` (ERC-721 `approve`).
@@ -341,7 +394,22 @@ impl Collection {
     ///
     /// Fails when `owner` does not own the token.
     pub fn burn(&mut self, owner: Address, token: TokenId) -> Result<(), NftError> {
+        self.burn_undoable(owner, token).map(drop)
+    }
+
+    /// [`Collection::burn`] that also returns an undo record for the journal.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Collection::burn`]; on error nothing is
+    /// mutated and no undo record is produced.
+    pub fn burn_undoable(
+        &mut self,
+        owner: Address,
+        token: TokenId,
+    ) -> Result<CollectionUndo, NftError> {
         self.can_burn(owner, token)?;
+        let undo = self.undo_point(token);
         let old_price = self.price();
         self.owners.remove(&token);
         self.approvals.remove(&token);
@@ -352,7 +420,41 @@ impl Collection {
             token,
         });
         self.push_price_event(old_price);
-        Ok(())
+        Ok(undo)
+    }
+
+    /// Restores the state captured by the `*_undoable` operation that
+    /// produced `undo`. Records must be applied in LIFO order against the
+    /// same collection; anything else reconstructs garbage.
+    pub fn apply_undo(&mut self, undo: CollectionUndo) {
+        match undo.prev_owner {
+            Some(owner) => {
+                self.owners.insert(undo.token, owner);
+            }
+            None => {
+                self.owners.remove(&undo.token);
+            }
+        }
+        match undo.prev_approval {
+            Some(operator) => {
+                self.approvals.insert(undo.token, operator);
+            }
+            None => {
+                self.approvals.remove(&undo.token);
+            }
+        }
+        self.events.truncate(undo.events_len);
+        (self.total_mints, self.total_transfers, self.total_burns) = undo.prev_counts;
+    }
+
+    fn undo_point(&self, token: TokenId) -> CollectionUndo {
+        CollectionUndo {
+            token,
+            prev_owner: self.owners.get(&token).copied(),
+            prev_approval: self.approvals.get(&token).copied(),
+            events_len: self.events.len(),
+            prev_counts: (self.total_mints, self.total_transfers, self.total_burns),
+        }
     }
 
     /// The market valuation of `who`'s holdings at the current price:
@@ -495,7 +597,11 @@ mod tests {
         c.mint(addr(1), TokenId::new(0)).unwrap();
         assert_eq!(
             c.transfer(addr(2), addr(3), TokenId::new(0)),
-            Err(NftError::NotOwner { claimed: addr(2), actual: addr(1), token: TokenId::new(0) })
+            Err(NftError::NotOwner {
+                claimed: addr(2),
+                actual: addr(1),
+                token: TokenId::new(0)
+            })
         );
         assert_eq!(
             c.transfer(addr(1), addr(1), TokenId::new(0)),
@@ -517,10 +623,14 @@ mod tests {
         c.mint(addr(1), TokenId::new(0)).unwrap();
         assert_eq!(
             c.transfer_from(addr(9), addr(1), addr(2), TokenId::new(0)),
-            Err(NftError::NotAuthorized { operator: addr(9), token: TokenId::new(0) })
+            Err(NftError::NotAuthorized {
+                operator: addr(9),
+                token: TokenId::new(0)
+            })
         );
         c.approve(addr(1), addr(9), TokenId::new(0)).unwrap();
-        c.transfer_from(addr(9), addr(1), addr(2), TokenId::new(0)).unwrap();
+        c.transfer_from(addr(9), addr(1), addr(2), TokenId::new(0))
+            .unwrap();
         assert_eq!(c.owner_of(TokenId::new(0)), Some(addr(2)));
     }
 
@@ -610,6 +720,42 @@ mod tests {
         c.mint(addr(1), TokenId::new(0)).unwrap();
         c.mint(addr(1), TokenId::new(2)).unwrap();
         assert_eq!(c.next_free_token(), Some(TokenId::new(1)));
+    }
+
+    #[test]
+    fn undo_records_restore_exact_state() {
+        let mut c = pt();
+        mint_n(&mut c, 3, addr(1));
+        c.approve(addr(1), addr(9), TokenId::new(2)).unwrap();
+        let before = c.clone();
+
+        // A LIFO stack of undoable operations, including a transfer that
+        // clears an approval and a burn.
+        let u1 = c.mint_undoable(addr(2), TokenId::new(5)).unwrap();
+        let u2 = c
+            .transfer_undoable(addr(1), addr(3), TokenId::new(2))
+            .unwrap();
+        let u3 = c.burn_undoable(addr(1), TokenId::new(0)).unwrap();
+        assert_ne!(c, before);
+
+        c.apply_undo(u3);
+        c.apply_undo(u2);
+        c.apply_undo(u1);
+        assert_eq!(c, before);
+        assert_eq!(c.get_approved(TokenId::new(2)), Some(addr(9)));
+    }
+
+    #[test]
+    fn failed_undoable_ops_mutate_nothing() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        let before = c.clone();
+        assert!(c.mint_undoable(addr(2), TokenId::new(0)).is_err());
+        assert!(c
+            .transfer_undoable(addr(2), addr(3), TokenId::new(0))
+            .is_err());
+        assert!(c.burn_undoable(addr(2), TokenId::new(0)).is_err());
+        assert_eq!(c, before);
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl fmt::Display for NftError {
             NftError::InvalidTokenId(id) => write!(f, "invalid token id {id}"),
             NftError::AlreadyMinted(id) => write!(f, "{id} is already minted"),
             NftError::NotMinted(id) => write!(f, "{id} does not exist"),
-            NftError::NotOwner { claimed, actual, token } => {
+            NftError::NotOwner {
+                claimed,
+                actual,
+                token,
+            } => {
                 write!(f, "{claimed} does not own {token} (owner is {actual})")
             }
             NftError::NotAuthorized { operator, token } => {

@@ -66,11 +66,22 @@ impl fmt::Display for Erc721Event {
             Erc721Event::Transfer { from, to, token } => {
                 write!(f, "Transfer({token}: {from} -> {to})")
             }
-            Erc721Event::Approval { owner, approved, token } => {
+            Erc721Event::Approval {
+                owner,
+                approved,
+                token,
+            } => {
                 write!(f, "Approval({token}: {owner} approves {approved})")
             }
-            Erc721Event::PriceChanged { old_price, new_price, remaining_supply } => {
-                write!(f, "PriceChanged({old_price} -> {new_price}, S={remaining_supply})")
+            Erc721Event::PriceChanged {
+                old_price,
+                new_price,
+                remaining_supply,
+            } => {
+                write!(
+                    f,
+                    "PriceChanged({old_price} -> {new_price}, S={remaining_supply})"
+                )
             }
         }
     }
@@ -89,7 +100,10 @@ mod tests {
         };
         assert!(mint.is_mint());
         assert!(!mint.is_burn());
-        assert_eq!(mint.to_string(), "Mint(token#0 -> 0x0000000000000000000000000000000000000001)");
+        assert_eq!(
+            mint.to_string(),
+            "Mint(token#0 -> 0x0000000000000000000000000000000000000001)"
+        );
 
         let burn = Erc721Event::Transfer {
             from: Address::from_low_u64(1),

@@ -42,6 +42,6 @@ mod collection;
 mod error;
 mod event;
 
-pub use collection::{Collection, CollectionConfig};
+pub use collection::{Collection, CollectionConfig, CollectionUndo};
 pub use error::NftError;
 pub use event::Erc721Event;

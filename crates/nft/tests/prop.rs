@@ -15,8 +15,11 @@ enum Op {
 fn arb_op(max_supply: u64, users: u64) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..users, 0..max_supply).prop_map(|(to, token)| Op::Mint { to, token }),
-        (0..users, 0..users, 0..max_supply)
-            .prop_map(|(from, to, token)| Op::Transfer { from, to, token }),
+        (0..users, 0..users, 0..max_supply).prop_map(|(from, to, token)| Op::Transfer {
+            from,
+            to,
+            token
+        }),
         (0..users, 0..max_supply).prop_map(|(owner, token)| Op::Burn { owner, token }),
     ]
 }

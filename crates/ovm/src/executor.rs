@@ -94,7 +94,10 @@ impl Ovm {
         // Fees are charged up front; a sender who cannot pay reverts.
         if self.config.charge_fees {
             if state.debit(tx.sender, fee).is_err() {
-                return receipt(TxStatus::Reverted(RevertReason::CannotPayFees), price_before);
+                return receipt(
+                    TxStatus::Reverted(RevertReason::CannotPayFees),
+                    price_before,
+                );
             }
             state.bump_nonce(tx.sender);
         } else {
@@ -110,12 +113,7 @@ impl Ovm {
     }
 
     /// Applies the NFT operation itself; returns the resulting status.
-    fn apply_operation(
-        &self,
-        state: &mut L2State,
-        tx: &NftTransaction,
-        price: Wei,
-    ) -> TxStatus {
+    fn apply_operation(&self, state: &mut L2State, tx: &NftTransaction, price: Wei) -> TxStatus {
         let collection_addr = tx.kind.collection();
         if state.collection(collection_addr).is_none() {
             return TxStatus::Reverted(RevertReason::NoSuchCollection);
@@ -143,9 +141,8 @@ impl Ovm {
                 state.debit(tx.sender, price).expect("balance just checked");
                 state.credit(creator, price);
                 state
-                    .collection_mut(collection_addr)
+                    .nft_mint(collection_addr, tx.sender, token)
                     .expect("checked above")
-                    .mint(tx.sender, token)
                     .expect("constraints just checked");
                 TxStatus::Executed
             }
@@ -162,11 +159,12 @@ impl Ovm {
                 if state.balance_of(to) < price {
                     return TxStatus::Reverted(RevertReason::InsufficientBalance);
                 }
-                state.transfer_balance(to, tx.sender, price).expect("just checked");
                 state
-                    .collection_mut(collection_addr)
+                    .transfer_balance(to, tx.sender, price)
+                    .expect("just checked");
+                state
+                    .nft_transfer(collection_addr, tx.sender, to, token)
                     .expect("checked above")
-                    .transfer(tx.sender, to, token)
                     .expect("constraints just checked");
                 TxStatus::Executed
             }
@@ -180,9 +178,8 @@ impl Ovm {
                     return map_nft_error(e);
                 }
                 state
-                    .collection_mut(collection_addr)
+                    .nft_burn(collection_addr, tx.sender, token)
                     .expect("checked above")
-                    .burn(tx.sender, token)
                     .expect("constraints just checked");
                 TxStatus::Executed
             }
@@ -190,11 +187,7 @@ impl Ovm {
     }
 
     /// Executes a whole sequence in order, committing to `state`.
-    pub fn execute_sequence(
-        &self,
-        state: &mut L2State,
-        txs: &[NftTransaction],
-    ) -> Vec<Receipt> {
+    pub fn execute_sequence(&self, state: &mut L2State, txs: &[NftTransaction]) -> Vec<Receipt> {
         txs.iter().map(|tx| self.execute(state, tx)).collect()
     }
 
@@ -266,14 +259,23 @@ mod tests {
     #[test]
     fn case_study_initial_conditions() {
         let (state, pt, ifu) = case_study_state();
-        assert_eq!(state.collection(pt).unwrap().price(), Wei::from_milli_eth(400));
+        assert_eq!(
+            state.collection(pt).unwrap().price(),
+            Wei::from_milli_eth(400)
+        );
         assert_eq!(state.total_balance_of(ifu), Wei::from_milli_eth(2300));
     }
 
     #[test]
     fn mint_pays_pre_mint_price_and_moves_curve() {
         let (mut state, pt, ifu) = case_study_state();
-        let tx = NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        let tx = NftTransaction::simple(
+            ifu,
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(5),
+            },
+        );
         let r = ovm().execute(&mut state, &tx);
         assert!(r.is_success());
         assert_eq!(r.price_before, Wei::from_milli_eth(400));
@@ -290,8 +292,13 @@ mod tests {
     fn mint_reverts_when_broke() {
         let (mut state, pt, _) = case_study_state();
         let pauper = addr(77);
-        let tx =
-            NftTransaction::simple(pauper, TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        let tx = NftTransaction::simple(
+            pauper,
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(5),
+            },
+        );
         let r = ovm().execute(&mut state, &tx);
         assert_eq!(r.revert_reason(), Some(RevertReason::InsufficientBalance));
         assert_eq!(state.collection(pt).unwrap().remaining_supply(), 5);
@@ -304,7 +311,11 @@ mod tests {
         state.credit(buyer, Wei::from_eth(1));
         let tx = NftTransaction::simple(
             ifu,
-            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: buyer },
+            TxKind::Transfer {
+                collection: pt,
+                token: TokenId::new(0),
+                to: buyer,
+            },
         );
         let r = ovm().execute(&mut state, &tx);
         assert!(r.is_success());
@@ -313,7 +324,10 @@ mod tests {
         // Seller gained 0.4, buyer spent 0.4 and owns the token.
         assert_eq!(state.balance_of(ifu), Wei::from_milli_eth(1900));
         assert_eq!(state.balance_of(buyer), Wei::from_milli_eth(600));
-        assert!(state.collection(pt).unwrap().is_owner(buyer, TokenId::new(0)));
+        assert!(state
+            .collection(pt)
+            .unwrap()
+            .is_owner(buyer, TokenId::new(0)));
     }
 
     #[test]
@@ -322,7 +336,11 @@ mod tests {
         let buyer = addr(11); // zero balance
         let tx = NftTransaction::simple(
             ifu,
-            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: buyer },
+            TxKind::Transfer {
+                collection: pt,
+                token: TokenId::new(0),
+                to: buyer,
+            },
         );
         let r = ovm().execute(&mut state, &tx);
         assert_eq!(r.revert_reason(), Some(RevertReason::InsufficientBalance));
@@ -336,7 +354,11 @@ mod tests {
         state.credit(buyer, Wei::from_eth(1));
         let tx = NftTransaction::simple(
             addr(55),
-            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: buyer },
+            TxKind::Transfer {
+                collection: pt,
+                token: TokenId::new(0),
+                to: buyer,
+            },
         );
         assert_eq!(
             ovm().execute(&mut state, &tx).revert_reason(),
@@ -347,7 +369,13 @@ mod tests {
     #[test]
     fn burn_lowers_price_for_everyone() {
         let (mut state, pt, ifu) = case_study_state();
-        let tx = NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) });
+        let tx = NftTransaction::simple(
+            addr(2),
+            TxKind::Burn {
+                collection: pt,
+                token: TokenId::new(3),
+            },
+        );
         let r = ovm().execute(&mut state, &tx);
         assert!(r.is_success());
         assert_eq!(r.price_after, Wei::from_milli_eth(330));
@@ -362,16 +390,21 @@ mod tests {
         // via a fresh execution on a fork.
         let tx = NftTransaction::simple(
             addr(55),
-            TxKind::Burn { collection: pt, token: TokenId::new(0) },
+            TxKind::Burn {
+                collection: pt,
+                token: TokenId::new(0),
+            },
         );
-        let balances_before: Vec<_> =
-            (0..20).map(|i| state.balance_of(addr(i))).collect();
+        let balances_before: Vec<_> = (0..20).map(|i| state.balance_of(addr(i))).collect();
         let supply_before = state.collection(pt).unwrap().remaining_supply();
         let r = ovm().execute(&mut state, &tx);
         assert!(!r.is_success());
         let balances_after: Vec<_> = (0..20).map(|i| state.balance_of(addr(i))).collect();
         assert_eq!(balances_before, balances_after);
-        assert_eq!(state.collection(pt).unwrap().remaining_supply(), supply_before);
+        assert_eq!(
+            state.collection(pt).unwrap().remaining_supply(),
+            supply_before
+        );
     }
 
     #[test]
@@ -379,7 +412,10 @@ mod tests {
         let mut state = L2State::new();
         let tx = NftTransaction::simple(
             addr(1),
-            TxKind::Mint { collection: addr(9999), token: TokenId::new(0) },
+            TxKind::Mint {
+                collection: addr(9999),
+                token: TokenId::new(0),
+            },
         );
         assert_eq!(
             ovm().execute(&mut state, &tx).revert_reason(),
@@ -399,7 +435,10 @@ mod tests {
 
         let good = NftTransaction::signed(
             &wallet,
-            TxKind::Mint { collection: pt, token: TokenId::new(0) },
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
             FeeBundle::from_gwei(30, 2),
             TxNonce::new(0),
         );
@@ -408,7 +447,10 @@ mod tests {
         // Forge: claim a different sender on signed material.
         let mut forged = good;
         forged.sender = addr(9);
-        forged.kind = TxKind::Mint { collection: pt, token: TokenId::new(1) };
+        forged.kind = TxKind::Mint {
+            collection: pt,
+            token: TokenId::new(1),
+        };
         assert_eq!(
             ovm().execute(&mut state, &forged).revert_reason(),
             Some(RevertReason::BadSignature)
@@ -417,15 +459,23 @@ mod tests {
 
     #[test]
     fn fee_charging_mode() {
-        let mut config = OvmConfig::default();
-        config.charge_fees = true;
-        config.base_fee = Wei::from_gwei(1);
+        let config = OvmConfig {
+            charge_fees: true,
+            base_fee: Wei::from_gwei(1),
+            ..Default::default()
+        };
         let ovm = Ovm::with_config(config);
 
         let mut state = L2State::new();
         let pt = state.deploy_collection(CollectionConfig::parole_token());
         state.credit(addr(1), Wei::from_eth(1));
-        let tx = NftTransaction::simple(addr(1), TxKind::Mint { collection: pt, token: TokenId::new(0) });
+        let tx = NftTransaction::simple(
+            addr(1),
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+        );
         let r = ovm.execute(&mut state, &tx);
         assert!(r.is_success());
         assert!(r.fee_paid > Wei::ZERO);
@@ -436,8 +486,13 @@ mod tests {
         );
 
         // A sender with nothing can't even pay fees.
-        let broke_tx =
-            NftTransaction::simple(addr(2), TxKind::Mint { collection: pt, token: TokenId::new(1) });
+        let broke_tx = NftTransaction::simple(
+            addr(2),
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(1),
+            },
+        );
         assert_eq!(
             ovm.execute(&mut state, &broke_tx).revert_reason(),
             Some(RevertReason::CannotPayFees)
@@ -448,8 +503,20 @@ mod tests {
     fn simulate_sequence_leaves_original_untouched() {
         let (state, pt, ifu) = case_study_state();
         let txs = vec![
-            NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) }),
-            NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) }),
+            NftTransaction::simple(
+                ifu,
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(5),
+                },
+            ),
+            NftTransaction::simple(
+                addr(2),
+                TxKind::Burn {
+                    collection: pt,
+                    token: TokenId::new(3),
+                },
+            ),
         ];
         let root_before = state.state_root();
         let (receipts, fork) = ovm().simulate_sequence(&state, &txs);
@@ -461,9 +528,21 @@ mod tests {
     #[test]
     fn would_succeed_is_side_effect_free() {
         let (state, pt, ifu) = case_study_state();
-        let tx = NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        let tx = NftTransaction::simple(
+            ifu,
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(5),
+            },
+        );
         assert!(ovm().would_succeed(&state, &tx));
-        let bad = NftTransaction::simple(addr(77), TxKind::Mint { collection: pt, token: TokenId::new(5) });
+        let bad = NftTransaction::simple(
+            addr(77),
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(5),
+            },
+        );
         assert!(!ovm().would_succeed(&state, &bad));
     }
 
@@ -473,8 +552,20 @@ mod tests {
         // different IFU balances in different orders.
         let (state, pt, ifu) = case_study_state();
         state.collection(pt).unwrap();
-        let mint = NftTransaction::simple(ifu, TxKind::Mint { collection: pt, token: TokenId::new(5) });
-        let burn = NftTransaction::simple(addr(2), TxKind::Burn { collection: pt, token: TokenId::new(3) });
+        let mint = NftTransaction::simple(
+            ifu,
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(5),
+            },
+        );
+        let burn = NftTransaction::simple(
+            addr(2),
+            TxKind::Burn {
+                collection: pt,
+                token: TokenId::new(3),
+            },
+        );
 
         let (_, after_mint_first) = ovm().simulate_sequence(&state, &[mint, burn]);
         let (_, after_burn_first) = ovm().simulate_sequence(&state, &[burn, mint]);

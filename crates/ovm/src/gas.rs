@@ -96,9 +96,19 @@ mod tests {
         let c = Address::from_low_u64(1);
         let t = TokenId::new(0);
         [
-            TxKind::Mint { collection: c, token: t },
-            TxKind::Transfer { collection: c, token: t, to: Address::from_low_u64(2) },
-            TxKind::Burn { collection: c, token: t },
+            TxKind::Mint {
+                collection: c,
+                token: t,
+            },
+            TxKind::Transfer {
+                collection: c,
+                token: t,
+                to: Address::from_low_u64(2),
+            },
+            TxKind::Burn {
+                collection: c,
+                token: t,
+            },
         ]
     }
 

@@ -42,10 +42,12 @@
 
 mod executor;
 mod gas;
+mod prefix;
 mod receipt;
 mod tx;
 
 pub use executor::{Ovm, OvmConfig};
 pub use gas::GasSchedule;
+pub use prefix::{PrefixExecutor, PrefixStats};
 pub use receipt::{Receipt, RevertReason, TxStatus};
 pub use tx::{NftTransaction, TxAuth, TxKind};

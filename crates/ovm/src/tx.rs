@@ -149,7 +149,11 @@ impl NftTransaction {
                 out.extend_from_slice(collection.as_bytes());
                 out.extend_from_slice(&token.value().to_be_bytes());
             }
-            TxKind::Transfer { collection, token, to } => {
+            TxKind::Transfer {
+                collection,
+                token,
+                to,
+            } => {
                 out.push(1);
                 out.extend_from_slice(collection.as_bytes());
                 out.extend_from_slice(&token.value().to_be_bytes());
@@ -243,11 +247,27 @@ mod tests {
     fn encoding_distinguishes_kinds() {
         let c = addr(100);
         let t = TokenId::new(1);
-        let mint = NftTransaction::simple(addr(1), TxKind::Mint { collection: c, token: t });
-        let burn = NftTransaction::simple(addr(1), TxKind::Burn { collection: c, token: t });
+        let mint = NftTransaction::simple(
+            addr(1),
+            TxKind::Mint {
+                collection: c,
+                token: t,
+            },
+        );
+        let burn = NftTransaction::simple(
+            addr(1),
+            TxKind::Burn {
+                collection: c,
+                token: t,
+            },
+        );
         let xfer = NftTransaction::simple(
             addr(1),
-            TxKind::Transfer { collection: c, token: t, to: addr(2) },
+            TxKind::Transfer {
+                collection: c,
+                token: t,
+                to: addr(2),
+            },
         );
         assert_ne!(mint.tx_hash(), burn.tx_hash());
         assert_ne!(mint.tx_hash(), xfer.tx_hash());
@@ -262,7 +282,12 @@ mod tests {
     #[test]
     fn signed_tx_verifies_and_binds_sender() {
         let wallet = Wallet::from_seed(42);
-        let tx = NftTransaction::signed(&wallet, kind(), FeeBundle::from_gwei(30, 2), TxNonce::new(0));
+        let tx = NftTransaction::signed(
+            &wallet,
+            kind(),
+            FeeBundle::from_gwei(30, 2),
+            TxNonce::new(0),
+        );
         assert_eq!(tx.sender, wallet.address());
         assert!(tx.verify_signature());
 
@@ -281,7 +306,11 @@ mod tests {
         let buyer = addr(2);
         let tx = NftTransaction::simple(
             seller,
-            TxKind::Transfer { collection: addr(100), token: TokenId::new(0), to: buyer },
+            TxKind::Transfer {
+                collection: addr(100),
+                token: TokenId::new(0),
+                to: buyer,
+            },
         );
         assert!(tx.involves(seller));
         assert!(tx.involves(buyer));

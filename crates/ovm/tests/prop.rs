@@ -18,8 +18,11 @@ enum RawOp {
 fn arb_op(users: u64, tokens: u64) -> impl Strategy<Value = RawOp> {
     prop_oneof![
         (0..users, 0..tokens).prop_map(|(sender, token)| RawOp::Mint { sender, token }),
-        (0..users, 0..tokens, 0..users)
-            .prop_map(|(sender, token, to)| RawOp::Transfer { sender, token, to }),
+        (0..users, 0..tokens, 0..users).prop_map(|(sender, token, to)| RawOp::Transfer {
+            sender,
+            token,
+            to
+        }),
         (0..users, 0..tokens).prop_map(|(sender, token)| RawOp::Burn { sender, token }),
     ]
 }
@@ -38,15 +41,25 @@ fn to_tx(op: &RawOp, coll: Address) -> NftTransaction {
     match *op {
         RawOp::Mint { sender, token } => NftTransaction::simple(
             a(sender),
-            TxKind::Mint { collection: coll, token: TokenId::new(token) },
+            TxKind::Mint {
+                collection: coll,
+                token: TokenId::new(token),
+            },
         ),
         RawOp::Transfer { sender, token, to } => NftTransaction::simple(
             a(sender),
-            TxKind::Transfer { collection: coll, token: TokenId::new(token), to: a(to) },
+            TxKind::Transfer {
+                collection: coll,
+                token: TokenId::new(token),
+                to: a(to),
+            },
         ),
         RawOp::Burn { sender, token } => NftTransaction::simple(
             a(sender),
-            TxKind::Burn { collection: coll, token: TokenId::new(token) },
+            TxKind::Burn {
+                collection: coll,
+                token: TokenId::new(token),
+            },
         ),
     }
 }

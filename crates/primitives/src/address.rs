@@ -149,7 +149,9 @@ mod tests {
 
     #[test]
     fn short_form() {
-        let a: Address = "0x7A00000000000000000000000000000000000c8e".parse().unwrap();
+        let a: Address = "0x7A00000000000000000000000000000000000c8e"
+            .parse()
+            .unwrap();
         assert_eq!(a.short(), "0x7a..c8e");
     }
 }

@@ -370,13 +370,25 @@ mod tests {
         let p0 = Wei::from_milli_eth(200);
         let q = Wei::from_centi_eth(1);
         // 5 remaining -> 0.4 ETH.
-        assert_eq!(p0.mul_ratio(10, 5).unwrap().quantize_floor(q), Wei::from_milli_eth(400));
+        assert_eq!(
+            p0.mul_ratio(10, 5).unwrap().quantize_floor(q),
+            Wei::from_milli_eth(400)
+        );
         // 4 remaining -> 0.5 ETH.
-        assert_eq!(p0.mul_ratio(10, 4).unwrap().quantize_floor(q), Wei::from_milli_eth(500));
+        assert_eq!(
+            p0.mul_ratio(10, 4).unwrap().quantize_floor(q),
+            Wei::from_milli_eth(500)
+        );
         // 3 remaining -> 0.666... truncated to 0.66 ETH.
-        assert_eq!(p0.mul_ratio(10, 3).unwrap().quantize_floor(q), Wei::from_milli_eth(660));
+        assert_eq!(
+            p0.mul_ratio(10, 3).unwrap().quantize_floor(q),
+            Wei::from_milli_eth(660)
+        );
         // 6 remaining -> 0.333... truncated to 0.33 ETH.
-        assert_eq!(p0.mul_ratio(10, 6).unwrap().quantize_floor(q), Wei::from_milli_eth(330));
+        assert_eq!(
+            p0.mul_ratio(10, 6).unwrap().quantize_floor(q),
+            Wei::from_milli_eth(330)
+        );
     }
 
     #[test]
@@ -393,10 +405,7 @@ mod tests {
             Wei::from_eth(1).checked_sub(Wei::from_eth(2)),
             Err(PrimitiveError::Underflow)
         );
-        assert_eq!(
-            Wei::from_eth(1).saturating_sub(Wei::from_eth(2)),
-            Wei::ZERO
-        );
+        assert_eq!(Wei::from_eth(1).saturating_sub(Wei::from_eth(2)), Wei::ZERO);
     }
 
     #[test]

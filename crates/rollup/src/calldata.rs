@@ -33,7 +33,11 @@ pub fn encode_batch(batch: &Batch) -> Vec<u8> {
                 out.extend_from_slice(collection.as_bytes());
                 out.extend_from_slice(&token.value().to_be_bytes());
             }
-            TxKind::Transfer { collection, token, to } => {
+            TxKind::Transfer {
+                collection,
+                token,
+                to,
+            } => {
                 out.push(1);
                 out.extend_from_slice(tx.sender.as_bytes());
                 out.extend_from_slice(collection.as_bytes());
@@ -85,7 +89,7 @@ pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
     while i < data.len() {
         if data[i] == 0 {
             let run = *data.get(i + 1)? as usize;
-            out.extend(std::iter::repeat(0u8).take(run));
+            out.extend(std::iter::repeat_n(0u8, run));
             i += 2;
         } else {
             out.push(data[i]);

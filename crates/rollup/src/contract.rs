@@ -399,7 +399,9 @@ impl RollupContract {
         // Fraud proven: slash, reward, roll back.
         let aggregator = batch.aggregator;
         let abond = self.aggregator_bond(aggregator);
-        let reward = abond.mul_ratio(self.config.challenger_reward_pct, 100).unwrap_or(Wei::ZERO);
+        let reward = abond
+            .mul_ratio(self.config.challenger_reward_pct, 100)
+            .unwrap_or(Wei::ZERO);
         self.aggregator_bonds.insert(aggregator, Wei::ZERO);
         if let Some(v) = self.verifier_bonds.get_mut(&verifier) {
             *v += reward;
@@ -525,7 +527,10 @@ mod tests {
             .map(|i| {
                 NftTransaction::simple(
                     addr(1 + i % 2),
-                    TxKind::Mint { collection: pt, token: TokenId::new(i) },
+                    TxKind::Mint {
+                        collection: pt,
+                        token: TokenId::new(i),
+                    },
                 )
             })
             .collect()
@@ -540,7 +545,10 @@ mod tests {
     #[test]
     fn zero_deposit_rejected() {
         let mut rollup = RollupContract::new(RollupConfig::default());
-        assert_eq!(rollup.deposit(addr(1), Wei::ZERO), Err(RollupError::ZeroDeposit));
+        assert_eq!(
+            rollup.deposit(addr(1), Wei::ZERO),
+            Err(RollupError::ZeroDeposit)
+        );
     }
 
     #[test]
@@ -566,7 +574,11 @@ mod tests {
         assert_eq!(rollup.undetected_forgeries(), 0);
         // Canonical state caught up with execution.
         assert_eq!(
-            rollup.finalized_state().collection(pt).unwrap().active_supply(),
+            rollup
+                .finalized_state()
+                .collection(pt)
+                .unwrap()
+                .active_supply(),
             3
         );
         assert_eq!(
@@ -609,13 +621,18 @@ mod tests {
     #[test]
     fn oversized_batch_rejected() {
         let (rollup, pt, mut agg, _) = deployed();
-        let mut config = RollupConfig::default();
-        config.max_batch_size = 2;
+        let config = RollupConfig {
+            max_batch_size: 2,
+            ..Default::default()
+        };
         let mut small = RollupContract::new(config);
         small.bond_aggregator(AggregatorId::new(0));
         let _ = pt;
         let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 3));
-        assert_eq!(small.submit_batch(batch), Err(RollupError::BatchTooLarge(3)));
+        assert_eq!(
+            small.submit_batch(batch),
+            Err(RollupError::BatchTooLarge(3))
+        );
     }
 
     #[test]
@@ -655,13 +672,20 @@ mod tests {
         let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 2));
         let id = rollup.submit_batch(batch).unwrap();
         let outcome = rollup.challenge(ver.id(), id).unwrap();
-        assert!(matches!(outcome, ChallengeOutcome::ChallengeRejected { .. }));
+        assert!(matches!(
+            outcome,
+            ChallengeOutcome::ChallengeRejected { .. }
+        ));
         assert_eq!(rollup.verifier_bond(VerifierId::new(0)), Wei::ZERO);
         // The batch survives and finalizes.
         rollup.finalize_all();
         assert_eq!(rollup.undetected_forgeries(), 0);
         assert_eq!(
-            rollup.finalized_state().collection(pt).unwrap().active_supply(),
+            rollup
+                .finalized_state()
+                .collection(pt)
+                .unwrap()
+                .active_supply(),
             2
         );
     }
@@ -702,7 +726,11 @@ mod tests {
         rollup.submit_batch(b1).unwrap();
         let txs2 = vec![NftTransaction::simple(
             addr(1),
-            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: addr(2) },
+            TxKind::Transfer {
+                collection: pt,
+                token: TokenId::new(0),
+                to: addr(2),
+            },
         )];
         let b2 = agg.build_batch(rollup.l2_state(), txs2);
         rollup.submit_batch(b2).unwrap();
@@ -718,10 +746,16 @@ mod tests {
         let forged = agg.build_forged_batch(rollup.l2_state(), mint_txs(pt, 1));
         let forged_id = rollup.submit_batch(forged).unwrap();
         // A dependent batch and a deposit arrive afterwards.
-        let dep_batch = agg.build_batch(rollup.l2_state(), vec![NftTransaction::simple(
-            addr(2),
-            TxKind::Mint { collection: pt, token: TokenId::new(5) },
-        )]);
+        let dep_batch = agg.build_batch(
+            rollup.l2_state(),
+            vec![NftTransaction::simple(
+                addr(2),
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(5),
+                },
+            )],
+        );
         let dep_id = rollup.submit_batch(dep_batch).unwrap();
         rollup.deposit(addr(7), Wei::from_eth(3)).unwrap();
 
@@ -730,9 +764,16 @@ mod tests {
         assert!(rollup.pending_batch(dep_id).is_none());
         assert_eq!(rollup.l2_state().balance_of(addr(7)), Wei::from_eth(3));
         rollup.finalize_all();
-        assert_eq!(rollup.finalized_state().balance_of(addr(7)), Wei::from_eth(3));
         assert_eq!(
-            rollup.finalized_state().collection(pt).unwrap().active_supply(),
+            rollup.finalized_state().balance_of(addr(7)),
+            Wei::from_eth(3)
+        );
+        assert_eq!(
+            rollup
+                .finalized_state()
+                .collection(pt)
+                .unwrap()
+                .active_supply(),
             0
         );
     }

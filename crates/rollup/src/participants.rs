@@ -104,7 +104,7 @@ impl Aggregator {
     /// Slashes `amount` from the bond (clamped), returning what was taken.
     pub fn slash(&mut self, amount: Wei) -> Wei {
         let taken = self.bond.min(amount);
-        self.bond = self.bond - taken;
+        self.bond -= taken;
         taken
     }
 
@@ -128,11 +128,7 @@ impl Aggregator {
     /// Builds a batch whose claimed post-state root is deliberately wrong —
     /// the *actual* fraud (state forgery) the challenge game exists to catch,
     /// as opposed to PAROLE's undetectable reordering.
-    pub fn build_forged_batch(
-        &mut self,
-        state: &L2State,
-        window: Vec<NftTransaction>,
-    ) -> Batch {
+    pub fn build_forged_batch(&mut self, state: &L2State, window: Vec<NftTransaction>) -> Batch {
         let mut batch = self.build_batch(state, window);
         // Claim a root for a state in which the aggregator never paid for
         // anything: hash the honest root to get a plausible-looking forgery.
@@ -174,7 +170,7 @@ impl Verifier {
     /// Slashes `amount` from the bond (clamped), returning what was taken.
     pub fn slash(&mut self, amount: Wei) -> Wei {
         let taken = self.bond.min(amount);
-        self.bond = self.bond - taken;
+        self.bond -= taken;
         taken
     }
 
@@ -223,7 +219,10 @@ mod tests {
             .map(|i| {
                 NftTransaction::simple(
                     Address::from_low_u64(i + 1),
-                    TxKind::Mint { collection: pt, token: TokenId::new(i) },
+                    TxKind::Mint {
+                        collection: pt,
+                        token: TokenId::new(i),
+                    },
                 )
             })
             .collect();
@@ -270,8 +269,11 @@ mod tests {
             }
         }
 
-        let mut adversary =
-            Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(ReverseStrategy));
+        let mut adversary = Aggregator::new(
+            AggregatorId::new(1),
+            Wei::from_eth(10),
+            Box::new(ReverseStrategy),
+        );
         let batch = adversary.build_batch(&state, txs.clone());
         assert_ne!(batch.txs, txs, "order actually changed");
         let verifier = Verifier::new(VerifierId::new(0), Wei::from_eth(5));

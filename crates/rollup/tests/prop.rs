@@ -2,9 +2,9 @@
 //! lifecycle invariants and the fraud-proof game under random histories.
 
 use parole_nft::CollectionConfig;
-use parole_rollup::calldata;
 use parole_ovm::{NftTransaction, TxKind};
 use parole_primitives::{Address, AggregatorId, TokenId, VerifierId, Wei};
+use parole_rollup::calldata;
 use parole_rollup::{Aggregator, Batch, RollupConfig, RollupContract, Verifier};
 use proptest::prelude::*;
 

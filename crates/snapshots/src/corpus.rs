@@ -248,7 +248,10 @@ mod tests {
         let a = SnapshotCorpus::generate(SnapshotConfig::default());
         let b = SnapshotCorpus::generate(SnapshotConfig::default());
         assert_eq!(a, b);
-        let c = SnapshotCorpus::generate(SnapshotConfig { seed: 8, ..SnapshotConfig::default() });
+        let c = SnapshotCorpus::generate(SnapshotConfig {
+            seed: 8,
+            ..SnapshotConfig::default()
+        });
         assert_ne!(a, c);
     }
 

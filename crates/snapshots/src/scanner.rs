@@ -151,9 +151,18 @@ mod tests {
             chain: Chain::Optimism,
             ownerships: 50,
             price_history: vec![
-                PricePoint { time: 0, price: Wei::from_milli_eth(1000) },
-                PricePoint { time: 1, price: Wei::from_milli_eth(1005) }, // 0.5%: noise
-                PricePoint { time: 2, price: Wei::from_milli_eth(1200) }, // 19%: real
+                PricePoint {
+                    time: 0,
+                    price: Wei::from_milli_eth(1000),
+                },
+                PricePoint {
+                    time: 1,
+                    price: Wei::from_milli_eth(1005),
+                }, // 0.5%: noise
+                PricePoint {
+                    time: 2,
+                    price: Wei::from_milli_eth(1200),
+                }, // 19%: real
             ],
         };
         let findings = find_windows(&snap, &model());
@@ -224,8 +233,20 @@ mod tests {
     #[test]
     fn capture_fraction_scales_profit_linearly() {
         let corpus = crate::SnapshotCorpus::generate(SnapshotConfig::default());
-        let low = scan_corpus(&corpus, &CaptureModel { capture_fraction: 0.1, ..model() });
-        let high = scan_corpus(&corpus, &CaptureModel { capture_fraction: 0.2, ..model() });
+        let low = scan_corpus(
+            &corpus,
+            &CaptureModel {
+                capture_fraction: 0.1,
+                ..model()
+            },
+        );
+        let high = scan_corpus(
+            &corpus,
+            &CaptureModel {
+                capture_fraction: 0.2,
+                ..model()
+            },
+        );
         for (l, h) in low.iter().zip(&high) {
             let ratio = h.total_profit.eth_f64() / l.total_profit.eth_f64();
             // Per-opportunity Wei flooring makes the scaling slightly

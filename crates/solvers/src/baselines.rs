@@ -113,7 +113,10 @@ pub struct RandomSearch {
 
 impl Default for RandomSearch {
     fn default() -> Self {
-        RandomSearch { samples: 200, seed: 0 }
+        RandomSearch {
+            samples: 200,
+            seed: 0,
+        }
     }
 }
 
@@ -176,8 +179,7 @@ impl SequenceSolver for ApoptLike {
                             order_idx.push(rest);
                         }
                     }
-                    let order: Vec<NftTransaction> =
-                        order_idx.iter().map(|&i| window[i]).collect();
+                    let order: Vec<NftTransaction> = order_idx.iter().map(|&i| window[i]).collect();
                     if let Some(score) = tracker.eval(&order) {
                         let mut prefix_plus = prefix.clone();
                         prefix_plus.push(cand);
@@ -185,7 +187,7 @@ impl SequenceSolver for ApoptLike {
                     }
                 }
             }
-            next.sort_by(|a, b| b.1.cmp(&a.1));
+            next.sort_by_key(|e| std::cmp::Reverse(e.1));
             next.truncate(beam_width);
             peak_nodes = peak_nodes.max(next.len() * (frontier.first().map_or(1, |p| p.len() + 1)));
             frontier = next.into_iter().map(|(p, _)| p).collect();
@@ -246,7 +248,7 @@ impl SequenceSolver for MinosLike {
                         .unwrap_or(i128::MIN);
                     gain[i * n + j] = delta;
                     order.swap(i, j);
-                    if delta > 0 && best.map_or(true, |(_, _, d)| delta > d) {
+                    if delta > 0 && best.is_none_or(|(_, _, d)| delta > d) {
                         best = Some((i, j, delta));
                     }
                 }
@@ -294,8 +296,8 @@ impl SequenceSolver for HillClimb {
                     for j in i + 1..n {
                         order.swap(i, j);
                         if let Some(b) = tracker.eval(&order) {
-                            let improves = current.map_or(true, |c| b > c)
-                                && best.map_or(true, |(_, _, bb)| b > bb);
+                            let improves = current.is_none_or(|c| b > c)
+                                && best.is_none_or(|(_, _, bb)| b > bb);
                             if improves {
                                 best = Some((i, j, b));
                             }
@@ -332,7 +334,10 @@ pub struct SnoptLike {
 
 impl Default for SnoptLike {
     fn default() -> Self {
-        SnoptLike { seed: 0, budget_scale: 1.0 }
+        SnoptLike {
+            seed: 0,
+            budget_scale: 1.0,
+        }
     }
 }
 
@@ -439,7 +444,11 @@ mod tests {
         for result in [
             ApoptLike.solve(&env),
             MinosLike::default().solve(&env),
-            SnoptLike { seed: 3, budget_scale: 2.0 }.solve(&env),
+            SnoptLike {
+                seed: 3,
+                budget_scale: 2.0,
+            }
+            .solve(&env),
         ] {
             assert!(
                 result.best_balance >= Wei::from_milli_eth(2570),
@@ -460,9 +469,13 @@ mod tests {
         // MINOS carries the dense N×N gain matrix.
         assert!(minos.peak_memory_bytes >= n * n * std::mem::size_of::<i128>());
         // SNOPT keeps only a handful of orderings.
-        assert!(snopt.peak_memory_bytes <= 4 * n * std::mem::size_of::<parole_ovm::NftTransaction>());
+        assert!(
+            snopt.peak_memory_bytes <= 4 * n * std::mem::size_of::<parole_ovm::NftTransaction>()
+        );
         // APOPT's frontier scales with the beam (≥ N nodes).
-        assert!(apopt.peak_memory_bytes >= n * n * std::mem::size_of::<parole_ovm::NftTransaction>());
+        assert!(
+            apopt.peak_memory_bytes >= n * n * std::mem::size_of::<parole_ovm::NftTransaction>()
+        );
         // The quadratic terms dominate the sparse one asymptotically: check
         // the accounting formulas directly at N = 100 equivalents.
         let n_big = 100usize;
@@ -476,7 +489,11 @@ mod tests {
         let env = case_env();
         let exhaustive = ExhaustiveSolver.solve(&env);
         let apopt = ApoptLike.solve(&env);
-        let random = RandomSearch { samples: 50, seed: 1 }.solve(&env);
+        let random = RandomSearch {
+            samples: 50,
+            seed: 1,
+        }
+        .solve(&env);
         assert!(exhaustive.evaluations > apopt.evaluations);
         assert_eq!(random.evaluations, 50);
         // The beam search visits every level of the prefix tree.
@@ -491,8 +508,16 @@ mod tests {
         let b = MinosLike::default().solve(&env);
         assert_eq!(a.best_balance, b.best_balance);
         assert_eq!(a.evaluations, b.evaluations);
-        let s1 = SnoptLike { seed: 9, budget_scale: 1.0 }.solve(&env);
-        let s2 = SnoptLike { seed: 9, budget_scale: 1.0 }.solve(&env);
+        let s1 = SnoptLike {
+            seed: 9,
+            budget_scale: 1.0,
+        }
+        .solve(&env);
+        let s2 = SnoptLike {
+            seed: 9,
+            budget_scale: 1.0,
+        }
+        .solve(&env);
         assert_eq!(s1.best_balance, s2.best_balance);
     }
 }

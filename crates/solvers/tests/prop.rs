@@ -30,10 +30,19 @@ fn window_for(seed: u64) -> ReorderEnv {
     // Vary the window composition with the seed.
     let burn_actor = 1 + (seed % 2);
     let window = vec![
-        NftTransaction::simple(ifu, TxKind::Mint { collection: coll, token: TokenId::new(5) }),
+        NftTransaction::simple(
+            ifu,
+            TxKind::Mint {
+                collection: coll,
+                token: TokenId::new(5),
+            },
+        ),
         NftTransaction::simple(
             Address::from_low_u64(burn_actor),
-            TxKind::Burn { collection: coll, token: TokenId::new(burn_actor) },
+            TxKind::Burn {
+                collection: coll,
+                token: TokenId::new(burn_actor),
+            },
         ),
         NftTransaction::simple(
             ifu,
@@ -45,11 +54,17 @@ fn window_for(seed: u64) -> ReorderEnv {
         ),
         NftTransaction::simple(
             Address::from_low_u64(3),
-            TxKind::Mint { collection: coll, token: TokenId::new(6 + seed % 3) },
+            TxKind::Mint {
+                collection: coll,
+                token: TokenId::new(6 + seed % 3),
+            },
         ),
         NftTransaction::simple(
             Address::from_low_u64(4),
-            TxKind::Mint { collection: coll, token: TokenId::new(9) },
+            TxKind::Mint {
+                collection: coll,
+                token: TokenId::new(9),
+            },
         ),
     ];
     ReorderEnv::new(state, window, vec![ifu], RewardConfig::default())

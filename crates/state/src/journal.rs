@@ -1,0 +1,62 @@
+//! Undo-log journaling for cheap speculative forks of [`crate::L2State`].
+//!
+//! The GENTRANSEQ hot path evaluates thousands of candidate transaction
+//! orderings against the same base state. Cloning the full state per
+//! candidate is O(world size); journaling records only what each operation
+//! actually touched, so rolling back to a [`Checkpoint`] costs O(ops since
+//! the checkpoint) — usually a handful of `Copy` account records and small
+//! per-token undo entries.
+//!
+//! See `DESIGN.md` ("Journaled state forks") for why an undo log was chosen
+//! over Arc-based copy-on-write.
+
+use crate::AccountState;
+use parole_nft::{Collection, CollectionUndo};
+use parole_primitives::{Address, BlockNumber};
+
+/// An opaque position in the undo log, produced by
+/// [`crate::L2State::checkpoint`] and consumed by
+/// [`crate::L2State::revert_to`].
+///
+/// Checkpoints are only meaningful for the state that produced them, and
+/// only while that state has not been reverted past them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Checkpoint(pub(crate) usize);
+
+/// One journaled mutation, storing whatever is needed to undo it.
+///
+/// Account records are `Copy` (balance + nonce), so the common entries are
+/// a few dozen bytes. `CollectionSnapshot` is the escape hatch for raw
+/// `collection_mut` access, which can mutate arbitrarily; the OVM hot path
+/// never takes it.
+#[derive(Debug)]
+pub(crate) enum JournalEntry {
+    /// An account was created or mutated; `prev: None` means it did not
+    /// exist before.
+    Account {
+        who: Address,
+        prev: Option<AccountState>,
+    },
+    /// The block number advanced.
+    Block { prev: BlockNumber },
+    /// A collection was deployed at a previously free address.
+    CollectionDeployed { addr: Address },
+    /// A mint/transfer/burn ran through an undoable collection operation.
+    TokenOp { addr: Address, undo: CollectionUndo },
+    /// Raw mutable access was handed out; the whole prior collection is
+    /// retained (boxed to keep the enum small).
+    CollectionSnapshot {
+        addr: Address,
+        prev: Box<Collection>,
+    },
+}
+
+/// The undo log attached to an [`crate::L2State`].
+///
+/// Not serialized and not carried across clones: a checkpoint indexes one
+/// particular state's mutation history and is meaningless anywhere else.
+#[derive(Debug, Default)]
+pub(crate) struct Journal {
+    pub(crate) entries: Vec<JournalEntry>,
+    pub(crate) recording: bool,
+}

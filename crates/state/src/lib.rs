@@ -29,7 +29,9 @@
 #![warn(missing_docs)]
 
 mod account;
+mod journal;
 mod world;
 
 pub use account::AccountState;
+pub use journal::Checkpoint;
 pub use world::{L2State, StateError};

@@ -1,9 +1,10 @@
 //! The complete L2 world state.
 
-use crate::AccountState;
+use crate::journal::{Journal, JournalEntry};
+use crate::{AccountState, Checkpoint};
 use parole_crypto::{keccak256, Hash32, MerkleTree};
-use parole_nft::{Collection, CollectionConfig};
-use parole_primitives::{Address, BlockNumber, PrimitiveError, Wei};
+use parole_nft::{Collection, CollectionConfig, NftError};
+use parole_primitives::{Address, BlockNumber, PrimitiveError, TokenId, Wei};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -29,7 +30,11 @@ pub enum StateError {
 impl fmt::Display for StateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StateError::InsufficientBalance { account, held, requested } => write!(
+            StateError::InsufficientBalance {
+                account,
+                held,
+                requested,
+            } => write!(
                 f,
                 "insufficient balance: {account} holds {held}, needs {requested}"
             ),
@@ -56,13 +61,41 @@ impl From<PrimitiveError> for StateError {
 
 /// The L2 chain's world state: accounts plus deployed NFT collections.
 ///
-/// `L2State` is `Clone`; a clone is an independent speculative fork. See the
-/// crate docs for how the attack machinery uses that.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// `L2State` is `Clone`; a clone is an independent speculative fork. For the
+/// reorder-search hot path there is a much cheaper forking mechanism: switch
+/// on [`L2State::begin_recording`] and use [`L2State::checkpoint`] /
+/// [`L2State::revert_to`] to roll mutations back in place instead of cloning
+/// the whole world per candidate. See the crate docs for how the attack
+/// machinery uses both.
+#[derive(Debug, Serialize, Deserialize)]
 pub struct L2State {
     accounts: BTreeMap<Address, AccountState>,
     collections: BTreeMap<Address, Collection>,
     block: BlockNumber,
+    /// Undo log for in-place speculative execution. Deliberately excluded
+    /// from serialization, equality and clones: checkpoints index *this*
+    /// state's mutation history and are meaningless anywhere else.
+    #[serde(skip)]
+    journal: Journal,
+}
+
+impl Clone for L2State {
+    fn clone(&self) -> Self {
+        L2State {
+            accounts: self.accounts.clone(),
+            collections: self.collections.clone(),
+            block: self.block,
+            journal: Journal::default(),
+        }
+    }
+}
+
+impl PartialEq for L2State {
+    fn eq(&self, other: &Self) -> bool {
+        self.accounts == other.accounts
+            && self.collections == other.collections
+            && self.block == other.block
+    }
 }
 
 impl L2State {
@@ -72,6 +105,72 @@ impl L2State {
             accounts: BTreeMap::new(),
             collections: BTreeMap::new(),
             block: BlockNumber::default(),
+            journal: Journal::default(),
+        }
+    }
+
+    /// Switches on undo-log journaling: every subsequent mutation records
+    /// enough to be rolled back via [`L2State::revert_to`].
+    ///
+    /// Recording is off by default (zero overhead for states that never
+    /// speculate) and is not carried across clones.
+    pub fn begin_recording(&mut self) {
+        self.journal.recording = true;
+    }
+
+    /// Whether mutations are currently journaled.
+    pub fn is_recording(&self) -> bool {
+        self.journal.recording
+    }
+
+    /// Marks the current point in the undo log.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint(self.journal.entries.len())
+    }
+
+    /// Rolls back every mutation journaled after `cp`, newest first,
+    /// restoring the exact state that existed when the checkpoint was
+    /// taken. Checkpoints taken after `cp` are invalidated.
+    ///
+    /// Reverting to a checkpoint from a different state (or one already
+    /// reverted past) is a logic error; it either panics or silently
+    /// reconstructs garbage.
+    pub fn revert_to(&mut self, cp: Checkpoint) {
+        while self.journal.entries.len() > cp.0 {
+            match self.journal.entries.pop().expect("length checked") {
+                JournalEntry::Account { who, prev } => match prev {
+                    Some(acct) => {
+                        self.accounts.insert(who, acct);
+                    }
+                    None => {
+                        self.accounts.remove(&who);
+                    }
+                },
+                JournalEntry::Block { prev } => self.block = prev,
+                JournalEntry::CollectionDeployed { addr } => {
+                    self.collections.remove(&addr);
+                }
+                JournalEntry::TokenOp { addr, undo } => self
+                    .collections
+                    .get_mut(&addr)
+                    .expect("journaled collection exists")
+                    .apply_undo(undo),
+                JournalEntry::CollectionSnapshot { addr, prev } => {
+                    self.collections.insert(addr, *prev);
+                }
+            }
+        }
+    }
+
+    /// Journals the full prior record of `who` (cheap: `AccountState` is
+    /// `Copy`) if recording is on. Must be called before the mutation.
+    #[inline]
+    fn journal_account(&mut self, who: Address) {
+        if self.journal.recording {
+            self.journal.entries.push(JournalEntry::Account {
+                who,
+                prev: self.accounts.get(&who).copied(),
+            });
         }
     }
 
@@ -82,6 +181,11 @@ impl L2State {
 
     /// Advances the block number (called by the rollup when a batch seals).
     pub fn advance_block(&mut self) {
+        if self.journal.recording {
+            self.journal
+                .entries
+                .push(JournalEntry::Block { prev: self.block });
+        }
         self.block = self.block.next();
     }
 
@@ -102,6 +206,7 @@ impl L2State {
 
     /// Credits `amount` to `who`, creating the account if needed.
     pub fn credit(&mut self, who: Address, amount: Wei) {
+        self.journal_account(who);
         self.accounts.entry(who).or_default().balance += amount;
     }
 
@@ -121,6 +226,7 @@ impl L2State {
                 requested: amount,
             });
         }
+        self.journal_account(who);
         self.accounts.entry(who).or_default().balance -= amount;
         Ok(())
     }
@@ -144,6 +250,7 @@ impl L2State {
 
     /// Bumps `who`'s nonce, creating the account if needed.
     pub fn bump_nonce(&mut self, who: Address) {
+        self.journal_account(who);
         let acct = self.accounts.entry(who).or_default();
         acct.nonce = acct.nonce.next();
     }
@@ -181,6 +288,11 @@ impl L2State {
         if self.collections.contains_key(&addr) {
             return Err(StateError::AddressOccupied(addr));
         }
+        if self.journal.recording {
+            self.journal
+                .entries
+                .push(JournalEntry::CollectionDeployed { addr });
+        }
         self.collections.insert(addr, Collection::new(config));
         Ok(())
     }
@@ -192,14 +304,116 @@ impl L2State {
 
     /// Mutable access to the collection at `addr`.
     ///
+    /// While recording, this journals a snapshot of the *entire* collection
+    /// (the caller can mutate arbitrarily through the returned reference).
+    /// Hot paths should prefer [`L2State::nft_mint`] /
+    /// [`L2State::nft_transfer`] / [`L2State::nft_burn`], which journal a
+    /// small per-token undo record instead.
+    ///
     /// # Errors
     ///
     /// Returns [`StateError::NoSuchCollection`] when nothing is deployed
     /// there.
     pub fn collection_mut(&mut self, addr: Address) -> Result<&mut Collection, StateError> {
+        if self.journal.recording {
+            let prev = self
+                .collections
+                .get(&addr)
+                .ok_or(StateError::NoSuchCollection(addr))?
+                .clone();
+            self.journal.entries.push(JournalEntry::CollectionSnapshot {
+                addr,
+                prev: Box::new(prev),
+            });
+        }
         self.collections
             .get_mut(&addr)
             .ok_or(StateError::NoSuchCollection(addr))
+    }
+
+    /// Mints `token` to `to` on the collection at `collection`, journaling a
+    /// cheap per-token undo record when recording.
+    ///
+    /// The outer `Result` reports state-level failure (no such collection);
+    /// the inner one the contract-level constraints of [`Collection::mint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_mint(
+        &mut self,
+        collection: Address,
+        to: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        let coll = self
+            .collections
+            .get_mut(&collection)
+            .ok_or(StateError::NoSuchCollection(collection))?;
+        Ok(coll.mint_undoable(to, token).map(|undo| {
+            if self.journal.recording {
+                self.journal.entries.push(JournalEntry::TokenOp {
+                    addr: collection,
+                    undo,
+                });
+            }
+        }))
+    }
+
+    /// Transfers `token` from `from` to `to`, journaling a cheap per-token
+    /// undo record when recording. Error structure as [`L2State::nft_mint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_transfer(
+        &mut self,
+        collection: Address,
+        from: Address,
+        to: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        let coll = self
+            .collections
+            .get_mut(&collection)
+            .ok_or(StateError::NoSuchCollection(collection))?;
+        Ok(coll.transfer_undoable(from, to, token).map(|undo| {
+            if self.journal.recording {
+                self.journal.entries.push(JournalEntry::TokenOp {
+                    addr: collection,
+                    undo,
+                });
+            }
+        }))
+    }
+
+    /// Burns `token`, journaling a cheap per-token undo record when
+    /// recording. Error structure as [`L2State::nft_mint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_burn(
+        &mut self,
+        collection: Address,
+        owner: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        let coll = self
+            .collections
+            .get_mut(&collection)
+            .ok_or(StateError::NoSuchCollection(collection))?;
+        Ok(coll.burn_undoable(owner, token).map(|undo| {
+            if self.journal.recording {
+                self.journal.entries.push(JournalEntry::TokenOp {
+                    addr: collection,
+                    undo,
+                });
+            }
+        }))
     }
 
     /// Iterates over `(address, collection)` pairs in address order.
@@ -306,11 +520,14 @@ mod tests {
         s.credit(addr(1), Wei::from_eth(5));
         s.credit(addr(2), Wei::from_eth(1));
         let before = s.total_supply();
-        s.transfer_balance(addr(1), addr(2), Wei::from_eth(2)).unwrap();
+        s.transfer_balance(addr(1), addr(2), Wei::from_eth(2))
+            .unwrap();
         assert_eq!(s.total_supply(), before);
         assert_eq!(s.balance_of(addr(2)), Wei::from_eth(3));
         // Failed transfer leaves everything alone.
-        assert!(s.transfer_balance(addr(2), addr(1), Wei::from_eth(100)).is_err());
+        assert!(s
+            .transfer_balance(addr(2), addr(1), Wei::from_eth(100))
+            .is_err());
         assert_eq!(s.total_supply(), before);
     }
 
@@ -350,12 +567,18 @@ mod tests {
         let mut a = L2State::new();
         a.credit(addr(1), Wei::from_eth(1));
         let pt = a.deploy_collection(CollectionConfig::parole_token());
-        a.collection_mut(pt).unwrap().mint(addr(1), TokenId::new(0)).unwrap();
+        a.collection_mut(pt)
+            .unwrap()
+            .mint(addr(1), TokenId::new(0))
+            .unwrap();
 
         let mut b = L2State::new();
         b.credit(addr(1), Wei::from_eth(1));
         let pt_b = b.deploy_collection(CollectionConfig::parole_token());
-        b.collection_mut(pt_b).unwrap().mint(addr(1), TokenId::new(0)).unwrap();
+        b.collection_mut(pt_b)
+            .unwrap()
+            .mint(addr(1), TokenId::new(0))
+            .unwrap();
 
         assert_eq!(a.state_root(), b.state_root());
 
@@ -368,7 +591,10 @@ mod tests {
     fn state_root_tracks_nft_ownership() {
         let mut s = L2State::new();
         let pt = s.deploy_collection(CollectionConfig::parole_token());
-        s.collection_mut(pt).unwrap().mint(addr(1), TokenId::new(0)).unwrap();
+        s.collection_mut(pt)
+            .unwrap()
+            .mint(addr(1), TokenId::new(0))
+            .unwrap();
         let before = s.state_root();
         s.collection_mut(pt)
             .unwrap()
@@ -401,5 +627,102 @@ mod tests {
     #[test]
     fn empty_state_has_sentinel_root() {
         assert!(L2State::new().state_root().is_zero());
+    }
+
+    /// A state with accounts, a collection and some minted tokens, used as
+    /// the base for the journaling tests.
+    fn journaled_fixture() -> (L2State, Address) {
+        let mut s = L2State::new();
+        s.credit(addr(1), Wei::from_eth(5));
+        s.credit(addr(2), Wei::from_eth(1));
+        let pt = s.deploy_collection(CollectionConfig::parole_token());
+        {
+            let coll = s.collection_mut(pt).unwrap();
+            coll.mint(addr(1), TokenId::new(0)).unwrap();
+            coll.mint(addr(2), TokenId::new(1)).unwrap();
+        }
+        s.begin_recording();
+        (s, pt)
+    }
+
+    #[test]
+    fn revert_restores_accounts_block_and_collections() {
+        let (mut s, pt) = journaled_fixture();
+        let baseline = s.clone();
+        let cp = s.checkpoint();
+
+        s.credit(addr(3), Wei::from_eth(2)); // fresh account
+        s.debit(addr(1), Wei::from_eth(1)).unwrap();
+        s.bump_nonce(addr(2));
+        s.advance_block();
+        s.nft_mint(pt, addr(3), TokenId::new(2)).unwrap().unwrap();
+        s.nft_transfer(pt, addr(1), addr(2), TokenId::new(0))
+            .unwrap()
+            .unwrap();
+        s.nft_burn(pt, addr(2), TokenId::new(1)).unwrap().unwrap();
+        s.deploy_collection(CollectionConfig::limited_edition("X", 4, 100));
+        assert_ne!(s, baseline);
+
+        s.revert_to(cp);
+        assert_eq!(s, baseline);
+        assert_eq!(s.state_root(), baseline.state_root());
+        // The fresh account is gone entirely, not just zeroed.
+        assert!(s.account(addr(3)).is_none());
+    }
+
+    #[test]
+    fn nested_checkpoints_revert_in_layers() {
+        let (mut s, pt) = journaled_fixture();
+        let cp0 = s.checkpoint();
+        s.nft_mint(pt, addr(1), TokenId::new(5)).unwrap().unwrap();
+        let mid = s.clone();
+        let cp1 = s.checkpoint();
+        s.nft_burn(pt, addr(1), TokenId::new(5)).unwrap().unwrap();
+        s.nft_mint(pt, addr(2), TokenId::new(6)).unwrap().unwrap();
+
+        s.revert_to(cp1);
+        assert_eq!(s, mid);
+        s.revert_to(cp0);
+        assert!(s
+            .collection(pt)
+            .unwrap()
+            .owner_of(TokenId::new(5))
+            .is_none());
+    }
+
+    #[test]
+    fn collection_mut_snapshot_fallback_reverts() {
+        let (mut s, pt) = journaled_fixture();
+        let baseline = s.clone();
+        let cp = s.checkpoint();
+        s.collection_mut(pt)
+            .unwrap()
+            .approve(addr(1), addr(9), TokenId::new(0))
+            .unwrap();
+        s.revert_to(cp);
+        assert_eq!(s, baseline);
+    }
+
+    #[test]
+    fn clone_does_not_inherit_recording() {
+        let (s, _) = journaled_fixture();
+        assert!(s.is_recording());
+        let fork = s.clone();
+        assert!(!fork.is_recording());
+        // Equality ignores the journal entirely.
+        assert_eq!(s, fork);
+    }
+
+    #[test]
+    fn failed_operations_leave_revert_exact() {
+        let (mut s, pt) = journaled_fixture();
+        let baseline = s.clone();
+        let cp = s.checkpoint();
+        // Contract-level failures mutate nothing and journal nothing.
+        assert!(s.nft_mint(pt, addr(1), TokenId::new(0)).unwrap().is_err());
+        assert!(s.nft_burn(pt, addr(1), TokenId::new(1)).unwrap().is_err());
+        assert!(s.debit(addr(2), Wei::from_eth(50)).is_err());
+        s.revert_to(cp);
+        assert_eq!(s, baseline);
     }
 }

@@ -19,8 +19,11 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (1u64..6, 1u64..10).prop_map(|(user, amount)| Op::Credit { user, amount }),
         (1u64..6, 1u64..10).prop_map(|(user, amount)| Op::Debit { user, amount }),
-        (1u64..6, 1u64..6, 1u64..10)
-            .prop_map(|(from, to, amount)| Op::Transfer { from, to, amount }),
+        (1u64..6, 1u64..6, 1u64..10).prop_map(|(from, to, amount)| Op::Transfer {
+            from,
+            to,
+            amount
+        }),
         (1u64..6, 0u64..8).prop_map(|(user, token)| Op::Mint { user, token }),
         (1u64..6, 0u64..8).prop_map(|(user, token)| Op::Burn { user, token }),
     ]
@@ -37,18 +40,16 @@ fn apply(state: &mut L2State, coll: Address, op: &Op) {
             let _ = state.transfer_balance(a(from), a(to), Wei::from_milli_eth(amount));
         }
         Op::Mint { user, token } => {
-            let _ = state
-                .collection_mut(coll)
-                .and_then(|c| c.mint(a(user), TokenId::new(token)).map_err(|_| {
-                    parole_state::StateError::NoSuchCollection(coll)
-                }));
+            let _ = state.collection_mut(coll).and_then(|c| {
+                c.mint(a(user), TokenId::new(token))
+                    .map_err(|_| parole_state::StateError::NoSuchCollection(coll))
+            });
         }
         Op::Burn { user, token } => {
-            let _ = state
-                .collection_mut(coll)
-                .and_then(|c| c.burn(a(user), TokenId::new(token)).map_err(|_| {
-                    parole_state::StateError::NoSuchCollection(coll)
-                }));
+            let _ = state.collection_mut(coll).and_then(|c| {
+                c.burn(a(user), TokenId::new(token))
+                    .map_err(|_| parole_state::StateError::NoSuchCollection(coll))
+            });
         }
     }
 }

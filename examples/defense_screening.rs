@@ -18,13 +18,19 @@ use parole_primitives::Wei;
 
 fn main() {
     let cs = CaseStudy::paper_setup();
-    println!("window of {} transactions awaiting sequencing:", cs.window().len());
+    println!(
+        "window of {} transactions awaiting sequencing:",
+        cs.window().len()
+    );
     for (i, tx) in cs.window().iter().enumerate() {
         println!("  TX{}: {tx}", i + 1);
     }
 
     let candidates = candidate_beneficiaries(cs.window());
-    println!("\nusers involved in >= 2 transactions (potential IFUs): {}", candidates.len());
+    println!(
+        "\nusers involved in >= 2 transactions (potential IFUs): {}",
+        candidates.len()
+    );
 
     let config = DefenseConfig {
         threshold: Wei::from_milli_eth(50),
@@ -46,7 +52,10 @@ fn main() {
         for tx in &outcome.deferred {
             println!("  {tx}");
         }
-        println!("admitted this block: {} transactions", outcome.admitted.len());
+        println!(
+            "admitted this block: {} transactions",
+            outcome.admitted.len()
+        );
     } else {
         println!("\nwindow admitted untouched");
     }

@@ -38,10 +38,16 @@ fn main() {
         rollup.bond_aggregator(AggregatorId::new(0));
         let mut setup_agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
         let mut seed_txs = Vec::new();
-        for (i, owner) in [ifu, ifu, users[0], users[1], users[2], users[3]].iter().enumerate() {
+        for (i, owner) in [ifu, ifu, users[0], users[1], users[2], users[3]]
+            .iter()
+            .enumerate()
+        {
             seed_txs.push(parole_ovm::NftTransaction::simple(
                 *owner,
-                parole_ovm::TxKind::Mint { collection: drop, token: TokenId::new(i as u64) },
+                parole_ovm::TxKind::Mint {
+                    collection: drop,
+                    token: TokenId::new(i as u64),
+                },
             ));
         }
         let batch = setup_agg.build_batch(rollup.l2_state(), seed_txs);
@@ -52,7 +58,10 @@ fn main() {
         "drop seeded: {}",
         rollup.l2_state().collection(drop).unwrap()
     );
-    println!("IFU starts with total balance {}", rollup.l2_state().total_balance_of(ifu));
+    println!(
+        "IFU starts with total balance {}",
+        rollup.l2_state().total_balance_of(ifu)
+    );
 
     // --- Drop-day traffic into Bedrock's private mempool ------------------
     let mut mempool = BedrockMempool::new(Wei::from_gwei(1));
@@ -67,7 +76,10 @@ fn main() {
         },
     );
     let traffic = generator.generate(rollup.l2_state(), drop, &users, &[ifu], 24);
-    println!("\n{} drop-day transactions entered the mempool", traffic.len());
+    println!(
+        "\n{} drop-day transactions entered the mempool",
+        traffic.len()
+    );
     mempool.submit_all(traffic);
 
     // --- Two aggregators collect fee-ordered windows ----------------------
@@ -77,7 +89,8 @@ fn main() {
     let verifier = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
 
     let strategy = ParoleStrategy::new(ParoleModule::new(GentranseqModule::fast()), vec![ifu]);
-    let mut adversary = Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
+    let mut adversary =
+        Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
     let mut honest = Aggregator::honest(AggregatorId::new(2), Wei::from_eth(10));
 
     let ifu_before = rollup.l2_state().total_balance_of(ifu);
@@ -114,6 +127,8 @@ fn main() {
         rollup.undetected_forgeries()
     );
     if let Some((profit, seen, exploited)) = adversary.strategy_stats() {
-        println!("adversary stats: {exploited}/{seen} windows exploited, cumulative profit {profit}");
+        println!(
+            "adversary stats: {exploited}/{seen} windows exploited, cumulative profit {profit}"
+        );
     }
 }

@@ -14,17 +14,30 @@ use parole::{assess, GentranseqModule, ParoleModule};
 fn main() {
     // 1. The world: paper Fig. 5 initial conditions.
     let cs = CaseStudy::paper_setup();
-    println!("collection: {}", cs.state().collection(cs.collection).unwrap());
-    println!("IFU {} starts with total balance {}", cs.ifu, cs.state().total_balance_of(cs.ifu));
+    println!(
+        "collection: {}",
+        cs.state().collection(cs.collection).unwrap()
+    );
+    println!(
+        "IFU {} starts with total balance {}",
+        cs.ifu,
+        cs.state().total_balance_of(cs.ifu)
+    );
 
     // 2. The honest outcome: execute the fee order.
     let honest = cs.evaluate(&cs.original_order());
-    println!("\nhonest (fee-order) execution → IFU ends with {}", honest.final_total_balance);
+    println!(
+        "\nhonest (fee-order) execution → IFU ends with {}",
+        honest.final_total_balance
+    );
 
     // 3. The adversarial aggregator's view: is this window worth attacking?
     let assessment = assess(cs.window(), &[cs.ifu]);
     println!("\narbitrage assessment: {assessment}");
-    assert!(assessment.opportunity, "the case-study window is attackable");
+    assert!(
+        assessment.opportunity,
+        "the case-study window is attackable"
+    );
 
     // 4. Run the full PAROLE pipeline (assessment + GENTRANSEQ DQN).
     let module = ParoleModule::new(GentranseqModule::fast());

@@ -21,14 +21,20 @@ fn main() {
         .l2_state_for_setup()
         .deploy_collection(CollectionConfig::parole_token());
     rollup.commit_setup();
-    println!("deployed ORSC with challenge period of {} L1 blocks", rollup.config().challenge_period);
+    println!(
+        "deployed ORSC with challenge period of {} L1 blocks",
+        rollup.config().challenge_period
+    );
 
     // --- Bridge deposits (C^L1 -> t^L2) -------------------------------------
     let alice = Address::from_low_u64(1);
     let bob = Address::from_low_u64(2);
     rollup.deposit(alice, Wei::from_eth(3)).unwrap();
     rollup.deposit(bob, Wei::from_eth(3)).unwrap();
-    println!("alice bridged {} to L2", rollup.l2_state().balance_of(alice));
+    println!(
+        "alice bridged {} to L2",
+        rollup.l2_state().balance_of(alice)
+    );
 
     // --- Participants post bonds -------------------------------------------
     rollup.bond_aggregator(AggregatorId::new(0));
@@ -40,32 +46,53 @@ fn main() {
 
     // --- An honest batch -----------------------------------------------------
     let txs = vec![
-        NftTransaction::simple(alice, TxKind::Mint { collection: pt, token: TokenId::new(0) }),
         NftTransaction::simple(
             alice,
-            TxKind::Transfer { collection: pt, token: TokenId::new(0), to: bob },
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+        ),
+        NftTransaction::simple(
+            alice,
+            TxKind::Transfer {
+                collection: pt,
+                token: TokenId::new(0),
+                to: bob,
+            },
         ),
     ];
     let batch = honest.build_batch(rollup.l2_state(), txs);
     println!("\nhonest batch: {batch}");
-    println!("verifier validates it: {}", verifier.validate(rollup.l2_state(), &batch));
+    println!(
+        "verifier validates it: {}",
+        verifier.validate(rollup.l2_state(), &batch)
+    );
     let id = rollup.submit_batch(batch).unwrap();
     println!("submitted as {id}");
 
     // --- A forged batch gets challenged --------------------------------------
     let forged_txs = vec![NftTransaction::simple(
         bob,
-        TxKind::Mint { collection: pt, token: TokenId::new(1) },
+        TxKind::Mint {
+            collection: pt,
+            token: TokenId::new(1),
+        },
     )];
     let forged = crooked.build_forged_batch(rollup.l2_state(), forged_txs);
-    println!("\nforged batch claims post-root {}", forged.commitment.post_state_root.short());
+    println!(
+        "\nforged batch claims post-root {}",
+        forged.commitment.post_state_root.short()
+    );
     let pre_state_ok = verifier.should_challenge(rollup.l2_state(), &forged);
     println!("verifier smells fraud: {pre_state_ok}");
     let forged_id = rollup.submit_batch(forged).unwrap();
 
     match rollup.challenge(VerifierId::new(0), forged_id).unwrap() {
         ChallengeOutcome::FraudProven { slashed, reward } => {
-            println!("challenge succeeded: aggregator slashed {slashed}, verifier rewarded {reward}");
+            println!(
+                "challenge succeeded: aggregator slashed {slashed}, verifier rewarded {reward}"
+            );
         }
         other => println!("unexpected outcome: {other:?}"),
     }

@@ -70,7 +70,7 @@ fn headline_gains_match_paper_discussion() {
     assert_eq!(case1.final_l2_balance, milli(1000));
     assert_eq!(case2.final_l2_balance, milli(1070)); // +7%
     assert_eq!(case3.final_l2_balance, milli(1240)); // +24%
-    // And in all three cases the PT holdings are 3 tokens at 0.5 ETH.
+                                                     // And in all three cases the PT holdings are 3 tokens at 0.5 ETH.
     for report in [&case1, &case2, &case3] {
         let last = report.rows.last().unwrap();
         assert_eq!(last.ifu_tokens, 3);
@@ -92,7 +92,9 @@ fn gentranseq_beats_case1_and_reaches_at_least_case3() {
     );
     // Everything the DQN outputs must still execute.
     let report_balance = {
-        let env = module.gentranseq().environment(cs.state(), cs.window(), &[cs.ifu]);
+        let env = module
+            .gentranseq()
+            .environment(cs.state(), cs.window(), &[cs.ifu]);
         env.balance_of_order(&outcome.best_order)
             .expect("the emitted order is valid")
     };

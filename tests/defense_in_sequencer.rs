@@ -128,23 +128,48 @@ fn attack_works_across_multiple_collections() {
 
     let window = vec![
         // IFU mints in collection A (price mover in A).
-        NftTransaction::simple(ifu, TxKind::Mint { collection: coll_a, token: TokenId::new(3) }),
+        NftTransaction::simple(
+            ifu,
+            TxKind::Mint {
+                collection: coll_a,
+                token: TokenId::new(3),
+            },
+        ),
         // Unrelated burn in A (price mover the IFU wants re-positioned).
-        NftTransaction::simple(addr(2), TxKind::Burn { collection: coll_a, token: TokenId::new(2) }),
+        NftTransaction::simple(
+            addr(2),
+            TxKind::Burn {
+                collection: coll_a,
+                token: TokenId::new(2),
+            },
+        ),
         // IFU sells in B.
         NftTransaction::simple(
             ifu,
-            TxKind::Transfer { collection: coll_b, token: TokenId::new(0), to: addr(1) },
+            TxKind::Transfer {
+                collection: coll_b,
+                token: TokenId::new(0),
+                to: addr(1),
+            },
         ),
         // Unrelated mint in B (price mover in B).
-        NftTransaction::simple(addr(1), TxKind::Mint { collection: coll_b, token: TokenId::new(2) }),
+        NftTransaction::simple(
+            addr(1),
+            TxKind::Mint {
+                collection: coll_b,
+                token: TokenId::new(2),
+            },
+        ),
     ];
     // Sanity: the whole window executes in order.
     let (receipts, _) = Ovm::new().simulate_sequence(&state, &window);
     assert!(receipts.iter().all(|r| r.is_success()));
 
     let assessment = assess(&window, &[ifu]);
-    assert!(assessment.opportunity, "cross-collection window is assessable");
+    assert!(
+        assessment.opportunity,
+        "cross-collection window is assessable"
+    );
 
     let module = ParoleModule::new(GentranseqModule::fast());
     let outcome = module.process(&[ifu], &state, &window);

@@ -40,7 +40,10 @@ fn world() -> World {
         .map(|(i, &owner)| {
             parole_ovm::NftTransaction::simple(
                 owner,
-                parole_ovm::TxKind::Mint { collection, token: TokenId::new(i as u64) },
+                parole_ovm::TxKind::Mint {
+                    collection,
+                    token: TokenId::new(i as u64),
+                },
             )
         })
         .collect();
@@ -152,8 +155,10 @@ fn defense_screening_neutralizes_the_window() {
             "screening must shrink the attack: {screened_profit} vs {raw_profit}"
         );
     } else {
-        assert!(raw_profit <= Wei::from_milli_eth(5).wei() as i128 * 4,
-            "non-intervention is only acceptable for near-clean windows");
+        assert!(
+            raw_profit <= Wei::from_milli_eth(5).wei() as i128 * 4,
+            "non-intervention is only acceptable for near-clean windows"
+        );
     }
     // Deferral never loses transactions.
     assert_eq!(
@@ -178,8 +183,7 @@ fn multi_batch_attack_session_accumulates_profit() {
         },
     );
     for round in 0..3 {
-        let window =
-            generator.generate(w.rollup.l2_state(), w.collection, &w.users, &[w.ifu], 10);
+        let window = generator.generate(w.rollup.l2_state(), w.collection, &w.users, &[w.ifu], 10);
         if window.is_empty() {
             continue;
         }
@@ -191,7 +195,10 @@ fn multi_batch_attack_session_accumulates_profit() {
     }
     let (profit, seen, _) = adversary.strategy_stats().expect("parole strategy");
     assert_eq!(seen, 3);
-    assert!(!profit.is_loss(), "cumulative attack profit cannot be negative");
+    assert!(
+        !profit.is_loss(),
+        "cumulative attack profit cannot be negative"
+    );
     assert_eq!(w.rollup.undetected_forgeries(), 0);
     assert!(w.rollup.l1().verify_integrity());
 }

@@ -7,9 +7,7 @@ use parole_crypto::Wallet;
 use parole_nft::CollectionConfig;
 use parole_ovm::{NftTransaction, Ovm, OvmConfig, TxKind};
 use parole_primitives::{Address, AggregatorId, FeeBundle, TokenId, TxNonce, VerifierId, Wei};
-use parole_rollup::{
-    Aggregator, ChallengeOutcome, RollupConfig, RollupContract, Verifier,
-};
+use parole_rollup::{Aggregator, ChallengeOutcome, RollupConfig, RollupContract, Verifier};
 
 fn addr(v: u64) -> Address {
     Address::from_low_u64(v)
@@ -37,7 +35,10 @@ fn forged_batch_cannot_survive_an_honest_verifier() {
 
     let txs = vec![NftTransaction::simple(
         addr(1),
-        TxKind::Mint { collection: pt, token: TokenId::new(0) },
+        TxKind::Mint {
+            collection: pt,
+            token: TokenId::new(0),
+        },
     )];
     let forged = crooked.build_forged_batch(rollup.l2_state(), txs);
     assert!(verifier.should_challenge(rollup.l2_state(), &forged));
@@ -48,7 +49,11 @@ fn forged_batch_cannot_survive_an_honest_verifier() {
     rollup.finalize_all();
     assert_eq!(rollup.undetected_forgeries(), 0);
     assert_eq!(
-        rollup.finalized_state().collection(pt).unwrap().active_supply(),
+        rollup
+            .finalized_state()
+            .collection(pt)
+            .unwrap()
+            .active_supply(),
         0
     );
 }
@@ -64,7 +69,10 @@ fn slashed_aggregator_cannot_submit_again() {
         rollup.l2_state(),
         vec![NftTransaction::simple(
             addr(1),
-            TxKind::Mint { collection: pt, token: TokenId::new(0) },
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
         )],
     );
     let id = rollup.submit_batch(forged).unwrap();
@@ -75,7 +83,10 @@ fn slashed_aggregator_cannot_submit_again() {
         rollup.l2_state(),
         vec![NftTransaction::simple(
             addr(2),
-            TxKind::Mint { collection: pt, token: TokenId::new(1) },
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(1),
+            },
         )],
     );
     assert!(matches!(
@@ -94,7 +105,10 @@ fn deep_batch_chain_finalizes_in_order_with_consistent_roots() {
     for k in 0..5u64 {
         let tx = NftTransaction::simple(
             addr(1 + k % 3),
-            TxKind::Mint { collection: pt, token: TokenId::new(k) },
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(k),
+            },
         );
         let batch = agg.build_batch(rollup.l2_state(), vec![tx]);
         rollup.submit_batch(batch).unwrap();
@@ -109,7 +123,11 @@ fn deep_batch_chain_finalizes_in_order_with_consistent_roots() {
         "canonical and staged states converge when nothing is pending"
     );
     assert_eq!(
-        rollup.finalized_state().collection(pt).unwrap().active_supply(),
+        rollup
+            .finalized_state()
+            .collection(pt)
+            .unwrap()
+            .active_supply(),
         5
     );
     assert!(rollup.l1().verify_integrity());
@@ -125,7 +143,10 @@ fn deposits_and_withdrawals_interleave_with_batches() {
         rollup.l2_state(),
         vec![NftTransaction::simple(
             addr(1),
-            TxKind::Mint { collection: pt, token: TokenId::new(0) },
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
         )],
     );
     rollup.submit_batch(batch).unwrap();
@@ -136,7 +157,10 @@ fn deposits_and_withdrawals_interleave_with_batches() {
     let state = rollup.finalized_state();
     assert_eq!(state.balance_of(addr(9)), Wei::from_eth(7));
     assert_eq!(state.balance_of(addr(2)), Wei::from_eth(4));
-    assert!(state.collection(pt).unwrap().is_owner(addr(1), TokenId::new(0)));
+    assert!(state
+        .collection(pt)
+        .unwrap()
+        .is_owner(addr(1), TokenId::new(0)));
 }
 
 #[test]
@@ -149,7 +173,10 @@ fn signed_transactions_enforce_authenticity_through_the_pipeline() {
 
     let good = NftTransaction::signed(
         &wallet,
-        TxKind::Mint { collection: pt, token: TokenId::new(0) },
+        TxKind::Mint {
+            collection: pt,
+            token: TokenId::new(0),
+        },
         FeeBundle::from_gwei(30, 2),
         TxNonce::new(0),
     );
@@ -193,7 +220,10 @@ fn gas_fees_drain_spammers_when_enabled() {
     for _ in 0..3 {
         let tx = NftTransaction::simple(
             spammer,
-            TxKind::Burn { collection: pt, token: TokenId::new(0) },
+            TxKind::Burn {
+                collection: pt,
+                token: TokenId::new(0),
+            },
         );
         let receipt = ovm.execute(&mut state, &tx);
         assert!(!receipt.is_success());

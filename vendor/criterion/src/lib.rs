@@ -205,7 +205,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut f:
     };
     f(&mut bencher);
     let (value, unit) = humanize(bencher.ns_per_iter);
-    println!("{label:<50} {value:>10.3} {unit}/iter ({} iters)", bencher.iters);
+    println!(
+        "{label:<50} {value:>10.3} {unit}/iter ({} iters)",
+        bencher.iters
+    );
 }
 
 fn humanize(ns: f64) -> (f64, &'static str) {

@@ -62,10 +62,7 @@ mod tests {
     fn scope_joins_and_collects() {
         let data = [1u64, 2, 3, 4];
         let total: u64 = crate::thread::scope(|scope| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&v| scope.spawn(move |_| v * 10))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&v| scope.spawn(move |_| v * 10)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

@@ -100,7 +100,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected 1000 samples in a row", self.whence)
+        panic!(
+            "prop_filter '{}' rejected 1000 samples in a row",
+            self.whence
+        )
     }
 }
 
@@ -158,7 +161,9 @@ impl Strategy for Range<u128> {
     fn sample(&self, rng: &mut TestRng) -> u128 {
         assert!(self.start < self.end, "cannot sample empty range");
         let span = self.end - self.start;
-        let draw = ((rng.gen_range(0u64..u64::MAX) as u128) << 64 | rng.gen_range(0u64..u64::MAX) as u128) % span;
+        let draw = ((rng.gen_range(0u64..u64::MAX) as u128) << 64
+            | rng.gen_range(0u64..u64::MAX) as u128)
+            % span;
         self.start + draw
     }
 }

@@ -18,7 +18,10 @@ impl Deserialize for bool {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::custom(format!("expected bool, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -90,7 +93,10 @@ impl Deserialize for f64 {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Num(n) => Ok(n.as_f64()),
-            other => Err(DeError::custom(format!("expected f64, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected f64, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -117,7 +123,10 @@ impl Deserialize for char {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(DeError::custom(format!("expected char, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected char, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -132,7 +141,10 @@ impl Deserialize for String {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Str(s) => Ok(s.clone()),
-            other => Err(DeError::custom(format!("expected string, found {}", other.kind()))),
+            other => Err(DeError::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -290,7 +302,10 @@ fn map_entries(value: &Value) -> Result<Vec<(&Value, &Value)>, DeError> {
                 ))),
             })
             .collect(),
-        other => Err(DeError::custom(format!("expected map, found {}", other.kind()))),
+        other => Err(DeError::custom(format!(
+            "expected map, found {}",
+            other.kind()
+        ))),
     }
 }
 

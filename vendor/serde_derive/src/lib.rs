@@ -46,7 +46,10 @@ struct Input {
 // ---------------------------------------------------------------------------
 
 /// Consumes leading attributes, returning whether `#[serde(word)]` appeared.
-fn eat_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>, word: &str) -> bool {
+fn eat_attrs(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    word: &str,
+) -> bool {
     let mut found = false;
     while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         tokens.next();
@@ -72,7 +75,8 @@ fn eat_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter
 fn eat_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
     if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
         tokens.next();
-        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
             tokens.next();
         }
     }
@@ -297,7 +301,10 @@ fn gen_serialize(input: &Input) -> String {
                             format!(
                                 "{name}::{vname}({}) => {},",
                                 binds.join(", "),
-                                tagged(vname, format!("::serde::Value::Seq(vec![{}])", items.join(", ")))
+                                tagged(
+                                    vname,
+                                    format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                                )
                             )
                         }
                         Shape::Named(fields) => {
@@ -317,7 +324,10 @@ fn gen_serialize(input: &Input) -> String {
                             format!(
                                 "{name}::{vname} {{ {} }} => {},",
                                 binds.join(", "),
-                                tagged(vname, format!("::serde::Value::Map(vec![{}])", entries.join(", ")))
+                                tagged(
+                                    vname,
+                                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                                )
                             )
                         }
                     }

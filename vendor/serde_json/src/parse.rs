@@ -53,7 +53,10 @@ impl Parser<'_> {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+            Err(Error::new(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
         }
     }
 
@@ -92,7 +95,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::new(format!("expected ',' or ']' at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -120,7 +128,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::new(format!("expected ',' or '}}' at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
