@@ -1,0 +1,118 @@
+//! Independent EIP-1559 base-fee recomputation.
+//!
+//! The sequencer's `BaseFeeController` once bumped the fee by its 1-wei
+//! minimum on *exactly-on-target* blocks, turning the fixed point into a slow
+//! upward ratchet. The rule is re-derived here from raw primitives — not by
+//! calling the controller — so the auditor and the implementation can only
+//! agree when both are right.
+
+use parole_primitives::{Gas, Wei};
+use std::fmt;
+
+/// Maximum per-block change denominator of the EIP-1559 rule.
+const CHANGE_DENOMINATOR: u128 = 8;
+
+/// A base-fee update that deviated from the EIP-1559 rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeeViolation {
+    /// The fee before the block was applied.
+    pub old: Wei,
+    /// The block's gas consumption.
+    pub gas_used: Gas,
+    /// The fee the rule mandates.
+    pub expected: Wei,
+    /// The fee the implementation produced.
+    pub got: Wei,
+}
+
+impl fmt::Display for FeeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "base-fee update from {} with {} used: expected {}, got {}",
+            self.old, self.gas_used, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for FeeViolation {}
+
+/// Recomputes the mandated next base fee from scratch:
+/// `new = old ± old × |used − target| / target / 8`, with a 1-wei minimum
+/// move *only* for over-target blocks, clamped at `floor`. A block exactly
+/// on target is the fixed point.
+pub fn expected_base_fee(old: Wei, gas_used: Gas, target_gas: Gas, floor: Wei) -> Wei {
+    let target = target_gas.units() as u128;
+    let used = gas_used.units() as u128;
+    let old_wei = old.wei();
+    let new = if used > target {
+        let delta = old_wei * (used - target) / target / CHANGE_DENOMINATOR;
+        old_wei + delta.max(1)
+    } else {
+        let delta = old_wei * (target - used) / target / CHANGE_DENOMINATOR;
+        old_wei.saturating_sub(delta)
+    };
+    Wei::from_wei(new).max(floor)
+}
+
+/// Audits one base-fee update against the recomputed rule.
+///
+/// # Errors
+///
+/// Returns a [`FeeViolation`] when `new` differs from the mandated fee.
+pub fn check_fee_update(
+    old: Wei,
+    gas_used: Gas,
+    target_gas: Gas,
+    floor: Wei,
+    new: Wei,
+) -> Result<(), FeeViolation> {
+    let expected = expected_base_fee(old, gas_used, target_gas, floor);
+    if new == expected {
+        Ok(())
+    } else {
+        Err(FeeViolation {
+            old,
+            gas_used,
+            expected,
+            got: new,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TARGET: Gas = Gas::new(1_000_000);
+    const FLOOR: Wei = Wei::from_wei(7);
+
+    #[test]
+    fn at_target_is_the_fixed_point() {
+        let old = Wei::from_gwei(13);
+        assert_eq!(expected_base_fee(old, TARGET, TARGET, FLOOR), old);
+    }
+
+    #[test]
+    fn over_target_always_moves() {
+        let old = Wei::from_wei(100);
+        let new = expected_base_fee(old, Gas::new(1_000_001), TARGET, FLOOR);
+        assert_eq!(new.wei(), 101);
+    }
+
+    #[test]
+    fn floor_clamps_the_decay() {
+        let new = expected_base_fee(Wei::from_wei(8), Gas::ZERO, TARGET, FLOOR);
+        assert_eq!(new, FLOOR);
+    }
+
+    #[test]
+    fn mismatch_is_reported_with_both_fees() {
+        let old = Wei::from_gwei(10);
+        let bogus = old + Wei::from_wei(1);
+        let err = check_fee_update(old, TARGET, TARGET, FLOOR, bogus).unwrap_err();
+        assert_eq!(err.expected, old);
+        assert_eq!(err.got, bogus);
+        assert!(err.to_string().contains("expected"));
+    }
+}

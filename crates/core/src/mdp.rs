@@ -311,6 +311,22 @@ impl ReorderEnv {
 
         let (receipts, final_balance) = if let Some(exec) = self.prefix.as_mut() {
             let (receipts, post) = exec.execute(&self.scratch_seq);
+            // Differential oracle: the incremental result must be bit-identical
+            // to a naive replay of the whole window from the pristine base.
+            #[cfg(feature = "audit")]
+            {
+                let (naive_receipts, naive_post) = self
+                    .ovm
+                    .simulate_sequence(&self.base_state, &self.scratch_seq);
+                if let Err(divergence) = parole_audit::differential::diff_execution(
+                    &naive_receipts,
+                    naive_post.state_root(),
+                    receipts,
+                    post.state_root(),
+                ) {
+                    panic!("prefix-cached execution audit failed: {divergence}");
+                }
+            }
             let balance = self.ifus.iter().map(|&u| post.total_balance_of(u)).sum();
             (receipts.to_vec(), balance)
         } else {

@@ -61,17 +61,25 @@ impl BaseFeeController {
         self.target_gas
     }
 
+    /// The lower clamp the fee never drops below.
+    pub fn floor(&self) -> Wei {
+        self.floor
+    }
+
     /// Applies one block's gas usage, returning the new base fee.
     ///
     /// `new = old + old × (used − target) / target / 8`, clamped at the
-    /// floor — the exact EIP-1559 rule with integer arithmetic.
+    /// floor — the exact EIP-1559 rule with integer arithmetic. A block
+    /// exactly on target is the fixed point and leaves the fee unchanged;
+    /// an over-target block always raises the fee by at least 1 wei (so
+    /// sustained congestion reprices even from tiny fees).
     pub fn on_block(&mut self, gas_used: Gas) -> Wei {
         let target = self.target_gas.units() as u128;
         let used = gas_used.units() as u128;
         let old = self.base_fee.wei();
-        let new = if used >= target {
+        let new = if used > target {
             let delta = old * (used - target) / target / Self::CHANGE_DENOMINATOR;
-            // A full block always moves the fee by at least 1 wei.
+            // An over-target block always moves the fee by at least 1 wei.
             old + delta.max(1)
         } else {
             let delta = old * (target - used) / target / Self::CHANGE_DENOMINATOR;
@@ -91,13 +99,29 @@ mod tests {
     }
 
     #[test]
-    fn exactly_target_leaves_fee_unchanged_modulo_tick() {
+    fn exactly_target_is_a_fixed_point() {
+        // Regression: an exactly-on-target block used to be bumped by the
+        // 1-wei minimum reserved for over-target blocks; EIP-1559 leaves the
+        // fee unchanged at the target.
         let mut c = ctl();
         let before = c.base_fee();
-        // used == target hits the `used >= target` branch with delta 0,
-        // bumped by the 1-wei minimum.
-        c.on_block(Gas::new(1_000_000));
-        assert_eq!(c.base_fee().wei(), before.wei() + 1);
+        for _ in 0..1000 {
+            c.on_block(Gas::new(1_000_000));
+        }
+        assert_eq!(c.base_fee(), before);
+    }
+
+    #[test]
+    fn one_wei_minimum_applies_only_above_target() {
+        // Small enough fee that the proportional delta truncates to zero for
+        // a barely-over-target block; the 1-wei minimum must still kick in.
+        let mut c = BaseFeeController::new(Wei::from_wei(100), Gas::new(1_000_000));
+        c.on_block(Gas::new(1_000_001));
+        assert_eq!(c.base_fee().wei(), 101);
+        // …while barely-under-target truncates to no change, not a bump.
+        let before = c.base_fee();
+        c.on_block(Gas::new(999_999));
+        assert_eq!(c.base_fee(), before);
     }
 
     #[test]

@@ -137,6 +137,24 @@ impl Sequencer {
         let gas_used = txs.iter().map(|t| self.gas_schedule.gas_for(&t.kind)).sum();
         let base_fee = self.fee_controller.base_fee();
         let new_fee = self.fee_controller.on_block(gas_used);
+
+        // Cheap always-on (debug builds) sanity: blocks never exceed the gas
+        // limit and the fee never sinks below the floor.
+        debug_assert!(gas_used.units() <= self.gas_limit.units());
+        debug_assert!(new_fee >= self.fee_controller.floor());
+
+        // Full audit: re-derive the EIP-1559 update independently and compare.
+        #[cfg(feature = "audit")]
+        if let Err(violation) = parole_audit::fee::check_fee_update(
+            base_fee,
+            gas_used,
+            self.fee_controller.target_gas(),
+            self.fee_controller.floor(),
+            new_fee,
+        ) {
+            panic!("sequencer fee-market audit failed: {violation}");
+        }
+
         self.mempool.set_base_fee(new_fee);
         self.blocks_sealed += 1;
         SealedBlock {
@@ -233,5 +251,19 @@ mod tests {
         assert!(block.txs.is_empty());
         assert_eq!(block.gas_used, Gas::ZERO);
         assert_eq!(seq.blocks_sealed(), 1);
+    }
+
+    /// With the `audit` feature on, every seal runs the fee update through
+    /// the independent EIP-1559 re-derivation; a long mixed stream of full,
+    /// empty and partial blocks must stay silent.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_sealing_stays_silent_across_block_mixes() {
+        let mut seq = sequencer_with((1..=40).map(|i| tx(i, i % 7)).collect(), 300_000);
+        let state = L2State::new();
+        for _ in 0..60 {
+            seq.seal_block(&state, None); // panics on any fee-audit violation
+        }
+        assert_eq!(seq.blocks_sealed(), 60);
     }
 }

@@ -1,0 +1,90 @@
+//! Property tests for the EIP-1559 base-fee controller: monotonicity,
+//! the at-target fixed point, and floor behaviour.
+
+use parole_mempool::BaseFeeController;
+use parole_primitives::{Gas, Wei};
+use proptest::prelude::*;
+
+const TARGET: u64 = 1_000_000;
+
+fn ctl(initial_wei: u128) -> BaseFeeController {
+    BaseFeeController::new(Wei::from_wei(initial_wei), Gas::new(TARGET))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Over-target blocks strictly raise the fee, under-target blocks never
+    /// raise it, and an exactly-on-target block is a fixed point.
+    #[test]
+    fn fee_moves_with_the_sign_of_the_gas_deviation(
+        initial in 8u128..1_000_000_000_000,
+        used in 0u64..2_000_000,
+    ) {
+        let mut c = ctl(initial);
+        let before = c.base_fee();
+        let after = c.on_block(Gas::new(used));
+        if used > TARGET {
+            prop_assert!(after > before, "over-target must raise: {before} -> {after}");
+        } else if used == TARGET {
+            prop_assert_eq!(after, before, "at-target is the fixed point");
+        } else {
+            prop_assert!(after <= before, "under-target never raises: {before} -> {after}");
+        }
+    }
+
+    /// The per-block move is bounded by 1/8 of the old fee (plus the 1-wei
+    /// minimum for over-target blocks), in both directions.
+    #[test]
+    fn per_block_change_is_bounded_by_one_eighth(
+        initial in 8u128..1_000_000_000_000,
+        used in 0u64..2_000_000,
+    ) {
+        let mut c = ctl(initial);
+        let before = c.base_fee().wei();
+        let after = c.on_block(Gas::new(used)).wei();
+        let cap = before / BaseFeeController::CHANGE_DENOMINATOR + 1;
+        let moved = after.abs_diff(before);
+        prop_assert!(moved <= cap, "moved {moved} > cap {cap}");
+    }
+
+    /// The fee never drops below the floor no matter how long the chain
+    /// idles, and reaching the floor is stable.
+    #[test]
+    fn floor_is_absorbing(
+        initial in 1u128..10_000,
+        blocks in 1usize..200,
+    ) {
+        let mut c = ctl(initial);
+        let floor = c.floor();
+        for _ in 0..blocks {
+            let fee = c.on_block(Gas::ZERO);
+            prop_assert!(fee >= floor, "fee {fee} fell below floor {floor}");
+        }
+        // Hammer it long enough to certainly reach the floor: it must stay.
+        for _ in 0..200 {
+            c.on_block(Gas::ZERO);
+        }
+        prop_assert_eq!(c.base_fee(), floor);
+        c.on_block(Gas::new(TARGET));
+        prop_assert_eq!(c.base_fee(), floor, "at-target at the floor stays put");
+    }
+
+    /// Congestion followed by the mirrored calm period never ends above the
+    /// starting fee plus rounding (the controller is not a ratchet).
+    #[test]
+    fn congestion_then_calm_does_not_ratchet_upward(
+        initial in 1_000_000u128..1_000_000_000,
+        spikes in 1usize..30,
+    ) {
+        let mut c = ctl(initial);
+        for _ in 0..spikes {
+            c.on_block(Gas::new(2 * TARGET));
+        }
+        for _ in 0..spikes {
+            c.on_block(Gas::ZERO);
+        }
+        // (9/8)^n × (7/8)^n < 1, so we must end at or below the start.
+        prop_assert!(c.base_fee().wei() <= initial);
+    }
+}

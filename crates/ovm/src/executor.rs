@@ -62,6 +62,26 @@ impl Ovm {
     /// Executes a single transaction against `state`, committing its effects
     /// on success and leaving `state` untouched by the operation (except gas
     /// and nonce accounting) on revert.
+    ///
+    /// # Nonce accounting
+    ///
+    /// Every processed transaction consumes exactly one nonce of its claimed
+    /// sender, *regardless of outcome* — success and every revert reason
+    /// alike (including [`RevertReason::BadSignature`] and
+    /// [`RevertReason::CannotPayFees`]). A uniform rule keeps replay
+    /// behaviour independent of why a transaction reverted, which the
+    /// prefix-cache differential oracle and the conservation auditor rely
+    /// on. (Reason-dependent nonce skips were a real accounting bug here
+    /// once: two executions of the same window could disagree on nonces —
+    /// hence state roots — purely based on revert reasons.)
+    ///
+    /// # Fee accounting
+    ///
+    /// `fee_paid` in the receipt reports the amount actually debited:
+    /// the full fee for any transaction that passed the fee debit (fees are
+    /// charged up front and burned, even when the operation later reverts),
+    /// and zero for [`RevertReason::BadSignature`] /
+    /// [`RevertReason::CannotPayFees`], where no debit ever happened.
     pub fn execute(&self, state: &mut L2State, tx: &NftTransaction) -> Receipt {
         let gas_used = self.config.gas_schedule.gas_for(&tx.kind);
         let fee = if self.config.charge_fees {
@@ -75,33 +95,38 @@ impl Ovm {
             .map(|c| c.price())
             .unwrap_or(Wei::ZERO);
 
-        let receipt = |status: TxStatus, price_after: Wei| Receipt {
+        let receipt = |status: TxStatus, fee_paid: Wei, price_after: Wei| Receipt {
             tx_hash: tx.tx_hash(),
             status,
             gas_used,
-            fee_paid: fee,
+            fee_paid,
             price_before,
             price_after,
         };
 
-        // Signature check precedes everything (an invalid signature would
-        // never enter a block on the real chain; here it burns gas like an
-        // invalid op so adversarial flooding is not free).
+        // Uniform nonce accounting: the claimed sender's nonce is consumed
+        // before any validity check can bail out.
+        state.bump_nonce(tx.sender);
+
+        // Signature check precedes everything else (an invalid signature
+        // would never enter a block on the real chain; here it burns gas
+        // like an invalid op so adversarial flooding is not free).
         if self.config.verify_signatures && !tx.verify_signature() {
-            return receipt(TxStatus::Reverted(RevertReason::BadSignature), price_before);
+            return receipt(
+                TxStatus::Reverted(RevertReason::BadSignature),
+                Wei::ZERO,
+                price_before,
+            );
         }
 
-        // Fees are charged up front; a sender who cannot pay reverts.
-        if self.config.charge_fees {
-            if state.debit(tx.sender, fee).is_err() {
-                return receipt(
-                    TxStatus::Reverted(RevertReason::CannotPayFees),
-                    price_before,
-                );
-            }
-            state.bump_nonce(tx.sender);
-        } else {
-            state.bump_nonce(tx.sender);
+        // Fees are charged up front; a sender who cannot pay reverts having
+        // paid nothing.
+        if self.config.charge_fees && state.debit(tx.sender, fee).is_err() {
+            return receipt(
+                TxStatus::Reverted(RevertReason::CannotPayFees),
+                Wei::ZERO,
+                price_before,
+            );
         }
 
         let status = self.apply_operation(state, tx, price_before);
@@ -109,7 +134,7 @@ impl Ovm {
             .collection(tx.kind.collection())
             .map(|c| c.price())
             .unwrap_or(Wei::ZERO);
-        receipt(status, price_after)
+        receipt(status, fee, price_after)
     }
 
     /// Applies the NFT operation itself; returns the resulting status.
@@ -497,6 +522,77 @@ mod tests {
             ovm.execute(&mut state, &broke_tx).revert_reason(),
             Some(RevertReason::CannotPayFees)
         );
+    }
+
+    /// Regression for the reason-dependent nonce skip: `BadSignature` and
+    /// `CannotPayFees` used to leave the nonce alone while every other
+    /// revert consumed one. All paths must bump exactly once.
+    #[test]
+    fn nonce_bump_is_uniform_across_all_revert_paths() {
+        use parole_crypto::Wallet;
+        use parole_primitives::{FeeBundle, TxNonce};
+
+        let nonce_of =
+            |state: &L2State, who: Address| state.account(who).map_or(0, |a| a.nonce.value());
+
+        // BadSignature path.
+        let mut state = L2State::new();
+        let pt = state.deploy_collection(CollectionConfig::parole_token());
+        let wallet = Wallet::from_seed(9);
+        state.credit(wallet.address(), Wei::from_eth(1));
+        let good = NftTransaction::signed(
+            &wallet,
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+            FeeBundle::from_gwei(30, 2),
+            TxNonce::new(0),
+        );
+        let mut forged = good;
+        forged.sender = addr(9);
+        let r = ovm().execute(&mut state, &forged);
+        assert_eq!(r.revert_reason(), Some(RevertReason::BadSignature));
+        assert_eq!(nonce_of(&state, addr(9)), 1, "BadSignature must bump");
+
+        // CannotPayFees path.
+        let fee_ovm = Ovm::with_config(OvmConfig {
+            charge_fees: true,
+            ..Default::default()
+        });
+        let broke = addr(42);
+        let tx = NftTransaction::simple(
+            broke,
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+        );
+        let r = fee_ovm.execute(&mut state, &tx);
+        assert_eq!(r.revert_reason(), Some(RevertReason::CannotPayFees));
+        assert_eq!(r.fee_paid, Wei::ZERO, "no debit happened, none reported");
+        assert_eq!(nonce_of(&state, broke), 1, "CannotPayFees must bump");
+
+        // Ordinary revert and success paths bump exactly once too.
+        let (mut state, pt, ifu) = case_study_state();
+        let bad = NftTransaction::simple(
+            addr(55),
+            TxKind::Burn {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+        );
+        ovm().execute(&mut state, &bad);
+        assert_eq!(nonce_of(&state, addr(55)), 1);
+        let mint = NftTransaction::simple(
+            ifu,
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(5),
+            },
+        );
+        ovm().execute(&mut state, &mint);
+        assert_eq!(nonce_of(&state, ifu), 1);
     }
 
     #[test]

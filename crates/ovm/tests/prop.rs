@@ -2,7 +2,7 @@
 //! execution invariants under random transaction streams.
 
 use parole_nft::CollectionConfig;
-use parole_ovm::{NftTransaction, Ovm, TxKind};
+use parole_ovm::{NftTransaction, Ovm, OvmConfig, TxKind};
 use parole_primitives::{Address, TokenId, Wei};
 use parole_state::L2State;
 use proptest::prelude::*;
@@ -163,5 +163,60 @@ proptest! {
         // The creator received mint revenue before the snapshot; transfers
         // keep the user-side wealth pool constant.
         prop_assert_eq!(wealth(&state), before);
+    }
+
+    /// Nonce accounting is uniform: every processed transaction bumps the
+    /// claimed sender's nonce by exactly one, whatever the outcome. The
+    /// stream deliberately mixes every revert reason the OVM can produce —
+    /// including `BadSignature` (forged auth) and `CannotPayFees` (broke
+    /// senders under fee charging) which historically skipped the bump.
+    #[test]
+    fn nonce_bump_is_uniform_for_every_outcome(
+        ops in prop::collection::vec(arb_op(8, 12), 1..50),
+        forge_mask in prop::collection::vec(any::<bool>(), 50),
+        fee_mask in prop::collection::vec(any::<bool>(), 50),
+    ) {
+        use parole_crypto::Wallet;
+        use parole_primitives::{FeeBundle, TxNonce};
+
+        let mut state = L2State::new();
+        let coll = state.deploy_collection(CollectionConfig::limited_edition("Prop", 12, 200));
+        // Users 1..=6 are funded; 7..=8 are broke (CannotPayFees fodder).
+        for u in 1..=6u64 {
+            state.credit(Address::from_low_u64(u), Wei::from_eth(5));
+        }
+        let honest = Ovm::new();
+        let charging = Ovm::with_config(OvmConfig {
+            charge_fees: true,
+            ..Default::default()
+        });
+        let wallet = Wallet::from_seed(3);
+
+        for (i, op) in ops.iter().enumerate() {
+            let mut tx = to_tx(op, coll);
+            if forge_mask[i] {
+                // Signed material re-labelled with a different sender:
+                // guaranteed BadSignature.
+                let signed = NftTransaction::signed(
+                    &wallet,
+                    tx.kind,
+                    FeeBundle::from_gwei(30, 2),
+                    TxNonce::new(0),
+                );
+                tx = signed;
+                tx.sender = to_tx(op, coll).sender;
+            }
+            let ovm = if fee_mask[i] { &charging } else { &honest };
+            let before = state.account(tx.sender).map_or(0, |a| a.nonce.value());
+            let _ = ovm.execute(&mut state, &tx);
+            let after = state.account(tx.sender).map_or(0, |a| a.nonce.value());
+            prop_assert_eq!(
+                after,
+                before + 1,
+                "sender {} nonce must bump exactly once (op {})",
+                tx.sender,
+                i
+            );
+        }
     }
 }

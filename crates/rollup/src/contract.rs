@@ -312,6 +312,8 @@ impl RollupContract {
         // catch; finalization records the divergence if nobody does.)
         let _ = self.ovm.execute_sequence(&mut self.staged, &batch.txs);
         self.staged.advance_block();
+        #[cfg(feature = "audit")]
+        Self::audit_state(&self.staged, "batch submission");
         self.pending.push_back((
             PendingAction::Batch {
                 id,
@@ -479,7 +481,34 @@ impl RollupContract {
                 }
             }
         }
-        self.l1.seal_block(finalized)
+        // Cheap always-on (debug builds) sanity: batches finalize strictly in
+        // submission order.
+        debug_assert!(finalized.windows(2).all(|w| w[0] < w[1]));
+        let height = self.l1.seal_block(finalized);
+
+        // Finalization is irreversible: with the audit feature on, sweep the
+        // canonical state through the full ERC-721 invariant checker and
+        // re-verify the L1 chain's content hashes before letting it stand.
+        #[cfg(feature = "audit")]
+        {
+            Self::audit_state(&self.canonical, "finalization");
+            assert!(
+                self.l1.verify_integrity(),
+                "L1 integrity audit failed after sealing block {height}"
+            );
+        }
+
+        height
+    }
+
+    /// Panics with the first invariant violation found in `state`; the audit
+    /// layer's policy is fail-stop — a corrupted state must never propagate
+    /// into later batches or finalization.
+    #[cfg(feature = "audit")]
+    fn audit_state(state: &L2State, context: &str) {
+        if let Err((collection, violation)) = parole_audit::invariants::check_state(state) {
+            panic!("rollup {context} audit failed for collection {collection}: {violation}");
+        }
     }
 
     /// Convenience: advances L1 until nothing is pending.
@@ -585,6 +614,35 @@ mod tests {
             rollup.finalized_state().state_root(),
             rollup.l2_state().state_root()
         );
+    }
+
+    /// With the `audit` feature on, an honest mint/transfer/burn lifecycle
+    /// must pass the full invariant sweep at every batch submission and at
+    /// finalization (the hooks panic on any violation).
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_lifecycle_stays_silent() {
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let mut txs = mint_txs(pt, 3);
+        txs.push(NftTransaction::simple(
+            addr(1),
+            TxKind::Transfer {
+                collection: pt,
+                token: TokenId::new(0),
+                to: addr(2),
+            },
+        ));
+        txs.push(NftTransaction::simple(
+            addr(2),
+            TxKind::Burn {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+        ));
+        let batch = agg.build_batch(rollup.l2_state(), txs);
+        rollup.submit_batch(batch).unwrap();
+        rollup.finalize_all();
+        assert_eq!(rollup.undetected_forgeries(), 0);
     }
 
     #[test]

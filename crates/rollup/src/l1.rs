@@ -22,6 +22,31 @@ pub struct L1Block {
     pub finalized_batches: Vec<BatchId>,
 }
 
+impl L1Block {
+    /// Recomputes what this block's hash must be, given its contents —
+    /// `keccak(parent_hash ‖ number ‖ finalized_batches)`. Integrity
+    /// verification compares the stored `hash` against this, so tampering
+    /// with a sealed block's contents (not just its linkage) is detectable.
+    pub fn content_hash(&self) -> Hash32 {
+        L1Block::hash_contents(self.parent_hash, self.number, &self.finalized_batches)
+    }
+
+    /// The block-hash function shared by sealing and verification.
+    pub fn hash_contents(
+        parent_hash: Hash32,
+        number: BlockNumber,
+        finalized_batches: &[BatchId],
+    ) -> Hash32 {
+        let mut buf = Vec::with_capacity(48 + finalized_batches.len() * 8);
+        buf.extend_from_slice(parent_hash.as_bytes());
+        buf.extend_from_slice(&number.value().to_be_bytes());
+        for b in finalized_batches {
+            buf.extend_from_slice(&b.value().to_be_bytes());
+        }
+        keccak256(&buf)
+    }
+}
+
 /// An append-only chain of [`L1Block`]s.
 ///
 /// # Example
@@ -71,27 +96,53 @@ impl L1Chain {
     pub fn seal_block(&mut self, finalized_batches: Vec<BatchId>) -> BlockNumber {
         let parent = self.tip();
         let number = parent.number.next();
-        let mut buf = Vec::with_capacity(48 + finalized_batches.len() * 8);
-        buf.extend_from_slice(parent.hash.as_bytes());
-        buf.extend_from_slice(&number.value().to_be_bytes());
-        for b in &finalized_batches {
-            buf.extend_from_slice(&b.value().to_be_bytes());
-        }
+        let hash = L1Block::hash_contents(parent.hash, number, &finalized_batches);
         let block = L1Block {
             number,
             parent_hash: parent.hash,
-            hash: keccak256(&buf),
+            hash,
             finalized_batches,
         };
         self.blocks.push(block);
         number
     }
 
-    /// Verifies the hash-chain linkage of the whole chain.
+    /// The well-known genesis block hash.
+    pub fn genesis_hash() -> Hash32 {
+        keccak256(b"parole-l1-genesis")
+    }
+
+    /// Verifies the whole chain: the genesis block is the well-known one,
+    /// every non-genesis block's stored hash matches a recomputation from
+    /// its own contents ([`L1Block::content_hash`]), and parent linkage and
+    /// numbering are intact.
+    ///
+    /// Recomputing each block's hash is what makes this a usable fraud-proof
+    /// substrate: linkage alone would accept a sealed block whose
+    /// `finalized_batches` were rewritten after the fact, since the tampered
+    /// contents never feed back into the stored hashes.
     pub fn verify_integrity(&self) -> bool {
+        let genesis = &self.blocks[0];
+        if genesis.number.value() != 0
+            || genesis.parent_hash != Hash32::ZERO
+            || genesis.hash != L1Chain::genesis_hash()
+        {
+            return false;
+        }
         self.blocks.windows(2).all(|w| {
-            w[1].parent_hash == w[0].hash && w[1].number.value() == w[0].number.value() + 1
+            w[1].parent_hash == w[0].hash
+                && w[1].number.value() == w[0].number.value() + 1
+                && w[1].hash == w[1].content_hash()
         })
+    }
+
+    /// Mutable access to the block at `number` — an *adversarial tampering
+    /// hook* for the fraud-proof experiments and the audit mutation
+    /// harness, which need to model an attacker rewriting sealed history
+    /// and prove [`L1Chain::verify_integrity`] catches it. Honest code
+    /// never mutates sealed blocks.
+    pub fn block_mut_for_tampering(&mut self, number: BlockNumber) -> Option<&mut L1Block> {
+        self.blocks.get_mut(number.value() as usize)
     }
 
     /// Iterates over all blocks from genesis to tip.
@@ -144,6 +195,56 @@ mod tests {
         chain.seal_block(vec![]);
         chain.seal_block(vec![]);
         chain.blocks[1].hash = Hash32::ZERO;
+        assert!(!chain.verify_integrity());
+    }
+
+    /// Regression: rewriting a sealed block's `finalized_batches` leaves
+    /// every stored hash and all parent linkage intact, so the old
+    /// linkage-only check accepted it. Content recomputation must not.
+    #[test]
+    fn content_tampering_breaks_integrity() {
+        let mut chain = L1Chain::new();
+        chain.seal_block(vec![BatchId::new(1)]);
+        chain.seal_block(vec![BatchId::new(2)]);
+        assert!(chain.verify_integrity());
+
+        let victim = chain
+            .block_mut_for_tampering(BlockNumber::new(1))
+            .expect("sealed above");
+        victim.finalized_batches = vec![BatchId::new(999)];
+        assert!(
+            !chain.verify_integrity(),
+            "rewritten batch list must be detected"
+        );
+
+        // Restoring the original contents heals the chain.
+        chain
+            .block_mut_for_tampering(BlockNumber::new(1))
+            .unwrap()
+            .finalized_batches = vec![BatchId::new(1)];
+        assert!(chain.verify_integrity());
+    }
+
+    #[test]
+    fn number_tampering_breaks_integrity() {
+        let mut chain = L1Chain::new();
+        chain.seal_block(vec![]);
+        chain.seal_block(vec![]);
+        chain
+            .block_mut_for_tampering(BlockNumber::new(2))
+            .unwrap()
+            .number = BlockNumber::new(7);
+        assert!(!chain.verify_integrity());
+    }
+
+    #[test]
+    fn genesis_tampering_breaks_integrity() {
+        let mut chain = L1Chain::new();
+        chain.seal_block(vec![]);
+        chain.blocks[0].hash = keccak256(b"forged-genesis");
+        // Fix up linkage so only the genesis identity is wrong.
+        chain.blocks[1].parent_hash = chain.blocks[0].hash;
+        chain.blocks[1].hash = chain.blocks[1].content_hash();
         assert!(!chain.verify_integrity());
     }
 
