@@ -388,3 +388,45 @@ fn stale_incremental_cache_trips_the_differential_oracle() {
     }
     assert_eq!(oracle.check_schedule(&base, &schedule), Ok(()));
 }
+
+// ---------------------------------------------------------------------------
+// Seeded corruption: a stale state-commitment cache.
+// ---------------------------------------------------------------------------
+
+/// The incremental state-root cache with one leaf silently tampered — the
+/// exact failure a missed dirty-marking hook would produce — must be caught
+/// by the differential oracle, whose reference side rebuilds its root from
+/// scratch via `state_root_naive` and so never trusts the cache.
+#[test]
+fn stale_commitment_cache_trips_the_root_differential() {
+    let mut state = L2State::new();
+    let pt = state.deploy_collection(CollectionConfig::parole_token());
+    for u in 1..=4 {
+        state.credit(addr(u), Wei::from_eth(1));
+    }
+    let _ = Ovm::new().execute(
+        &mut state,
+        &NftTransaction::simple(
+            addr(1),
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+        ),
+    );
+    // A healthy warm cache agrees with the from-scratch rebuild.
+    assert_eq!(state.state_root(), state.state_root_naive());
+
+    // Sabotage: overwrite one cached leaf *without* marking it dirty.
+    assert!(state.corrupt_commit_cache_for_tests());
+
+    // The cache now lies; the naive rebuild stays honest, and the
+    // differential comparison reports the root mismatch.
+    let err = diff_execution(&[], state.state_root_naive(), &[], state.state_root()).unwrap_err();
+    assert!(matches!(err, Divergence::StateRootMismatch { .. }));
+
+    // A real mutation of the tampered record marks it dirty, so the next
+    // flush re-derives the leaf and repairs the damage.
+    state.credit(addr(1), Wei::from_wei(1));
+    assert_eq!(state.state_root(), state.state_root_naive());
+}

@@ -45,6 +45,57 @@ fn bench_ovm(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_state_root(c: &mut Criterion) {
+    use parole_nft::CollectionConfig;
+    use parole_primitives::{Address, TokenId};
+    use parole_state::L2State;
+
+    let mut group = c.benchmark_group("state_root");
+    // Full rebuild vs the dirty-tracked incremental flush, across world
+    // sizes (10^2..10^5 accounts) and dirty-set sizes (1 and 64 records).
+    for n in [100usize, 1_000, 10_000, 100_000] {
+        let mut state = L2State::new();
+        for i in 0..n as u64 {
+            state.credit(Address::from_low_u64(i + 1), Wei::from_gwei(i + 1));
+        }
+        for k in 0..16u64 {
+            let coll = state.deploy_collection(CollectionConfig::limited_edition("BR", 64, 100));
+            for t in 0..8u64 {
+                state
+                    .collection_mut(coll)
+                    .unwrap()
+                    .mint(
+                        Address::from_low_u64((k * 8 + t) % n as u64 + 1),
+                        TokenId::new(t),
+                    )
+                    .unwrap();
+            }
+        }
+
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| black_box(&state).state_root_naive())
+        });
+
+        for dirty in [1usize, 64] {
+            let mut warm = state.clone();
+            let _ = warm.state_root(); // materialize the cache
+            group.bench_with_input(
+                BenchmarkId::new(format!("incremental_dirty{dirty}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        for d in 0..dirty as u64 {
+                            warm.credit(Address::from_low_u64(d % n as u64 + 1), Wei::from_wei(1));
+                        }
+                        black_box(warm.state_root())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_mempool(c: &mut Criterion) {
     let mut group = c.benchmark_group("mempool");
     let economy = Economy::build(100, 1, 2);
@@ -144,6 +195,6 @@ criterion_group!(
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_crypto, bench_ovm, bench_mempool, bench_calldata, bench_reorder_env, bench_dqn
+    targets = bench_crypto, bench_ovm, bench_state_root, bench_mempool, bench_calldata, bench_reorder_env, bench_dqn
 );
 criterion_main!(kernels);

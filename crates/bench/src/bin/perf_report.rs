@@ -1,8 +1,10 @@
-//! Performance report for the prefix-cached evaluator and the parallel
-//! fleet: measures the optimizations end to end and writes
-//! `target/experiments/BENCH_PR1.json`.
+//! Performance report for the measured optimizations, written to
+//! `target/experiments/`.
 //!
-//! Three measurements:
+//! Two sections, selectable by the first CLI argument (`pr1` or
+//! `state-root`; no argument runs both):
+//!
+//! **`pr1`** (→ `BENCH_PR1.json`):
 //!
 //! 1. **Window evaluation throughput** — `ReorderEnv::step` rate (candidate
 //!    orderings per second) with the naive clone-and-replay evaluator vs the
@@ -11,12 +13,19 @@
 //!    parallelism, asserting the outcomes are bit-identical.
 //! 3. **DQN minibatch update** — `train_step` time with the batched
 //!    forward/backward paths at the paper's batch size.
+//!
+//! **`state-root`** (→ `BENCH_PR3.json`): full from-scratch state-root
+//! rebuild vs the dirty-tracked incremental flush, across world sizes and
+//! dirty-set sizes, asserting the two roots stay bit-identical.
 
 use parole::fleet::{run_fleet, FleetConfig};
 use parole::{ActionSpace, EvalConfig, GentranseqModule, ReorderEnv, RewardConfig};
 use parole_bench::economy::Economy;
 use parole_bench::report::write_json;
 use parole_drl::{DqnAgent, DqnConfig, Environment, Transition};
+use parole_nft::CollectionConfig;
+use parole_primitives::{Address, TokenId, Wei};
+use parole_state::L2State;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -81,7 +90,117 @@ fn time_env_steps(eval: EvalConfig, window_len: usize, steps: usize) -> f64 {
     steps as f64 / start.elapsed().as_secs_f64()
 }
 
+#[derive(Serialize)]
+struct StateRootTiming {
+    accounts: usize,
+    collections: usize,
+    dirty: usize,
+    full_rebuild_us: f64,
+    incremental_flush_us: f64,
+    speedup: f64,
+    roots_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Pr3Report {
+    state_root: Vec<StateRootTiming>,
+}
+
+/// A funded world with seeded NFT holdings, shaped like the fleet
+/// experiments' background state.
+fn rich_state(accounts: usize, collections: usize) -> L2State {
+    let mut state = L2State::new();
+    for i in 0..accounts as u64 {
+        state.credit(Address::from_low_u64(i + 1), Wei::from_gwei(i + 1));
+    }
+    for k in 0..collections as u64 {
+        let coll = state.deploy_collection(CollectionConfig::limited_edition("PR", 64, 100));
+        for t in 0..8u64 {
+            state
+                .collection_mut(coll)
+                .unwrap()
+                .mint(
+                    Address::from_low_u64((k * 8 + t) % accounts as u64 + 1),
+                    TokenId::new(t),
+                )
+                .unwrap();
+        }
+    }
+    state
+}
+
+fn measure_state_root(accounts: usize, dirty: usize) -> StateRootTiming {
+    let collections = 16;
+    let mut state = rich_state(accounts, collections);
+
+    // Full from-scratch rebuild cost.
+    let reps = (200_000 / accounts).clamp(3, 50);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(state.state_root_naive());
+    }
+    let full_rebuild_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    // Incremental flush cost: mutate `dirty` distinct accounts, then one
+    // root read that re-derives exactly those leaves.
+    let _ = state.state_root(); // materialize the cache
+    let flushes = 200u64;
+    let start = Instant::now();
+    for round in 0..flushes {
+        for d in 0..dirty as u64 {
+            state.credit(
+                Address::from_low_u64((round * dirty as u64 + d) % accounts as u64 + 1),
+                Wei::from_wei(1),
+            );
+        }
+        std::hint::black_box(state.state_root());
+    }
+    let incremental_flush_us = start.elapsed().as_secs_f64() * 1e6 / flushes as f64;
+
+    StateRootTiming {
+        accounts,
+        collections,
+        dirty,
+        full_rebuild_us,
+        incremental_flush_us,
+        speedup: full_rebuild_us / incremental_flush_us,
+        roots_identical: state.state_root() == state.state_root_naive(),
+    }
+}
+
+fn run_state_root_section() {
+    let mut rows = Vec::new();
+    for &accounts in &[1_000usize, 10_000, 100_000] {
+        for &dirty in &[1usize, 16, 64] {
+            let t = measure_state_root(accounts, dirty);
+            println!(
+                "state_root {:>6} accts, {:>2} dirty: full {:>9.1} us | incremental {:>7.2} us | {:>6.0}x | identical: {}",
+                t.accounts, t.dirty, t.full_rebuild_us, t.incremental_flush_us, t.speedup,
+                t.roots_identical
+            );
+            assert!(
+                t.roots_identical,
+                "incremental root diverged from the naive rebuild"
+            );
+            rows.push(t);
+        }
+    }
+    write_json("BENCH_PR3", &Pr3Report { state_root: rows });
+}
+
 fn main() {
+    let only = std::env::args().nth(1);
+    let run = |name: &str| match only.as_deref() {
+        None => true,
+        Some(s) => s == name,
+    };
+    if run("state-root") {
+        run_state_root_section();
+    }
+    if !run("pr1") {
+        return;
+    }
+
     // 1. Evaluation throughput, naive vs prefix-cached.
     let steps = 2_000;
     let eval_throughput: Vec<EvalThroughput> = [10usize, 20]

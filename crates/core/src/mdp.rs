@@ -318,9 +318,12 @@ impl ReorderEnv {
                 let (naive_receipts, naive_post) = self
                     .ovm
                     .simulate_sequence(&self.base_state, &self.scratch_seq);
+                // The naive side rebuilds its root from scratch so the
+                // oracle cross-checks the incremental commitment cache
+                // rather than comparing the cache against itself.
                 if let Err(divergence) = parole_audit::differential::diff_execution(
                     &naive_receipts,
-                    naive_post.state_root(),
+                    naive_post.state_root_naive(),
                     receipts,
                     post.state_root(),
                 ) {

@@ -1,0 +1,348 @@
+//! Incrementally-maintained Merkle commitment trees.
+//!
+//! [`MerkleTree`](crate::MerkleTree) is rebuilt from scratch on every call —
+//! fine for fraud-proof generation, ruinous for the state-root hot path,
+//! which recommits the whole world after every window evaluation. A
+//! [`CommitTree`] keeps the same level structure resident and repairs it
+//! after point edits:
+//!
+//! - [`CommitTree::update`] recomputes only the leaf-to-root path —
+//!   O(log n) hashes;
+//! - [`CommitTree::update_batch`] repairs Δ dirty leaves level by level,
+//!   deduplicating shared ancestors — O(Δ · log n) hashes with the constant
+//!   shrinking as dirty paths merge;
+//! - [`CommitTree::insert`] / [`CommitTree::remove`] splice the leaf level
+//!   and rehash only the suffix whose positions shifted.
+//!
+//! The root is **bit-identical** to
+//! `MerkleTree::from_leaves(leaves).root()` for the same leaf sequence at
+//! every point — the equivalence proptests in `tests/prop.rs` replay random
+//! edit scripts against a from-scratch rebuild to pin that down. The fraud
+//! proof game and every existing on-chain commitment are therefore
+//! unchanged by callers switching to the incremental tree.
+
+use crate::keccak::keccak256_concat;
+use parole_primitives::Hash32;
+
+/// A binary Merkle tree over pre-hashed 32-byte leaves that supports
+/// in-place point edits.
+///
+/// Structure (levels, unpaired-node promotion, empty-tree sentinel root) is
+/// identical to [`MerkleTree`](crate::MerkleTree); only the maintenance
+/// strategy differs.
+///
+/// # Example
+///
+/// ```
+/// use parole_crypto::{keccak256, CommitTree, MerkleTree};
+/// let leaves: Vec<_> = (0..5u64).map(|i| keccak256(&i.to_be_bytes())).collect();
+/// let mut tree = CommitTree::from_leaves(leaves.clone());
+/// assert_eq!(tree.root(), MerkleTree::from_leaves(leaves.clone()).root());
+///
+/// let new_leaf = keccak256(b"updated");
+/// tree.update(2, new_leaf);
+/// let mut rebuilt = leaves.clone();
+/// rebuilt[2] = new_leaf;
+/// assert_eq!(tree.root(), MerkleTree::from_leaves(rebuilt).root());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitTree {
+    /// `levels[0]` is the leaf level; the last level holds the single root
+    /// (or is empty for an empty tree).
+    levels: Vec<Vec<Hash32>>,
+}
+
+impl CommitTree {
+    /// Builds the tree from pre-hashed leaves (same cost and result as
+    /// [`MerkleTree::from_leaves`](crate::MerkleTree::from_leaves)).
+    pub fn from_leaves(leaves: Vec<Hash32>) -> Self {
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(keccak256_concat(pair[0].as_bytes(), pair[1].as_bytes()));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            levels.push(next);
+        }
+        CommitTree { levels }
+    }
+
+    /// The Merkle root ([`Hash32::ZERO`] for an empty tree).
+    pub fn root(&self) -> Hash32 {
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or(Hash32::ZERO)
+    }
+
+    /// The number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels.first().map_or(0, Vec::len)
+    }
+
+    /// Returns `true` when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The leaf hash at `index`, if in bounds.
+    pub fn leaf(&self, index: usize) -> Option<Hash32> {
+        self.levels.first().and_then(|l| l.get(index)).copied()
+    }
+
+    /// Recomputes the parent node at `levels[level + 1][parent]` from its
+    /// children. The parent slot must already exist.
+    fn rehash_parent(&mut self, level: usize, parent: usize) {
+        let (children, parents) = self.levels.split_at_mut(level + 1);
+        let children = &children[level];
+        let left = 2 * parent;
+        let node = if left + 1 < children.len() {
+            keccak256_concat(children[left].as_bytes(), children[left + 1].as_bytes())
+        } else {
+            // Unpaired node promoted unchanged.
+            children[left]
+        };
+        parents[0][parent] = node;
+    }
+
+    /// Replaces the leaf at `index`, repairing the path to the root:
+    /// O(log n) hashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn update(&mut self, index: usize, leaf: Hash32) {
+        assert!(index < self.len(), "leaf index {index} out of bounds");
+        self.levels[0][index] = leaf;
+        let mut idx = index;
+        for level in 0..self.levels.len() - 1 {
+            idx /= 2;
+            self.rehash_parent(level, idx);
+        }
+    }
+
+    /// Applies a batch of leaf replacements, then repairs all affected paths
+    /// level by level with shared ancestors hashed once: O(Δ · log n)
+    /// hashes for Δ distinct dirty leaves, less when their paths merge.
+    ///
+    /// Later entries for the same index win, matching sequential
+    /// [`CommitTree::update`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of bounds.
+    pub fn update_batch(&mut self, updates: &[(usize, Hash32)]) {
+        if updates.is_empty() {
+            return;
+        }
+        let len = self.len();
+        let mut dirty: Vec<usize> = Vec::with_capacity(updates.len());
+        for &(index, leaf) in updates {
+            assert!(index < len, "leaf index {index} out of bounds");
+            self.levels[0][index] = leaf;
+            dirty.push(index);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        for level in 0..self.levels.len() - 1 {
+            // Parents of the dirty nodes; consecutive duplicates collapse
+            // because `dirty` stays sorted.
+            let mut parents = Vec::with_capacity(dirty.len());
+            for &i in &dirty {
+                let p = i / 2;
+                if parents.last() != Some(&p) {
+                    parents.push(p);
+                }
+            }
+            for &p in &parents {
+                self.rehash_parent(level, p);
+            }
+            dirty = parents;
+        }
+    }
+
+    /// Inserts a leaf before position `index` (`index == len` appends),
+    /// shifting later leaves right. Hashes only the suffix whose positions
+    /// changed: O(log n) for appends, O((n − index) + log n) in general.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index > len`.
+    pub fn insert(&mut self, index: usize, leaf: Hash32) {
+        assert!(index <= self.len(), "insert index {index} out of bounds");
+        self.levels[0].insert(index, leaf);
+        self.rebuild_from(index);
+    }
+
+    /// Removes the leaf at `index`, shifting later leaves left. Cost profile
+    /// as [`CommitTree::insert`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn remove(&mut self, index: usize) {
+        assert!(index < self.len(), "remove index {index} out of bounds");
+        self.levels[0].remove(index);
+        self.rebuild_from(index);
+    }
+
+    /// Repairs every level above the leaves after a splice at leaf position
+    /// `from`: all parents from `from / 2` onward are recomputed and level
+    /// lengths are re-established (the tree may have grown or shrunk a
+    /// level).
+    fn rebuild_from(&mut self, from: usize) {
+        let mut level = 0;
+        let mut from = from;
+        while self.levels[level].len() > 1 {
+            let child_len = self.levels[level].len();
+            let parent_len = child_len.div_ceil(2);
+            if self.levels.len() == level + 1 {
+                self.levels.push(Vec::with_capacity(parent_len));
+            }
+            let start = (from / 2).min(parent_len.saturating_sub(1));
+            {
+                let (children, parents) = self.levels.split_at_mut(level + 1);
+                let children = &children[level];
+                let parents = &mut parents[0];
+                parents.truncate(parent_len);
+                for p in start..parent_len {
+                    let left = 2 * p;
+                    let node = if left + 1 < child_len {
+                        keccak256_concat(children[left].as_bytes(), children[left + 1].as_bytes())
+                    } else {
+                        children[left]
+                    };
+                    if p < parents.len() {
+                        parents[p] = node;
+                    } else {
+                        parents.push(node);
+                    }
+                }
+            }
+            from = start;
+            level += 1;
+        }
+        // The tree may have shrunk: drop now-meaningless upper levels.
+        self.levels.truncate(level + 1);
+    }
+
+    /// The leaf level as a slice (primarily for tests and rebuild
+    /// cross-checks).
+    pub fn leaves(&self) -> &[Hash32] {
+        self.levels.first().map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keccak::keccak256;
+    use crate::MerkleTree;
+
+    fn leaves(n: usize) -> Vec<Hash32> {
+        (0..n)
+            .map(|i| keccak256(&(i as u64).to_be_bytes()))
+            .collect()
+    }
+
+    fn assert_matches_rebuild(tree: &CommitTree) {
+        let want = MerkleTree::from_leaves(tree.leaves().to_vec()).root();
+        assert_eq!(tree.root(), want, "incremental root diverged from rebuild");
+    }
+
+    #[test]
+    fn from_leaves_matches_merkle_tree_all_sizes() {
+        for n in 0..=17 {
+            let l = leaves(n);
+            assert_eq!(
+                CommitTree::from_leaves(l.clone()).root(),
+                MerkleTree::from_leaves(l).root(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_repairs_path_for_all_positions() {
+        for n in 1..=17 {
+            let mut tree = CommitTree::from_leaves(leaves(n));
+            for i in 0..n {
+                tree.update(i, keccak256(format!("upd-{n}-{i}").as_bytes()));
+                assert_matches_rebuild(&tree);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_at_every_position() {
+        for n in 0..=12 {
+            for at in 0..=n {
+                let mut tree = CommitTree::from_leaves(leaves(n));
+                tree.insert(at, keccak256(b"inserted"));
+                assert_matches_rebuild(&tree);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_at_every_position() {
+        for n in 1..=12 {
+            for at in 0..n {
+                let mut tree = CommitTree::from_leaves(leaves(n));
+                tree.remove(at);
+                assert_matches_rebuild(&tree);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_to_empty_restores_sentinel() {
+        let mut tree = CommitTree::from_leaves(leaves(3));
+        tree.remove(2);
+        tree.remove(0);
+        tree.remove(0);
+        assert!(tree.is_empty());
+        assert_eq!(tree.root(), Hash32::ZERO);
+        // And the tree grows back correctly.
+        tree.insert(0, keccak256(b"reborn"));
+        assert_matches_rebuild(&tree);
+    }
+
+    #[test]
+    fn update_batch_matches_sequential_updates() {
+        let mut batched = CommitTree::from_leaves(leaves(13));
+        let mut sequential = batched.clone();
+        let updates: Vec<(usize, Hash32)> = [(0usize, 7u64), (12, 8), (5, 9), (6, 10), (5, 11)]
+            .iter()
+            .map(|&(i, tag)| (i, keccak256(&tag.to_be_bytes())))
+            .collect();
+        for &(i, h) in &updates {
+            sequential.update(i, h);
+        }
+        batched.update_batch(&updates);
+        assert_eq!(batched, sequential);
+        assert_matches_rebuild(&batched);
+    }
+
+    #[test]
+    fn mixed_edit_script_stays_consistent() {
+        let mut tree = CommitTree::from_leaves(leaves(4));
+        for step in 0u64..64 {
+            let h = keccak256(&step.to_be_bytes());
+            let n = tree.len();
+            match step % 4 {
+                0 => tree.insert((step as usize * 7) % (n + 1), h),
+                1 if n > 0 => tree.update((step as usize * 5) % n, h),
+                2 if n > 0 => tree.remove((step as usize * 3) % n),
+                _ => tree.insert(n, h),
+            }
+            assert_matches_rebuild(&tree);
+        }
+    }
+}

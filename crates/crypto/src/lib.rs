@@ -7,6 +7,9 @@
 //!   Ethereum), validated against published test vectors;
 //! - [`MerkleTree`] — binary Merkle trees with inclusion proofs, used for the
 //!   L2 state roots and the aggregators' fraud proofs;
+//! - [`CommitTree`] — the same tree kept resident and repaired in place
+//!   (O(log n) point updates, O(Δ·log n) batches), backing the incremental
+//!   state-root cache in `parole-state`;
 //! - [`U256`] — 256-bit unsigned integer arithmetic;
 //! - [`secp256k1`] — the secp256k1 elliptic curve with ECDSA signing and
 //!   verification (deterministic nonces), used to authenticate rollup
@@ -28,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod commit;
 mod keccak;
 mod merkle;
 pub mod secp256k1;
 mod u256;
 mod wallet;
 
+pub use commit::CommitTree;
 pub use keccak::{keccak256, keccak256_concat, Keccak256};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use u256::U256;

@@ -1,8 +1,27 @@
 //! Property-based tests for the cryptographic substrate.
 
 use parole_crypto::secp256k1::{self, SecretKey};
-use parole_crypto::{keccak256, MerkleTree, U256};
+use parole_crypto::{keccak256, CommitTree, MerkleTree, U256};
 use proptest::prelude::*;
+
+/// One step of a random [`CommitTree`] edit script.
+#[derive(Debug, Clone)]
+enum TreeEdit {
+    Insert { at: u64, tag: u64 },
+    Update { at: u64, tag: u64 },
+    Remove { at: u64 },
+    Batch { edits: Vec<(u64, u64)> },
+}
+
+fn arb_tree_edit() -> impl Strategy<Value = TreeEdit> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(at, tag)| TreeEdit::Insert { at, tag }),
+        (any::<u64>(), any::<u64>()).prop_map(|(at, tag)| TreeEdit::Update { at, tag }),
+        any::<u64>().prop_map(|at| TreeEdit::Remove { at }),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 1..8)
+            .prop_map(|edits| TreeEdit::Batch { edits }),
+    ]
+}
 
 fn arb_u256() -> impl Strategy<Value = U256> {
     prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
@@ -47,6 +66,43 @@ proptest! {
         prop_assume!(!ar.is_zero());
         let inv = ar.inv_mod_prime(p);
         prop_assert_eq!(ar.mul_mod(&inv, p), U256::ONE);
+    }
+
+    /// A [`CommitTree`] driven by a random edit script (point updates,
+    /// inserts, removes, batched updates) always reports the same root as a
+    /// from-scratch [`MerkleTree`] rebuild of its current leaf sequence —
+    /// the bit-identity contract the incremental state-root cache rests on.
+    #[test]
+    fn commit_tree_matches_rebuild_under_edits(
+        initial in 0usize..24,
+        script in prop::collection::vec(arb_tree_edit(), 1..40),
+    ) {
+        let leaves: Vec<_> = (0..initial).map(|i| keccak256(&(i as u64).to_be_bytes())).collect();
+        let mut tree = CommitTree::from_leaves(leaves);
+        for edit in &script {
+            let n = tree.len();
+            match edit {
+                TreeEdit::Insert { at, tag } => {
+                    tree.insert(*at as usize % (n + 1), keccak256(&tag.to_be_bytes()));
+                }
+                TreeEdit::Update { at, tag } if n > 0 => {
+                    tree.update(*at as usize % n, keccak256(&tag.to_be_bytes()));
+                }
+                TreeEdit::Remove { at } if n > 0 => {
+                    tree.remove(*at as usize % n);
+                }
+                TreeEdit::Batch { edits } if n > 0 => {
+                    let batch: Vec<_> = edits
+                        .iter()
+                        .map(|&(at, tag)| (at as usize % n, keccak256(&tag.to_be_bytes())))
+                        .collect();
+                    tree.update_batch(&batch);
+                }
+                _ => {}
+            }
+            let want = MerkleTree::from_leaves(tree.leaves().to_vec()).root();
+            prop_assert_eq!(tree.root(), want);
+        }
     }
 
     /// Merkle proofs verify for every leaf, and fail against a different root.

@@ -53,6 +53,29 @@ pub struct StateCommitment {
     pub tx_root: Hash32,
 }
 
+impl StateCommitment {
+    /// Derives the commitment binding the execution of `txs` from `pre` to
+    /// `post`.
+    ///
+    /// Both root reads go through each state's incremental commitment cache
+    /// (`parole-state`), so the Merkle tree over a given pre-state is built
+    /// at most once per state value: when the aggregator derives the
+    /// commitment and one or more verifiers later re-read the same
+    /// pre-state root, every read after the first is a cached O(1) lookup
+    /// rather than a full O(total-world) rebuild.
+    pub fn derive(
+        pre: &parole_state::L2State,
+        post: &parole_state::L2State,
+        txs: &[NftTransaction],
+    ) -> Self {
+        StateCommitment {
+            pre_state_root: pre.state_root(),
+            post_state_root: post.state_root(),
+            tx_root: Batch::compute_tx_root(txs),
+        }
+    }
+}
+
 /// A batch of ordered transactions with its execution evidence.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Batch {

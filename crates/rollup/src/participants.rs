@@ -110,16 +110,17 @@ impl Aggregator {
 
     /// Orders `window` with the configured strategy, executes it on a fork of
     /// `state`, and produces the batch with its state commitment.
+    ///
+    /// The pre-state root read inside [`StateCommitment::derive`] hits the
+    /// state's commitment cache, so building many batches over the same
+    /// pre-state (or having verifiers re-read it in [`Verifier::validate`])
+    /// computes the Merkle tree once instead of once per participant.
     pub fn build_batch(&mut self, state: &L2State, window: Vec<NftTransaction>) -> Batch {
         let ordered = self.strategy.order(state, window);
         let (receipts, post_state) = self.ovm.simulate_sequence(state, &ordered);
         Batch {
             aggregator: self.id,
-            commitment: StateCommitment {
-                pre_state_root: state.state_root(),
-                post_state_root: post_state.state_root(),
-                tx_root: Batch::compute_tx_root(&ordered),
-            },
+            commitment: StateCommitment::derive(state, &post_state, &ordered),
             txs: ordered,
             receipts,
         }

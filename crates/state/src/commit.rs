@@ -1,0 +1,241 @@
+//! The incremental state-commitment cache.
+//!
+//! `L2State::state_root()` used to re-encode and re-hash every account and
+//! every collection and rebuild the full Merkle tree on each call — O(total
+//! world size) — while the fraud-proof game calls it from a dozen sites per
+//! window and the reorder search commits thousands of candidate schedules
+//! per episode. This module memoizes the commitment:
+//!
+//! - [`CommitCache`] holds a resident [`CommitTree`] plus the sorted key
+//!   vectors mapping each account / collection to its leaf position;
+//! - [`CommitSlot`] wraps the cache with the **dirty sets**: every mutation
+//!   on `L2State` (credit, debit, nonce bump, mint, transfer, burn, deploy,
+//!   raw `collection_mut` access, and every undo-log rollback) marks the
+//!   touched record, and the next `state_root()` re-derives only the dirty
+//!   leaves — O(dirty · log n) instead of O(total).
+//!
+//! Forks share the clean cache copy-on-write: the tree and key vectors live
+//! behind an [`Arc`], so `L2State::clone` / `L2State::fork` is O(1) for the
+//! commitment state and the first post-fork flush pays one memcpy of the
+//! levels (no re-hashing) via [`Arc::make_mut`].
+//!
+//! The resulting root is bit-identical to
+//! [`L2State::state_root_naive`](crate::L2State::state_root_naive), the
+//! from-scratch rebuild that stays available as the independent side of the
+//! audit differential oracle. The replay proptests in `tests/prop.rs`
+//! assert the equality after every mutation, fork and rollback.
+
+use crate::AccountState;
+use parole_crypto::{keccak256, CommitTree, Hash32};
+use parole_nft::Collection;
+use parole_primitives::Address;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Hashes one account record into its state-root leaf.
+///
+/// The preimage is `"acct" ‖ address ‖ len(encoding) ‖ encoding`: the
+/// explicit length prefix makes the encoding injective even if the account
+/// serialization ever grows variable-width fields, so no two distinct
+/// records can share a preimage.
+pub(crate) fn acct_leaf(addr: Address, acct: &AccountState) -> Hash32 {
+    let encoded = acct.encode();
+    let mut buf = Vec::with_capacity(28 + encoded.len());
+    buf.extend_from_slice(b"acct");
+    buf.extend_from_slice(addr.as_bytes());
+    buf.extend_from_slice(&(encoded.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&encoded);
+    keccak256(&buf)
+}
+
+/// Hashes one collection's ownership/supply state into its state-root leaf.
+///
+/// The preimage is `"coll" ‖ address ‖ remaining-supply ‖ pair-count ‖
+/// (token ‖ owner)*`: the explicit pair-count prefix separates the
+/// fixed-width header from the variable-length ownership list, so records
+/// with different pair counts can never collide byte-for-byte.
+pub(crate) fn coll_leaf(addr: Address, coll: &Collection) -> Hash32 {
+    let mut buf = Vec::with_capacity(48 + coll.active_supply() as usize * 28);
+    buf.extend_from_slice(b"coll");
+    buf.extend_from_slice(addr.as_bytes());
+    buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
+    buf.extend_from_slice(&coll.active_supply().to_be_bytes());
+    for (token, owner) in coll.iter() {
+        buf.extend_from_slice(&token.value().to_be_bytes());
+        buf.extend_from_slice(owner.as_bytes());
+    }
+    keccak256(&buf)
+}
+
+/// A materialized commitment: the resident tree plus the leaf index maps.
+///
+/// Leaf order matches the naive rebuild exactly: all account leaves in
+/// address order, then all collection leaves in address order.
+#[derive(Debug, Clone)]
+pub(crate) struct CommitCache {
+    tree: CommitTree,
+    /// Account addresses in leaf order (sorted); `acct_keys[i]` owns leaf `i`.
+    acct_keys: Vec<Address>,
+    /// Collection addresses in leaf order; `coll_keys[j]` owns leaf
+    /// `acct_keys.len() + j`.
+    coll_keys: Vec<Address>,
+}
+
+impl CommitCache {
+    /// Builds the full commitment from scratch (the one unavoidable O(n)
+    /// pass; every later flush is O(dirty · log n)).
+    fn build(
+        accounts: &BTreeMap<Address, AccountState>,
+        collections: &BTreeMap<Address, Collection>,
+    ) -> Self {
+        let mut leaves = Vec::with_capacity(accounts.len() + collections.len());
+        for (addr, acct) in accounts {
+            leaves.push(acct_leaf(*addr, acct));
+        }
+        for (addr, coll) in collections {
+            leaves.push(coll_leaf(*addr, coll));
+        }
+        CommitCache {
+            tree: CommitTree::from_leaves(leaves),
+            acct_keys: accounts.keys().copied().collect(),
+            coll_keys: collections.keys().copied().collect(),
+        }
+    }
+
+    /// Reconciles the tree with the current world for exactly the dirty
+    /// records: created records splice a leaf in, destroyed records splice
+    /// one out, surviving records re-derive their leaf hash, and all
+    /// affected paths are repaired in one batched O(dirty · log n) pass.
+    fn apply(
+        &mut self,
+        accounts: &BTreeMap<Address, AccountState>,
+        collections: &BTreeMap<Address, Collection>,
+        dirty_accts: &BTreeSet<Address>,
+        dirty_colls: &BTreeSet<Address>,
+    ) {
+        // Structural pass: create/destroy leaves first so every index used
+        // by the batched update below is final.
+        for &who in dirty_accts {
+            match (accounts.get(&who), self.acct_keys.binary_search(&who)) {
+                (Some(acct), Err(pos)) => {
+                    self.acct_keys.insert(pos, who);
+                    self.tree.insert(pos, acct_leaf(who, acct));
+                }
+                (None, Ok(pos)) => {
+                    self.acct_keys.remove(pos);
+                    self.tree.remove(pos);
+                }
+                _ => {}
+            }
+        }
+        let offset = self.acct_keys.len();
+        for &addr in dirty_colls {
+            match (collections.get(&addr), self.coll_keys.binary_search(&addr)) {
+                (Some(coll), Err(pos)) => {
+                    self.coll_keys.insert(pos, addr);
+                    self.tree.insert(offset + pos, coll_leaf(addr, coll));
+                }
+                (None, Ok(pos)) => {
+                    self.coll_keys.remove(pos);
+                    self.tree.remove(offset + pos);
+                }
+                _ => {}
+            }
+        }
+
+        // Content pass: re-derive every surviving dirty leaf and repair the
+        // tree in one batch (shared ancestor paths hash once).
+        let mut updates = Vec::with_capacity(dirty_accts.len() + dirty_colls.len());
+        for &who in dirty_accts {
+            if let (Some(acct), Ok(pos)) = (accounts.get(&who), self.acct_keys.binary_search(&who))
+            {
+                updates.push((pos, acct_leaf(who, acct)));
+            }
+        }
+        for &addr in dirty_colls {
+            if let (Some(coll), Ok(pos)) =
+                (collections.get(&addr), self.coll_keys.binary_search(&addr))
+            {
+                updates.push((offset + pos, coll_leaf(addr, coll)));
+            }
+        }
+        self.tree.update_batch(&updates);
+    }
+}
+
+/// The per-state commitment slot: an optional shared cache plus the dirty
+/// sets accumulated since the last flush.
+///
+/// The cache is `None` until the first `state_root()` call (states that
+/// never commit pay nothing). Dirty marking is a no-op while the cache is
+/// `None` — there is nothing to invalidate, and the first flush builds from
+/// the live maps anyway.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CommitSlot {
+    cache: Option<Arc<CommitCache>>,
+    dirty_accts: BTreeSet<Address>,
+    dirty_colls: BTreeSet<Address>,
+}
+
+impl CommitSlot {
+    /// Marks an account record as touched (created, mutated or destroyed).
+    #[inline]
+    pub(crate) fn mark_acct(&mut self, who: Address) {
+        if self.cache.is_some() {
+            self.dirty_accts.insert(who);
+        }
+    }
+
+    /// Marks a collection record as touched (deployed, mutated or rolled
+    /// back).
+    #[inline]
+    pub(crate) fn mark_coll(&mut self, addr: Address) {
+        if self.cache.is_some() {
+            self.dirty_colls.insert(addr);
+        }
+    }
+
+    /// Returns the current state root, building the cache on first use and
+    /// otherwise flushing only the dirty records through the resident tree.
+    pub(crate) fn root(
+        &mut self,
+        accounts: &BTreeMap<Address, AccountState>,
+        collections: &BTreeMap<Address, Collection>,
+    ) -> Hash32 {
+        match self.cache.as_mut() {
+            None => {
+                let cache = CommitCache::build(accounts, collections);
+                let root = cache.tree.root();
+                self.cache = Some(Arc::new(cache));
+                root
+            }
+            Some(shared) => {
+                if self.dirty_accts.is_empty() && self.dirty_colls.is_empty() {
+                    return shared.tree.root();
+                }
+                // Copy-on-write: forks share the parent's clean cache until
+                // one side actually flushes new dirt through it.
+                let cache = Arc::make_mut(shared);
+                cache.apply(accounts, collections, &self.dirty_accts, &self.dirty_colls);
+                self.dirty_accts.clear();
+                self.dirty_colls.clear();
+                cache.tree.root()
+            }
+        }
+    }
+
+    /// Test-only sabotage: tampers with one cached leaf *without* marking it
+    /// dirty, emulating a cache whose invalidation hooks missed a mutation.
+    /// Returns `false` when there is no materialized leaf to corrupt.
+    pub(crate) fn corrupt_for_tests(&mut self) -> bool {
+        match self.cache.as_mut() {
+            Some(shared) if !shared.tree.is_empty() => {
+                Arc::make_mut(shared)
+                    .tree
+                    .update(0, keccak256(b"deliberately stale leaf"));
+                true
+            }
+            _ => false,
+        }
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod account;
+mod commit;
 mod journal;
 mod world;
 

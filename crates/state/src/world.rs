@@ -1,5 +1,6 @@
 //! The complete L2 world state.
 
+use crate::commit::{acct_leaf, coll_leaf, CommitSlot};
 use crate::journal::{Journal, JournalEntry};
 use crate::{AccountState, Checkpoint};
 use parole_crypto::{keccak256, Hash32, MerkleTree};
@@ -8,6 +9,7 @@ use parole_primitives::{Address, BlockNumber, PrimitiveError, TokenId, Wei};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors raised by balance operations on the world state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +79,14 @@ pub struct L2State {
     /// state's mutation history and are meaningless anywhere else.
     #[serde(skip)]
     journal: Journal,
+    /// Memoized state commitment plus dirty sets (see `crate::commit`).
+    /// Excluded from serialization and equality — it is derived state, and
+    /// `state_root()` rebuilds it on demand. Clones *do* carry it: the tree
+    /// sits behind an `Arc`, so forking shares the parent's clean leaf cache
+    /// copy-on-write. Interior mutability (a mutex, never contended on the
+    /// single-owner hot path) lets `state_root(&self)` flush lazily.
+    #[serde(skip)]
+    commit: Mutex<CommitSlot>,
 }
 
 impl Clone for L2State {
@@ -86,6 +96,7 @@ impl Clone for L2State {
             collections: self.collections.clone(),
             block: self.block,
             journal: Journal::default(),
+            commit: Mutex::new(self.commit_slot().clone()),
         }
     }
 }
@@ -106,7 +117,25 @@ impl L2State {
             collections: BTreeMap::new(),
             block: BlockNumber::default(),
             journal: Journal::default(),
+            commit: Mutex::new(CommitSlot::default()),
         }
+    }
+
+    /// Locks the commitment slot (the mutex is never contended on the
+    /// single-owner hot path; a poisoned lock only means a panic unwound
+    /// mid-flush, and the slot is still structurally valid).
+    fn commit_slot(&self) -> std::sync::MutexGuard<'_, CommitSlot> {
+        self.commit.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// An independent speculative fork of this state.
+    ///
+    /// Identical to `clone()`, named for the hot path: the fork shares the
+    /// parent's clean commitment cache copy-on-write, so the fork's first
+    /// `state_root()` after executing a window re-hashes only the records
+    /// the window touched instead of the whole world.
+    pub fn fork(&self) -> L2State {
+        self.clone()
     }
 
     /// Switches on undo-log journaling: every subsequent mutation records
@@ -137,35 +166,54 @@ impl L2State {
     /// reconstructs garbage.
     pub fn revert_to(&mut self, cp: Checkpoint) {
         while self.journal.entries.len() > cp.0 {
+            // Every restored record re-enters the dirty set: a rollback is a
+            // mutation as far as the commitment cache is concerned.
             match self.journal.entries.pop().expect("length checked") {
-                JournalEntry::Account { who, prev } => match prev {
-                    Some(acct) => {
-                        self.accounts.insert(who, acct);
+                JournalEntry::Account { who, prev } => {
+                    Self::slot_mut(&mut self.commit).mark_acct(who);
+                    match prev {
+                        Some(acct) => {
+                            self.accounts.insert(who, acct);
+                        }
+                        None => {
+                            self.accounts.remove(&who);
+                        }
                     }
-                    None => {
-                        self.accounts.remove(&who);
-                    }
-                },
+                }
                 JournalEntry::Block { prev } => self.block = prev,
                 JournalEntry::CollectionDeployed { addr } => {
+                    Self::slot_mut(&mut self.commit).mark_coll(addr);
                     self.collections.remove(&addr);
                 }
-                JournalEntry::TokenOp { addr, undo } => self
-                    .collections
-                    .get_mut(&addr)
-                    .expect("journaled collection exists")
-                    .apply_undo(undo),
+                JournalEntry::TokenOp { addr, undo } => {
+                    Self::slot_mut(&mut self.commit).mark_coll(addr);
+                    self.collections
+                        .get_mut(&addr)
+                        .expect("journaled collection exists")
+                        .apply_undo(undo);
+                }
                 JournalEntry::CollectionSnapshot { addr, prev } => {
+                    Self::slot_mut(&mut self.commit).mark_coll(addr);
                     self.collections.insert(addr, *prev);
                 }
             }
         }
     }
 
+    /// Commitment-slot access that borrows only the `commit` field, so call
+    /// sites holding disjoint borrows (e.g. a `&mut Collection`) can still
+    /// mark dirt.
+    #[inline]
+    fn slot_mut(commit: &mut Mutex<CommitSlot>) -> &mut CommitSlot {
+        commit.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Journals the full prior record of `who` (cheap: `AccountState` is
-    /// `Copy`) if recording is on. Must be called before the mutation.
+    /// `Copy`) if recording is on, and marks the account dirty for the
+    /// commitment cache. Must be called before the mutation.
     #[inline]
     fn journal_account(&mut self, who: Address) {
+        Self::slot_mut(&mut self.commit).mark_acct(who);
         if self.journal.recording {
             self.journal.entries.push(JournalEntry::Account {
                 who,
@@ -288,6 +336,7 @@ impl L2State {
         if self.collections.contains_key(&addr) {
             return Err(StateError::AddressOccupied(addr));
         }
+        Self::slot_mut(&mut self.commit).mark_coll(addr);
         if self.journal.recording {
             self.journal
                 .entries
@@ -315,6 +364,11 @@ impl L2State {
     /// Returns [`StateError::NoSuchCollection`] when nothing is deployed
     /// there.
     pub fn collection_mut(&mut self, addr: Address) -> Result<&mut Collection, StateError> {
+        if self.collections.contains_key(&addr) {
+            // Conservatively dirty: the caller can mutate arbitrarily
+            // through the returned reference.
+            Self::slot_mut(&mut self.commit).mark_coll(addr);
+        }
         if self.journal.recording {
             let prev = self
                 .collections
@@ -352,6 +406,7 @@ impl L2State {
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
         Ok(coll.mint_undoable(to, token).map(|undo| {
+            Self::slot_mut(&mut self.commit).mark_coll(collection);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
                     addr: collection,
@@ -380,6 +435,7 @@ impl L2State {
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
         Ok(coll.transfer_undoable(from, to, token).map(|undo| {
+            Self::slot_mut(&mut self.commit).mark_coll(collection);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
                     addr: collection,
@@ -407,6 +463,7 @@ impl L2State {
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
         Ok(coll.burn_undoable(owner, token).map(|undo| {
+            Self::slot_mut(&mut self.commit).mark_coll(collection);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
                     addr: collection,
@@ -433,33 +490,55 @@ impl L2State {
         self.balance_of(who) + nft_value
     }
 
-    /// Computes the Merkle state root committing to every account and every
+    /// The Merkle state root committing to every account and every
     /// collection's ownership/supply state.
     ///
-    /// Leaves are `keccak(domain ‖ key ‖ encoded-record)` in deterministic
-    /// (BTreeMap) order, so two states with identical contents always produce
-    /// identical roots — the property the fraud-proof game relies on.
+    /// Leaves are `keccak(domain ‖ key ‖ length-prefixed record)` in
+    /// deterministic (BTreeMap) order, so two states with identical contents
+    /// always produce identical roots — the property the fraud-proof game
+    /// relies on.
+    ///
+    /// This is the **incremental** path: the commitment tree is built once,
+    /// kept resident, and repaired for exactly the records mutated since the
+    /// previous call — O(dirty · log n) instead of O(total). The result is
+    /// bit-identical to [`L2State::state_root_naive`], the from-scratch
+    /// rebuild the audit differential oracle re-derives independently; the
+    /// replay proptests in `tests/prop.rs` pin the equality down across
+    /// mutations, forks and undo-log rollbacks.
     pub fn state_root(&self) -> Hash32 {
+        self.commit_slot().root(&self.accounts, &self.collections)
+    }
+
+    /// Recomputes the state root from scratch: every record re-encoded and
+    /// re-hashed, the tree rebuilt leaf-up, no cache consulted or touched.
+    ///
+    /// O(total world size) — this is the reference implementation that
+    /// [`L2State::state_root`] must match bit for bit. The audit layer's
+    /// differential oracle uses it as the independent side so a stale or
+    /// corrupted commitment cache can never vouch for itself.
+    pub fn state_root_naive(&self) -> Hash32 {
         let mut leaves = Vec::with_capacity(self.accounts.len() + self.collections.len());
         for (addr, acct) in &self.accounts {
-            let mut buf = Vec::with_capacity(64);
-            buf.extend_from_slice(b"acct");
-            buf.extend_from_slice(addr.as_bytes());
-            buf.extend_from_slice(&acct.encode());
-            leaves.push(keccak256(&buf));
+            leaves.push(acct_leaf(*addr, acct));
         }
         for (addr, coll) in &self.collections {
-            let mut buf = Vec::with_capacity(64 + coll.active_supply() as usize * 28);
-            buf.extend_from_slice(b"coll");
-            buf.extend_from_slice(addr.as_bytes());
-            buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
-            for (token, owner) in coll.iter() {
-                buf.extend_from_slice(&token.value().to_be_bytes());
-                buf.extend_from_slice(owner.as_bytes());
-            }
-            leaves.push(keccak256(&buf));
+            leaves.push(coll_leaf(*addr, coll));
         }
         MerkleTree::from_leaves(leaves).root()
+    }
+
+    /// Test-only sabotage hook for the audit mutation-smoke harness: forces
+    /// the commitment cache to materialize, then tampers with one cached
+    /// leaf *without* marking it dirty — emulating an invalidation bug.
+    /// Returns `false` when the state has no leaf to corrupt.
+    ///
+    /// After this returns `true`, `state_root()` serves a stale root that
+    /// [`L2State::state_root_naive`] (and hence the audit differential
+    /// oracle) must flag. Never call outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_commit_cache_for_tests(&mut self) -> bool {
+        let _ = self.state_root();
+        Self::slot_mut(&mut self.commit).corrupt_for_tests()
     }
 
     /// Total L2 tokens in circulation (sum of all account balances) —

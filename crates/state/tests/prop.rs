@@ -99,6 +99,60 @@ proptest! {
         }
     }
 
+    /// The incremental dirty-tracked state root is bit-identical to the
+    /// naive from-scratch rebuild after **every** step of a random mutation
+    /// sequence, interleaved with undo-log checkpoint/rollback cycles and
+    /// cache-sharing forks. This is the contract the fraud-proof game rides
+    /// on: a single missed invalidation diverges the two roots.
+    #[test]
+    fn incremental_root_matches_naive_at_every_step(
+        warmup in prop::collection::vec(arb_op(), 0..15),
+        speculated in prop::collection::vec(arb_op(), 1..15),
+        committed in prop::collection::vec(arb_op(), 1..15),
+        forked in prop::collection::vec(arb_op(), 1..10),
+    ) {
+        let (mut s, coll) = fresh();
+        // Warm the cache mid-history so later flushes exercise the
+        // incremental path (inserts, updates and removes), not the build.
+        for op in &warmup {
+            apply(&mut s, coll, op);
+            prop_assert_eq!(s.state_root(), s.state_root_naive());
+        }
+        s.begin_recording();
+
+        // A speculated burst that is fully rolled back: the root must
+        // return to the checkpoint value through dirty-set invalidation.
+        let cp = s.checkpoint();
+        let root_at_cp = s.state_root();
+        for op in &speculated {
+            apply(&mut s, coll, op);
+            prop_assert_eq!(s.state_root(), s.state_root_naive());
+        }
+        s.revert_to(cp);
+        prop_assert_eq!(s.state_root(), root_at_cp);
+        prop_assert_eq!(s.state_root(), s.state_root_naive());
+
+        // A committed burst, then a fork sharing the clean cache CoW: both
+        // sides keep agreeing with their own naive rebuilds while
+        // diverging from each other.
+        for op in &committed {
+            apply(&mut s, coll, op);
+        }
+        prop_assert_eq!(s.state_root(), s.state_root_naive());
+        let mut fork = s.fork();
+        for op in &forked {
+            apply(&mut fork, coll, op);
+            prop_assert_eq!(fork.state_root(), fork.state_root_naive());
+        }
+        prop_assert_eq!(s.state_root(), s.state_root_naive());
+        // New accounts/collections appearing only in the fork must splice
+        // into the fork's tree without disturbing the parent's.
+        fork.credit(Address::from_low_u64(999), Wei::from_wei(7));
+        let _ = fork.deploy_collection(CollectionConfig::limited_edition("FK", 3, 50));
+        prop_assert_eq!(fork.state_root(), fork.state_root_naive());
+        prop_assert_eq!(s.state_root(), s.state_root_naive());
+    }
+
     /// Forks are fully independent: mutating a clone never touches the
     /// original, in balances or collections.
     #[test]

@@ -6,8 +6,16 @@
 //! timing loop (warm-up estimate, then enough iterations to fill the
 //! measurement window). No statistics machinery; each benchmark reports
 //! mean ns/iter on stdout, which is what the perf workflow consumes.
+//!
+//! The harness honours the two upstream CLI conventions CI leans on:
+//! `--test` shrinks every timing window to a smoke pass (each benchmark
+//! runs a couple of iterations — "does it still execute" rather than "how
+//! fast"), and any non-flag argument is a substring filter on the
+//! `group/name` label, so `cargo bench --bench kernels -- --test
+//! state_root` smoke-runs just the state-root group.
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Re-export so `criterion::black_box` callers keep working.
@@ -197,7 +205,50 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut f: F) {
+/// Harness flags parsed once from the process arguments.
+#[derive(Debug, Default)]
+struct HarnessOptions {
+    /// `--test`: smoke mode — shrink every timing window so each benchmark
+    /// just proves it still runs.
+    test_mode: bool,
+    /// Non-flag arguments: substring filters on the `group/name` label.
+    filters: Vec<String>,
+}
+
+fn harness_options() -> &'static HarnessOptions {
+    static OPTIONS: OnceLock<HarnessOptions> = OnceLock::new();
+    OPTIONS.get_or_init(|| {
+        let mut opts = HarnessOptions::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => opts.test_mode = true,
+                // Other harness flags (--bench, --quiet, ...) are accepted
+                // and ignored, as upstream does for unknown knobs.
+                s if s.starts_with('-') => {}
+                s => opts.filters.push(s.to_owned()),
+            }
+        }
+        opts
+    })
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, f: F) {
+    run_benchmark_with(label, settings, harness_options(), f);
+}
+
+fn run_benchmark_with<F: FnMut(&mut Bencher)>(
+    label: &str,
+    mut settings: Settings,
+    opts: &HarnessOptions,
+    mut f: F,
+) {
+    if !opts.filters.is_empty() && !opts.filters.iter().any(|n| label.contains(n.as_str())) {
+        return;
+    }
+    if opts.test_mode {
+        settings.warm_up_time = Duration::from_millis(1);
+        settings.measurement_time = Duration::from_millis(1);
+    }
     let mut bencher = Bencher {
         settings,
         ns_per_iter: 0.0,
@@ -246,8 +297,8 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench` passes harness flags (--bench, filters); this
-            // simple harness runs everything regardless.
+            // Harness flags (`--test`, name filters) are parsed lazily per
+            // benchmark; see `harness_options`.
             $($group();)+
         }
     };
@@ -257,20 +308,58 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Settings with near-zero timing windows for fast tests.
+    fn quick() -> Settings {
+        Settings {
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+        }
+    }
+
+    // Drives `run_benchmark_with` directly with explicit options so the
+    // assertions hold even when the test binary itself was invoked with a
+    // libtest name filter (which would otherwise act as a bench filter).
     #[test]
     fn bench_runs_and_reports() {
-        let mut c = Criterion::default()
-            .measurement_time(Duration::from_millis(10))
-            .warm_up_time(Duration::from_millis(1));
-        let mut group = c.benchmark_group("test");
         let mut count = 0u64;
-        group.bench_function("spin", |b| {
+        run_benchmark_with("test/spin", quick(), &HarnessOptions::default(), |b| {
             b.iter(|| {
                 count += 1;
                 count
             })
         });
-        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn name_filter_skips_non_matching_benchmarks() {
+        let opts = HarnessOptions {
+            test_mode: false,
+            filters: vec!["state_root".into()],
+        };
+        let mut matched = 0u64;
+        let mut skipped = 0u64;
+        run_benchmark_with("state_root/full/100", quick(), &opts, |b| {
+            b.iter(|| matched += 1)
+        });
+        run_benchmark_with("ovm/simulate", quick(), &opts, |b| b.iter(|| skipped += 1));
+        assert!(matched > 0);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn test_mode_shrinks_the_windows() {
+        let opts = HarnessOptions {
+            test_mode: true,
+            filters: Vec::new(),
+        };
+        let slow = Settings {
+            measurement_time: Duration::from_secs(3600),
+            warm_up_time: Duration::from_secs(3600),
+        };
+        let mut count = 0u64;
+        // Would not terminate in test time without the smoke override.
+        run_benchmark_with("smoke/one", slow, &opts, |b| b.iter(|| count += 1));
         assert!(count > 0);
     }
 }
