@@ -91,10 +91,45 @@ fn bench_state_root(c: &mut Criterion) {
                     })
                 },
             );
+            report_keccak_per_flush(&mut warm, n, dirty);
         }
     }
     group.finish();
 }
+
+/// Telemetry-armed companion readout for the incremental state-root bench:
+/// the distribution of keccak invocations each flush actually performs, the
+/// quantity the wall-clock numbers above are a proxy for.
+#[cfg(feature = "telemetry")]
+fn report_keccak_per_flush(warm: &mut parole_state::L2State, n: usize, dirty: usize) {
+    use parole_primitives::Address;
+    use parole_telemetry as tel;
+
+    tel::reset();
+    for round in 0..50u64 {
+        for d in 0..dirty as u64 {
+            warm.credit(
+                Address::from_low_u64((round * dirty as u64 + d) % n as u64 + 1),
+                Wei::from_wei(1),
+            );
+        }
+        black_box(warm.state_root());
+    }
+    let snap = tel::snapshot();
+    if let Some(h) = snap.histogram("state.keccak_per_root") {
+        println!(
+            "state_root/incremental_dirty{dirty}/{n}: keccak per flush min {} max {} mean {:.1} over {} flushes",
+            h.min,
+            h.max,
+            h.mean(),
+            h.count
+        );
+    }
+    tel::reset();
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn report_keccak_per_flush(_warm: &mut parole_state::L2State, _n: usize, _dirty: usize) {}
 
 fn bench_mempool(c: &mut Criterion) {
     let mut group = c.benchmark_group("mempool");

@@ -1,8 +1,8 @@
 //! Performance report for the measured optimizations, written to
 //! `target/experiments/`.
 //!
-//! Two sections, selectable by the first CLI argument (`pr1` or
-//! `state-root`; no argument runs both):
+//! Three sections, selectable by the first CLI argument (`pr1`,
+//! `state-root` or `metrics`; no argument runs all):
 //!
 //! **`pr1`** (→ `BENCH_PR1.json`):
 //!
@@ -17,6 +17,13 @@
 //! **`state-root`** (→ `BENCH_PR3.json`): full from-scratch state-root
 //! rebuild vs the dirty-tracked incremental flush, across world sizes and
 //! dirty-set sizes, asserting the two roots stay bit-identical.
+//!
+//! **`metrics`** (→ `BENCH_PR4.json`, requires `--features telemetry`): runs
+//! one end-to-end attack round — traffic → sequencer seal → GENTRANSEQ
+//! adversarial batch → rollup finalization → fleet sweep — at 1, 2 and 8
+//! fleet threads, asserts every counter and histogram is bit-identical
+//! across thread counts, prints the flamegraph-style span tree, and records
+//! the full metrics snapshot.
 
 use parole::fleet::{run_fleet, FleetConfig};
 use parole::{ActionSpace, EvalConfig, GentranseqModule, ReorderEnv, RewardConfig};
@@ -188,12 +195,316 @@ fn run_state_root_section() {
     write_json("BENCH_PR3", &Pr3Report { state_root: rows });
 }
 
+/// The `metrics` section (telemetry-armed build): cross-thread-count
+/// determinism of the pipeline's counters and histograms, plus the recorded
+/// snapshot itself.
+#[cfg(feature = "telemetry")]
+mod metrics_section {
+    use parole::fleet::{run_fleet, FleetConfig};
+    use parole::{GentranseqModule, ParoleModule, ParoleStrategy};
+    use parole_bench::report::write_json;
+    use parole_mempool::{BedrockMempool, Sequencer, WorkloadConfig, WorkloadGenerator};
+    use parole_nft::CollectionConfig;
+    use parole_primitives::{Address, AggregatorId, Gas, TokenId, Wei};
+    use parole_rollup::{Aggregator, RollupConfig, RollupContract};
+    use parole_telemetry as tel;
+    use serde::{Number, Serialize, Value};
+
+    /// One full attack round through every instrumented layer, with the
+    /// fleet sweep at the given pool size. Everything outside the fleet is
+    /// single-threaded, and the fleet's outcome is pool-size-invariant, so
+    /// the recorded event counts must not depend on `threads`.
+    fn run_workload(threads: usize) {
+        let mut rollup = RollupContract::new(RollupConfig::default());
+        let collection = rollup
+            .l2_state_for_setup()
+            .deploy_collection(CollectionConfig::limited_edition("TEL", 60, 500));
+        let users: Vec<Address> = (1..=10u64).map(Address::from_low_u64).collect();
+        let ifu = Address::from_low_u64(7_777);
+        rollup.commit_setup();
+        for &u in &users {
+            rollup.deposit(u, Wei::from_eth(40)).unwrap();
+        }
+        rollup.deposit(ifu, Wei::from_eth(40)).unwrap();
+
+        // Honest seed batch so the IFU and a few users hold tokens.
+        rollup.bond_aggregator(AggregatorId::new(0));
+        let mut setup = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+        let seed_txs: Vec<_> = [ifu, ifu, users[0], users[1]]
+            .iter()
+            .enumerate()
+            .map(|(i, &owner)| {
+                parole_ovm::NftTransaction::simple(
+                    owner,
+                    parole_ovm::TxKind::Mint {
+                        collection,
+                        token: TokenId::new(i as u64),
+                    },
+                )
+            })
+            .collect();
+        let batch = setup.build_batch(rollup.l2_state(), seed_txs);
+        rollup.submit_batch(batch).unwrap();
+        rollup.finalize_all();
+
+        // Sequencer: generated traffic through the Bedrock mempool, sealed
+        // into a block (fee market + deferral instrumentation).
+        let mut generator = WorkloadGenerator::new(
+            3,
+            WorkloadConfig {
+                ifu_participation: 0.35,
+                ..WorkloadConfig::default()
+            },
+        );
+        let traffic = generator.generate(rollup.l2_state(), collection, &users, &[ifu], 16);
+        let mut pool = BedrockMempool::new(Wei::from_gwei(1));
+        pool.submit_all(traffic);
+        let mut sequencer = Sequencer::new(pool, Gas::new(2_000_000));
+        let block = sequencer.seal_block(rollup.l2_state(), None);
+
+        // Adversarial GENTRANSEQ batch over the sealed window (DRL training
+        // + prefix-cached OVM evaluation), finalized on the simulated L1.
+        rollup.bond_aggregator(AggregatorId::new(1));
+        let strategy = ParoleStrategy::new(ParoleModule::new(GentranseqModule::fast()), vec![ifu]);
+        let mut adversary =
+            Aggregator::new(AggregatorId::new(1), Wei::from_eth(10), Box::new(strategy));
+        let batch = adversary.build_batch(rollup.l2_state(), block.txs);
+        rollup.submit_batch(batch).unwrap();
+        rollup.finalize_all();
+        assert_eq!(rollup.undetected_forgeries(), 0);
+
+        // Fleet sweep: the only multi-threaded stage.
+        let outcome = run_fleet(&FleetConfig {
+            threads,
+            n_aggregators: 4,
+            adversarial_fraction: 0.5,
+            mempool_size: 10,
+            rounds: 1,
+            gentranseq: GentranseqModule::fast(),
+            ..FleetConfig::default()
+        });
+        std::hint::black_box(outcome);
+    }
+
+    /// Total activations of a span name anywhere in the merged tree.
+    fn span_count(nodes: &[tel::SpanNode], name: &str) -> u64 {
+        nodes
+            .iter()
+            .map(|n| (if n.name == name { n.count } else { 0 }) + span_count(&n.children, name))
+            .sum()
+    }
+
+    fn str_key(k: &str) -> Value {
+        Value::Str(k.into())
+    }
+
+    /// Renders a snapshot into the vendored [`Value`] tree so it rides
+    /// inside the provenance envelope `write_json` adds (the snapshot's own
+    /// `to_json` renderer cannot be embedded as a raw fragment).
+    fn snapshot_to_value(snap: &tel::MetricsSnapshot) -> Value {
+        let counters = snap
+            .counters
+            .iter()
+            .map(|(k, v)| (str_key(k), Value::Num(Number::UInt(u128::from(*v)))))
+            .collect();
+        let histograms = snap
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|b| {
+                        Value::Seq(vec![
+                            Value::Num(Number::UInt(u128::from(b.low))),
+                            Value::Num(Number::UInt(u128::from(b.high))),
+                            Value::Num(Number::UInt(u128::from(b.count))),
+                        ])
+                    })
+                    .collect();
+                let fields = vec![
+                    (str_key("count"), Value::Num(Number::UInt(h.count.into()))),
+                    (str_key("sum"), Value::Num(Number::UInt(h.sum))),
+                    (str_key("min"), Value::Num(Number::UInt(h.min.into()))),
+                    (str_key("max"), Value::Num(Number::UInt(h.max.into()))),
+                    (str_key("mean"), Value::Num(Number::Float(h.mean()))),
+                    (str_key("buckets"), Value::Seq(buckets)),
+                ];
+                (str_key(k), Value::Map(fields))
+            })
+            .collect();
+        let floats = snap
+            .floats
+            .iter()
+            .map(|(k, f)| {
+                let fields = vec![
+                    (str_key("count"), Value::Num(Number::UInt(f.count.into()))),
+                    (str_key("sum"), Value::Num(Number::Float(f.sum))),
+                    (str_key("mean"), Value::Num(Number::Float(f.mean()))),
+                    (str_key("last"), Value::Num(Number::Float(f.last))),
+                ];
+                (str_key(k), Value::Map(fields))
+            })
+            .collect();
+        Value::Map(vec![
+            (str_key("counters"), Value::Map(counters)),
+            (str_key("histograms"), Value::Map(histograms)),
+            (str_key("floats"), Value::Map(floats)),
+            (str_key("spans"), spans_to_value(&snap.spans)),
+        ])
+    }
+
+    fn spans_to_value(spans: &[tel::SpanNode]) -> Value {
+        Value::Seq(
+            spans
+                .iter()
+                .map(|s| {
+                    Value::Map(vec![
+                        (str_key("name"), Value::Str(s.name.clone())),
+                        (str_key("count"), Value::Num(Number::UInt(s.count.into()))),
+                        (str_key("total_ns"), Value::Num(Number::UInt(s.total_ns))),
+                        (str_key("children"), spans_to_value(&s.children)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    struct Pr4Report {
+        thread_counts: Vec<usize>,
+        counters_bit_identical: bool,
+        histograms_bit_identical: bool,
+        snapshot: tel::MetricsSnapshot,
+    }
+
+    impl Serialize for Pr4Report {
+        fn to_value(&self) -> Value {
+            Value::Map(vec![
+                (
+                    str_key("thread_counts"),
+                    Value::Seq(
+                        self.thread_counts
+                            .iter()
+                            .map(|t| Value::Num(Number::UInt(*t as u128)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    str_key("counters_bit_identical"),
+                    Value::Bool(self.counters_bit_identical),
+                ),
+                (
+                    str_key("histograms_bit_identical"),
+                    Value::Bool(self.histograms_bit_identical),
+                ),
+                (str_key("snapshot"), snapshot_to_value(&self.snapshot)),
+            ])
+        }
+    }
+
+    pub fn run_metrics_section() {
+        let thread_counts = vec![1usize, 2, 8];
+        let mut snaps: Vec<tel::MetricsSnapshot> = Vec::new();
+        for &threads in &thread_counts {
+            tel::reset();
+            run_workload(threads);
+            snaps.push(tel::snapshot());
+        }
+        tel::reset();
+
+        let base = &snaps[0];
+        let counters_bit_identical = snaps.iter().all(|s| s.counters == base.counters);
+        let histograms_bit_identical = snaps.iter().all(|s| s.histograms == base.histograms);
+        for (i, s) in snaps.iter().enumerate().skip(1) {
+            for (k, v) in &base.counters {
+                if s.counters.get(k) != Some(v) {
+                    println!(
+                        "  counter {k}: threads={} -> {v}, threads={} -> {:?}",
+                        thread_counts[0],
+                        thread_counts[i],
+                        s.counters.get(k)
+                    );
+                }
+            }
+            for (k, v) in &s.counters {
+                if !base.counters.contains_key(k) {
+                    println!(
+                        "  counter {k}: absent at threads={}, {v} at threads={}",
+                        thread_counts[0], thread_counts[i]
+                    );
+                }
+            }
+        }
+        println!(
+            "metrics: {} counters, {} histograms, {} float series over threads {:?}",
+            base.counters.len(),
+            base.histograms.len(),
+            base.floats.len(),
+            thread_counts
+        );
+        println!(
+            "counters bit-identical: {counters_bit_identical} | histograms bit-identical: {histograms_bit_identical}"
+        );
+        println!("\n{}", base.span_tree_text());
+
+        // The pipeline actually lit up end to end.
+        for name in [
+            "sequencer.blocks_sealed",
+            "state.root_calls",
+            "ovm.txs_executed",
+            "rollup.batches_submitted",
+            "drl.episodes",
+            "fleet.cells",
+            "crypto.keccak256",
+        ] {
+            assert!(base.counter(name) > 0, "counter {name} never incremented");
+        }
+        assert!(
+            span_count(&base.spans, "sequencer.seal_block") > 0,
+            "seal_block span missing from the tree"
+        );
+        assert!(
+            span_count(&base.spans, "state.root") > 0,
+            "state.root span missing from the tree"
+        );
+        assert!(
+            counters_bit_identical,
+            "counters diverged across fleet thread counts"
+        );
+        assert!(
+            histograms_bit_identical,
+            "histograms diverged across fleet thread counts"
+        );
+
+        write_json(
+            "BENCH_PR4",
+            &Pr4Report {
+                thread_counts,
+                counters_bit_identical,
+                histograms_bit_identical,
+                snapshot: snaps.swap_remove(0),
+            },
+        );
+    }
+}
+
+#[cfg(feature = "telemetry")]
+use metrics_section::run_metrics_section;
+
+#[cfg(not(feature = "telemetry"))]
+fn run_metrics_section() {
+    println!("metrics section skipped: rebuild with --features telemetry to record BENCH_PR4");
+}
+
 fn main() {
     let only = std::env::args().nth(1);
     let run = |name: &str| match only.as_deref() {
         None => true,
         Some(s) => s == name,
     };
+    if run("metrics") {
+        run_metrics_section();
+    }
     if run("state-root") {
         run_state_root_section();
     }

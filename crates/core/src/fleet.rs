@@ -263,6 +263,14 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
             .map(|g| g.generate(&state, collection, &users, &ifus, config.mempool_size))
             .collect();
 
+        // Materialize the round-start commitment before fanning out. The
+        // cache lives behind the state's internal mutex, so without this the
+        // amount of Merkle work each cell observes (and its clones inherit)
+        // would depend on which worker reads the root first — the hash
+        // values stay identical, but per-cell work counts would vary with
+        // the pool partition, which the telemetry determinism checks forbid.
+        let _ = state.state_root();
+
         // Fan the expensive ordering step (GENTRANSEQ training for the
         // adversarial aggregators) across the pool. Tip revenue is a
         // permutation-invariant sum, so it can be read off the re-ordered
@@ -273,6 +281,8 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
             aggregators.iter_mut().zip(windows).collect(),
             config.threads,
             move |(agg, window): (&mut Aggregator, Vec<_>)| {
+                let _span = parole_telemetry::span("fleet.cell");
+                parole_telemetry::counter("fleet.cells", 1);
                 if window.is_empty() {
                     return None;
                 }

@@ -304,6 +304,8 @@ impl ReorderEnv {
     /// the whole window on a fresh state clone. Both produce identical
     /// artifacts.
     fn evaluate_current(&mut self) -> Evaluation {
+        let _span = parole_telemetry::span("mdp.evaluate");
+        parole_telemetry::counter("mdp.evaluations", 1);
         self.scratch_seq.clear();
         for &i in &self.current {
             self.scratch_seq.push(self.original[i]);

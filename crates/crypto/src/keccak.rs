@@ -123,6 +123,7 @@ impl Keccak256 {
     }
 
     fn absorb_block(&mut self) {
+        parole_telemetry::counter("crypto.keccak_f", 1);
         for i in 0..RATE / 8 {
             let lane = u64::from_le_bytes(self.buffer[i * 8..i * 8 + 8].try_into().expect("8"));
             let (x, y) = (i % 5, i / 5);
@@ -134,6 +135,7 @@ impl Keccak256 {
 
     /// Finishes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> Hash32 {
+        parole_telemetry::counter("crypto.keccak256", 1);
         // Keccak (pre-NIST) multi-rate padding: 0x01 ... 0x80.
         let mut block = [0u8; RATE];
         block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);

@@ -282,7 +282,10 @@ impl DqnAgent {
         grads.scale(1.0 / batch as f64);
         grads.clip(10.0);
         self.optimizer.apply(&mut self.q_net, &grads);
-        Some(total_td / batch as f64)
+        let mean_td = total_td / batch as f64;
+        parole_telemetry::counter("drl.train_steps", 1);
+        parole_telemetry::observe_f64("drl.td_error", mean_td);
+        Some(mean_td)
     }
 
     /// Copies the Q-network into the target network.
@@ -298,6 +301,7 @@ impl DqnAgent {
         episode: usize,
         epsilon: f64,
     ) -> EpisodeStats {
+        let _span = parole_telemetry::span("drl.run_episode");
         let mut state = env.reset();
         let mut total_reward = 0.0;
         let mut steps = 0;
@@ -328,6 +332,11 @@ impl DqnAgent {
                 break;
             }
         }
+        parole_telemetry::counter("drl.episodes", 1);
+        parole_telemetry::counter("drl.steps", steps as u64);
+        parole_telemetry::observe_f64("drl.episode_reward", total_reward);
+        parole_telemetry::observe_f64("drl.epsilon", epsilon);
+        parole_telemetry::observe("drl.replay_occupancy", self.buffer.len() as u64);
         EpisodeStats {
             episode,
             total_reward,

@@ -104,6 +104,8 @@ impl Sequencer {
         state: &L2State,
         screening: Option<&mut ScreeningHook<'_>>,
     ) -> SealedBlock {
+        let _span = parole_telemetry::span("sequencer.seal_block");
+        parole_telemetry::observe("sequencer.mempool_depth", self.mempool.len() as u64);
         // Pull candidates up to the gas limit.
         let mut candidates = Vec::new();
         let mut gas = Gas::ZERO;
@@ -126,6 +128,7 @@ impl Sequencer {
         let txs = match screening {
             Some(hook) => {
                 let screened = hook(state, candidates);
+                parole_telemetry::counter("sequencer.txs_deferred", screened.deferred.len() as u64);
                 for tx in &screened.deferred {
                     self.mempool.submit(*tx);
                 }
@@ -157,6 +160,10 @@ impl Sequencer {
 
         self.mempool.set_base_fee(new_fee);
         self.blocks_sealed += 1;
+        parole_telemetry::counter("sequencer.blocks_sealed", 1);
+        parole_telemetry::counter("sequencer.txs_sealed", txs.len() as u64);
+        parole_telemetry::observe("sequencer.gas_used", gas_used.units());
+        parole_telemetry::observe_f64("sequencer.base_fee_gwei", new_fee.gwei() as f64);
         SealedBlock {
             number: self.blocks_sealed,
             txs,

@@ -95,13 +95,17 @@ impl Ovm {
             .map(|c| c.price())
             .unwrap_or(Wei::ZERO);
 
-        let receipt = |status: TxStatus, fee_paid: Wei, price_after: Wei| Receipt {
-            tx_hash: tx.tx_hash(),
-            status,
-            gas_used,
-            fee_paid,
-            price_before,
-            price_after,
+        let receipt = |status: TxStatus, fee_paid: Wei, price_after: Wei| {
+            let r = Receipt {
+                tx_hash: tx.tx_hash(),
+                status,
+                gas_used,
+                fee_paid,
+                price_before,
+                price_after,
+            };
+            Self::record_outcome(&r);
+            r
         };
 
         // Uniform nonce accounting: the claimed sender's nonce is consumed
@@ -135,6 +139,15 @@ impl Ovm {
             .map(|c| c.price())
             .unwrap_or(Wei::ZERO);
         receipt(status, fee, price_after)
+    }
+
+    /// Records per-transaction outcome telemetry; called once per
+    /// [`Ovm::execute`] at the single exit point.
+    fn record_outcome(receipt: &Receipt) {
+        parole_telemetry::counter("ovm.txs_executed", 1);
+        if !receipt.is_success() {
+            parole_telemetry::counter("ovm.txs_reverted", 1);
+        }
     }
 
     /// Applies the NFT operation itself; returns the resulting status.

@@ -81,6 +81,7 @@ impl PrefixExecutor {
     /// `Ovm::simulate_sequence(base, seq)` but with only the diverged
     /// suffix replayed.
     pub fn execute(&mut self, seq: &[NftTransaction]) -> (&[Receipt], &L2State) {
+        let _span = parole_telemetry::span("ovm.prefix_execute");
         // Divergence point: the longest common prefix with the previous
         // sequence (`NftTransaction` is `Copy + PartialEq`, so this is a
         // plain field comparison, not a hash).
@@ -98,6 +99,14 @@ impl PrefixExecutor {
             .rposition(|&(slot, _)| slot <= common)
             .expect("mark (0, base) always present");
         let (resume, cp) = self.marks[keep];
+        // A "hit" means some prefix survived: the search paid for replaying
+        // strictly less than the full window.
+        if resume > 0 {
+            parole_telemetry::counter("ovm.prefix_checkpoint_hits", 1);
+        } else {
+            parole_telemetry::counter("ovm.prefix_checkpoint_misses", 1);
+        }
+        parole_telemetry::observe("ovm.prefix_replay_len", (seq.len() - resume) as u64);
         self.work.revert_to(cp);
         self.marks.truncate(keep + 1);
         self.receipts.truncate(resume);
@@ -120,6 +129,9 @@ impl PrefixExecutor {
         self.stats.evaluations += 1;
         self.stats.slots_executed += (seq.len() - resume) as u64;
         self.stats.slots_skipped += resume as u64;
+        parole_telemetry::counter("ovm.prefix_evaluations", 1);
+        parole_telemetry::counter("ovm.prefix_slots_executed", (seq.len() - resume) as u64);
+        parole_telemetry::counter("ovm.prefix_slots_skipped", resume as u64);
         (&self.receipts, &self.work)
     }
 

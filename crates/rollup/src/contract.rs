@@ -286,6 +286,15 @@ impl RollupContract {
     ///
     /// See [`RollupError`].
     pub fn submit_batch(&mut self, batch: Batch) -> Result<BatchId, RollupError> {
+        let result = self.submit_batch_inner(batch);
+        match &result {
+            Ok(_) => parole_telemetry::counter("rollup.batches_submitted", 1),
+            Err(_) => parole_telemetry::counter("rollup.batches_rejected", 1),
+        }
+        result
+    }
+
+    fn submit_batch_inner(&mut self, batch: Batch) -> Result<BatchId, RollupError> {
         let bond = self.aggregator_bond(batch.aggregator);
         if bond.is_zero() {
             return Err(RollupError::NotBonded(batch.aggregator));
@@ -391,14 +400,17 @@ impl RollupContract {
         re_state.advance_block();
         let honest_root = re_state.state_root();
 
+        parole_telemetry::counter("rollup.challenges", 1);
         if honest_root == batch.commitment.post_state_root {
             // Frivolous challenge.
+            parole_telemetry::counter("rollup.challenges_rejected", 1);
             let slashed = vbond;
             self.verifier_bonds.insert(verifier, Wei::ZERO);
             return Ok(ChallengeOutcome::ChallengeRejected { slashed });
         }
 
         // Fraud proven: slash, reward, roll back.
+        parole_telemetry::counter("rollup.fraud_proven", 1);
         let aggregator = batch.aggregator;
         let abond = self.aggregator_bond(aggregator);
         let reward = abond
@@ -476,7 +488,9 @@ impl RollupContract {
                     self.canonical.advance_block();
                     if self.canonical.state_root() != batch.commitment.post_state_root {
                         self.undetected_forgeries += 1;
+                        parole_telemetry::counter("rollup.undetected_forgeries", 1);
                     }
+                    parole_telemetry::counter("rollup.batches_finalized", 1);
                     finalized.push(id);
                 }
             }
@@ -507,6 +521,9 @@ impl RollupContract {
     #[cfg(feature = "audit")]
     fn audit_state(state: &L2State, context: &str) {
         if let Err((collection, violation)) = parole_audit::invariants::check_state(state) {
+            // Recorded before the fail-stop panic so a telemetry snapshot
+            // taken by a catching harness still shows the trip.
+            parole_telemetry::counter("rollup.audit_trips", 1);
             panic!("rollup {context} audit failed for collection {collection}: {violation}");
         }
     }

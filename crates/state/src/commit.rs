@@ -29,8 +29,13 @@ use crate::AccountState;
 use parole_crypto::{keccak256, CommitTree, Hash32};
 use parole_nft::Collection;
 use parole_primitives::Address;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Sticky dirty count: the record is dirty for reasons the journal cannot
+/// account for (mutations journaled before the cache existed, or before the
+/// last flush), so undo-log rollbacks must never clean it.
+const STICKY: u32 = u32::MAX;
 
 /// Hashes one account record into its state-root leaf.
 ///
@@ -106,46 +111,58 @@ impl CommitCache {
     /// records: created records splice a leaf in, destroyed records splice
     /// one out, surviving records re-derive their leaf hash, and all
     /// affected paths are repaired in one batched O(dirty · log n) pass.
-    fn apply(
+    ///
+    /// Returns the number of leaves flushed (created + destroyed +
+    /// re-hashed) — the telemetry quantity the ROADMAP's redundant-dirty
+    /// follow-up is measured by.
+    fn apply<'a>(
         &mut self,
         accounts: &BTreeMap<Address, AccountState>,
         collections: &BTreeMap<Address, Collection>,
-        dirty_accts: &BTreeSet<Address>,
-        dirty_colls: &BTreeSet<Address>,
-    ) {
+        dirty_accts: impl Iterator<Item = &'a Address> + Clone,
+        dirty_colls: impl Iterator<Item = &'a Address> + Clone,
+    ) -> usize {
+        let mut flushed = 0usize;
         // Structural pass: create/destroy leaves first so every index used
         // by the batched update below is final.
-        for &who in dirty_accts {
+        for &who in dirty_accts.clone() {
             match (accounts.get(&who), self.acct_keys.binary_search(&who)) {
                 (Some(acct), Err(pos)) => {
                     self.acct_keys.insert(pos, who);
                     self.tree.insert(pos, acct_leaf(who, acct));
+                    flushed += 1;
                 }
                 (None, Ok(pos)) => {
                     self.acct_keys.remove(pos);
                     self.tree.remove(pos);
+                    flushed += 1;
                 }
                 _ => {}
             }
         }
         let offset = self.acct_keys.len();
-        for &addr in dirty_colls {
+        for &addr in dirty_colls.clone() {
             match (collections.get(&addr), self.coll_keys.binary_search(&addr)) {
                 (Some(coll), Err(pos)) => {
                     self.coll_keys.insert(pos, addr);
                     self.tree.insert(offset + pos, coll_leaf(addr, coll));
+                    flushed += 1;
                 }
                 (None, Ok(pos)) => {
                     self.coll_keys.remove(pos);
                     self.tree.remove(offset + pos);
+                    flushed += 1;
                 }
                 _ => {}
             }
         }
 
         // Content pass: re-derive every surviving dirty leaf and repair the
-        // tree in one batch (shared ancestor paths hash once).
-        let mut updates = Vec::with_capacity(dirty_accts.len() + dirty_colls.len());
+        // tree in one batch (shared ancestor paths hash once). A record
+        // created in the structural pass re-derives here too; its leaf hash
+        // is already final, so the double-hash on the rare creation path is
+        // harmless.
+        let mut updates = Vec::new();
         for &who in dirty_accts {
             if let (Some(acct), Ok(pos)) = (accounts.get(&who), self.acct_keys.binary_search(&who))
             {
@@ -159,22 +176,48 @@ impl CommitCache {
                 updates.push((offset + pos, coll_leaf(addr, coll)));
             }
         }
+        flushed += updates.len();
         self.tree.update_batch(&updates);
+        flushed
     }
 }
 
 /// The per-state commitment slot: an optional shared cache plus the dirty
-/// sets accumulated since the last flush.
+/// records accumulated since the last flush.
 ///
 /// The cache is `None` until the first `state_root()` call (states that
 /// never commit pay nothing). Dirty marking is a no-op while the cache is
 /// `None` — there is nothing to invalidate, and the first flush builds from
 /// the live maps anyway.
+///
+/// # Rollback-aware dirty tracking
+///
+/// Dirty records carry a **mutation count**, and the slot remembers a
+/// high-water mark `hwm`: the journal length at the moment the cache was
+/// last built or flushed. Together they let an undo-log rollback *clean*
+/// a record instead of re-dirtying it:
+///
+/// - a forward mutation increments the record's count;
+/// - undoing a journal entry at index `i ≥ hwm` decrements it — that entry's
+///   forward mark is still in the map, and when the count hits zero every
+///   mutation since the flush has been exactly undone, so the record again
+///   equals its committed leaf and needs no re-hash;
+/// - undoing an entry at index `i < hwm` pins the count to [`STICKY`]: the
+///   entry predates the flush (or the cache itself), its forward mark is
+///   gone (or never existed), so the restored value differs from the
+///   committed leaf in a way counts cannot track.
+///
+/// This closes the ROADMAP follow-up where `revert_to` conservatively
+/// re-dirtied every record it restored: a speculative window that executes
+/// and fully rolls back now flushes **zero** leaves.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CommitSlot {
     cache: Option<Arc<CommitCache>>,
-    dirty_accts: BTreeSet<Address>,
-    dirty_colls: BTreeSet<Address>,
+    dirty_accts: BTreeMap<Address, u32>,
+    dirty_colls: BTreeMap<Address, u32>,
+    /// Journal length at the last cache build/flush. Entries below this
+    /// index have no live forward mark (see the struct docs).
+    hwm: usize,
 }
 
 impl CommitSlot {
@@ -182,7 +225,8 @@ impl CommitSlot {
     #[inline]
     pub(crate) fn mark_acct(&mut self, who: Address) {
         if self.cache.is_some() {
-            self.dirty_accts.insert(who);
+            let c = self.dirty_accts.entry(who).or_insert(0);
+            *c = c.saturating_add(1);
         }
     }
 
@@ -191,37 +235,123 @@ impl CommitSlot {
     #[inline]
     pub(crate) fn mark_coll(&mut self, addr: Address) {
         if self.cache.is_some() {
-            self.dirty_colls.insert(addr);
+            let c = self.dirty_colls.entry(addr).or_insert(0);
+            *c = c.saturating_add(1);
         }
+    }
+
+    /// Rollback-marks an account: called when `revert_to` undoes the journal
+    /// entry at `index` that had mutated `who`.
+    #[inline]
+    pub(crate) fn unmark_acct(&mut self, who: Address, index: usize) {
+        if self.cache.is_some() {
+            let below_hwm = index < self.hwm;
+            Self::unmark(&mut self.dirty_accts, who, below_hwm);
+        }
+    }
+
+    /// Rollback-marks a collection (see [`CommitSlot::unmark_acct`]).
+    #[inline]
+    pub(crate) fn unmark_coll(&mut self, addr: Address, index: usize) {
+        if self.cache.is_some() {
+            let below_hwm = index < self.hwm;
+            Self::unmark(&mut self.dirty_colls, addr, below_hwm);
+        }
+    }
+
+    fn unmark(dirty: &mut BTreeMap<Address, u32>, key: Address, below_hwm: bool) {
+        match dirty.get_mut(&key) {
+            Some(c) if *c == STICKY => {} // sticky dirt never cleans
+            Some(c) if !below_hwm && *c > 1 => *c -= 1,
+            Some(_) if !below_hwm => {
+                // Count reaches zero: every post-flush mutation undone, the
+                // record matches its committed leaf again.
+                dirty.remove(&key);
+            }
+            _ => {
+                // Entry predates the flush (or the map entry is missing —
+                // only possible if the invariant broke): pin sticky, which
+                // is always safe because a dirty record is merely re-hashed.
+                dirty.insert(key, STICKY);
+            }
+        }
+    }
+
+    /// Informs the slot that the journal was truncated to `len` (by a
+    /// rollback): marks issued after the truncation point are gone, so the
+    /// high-water mark can only move down.
+    #[inline]
+    pub(crate) fn journal_truncated(&mut self, len: usize) {
+        self.hwm = self.hwm.min(len);
+    }
+
+    /// Number of records currently marked dirty (telemetry/test hook).
+    pub(crate) fn dirty_records(&self) -> usize {
+        self.dirty_accts.len() + self.dirty_colls.len()
+    }
+
+    /// Resets the high-water mark for a fork: clones get a fresh, empty
+    /// journal, so every future journal index is ≥ 0 and carries its own
+    /// forward mark.
+    pub(crate) fn reset_hwm_for_fork(&mut self) {
+        self.hwm = 0;
     }
 
     /// Returns the current state root, building the cache on first use and
     /// otherwise flushing only the dirty records through the resident tree.
+    ///
+    /// `journal_len` is the owning state's current journal length; it
+    /// becomes the new high-water mark for rollback-aware dirty tracking.
     pub(crate) fn root(
         &mut self,
         accounts: &BTreeMap<Address, AccountState>,
         collections: &BTreeMap<Address, Collection>,
+        journal_len: usize,
     ) -> Hash32 {
-        match self.cache.as_mut() {
+        let _span = parole_telemetry::span("state.root");
+        parole_telemetry::counter("state.root_calls", 1);
+        let keccak_before = parole_telemetry::local_counter("crypto.keccak256");
+        let root = match self.cache.as_mut() {
             None => {
+                parole_telemetry::counter("state.commit_builds", 1);
                 let cache = CommitCache::build(accounts, collections);
                 let root = cache.tree.root();
                 self.cache = Some(Arc::new(cache));
+                self.dirty_accts.clear();
+                self.dirty_colls.clear();
+                self.hwm = journal_len;
                 root
             }
             Some(shared) => {
                 if self.dirty_accts.is_empty() && self.dirty_colls.is_empty() {
+                    parole_telemetry::counter("state.root_clean_hits", 1);
                     return shared.tree.root();
                 }
+                parole_telemetry::observe(
+                    "state.dirty_records",
+                    (self.dirty_accts.len() + self.dirty_colls.len()) as u64,
+                );
                 // Copy-on-write: forks share the parent's clean cache until
                 // one side actually flushes new dirt through it.
                 let cache = Arc::make_mut(shared);
-                cache.apply(accounts, collections, &self.dirty_accts, &self.dirty_colls);
+                let flushed = cache.apply(
+                    accounts,
+                    collections,
+                    self.dirty_accts.keys(),
+                    self.dirty_colls.keys(),
+                );
+                parole_telemetry::observe("state.leaves_flushed", flushed as u64);
                 self.dirty_accts.clear();
                 self.dirty_colls.clear();
+                self.hwm = journal_len;
                 cache.tree.root()
             }
-        }
+        };
+        // Both reads happen on this thread with no flush in between, so the
+        // delta is exactly this call's digest count.
+        let keccak_delta = parole_telemetry::local_counter("crypto.keccak256") - keccak_before;
+        parole_telemetry::observe("state.keccak_per_root", keccak_delta);
+        root
     }
 
     /// Test-only sabotage: tampers with one cached leaf *without* marking it

@@ -91,12 +91,16 @@ pub struct L2State {
 
 impl Clone for L2State {
     fn clone(&self) -> Self {
+        let mut slot = self.commit_slot().clone();
+        // The fork starts with a fresh, empty journal: its undo indices
+        // restart at 0, so the rollback high-water mark must too.
+        slot.reset_hwm_for_fork();
         L2State {
             accounts: self.accounts.clone(),
             collections: self.collections.clone(),
             block: self.block,
             journal: Journal::default(),
-            commit: Mutex::new(self.commit_slot().clone()),
+            commit: Mutex::new(slot),
         }
     }
 }
@@ -165,12 +169,21 @@ impl L2State {
     /// reverted past) is a logic error; it either panics or silently
     /// reconstructs garbage.
     pub fn revert_to(&mut self, cp: Checkpoint) {
+        let depth = self.journal.entries.len().saturating_sub(cp.0);
+        if depth > 0 {
+            parole_telemetry::counter("state.reverts", 1);
+            parole_telemetry::observe("state.revert_depth", depth as u64);
+        }
         while self.journal.entries.len() > cp.0 {
-            // Every restored record re-enters the dirty set: a rollback is a
-            // mutation as far as the commitment cache is concerned.
+            // A rollback is a mutation as far as the commitment cache is
+            // concerned — but an *inverse* one: undoing an entry journaled
+            // after the last flush cancels that entry's dirty mark, and a
+            // record whose marks all cancel is restored to its committed
+            // value and needs no re-hash (see `CommitSlot`).
+            let index = self.journal.entries.len() - 1;
             match self.journal.entries.pop().expect("length checked") {
                 JournalEntry::Account { who, prev } => {
-                    Self::slot_mut(&mut self.commit).mark_acct(who);
+                    Self::slot_mut(&mut self.commit).unmark_acct(who, index);
                     match prev {
                         Some(acct) => {
                             self.accounts.insert(who, acct);
@@ -182,22 +195,23 @@ impl L2State {
                 }
                 JournalEntry::Block { prev } => self.block = prev,
                 JournalEntry::CollectionDeployed { addr } => {
-                    Self::slot_mut(&mut self.commit).mark_coll(addr);
+                    Self::slot_mut(&mut self.commit).unmark_coll(addr, index);
                     self.collections.remove(&addr);
                 }
                 JournalEntry::TokenOp { addr, undo } => {
-                    Self::slot_mut(&mut self.commit).mark_coll(addr);
+                    Self::slot_mut(&mut self.commit).unmark_coll(addr, index);
                     self.collections
                         .get_mut(&addr)
                         .expect("journaled collection exists")
                         .apply_undo(undo);
                 }
                 JournalEntry::CollectionSnapshot { addr, prev } => {
-                    Self::slot_mut(&mut self.commit).mark_coll(addr);
+                    Self::slot_mut(&mut self.commit).unmark_coll(addr, index);
                     self.collections.insert(addr, *prev);
                 }
             }
         }
+        Self::slot_mut(&mut self.commit).journal_truncated(cp.0);
     }
 
     /// Commitment-slot access that borrows only the `commit` field, so call
@@ -506,7 +520,11 @@ impl L2State {
     /// replay proptests in `tests/prop.rs` pin the equality down across
     /// mutations, forks and undo-log rollbacks.
     pub fn state_root(&self) -> Hash32 {
-        self.commit_slot().root(&self.accounts, &self.collections)
+        self.commit_slot().root(
+            &self.accounts,
+            &self.collections,
+            self.journal.entries.len(),
+        )
     }
 
     /// Recomputes the state root from scratch: every record re-encoded and
@@ -539,6 +557,14 @@ impl L2State {
     pub fn corrupt_commit_cache_for_tests(&mut self) -> bool {
         let _ = self.state_root();
         Self::slot_mut(&mut self.commit).corrupt_for_tests()
+    }
+
+    /// Number of records currently marked dirty in the commitment slot.
+    /// Test/telemetry hook for asserting that rollbacks cancel dirty marks;
+    /// not part of the stable API.
+    #[doc(hidden)]
+    pub fn dirty_record_count(&self) -> usize {
+        self.commit_slot().dirty_records()
     }
 
     /// Total L2 tokens in circulation (sum of all account balances) —

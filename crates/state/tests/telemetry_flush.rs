@@ -1,0 +1,70 @@
+//! Telemetry-armed regression for the rollback-aware dirty tracking: the
+//! `state.leaves_flushed` histogram shows that a fully-reverted window
+//! flushes zero leaves, and the per-root keccak counter is live.
+//!
+//! Single `#[test]` on purpose: the metrics registry is process-global and
+//! this integration binary owns it outright.
+
+#![cfg(feature = "telemetry")]
+
+use parole_primitives::{Address, Wei};
+use parole_state::L2State;
+use parole_telemetry as tel;
+
+fn addr(v: u64) -> Address {
+    Address::from_low_u64(v)
+}
+
+#[test]
+fn reverted_window_flushes_zero_leaves() {
+    let mut s = L2State::new();
+    for i in 0..50 {
+        s.credit(addr(i), Wei::from_eth(1));
+    }
+    s.begin_recording();
+    let _ = s.state_root(); // build the cache outside the measured window
+
+    tel::reset();
+
+    // A speculative window that fully rolls back: with rollback-aware dirty
+    // tracking the subsequent state_root() is a clean hit, no flush at all.
+    let cp = s.checkpoint();
+    for i in 0..10 {
+        s.transfer_balance(addr(i), addr(i + 10), Wei::from_gwei(1))
+            .unwrap();
+    }
+    s.revert_to(cp);
+    let _ = s.state_root();
+
+    let snap = tel::snapshot();
+    assert_eq!(snap.counter("state.root_clean_hits"), 1);
+    assert!(
+        snap.histogram("state.leaves_flushed").is_none(),
+        "a fully-reverted window must flush no leaves; got {:?}",
+        snap.histogram("state.leaves_flushed")
+    );
+    assert_eq!(snap.counter("state.reverts"), 1);
+    assert_eq!(snap.histogram("state.revert_depth").unwrap().max, 20);
+
+    // Control: the same window *without* the revert flushes its dirty
+    // leaves and pays keccak digests for them.
+    tel::reset();
+    for i in 0..10 {
+        s.transfer_balance(addr(i), addr(i + 10), Wei::from_gwei(1))
+            .unwrap();
+    }
+    let _ = s.state_root();
+    let snap = tel::snapshot();
+    let flushed = snap
+        .histogram("state.leaves_flushed")
+        .expect("dirty window flushes");
+    assert_eq!(flushed.count, 1);
+    assert_eq!(flushed.sum, 20, "10 transfers touch 20 accounts");
+    let keccak = snap
+        .histogram("state.keccak_per_root")
+        .expect("keccak per root recorded");
+    assert!(keccak.max > 0, "flush must pay keccak digests");
+    assert!(snap.counter("crypto.keccak256") >= keccak.max as u64);
+
+    tel::reset();
+}

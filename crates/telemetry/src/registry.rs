@@ -1,0 +1,496 @@
+//! The live registry: thread-local recording buffers merged into a global
+//! store (compiled only with the `enabled` feature).
+//!
+//! # Architecture
+//!
+//! Every recording call lands in a `thread_local!` buffer — one uncontended
+//! hash-map update, no atomics, no locks on the hot path. Buffers drain into
+//! the process-wide global registry at two points:
+//!
+//! - **thread exit** — the thread-local buffer's `Drop` merges it, which is
+//!   what makes scoped worker pools (`par::parallel_map`) "just work": by the
+//!   time the scope joins, every worker has merged;
+//! - **[`snapshot`]** — flushes the *calling* thread's buffer before
+//!   exporting (other live threads' unflushed tails are not visible until
+//!   they exit or snapshot themselves).
+//!
+//! Counter and histogram merges are integer additions — associative and
+//! commutative — so totals are **bit-stable under any thread count and any
+//! scheduling**. Span durations and float series are wall-clock/order
+//! dependent and carry no such guarantee.
+//!
+//! # Reset epochs
+//!
+//! [`reset`] bumps a global epoch; thread-local buffers lazily discard their
+//! contents when they notice the epoch moved, so a reset cannot be polluted
+//! by a stale buffer merging later.
+
+use crate::snapshot::{BucketCount, FloatStat, HistogramSnapshot, MetricsSnapshot, SpanNode};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Sentinel parent index for root-level spans (and for inert span guards).
+const ROOT: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Histogram accumulator
+// ---------------------------------------------------------------------------
+
+/// Log₂-bucketed u64 histogram: bucket 0 holds exactly the value 0, bucket
+/// `i ≥ 1` holds `[2^(i-1), 2^i - 1]`.
+#[derive(Clone)]
+struct Hist {
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The closed value range bucket `i` covers.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+impl Hist {
+    fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    fn export(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    let (low, high) = bucket_bounds(i);
+                    BucketCount {
+                        low,
+                        high,
+                        count: c,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+fn merge_float(into: &mut FloatStat, other: &FloatStat) {
+    into.count += other.count;
+    into.sum += other.sum;
+    into.min = into.min.min(other.min);
+    into.max = into.max.max(other.max);
+    if other.count > 0 {
+        into.last = other.last;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local span arena
+// ---------------------------------------------------------------------------
+
+struct ArenaNode {
+    name: &'static str,
+    count: u64,
+    total_ns: u128,
+    children: Vec<usize>,
+}
+
+/// Per-thread span tree: nodes are interned per `(parent, name)` pair, the
+/// stack tracks the currently open chain.
+#[derive(Default)]
+struct SpanArena {
+    nodes: Vec<ArenaNode>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+    index: HashMap<(usize, &'static str), usize>,
+}
+
+impl SpanArena {
+    fn enter(&mut self, name: &'static str) -> usize {
+        let parent = self.stack.last().copied().unwrap_or(ROOT);
+        let idx = match self.index.get(&(parent, name)) {
+            Some(&idx) => idx,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(ArenaNode {
+                    name,
+                    count: 0,
+                    total_ns: 0,
+                    children: Vec::new(),
+                });
+                self.index.insert((parent, name), idx);
+                if parent == ROOT {
+                    self.roots.push(idx);
+                } else {
+                    self.nodes[parent].children.push(idx);
+                }
+                idx
+            }
+        };
+        self.stack.push(idx);
+        idx
+    }
+
+    fn exit(&mut self, node: usize, elapsed_ns: u128) {
+        if node >= self.nodes.len() {
+            return; // guard outlived a reset; nothing to record against
+        }
+        let n = &mut self.nodes[node];
+        n.count += 1;
+        n.total_ns += elapsed_ns;
+        // RAII guards nest; a mismatch means a guard was dropped out of
+        // order, in which case the stack is repaired up to the node.
+        while let Some(top) = self.stack.pop() {
+            if top == node {
+                break;
+            }
+        }
+    }
+
+    /// Adds this arena's counts into the global tree and zeroes them in
+    /// place. The structure (and any open stack) survives so live guards'
+    /// node indices stay valid across a flush.
+    fn drain_into(&mut self, global: &mut BTreeMap<&'static str, GlobalSpan>) {
+        let roots = self.roots.clone();
+        for root in roots {
+            self.drain_node(root, global);
+        }
+    }
+
+    fn drain_node(&mut self, idx: usize, siblings: &mut BTreeMap<&'static str, GlobalSpan>) {
+        let (name, count, total_ns, children) = {
+            let n = &mut self.nodes[idx];
+            let out = (n.name, n.count, n.total_ns, n.children.clone());
+            n.count = 0;
+            n.total_ns = 0;
+            out
+        };
+        let slot = siblings.entry(name).or_default();
+        slot.count += count;
+        slot.total_ns += total_ns;
+        for child in children {
+            // Borrow dance: take the child map out while recursing.
+            let mut child_map =
+                std::mem::take(&mut siblings.get_mut(name).expect("present").children);
+            self.drain_node(child, &mut child_map);
+            siblings.get_mut(name).expect("present").children = child_map;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global registry
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct GlobalSpan {
+    count: u64,
+    total_ns: u128,
+    children: BTreeMap<&'static str, GlobalSpan>,
+}
+
+fn export_spans(spans: &BTreeMap<&'static str, GlobalSpan>) -> Vec<SpanNode> {
+    spans
+        .iter()
+        .map(|(&name, g)| SpanNode {
+            name: name.to_string(),
+            count: g.count,
+            total_ns: g.total_ns,
+            children: export_spans(&g.children),
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct Global {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+    floats: BTreeMap<&'static str, FloatStat>,
+    spans: BTreeMap<&'static str, GlobalSpan>,
+}
+
+static GLOBAL: OnceLock<Mutex<Global>> = OnceLock::new();
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn global() -> MutexGuard<'static, Global> {
+    GLOBAL
+        .get_or_init(|| Mutex::new(Global::default()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local buffer
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Local {
+    epoch: u64,
+    counters: HashMap<&'static str, u64>,
+    hists: HashMap<&'static str, Hist>,
+    floats: HashMap<&'static str, FloatStat>,
+    arena: SpanArena,
+}
+
+impl Local {
+    fn ensure_epoch(&mut self) {
+        let now = EPOCH.load(Ordering::Relaxed);
+        if self.epoch != now {
+            self.counters.clear();
+            self.hists.clear();
+            self.floats.clear();
+            self.arena = SpanArena::default();
+            self.epoch = now;
+        }
+    }
+
+    /// Merges everything recorded locally into the global registry and
+    /// clears the local buffers (span structure is kept, counts zeroed —
+    /// open guards stay valid).
+    fn flush(&mut self) {
+        if EPOCH.load(Ordering::Relaxed) != self.epoch {
+            // Recorded against a registry that has since been reset.
+            return;
+        }
+        let mut g = global();
+        for (name, v) in self.counters.drain() {
+            *g.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in self.hists.drain() {
+            g.hists.entry(name).or_default().merge(&h);
+        }
+        for (name, f) in self.floats.drain() {
+            merge_float(g.floats.entry(name).or_default(), &f);
+        }
+        self.arena.drain_into(&mut g.spans);
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new(Local::default());
+}
+
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|cell| {
+            let mut local = cell.borrow_mut();
+            local.ensure_epoch();
+            f(&mut local)
+        })
+        .ok()
+}
+
+// ---------------------------------------------------------------------------
+// Public API (the `enabled` implementations)
+// ---------------------------------------------------------------------------
+
+/// Adds `delta` to the named monotonic counter.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    with_local(|l| *l.counters.entry(name).or_insert(0) += delta);
+}
+
+/// Records one observation into the named log₂-bucketed histogram.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    with_local(|l| l.hists.entry(name).or_default().observe(value));
+}
+
+/// Records one observation into the named floating-point series.
+#[inline]
+pub fn observe_f64(name: &'static str, value: f64) {
+    with_local(|l| {
+        let f = l.floats.entry(name).or_default();
+        f.count += 1;
+        f.sum += value;
+        f.min = f.min.min(value);
+        f.max = f.max.max(value);
+        f.last = value;
+    });
+}
+
+/// This thread's unflushed total for a counter (0 when nothing recorded).
+///
+/// Instrumentation uses before/after reads of this to attribute low-level
+/// event counts (e.g. Keccak permutations) to an enclosing operation; both
+/// reads happen on one thread with no flush in between, so the delta is
+/// exact regardless of what other threads do.
+#[inline]
+pub fn local_counter(name: &'static str) -> u64 {
+    with_local(|l| l.counters.get(name).copied().unwrap_or(0)).unwrap_or(0)
+}
+
+/// An RAII guard for one span activation; records its wall-clock duration
+/// into the thread-local span tree on drop.
+///
+/// Deliberately `!Send`: a guard records into the stack of the thread that
+/// opened it.
+pub struct SpanGuard {
+    start: Instant,
+    node: usize,
+    epoch: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.node == ROOT {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_nanos();
+        let epoch = self.epoch;
+        let node = self.node;
+        with_local(|l| {
+            if l.epoch == epoch {
+                l.arena.exit(node, elapsed);
+            }
+        });
+    }
+}
+
+/// Opens a hierarchical span: nested under whatever span is currently open
+/// on this thread, timed until the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let (node, epoch) = with_local(|l| (l.arena.enter(name), l.epoch)).unwrap_or((ROOT, 0));
+    SpanGuard {
+        // Taken *after* the arena bookkeeping so the span's own overhead is
+        // not charged to it.
+        start: Instant::now(),
+        node,
+        epoch,
+        _not_send: PhantomData,
+    }
+}
+
+/// Flushes the calling thread's buffer and exports the global registry.
+///
+/// Worker threads spawned and joined before this call (scoped pools) have
+/// already merged via their thread-local `Drop`; a still-running thread's
+/// unflushed tail is not included.
+pub fn snapshot() -> MetricsSnapshot {
+    with_local(|l| l.flush());
+    let g = global();
+    MetricsSnapshot {
+        counters: g
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        histograms: g
+            .hists
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.export()))
+            .collect(),
+        floats: g.floats.iter().map(|(&k, &f)| (k.to_string(), f)).collect(),
+        spans: export_spans(&g.spans),
+    }
+}
+
+/// Clears the registry: bumps the epoch (stale thread-local buffers discard
+/// themselves instead of merging) and empties the global store.
+pub fn reset() {
+    EPOCH.fetch_add(1, Ordering::Relaxed);
+    let mut g = global();
+    *g = Global::default();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_and_bounds_partition_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..=64usize {
+            let (low, high) = bucket_bounds(i);
+            assert!(low <= high);
+            assert_eq!(bucket_index(low), i, "low bound of bucket {i}");
+            assert_eq!(bucket_index(high), i, "high bound of bucket {i}");
+        }
+        // Buckets tile contiguously.
+        for i in 1..=64usize {
+            let (low, _) = bucket_bounds(i);
+            let (_, prev_high) = bucket_bounds(i - 1);
+            assert_eq!(low, prev_high + 1);
+        }
+    }
+
+    #[test]
+    fn hist_merge_is_additive() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        for v in [0u64, 1, 5, 1000] {
+            a.observe(v);
+        }
+        for v in [2u64, 7, 7, 1 << 40] {
+            b.observe(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count, 8);
+        assert_eq!(merged.sum, a.sum + b.sum);
+        assert_eq!(merged.min, 0);
+        assert_eq!(merged.max, 1 << 40);
+    }
+}

@@ -1,0 +1,395 @@
+//! The exported view of the metrics registry: plain data, stable ordering,
+//! self-contained JSON rendering.
+//!
+//! Everything in this module compiles regardless of the `enabled` feature so
+//! downstream report machinery can handle a snapshot uniformly; with the
+//! feature off, [`crate::snapshot`] simply returns
+//! [`MetricsSnapshot::default`] (empty).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One exported log₂ histogram bucket: the closed value range it covers and
+/// how many observations landed in it. Only non-empty buckets are exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Smallest value the bucket covers.
+    pub low: u64,
+    /// Largest value the bucket covers (inclusive).
+    pub high: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Exported state of one log₂-bucketed histogram.
+///
+/// `count`, `sum` and the per-bucket counts are integer-additive across
+/// thread-local merges, so they are **bit-stable**: the same work produces
+/// the same histogram at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (u128: immune to u64 overflow).
+    pub sum: u128,
+    /// Smallest observed value (0 when `count == 0`).
+    pub min: u64,
+    /// Largest observed value (0 when `count == 0`).
+    pub max: u64,
+    /// Non-empty buckets in increasing value order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Exported state of one floating-point series (per-episode rewards, TD
+/// errors, ε trajectories, base-fee paths).
+///
+/// Unlike counters and histograms, float sums depend on merge order and are
+/// **not** guaranteed bit-stable across thread counts; the instrumented
+/// float series all live on single-threaded loops (the DRL trainer, the
+/// sequencer), where the question does not arise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Most recent observation (merge order across threads is unspecified).
+    pub last: f64,
+}
+
+impl Default for FloatStat {
+    fn default() -> Self {
+        FloatStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            last: 0.0,
+        }
+    }
+}
+
+impl FloatStat {
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One node of the merged span tree: a span name in the context of its
+/// ancestor chain, with call count and cumulative wall-clock time.
+///
+/// Timings are monotonic-clock wall time and inherently not bit-stable;
+/// counts are.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanNode {
+    /// Span name (the `&'static str` the instrumentation site used).
+    pub name: String,
+    /// Completed activations of this span under this ancestor chain.
+    pub count: u64,
+    /// Cumulative nanoseconds across all activations.
+    pub total_ns: u128,
+    /// Child spans in name order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn render_tree(&self, out: &mut String, depth: usize, parent_ns: u128) {
+        let pct = if parent_ns > 0 {
+            self.total_ns as f64 * 100.0 / parent_ns as f64
+        } else {
+            100.0
+        };
+        let label = format!("{}{}", "  ".repeat(depth), self.name);
+        let _ = writeln!(
+            out,
+            "{label:<40} {:>10}x {:>12} {:>6.1}%",
+            self.count,
+            format_ns(self.total_ns),
+            pct
+        );
+        for child in &self.children {
+            child.render_tree(out, depth + 1, self.total_ns);
+        }
+    }
+}
+
+/// Human-readable duration with a fixed unit ladder.
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// A point-in-time export of every counter, histogram, float series and span
+/// accumulated since the last [`crate::reset`].
+///
+/// All maps are `BTreeMap` and all child lists are name-sorted, so two
+/// snapshots of identical registries render identical JSON byte-for-byte —
+/// the property the cross-thread-count determinism checks diff on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Log₂-bucketed value distributions.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Floating-point series summaries.
+    pub floats: BTreeMap<String, FloatStat>,
+    /// Root-level spans of the merged span tree, in name order.
+    pub spans: Vec<SpanNode>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing was recorded (always the case with the `enabled`
+    /// feature off).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.floats.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Value of a counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name, if it recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// A float series by name, if it recorded anything.
+    pub fn float(&self, name: &str) -> Option<&FloatStat> {
+        self.floats.get(name)
+    }
+
+    /// Renders the snapshot as pretty-printed JSON with deterministic key
+    /// order (maps are sorted, buckets ordered by value). Zero-dependency by
+    /// design: the report machinery embeds the result as a raw JSON
+    /// fragment.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        render_map(&mut out, self.counters.iter(), 2, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str(",\n  \"histograms\": {");
+        render_map(&mut out, self.histograms.iter(), 2, |out, h| {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"buckets\": [",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.mean())
+            );
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}, {}]", b.low, b.high, b.count);
+            }
+            out.push_str("]}");
+        });
+        out.push_str(",\n  \"floats\": {");
+        render_map(&mut out, self.floats.iter(), 2, |out, f| {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"last\": {}}}",
+                f.count,
+                json_f64(f.sum),
+                json_f64(f.min),
+                json_f64(f.max),
+                json_f64(f.mean()),
+                json_f64(f.last)
+            );
+        });
+        out.push_str(",\n  \"spans\": [");
+        render_spans_json(&mut out, &self.spans, 2);
+        out.push_str("]\n}");
+        out
+    }
+
+    /// Renders the merged span tree as an indented, flamegraph-style text
+    /// profile: per node the activation count, cumulative wall time and the
+    /// share of the parent's time.
+    pub fn span_tree_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>11} {:>12} {:>7}",
+            "span", "count", "total", "parent%"
+        );
+        let root_total: u128 = self.spans.iter().map(|s| s.total_ns).sum();
+        for span in &self.spans {
+            span.render_tree(&mut out, 0, root_total);
+        }
+        out
+    }
+}
+
+/// Renders a sorted `name -> value` map body (without the surrounding
+/// braces' opening, which the caller already wrote).
+fn render_map<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    indent: usize,
+    mut render_value: impl FnMut(&mut String, &V),
+) {
+    let pad = "  ".repeat(indent);
+    let mut any = false;
+    for (name, value) in entries {
+        if any {
+            out.push(',');
+        }
+        any = true;
+        let _ = write!(out, "\n{pad}\"{}\": ", escape_json(name));
+        render_value(out, value);
+    }
+    if any {
+        let _ = write!(out, "\n{}}}", "  ".repeat(indent - 1));
+    } else {
+        out.push('}');
+    }
+}
+
+fn render_spans_json(out: &mut String, spans: &[SpanNode], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{pad}{{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"children\": [",
+            escape_json(&s.name),
+            s.count,
+            s.total_ns
+        );
+        render_spans_json(out, &s.children, indent + 1);
+        out.push_str("]}");
+    }
+    if !spans.is_empty() {
+        let _ = write!(out, "\n{}", "  ".repeat(indent - 1));
+    }
+}
+
+/// Minimal JSON string escaping (metric names are ASCII identifiers, but a
+/// renderer must not emit invalid output for any input).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Finite floats render via Rust's shortest-roundtrip `Debug` (valid JSON);
+/// non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_renders_valid_shape() {
+        let s = MetricsSnapshot::default();
+        assert!(s.is_empty());
+        let json = s.to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"spans\": []"));
+    }
+
+    #[test]
+    fn json_is_deterministic_for_equal_content() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("z.second".into(), 2);
+        a.counters.insert("a.first".into(), 1);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("a.first".into(), 1);
+        b.counters.insert("z.second".into(), 2);
+        assert_eq!(a.to_json(), b.to_json());
+        // Sorted: a.first renders before z.second.
+        let json = a.to_json();
+        assert!(json.find("a.first").unwrap() < json.find("z.second").unwrap());
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn span_tree_text_indents_children() {
+        let snap = MetricsSnapshot {
+            spans: vec![SpanNode {
+                name: "outer".into(),
+                count: 2,
+                total_ns: 2_000_000,
+                children: vec![SpanNode {
+                    name: "inner".into(),
+                    count: 4,
+                    total_ns: 500_000,
+                    ..Default::default()
+                }],
+            }],
+            ..Default::default()
+        };
+        let text = snap.span_tree_text();
+        assert!(text.contains("outer"));
+        assert!(text.contains("  inner"));
+        assert!(text.contains("25.0%"));
+    }
+
+    #[test]
+    fn escape_handles_controls_and_quotes() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,31 @@
+//! The default (no `enabled` feature) build must record nothing and export
+//! an empty snapshot — instrumented hot paths pay for nothing.
+
+#![cfg(not(feature = "enabled"))]
+
+use parole_telemetry as tel;
+
+#[test]
+fn disabled_build_exports_empty_snapshot() {
+    tel::counter("x", 1);
+    tel::observe("y", 42);
+    tel::observe_f64("z", 1.5);
+    tel::local_counter("x");
+    {
+        let _g = tel::span("root");
+        let _h = tel::span("child");
+    }
+    let snap = tel::snapshot();
+    assert!(snap.is_empty());
+    assert_eq!(snap.counter("x"), 0);
+    assert!(snap.histogram("y").is_none());
+    assert!(snap.float("z").is_none());
+    assert!(snap.spans.is_empty());
+    tel::reset();
+    assert!(tel::snapshot().is_empty());
+}
+
+#[test]
+fn disabled_span_guard_is_zero_sized() {
+    assert_eq!(std::mem::size_of::<tel::SpanGuard>(), 0);
+}

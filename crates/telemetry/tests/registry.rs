@@ -1,0 +1,125 @@
+//! Integration tests for the live registry.
+//!
+//! The registry is process-global, so everything that records and snapshots
+//! runs inside a single `#[test]` — cargo runs tests in one binary
+//! concurrently, and two tests interleaving recordings would race on the
+//! shared store.
+
+#![cfg(feature = "enabled")]
+
+use parole_telemetry as tel;
+
+#[test]
+fn registry_end_to_end() {
+    // --- counters, histograms, floats -----------------------------------
+    tel::reset();
+    tel::counter("test.hits", 1);
+    tel::counter("test.hits", 2);
+    tel::observe("test.size", 0);
+    tel::observe("test.size", 5);
+    tel::observe("test.size", 1024);
+    tel::observe_f64("test.fee", 1.5);
+    tel::observe_f64("test.fee", 2.5);
+
+    let snap = tel::snapshot();
+    assert_eq!(snap.counter("test.hits"), 3);
+    let h = snap.histogram("test.size").expect("histogram recorded");
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 1029);
+    assert_eq!(h.min, 0);
+    assert_eq!(h.max, 1024);
+    assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), 3);
+    let f = snap.float("test.fee").expect("float recorded");
+    assert_eq!(f.count, 2);
+    assert!((f.mean() - 2.0).abs() < 1e-12);
+    assert_eq!(f.last, 2.5);
+
+    // Snapshotting twice exports the same totals (snapshot drains the local
+    // buffer into the global store; nothing is lost or double-counted).
+    let again = tel::snapshot();
+    assert_eq!(again.counter("test.hits"), 3);
+    assert_eq!(again.histogram("test.size").unwrap().count, 3);
+
+    // --- spans nest and count deterministically --------------------------
+    tel::reset();
+    for _ in 0..4 {
+        let _outer = tel::span("outer");
+        for _ in 0..3 {
+            let _inner = tel::span("inner");
+        }
+    }
+    {
+        let _solo = tel::span("solo");
+    }
+    let snap = tel::snapshot();
+    assert_eq!(snap.spans.len(), 2, "two root spans: outer, solo");
+    let outer = snap.spans.iter().find(|s| s.name == "outer").unwrap();
+    assert_eq!(outer.count, 4);
+    assert_eq!(outer.children.len(), 1);
+    assert_eq!(outer.children[0].name, "inner");
+    assert_eq!(outer.children[0].count, 12);
+    assert!(outer.total_ns >= outer.children[0].total_ns);
+    let text = snap.span_tree_text();
+    assert!(text.contains("outer"));
+    assert!(text.contains("inner"));
+
+    // --- local_counter reads the unflushed thread total ------------------
+    tel::reset();
+    assert_eq!(tel::local_counter("test.local"), 0);
+    tel::counter("test.local", 7);
+    assert_eq!(tel::local_counter("test.local"), 7);
+    let before = tel::local_counter("test.local");
+    tel::counter("test.local", 5);
+    assert_eq!(tel::local_counter("test.local") - before, 5);
+
+    // --- worker threads merge on exit, totals are thread-count stable ----
+    let run = |threads: usize| -> (u64, u128) {
+        tel::reset();
+        let per_thread = 100u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        tel::counter("test.par", 1);
+                        tel::observe("test.par_hist", (t as u64) * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = tel::snapshot();
+        (
+            snap.counter("test.par"),
+            snap.histogram("test.par_hist").map(|h| h.sum).unwrap_or(0),
+        )
+    };
+    // 4 threads each record 100; totals must reflect every recording.
+    let (c4, _) = run(4);
+    assert_eq!(c4, 400);
+    let (c1, s1) = run(1);
+    assert_eq!(c1, 100);
+    assert_eq!(s1, (0..100u128).sum::<u128>());
+
+    // --- reset discards stale locals -------------------------------------
+    tel::counter("test.stale", 99);
+    tel::reset();
+    // The recording above was never flushed; after reset it must not leak
+    // into the fresh window.
+    tel::counter("test.fresh", 1);
+    let snap = tel::snapshot();
+    assert_eq!(snap.counter("test.stale"), 0);
+    assert_eq!(snap.counter("test.fresh"), 1);
+
+    // --- JSON export is well-formed and stable ----------------------------
+    tel::reset();
+    tel::counter("json.a", 1);
+    tel::observe("json.h", 42);
+    let a = tel::snapshot().to_json();
+    let b = tel::snapshot().to_json();
+    assert_eq!(a, b, "same content renders byte-identically");
+    assert!(a.contains("\"json.a\": 1"));
+
+    tel::reset();
+}
