@@ -430,3 +430,55 @@ fn stale_commitment_cache_trips_the_root_differential() {
     state.credit(addr(1), Wei::from_wei(1));
     assert_eq!(state.state_root(), state.state_root_naive());
 }
+
+/// The same class of failure one level down the hierarchy: a token leaf
+/// inside a collection's sub-tree silently tampered (the stale sub-root
+/// propagated up through the collection header), as a missed token-granular
+/// dirty hook would produce. The naive side re-derives the whole two-level
+/// scheme independently, so the differential oracle still fires — even when
+/// unrelated records flush in between.
+#[test]
+fn stale_commitment_subtree_trips_the_root_differential() {
+    let mut state = L2State::new();
+    let pt = state.deploy_collection(CollectionConfig::parole_token());
+    for u in 1..=4 {
+        state.credit(addr(u), Wei::from_eth(1));
+    }
+    for t in 0..3 {
+        let _ = Ovm::new().execute(
+            &mut state,
+            &NftTransaction::simple(
+                addr(1),
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(t),
+                },
+            ),
+        );
+    }
+    assert_eq!(state.state_root(), state.state_root_naive());
+
+    // Sabotage: overwrite one cached *token* leaf without marking it dirty.
+    assert!(state.corrupt_commit_subtree_for_tests());
+
+    // Unrelated dirt flushing through the top tree must not mask the stale
+    // sub-root.
+    state.credit(addr(2), Wei::from_wei(3));
+    let err = diff_execution(&[], state.state_root_naive(), &[], state.state_root()).unwrap_err();
+    assert!(matches!(err, Divergence::StateRootMismatch { .. }));
+
+    // Touching the corrupted token re-derives its leaf from live state and
+    // heals the sub-tree.
+    let _ = Ovm::new().execute(
+        &mut state,
+        &NftTransaction::simple(
+            addr(1),
+            TxKind::Transfer {
+                collection: pt,
+                token: TokenId::new(0),
+                to: addr(3),
+            },
+        ),
+    );
+    assert_eq!(state.state_root(), state.state_root_naive());
+}

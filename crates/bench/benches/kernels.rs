@@ -131,6 +131,78 @@ fn report_keccak_per_flush(warm: &mut parole_state::L2State, n: usize, dirty: us
 #[cfg(not(feature = "telemetry"))]
 fn report_keccak_per_flush(_warm: &mut parole_state::L2State, _n: usize, _dirty: usize) {}
 
+fn bench_nft_flush(c: &mut Criterion) {
+    use parole_nft::CollectionConfig;
+    use parole_primitives::{Address, TokenId};
+    use parole_state::L2State;
+
+    let mut group = c.benchmark_group("nft_flush");
+    // Single token op in a collection with n active tokens: the retired
+    // flat commitment re-absorbed the entire ownership list into one leaf
+    // preimage (O(n) hashing per op); the hierarchical pipeline re-hashes
+    // one 52-byte token leaf plus O(log n) sub-tree nodes and the 80-byte
+    // collection header.
+    for n in [1_000usize, 10_000, 100_000] {
+        let mut state = L2State::new();
+        for i in 0..64u64 {
+            state.credit(Address::from_low_u64(i + 1), Wei::from_gwei(i + 1));
+        }
+        let coll_addr =
+            state.deploy_collection(CollectionConfig::limited_edition("NF", n as u64, 100));
+        for t in 0..n as u64 {
+            state
+                .nft_mint(
+                    coll_addr,
+                    Address::from_low_u64(t % 64 + 1),
+                    TokenId::new(t),
+                )
+                .unwrap()
+                .unwrap();
+        }
+
+        // Flat baseline, reimplemented locally: the pre-hierarchy
+        // `coll_leaf` preimage ("coll" ‖ addr ‖ supplies ‖ (token ‖ owner)*)
+        // every token op used to re-hash in full.
+        let coll = state.collection(coll_addr).unwrap().clone();
+        group.bench_with_input(BenchmarkId::new("flat_rehash", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = Vec::with_capacity(48 + coll.active_supply() as usize * 28);
+                buf.extend_from_slice(b"coll");
+                buf.extend_from_slice(coll_addr.as_bytes());
+                buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
+                buf.extend_from_slice(&coll.active_supply().to_be_bytes());
+                for (token, owner) in coll.iter() {
+                    buf.extend_from_slice(&token.value().to_be_bytes());
+                    buf.extend_from_slice(owner.as_bytes());
+                }
+                black_box(keccak256(&buf))
+            })
+        });
+
+        // Hierarchical path: one real transfer plus the incremental flush.
+        let mut warm = state.clone();
+        let _ = warm.state_root(); // materialize the two-level cache
+        let mut t = 0u64;
+        group.bench_with_input(BenchmarkId::new("hierarchical_token_op", n), &n, |b, _| {
+            b.iter(|| {
+                t = (t + 1) % n as u64;
+                let token = TokenId::new(t);
+                let owner = warm.collection(coll_addr).unwrap().owner_of(token).unwrap();
+                let to = if owner == Address::from_low_u64(1) {
+                    Address::from_low_u64(2)
+                } else {
+                    Address::from_low_u64(1)
+                };
+                warm.nft_transfer(coll_addr, owner, to, token)
+                    .unwrap()
+                    .unwrap();
+                black_box(warm.state_root())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_mempool(c: &mut Criterion) {
     let mut group = c.benchmark_group("mempool");
     let economy = Economy::build(100, 1, 2);
@@ -230,6 +302,6 @@ criterion_group!(
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_crypto, bench_ovm, bench_state_root, bench_mempool, bench_calldata, bench_reorder_env, bench_dqn
+    targets = bench_crypto, bench_ovm, bench_state_root, bench_nft_flush, bench_mempool, bench_calldata, bench_reorder_env, bench_dqn
 );
 criterion_main!(kernels);

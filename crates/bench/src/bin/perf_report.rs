@@ -1,8 +1,8 @@
 //! Performance report for the measured optimizations, written to
 //! `target/experiments/`.
 //!
-//! Three sections, selectable by the first CLI argument (`pr1`,
-//! `state-root` or `metrics`; no argument runs all):
+//! Four sections, selectable by the first CLI argument (`pr1`,
+//! `state-root`, `nft-flush` or `metrics`; no argument runs all):
 //!
 //! **`pr1`** (→ `BENCH_PR1.json`):
 //!
@@ -17,6 +17,15 @@
 //! **`state-root`** (→ `BENCH_PR3.json`): full from-scratch state-root
 //! rebuild vs the dirty-tracked incremental flush, across world sizes and
 //! dirty-set sizes, asserting the two roots stay bit-identical.
+//!
+//! **`nft-flush`** (→ `BENCH_PR5.json`): single-token-op flush cost under
+//! the hierarchical commitment (one token leaf + O(log n) sub-tree nodes +
+//! the collection header) vs the retired flat `coll_leaf` rehash that
+//! re-absorbed the whole ownership list, at 10³–10⁵ active tokens;
+//! asserts ≥ 50× at 10⁴ tokens and that the hierarchical root matches the
+//! naive oracle.
+//!
+//! `metrics --list` dumps the static metric inventory and exits.
 //!
 //! **`metrics`** (→ `BENCH_PR4.json`, requires `--features telemetry`): runs
 //! one end-to-end attack round — traffic → sequencer seal → GENTRANSEQ
@@ -193,6 +202,122 @@ fn run_state_root_section() {
         }
     }
     write_json("BENCH_PR3", &Pr3Report { state_root: rows });
+}
+
+#[derive(Serialize)]
+struct NftFlushTiming {
+    active_tokens: usize,
+    flat_rehash_us: f64,
+    hierarchical_flush_us: f64,
+    speedup: f64,
+    roots_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Pr5Report {
+    nft_flush: Vec<NftFlushTiming>,
+}
+
+/// One row of the hierarchical-commitment benchmark: a collection with
+/// `tokens` active tokens, measuring what a *single* token op costs to
+/// commit under the flat scheme (re-hash the whole ownership list) vs the
+/// two-level scheme (one token leaf, O(log n) sub-tree nodes, one header).
+fn measure_nft_flush(tokens: usize) -> NftFlushTiming {
+    let mut state = L2State::new();
+    for i in 0..64u64 {
+        state.credit(Address::from_low_u64(i + 1), Wei::from_gwei(i + 1));
+    }
+    let coll_addr =
+        state.deploy_collection(CollectionConfig::limited_edition("NF", tokens as u64, 100));
+    for t in 0..tokens as u64 {
+        state
+            .nft_mint(
+                coll_addr,
+                Address::from_low_u64(t % 64 + 1),
+                TokenId::new(t),
+            )
+            .unwrap()
+            .unwrap();
+    }
+
+    // Flat baseline: the pre-hierarchy `coll_leaf` preimage
+    // ("coll" ‖ addr ‖ supplies ‖ (token ‖ owner)*), re-absorbed in full —
+    // what any token op used to pay per flush.
+    let coll = state.collection(coll_addr).unwrap().clone();
+    let reps = (2_000_000 / tokens).clamp(5, 500);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let mut buf = Vec::with_capacity(48 + coll.active_supply() as usize * 28);
+        buf.extend_from_slice(b"coll");
+        buf.extend_from_slice(coll_addr.as_bytes());
+        buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
+        buf.extend_from_slice(&coll.active_supply().to_be_bytes());
+        for (token, owner) in coll.iter() {
+            buf.extend_from_slice(&token.value().to_be_bytes());
+            buf.extend_from_slice(owner.as_bytes());
+        }
+        std::hint::black_box(parole_crypto::keccak256(&buf));
+    }
+    let flat_rehash_us = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
+
+    // Hierarchical path: a real transfer plus the incremental flush on a
+    // warm two-level cache.
+    let _ = state.state_root();
+    let flushes = 200u64;
+    let start = Instant::now();
+    for round in 0..flushes {
+        let token = TokenId::new(round % tokens as u64);
+        let owner = state
+            .collection(coll_addr)
+            .unwrap()
+            .owner_of(token)
+            .unwrap();
+        let to = if owner == Address::from_low_u64(1) {
+            Address::from_low_u64(2)
+        } else {
+            Address::from_low_u64(1)
+        };
+        state
+            .nft_transfer(coll_addr, owner, to, token)
+            .unwrap()
+            .unwrap();
+        std::hint::black_box(state.state_root());
+    }
+    let hierarchical_flush_us = start.elapsed().as_secs_f64() * 1e6 / flushes as f64;
+
+    NftFlushTiming {
+        active_tokens: tokens,
+        flat_rehash_us,
+        hierarchical_flush_us,
+        speedup: flat_rehash_us / hierarchical_flush_us,
+        roots_identical: state.state_root() == state.state_root_naive(),
+    }
+}
+
+fn run_nft_flush_section() {
+    let mut rows = Vec::new();
+    for &tokens in &[1_000usize, 10_000, 100_000] {
+        let t = measure_nft_flush(tokens);
+        println!(
+            "nft_flush {:>6} tokens: flat rehash {:>9.1} us | hierarchical {:>7.2} us | {:>6.0}x | identical: {}",
+            t.active_tokens, t.flat_rehash_us, t.hierarchical_flush_us, t.speedup,
+            t.roots_identical
+        );
+        assert!(
+            t.roots_identical,
+            "hierarchical root diverged from the naive oracle"
+        );
+        if tokens >= 10_000 {
+            assert!(
+                t.speedup >= 50.0,
+                "hierarchical flush must beat the flat rehash by >= 50x at {} tokens; got {:.1}x",
+                tokens,
+                t.speedup
+            );
+        }
+        rows.push(t);
+    }
+    write_json("BENCH_PR5", &Pr5Report { nft_flush: rows });
 }
 
 /// The `metrics` section (telemetry-armed build): cross-thread-count
@@ -402,6 +527,39 @@ mod metrics_section {
         }
     }
 
+    /// Every metric name a live run records must be statically registered
+    /// in [`tel::METRICS`]: a recording site without a descriptor row is a
+    /// documentation hole the inventory dump would silently miss.
+    fn assert_snapshot_registered(snap: &tel::MetricsSnapshot) {
+        let check = |name: &str, want: tel::MetricKind| {
+            let d = tel::describe(name)
+                .unwrap_or_else(|| panic!("metric {name} recorded but not registered"));
+            assert_eq!(
+                d.kind,
+                want,
+                "metric {name} registered as {} but recorded as {}",
+                d.kind.label(),
+                want.label()
+            );
+        };
+        for name in snap.counters.keys() {
+            check(name, tel::MetricKind::Counter);
+        }
+        for name in snap.histograms.keys() {
+            check(name, tel::MetricKind::Histogram);
+        }
+        for name in snap.floats.keys() {
+            check(name, tel::MetricKind::FloatSeries);
+        }
+        fn walk(nodes: &[tel::SpanNode], check: &impl Fn(&str, tel::MetricKind)) {
+            for n in nodes {
+                check(&n.name, tel::MetricKind::Span);
+                walk(&n.children, check);
+            }
+        }
+        walk(&snap.spans, &check);
+    }
+
     pub fn run_metrics_section() {
         let thread_counts = vec![1usize, 2, 8];
         let mut snaps: Vec<tel::MetricsSnapshot> = Vec::new();
@@ -411,6 +569,13 @@ mod metrics_section {
             snaps.push(tel::snapshot());
         }
         tel::reset();
+        for snap in &snaps {
+            assert_snapshot_registered(snap);
+        }
+        println!(
+            "all recorded metrics statically registered ({} descriptors in inventory)",
+            tel::METRICS.len()
+        );
 
         let base = &snaps[0];
         let counters_bit_identical = snaps.iter().all(|s| s.counters == base.counters);
@@ -496,8 +661,26 @@ fn run_metrics_section() {
     println!("metrics section skipped: rebuild with --features telemetry to record BENCH_PR4");
 }
 
+/// `perf_report metrics --list`: dump the static metric inventory. Works in
+/// any build — the descriptor table is plain `'static` data, not gated on
+/// the `telemetry` feature.
+fn print_metric_inventory() {
+    println!(
+        "{} registered metrics (name, kind, doc):",
+        parole_telemetry::METRICS.len()
+    );
+    for d in parole_telemetry::METRICS {
+        println!("  {:<28} {:<10} {}", d.name, d.kind.label(), d.doc);
+    }
+}
+
 fn main() {
-    let only = std::env::args().nth(1);
+    let mut args = std::env::args().skip(1);
+    let only = args.next();
+    if only.as_deref() == Some("metrics") && args.next().as_deref() == Some("--list") {
+        print_metric_inventory();
+        return;
+    }
     let run = |name: &str| match only.as_deref() {
         None => true,
         Some(s) => s == name,
@@ -507,6 +690,9 @@ fn main() {
     }
     if run("state-root") {
         run_state_root_section();
+    }
+    if run("nft-flush") {
+        run_nft_flush_section();
     }
     if !run("pr1") {
         return;

@@ -109,47 +109,70 @@ impl Keccak256 {
     }
 
     /// Absorbs `data` into the sponge.
+    ///
+    /// Rate-aligned full blocks are XOR-absorbed straight from `data`; only
+    /// the sub-block tail (and any carried partial block) goes through the
+    /// internal buffer, so multi-block preimages pay no memcpy per block.
     pub fn update(&mut self, data: &[u8]) {
         let mut input = data;
-        while !input.is_empty() {
+        // Top up a partially filled buffer first.
+        if self.buffered > 0 {
             let take = (RATE - self.buffered).min(input.len());
             self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
             self.buffered += take;
             input = &input[take..];
-            if self.buffered == RATE {
-                self.absorb_block();
+            if self.buffered < RATE {
+                return; // input fully consumed into the partial buffer
             }
+            let block = self.buffer;
+            self.absorb_block(&block);
+            self.buffered = 0;
         }
+        // Absorb whole blocks directly from the input slice.
+        while input.len() >= RATE {
+            let (block, rest) = input.split_at(RATE);
+            self.absorb_block(block.try_into().expect("RATE bytes"));
+            input = rest;
+        }
+        // Buffer the tail for the next update / the final padding block.
+        self.buffer[..input.len()].copy_from_slice(input);
+        self.buffered = input.len();
     }
 
-    fn absorb_block(&mut self) {
+    fn absorb_block(&mut self, block: &[u8; RATE]) {
         parole_telemetry::counter("crypto.keccak_f", 1);
         for i in 0..RATE / 8 {
-            let lane = u64::from_le_bytes(self.buffer[i * 8..i * 8 + 8].try_into().expect("8"));
+            let lane = u64::from_le_bytes(block[i * 8..i * 8 + 8].try_into().expect("8"));
             let (x, y) = (i % 5, i / 5);
             self.state[x][y] ^= lane;
         }
         keccak_f(&mut self.state);
-        self.buffered = 0;
     }
 
     /// Finishes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> Hash32 {
+        self.finalize_reset()
+    }
+
+    /// Finishes the hash and resets the sponge to its initial state, so one
+    /// hasher (and its block buffer) can digest a whole batch of independent
+    /// preimages — the batched-absorb path of [`keccak256_batch`].
+    fn finalize_reset(&mut self) -> Hash32 {
         parole_telemetry::counter("crypto.keccak256", 1);
         // Keccak (pre-NIST) multi-rate padding: 0x01 ... 0x80.
         let mut block = [0u8; RATE];
         block[..self.buffered].copy_from_slice(&self.buffer[..self.buffered]);
         block[self.buffered] = 0x01;
         block[RATE - 1] |= 0x80;
-        self.buffer = block;
-        self.buffered = RATE;
-        self.absorb_block();
+        self.absorb_block(&block);
 
         let mut out = [0u8; 32];
         for i in 0..4 {
             let (x, y) = (i % 5, i / 5);
             out[i * 8..i * 8 + 8].copy_from_slice(&self.state[x][y].to_le_bytes());
         }
+        self.state = [[0u64; 5]; 5];
+        self.buffered = 0;
         Hash32::from_bytes(out)
     }
 }
@@ -172,6 +195,34 @@ pub fn keccak256(data: &[u8]) -> Hash32 {
     let mut h = Keccak256::new();
     h.update(data);
     h.finalize()
+}
+
+/// Computes the Keccak-256 digest of every preimage in a batch through one
+/// reused sponge.
+///
+/// Digests are bit-identical to calling [`keccak256`] per item; the win is
+/// operational: a single hasher's state and block buffer are recycled across
+/// the whole batch, and multi-block preimages are absorbed rate-aligned
+/// straight from their slices. This is the absorption path the incremental
+/// state-commitment flush pipes its sorted dirty-leaf preimages through.
+///
+/// # Example
+///
+/// ```
+/// use parole_crypto::{keccak256, keccak256_batch};
+/// let items: Vec<&[u8]> = vec![b"a", b"bb", b""];
+/// let digests = keccak256_batch(items.iter().copied());
+/// assert_eq!(digests[1], keccak256(b"bb"));
+/// ```
+pub fn keccak256_batch<'a>(preimages: impl IntoIterator<Item = &'a [u8]>) -> Vec<Hash32> {
+    let mut h = Keccak256::new();
+    preimages
+        .into_iter()
+        .map(|data| {
+            h.update(data);
+            h.finalize_reset()
+        })
+        .collect()
 }
 
 /// Computes `keccak256(a || b)` without allocating a joined buffer.
@@ -237,5 +288,42 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_digests() {
         assert_ne!(keccak256(b"a"), keccak256(b"b"));
+    }
+
+    #[test]
+    fn batch_matches_one_shot_across_block_boundaries() {
+        // Lengths straddling every absorption regime: empty, sub-block,
+        // exactly one block, block+tail, multi-block.
+        let lens = [0usize, 1, 7, RATE - 1, RATE, RATE + 1, 2 * RATE, 500];
+        let inputs: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| vec![i as u8; len])
+            .collect();
+        let digests = keccak256_batch(inputs.iter().map(Vec::as_slice));
+        assert_eq!(digests.len(), inputs.len());
+        for (input, digest) in inputs.iter().zip(&digests) {
+            assert_eq!(*digest, keccak256(input), "len {}", input.len());
+        }
+    }
+
+    #[test]
+    fn batch_items_are_independent() {
+        // A sponge reset bug would leak state between items: the digest of
+        // the second item must not depend on the first.
+        let alone = keccak256_batch([b"second".as_ref()]);
+        let paired = keccak256_batch([b"first".as_ref(), b"second".as_ref()]);
+        assert_eq!(alone[0], paired[1]);
+    }
+
+    #[test]
+    fn streaming_tail_then_block_sized_update() {
+        // A buffered tail followed by an update crossing several blocks
+        // exercises the top-up + direct-absorb + re-buffer sequence.
+        let data = vec![0x3Cu8; 3 * RATE + 11];
+        let mut h = Keccak256::new();
+        h.update(&data[..5]);
+        h.update(&data[5..]);
+        assert_eq!(h.finalize(), keccak256(&data));
     }
 }

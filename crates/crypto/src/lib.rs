@@ -39,7 +39,7 @@ mod u256;
 mod wallet;
 
 pub use commit::CommitTree;
-pub use keccak::{keccak256, keccak256_concat, Keccak256};
+pub use keccak::{keccak256, keccak256_batch, keccak256_concat, Keccak256};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use u256::U256;
 pub use wallet::Wallet;

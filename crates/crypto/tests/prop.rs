@@ -30,6 +30,19 @@ fn arb_u256() -> impl Strategy<Value = U256> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    /// Batched keccak digests equal the per-item one-shot digests for any
+    /// mix of preimage lengths (the sponge-reuse path must leak no state).
+    #[test]
+    fn keccak_batch_agrees_with_one_shot(
+        items in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..400), 0..12),
+    ) {
+        let digests = parole_crypto::keccak256_batch(items.iter().map(Vec::as_slice));
+        prop_assert_eq!(digests.len(), items.len());
+        for (item, digest) in items.iter().zip(&digests) {
+            prop_assert_eq!(*digest, keccak256(item));
+        }
+    }
+
     /// Keccak over split inputs equals keccak over the joined input.
     #[test]
     fn keccak_incremental_agrees(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {

@@ -74,6 +74,15 @@ pub struct CollectionUndo {
     prev_counts: (u64, u64, u64),
 }
 
+impl CollectionUndo {
+    /// The single token this operation mutated — the token-granular dirty
+    /// mark the hierarchical state-commitment cache invalidates (both on the
+    /// forward journal entry and when the entry is rolled back).
+    pub fn token(&self) -> TokenId {
+        self.token
+    }
+}
+
 /// A deployed limited-edition ERC-721 collection.
 ///
 /// Invariants maintained:
@@ -324,6 +333,24 @@ impl Collection {
         operator: Address,
         token: TokenId,
     ) -> Result<(), NftError> {
+        self.approve_undoable(owner, operator, token).map(drop)
+    }
+
+    /// [`Collection::approve`] that also returns an undo record for the
+    /// journal. Approvals are part of the committed state (they gate
+    /// `transferFrom`), so they ride the same per-token undo machinery as
+    /// mint/transfer/burn.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Collection::approve`]; on error nothing is
+    /// mutated and no undo record is produced.
+    pub fn approve_undoable(
+        &mut self,
+        owner: Address,
+        operator: Address,
+        token: TokenId,
+    ) -> Result<CollectionUndo, NftError> {
         match self.owner_of(token) {
             None => Err(NftError::NotMinted(token)),
             Some(actual) if actual != owner => Err(NftError::NotOwner {
@@ -332,6 +359,7 @@ impl Collection {
                 token,
             }),
             Some(_) => {
+                let undo = self.undo_point(token);
                 if operator.is_zero() {
                     self.approvals.remove(&token);
                 } else {
@@ -342,7 +370,7 @@ impl Collection {
                     approved: operator,
                     token,
                 });
-                Ok(())
+                Ok(undo)
             }
         }
     }
@@ -350,6 +378,18 @@ impl Collection {
     /// The approved operator for `token`, if any.
     pub fn get_approved(&self, token: TokenId) -> Option<Address> {
         self.approvals.get(&token).copied()
+    }
+
+    /// Iterates over `(token, operator)` pairs of outstanding approvals, in
+    /// token-id order.
+    pub fn approvals(&self) -> impl Iterator<Item = (TokenId, Address)> + '_ {
+        self.approvals.iter().map(|(&t, &op)| (t, op))
+    }
+
+    /// Number of outstanding approvals — the count prefix of the collection
+    /// commitment header.
+    pub fn approval_count(&self) -> u64 {
+        self.approvals.len() as u64
     }
 
     /// Transfers on behalf of the owner; `operator` must be the owner or the
@@ -743,6 +783,44 @@ mod tests {
         c.apply_undo(u1);
         assert_eq!(c, before);
         assert_eq!(c.get_approved(TokenId::new(2)), Some(addr(9)));
+    }
+
+    #[test]
+    fn approve_undo_restores_prior_operator() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        c.approve(addr(1), addr(8), TokenId::new(0)).unwrap();
+        let before = c.clone();
+
+        let u1 = c
+            .approve_undoable(addr(1), addr(9), TokenId::new(0))
+            .unwrap();
+        assert_eq!(u1.token(), TokenId::new(0));
+        assert_eq!(c.get_approved(TokenId::new(0)), Some(addr(9)));
+        // Clearing via the zero operator is an undoable mutation too.
+        let u2 = c
+            .approve_undoable(addr(1), Address::ZERO, TokenId::new(0))
+            .unwrap();
+        assert_eq!(c.get_approved(TokenId::new(0)), None);
+
+        c.apply_undo(u2);
+        assert_eq!(c.get_approved(TokenId::new(0)), Some(addr(9)));
+        c.apply_undo(u1);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn approvals_iterate_in_token_order() {
+        let mut c = pt();
+        mint_n(&mut c, 3, addr(1));
+        c.approve(addr(1), addr(9), TokenId::new(2)).unwrap();
+        c.approve(addr(1), addr(8), TokenId::new(0)).unwrap();
+        let pairs: Vec<_> = c.approvals().collect();
+        assert_eq!(
+            pairs,
+            vec![(TokenId::new(0), addr(8)), (TokenId::new(2), addr(9))]
+        );
+        assert_eq!(c.approval_count(), 2);
     }
 
     #[test]

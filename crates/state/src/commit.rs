@@ -1,34 +1,48 @@
-//! The incremental state-commitment cache.
+//! The incremental, **hierarchical** state-commitment cache.
 //!
 //! `L2State::state_root()` used to re-encode and re-hash every account and
 //! every collection and rebuild the full Merkle tree on each call — O(total
 //! world size) — while the fraud-proof game calls it from a dozen sites per
 //! window and the reorder search commits thousands of candidate schedules
-//! per episode. This module memoizes the commitment:
+//! per episode. This module memoizes the commitment as a **two-level tree**:
 //!
-//! - [`CommitCache`] holds a resident [`CommitTree`] plus the sorted key
-//!   vectors mapping each account / collection to its leaf position;
+//! - every collection owns a resident [`CommitTree`] over per-token leaves
+//!   (`"tokn" ‖ token ‖ owner ‖ approval`, see [`token_preimage`]); its root,
+//!   combined with the supply/config header, forms that collection's leaf in
+//!   the **top-level** tree ([`coll_preimage`]);
+//! - [`CommitCache`] holds the top-level tree, the sorted key vectors mapping
+//!   each account / collection to its leaf position, and one [`CollSub`]
+//!   sub-tree per collection;
 //! - [`CommitSlot`] wraps the cache with the **dirty sets**: every mutation
-//!   on `L2State` (credit, debit, nonce bump, mint, transfer, burn, deploy,
-//!   raw `collection_mut` access, and every undo-log rollback) marks the
-//!   touched record, and the next `state_root()` re-derives only the dirty
-//!   leaves — O(dirty · log n) instead of O(total).
+//!   on `L2State` (credit, debit, nonce bump, mint, transfer, burn, approve,
+//!   deploy, raw `collection_mut` access, and every undo-log rollback) marks
+//!   the touched record — token-granular for the per-token NFT ops — and the
+//!   next `state_root()` re-derives only the dirty leaves.
 //!
-//! Forks share the clean cache copy-on-write: the tree and key vectors live
-//! behind an [`Arc`], so `L2State::clone` / `L2State::fork` is O(1) for the
-//! commitment state and the first post-fork flush pays one memcpy of the
-//! levels (no re-hashing) via [`Arc::make_mut`].
+//! The hierarchy is what makes NFT-heavy workloads cheap: a single token op
+//! in a collection with `n` active tokens re-hashes one 52-byte token leaf
+//! plus O(log n) sub-tree nodes plus the 80-byte collection header and its
+//! O(log m) top-level path, instead of re-absorbing the entire ownership
+//! list (O(n) hashing) into one flat leaf. Dirty-leaf preimages are piped
+//! through [`keccak256_batch`], which recycles one sponge across the batch.
+//!
+//! Forks share the clean cache copy-on-write: the trees and key vectors live
+//! behind [`Arc`]s (each sub-tree individually), so `L2State::clone` /
+//! `L2State::fork` is O(1) for the commitment state and the first post-fork
+//! flush clones only the sub-trees it actually touches via [`Arc::make_mut`].
 //!
 //! The resulting root is bit-identical to
 //! [`L2State::state_root_naive`](crate::L2State::state_root_naive), the
-//! from-scratch rebuild that stays available as the independent side of the
-//! audit differential oracle. The replay proptests in `tests/prop.rs`
-//! assert the equality after every mutation, fork and rollback.
+//! from-scratch rebuild that re-derives the same two-level scheme
+//! independently (its own preimage construction, one-shot hashing, plain
+//! `MerkleTree`s) and stays available as the independent side of the audit
+//! differential oracle. The replay proptests in `tests/prop.rs` assert the
+//! equality after every mutation, fork and rollback.
 
 use crate::AccountState;
-use parole_crypto::{keccak256, CommitTree, Hash32};
+use parole_crypto::{keccak256, keccak256_batch, CommitTree, Hash32};
 use parole_nft::Collection;
-use parole_primitives::Address;
+use parole_primitives::{Address, TokenId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -37,53 +51,196 @@ use std::sync::Arc;
 /// last flush), so undo-log rollbacks must never clean it.
 const STICKY: u32 = u32::MAX;
 
-/// Hashes one account record into its state-root leaf.
+/// Builds the preimage of one account leaf.
 ///
 /// The preimage is `"acct" ‖ address ‖ len(encoding) ‖ encoding`: the
 /// explicit length prefix makes the encoding injective even if the account
 /// serialization ever grows variable-width fields, so no two distinct
 /// records can share a preimage.
-pub(crate) fn acct_leaf(addr: Address, acct: &AccountState) -> Hash32 {
+pub(crate) fn acct_preimage(addr: Address, acct: &AccountState) -> Vec<u8> {
     let encoded = acct.encode();
     let mut buf = Vec::with_capacity(28 + encoded.len());
     buf.extend_from_slice(b"acct");
     buf.extend_from_slice(addr.as_bytes());
     buf.extend_from_slice(&(encoded.len() as u32).to_be_bytes());
     buf.extend_from_slice(&encoded);
-    keccak256(&buf)
+    buf
 }
 
-/// Hashes one collection's ownership/supply state into its state-root leaf.
+/// Builds the fixed-width preimage of one token leaf in a collection's
+/// sub-tree: `"tokn" ‖ token ‖ owner ‖ approved-operator`.
 ///
-/// The preimage is `"coll" ‖ address ‖ remaining-supply ‖ pair-count ‖
-/// (token ‖ owner)*`: the explicit pair-count prefix separates the
-/// fixed-width header from the variable-length ownership list, so records
-/// with different pair counts can never collide byte-for-byte.
-pub(crate) fn coll_leaf(addr: Address, coll: &Collection) -> Hash32 {
-    let mut buf = Vec::with_capacity(48 + coll.active_supply() as usize * 28);
-    buf.extend_from_slice(b"coll");
-    buf.extend_from_slice(addr.as_bytes());
-    buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
-    buf.extend_from_slice(&coll.active_supply().to_be_bytes());
-    for (token, owner) in coll.iter() {
-        buf.extend_from_slice(&token.value().to_be_bytes());
-        buf.extend_from_slice(owner.as_bytes());
+/// The approval slot holds [`Address::ZERO`] when no operator is approved —
+/// a faithful encoding, not a collision, because approving the zero address
+/// *clears* the approval (ERC-721 semantics), so "approved to zero" and "no
+/// approval" are the same state. Every field is fixed-width, so the
+/// preimage is injective by construction.
+pub(crate) fn token_preimage(token: TokenId, owner: Address, approved: Address) -> [u8; 52] {
+    let mut buf = [0u8; 52];
+    buf[..4].copy_from_slice(b"tokn");
+    buf[4..12].copy_from_slice(&token.value().to_be_bytes());
+    buf[12..32].copy_from_slice(owner.as_bytes());
+    buf[32..52].copy_from_slice(approved.as_bytes());
+    buf
+}
+
+/// Builds the fixed-width preimage of one collection's top-level leaf:
+/// `"coll" ‖ address ‖ remaining-supply ‖ active-supply ‖ approval-count ‖
+/// sub-root`.
+///
+/// The ownership *and approval* content lives entirely in `sub_root`, the
+/// root of the collection's per-token sub-tree (approvals exist only for
+/// active tokens, so the token leaves cover the whole approvals map); the
+/// approval count rides in the header as an explicit prefix so the
+/// committed record is count-framed like the supply fields.
+pub(crate) fn coll_preimage(addr: Address, coll: &Collection, sub_root: Hash32) -> [u8; 80] {
+    let mut buf = [0u8; 80];
+    buf[..4].copy_from_slice(b"coll");
+    buf[4..24].copy_from_slice(addr.as_bytes());
+    buf[24..32].copy_from_slice(&coll.remaining_supply().to_be_bytes());
+    buf[32..40].copy_from_slice(&coll.active_supply().to_be_bytes());
+    buf[40..48].copy_from_slice(&coll.approval_count().to_be_bytes());
+    buf[48..80].copy_from_slice(sub_root.as_bytes());
+    buf
+}
+
+/// One token's current leaf hash.
+fn token_leaf(coll: &Collection, token: TokenId, owner: Address) -> Hash32 {
+    let approved = coll.get_approved(token).unwrap_or(Address::ZERO);
+    keccak256(&token_preimage(token, owner, approved))
+}
+
+/// Leaf-flush accounting for one `CommitCache::apply` pass, feeding the
+/// `state.*_flushed` telemetry streams.
+#[derive(Debug, Default, Clone, Copy)]
+struct FlushStats {
+    /// Top-level leaves created, destroyed or re-hashed (accounts plus
+    /// collection headers) — the quantity `state.leaves_flushed` has always
+    /// measured.
+    top_leaves: usize,
+    /// Collection headers among `top_leaves` (re-derived because their
+    /// sub-root or supply moved).
+    coll_leaves: usize,
+    /// Token leaves created, destroyed or re-hashed across all sub-trees.
+    token_leaves: usize,
+}
+
+/// One collection's resident sub-tree: per-token leaves in token-id order.
+#[derive(Debug, Clone)]
+pub(crate) struct CollSub {
+    tree: CommitTree,
+    /// Token ids in leaf order (sorted); `tokens[i]` owns sub-leaf `i`.
+    tokens: Vec<TokenId>,
+}
+
+impl CollSub {
+    /// Builds a collection's sub-tree from scratch, batching every token
+    /// preimage through one recycled sponge.
+    fn build(coll: &Collection) -> CollSub {
+        let tokens: Vec<TokenId> = coll.iter().map(|(t, _)| t).collect();
+        let preimages: Vec<[u8; 52]> = coll
+            .iter()
+            .map(|(t, o)| token_preimage(t, o, coll.get_approved(t).unwrap_or(Address::ZERO)))
+            .collect();
+        let leaves = keccak256_batch(preimages.iter().map(|p| p.as_slice()));
+        CollSub {
+            tree: CommitTree::from_leaves(leaves),
+            tokens,
+        }
     }
-    keccak256(&buf)
+
+    /// The sub-tree root (the `sub_root` field of the collection's
+    /// top-level leaf preimage).
+    fn root(&self) -> Hash32 {
+        self.tree.root()
+    }
+
+    /// Reconciles the sub-tree with the collection's live state for exactly
+    /// the dirty tokens: minted tokens splice a leaf in, burned tokens
+    /// splice one out, surviving tokens re-derive their leaf (owner or
+    /// approval moved), and all affected paths repair in one batched
+    /// O(dirty · log n) pass. Returns the number of token leaves flushed.
+    fn reconcile(&mut self, coll: &Collection, dirty: &BTreeMap<TokenId, u32>) -> usize {
+        let mut flushed = 0usize;
+        // Structural pass first, so every index the batch below uses is
+        // final.
+        for &token in dirty.keys() {
+            match (coll.owner_of(token), self.tokens.binary_search(&token)) {
+                (Some(owner), Err(pos)) => {
+                    self.tokens.insert(pos, token);
+                    self.tree.insert(pos, token_leaf(coll, token, owner));
+                    flushed += 1;
+                }
+                (None, Ok(pos)) => {
+                    self.tokens.remove(pos);
+                    self.tree.remove(pos);
+                    flushed += 1;
+                }
+                _ => {}
+            }
+        }
+        // Content pass: re-derive every surviving dirty token leaf, hashes
+        // batched through one sponge, paths repaired in one batch.
+        let mut positions = Vec::new();
+        let mut preimages: Vec<[u8; 52]> = Vec::new();
+        for &token in dirty.keys() {
+            if let (Some(owner), Ok(pos)) =
+                (coll.owner_of(token), self.tokens.binary_search(&token))
+            {
+                positions.push(pos);
+                preimages.push(token_preimage(
+                    token,
+                    owner,
+                    coll.get_approved(token).unwrap_or(Address::ZERO),
+                ));
+            }
+        }
+        let hashes = keccak256_batch(preimages.iter().map(|p| p.as_slice()));
+        let updates: Vec<(usize, Hash32)> = positions.into_iter().zip(hashes).collect();
+        flushed += updates.len();
+        self.tree.update_batch(&updates);
+        flushed
+    }
 }
 
-/// A materialized commitment: the resident tree plus the leaf index maps.
+/// Per-collection dirt: a whole-collection mutation count (deploy, raw
+/// `collection_mut` access, snapshot rollback) plus token-granular counts
+/// for the per-token NFT ops. Both levels carry the same mutation-count /
+/// [`STICKY`] / high-water-mark semantics as account dirt (see
+/// [`CommitSlot`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CollDirt {
+    /// Whole-collection mutation count: the caller may have changed
+    /// anything, so a flush rebuilds the sub-tree from scratch.
+    whole: u32,
+    /// Per-token mutation counts: a flush reconciles exactly these leaves.
+    tokens: BTreeMap<TokenId, u32>,
+}
+
+impl CollDirt {
+    fn is_clean(&self) -> bool {
+        self.whole == 0 && self.tokens.is_empty()
+    }
+}
+
+/// A materialized commitment: the resident top-level tree, the per-
+/// collection sub-trees, plus the leaf index maps.
 ///
-/// Leaf order matches the naive rebuild exactly: all account leaves in
-/// address order, then all collection leaves in address order.
+/// Top-level leaf order matches the naive rebuild exactly: all account
+/// leaves in address order, then all collection leaves in address order.
+/// Sub-tree leaf order is token-id order.
 #[derive(Debug, Clone)]
 pub(crate) struct CommitCache {
     tree: CommitTree,
     /// Account addresses in leaf order (sorted); `acct_keys[i]` owns leaf `i`.
     acct_keys: Vec<Address>,
     /// Collection addresses in leaf order; `coll_keys[j]` owns leaf
-    /// `acct_keys.len() + j`.
+    /// `acct_keys.len() + j` and sub-tree `coll_subs[j]`.
     coll_keys: Vec<Address>,
+    /// Per-collection sub-trees, index-aligned with `coll_keys`. Each sits
+    /// behind its own `Arc` so a post-fork flush clones only the sub-trees
+    /// it actually touches.
+    coll_subs: Vec<Arc<CollSub>>,
 }
 
 impl CommitCache {
@@ -93,92 +250,120 @@ impl CommitCache {
         accounts: &BTreeMap<Address, AccountState>,
         collections: &BTreeMap<Address, Collection>,
     ) -> Self {
-        let mut leaves = Vec::with_capacity(accounts.len() + collections.len());
-        for (addr, acct) in accounts {
-            leaves.push(acct_leaf(*addr, acct));
-        }
+        let acct_preimages: Vec<Vec<u8>> = accounts
+            .iter()
+            .map(|(addr, acct)| acct_preimage(*addr, acct))
+            .collect();
+        let mut leaves = keccak256_batch(acct_preimages.iter().map(Vec::as_slice));
+        leaves.reserve(collections.len());
+        let mut coll_subs = Vec::with_capacity(collections.len());
         for (addr, coll) in collections {
-            leaves.push(coll_leaf(*addr, coll));
+            let sub = CollSub::build(coll);
+            leaves.push(keccak256(&coll_preimage(*addr, coll, sub.root())));
+            coll_subs.push(Arc::new(sub));
         }
         CommitCache {
             tree: CommitTree::from_leaves(leaves),
             acct_keys: accounts.keys().copied().collect(),
             coll_keys: collections.keys().copied().collect(),
+            coll_subs,
         }
     }
 
-    /// Reconciles the tree with the current world for exactly the dirty
+    /// Reconciles the trees with the current world for exactly the dirty
     /// records: created records splice a leaf in, destroyed records splice
-    /// one out, surviving records re-derive their leaf hash, and all
-    /// affected paths are repaired in one batched O(dirty · log n) pass.
-    ///
-    /// Returns the number of leaves flushed (created + destroyed +
-    /// re-hashed) — the telemetry quantity the ROADMAP's redundant-dirty
-    /// follow-up is measured by.
-    fn apply<'a>(
+    /// one out, surviving records re-derive their leaf hash — for
+    /// collections, by rebuilding (whole-dirty) or reconciling
+    /// (token-dirty) the sub-tree and re-hashing the 80-byte header — and
+    /// all affected top-level paths repair in one batched pass.
+    fn apply(
         &mut self,
         accounts: &BTreeMap<Address, AccountState>,
         collections: &BTreeMap<Address, Collection>,
-        dirty_accts: impl Iterator<Item = &'a Address> + Clone,
-        dirty_colls: impl Iterator<Item = &'a Address> + Clone,
-    ) -> usize {
-        let mut flushed = 0usize;
+        dirty_accts: &BTreeMap<Address, u32>,
+        dirty_colls: &BTreeMap<Address, CollDirt>,
+    ) -> FlushStats {
+        let mut stats = FlushStats::default();
         // Structural pass: create/destroy leaves first so every index used
         // by the batched update below is final.
-        for &who in dirty_accts.clone() {
+        for &who in dirty_accts.keys() {
             match (accounts.get(&who), self.acct_keys.binary_search(&who)) {
                 (Some(acct), Err(pos)) => {
                     self.acct_keys.insert(pos, who);
-                    self.tree.insert(pos, acct_leaf(who, acct));
-                    flushed += 1;
+                    self.tree.insert(pos, keccak256(&acct_preimage(who, acct)));
+                    stats.top_leaves += 1;
                 }
                 (None, Ok(pos)) => {
                     self.acct_keys.remove(pos);
                     self.tree.remove(pos);
-                    flushed += 1;
+                    stats.top_leaves += 1;
                 }
                 _ => {}
             }
         }
         let offset = self.acct_keys.len();
-        for &addr in dirty_colls.clone() {
+        for &addr in dirty_colls.keys() {
             match (collections.get(&addr), self.coll_keys.binary_search(&addr)) {
                 (Some(coll), Err(pos)) => {
+                    let sub = CollSub::build(coll);
+                    stats.token_leaves += sub.tokens.len();
+                    let leaf = keccak256(&coll_preimage(addr, coll, sub.root()));
                     self.coll_keys.insert(pos, addr);
-                    self.tree.insert(offset + pos, coll_leaf(addr, coll));
-                    flushed += 1;
+                    self.coll_subs.insert(pos, Arc::new(sub));
+                    self.tree.insert(offset + pos, leaf);
+                    stats.top_leaves += 1;
                 }
                 (None, Ok(pos)) => {
                     self.coll_keys.remove(pos);
+                    self.coll_subs.remove(pos);
                     self.tree.remove(offset + pos);
-                    flushed += 1;
+                    stats.top_leaves += 1;
                 }
                 _ => {}
             }
         }
 
         // Content pass: re-derive every surviving dirty leaf and repair the
-        // tree in one batch (shared ancestor paths hash once). A record
-        // created in the structural pass re-derives here too; its leaf hash
-        // is already final, so the double-hash on the rare creation path is
-        // harmless.
-        let mut updates = Vec::new();
-        for &who in dirty_accts {
+        // top-level tree in one batch (shared ancestor paths hash once). A
+        // record created in the structural pass re-derives here too; its
+        // leaf hash is already final, so the double-hash on the rare
+        // creation path is harmless (deploys are born empty, so the "full
+        // rebuild" of a just-created sub-tree is O(1)).
+        let mut acct_positions = Vec::new();
+        let mut acct_preimages: Vec<Vec<u8>> = Vec::new();
+        for &who in dirty_accts.keys() {
             if let (Some(acct), Ok(pos)) = (accounts.get(&who), self.acct_keys.binary_search(&who))
             {
-                updates.push((pos, acct_leaf(who, acct)));
+                acct_positions.push(pos);
+                acct_preimages.push(acct_preimage(who, acct));
             }
         }
-        for &addr in dirty_colls {
+        let acct_hashes = keccak256_batch(acct_preimages.iter().map(Vec::as_slice));
+        let mut updates: Vec<(usize, Hash32)> =
+            acct_positions.into_iter().zip(acct_hashes).collect();
+        for (&addr, dirt) in dirty_colls {
             if let (Some(coll), Ok(pos)) =
                 (collections.get(&addr), self.coll_keys.binary_search(&addr))
             {
-                updates.push((offset + pos, coll_leaf(addr, coll)));
+                // Copy-on-write at sub-tree granularity: only the touched
+                // collections' sub-trees detach from a forked parent.
+                let sub = Arc::make_mut(&mut self.coll_subs[pos]);
+                if dirt.whole != 0 {
+                    *sub = CollSub::build(coll);
+                    stats.token_leaves += sub.tokens.len();
+                } else {
+                    stats.token_leaves += sub.reconcile(coll, &dirt.tokens);
+                }
+                updates.push((
+                    offset + pos,
+                    keccak256(&coll_preimage(addr, coll, sub.root())),
+                ));
+                stats.coll_leaves += 1;
             }
         }
-        flushed += updates.len();
+        stats.top_leaves += updates.len();
         self.tree.update_batch(&updates);
-        flushed
+        stats
     }
 }
 
@@ -207,17 +392,35 @@ impl CommitCache {
 ///   gone (or never existed), so the restored value differs from the
 ///   committed leaf in a way counts cannot track.
 ///
-/// This closes the ROADMAP follow-up where `revert_to` conservatively
-/// re-dirtied every record it restored: a speculative window that executes
-/// and fully rolls back now flushes **zero** leaves.
+/// Token-granular dirt carries the **same semantics one level down**: a
+/// per-token NFT op (mint, transfer, burn, approve) marks only that token's
+/// count inside the collection's [`CollDirt`], its rollback unmarks the
+/// same token, and a speculative window of token ops that fully rolls back
+/// flushes **zero** leaves at both levels. Whole-collection marks (deploy,
+/// raw `collection_mut`, snapshot rollback) keep their own count beside the
+/// token counts; a flush rebuilds the sub-tree when the whole-count is hot
+/// and reconciles individual token leaves otherwise.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CommitSlot {
     cache: Option<Arc<CommitCache>>,
     dirty_accts: BTreeMap<Address, u32>,
-    dirty_colls: BTreeMap<Address, u32>,
+    dirty_colls: BTreeMap<Address, CollDirt>,
     /// Journal length at the last cache build/flush. Entries below this
     /// index have no live forward mark (see the struct docs).
     hwm: usize,
+}
+
+/// One inverse step of the mutation-count protocol: [`STICKY`] never
+/// cleans, a live post-flush count decrements, and anything the counts
+/// cannot account for (an entry below the high-water mark, or a count
+/// already at zero) pins [`STICKY`] — always safe, a dirty record is
+/// merely re-hashed.
+fn unwind(count: u32, below_hwm: bool) -> u32 {
+    match count {
+        STICKY => STICKY,
+        c if !below_hwm && c > 0 => c - 1,
+        _ => STICKY,
+    }
 }
 
 impl CommitSlot {
@@ -230,12 +433,30 @@ impl CommitSlot {
         }
     }
 
-    /// Marks a collection record as touched (deployed, mutated or rolled
-    /// back).
+    /// Marks a whole collection as touched (deployed, arbitrarily mutated
+    /// through `collection_mut`, or snapshot-rolled-back): the next flush
+    /// rebuilds its sub-tree from scratch.
     #[inline]
     pub(crate) fn mark_coll(&mut self, addr: Address) {
         if self.cache.is_some() {
-            let c = self.dirty_colls.entry(addr).or_insert(0);
+            let d = self.dirty_colls.entry(addr).or_default();
+            d.whole = d.whole.saturating_add(1);
+        }
+    }
+
+    /// Marks a single token of a collection as touched (minted,
+    /// transferred, burned or approved): the next flush reconciles exactly
+    /// that sub-tree leaf — O(log supply), the hierarchical fast path.
+    #[inline]
+    pub(crate) fn mark_coll_token(&mut self, addr: Address, token: TokenId) {
+        if self.cache.is_some() {
+            let c = self
+                .dirty_colls
+                .entry(addr)
+                .or_default()
+                .tokens
+                .entry(token)
+                .or_insert(0);
             *c = c.saturating_add(1);
         }
     }
@@ -244,36 +465,49 @@ impl CommitSlot {
     /// entry at `index` that had mutated `who`.
     #[inline]
     pub(crate) fn unmark_acct(&mut self, who: Address, index: usize) {
-        if self.cache.is_some() {
-            let below_hwm = index < self.hwm;
-            Self::unmark(&mut self.dirty_accts, who, below_hwm);
+        if self.cache.is_none() {
+            return;
+        }
+        let below_hwm = index < self.hwm;
+        let c = self.dirty_accts.entry(who).or_insert(0);
+        *c = unwind(*c, below_hwm);
+        if *c == 0 {
+            // Count reaches zero: every post-flush mutation undone, the
+            // record matches its committed leaf again.
+            self.dirty_accts.remove(&who);
         }
     }
 
-    /// Rollback-marks a collection (see [`CommitSlot::unmark_acct`]).
+    /// Rollback-marks a whole collection (see [`CommitSlot::unmark_acct`]).
     #[inline]
     pub(crate) fn unmark_coll(&mut self, addr: Address, index: usize) {
-        if self.cache.is_some() {
-            let below_hwm = index < self.hwm;
-            Self::unmark(&mut self.dirty_colls, addr, below_hwm);
+        if self.cache.is_none() {
+            return;
+        }
+        let below_hwm = index < self.hwm;
+        let dirt = self.dirty_colls.entry(addr).or_default();
+        dirt.whole = unwind(dirt.whole, below_hwm);
+        if dirt.is_clean() {
+            self.dirty_colls.remove(&addr);
         }
     }
 
-    fn unmark(dirty: &mut BTreeMap<Address, u32>, key: Address, below_hwm: bool) {
-        match dirty.get_mut(&key) {
-            Some(c) if *c == STICKY => {} // sticky dirt never cleans
-            Some(c) if !below_hwm && *c > 1 => *c -= 1,
-            Some(_) if !below_hwm => {
-                // Count reaches zero: every post-flush mutation undone, the
-                // record matches its committed leaf again.
-                dirty.remove(&key);
-            }
-            _ => {
-                // Entry predates the flush (or the map entry is missing —
-                // only possible if the invariant broke): pin sticky, which
-                // is always safe because a dirty record is merely re-hashed.
-                dirty.insert(key, STICKY);
-            }
+    /// Rollback-marks a single token: called when `revert_to` undoes the
+    /// per-token journal entry at `index` that had mutated `token`.
+    #[inline]
+    pub(crate) fn unmark_coll_token(&mut self, addr: Address, token: TokenId, index: usize) {
+        if self.cache.is_none() {
+            return;
+        }
+        let below_hwm = index < self.hwm;
+        let dirt = self.dirty_colls.entry(addr).or_default();
+        let c = dirt.tokens.entry(token).or_insert(0);
+        *c = unwind(*c, below_hwm);
+        if *c == 0 {
+            dirt.tokens.remove(&token);
+        }
+        if dirt.is_clean() {
+            self.dirty_colls.remove(&addr);
         }
     }
 
@@ -285,7 +519,8 @@ impl CommitSlot {
         self.hwm = self.hwm.min(len);
     }
 
-    /// Number of records currently marked dirty (telemetry/test hook).
+    /// Number of records currently marked dirty (telemetry/test hook). A
+    /// collection counts once however many of its tokens are dirty.
     pub(crate) fn dirty_records(&self) -> usize {
         self.dirty_accts.len() + self.dirty_colls.len()
     }
@@ -298,7 +533,7 @@ impl CommitSlot {
     }
 
     /// Returns the current state root, building the cache on first use and
-    /// otherwise flushing only the dirty records through the resident tree.
+    /// otherwise flushing only the dirty records through the resident trees.
     ///
     /// `journal_len` is the owning state's current journal length; it
     /// becomes the new high-water mark for rollback-aware dirty tracking.
@@ -334,13 +569,11 @@ impl CommitSlot {
                 // Copy-on-write: forks share the parent's clean cache until
                 // one side actually flushes new dirt through it.
                 let cache = Arc::make_mut(shared);
-                let flushed = cache.apply(
-                    accounts,
-                    collections,
-                    self.dirty_accts.keys(),
-                    self.dirty_colls.keys(),
-                );
-                parole_telemetry::observe("state.leaves_flushed", flushed as u64);
+                let stats =
+                    cache.apply(accounts, collections, &self.dirty_accts, &self.dirty_colls);
+                parole_telemetry::observe("state.leaves_flushed", stats.top_leaves as u64);
+                parole_telemetry::observe("state.coll_leaves_flushed", stats.coll_leaves as u64);
+                parole_telemetry::observe("state.token_leaves_flushed", stats.token_leaves as u64);
                 self.dirty_accts.clear();
                 self.dirty_colls.clear();
                 self.hwm = journal_len;
@@ -354,9 +587,10 @@ impl CommitSlot {
         root
     }
 
-    /// Test-only sabotage: tampers with one cached leaf *without* marking it
-    /// dirty, emulating a cache whose invalidation hooks missed a mutation.
-    /// Returns `false` when there is no materialized leaf to corrupt.
+    /// Test-only sabotage: tampers with one cached top-level leaf *without*
+    /// marking it dirty, emulating a cache whose invalidation hooks missed
+    /// a mutation. Returns `false` when there is no materialized leaf to
+    /// corrupt.
     pub(crate) fn corrupt_for_tests(&mut self) -> bool {
         match self.cache.as_mut() {
             Some(shared) if !shared.tree.is_empty() => {
@@ -367,5 +601,42 @@ impl CommitSlot {
             }
             _ => false,
         }
+    }
+
+    /// Test-only sabotage one level down: tampers with one **token leaf**
+    /// inside the first non-empty collection sub-tree and propagates the
+    /// corrupted sub-root through the collection header into the top-level
+    /// tree — without marking anything dirty. Emulates a sub-tree whose
+    /// token-granular invalidation hooks missed a mutation; the served root
+    /// is immediately wrong and only the independent naive rebuild (the
+    /// audit differential oracle's reference side) can tell. Returns
+    /// `false` when no collection has a materialized token leaf.
+    pub(crate) fn corrupt_subtree_for_tests(
+        &mut self,
+        collections: &BTreeMap<Address, Collection>,
+    ) -> bool {
+        let Some(shared) = self.cache.as_mut() else {
+            return false;
+        };
+        let cache = Arc::make_mut(shared);
+        let offset = cache.acct_keys.len();
+        for pos in 0..cache.coll_subs.len() {
+            let addr = cache.coll_keys[pos];
+            let Some(coll) = collections.get(&addr) else {
+                continue;
+            };
+            let sub = Arc::make_mut(&mut cache.coll_subs[pos]);
+            if sub.tree.is_empty() {
+                continue;
+            }
+            sub.tree
+                .update(0, keccak256(b"deliberately stale token leaf"));
+            cache.tree.update(
+                offset + pos,
+                keccak256(&coll_preimage(addr, coll, sub.root())),
+            );
+            return true;
+        }
+        false
     }
 }

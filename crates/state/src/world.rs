@@ -1,6 +1,6 @@
 //! The complete L2 world state.
 
-use crate::commit::{acct_leaf, coll_leaf, CommitSlot};
+use crate::commit::CommitSlot;
 use crate::journal::{Journal, JournalEntry};
 use crate::{AccountState, Checkpoint};
 use parole_crypto::{keccak256, Hash32, MerkleTree};
@@ -199,7 +199,7 @@ impl L2State {
                     self.collections.remove(&addr);
                 }
                 JournalEntry::TokenOp { addr, undo } => {
-                    Self::slot_mut(&mut self.commit).unmark_coll(addr, index);
+                    Self::slot_mut(&mut self.commit).unmark_coll_token(addr, undo.token(), index);
                     self.collections
                         .get_mut(&addr)
                         .expect("journaled collection exists")
@@ -420,7 +420,7 @@ impl L2State {
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
         Ok(coll.mint_undoable(to, token).map(|undo| {
-            Self::slot_mut(&mut self.commit).mark_coll(collection);
+            Self::slot_mut(&mut self.commit).mark_coll_token(collection, token);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
                     addr: collection,
@@ -449,7 +449,7 @@ impl L2State {
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
         Ok(coll.transfer_undoable(from, to, token).map(|undo| {
-            Self::slot_mut(&mut self.commit).mark_coll(collection);
+            Self::slot_mut(&mut self.commit).mark_coll_token(collection, token);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
                     addr: collection,
@@ -477,7 +477,41 @@ impl L2State {
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
         Ok(coll.burn_undoable(owner, token).map(|undo| {
-            Self::slot_mut(&mut self.commit).mark_coll(collection);
+            Self::slot_mut(&mut self.commit).mark_coll_token(collection, token);
+            if self.journal.recording {
+                self.journal.entries.push(JournalEntry::TokenOp {
+                    addr: collection,
+                    undo,
+                });
+            }
+        }))
+    }
+
+    /// Approves `operator` to move `token` (ERC-721 `approve`), journaling a
+    /// cheap per-token undo record when recording. Error structure as
+    /// [`L2State::nft_mint`].
+    ///
+    /// Approvals are committed state — they gate `transferFrom`, and the
+    /// token's leaf in the collection sub-tree covers the approved operator
+    /// — so this marks the token dirty exactly like a transfer does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_approve(
+        &mut self,
+        collection: Address,
+        owner: Address,
+        operator: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        let coll = self
+            .collections
+            .get_mut(&collection)
+            .ok_or(StateError::NoSuchCollection(collection))?;
+        Ok(coll.approve_undoable(owner, operator, token).map(|undo| {
+            Self::slot_mut(&mut self.commit).mark_coll_token(collection, token);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
                     addr: collection,
@@ -528,19 +562,58 @@ impl L2State {
     }
 
     /// Recomputes the state root from scratch: every record re-encoded and
-    /// re-hashed, the tree rebuilt leaf-up, no cache consulted or touched.
+    /// re-hashed, every collection sub-tree and the top-level tree rebuilt
+    /// leaf-up, no cache consulted or touched.
     ///
     /// O(total world size) — this is the reference implementation that
     /// [`L2State::state_root`] must match bit for bit. The audit layer's
     /// differential oracle uses it as the independent side so a stale or
-    /// corrupted commitment cache can never vouch for itself.
+    /// corrupted commitment cache can never vouch for itself. To stay
+    /// independent, the two-level preimage scheme is re-derived **inline**
+    /// here — own byte layout, one-shot [`keccak256`], plain
+    /// [`MerkleTree`] rebuilds — sharing nothing with `crate::commit`
+    /// except the specification:
+    ///
+    /// - token leaf: `"tokn" ‖ token (8B BE) ‖ owner (20B) ‖ approved
+    ///   operator or zero (20B)`, in token-id order per collection;
+    /// - collection leaf: `"coll" ‖ address ‖ remaining-supply ‖
+    ///   active-supply ‖ approval-count ‖ sub-tree root`;
+    /// - account leaf: `"acct" ‖ address ‖ len(encoding) ‖ encoding`;
+    /// - top level: all account leaves in address order, then all
+    ///   collection leaves in address order.
     pub fn state_root_naive(&self) -> Hash32 {
         let mut leaves = Vec::with_capacity(self.accounts.len() + self.collections.len());
         for (addr, acct) in &self.accounts {
-            leaves.push(acct_leaf(*addr, acct));
+            let encoded = acct.encode();
+            let mut buf = Vec::with_capacity(28 + encoded.len());
+            buf.extend_from_slice(b"acct");
+            buf.extend_from_slice(addr.as_bytes());
+            buf.extend_from_slice(&(encoded.len() as u32).to_be_bytes());
+            buf.extend_from_slice(&encoded);
+            leaves.push(keccak256(&buf));
         }
         for (addr, coll) in &self.collections {
-            leaves.push(coll_leaf(*addr, coll));
+            let token_leaves: Vec<Hash32> = coll
+                .iter()
+                .map(|(token, owner)| {
+                    let approved = coll.get_approved(token).unwrap_or(Address::ZERO);
+                    let mut buf = Vec::with_capacity(52);
+                    buf.extend_from_slice(b"tokn");
+                    buf.extend_from_slice(&token.value().to_be_bytes());
+                    buf.extend_from_slice(owner.as_bytes());
+                    buf.extend_from_slice(approved.as_bytes());
+                    keccak256(&buf)
+                })
+                .collect();
+            let sub_root = MerkleTree::from_leaves(token_leaves).root();
+            let mut buf = Vec::with_capacity(80);
+            buf.extend_from_slice(b"coll");
+            buf.extend_from_slice(addr.as_bytes());
+            buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
+            buf.extend_from_slice(&coll.active_supply().to_be_bytes());
+            buf.extend_from_slice(&coll.approval_count().to_be_bytes());
+            buf.extend_from_slice(sub_root.as_bytes());
+            leaves.push(keccak256(&buf));
         }
         MerkleTree::from_leaves(leaves).root()
     }
@@ -557,6 +630,19 @@ impl L2State {
     pub fn corrupt_commit_cache_for_tests(&mut self) -> bool {
         let _ = self.state_root();
         Self::slot_mut(&mut self.commit).corrupt_for_tests()
+    }
+
+    /// Test-only sabotage one level down: materializes the cache, then
+    /// tampers with a **token leaf** inside a collection sub-tree and
+    /// propagates the corrupted sub-root up through the collection header —
+    /// without marking anything dirty. Emulates a token-granular
+    /// invalidation hook missing a mutation. Returns `false` when no
+    /// collection has an active token to corrupt. Never call outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_commit_subtree_for_tests(&mut self) -> bool {
+        let _ = self.state_root();
+        let collections = &self.collections;
+        Self::slot_mut(&mut self.commit).corrupt_subtree_for_tests(collections)
     }
 
     /// Number of records currently marked dirty in the commitment slot.

@@ -8,11 +8,49 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Credit { user: u64, amount: u64 },
-    Debit { user: u64, amount: u64 },
-    Transfer { from: u64, to: u64, amount: u64 },
-    Mint { user: u64, token: u64 },
-    Burn { user: u64, token: u64 },
+    Credit {
+        user: u64,
+        amount: u64,
+    },
+    Debit {
+        user: u64,
+        amount: u64,
+    },
+    Transfer {
+        from: u64,
+        to: u64,
+        amount: u64,
+    },
+    Mint {
+        user: u64,
+        token: u64,
+    },
+    Burn {
+        user: u64,
+        token: u64,
+    },
+    // Per-token journaled paths: these exercise the hierarchical cache's
+    // token-granular dirty marks (the `collection_mut`-based Mint/Burn above
+    // exercise the whole-collection snapshot path).
+    TokenMint {
+        user: u64,
+        token: u64,
+    },
+    TokenTransfer {
+        from: u64,
+        to: u64,
+        token: u64,
+    },
+    TokenBurn {
+        user: u64,
+        token: u64,
+    },
+    // `operator` may be 0 (= the zero address), which *clears* an approval.
+    Approve {
+        owner: u64,
+        operator: u64,
+        token: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -26,6 +64,18 @@ fn arb_op() -> impl Strategy<Value = Op> {
         }),
         (1u64..6, 0u64..8).prop_map(|(user, token)| Op::Mint { user, token }),
         (1u64..6, 0u64..8).prop_map(|(user, token)| Op::Burn { user, token }),
+        (1u64..6, 0u64..8).prop_map(|(user, token)| Op::TokenMint { user, token }),
+        (1u64..6, 1u64..6, 0u64..8).prop_map(|(from, to, token)| Op::TokenTransfer {
+            from,
+            to,
+            token
+        }),
+        (1u64..6, 0u64..8).prop_map(|(user, token)| Op::TokenBurn { user, token }),
+        (1u64..6, 0u64..6, 0u64..8).prop_map(|(owner, operator, token)| Op::Approve {
+            owner,
+            operator,
+            token
+        }),
     ]
 }
 
@@ -50,6 +100,22 @@ fn apply(state: &mut L2State, coll: Address, op: &Op) {
                 c.burn(a(user), TokenId::new(token))
                     .map_err(|_| parole_state::StateError::NoSuchCollection(coll))
             });
+        }
+        Op::TokenMint { user, token } => {
+            let _ = state.nft_mint(coll, a(user), TokenId::new(token));
+        }
+        Op::TokenTransfer { from, to, token } => {
+            let _ = state.nft_transfer(coll, a(from), a(to), TokenId::new(token));
+        }
+        Op::TokenBurn { user, token } => {
+            let _ = state.nft_burn(coll, a(user), TokenId::new(token));
+        }
+        Op::Approve {
+            owner,
+            operator,
+            token,
+        } => {
+            let _ = state.nft_approve(coll, a(owner), a(operator), TokenId::new(token));
         }
     }
 }

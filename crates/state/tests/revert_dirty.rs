@@ -107,6 +107,58 @@ fn fork_rollbacks_track_dirt_against_fresh_journal() {
 }
 
 #[test]
+fn token_level_revert_cancels_token_dirt() {
+    // The hierarchical cache tracks dirt per token: a speculative burst of
+    // per-token ops that fully rolls back must leave the collection clean,
+    // not whole-collection sticky.
+    let (mut s, pt) = fixture();
+    assert_eq!(s.dirty_record_count(), 0);
+    let root_before = s.state_root();
+
+    let cp = s.checkpoint();
+    s.nft_transfer(pt, addr(0), addr(3), TokenId::new(0))
+        .unwrap()
+        .unwrap();
+    s.nft_approve(pt, addr(1), addr(9), TokenId::new(1))
+        .unwrap()
+        .unwrap();
+    s.nft_mint(pt, addr(4), TokenId::new(9)).unwrap().unwrap();
+    s.nft_burn(pt, addr(2), TokenId::new(2)).unwrap().unwrap();
+    // Token-granular dirt still counts the collection as one record.
+    assert_eq!(s.dirty_record_count(), 1);
+
+    s.revert_to(cp);
+    assert_eq!(s.dirty_record_count(), 0);
+    assert_eq!(s.state_root(), root_before);
+    assert_eq!(s.state_root(), s.state_root_naive());
+}
+
+#[test]
+fn token_revert_past_flush_point_stays_dirty() {
+    // A per-token entry journaled before the flush has no live forward
+    // mark; undoing it must sticky-dirty that token, never clean it.
+    let (mut s, pt) = fixture();
+    let cp = s.checkpoint();
+    s.nft_transfer(pt, addr(0), addr(3), TokenId::new(0))
+        .unwrap()
+        .unwrap();
+    let _ = s.state_root(); // flush consumes token 0's mark, hwm moves up
+    s.nft_approve(pt, addr(1), addr(9), TokenId::new(1))
+        .unwrap()
+        .unwrap();
+
+    s.revert_to(cp); // undoes both token entries, crossing the flush point
+                     // Token 1 cleans (post-flush mark cancelled); token 0 must remain
+                     // dirty — its restored owner differs from the committed sub-tree leaf.
+    assert_eq!(s.dirty_record_count(), 1);
+    assert_eq!(s.state_root(), s.state_root_naive());
+    assert_eq!(
+        s.collection(pt).unwrap().owner_of(TokenId::new(0)),
+        Some(addr(0))
+    );
+}
+
+#[test]
 fn interleaved_checkpoints_and_flushes_stay_consistent() {
     let (mut s, pt) = fixture();
     let cp0 = s.checkpoint();

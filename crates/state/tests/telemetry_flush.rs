@@ -66,5 +66,50 @@ fn reverted_window_flushes_zero_leaves() {
     assert!(keccak.max > 0, "flush must pay keccak digests");
     assert!(snap.counter("crypto.keccak256") >= keccak.max as u64);
 
+    // Token-granular attribution: a single NFT op in a populated collection
+    // flushes exactly one token leaf and one collection header, and the
+    // whole flush is O(log supply) digests, not O(supply).
+    let pt = s.deploy_collection(parole_nft::CollectionConfig::limited_edition("TF", 32, 100));
+    for t in 0..20 {
+        s.nft_mint(pt, addr(t), parole_primitives::TokenId::new(t))
+            .unwrap()
+            .unwrap();
+    }
+    let _ = s.state_root();
+    tel::reset();
+    s.nft_transfer(pt, addr(0), addr(1), parole_primitives::TokenId::new(0))
+        .unwrap()
+        .unwrap();
+    let _ = s.state_root();
+    let snap = tel::snapshot();
+    assert_eq!(
+        snap.histogram("state.token_leaves_flushed").unwrap().sum,
+        1,
+        "one token op re-hashes one sub-tree leaf"
+    );
+    assert_eq!(
+        snap.histogram("state.coll_leaves_flushed").unwrap().sum,
+        1,
+        "one collection header re-derives"
+    );
+    assert_eq!(
+        snap.histogram("state.leaves_flushed").unwrap().sum,
+        1,
+        "the header is the only top-level leaf flushed"
+    );
+    let keccak = snap.histogram("state.keccak_per_root").unwrap();
+    assert!(
+        keccak.sum < 20,
+        "hierarchical flush must not re-hash the whole 20-token collection; paid {}",
+        keccak.sum
+    );
+
+    // Every name this run recorded is statically registered.
+    for name in snap.counters.keys().chain(snap.histograms.keys()) {
+        let d = tel::describe(name)
+            .unwrap_or_else(|| panic!("metric {name} recorded but not registered"));
+        assert_eq!(d.name, name);
+    }
+
     tel::reset();
 }

@@ -15,6 +15,11 @@
 //! (stable-sorted, JSON-renderable, flamegraph-style span-tree dump) and
 //! [`reset`] to clear the registry between measurement windows.
 //!
+//! Every metric is **statically registered** in [`descriptors::METRICS`]
+//! (name, kind, one-line doc); [`describe`] resolves a recorded name to its
+//! descriptor, and `perf_report metrics --list` dumps the inventory. The
+//! table is plain `'static` data, available in no-op builds too.
+//!
 //! ## Feature gating
 //!
 //! All of it is behind the `enabled` cargo feature. Without it every entry
@@ -37,8 +42,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod descriptors;
 mod snapshot;
 
+pub use descriptors::{describe, MetricDescriptor, MetricKind, METRICS};
 pub use snapshot::{BucketCount, FloatStat, HistogramSnapshot, MetricsSnapshot, SpanNode};
 
 #[cfg(feature = "enabled")]
