@@ -1,8 +1,9 @@
 //! Performance report for the measured optimizations, written to
 //! `target/experiments/`.
 //!
-//! Four sections, selectable by the first CLI argument (`pr1`,
-//! `state-root`, `nft-flush` or `metrics`; no argument runs all):
+//! Five sections, selectable by the first CLI argument (`pr1`,
+//! `state-root`, `nft-flush`, `parallel-exec` or `metrics`; no argument
+//! runs all):
 //!
 //! **`pr1`** (→ `BENCH_PR1.json`):
 //!
@@ -25,6 +26,14 @@
 //! asserts ≥ 50× at 10⁴ tokens and that the hierarchical root matches the
 //! naive oracle.
 //!
+//! **`parallel-exec`** (→ `BENCH_PR6.json`): optimistic-concurrency block
+//! execution ([`parole_ovm::ParallelExecutor`]) vs serial
+//! `execute_sequence`, at 1/2/4/8 worker threads, on conflict-sparse
+//! signed/unsigned 1k-transaction blocks and a conflict-dense hot-mint
+//! block, recording conflict/abort counts; asserts bit-identical receipts
+//! and roots on every row and ≥ 2× at 4 threads for the signed sparse
+//! workload on machines with ≥ 4 cores.
+//!
 //! `metrics --list` dumps the static metric inventory and exits.
 //!
 //! **`metrics`** (→ `BENCH_PR4.json`, requires `--features telemetry`): runs
@@ -40,6 +49,7 @@ use parole_bench::economy::Economy;
 use parole_bench::report::write_json;
 use parole_drl::{DqnAgent, DqnConfig, Environment, Transition};
 use parole_nft::CollectionConfig;
+use parole_ovm::{NftTransaction, Ovm};
 use parole_primitives::{Address, TokenId, Wei};
 use parole_state::L2State;
 use serde::Serialize;
@@ -318,6 +328,204 @@ fn run_nft_flush_section() {
         rows.push(t);
     }
     write_json("BENCH_PR5", &Pr5Report { nft_flush: rows });
+}
+
+#[derive(Serialize)]
+struct ParallelExecTiming {
+    workload: String,
+    txs: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    committed_clean: u64,
+    conflicts: u64,
+    reexecutions: u64,
+    receipts_identical: bool,
+    roots_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Pr6Report {
+    available_parallelism: usize,
+    parallel_exec: Vec<ParallelExecTiming>,
+}
+
+/// Conflict-sparse block: every slot has a distinct sender, token and
+/// recipient, so the only shared record is the collection header — which
+/// transfers read but never write. When `signed`, every transaction
+/// carries real ECDSA material, putting per-slot keccak + signature
+/// recovery on the speculation path (the compute the OCC scheduler
+/// actually parallelizes).
+fn sparse_transfer_block(n: usize, signed: bool) -> (L2State, Vec<NftTransaction>) {
+    use parole_crypto::Wallet;
+    use parole_ovm::TxKind;
+    use parole_primitives::{FeeBundle, TxNonce};
+
+    let mut state = L2State::new();
+    let coll = state.deploy_collection(CollectionConfig::limited_edition("PX", 2 * n as u64, 100));
+    let mut txs = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let recipient = Address::from_low_u64(1_000_000 + i);
+        state.credit(recipient, Wei::from_eth(100));
+        let kind = |sender: Address| {
+            (
+                sender,
+                TxKind::Transfer {
+                    collection: coll,
+                    token: TokenId::new(i),
+                    to: recipient,
+                },
+            )
+        };
+        let tx = if signed {
+            let wallet = Wallet::from_seed(7_000 + i);
+            let (sender, kind) = kind(wallet.address());
+            state.credit(sender, Wei::from_eth(1));
+            state
+                .nft_mint(coll, sender, TokenId::new(i))
+                .unwrap()
+                .unwrap();
+            NftTransaction::signed(&wallet, kind, FeeBundle::from_gwei(30, 2), TxNonce::new(0))
+        } else {
+            let sender = Address::from_low_u64(1 + i);
+            let (sender, kind) = kind(sender);
+            state.credit(sender, Wei::from_eth(1));
+            state
+                .nft_mint(coll, sender, TokenId::new(i))
+                .unwrap()
+                .unwrap();
+            NftTransaction::simple(sender, kind)
+        };
+        txs.push(tx);
+    }
+    (state, txs)
+}
+
+/// Conflict-dense block: every slot mints the same collection, so every
+/// speculation after the first is invalidated by the supply/price write
+/// and re-executes serially — the scheduler's worst case.
+fn dense_mint_block(n: usize) -> (L2State, Vec<NftTransaction>) {
+    use parole_ovm::TxKind;
+
+    let mut state = L2State::new();
+    let coll = state.deploy_collection(CollectionConfig::limited_edition("PD", 2 * n as u64, 100));
+    let txs: Vec<NftTransaction> = (0..n as u64)
+        .map(|i| {
+            let sender = Address::from_low_u64(1 + i);
+            state.credit(sender, Wei::from_eth(200));
+            NftTransaction::simple(
+                sender,
+                TxKind::Mint {
+                    collection: coll,
+                    token: TokenId::new(i),
+                },
+            )
+        })
+        .collect();
+    (state, txs)
+}
+
+fn measure_parallel_exec(
+    workload: &str,
+    base: &L2State,
+    txs: &[NftTransaction],
+    rows: &mut Vec<ParallelExecTiming>,
+) {
+    use parole_ovm::ParallelExecutor;
+
+    let ovm = Ovm::new();
+    let mut serial_state = base.clone();
+    let start = Instant::now();
+    let serial_receipts = ovm.execute_sequence(&mut serial_state, txs);
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    let serial_root = serial_state.state_root();
+
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut state = base.clone();
+        let executor = ParallelExecutor::with_threads(ovm.clone(), threads);
+        let start = Instant::now();
+        let (receipts, stats) = executor.execute_block(&mut state, txs);
+        let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let row = ParallelExecTiming {
+            workload: workload.to_string(),
+            txs: txs.len(),
+            threads,
+            serial_ms,
+            parallel_ms,
+            speedup: serial_ms / parallel_ms,
+            committed_clean: stats.committed_clean,
+            conflicts: stats.conflicts,
+            reexecutions: stats.reexecutions,
+            receipts_identical: receipts == serial_receipts,
+            roots_identical: state.state_root() == serial_root,
+        };
+        println!(
+            "parallel_exec {:<14} {:>4} txs @ {} threads: serial {:>7.1} ms | parallel {:>7.1} ms | {:>4.2}x | clean {:>4} conflicts {:>4} | identical: {}",
+            row.workload, row.txs, row.threads, row.serial_ms, row.parallel_ms, row.speedup,
+            row.committed_clean, row.conflicts, row.receipts_identical && row.roots_identical
+        );
+        assert!(
+            row.receipts_identical,
+            "parallel receipts diverged from serial ({workload}, {threads} threads)"
+        );
+        assert!(
+            row.roots_identical,
+            "parallel state root diverged from serial ({workload}, {threads} threads)"
+        );
+        rows.push(row);
+    }
+}
+
+/// The `parallel-exec` section (→ `BENCH_PR6.json`): optimistic-concurrency
+/// block execution vs serial, at 1/2/4/8 worker threads, on conflict-sparse
+/// signed and unsigned 1k-transaction blocks and a conflict-dense hot-mint
+/// block. Bit-identity of receipts and roots is asserted on every row; the
+/// ≥ 2x speedup bar for the signed sparse workload arms only on machines
+/// with at least 4 cores (speculation cannot beat serial on fewer).
+fn run_parallel_exec_section() {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut rows = Vec::new();
+
+    let (base, txs) = sparse_transfer_block(1_000, true);
+    measure_parallel_exec("sparse-signed", &base, &txs, &mut rows);
+    let (base, txs) = sparse_transfer_block(1_000, false);
+    measure_parallel_exec("sparse-unsigned", &base, &txs, &mut rows);
+    let (base, txs) = dense_mint_block(512);
+    measure_parallel_exec("dense-mints", &base, &txs, &mut rows);
+
+    let dense = rows
+        .iter()
+        .find(|r| r.workload == "dense-mints")
+        .expect("dense row recorded");
+    assert_eq!(
+        dense.conflicts,
+        dense.txs as u64 - 1,
+        "every hot mint after the first must conflict"
+    );
+    let sparse = rows
+        .iter()
+        .find(|r| r.workload == "sparse-signed" && r.threads == 4)
+        .expect("sparse signed row recorded");
+    assert_eq!(sparse.conflicts, 0, "sparse transfers must not conflict");
+    if cores >= 4 {
+        assert!(
+            sparse.speedup >= 2.0,
+            "signed sparse block must reach >= 2x at 4 threads on {cores} cores; got {:.2}x",
+            sparse.speedup
+        );
+    } else {
+        println!("parallel_exec: >= 2x assertion skipped ({cores} core(s) available, need >= 4)");
+    }
+
+    write_json(
+        "BENCH_PR6",
+        &Pr6Report {
+            available_parallelism: cores,
+            parallel_exec: rows,
+        },
+    );
 }
 
 /// The `metrics` section (telemetry-armed build): cross-thread-count
@@ -693,6 +901,9 @@ fn main() {
     }
     if run("nft-flush") {
         run_nft_flush_section();
+    }
+    if run("parallel-exec") {
+        run_parallel_exec_section();
     }
     if !run("pr1") {
         return;

@@ -53,5 +53,5 @@ mod workload;
 
 pub use fee_market::BaseFeeController;
 pub use pool::{BedrockMempool, SharedMempool};
-pub use sequencer::{Screened, ScreeningHook, SealedBlock, Sequencer};
+pub use sequencer::{ExecMode, Screened, ScreeningHook, SealedBlock, Sequencer};
 pub use workload::{WorkloadConfig, WorkloadGenerator};

@@ -9,10 +9,24 @@
 //! can be evaluated in its intended position.
 
 use crate::{BaseFeeController, BedrockMempool};
-use parole_ovm::{GasSchedule, NftTransaction};
+use parole_ovm::{GasSchedule, NftTransaction, Ovm, ParallelExecutor, Receipt};
 use parole_primitives::Gas;
 use parole_state::L2State;
 use std::fmt;
+
+/// How [`Sequencer::seal_and_execute`] runs a sealed block's transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One-by-one in sealed order on the calling thread.
+    #[default]
+    Serial,
+    /// The optimistic-concurrency scheduler ([`ParallelExecutor`]); output
+    /// is bit-identical to [`ExecMode::Serial`] at any thread count.
+    Parallel {
+        /// Worker threads (`0` = `PAROLE_THREADS` / machine parallelism).
+        threads: usize,
+    },
+}
 
 /// What a screening hook decides about a prospective block.
 #[derive(Debug, Clone)]
@@ -47,6 +61,8 @@ pub struct Sequencer {
     gas_schedule: GasSchedule,
     gas_limit: Gas,
     blocks_sealed: u64,
+    ovm: Ovm,
+    exec_mode: ExecMode,
 }
 
 impl fmt::Debug for Sequencer {
@@ -72,7 +88,30 @@ impl Sequencer {
             gas_schedule: GasSchedule::paper_calibrated(),
             gas_limit,
             blocks_sealed: 0,
+            ovm: Ovm::new(),
+            exec_mode: ExecMode::default(),
         }
+    }
+
+    /// Sets the execution mode used by [`Sequencer::seal_and_execute`]
+    /// (builder-style). Serial by default.
+    #[must_use]
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Sets the OVM used by [`Sequencer::seal_and_execute`]
+    /// (builder-style), e.g. one configured to charge fees.
+    #[must_use]
+    pub fn with_ovm(mut self, ovm: Ovm) -> Self {
+        self.ovm = ovm;
+        self
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Pending transactions in the underlying mempool.
@@ -171,6 +210,61 @@ impl Sequencer {
             base_fee,
         }
     }
+
+    /// Seals one block and executes it against `state` under the configured
+    /// [`ExecMode`], returning the block and its receipts.
+    ///
+    /// The parallel path is order-stable: whatever the worker partition, the
+    /// committed receipts and post-state are bit-identical to serial
+    /// execution of the sealed order. Debug builds re-execute every parallel
+    /// block serially from the same pre-state and assert exactly that; with
+    /// the `audit` feature the block additionally runs through
+    /// `parole_audit::ParallelOracle`, which diffs serial against 1/2/8
+    /// worker threads with an independently recomputed reference root.
+    pub fn seal_and_execute(
+        &mut self,
+        state: &mut L2State,
+        screening: Option<&mut ScreeningHook<'_>>,
+    ) -> (SealedBlock, Vec<Receipt>) {
+        let block = self.seal_block(state, screening);
+        let receipts = match self.exec_mode {
+            ExecMode::Serial => self.ovm.execute_sequence(state, &block.txs),
+            ExecMode::Parallel { threads } => {
+                #[cfg(any(debug_assertions, feature = "audit"))]
+                let pre = state.clone();
+
+                let executor = ParallelExecutor::with_threads(self.ovm.clone(), threads);
+                let (receipts, _stats) = executor.execute_block(state, &block.txs);
+
+                #[cfg(any(debug_assertions, feature = "audit"))]
+                {
+                    let mut serial = pre.clone();
+                    let want = self.ovm.execute_sequence(&mut serial, &block.txs);
+                    assert_eq!(
+                        want, receipts,
+                        "parallel block {} receipts diverged from serial order",
+                        block.number
+                    );
+                    assert_eq!(
+                        serial.state_root(),
+                        state.state_root(),
+                        "parallel block {} post-state diverged from serial order",
+                        block.number
+                    );
+                }
+
+                #[cfg(feature = "audit")]
+                if let Err(violation) = parole_audit::ParallelOracle::new(self.ovm.clone())
+                    .check_block(&pre, &block.txs)
+                {
+                    panic!("sequencer parallel-execution audit failed: {violation}");
+                }
+
+                receipts
+            }
+        };
+        (block, receipts)
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +343,48 @@ mod tests {
         let block2 = seq.seal_block(&L2State::new(), Some(&mut hook));
         assert_eq!(block2.txs.len(), 0);
         assert_eq!(seq.pending(), 1);
+    }
+
+    /// Funds and deploys enough world for sealed mint blocks to execute.
+    fn funded_world() -> L2State {
+        use parole_nft::CollectionConfig;
+        let mut state = L2State::new();
+        state
+            .deploy_collection_at(
+                Address::from_low_u64(100),
+                CollectionConfig::limited_edition("Seq", 64, 200),
+            )
+            .unwrap();
+        for u in 1..=20u64 {
+            state.credit(Address::from_low_u64(u), Wei::from_eth(10));
+        }
+        state
+    }
+
+    /// Draining the same mempool contents through the serial and the
+    /// parallel execution mode must produce identical receipts, identical
+    /// block structure and identical post-states. (Debug builds also run
+    /// the built-in serial replay assertion inside `seal_and_execute`.)
+    #[test]
+    fn parallel_mode_drains_identically_to_serial() {
+        let txs: Vec<NftTransaction> = (1..=12).map(|i| tx(i, i % 5)).collect();
+        let base = funded_world();
+
+        let mut serial_state = base.clone();
+        let mut serial_seq = sequencer_with(txs.clone(), 450_000);
+        let mut parallel_state = base.clone();
+        let mut parallel_seq =
+            sequencer_with(txs, 450_000).with_exec_mode(ExecMode::Parallel { threads: 4 });
+
+        while serial_seq.pending() > 0 || parallel_seq.pending() > 0 {
+            let (sb, sr) = serial_seq.seal_and_execute(&mut serial_state, None);
+            let (pb, pr) = parallel_seq.seal_and_execute(&mut parallel_state, None);
+            assert_eq!(sb.txs, pb.txs, "sealed order must not depend on exec mode");
+            assert_eq!(sb.gas_used, pb.gas_used);
+            assert_eq!(sr, pr, "receipts must not depend on exec mode");
+        }
+        assert_eq!(serial_state.state_root(), parallel_state.state_root());
+        assert_eq!(serial_seq.base_fee(), parallel_seq.base_fee());
     }
 
     #[test]

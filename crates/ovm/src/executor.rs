@@ -90,9 +90,11 @@ impl Ovm {
             Wei::ZERO
         };
 
+        // Header-granular read: the price is a function of remaining supply
+        // only, so this read conflicts with mints/burns of the collection
+        // but not with its transfers/approvals (see `parole_state::RecordKey`).
         let price_before = state
-            .collection(tx.kind.collection())
-            .map(|c| c.price())
+            .collection_price(tx.kind.collection())
             .unwrap_or(Wei::ZERO);
 
         let receipt = |status: TxStatus, fee_paid: Wei, price_after: Wei| {
@@ -135,8 +137,7 @@ impl Ovm {
 
         let status = self.apply_operation(state, tx, price_before);
         let price_after = state
-            .collection(tx.kind.collection())
-            .map(|c| c.price())
+            .collection_price(tx.kind.collection())
             .unwrap_or(Wei::ZERO);
         receipt(status, fee, price_after)
     }
@@ -151,20 +152,23 @@ impl Ovm {
     }
 
     /// Applies the NFT operation itself; returns the resulting status.
+    ///
+    /// Reads go through the granular [`L2State`] constraint helpers
+    /// (`nft_can_mint` / `nft_can_transfer` / `nft_can_burn`,
+    /// `collection_creator`) rather than the coarse `collection()` accessor,
+    /// so the read set recorded during speculative execution is exactly
+    /// token- or header-granular — the precision the parallel scheduler's
+    /// conflict detection depends on. A missing collection surfaces through
+    /// the same helpers as [`RevertReason::NoSuchCollection`].
     fn apply_operation(&self, state: &mut L2State, tx: &NftTransaction, price: Wei) -> TxStatus {
         let collection_addr = tx.kind.collection();
-        if state.collection(collection_addr).is_none() {
-            return TxStatus::Reverted(RevertReason::NoSuchCollection);
-        }
-
         match tx.kind {
             // Eq. 1 / Eq. 2: mint — pay `P^{t-1}` to the creator, supply
             // shrinks, price rises.
             TxKind::Mint { token, .. } => {
-                let contract_ok = state
-                    .collection(collection_addr)
-                    .expect("checked above")
-                    .can_mint(token);
+                let Ok(contract_ok) = state.nft_can_mint(collection_addr, token) else {
+                    return TxStatus::Reverted(RevertReason::NoSuchCollection);
+                };
                 if let Err(e) = contract_ok {
                     return map_nft_error(e);
                 }
@@ -172,10 +176,8 @@ impl Ovm {
                     return TxStatus::Reverted(RevertReason::InsufficientBalance);
                 }
                 let creator = state
-                    .collection(collection_addr)
-                    .expect("checked above")
-                    .config()
-                    .creator;
+                    .collection_creator(collection_addr)
+                    .expect("checked above");
                 state.debit(tx.sender, price).expect("balance just checked");
                 state.credit(creator, price);
                 state
@@ -187,10 +189,10 @@ impl Ovm {
             // Eq. 3 / Eq. 4: transfer — buyer pays `P^{t-1}` to the seller,
             // ownership moves, price unchanged.
             TxKind::Transfer { token, to, .. } => {
-                let contract_ok = state
-                    .collection(collection_addr)
-                    .expect("checked above")
-                    .can_transfer(tx.sender, to, token);
+                let Ok(contract_ok) = state.nft_can_transfer(collection_addr, tx.sender, to, token)
+                else {
+                    return TxStatus::Reverted(RevertReason::NoSuchCollection);
+                };
                 if let Err(e) = contract_ok {
                     return map_nft_error(e);
                 }
@@ -208,10 +210,9 @@ impl Ovm {
             }
             // Eq. 5 / Eq. 6: burn — supply grows, price falls, no payment.
             TxKind::Burn { token, .. } => {
-                let contract_ok = state
-                    .collection(collection_addr)
-                    .expect("checked above")
-                    .can_burn(tx.sender, token);
+                let Ok(contract_ok) = state.nft_can_burn(collection_addr, tx.sender, token) else {
+                    return TxStatus::Reverted(RevertReason::NoSuchCollection);
+                };
                 if let Err(e) = contract_ok {
                     return map_nft_error(e);
                 }
@@ -220,6 +221,79 @@ impl Ovm {
                     .expect("checked above")
                     .expect("constraints just checked");
                 TxStatus::Executed
+            }
+        }
+    }
+
+    /// Commits the effects of an already-validated speculative execution of
+    /// `tx` without re-running signature verification, hashing, or
+    /// constraint checks — the parallel scheduler's cheap commit path.
+    ///
+    /// Soundness contract (upheld by `crate::parallel`): `receipt` came
+    /// from executing `tx` against a state in which every record `tx` read
+    /// or wrote held exactly the value it holds in `state` now. Under that
+    /// premise the serial execution of `tx` here would retrace the
+    /// speculative run step for step, so its effects can be replayed from
+    /// the receipt alone:
+    ///
+    /// - the claimed sender's nonce is consumed (uniform rule, any status);
+    /// - `fee_paid` is burned from the sender (it is zero exactly on the
+    ///   paths where no debit happened);
+    /// - on success, the operation's transfers and token mutation are
+    ///   applied with `price_before` as the payment amount (the price the
+    ///   payer was charged — and for mints/burns the supply movement
+    ///   reprices the curve identically to the speculative run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the premise is violated (a debit no longer covered, a
+    /// token op no longer valid): that is a scheduler bug, not a user
+    /// error, and must not be silently absorbed.
+    pub(crate) fn apply_validated(
+        &self,
+        state: &mut L2State,
+        tx: &NftTransaction,
+        receipt: &Receipt,
+    ) {
+        state.bump_nonce(tx.sender);
+        if receipt.fee_paid > Wei::ZERO {
+            state
+                .debit(tx.sender, receipt.fee_paid)
+                .expect("validated speculation: fee was covered");
+        }
+        if !receipt.is_success() {
+            return;
+        }
+        let collection = tx.kind.collection();
+        let price = receipt.price_before;
+        match tx.kind {
+            TxKind::Mint { token, .. } => {
+                let creator = state
+                    .collection_creator(collection)
+                    .expect("validated speculation: collection exists");
+                state
+                    .debit(tx.sender, price)
+                    .expect("validated speculation: price was covered");
+                state.credit(creator, price);
+                state
+                    .nft_mint(collection, tx.sender, token)
+                    .expect("validated speculation: collection exists")
+                    .expect("validated speculation: mint constraints held");
+            }
+            TxKind::Transfer { token, to, .. } => {
+                state
+                    .transfer_balance(to, tx.sender, price)
+                    .expect("validated speculation: buyer balance was covered");
+                state
+                    .nft_transfer(collection, tx.sender, to, token)
+                    .expect("validated speculation: collection exists")
+                    .expect("validated speculation: transfer constraints held");
+            }
+            TxKind::Burn { token, .. } => {
+                state
+                    .nft_burn(collection, tx.sender, token)
+                    .expect("validated speculation: collection exists")
+                    .expect("validated speculation: burn constraints held");
             }
         }
     }

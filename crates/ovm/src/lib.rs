@@ -42,12 +42,14 @@
 
 mod executor;
 mod gas;
+mod parallel;
 mod prefix;
 mod receipt;
 mod tx;
 
 pub use executor::{Ovm, OvmConfig};
 pub use gas::GasSchedule;
+pub use parallel::{ParallelExecutor, ParallelStats};
 pub use prefix::{PrefixExecutor, PrefixStats};
 pub use receipt::{Receipt, RevertReason, TxStatus};
 pub use tx::{NftTransaction, TxAuth, TxKind};

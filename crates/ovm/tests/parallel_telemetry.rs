@@ -1,0 +1,90 @@
+//! The OCC scheduler's telemetry is thread-count invariant: running the
+//! same block at 1, 2 and 8 workers must export bit-identical counter and
+//! histogram totals (`parallel.*` scheduler metrics and the underlying
+//! `ovm.*` execution counters alike). This holds because the pipeline never
+//! short-circuits — even one worker speculates, validates and commits — and
+//! speculation outcomes are partition-independent.
+//!
+//! Exactly one `#[test]` in this binary: the telemetry registry is
+//! process-global, and a single-test integration binary is the isolation
+//! unit that keeps concurrent test runners from interleaving recordings.
+
+#![cfg(feature = "telemetry")]
+
+use parole_nft::CollectionConfig;
+use parole_ovm::{NftTransaction, Ovm, ParallelExecutor, TxKind};
+use parole_primitives::{Address, TokenId, Wei};
+use parole_state::L2State;
+use parole_telemetry as tel;
+
+#[test]
+fn occ_scheduler_telemetry_is_thread_count_invariant() {
+    let mut base = L2State::new();
+    let coll = base.deploy_collection(CollectionConfig::limited_edition("Tel", 64, 200));
+    for u in 1..=16u64 {
+        base.credit(Address::from_low_u64(u), Wei::from_eth(10));
+    }
+    for t in 0..8u64 {
+        base.nft_mint(coll, Address::from_low_u64(t + 1), TokenId::new(t))
+            .unwrap()
+            .unwrap();
+    }
+    // A block mixing clean transfer traffic with header-conflicting mints
+    // and one all-conflict same-sender pair.
+    let mut txs: Vec<NftTransaction> = (0..6u64)
+        .map(|t| {
+            NftTransaction::simple(
+                Address::from_low_u64(t + 1),
+                TxKind::Transfer {
+                    collection: coll,
+                    token: TokenId::new(t),
+                    to: Address::from_low_u64(t + 9),
+                },
+            )
+        })
+        .collect();
+    for i in 0..3u64 {
+        txs.push(NftTransaction::simple(
+            Address::from_low_u64(7 + i % 2),
+            TxKind::Mint {
+                collection: coll,
+                token: TokenId::new(20 + i),
+            },
+        ));
+    }
+
+    let mut snaps = Vec::new();
+    let mut roots = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        tel::reset();
+        let mut state = base.clone();
+        let (receipts, stats) =
+            ParallelExecutor::with_threads(Ovm::new(), threads).execute_block(&mut state, &txs);
+        assert_eq!(receipts.len(), txs.len());
+        assert_eq!(stats.speculations, txs.len() as u64);
+        snaps.push(tel::snapshot());
+        roots.push(state.state_root());
+    }
+    tel::reset();
+
+    let base_snap = &snaps[0];
+    assert!(
+        base_snap.counter("parallel.blocks") >= 1,
+        "scheduler counters must be armed under the telemetry feature"
+    );
+    assert!(
+        base_snap.counter("parallel.conflicts") >= 1,
+        "mint pair must conflict"
+    );
+    for snap in &snaps[1..] {
+        assert_eq!(
+            snap.counters, base_snap.counters,
+            "counter totals must not depend on the worker count"
+        );
+        assert_eq!(
+            snap.histograms, base_snap.histograms,
+            "histogram contents must not depend on the worker count"
+        );
+    }
+    assert!(roots.windows(2).all(|w| w[0] == w[1]));
+}

@@ -12,7 +12,71 @@
 
 use crate::AccountState;
 use parole_nft::{Collection, CollectionUndo};
-use parole_primitives::{Address, BlockNumber};
+use parole_primitives::{Address, BlockNumber, TokenId};
+use std::collections::BTreeSet;
+
+/// A conflict-domain key naming one record of the world state — the unit at
+/// which the parallel block executor detects read/write conflicts.
+///
+/// The domains match the commitment tree's leaves (PR 5): one key per
+/// account record, one per collection *header* (remaining/active supply and
+/// hence the bonding-curve price), and one per `(collection, token)` leaf
+/// (owner + approved operator). Header and token keys are disjoint records —
+/// a transfer moving a token does not reprice the collection, so a price
+/// read must not conflict with it. Whole-collection access (raw
+/// `collection_mut` snapshots, the coarse [`crate::L2State::collection`]
+/// reference) gets the wildcard [`RecordKey::CollAll`], which
+/// [`key_sets_conflict`] treats as overlapping the header *and* every token
+/// of that collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecordKey {
+    /// One account record (balance + nonce).
+    Acct(Address),
+    /// A collection's header: supply counters and therefore its price.
+    Coll(Address),
+    /// Wildcard: the entire collection — header plus every token leaf.
+    /// Produced by coarse whole-collection reads and snapshot writes.
+    CollAll(Address),
+    /// One token's leaf within a collection: owner and approved operator.
+    Token(Address, TokenId),
+}
+
+/// Whether two record-key sets overlap under the conflict-domain semantics
+/// of [`RecordKey`]: exact key equality, plus the rule that `CollAll(a)`
+/// overlaps `Coll(a)` and every `Token(a, _)` (in either direction). The
+/// header key `Coll(a)` and the token keys `Token(a, _)` do *not* overlap
+/// each other — they are distinct commitment-tree records.
+///
+/// This is the intersection test the optimistic scheduler runs per
+/// transaction; it iterates the smaller set and probes the larger, so the
+/// cost is O(small · log large).
+pub fn key_sets_conflict(a: &BTreeSet<RecordKey>, b: &BTreeSet<RecordKey>) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    for key in small {
+        if large.contains(key) {
+            return true;
+        }
+        match *key {
+            RecordKey::Acct(_) => {}
+            RecordKey::Coll(addr) | RecordKey::Token(addr, _) => {
+                if large.contains(&RecordKey::CollAll(addr)) {
+                    return true;
+                }
+            }
+            RecordKey::CollAll(addr) => {
+                if large.contains(&RecordKey::Coll(addr)) {
+                    return true;
+                }
+                let tokens = RecordKey::Token(addr, TokenId::new(0))
+                    ..=RecordKey::Token(addr, TokenId::new(u64::MAX));
+                if large.range(tokens).next().is_some() {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
 
 /// An opaque position in the undo log, produced by
 /// [`crate::L2State::checkpoint`] and consumed by
@@ -59,4 +123,64 @@ pub(crate) enum JournalEntry {
 pub(crate) struct Journal {
     pub(crate) entries: Vec<JournalEntry>,
     pub(crate) recording: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    fn set(keys: &[RecordKey]) -> BTreeSet<RecordKey> {
+        keys.iter().copied().collect()
+    }
+
+    #[test]
+    fn exact_keys_conflict_only_with_themselves() {
+        let a = set(&[
+            RecordKey::Acct(addr(1)),
+            RecordKey::Token(addr(7), TokenId::new(3)),
+        ]);
+        let b = set(&[
+            RecordKey::Acct(addr(2)),
+            RecordKey::Token(addr(7), TokenId::new(4)),
+        ]);
+        assert!(!key_sets_conflict(&a, &b));
+        let c = set(&[RecordKey::Acct(addr(1))]);
+        assert!(key_sets_conflict(&a, &c));
+        assert!(key_sets_conflict(&c, &a));
+    }
+
+    #[test]
+    fn header_and_token_records_are_disjoint() {
+        // A price read (header) must not conflict with a transfer's token
+        // write — that independence is what lets transfer traffic
+        // parallelize at all.
+        let header = set(&[RecordKey::Coll(addr(7))]);
+        let token = set(&[RecordKey::Token(addr(7), TokenId::new(9))]);
+        assert!(!key_sets_conflict(&header, &token));
+        assert!(!key_sets_conflict(&token, &header));
+        assert!(key_sets_conflict(&header, &header));
+        assert!(!key_sets_conflict(&set(&[]), &header));
+    }
+
+    #[test]
+    fn wildcard_overlaps_header_and_tokens_both_ways() {
+        let all = set(&[RecordKey::CollAll(addr(7))]);
+        let header = set(&[RecordKey::Coll(addr(7))]);
+        let token = set(&[RecordKey::Token(addr(7), TokenId::new(9))]);
+        let other = set(&[
+            RecordKey::Coll(addr(8)),
+            RecordKey::Token(addr(8), TokenId::new(9)),
+            RecordKey::CollAll(addr(8)),
+        ]);
+        assert!(key_sets_conflict(&all, &header));
+        assert!(key_sets_conflict(&header, &all));
+        assert!(key_sets_conflict(&all, &token));
+        assert!(key_sets_conflict(&token, &all));
+        assert!(key_sets_conflict(&all, &all));
+        assert!(!key_sets_conflict(&all, &other));
+    }
 }

@@ -34,5 +34,5 @@ mod journal;
 mod world;
 
 pub use account::AccountState;
-pub use journal::Checkpoint;
+pub use journal::{key_sets_conflict, Checkpoint, RecordKey};
 pub use world::{L2State, StateError};

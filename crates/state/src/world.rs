@@ -1,13 +1,13 @@
 //! The complete L2 world state.
 
 use crate::commit::CommitSlot;
-use crate::journal::{Journal, JournalEntry};
+use crate::journal::{Journal, JournalEntry, RecordKey};
 use crate::{AccountState, Checkpoint};
 use parole_crypto::{keccak256, Hash32, MerkleTree};
 use parole_nft::{Collection, CollectionConfig, NftError};
 use parole_primitives::{Address, BlockNumber, PrimitiveError, TokenId, Wei};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Mutex;
 
@@ -87,6 +87,18 @@ pub struct L2State {
     /// single-owner hot path) lets `state_root(&self)` flush lazily.
     #[serde(skip)]
     commit: Mutex<CommitSlot>,
+    /// Whether reads are being recorded into `reads`. A plain field (not
+    /// inside the mutex) so the off state costs readers one branch; only
+    /// `&mut self` methods flip it. Not serialized, not carried by clones.
+    #[serde(skip)]
+    read_tracking: bool,
+    /// Record keys read since tracking began — the parallel scheduler's
+    /// read set. Behind a mutex because readers take `&self` (the state must
+    /// stay `Sync` for the fleet's shared-base parallel sweeps); like the
+    /// journal it is per-state scratch: excluded from serialization,
+    /// equality and clones, and cleared by [`L2State::revert_to`].
+    #[serde(skip)]
+    reads: Mutex<BTreeSet<RecordKey>>,
 }
 
 impl Clone for L2State {
@@ -101,6 +113,8 @@ impl Clone for L2State {
             block: self.block,
             journal: Journal::default(),
             commit: Mutex::new(slot),
+            read_tracking: false,
+            reads: Mutex::new(BTreeSet::new()),
         }
     }
 }
@@ -122,6 +136,8 @@ impl L2State {
             block: BlockNumber::default(),
             journal: Journal::default(),
             commit: Mutex::new(CommitSlot::default()),
+            read_tracking: false,
+            reads: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -154,6 +170,84 @@ impl L2State {
     /// Whether mutations are currently journaled.
     pub fn is_recording(&self) -> bool {
         self.journal.recording
+    }
+
+    /// Switches on read-set recording: every subsequent record read (account
+    /// lookups, collection-header reads, token constraint checks) adds its
+    /// [`RecordKey`] to the read set until [`L2State::end_read_tracking`].
+    ///
+    /// Off by default (readers pay a single predictable branch) and not
+    /// carried across clones. The read set complements the undo log's
+    /// write tracking: together they give the parallel block executor sound
+    /// read/write conflict sets per speculative transaction.
+    pub fn begin_read_tracking(&mut self) {
+        self.read_tracking = true;
+        self.reads
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Whether reads are currently recorded.
+    pub fn is_read_tracking(&self) -> bool {
+        self.read_tracking
+    }
+
+    /// Drains and returns the record keys read since tracking began (or
+    /// since the last drain). Tracking stays on.
+    pub fn take_read_set(&mut self) -> BTreeSet<RecordKey> {
+        std::mem::take(self.reads.get_mut().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Switches read recording off and discards the pending read set.
+    pub fn end_read_tracking(&mut self) {
+        self.read_tracking = false;
+        self.reads
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    /// Records one read key when tracking is armed.
+    #[inline]
+    fn record_read(&self, key: RecordKey) {
+        if self.read_tracking {
+            self.reads
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(key);
+        }
+    }
+
+    /// The record keys *mutated* since `cp`, derived from the undo log —
+    /// the parallel scheduler's write set. Requires recording to have been
+    /// on since before `cp` (otherwise mutations are simply absent).
+    ///
+    /// Per-token operations yield token-granular keys; supply movement from
+    /// mints/burns is not visible in the undo entry itself, so callers that
+    /// need header precision add `RecordKey::Coll` from the operation kind
+    /// (the OVM scheduler does). Raw `collection_mut` snapshots and fresh
+    /// deployments yield the wildcard `CollAll` key, which
+    /// [`crate::key_sets_conflict`] treats as overlapping the header and
+    /// every token of that collection.
+    pub fn touched_since(&self, cp: Checkpoint) -> BTreeSet<RecordKey> {
+        let mut keys = BTreeSet::new();
+        for entry in &self.journal.entries[cp.0.min(self.journal.entries.len())..] {
+            match entry {
+                JournalEntry::Account { who, .. } => {
+                    keys.insert(RecordKey::Acct(*who));
+                }
+                JournalEntry::Block { .. } => {}
+                JournalEntry::CollectionDeployed { addr }
+                | JournalEntry::CollectionSnapshot { addr, .. } => {
+                    keys.insert(RecordKey::CollAll(*addr));
+                }
+                JournalEntry::TokenOp { addr, undo } => {
+                    keys.insert(RecordKey::Token(*addr, undo.token()));
+                }
+            }
+        }
+        keys
     }
 
     /// Marks the current point in the undo log.
@@ -212,6 +306,12 @@ impl L2State {
             }
         }
         Self::slot_mut(&mut self.commit).journal_truncated(cp.0);
+        // A rollback ends the speculation that produced the pending reads;
+        // a stale read set must not leak into the next speculative run.
+        self.reads
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 
     /// Commitment-slot access that borrows only the `commit` field, so call
@@ -253,11 +353,13 @@ impl L2State {
 
     /// Spendable balance of `who` (zero for unknown accounts).
     pub fn balance_of(&self, who: Address) -> Wei {
+        self.record_read(RecordKey::Acct(who));
         self.accounts.get(&who).map_or(Wei::ZERO, |a| a.balance)
     }
 
     /// Full account record of `who`, if it exists.
     pub fn account(&self, who: Address) -> Option<&AccountState> {
+        self.record_read(RecordKey::Acct(who));
         self.accounts.get(&who)
     }
 
@@ -361,8 +463,94 @@ impl L2State {
     }
 
     /// The collection deployed at `addr`, if any.
+    ///
+    /// While read tracking is armed, this records the *whole-collection*
+    /// key — the returned reference allows arbitrary reads, so anything
+    /// finer would be unsound. Conflict-sensitive callers (the OVM) use the
+    /// granular readers below instead.
     pub fn collection(&self, addr: Address) -> Option<&Collection> {
+        self.record_read(RecordKey::CollAll(addr));
         self.collections.get(&addr)
+    }
+
+    /// The bonding-curve price of the collection at `addr`, recording a
+    /// header-granular read: the price is a pure function of remaining
+    /// supply, so it conflicts with mints/burns but not with transfers or
+    /// approvals.
+    pub fn collection_price(&self, addr: Address) -> Option<Wei> {
+        self.record_read(RecordKey::Coll(addr));
+        self.collections.get(&addr).map(|c| c.price())
+    }
+
+    /// The creator configured for the collection at `addr`. The config is
+    /// immutable after deployment, but existence of the collection is not —
+    /// a header-granular read is recorded.
+    pub fn collection_creator(&self, addr: Address) -> Option<Address> {
+        self.record_read(RecordKey::Coll(addr));
+        self.collections.get(&addr).map(|c| c.config().creator)
+    }
+
+    /// [`Collection::can_mint`] through the state, recording the reads a
+    /// mint constraint check performs: the collection header (supply for
+    /// the sold-out check) and the minted token's leaf.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`; the inner result carries the contract-level verdict.
+    pub fn nft_can_mint(
+        &self,
+        collection: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        self.record_read(RecordKey::Coll(collection));
+        self.record_read(RecordKey::Token(collection, token));
+        self.collections
+            .get(&collection)
+            .map(|c| c.can_mint(token))
+            .ok_or(StateError::NoSuchCollection(collection))
+    }
+
+    /// [`Collection::can_transfer`] through the state, recording only the
+    /// token's leaf: ownership checks do not read the supply counters.
+    /// Error structure as [`L2State::nft_can_mint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_can_transfer(
+        &self,
+        collection: Address,
+        from: Address,
+        to: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        self.record_read(RecordKey::Token(collection, token));
+        self.collections
+            .get(&collection)
+            .map(|c| c.can_transfer(from, to, token))
+            .ok_or(StateError::NoSuchCollection(collection))
+    }
+
+    /// [`Collection::can_burn`] through the state, recording only the
+    /// token's leaf. Error structure as [`L2State::nft_can_mint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_can_burn(
+        &self,
+        collection: Address,
+        owner: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        self.record_read(RecordKey::Token(collection, token));
+        self.collections
+            .get(&collection)
+            .map(|c| c.can_burn(owner, token))
+            .ok_or(StateError::NoSuchCollection(collection))
     }
 
     /// Mutable access to the collection at `addr`.
@@ -902,6 +1090,71 @@ mod tests {
         assert!(!fork.is_recording());
         // Equality ignores the journal entirely.
         assert_eq!(s, fork);
+    }
+
+    #[test]
+    fn read_tracking_records_granular_keys() {
+        let (mut s, pt) = journaled_fixture();
+        s.begin_read_tracking();
+
+        assert!(s.take_read_set().is_empty());
+        let _ = s.balance_of(addr(1));
+        let _ = s.collection_price(pt);
+        let _ = s.nft_can_transfer(pt, addr(1), addr(2), TokenId::new(0));
+        let reads = s.take_read_set();
+        assert_eq!(
+            reads.into_iter().collect::<Vec<_>>(),
+            vec![
+                RecordKey::Acct(addr(1)),
+                RecordKey::Coll(pt),
+                RecordKey::Token(pt, TokenId::new(0)),
+            ]
+        );
+
+        // can_mint reads both the header (supply) and the token leaf.
+        let _ = s.nft_can_mint(pt, TokenId::new(7));
+        let reads = s.take_read_set();
+        assert!(reads.contains(&RecordKey::Coll(pt)));
+        assert!(reads.contains(&RecordKey::Token(pt, TokenId::new(7))));
+
+        // After end_read_tracking: no recording.
+        s.end_read_tracking();
+        let _ = s.balance_of(addr(1));
+        assert!(s.take_read_set().is_empty());
+    }
+
+    #[test]
+    fn revert_clears_pending_reads_and_touched_tracks_writes() {
+        let (mut s, pt) = journaled_fixture();
+        s.begin_read_tracking();
+        let cp = s.checkpoint();
+
+        s.credit(addr(5), Wei::from_eth(1));
+        s.nft_transfer(pt, addr(1), addr(2), TokenId::new(0))
+            .unwrap()
+            .unwrap();
+        let _ = s.balance_of(addr(9));
+        let writes = s.touched_since(cp);
+        assert_eq!(
+            writes.into_iter().collect::<Vec<_>>(),
+            vec![
+                RecordKey::Acct(addr(5)),
+                RecordKey::Token(pt, TokenId::new(0)),
+            ]
+        );
+
+        s.revert_to(cp);
+        assert!(
+            s.take_read_set().is_empty(),
+            "revert discards pending reads"
+        );
+        assert!(s.touched_since(cp).is_empty());
+
+        // Clones never inherit tracking.
+        s.begin_read_tracking();
+        let _ = s.balance_of(addr(1));
+        let fork = s.clone();
+        assert!(!fork.is_read_tracking());
     }
 
     #[test]
