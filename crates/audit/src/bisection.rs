@@ -1,0 +1,302 @@
+//! Independent adjudication of claimed execution traces.
+//!
+//! `parole-rollup`'s interactive bisection game trusts nothing but two root
+//! vectors and one witness state — but the *game itself* is production code,
+//! and a bug in its binary search would mislocalize fraud while looking
+//! perfectly convergent. This oracle re-derives everything from raw
+//! primitives:
+//!
+//! - the **honest trace** is recomputed from the pre-state and the batch's
+//!   transactions, one [`Ovm::execute`](parole_ovm::Ovm::execute) per step;
+//! - the first forged step is found **twice**, by two algorithms that share
+//!   no code: a brute-force linear scan (ground truth, O(n)) and the
+//!   oracle's own binary search (the protocol's shape, O(log n));
+//! - the two answers are cross-checked and any disagreement is a
+//!   **fail-stop** [`BisectionViolation::SearchInconsistent`] — the oracle
+//!   refuses to pick a winner between its own two derivations.
+//!
+//! The linear scan makes the oracle strictly stronger than the interactive
+//! game: a forged trace that diverges mid-batch but *reconverges* to the
+//! honest final root would send the game to the block-advance dispute
+//! (where the defender wins — the commitment is honest), yet it is still a
+//! lie about intermediate state. The oracle reports it as
+//! [`TraceVerdict::ForgedReconverging`] so harnesses can distinguish
+//! "protocol-sound" from "trace-honest".
+
+use parole_crypto::Hash32;
+use parole_ovm::{NftTransaction, Ovm};
+use parole_state::L2State;
+use std::fmt;
+
+/// What the oracle concluded about a claimed trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// Every claimed root matches honest re-execution.
+    Honest,
+    /// The claimed trace first lies at the transition `step → step + 1`,
+    /// and its final root differs from the honest one, so the interactive
+    /// game converges to the same step — in `rounds` midpoint queries by
+    /// the oracle's own binary search.
+    Forged {
+        /// Index of the first forged transaction step.
+        step: usize,
+        /// Midpoint queries the oracle's binary search needed.
+        rounds: u32,
+    },
+    /// The claimed trace lies at `step` but reconverges to the honest
+    /// final root: sound for the commitment, dishonest about intermediate
+    /// state. Binary search cannot localize this; only the linear scan
+    /// sees it.
+    ForgedReconverging {
+        /// Index of the first forged transaction step.
+        step: usize,
+    },
+}
+
+/// A reason the oracle could not (or refused to) adjudicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BisectionViolation {
+    /// The claimed trace does not hold `txs.len() + 1` roots.
+    LengthMismatch {
+        /// Roots an honest trace of this batch holds.
+        expected: usize,
+        /// Roots the claimed trace holds.
+        got: usize,
+    },
+    /// The claimed trace starts from a different pre-state root, so the
+    /// two sides are not even arguing about the same batch.
+    PreRootMismatch {
+        /// Root of the supplied pre-state.
+        expected: Hash32,
+        /// The claimed trace's first root.
+        got: Hash32,
+    },
+    /// Fail-stop: the oracle's linear scan and its binary search disagree
+    /// on the first forged step. One of the oracle's own derivations is
+    /// wrong and no verdict can be trusted.
+    SearchInconsistent {
+        /// First divergent step per the linear scan.
+        linear: usize,
+        /// First divergent step per the binary search.
+        binary: usize,
+    },
+}
+
+impl fmt::Display for BisectionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BisectionViolation::LengthMismatch { expected, got } => {
+                write!(f, "claimed trace holds {got} roots, batch needs {expected}")
+            }
+            BisectionViolation::PreRootMismatch { expected, got } => {
+                write!(f, "claimed pre-root {got} is not the batch pre-root {expected}")
+            }
+            BisectionViolation::SearchInconsistent { linear, binary } => write!(
+                f,
+                "fail-stop: linear scan localizes step {linear}, binary search step {binary}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BisectionViolation {}
+
+/// Re-derives honest traces and adjudicates claimed ones from scratch.
+#[derive(Debug, Clone, Default)]
+pub struct BisectionOracle {
+    ovm: Ovm,
+}
+
+impl BisectionOracle {
+    /// An oracle executing with `ovm`'s rules.
+    pub fn new(ovm: Ovm) -> Self {
+        BisectionOracle { ovm }
+    }
+
+    /// The honest root vector for `txs` from a fork of `pre`:
+    /// `txs.len() + 1` roots, the first being `pre`'s own root.
+    pub fn honest_trace(&self, pre: &L2State, txs: &[NftTransaction]) -> Vec<Hash32> {
+        let mut state = pre.clone();
+        let mut roots = Vec::with_capacity(txs.len() + 1);
+        roots.push(state.state_root());
+        for tx in txs {
+            let _ = self.ovm.execute(&mut state, tx);
+            roots.push(state.state_root());
+        }
+        roots
+    }
+
+    /// Adjudicates `claimed` against honest re-execution of `txs` from
+    /// `pre`, localizing the first forged step by two independent
+    /// algorithms and cross-checking them.
+    ///
+    /// # Errors
+    ///
+    /// [`BisectionViolation::LengthMismatch`] / [`PreRootMismatch`]
+    /// (malformed games the caller must reject before playing), or the
+    /// fail-stop [`SearchInconsistent`] when the oracle's own two
+    /// derivations disagree.
+    ///
+    /// [`PreRootMismatch`]: BisectionViolation::PreRootMismatch
+    /// [`SearchInconsistent`]: BisectionViolation::SearchInconsistent
+    pub fn audit_trace(
+        &self,
+        pre: &L2State,
+        txs: &[NftTransaction],
+        claimed: &[Hash32],
+    ) -> Result<TraceVerdict, BisectionViolation> {
+        let honest = self.honest_trace(pre, txs);
+        if claimed.len() != honest.len() {
+            return Err(BisectionViolation::LengthMismatch {
+                expected: honest.len(),
+                got: claimed.len(),
+            });
+        }
+        if claimed[0] != honest[0] {
+            return Err(BisectionViolation::PreRootMismatch {
+                expected: honest[0],
+                got: claimed[0],
+            });
+        }
+
+        // Ground truth: brute-force scan for the first divergent root.
+        // `roots[i]` covers the transition `i - 1 → i`, so the first
+        // divergence at index `i` convicts step `i - 1`.
+        let linear = honest
+            .iter()
+            .zip(claimed.iter())
+            .position(|(h, c)| h != c)
+            .map(|i| i - 1);
+        let Some(linear_step) = linear else {
+            return Ok(TraceVerdict::Honest);
+        };
+
+        let n = txs.len();
+        if claimed[n] == honest[n] {
+            // Diverged then reconverged — invisible to any endpoint-driven
+            // binary search, so only the linear verdict exists.
+            return Ok(TraceVerdict::ForgedReconverging { step: linear_step });
+        }
+
+        // The protocol's shape, re-implemented without sharing code with
+        // `parole-rollup`: roots agree at `lo`, disagree at `hi`.
+        let (mut lo, mut hi) = (0usize, n);
+        let mut rounds = 0u32;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            rounds += 1;
+            if claimed[mid] == honest[mid] {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+
+        if lo != linear_step {
+            return Err(BisectionViolation::SearchInconsistent {
+                linear: linear_step,
+                binary: lo,
+            });
+        }
+        Ok(TraceVerdict::Forged {
+            step: linear_step,
+            rounds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_nft::CollectionConfig;
+    use parole_ovm::TxKind;
+    use parole_primitives::{Address, TokenId, Wei};
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    fn world(n: u64) -> (L2State, Vec<NftTransaction>) {
+        let mut state = L2State::new();
+        let pt = state.deploy_collection(CollectionConfig::parole_token());
+        for i in 1..=n {
+            state.credit(addr(i), Wei::from_eth(2));
+        }
+        let txs = (0..n)
+            .map(|i| {
+                NftTransaction::simple(
+                    addr(i + 1),
+                    TxKind::Mint {
+                        collection: pt,
+                        token: TokenId::new(i),
+                    },
+                )
+            })
+            .collect();
+        (state, txs)
+    }
+
+    #[test]
+    fn honest_trace_is_honest() {
+        let (state, txs) = world(4);
+        let oracle = BisectionOracle::new(Ovm::new());
+        let claimed = oracle.honest_trace(&state, &txs);
+        assert_eq!(
+            oracle.audit_trace(&state, &txs, &claimed),
+            Ok(TraceVerdict::Honest)
+        );
+    }
+
+    #[test]
+    fn every_forged_suffix_localizes_in_log_rounds() {
+        let (state, txs) = world(8);
+        let oracle = BisectionOracle::new(Ovm::new());
+        let honest = oracle.honest_trace(&state, &txs);
+        for step in 0..8usize {
+            let mut claimed = honest.clone();
+            for root in claimed.iter_mut().skip(step + 1) {
+                *root = parole_crypto::keccak256(root.as_bytes());
+            }
+            assert_eq!(
+                oracle.audit_trace(&state, &txs, &claimed),
+                Ok(TraceVerdict::Forged { step, rounds: 3 })
+            );
+        }
+    }
+
+    #[test]
+    fn reconverging_forgery_is_seen_only_by_the_scan() {
+        let (state, txs) = world(4);
+        let oracle = BisectionOracle::new(Ovm::new());
+        let mut claimed = oracle.honest_trace(&state, &txs);
+        // Lie about the middle, keep both endpoints honest.
+        claimed[2] = parole_crypto::keccak256(claimed[2].as_bytes());
+        assert_eq!(
+            oracle.audit_trace(&state, &txs, &claimed),
+            Ok(TraceVerdict::ForgedReconverging { step: 1 })
+        );
+    }
+
+    #[test]
+    fn malformed_games_are_rejected_before_play() {
+        let (state, txs) = world(4);
+        let oracle = BisectionOracle::new(Ovm::new());
+        let honest = oracle.honest_trace(&state, &txs);
+
+        let short = &honest[..3];
+        assert!(matches!(
+            oracle.audit_trace(&state, &txs, short),
+            Err(BisectionViolation::LengthMismatch {
+                expected: 5,
+                got: 3
+            })
+        ));
+
+        let mut wrong_pre = honest.clone();
+        wrong_pre[0] = parole_crypto::keccak256(wrong_pre[0].as_bytes());
+        assert!(matches!(
+            oracle.audit_trace(&state, &txs, &wrong_pre),
+            Err(BisectionViolation::PreRootMismatch { .. })
+        ));
+    }
+}

@@ -123,6 +123,15 @@ pub enum ConservationViolation {
     },
     /// The set of deployed collections changed across a plain execution.
     CollectionSetChanged,
+    /// A fraud slash did not split exactly into reward plus burn.
+    BondNotConserved {
+        /// The bond amount slashed from the fraudulent party.
+        slashed: Wei,
+        /// The share paid out to the successful challenger.
+        reward: Wei,
+        /// The share removed from circulation.
+        burned: Wei,
+    },
 }
 
 impl fmt::Display for ConservationViolation {
@@ -159,6 +168,14 @@ impl fmt::Display for ConservationViolation {
             ConservationViolation::CollectionSetChanged => {
                 write!(f, "set of deployed collections changed during execution")
             }
+            ConservationViolation::BondNotConserved {
+                slashed,
+                reward,
+                burned,
+            } => write!(
+                f,
+                "slashed bond {slashed} must equal reward {reward} + burn {burned}"
+            ),
         }
     }
 }
@@ -244,6 +261,32 @@ pub fn check_execution(
                 got: *got,
             });
         }
+    }
+    Ok(())
+}
+
+/// Audits one fraud slash: the full slashed bond must split *exactly* into
+/// the challenger's reward plus the burned remainder — no Wei may vanish
+/// between the slash and its two sinks, and the reward can never exceed
+/// the bond it came from. (The remainder used to be dropped silently on
+/// the challenge path; this checker pins the fixed accounting from the
+/// outside.)
+///
+/// # Errors
+///
+/// Returns [`ConservationViolation::BondNotConserved`] when
+/// `reward + burned != slashed` (including the reward-exceeds-bond case).
+pub fn check_bond_flow(
+    slashed: Wei,
+    reward: Wei,
+    burned: Wei,
+) -> Result<(), ConservationViolation> {
+    if slashed.checked_sub(reward) != Ok(burned) {
+        return Err(ConservationViolation::BondNotConserved {
+            slashed,
+            reward,
+            burned,
+        });
     }
     Ok(())
 }
@@ -397,6 +440,22 @@ mod tests {
         state.credit(addr(1), Wei::from_wei(1));
         let err = check_execution(&pre, &state, &tx, &receipt).unwrap_err();
         assert!(matches!(err, ConservationViolation::WeiNotConserved { .. }));
+    }
+
+    #[test]
+    fn bond_flow_must_split_exactly() {
+        let slashed = Wei::from_eth(10);
+        let reward = Wei::from_eth(5);
+        assert_eq!(check_bond_flow(slashed, reward, Wei::from_eth(5)), Ok(()));
+        // A leaked remainder (the historical silent drop) fires.
+        assert!(matches!(
+            check_bond_flow(slashed, reward, Wei::ZERO),
+            Err(ConservationViolation::BondNotConserved { .. })
+        ));
+        // An over-burn fires just the same.
+        assert!(check_bond_flow(slashed, reward, Wei::from_eth(6)).is_err());
+        // A reward exceeding the bond can never balance.
+        assert!(check_bond_flow(Wei::from_eth(1), Wei::from_eth(2), Wei::ZERO).is_err());
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! system is supposed to uphold, written against raw primitives so that a bug
 //! in the production code path cannot silently agree with its own checker:
 //!
+//! - [`bisection`] — independent adjudication of claimed per-transaction
+//!   execution traces: the honest trace is re-derived from scratch and the
+//!   first forged step localized twice (brute-force scan and an own binary
+//!   search) with a fail-stop cross-check between the two.
 //! - [`conservation`] — value and token-ledger conservation around every
 //!   [`parole_ovm::Ovm::execute`] call: Wei only moves or burns as fees,
 //!   the claimed sender's nonce advances exactly once per processed
@@ -33,12 +37,16 @@
 
 #![warn(missing_docs)]
 
+pub mod bisection;
 pub mod conservation;
 pub mod differential;
 pub mod fee;
 pub mod invariants;
 
-pub use conservation::{AuditedOvm, CollectionCounts, ConservationViolation, ExecutionSnapshot};
+pub use bisection::{BisectionOracle, BisectionViolation, TraceVerdict};
+pub use conservation::{
+    check_bond_flow, AuditedOvm, CollectionCounts, ConservationViolation, ExecutionSnapshot,
+};
 pub use differential::{diff_execution, DifferentialOracle, Divergence, ParallelOracle};
 pub use fee::{check_fee_update, expected_base_fee, FeeViolation};
 pub use invariants::{
@@ -51,6 +59,9 @@ use std::fmt;
 /// run several auditors and surface one error channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AuditViolation {
+    /// A claimed execution trace was malformed, or the bisection oracle's
+    /// own derivations disagreed (fail-stop).
+    Bisection(BisectionViolation),
     /// A conservation law around one execution broke.
     Conservation(ConservationViolation),
     /// An ERC-721 / bonding-curve state invariant broke.
@@ -64,6 +75,7 @@ pub enum AuditViolation {
 impl fmt::Display for AuditViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            AuditViolation::Bisection(v) => write!(f, "bisection audit: {v}"),
             AuditViolation::Conservation(v) => write!(f, "conservation audit: {v}"),
             AuditViolation::Invariant(v) => write!(f, "invariant audit: {v}"),
             AuditViolation::Differential(v) => write!(f, "differential audit: {v}"),
@@ -73,6 +85,12 @@ impl fmt::Display for AuditViolation {
 }
 
 impl std::error::Error for AuditViolation {}
+
+impl From<BisectionViolation> for AuditViolation {
+    fn from(v: BisectionViolation) -> Self {
+        AuditViolation::Bisection(v)
+    }
+}
 
 impl From<ConservationViolation> for AuditViolation {
     fn from(v: ConservationViolation) -> Self {

@@ -8,7 +8,10 @@
 //! If a future refactor re-introduces one of these bugs, the wired-in
 //! auditors fail loudly instead of letting experiments drift.
 
-use parole_audit::conservation::{check_execution, ConservationViolation, ExecutionSnapshot};
+use parole_audit::bisection::{BisectionOracle, TraceVerdict};
+use parole_audit::conservation::{
+    check_bond_flow, check_execution, ConservationViolation, ExecutionSnapshot,
+};
 use parole_audit::differential::{diff_execution, DifferentialOracle, Divergence};
 use parole_audit::fee::{check_fee_update, expected_base_fee};
 use parole_audit::invariants::{check_facts, CollectionFacts, InvariantViolation};
@@ -16,8 +19,13 @@ use parole_crypto::Wallet;
 use parole_mempool::BaseFeeController;
 use parole_nft::{Collection, CollectionConfig};
 use parole_ovm::{NftTransaction, Ovm, Receipt, RevertReason, TxKind, TxStatus};
-use parole_primitives::{Address, BlockNumber, FeeBundle, Gas, TokenId, TxNonce, Wei};
-use parole_rollup::{BatchId, L1Chain};
+use parole_primitives::{
+    Address, AggregatorId, BlockNumber, FeeBundle, Gas, TokenId, TxNonce, VerifierId, Wei,
+};
+use parole_rollup::{
+    bisect, Aggregator, BatchId, ChallengeOutcome, DisputedStep, ExecutionTrace, L1Chain,
+    RollupConfig, RollupContract, TracedExecution, Verifier,
+};
 use parole_state::L2State;
 
 fn addr(v: u64) -> Address {
@@ -481,4 +489,141 @@ fn stale_commitment_subtree_trips_the_root_differential() {
         ),
     );
     assert_eq!(state.state_root(), state.state_root_naive());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded corruption: a forged intermediate state root.
+// ---------------------------------------------------------------------------
+
+fn fraud_world(n: u64) -> (L2State, Vec<NftTransaction>) {
+    let mut state = L2State::new();
+    let pt = state.deploy_collection(CollectionConfig::parole_token());
+    state.credit(addr(1), Wei::from_eth(5));
+    state.credit(addr(2), Wei::from_eth(5));
+    let txs = (0..n)
+        .map(|i| {
+            NftTransaction::simple(
+                addr(1 + i % 2),
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(i),
+                },
+            )
+        })
+        .collect();
+    (state, txs)
+}
+
+/// A batch executed honestly up to step 5, then continued on a state with a
+/// hidden credit smuggled in — the canonical mid-stream forgery. The
+/// [`BisectionOracle`] must localize the exact step, and its verdict must
+/// agree with the production game's bisection, round count included.
+#[test]
+fn forged_intermediate_root_is_caught_and_localized() {
+    let (pre, txs) = fraud_world(8);
+    let forged_step = 5usize;
+    let ovm = Ovm::new();
+
+    let tampered = TracedExecution::record_with(&ovm, &pre, &txs, |i, st| {
+        if i == forged_step {
+            st.credit(addr(1 + forged_step as u64 % 2), Wei::from_eth(1));
+        }
+    });
+
+    // The oracle re-derives the honest trace from scratch and convicts the
+    // exact step, in exactly log2(8) = 3 of its own bisection rounds.
+    let oracle = BisectionOracle::new(Ovm::new());
+    assert_eq!(
+        oracle.audit_trace(&pre, &txs, tampered.trace().roots()),
+        Ok(TraceVerdict::Forged {
+            step: forged_step,
+            rounds: 3
+        })
+    );
+
+    // Cross-check: the production game, bisecting the tampered trace
+    // against an honest one, isolates the same step in the same rounds.
+    let honest = ExecutionTrace::record(&ovm, &pre, &txs);
+    let game = bisect(tampered.trace(), &honest);
+    assert_eq!(game.step, DisputedStep::Tx(forged_step));
+    assert_eq!(game.rounds, 3);
+}
+
+/// A trace that lies about the middle but reconverges to the honest final
+/// root: the interactive game can only send it to the (winning-defender)
+/// block-advance dispute, while the oracle's linear scan still convicts the
+/// intermediate lie — the oracle is strictly stronger than the protocol.
+#[test]
+fn reconverging_trace_forgery_evades_the_game_but_not_the_oracle() {
+    let (pre, txs) = fraud_world(4);
+    let ovm = Ovm::new();
+    let honest = ExecutionTrace::record(&ovm, &pre, &txs);
+    let mut roots = honest.roots().to_vec();
+    roots[2] = parole_crypto::keccak256(roots[2].as_bytes());
+    let forged = ExecutionTrace::from_roots(roots.clone());
+
+    // The game sees agreeing endpoints and disputes only the advance.
+    let game = bisect(&forged, &honest);
+    assert_eq!(game.step, DisputedStep::BlockAdvance);
+
+    // The oracle sees the lie itself.
+    let oracle = BisectionOracle::new(Ovm::new());
+    assert_eq!(
+        oracle.audit_trace(&pre, &txs, &roots),
+        Ok(TraceVerdict::ForgedReconverging { step: 1 })
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Bug 4: the silently dropped slash remainder.
+// ---------------------------------------------------------------------------
+
+/// The historical buggy accounting: a fraud slash paid the challenger's cut
+/// and simply forgot the rest — `burned` was never computed, so half the
+/// bond vanished from every ledger. The bond-flow checker rejects that
+/// split, and the shipped contract's real slash passes it.
+#[test]
+fn dropped_slash_remainder_trips_the_bond_flow_auditor() {
+    let mut rollup = RollupContract::new(RollupConfig::default());
+    let pt = rollup
+        .l2_state_for_setup()
+        .deploy_collection(CollectionConfig::parole_token());
+    rollup.commit_setup();
+    rollup.deposit(addr(1), Wei::from_eth(5)).unwrap();
+    rollup.deposit(addr(2), Wei::from_eth(5)).unwrap();
+    rollup.bond_aggregator(AggregatorId::new(0));
+    rollup.bond_verifier(VerifierId::new(0));
+    let mut agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+    let ver = Verifier::new(VerifierId::new(0), Wei::from_eth(5));
+
+    let txs = (0..2u64)
+        .map(|i| {
+            NftTransaction::simple(
+                addr(1 + i % 2),
+                TxKind::Mint {
+                    collection: pt,
+                    token: TokenId::new(i),
+                },
+            )
+        })
+        .collect();
+    let batch = agg.build_forged_batch(rollup.l2_state(), txs);
+    let id = rollup.submit_batch(batch).unwrap();
+    let ChallengeOutcome::FraudProven {
+        slashed,
+        reward,
+        burned,
+    } = rollup.challenge(ver.id(), id).unwrap()
+    else {
+        panic!("forged batch must be convicted");
+    };
+
+    // The shipped split conserves, and the contract's cumulative burn
+    // matches what this slash destroyed.
+    check_bond_flow(slashed, reward, burned).expect("fixed contract conserves the bond");
+    assert_eq!(rollup.burned_total(), burned);
+
+    // The buggy split — reward accounted, remainder dropped — fires.
+    let err = check_bond_flow(slashed, reward, Wei::ZERO).unwrap_err();
+    assert!(matches!(err, ConservationViolation::BondNotConserved { .. }));
 }

@@ -1,9 +1,9 @@
 //! Performance report for the measured optimizations, written to
 //! `target/experiments/`.
 //!
-//! Five sections, selectable by the first CLI argument (`pr1`,
-//! `state-root`, `nft-flush`, `parallel-exec` or `metrics`; no argument
-//! runs all):
+//! Six sections, selectable by the first CLI argument (`pr1`,
+//! `state-root`, `nft-flush`, `parallel-exec`, `fraud-proof` or `metrics`;
+//! no argument runs all):
 //!
 //! **`pr1`** (→ `BENCH_PR1.json`):
 //!
@@ -33,6 +33,15 @@
 //! block, recording conflict/abort counts; asserts bit-identical receipts
 //! and roots on every row and ≥ 2× at 4 threads for the signed sparse
 //! workload on machines with ≥ 4 cores.
+//!
+//! **`fraud-proof`** (→ `BENCH_PR7.json`): the interactive fraud-proof
+//! game end to end. Records (a) stateless inclusion-proof sizes (sibling
+//! depth and wire bytes) across world sizes, asserting O(log n) growth,
+//! and (b) for forged `2^k`-transaction batches, that bisection isolates
+//! the forged step in exactly `k` rounds and single-step settlement —
+//! one transaction re-executed, record openings checked against a bare
+//! 32-byte root — convicts the forger orders of magnitude cheaper than
+//! whole-batch re-execution.
 //!
 //! `metrics --list` dumps the static metric inventory and exits.
 //!
@@ -528,6 +537,222 @@ fn run_parallel_exec_section() {
     );
 }
 
+#[derive(Serialize)]
+struct ProofSizeRow {
+    accounts: usize,
+    active_tokens: usize,
+    account_proof_depth: usize,
+    account_proof_bytes: usize,
+    token_proof_depth: usize,
+    token_proof_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct FraudSettlementRow {
+    txs: usize,
+    k: u32,
+    forged_step: usize,
+    bisection_rounds: u32,
+    diverging_records: usize,
+    fraud_confirmed: bool,
+    settle_us: f64,
+    full_reexec_us: f64,
+    settlement_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Pr7Report {
+    proof_sizes: Vec<ProofSizeRow>,
+    settlements: Vec<FraudSettlementRow>,
+}
+
+/// A funded world with one collection holding `tokens` active tokens.
+fn proof_world(accounts: usize, tokens: usize) -> (L2State, Address) {
+    let mut state = L2State::new();
+    for i in 0..accounts as u64 {
+        state.credit(Address::from_low_u64(i + 1), Wei::from_gwei(i + 1));
+    }
+    let coll = state.deploy_collection(CollectionConfig::limited_edition("FP", tokens as u64, 100));
+    for t in 0..tokens as u64 {
+        state
+            .nft_mint(
+                coll,
+                Address::from_low_u64(t % accounts as u64 + 1),
+                TokenId::new(t),
+            )
+            .unwrap()
+            .unwrap();
+    }
+    (state, coll)
+}
+
+fn measure_proof_sizes(accounts: usize, tokens: usize) -> ProofSizeRow {
+    let (state, coll) = proof_world(accounts, tokens);
+    let root = state.state_root();
+
+    let acct = state
+        .prove_account(Address::from_low_u64(1))
+        .expect("credited");
+    assert!(acct.verify(root), "honest account proof must verify");
+    let tok = state.prove_token(coll, TokenId::new(0)).expect("minted");
+    assert!(tok.verify(root), "honest token proof must verify");
+    let wrong = parole_crypto::keccak256(root.as_bytes());
+    assert!(!acct.verify(wrong) && !tok.verify(wrong));
+
+    // Depth bound: ⌈log2(leaves)⌉ + 1 slack, leaves = meta + accounts + 1
+    // header for the top tree, `tokens` for the sub-tree.
+    let log2_ceil = |n: usize| (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize;
+    let top_bound = log2_ceil(accounts + 2) + 1;
+    let sub_bound = log2_ceil(tokens) + 1;
+    assert!(
+        acct.path.depth() <= top_bound,
+        "account path depth {} exceeds O(log n) bound {top_bound}",
+        acct.path.depth()
+    );
+    assert!(
+        tok.token_path.depth() + tok.header_path.depth() <= sub_bound + top_bound,
+        "token path depths {}+{} exceed O(log n) bound {sub_bound}+{top_bound}",
+        tok.token_path.depth(),
+        tok.header_path.depth()
+    );
+
+    ProofSizeRow {
+        accounts,
+        active_tokens: tokens,
+        account_proof_depth: acct.path.depth(),
+        account_proof_bytes: acct.encoded_len(),
+        token_proof_depth: tok.token_path.depth() + tok.header_path.depth(),
+        token_proof_bytes: tok.encoded_len(),
+    }
+}
+
+fn measure_fraud_settlement(k: u32) -> FraudSettlementRow {
+    use parole_ovm::TxKind;
+    use parole_rollup::{
+        bisect, settle_step, Batch, DisputedStep, SettlementVerdict, StateCommitment,
+        TracedExecution,
+    };
+
+    let n = 1usize << k;
+    let mut pre = L2State::new();
+    let coll = pre.deploy_collection(CollectionConfig::limited_edition("FG", 2 * n as u64, 100));
+    let txs: Vec<NftTransaction> = (0..n as u64)
+        .map(|i| {
+            let sender = Address::from_low_u64(i + 1);
+            pre.credit(sender, Wei::from_eth(2));
+            NftTransaction::simple(
+                sender,
+                TxKind::Mint {
+                    collection: coll,
+                    token: TokenId::new(i),
+                },
+            )
+        })
+        .collect();
+
+    // The forgery: honest execution up to `forged_step`, then a hidden
+    // refund of that step's sender — an in-footprint lie the settlement
+    // localizes to a named account record.
+    let ovm = Ovm::new();
+    let forged_step = n / 2;
+    let thief = Address::from_low_u64(forged_step as u64 + 1);
+    let defender = TracedExecution::record_with(&ovm, &pre, &txs, |i, st| {
+        if i == forged_step {
+            st.credit(thief, Wei::from_eth(1));
+        }
+    });
+    let challenger = TracedExecution::record(&ovm, &pre, &txs);
+
+    let result = bisect(defender.trace(), challenger.trace());
+    assert_eq!(
+        result.step,
+        DisputedStep::Tx(forged_step),
+        "bisection must isolate the forged step"
+    );
+    assert_eq!(result.rounds, k, "2^{k} txs must settle in exactly {k} rounds");
+
+    let mut post = defender.final_state().clone();
+    post.advance_block();
+    let batch = Batch {
+        aggregator: parole_primitives::AggregatorId::new(0),
+        txs: txs.clone(),
+        receipts: Vec::new(),
+        commitment: StateCommitment {
+            pre_state_root: pre.state_root(),
+            post_state_root: post.state_root(),
+            tx_root: Batch::compute_tx_root(&txs),
+        },
+    };
+
+    // Settlement: ONE transaction re-executed + O(log n) record openings.
+    let start = Instant::now();
+    let verdict = settle_step(&ovm, &batch, &defender, &challenger, result.step);
+    let settle_us = start.elapsed().as_secs_f64() * 1e6;
+    let (fraud_confirmed, diverging_records) = match &verdict {
+        SettlementVerdict::FraudConfirmed { diverging, .. } => (true, diverging.len()),
+        _ => (false, 0),
+    };
+    assert!(fraud_confirmed, "the forged step must be convicted");
+    assert!(
+        diverging_records >= 1,
+        "an in-footprint forgery must localize to at least one record"
+    );
+
+    // The reference cost settlement avoids: re-executing the whole batch.
+    let start = Instant::now();
+    let _ = std::hint::black_box(ovm.simulate_sequence(&pre, &txs));
+    let full_reexec_us = start.elapsed().as_secs_f64() * 1e6;
+
+    FraudSettlementRow {
+        txs: n,
+        k,
+        forged_step,
+        bisection_rounds: result.rounds,
+        diverging_records,
+        fraud_confirmed,
+        settle_us,
+        full_reexec_us,
+        settlement_speedup: full_reexec_us / settle_us,
+    }
+}
+
+/// The `fraud-proof` section (→ `BENCH_PR7.json`).
+fn run_fraud_proof_section() {
+    let mut proof_sizes = Vec::new();
+    for &(accounts, tokens) in &[(1_000usize, 256usize), (10_000, 2_048), (100_000, 16_384)] {
+        let row = measure_proof_sizes(accounts, tokens);
+        println!(
+            "proof_size {:>6} accts / {:>5} tokens: acct depth {:>2} ({:>4} B) | token depth {:>2} ({:>4} B)",
+            row.accounts,
+            row.active_tokens,
+            row.account_proof_depth,
+            row.account_proof_bytes,
+            row.token_proof_depth,
+            row.token_proof_bytes
+        );
+        proof_sizes.push(row);
+    }
+
+    let mut settlements = Vec::new();
+    for k in 2..=7u32 {
+        let row = measure_fraud_settlement(k);
+        println!(
+            "fraud_proof 2^{} = {:>3} txs: {} rounds | {} diverging | settle {:>8.1} us vs full re-exec {:>9.1} us | {:>5.1}x",
+            row.k, row.txs, row.bisection_rounds, row.diverging_records, row.settle_us,
+            row.full_reexec_us, row.settlement_speedup
+        );
+        settlements.push(row);
+    }
+
+    write_json(
+        "BENCH_PR7",
+        &Pr7Report {
+            proof_sizes,
+            settlements,
+        },
+    );
+}
+
 /// The `metrics` section (telemetry-armed build): cross-thread-count
 /// determinism of the pipeline's counters and histograms, plus the recorded
 /// snapshot itself.
@@ -904,6 +1129,9 @@ fn main() {
     }
     if run("parallel-exec") {
         run_parallel_exec_section();
+    }
+    if run("fraud-proof") {
+        run_fraud_proof_section();
     }
     if !run("pr1") {
         return;

@@ -102,14 +102,12 @@ impl CaseStudy {
             state.credit(u(id), Wei::from_eth(1));
         }
 
-        {
-            let coll = state.collection_mut(collection).unwrap();
-            // 5 pre-minted: IFU holds 0 and 1; U1 holds 2 and 3; U13 holds 4.
-            coll.mint(ifu, TokenId::new(0)).unwrap();
-            coll.mint(ifu, TokenId::new(1)).unwrap();
-            coll.mint(u(1), TokenId::new(2)).unwrap();
-            coll.mint(u(1), TokenId::new(3)).unwrap();
-            coll.mint(u(13), TokenId::new(4)).unwrap();
+        // 5 pre-minted: IFU holds 0 and 1; U1 holds 2 and 3; U13 holds 4.
+        for (owner, token) in [(ifu, 0), (ifu, 1), (u(1), 2), (u(1), 3), (u(13), 4)] {
+            state
+                .nft_mint(collection, owner, TokenId::new(token))
+                .unwrap()
+                .unwrap();
         }
 
         let tx = |sender: Address, kind: TxKind| NftTransaction::simple(sender, kind);

@@ -182,21 +182,26 @@ pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
     for &ifu in &ifus {
         state.credit(ifu, Wei::from_eth(config.user_funding_eth));
     }
-    {
-        let coll = state.collection_mut(collection).expect("just deployed");
-        let mut token = 0u64;
-        for &ifu in &ifus {
-            coll.mint(ifu, parole_primitives::TokenId::new(token))
-                .unwrap();
-            coll.mint(ifu, parole_primitives::TokenId::new(token + 1))
-                .unwrap();
-            token += 2;
-        }
-        // Bystanders holding tokens give transfers and burns material.
-        for (i, &u) in users.iter().take(8).enumerate() {
-            coll.mint(u, parole_primitives::TokenId::new(token + i as u64))
+    let mut token = 0u64;
+    for &ifu in &ifus {
+        for t in [token, token + 1] {
+            state
+                .nft_mint(collection, ifu, parole_primitives::TokenId::new(t))
+                .expect("just deployed")
                 .unwrap();
         }
+        token += 2;
+    }
+    // Bystanders holding tokens give transfers and burns material.
+    for (i, &u) in users.iter().take(8).enumerate() {
+        state
+            .nft_mint(
+                collection,
+                u,
+                parole_primitives::TokenId::new(token + i as u64),
+            )
+            .expect("just deployed")
+            .unwrap();
     }
 
     // Build the fleet: the first `adversarial_count` aggregators attack.

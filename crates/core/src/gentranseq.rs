@@ -199,13 +199,11 @@ mod tests {
         let ifu = addr(1000);
         state.credit(ifu, Wei::from_milli_eth(1500));
         state.credit(addr(11), Wei::from_eth(1));
-        {
-            let coll = state.collection_mut(pt).unwrap();
-            coll.mint(ifu, TokenId::new(0)).unwrap();
-            coll.mint(ifu, TokenId::new(1)).unwrap();
-            coll.mint(addr(1), TokenId::new(2)).unwrap();
-            coll.mint(addr(2), TokenId::new(3)).unwrap();
-            coll.mint(addr(13), TokenId::new(4)).unwrap();
+        for (owner, token) in [(ifu, 0), (ifu, 1), (addr(1), 2), (addr(2), 3), (addr(13), 4)] {
+            state
+                .nft_mint(pt, owner, TokenId::new(token))
+                .unwrap()
+                .unwrap();
         }
         let window = vec![
             NftTransaction::simple(
@@ -314,10 +312,11 @@ mod tests {
         let ifu = addr(1000);
         state.credit(ifu, Wei::from_eth(2));
         state.credit(addr(2), Wei::from_eth(2));
-        {
-            let coll = state.collection_mut(pt).unwrap();
-            coll.mint(ifu, TokenId::new(0)).unwrap();
-            coll.mint(addr(1), TokenId::new(1)).unwrap();
+        for (owner, token) in [(ifu, 0), (addr(1), 1)] {
+            state
+                .nft_mint(pt, owner, TokenId::new(token))
+                .unwrap()
+                .unwrap();
         }
         let window = vec![
             NftTransaction::simple(

@@ -78,11 +78,11 @@ mod tests {
         let ifu = addr(1000);
         state.credit(ifu, Wei::from_milli_eth(1500));
         state.credit(addr(11), Wei::from_eth(1));
-        {
-            let coll = state.collection_mut(pt).unwrap();
-            coll.mint(ifu, TokenId::new(0)).unwrap();
-            coll.mint(ifu, TokenId::new(1)).unwrap();
-            coll.mint(addr(2), TokenId::new(3)).unwrap();
+        for (owner, token) in [(ifu, 0), (ifu, 1), (addr(2), 3)] {
+            state
+                .nft_mint(pt, owner, TokenId::new(token))
+                .unwrap()
+                .unwrap();
         }
         let window = vec![
             NftTransaction::simple(

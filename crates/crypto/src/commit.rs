@@ -22,6 +22,7 @@
 //! unchanged by callers switching to the incremental tree.
 
 use crate::keccak::keccak256_concat;
+use crate::merkle::{prove_levels, MerkleProof};
 use parole_primitives::Hash32;
 
 /// A binary Merkle tree over pre-hashed 32-byte leaves that supports
@@ -236,6 +237,17 @@ impl CommitTree {
     /// cross-checks).
     pub fn leaves(&self) -> &[Hash32] {
         self.levels.first().map_or(&[], Vec::as_slice)
+    }
+
+    /// Generates an inclusion proof for the leaf at `index` directly from
+    /// the resident levels — no rebuild, O(log n) copies. The proof is
+    /// byte-identical to what [`MerkleTree::prove`](crate::MerkleTree::prove)
+    /// produces for the same leaf sequence, so verifiers need not know which
+    /// tree flavor committed the root.
+    ///
+    /// Returns `None` when `index` is out of bounds.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        prove_levels(&self.levels, index)
     }
 }
 

@@ -77,23 +77,32 @@ impl MerkleTree {
     ///
     /// Returns `None` when `index` is out of bounds.
     pub fn prove(&self, index: usize) -> Option<MerkleProof> {
-        if index >= self.len() {
-            return None;
-        }
-        let mut path = Vec::new();
-        let mut idx = index;
-        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
-            let sibling = idx ^ 1;
-            if sibling < level.len() {
-                path.push(ProofNode {
-                    hash: level[sibling],
-                    is_left: sibling < idx,
-                });
-            }
-            idx /= 2;
-        }
-        Some(MerkleProof { index, path })
+        prove_levels(&self.levels, index)
     }
+}
+
+/// Builds the sibling path for the leaf at `index` over resident `levels`
+/// (leaf level first, root level last). Shared by [`MerkleTree::prove`] and
+/// [`CommitTree::prove`](crate::CommitTree::prove): both keep the identical
+/// level structure, so one walk serves both.
+pub(crate) fn prove_levels(levels: &[Vec<Hash32>], index: usize) -> Option<MerkleProof> {
+    let len = levels.first().map_or(0, Vec::len);
+    if index >= len {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut idx = index;
+    for level in &levels[..levels.len().saturating_sub(1)] {
+        let sibling = idx ^ 1;
+        if sibling < level.len() {
+            path.push(ProofNode {
+                hash: level[sibling],
+                is_left: sibling < idx,
+            });
+        }
+        idx /= 2;
+    }
+    Some(MerkleProof { index, path })
 }
 
 /// One step of a Merkle inclusion proof.
@@ -122,8 +131,12 @@ impl MerkleProof {
         self.path.len()
     }
 
-    /// Recomputes the root from `leaf` and checks it against `root`.
-    pub fn verify(&self, leaf: Hash32, root: Hash32) -> bool {
+    /// Folds `leaf` up the sibling path and returns the root it binds to —
+    /// the stateless half of [`MerkleProof::verify`], exposed so multi-level
+    /// proofs can feed a recomputed sub-tree root into an enclosing leaf
+    /// preimage (the token-inclusion proofs in `parole-state` do exactly
+    /// that).
+    pub fn compute_root(&self, leaf: Hash32) -> Hash32 {
         let mut acc = leaf;
         for node in &self.path {
             acc = if node.is_left {
@@ -132,7 +145,40 @@ impl MerkleProof {
                 keccak256_concat(acc.as_bytes(), node.hash.as_bytes())
             };
         }
-        acc == root
+        acc
+    }
+
+    /// Recomputes the root from `leaf` and checks it against `root`.
+    pub fn verify(&self, leaf: Hash32, root: Hash32) -> bool {
+        self.compute_root(leaf) == root
+    }
+
+    /// Test-only sabotage: flips bit `bit % 256` of the sibling hash at path
+    /// position `node % depth`. Returns `false` for a depth-0 proof (a
+    /// single-leaf tree has no path to tamper). Never call outside tests.
+    #[doc(hidden)]
+    pub fn tamper_path_bit_for_tests(&mut self, node: usize, bit: usize) -> bool {
+        if self.path.is_empty() {
+            return false;
+        }
+        let node = node % self.path.len();
+        let mut bytes = *self.path[node].hash.as_bytes();
+        bytes[(bit % 256) / 8] ^= 1 << (bit % 8);
+        self.path[node].hash = Hash32::from_bytes(bytes);
+        true
+    }
+
+    /// Test-only sabotage: flips the left/right orientation of the sibling
+    /// at path position `node % depth`. Returns `false` for a depth-0
+    /// proof. Never call outside tests.
+    #[doc(hidden)]
+    pub fn tamper_direction_for_tests(&mut self, node: usize) -> bool {
+        if self.path.is_empty() {
+            return false;
+        }
+        let node = node % self.path.len();
+        self.path[node].is_left = !self.path[node].is_left;
+        true
     }
 }
 

@@ -118,6 +118,66 @@ proptest! {
         }
     }
 
+    /// [`CommitTree::prove`] over the resident levels yields proofs
+    /// byte-identical to [`MerkleTree::prove`] over the same leaf sequence —
+    /// even after an arbitrary edit script has grown, shrunk and repaired
+    /// the resident tree in place.
+    #[test]
+    fn commit_tree_proofs_match_merkle_proofs(
+        initial in 0usize..24,
+        script in prop::collection::vec(arb_tree_edit(), 1..16),
+    ) {
+        let leaves: Vec<_> = (0..initial).map(|i| keccak256(&(i as u64).to_be_bytes())).collect();
+        let mut tree = CommitTree::from_leaves(leaves);
+        for edit in &script {
+            let n = tree.len();
+            match edit {
+                TreeEdit::Insert { at, tag } => {
+                    tree.insert(*at as usize % (n + 1), keccak256(&tag.to_be_bytes()));
+                }
+                TreeEdit::Update { at, tag } if n > 0 => {
+                    tree.update(*at as usize % n, keccak256(&tag.to_be_bytes()));
+                }
+                TreeEdit::Remove { at } if n > 0 => {
+                    tree.remove(*at as usize % n);
+                }
+                _ => {}
+            }
+            let rebuilt = MerkleTree::from_leaves(tree.leaves().to_vec());
+            prop_assert_eq!(tree.prove(tree.len()), None);
+            for i in 0..tree.len() {
+                let incremental = tree.prove(i).unwrap();
+                prop_assert_eq!(&incremental, &rebuilt.prove(i).unwrap());
+                prop_assert!(incremental.verify(tree.leaves()[i], tree.root()));
+            }
+        }
+    }
+
+    /// A single-bit tamper anywhere in a proof's sibling path — or a flipped
+    /// left/right orientation — makes verification fail.
+    #[test]
+    fn tampered_proof_path_rejected(
+        n in 2usize..40,
+        at in any::<usize>(),
+        node in any::<usize>(),
+        bit in any::<usize>(),
+    ) {
+        let leaves: Vec<_> = (0..n).map(|i| keccak256(&(i as u64).to_be_bytes())).collect();
+        let tree = CommitTree::from_leaves(leaves.clone());
+        let at = at % n;
+        let honest = tree.prove(at).unwrap();
+        prop_assert!(honest.verify(leaves[at], tree.root()));
+
+        let mut bitflipped = honest.clone();
+        if bitflipped.tamper_path_bit_for_tests(node, bit) {
+            prop_assert!(!bitflipped.verify(leaves[at], tree.root()));
+        }
+        let mut misdirected = honest.clone();
+        if misdirected.tamper_direction_for_tests(node) {
+            prop_assert!(!misdirected.verify(leaves[at], tree.root()));
+        }
+    }
+
     /// Merkle proofs verify for every leaf, and fail against a different root.
     #[test]
     fn merkle_proof_sound(n in 1usize..40, tamper in any::<u64>()) {

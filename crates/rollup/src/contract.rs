@@ -1,10 +1,11 @@
 //! The optimistic rollup smart contract (ORSC).
 
+use crate::bisection::{bisect, settle_step, ChallengerSide, DefenderSide, DisputedStep, SettlementVerdict};
 use crate::{Batch, BatchId, L1Chain};
 use parole_crypto::Hash32;
 use parole_ovm::Ovm;
 use parole_primitives::{Address, AggregatorId, BlockNumber, VerifierId, Wei};
-use parole_state::L2State;
+use parole_state::{L2State, RecordKey};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
@@ -95,12 +96,40 @@ pub enum ChallengeOutcome {
         slashed: Wei,
         /// Amount paid to the challenger.
         reward: Wei,
+        /// The remainder of the slashed bond (`slashed − reward`),
+        /// explicitly destroyed. Only `challenger_reward_pct` of a slash is
+        /// paid forward — rewarding the whole bond would let an aggregator
+        /// challenge itself through a sock-puppet verifier and recover its
+        /// stake. The burn used to be implicit (the Wei simply vanished);
+        /// it is now reported here and accumulated in
+        /// [`RollupContract::burned_total`] so bond flows stay
+        /// conservation-checkable.
+        burned: Wei,
     },
     /// The proof was valid: the verifier's bond was slashed.
     ChallengeRejected {
         /// Amount slashed from the verifier.
         slashed: Wei,
     },
+}
+
+/// The full record of one interactive (bisection) challenge: the economic
+/// outcome plus the protocol evidence — which step was isolated, how many
+/// bisection rounds it took, and which records the fraud localized to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InteractiveChallenge {
+    /// The economic settlement (identical semantics to
+    /// [`RollupContract::challenge`]).
+    pub outcome: ChallengeOutcome,
+    /// The step the bisection isolated; `None` when a side forfeited on a
+    /// rule violation before the game started.
+    pub step: Option<DisputedStep>,
+    /// Midpoint root queries performed — `k` for a `2^k`-transaction
+    /// disagreement.
+    pub rounds: u32,
+    /// Records whose defender openings contradicted honest single-step
+    /// execution (empty unless fraud was confirmed at a transaction step).
+    pub diverging: Vec<RecordKey>,
 }
 
 /// A pending (not yet finalized) L2 action.
@@ -142,6 +171,10 @@ pub struct RollupContract {
     /// honest re-execution (undetected state forgery — only possible when no
     /// verifier challenged in time).
     undetected_forgeries: u64,
+    /// Total Wei destroyed by fraud slashes (the `slashed − reward`
+    /// remainders). Part of the bond conservation equation the audit layer
+    /// checks: every slashed Wei is either rewarded or burned.
+    burned: Wei,
 }
 
 impl fmt::Debug for RollupContract {
@@ -168,6 +201,7 @@ impl RollupContract {
             verifier_bonds: BTreeMap::new(),
             ovm: Ovm::new(),
             undetected_forgeries: 0,
+            burned: Wei::ZERO,
         }
     }
 
@@ -218,6 +252,11 @@ impl RollupContract {
     /// Number of batches finalized with forged roots nobody challenged.
     pub fn undetected_forgeries(&self) -> u64 {
         self.undetected_forgeries
+    }
+
+    /// Total Wei destroyed by fraud slashes so far.
+    pub fn burned_total(&self) -> Wei {
+        self.burned
     }
 
     /// Posts an aggregator bond (idempotent top-up).
@@ -403,27 +442,56 @@ impl RollupContract {
         parole_telemetry::counter("rollup.challenges", 1);
         if honest_root == batch.commitment.post_state_root {
             // Frivolous challenge.
-            parole_telemetry::counter("rollup.challenges_rejected", 1);
-            let slashed = vbond;
-            self.verifier_bonds.insert(verifier, Wei::ZERO);
-            return Ok(ChallengeOutcome::ChallengeRejected { slashed });
+            return Ok(self.reject_challenge(verifier));
         }
 
-        // Fraud proven: slash, reward, roll back.
-        parole_telemetry::counter("rollup.fraud_proven", 1);
+        // Fraud proven: slash, reward, burn, roll back.
         let aggregator = batch.aggregator;
-        let abond = self.aggregator_bond(aggregator);
-        let reward = abond
+        let outcome = self.slash_for_fraud(aggregator, verifier);
+        self.rollback_pending_from(idx);
+        Ok(outcome)
+    }
+
+    /// Settles a challenge against the challenger: the full verifier bond
+    /// is slashed.
+    fn reject_challenge(&mut self, verifier: VerifierId) -> ChallengeOutcome {
+        parole_telemetry::counter("rollup.challenges_rejected", 1);
+        let slashed = self.verifier_bond(verifier);
+        self.verifier_bonds.insert(verifier, Wei::ZERO);
+        ChallengeOutcome::ChallengeRejected { slashed }
+    }
+
+    /// Settles a challenge against the aggregator: the full bond is
+    /// slashed, `challenger_reward_pct` of it paid to the challenger, and
+    /// the remainder burned (tracked in [`RollupContract::burned_total`]).
+    fn slash_for_fraud(
+        &mut self,
+        aggregator: AggregatorId,
+        verifier: VerifierId,
+    ) -> ChallengeOutcome {
+        parole_telemetry::counter("rollup.fraud_proven", 1);
+        let slashed = self.aggregator_bond(aggregator);
+        let reward = slashed
             .mul_ratio(self.config.challenger_reward_pct, 100)
             .unwrap_or(Wei::ZERO);
+        let burned = slashed.saturating_sub(reward);
         self.aggregator_bonds.insert(aggregator, Wei::ZERO);
         if let Some(v) = self.verifier_bonds.get_mut(&verifier) {
             *v += reward;
         }
+        self.burned += burned;
+        ChallengeOutcome::FraudProven {
+            slashed,
+            reward,
+            burned,
+        }
+    }
 
-        // Roll back to the fraudulent batch's pre-state, then re-apply the
-        // deposits that arrived after it (forced inclusions survive; later
-        // batches chained on the bad root and are dropped).
+    /// Rolls the staged state back to the pre-state of the pending action
+    /// at `idx`, then re-applies the tail: deposits survive (L1-forced
+    /// inclusions), withdrawals survive if still coverable, and batches —
+    /// which chained on the reverted root — are dropped.
+    fn rollback_pending_from(&mut self, idx: usize) {
         let (_, pre_state) = self.pending[idx].clone();
         let tail: Vec<(PendingAction, L2State)> = self.pending.drain(idx..).skip(1).collect();
         self.staged = pre_state;
@@ -451,11 +519,108 @@ impl RollupContract {
                 }
             }
         }
+    }
 
-        Ok(ChallengeOutcome::FraudProven {
-            slashed: abond,
-            reward,
-        })
+    /// Adjudicates a challenge through the interactive bisection game
+    /// instead of whole-batch re-execution (see [`crate::bisection`]).
+    ///
+    /// Both sides bring an execution trace over the batch's pre-state
+    /// snapshot. The contract bisects to one disputed step, then settles it
+    /// with a single transaction execution plus stateless record openings —
+    /// `O(log n)` root queries and proof bytes, never a batch re-run. The
+    /// whole-batch [`RollupContract::challenge`] path remains as the audit
+    /// oracle's reference side; `parole-audit`'s differential suite pins
+    /// that both paths reach the same verdict.
+    ///
+    /// Rule violations settle immediately: a defender whose trace does not
+    /// start at the batch's pre-state snapshot (or covers the wrong number
+    /// of steps) forfeits as fraud; a challenger whose trace does is
+    /// rejected as frivolous, as is one whose settlement witness fails to
+    /// hash to the agreed root.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the verifier is unbonded or the batch is not pending.
+    pub fn challenge_interactive(
+        &mut self,
+        verifier: VerifierId,
+        id: BatchId,
+        defender: &dyn DefenderSide,
+        challenger: &dyn ChallengerSide,
+    ) -> Result<InteractiveChallenge, RollupError> {
+        let vbond = self.verifier_bond(verifier);
+        if vbond.is_zero() {
+            return Err(RollupError::VerifierNotBonded(verifier));
+        }
+        let idx = self
+            .pending
+            .iter()
+            .position(|(a, _)| matches!(a, PendingAction::Batch { id: bid, .. } if *bid == id))
+            .ok_or(RollupError::UnknownBatch(id))?;
+        let (action, pre) = &self.pending[idx];
+        let PendingAction::Batch { batch, .. } = action else {
+            unreachable!("position matched a batch");
+        };
+        let pre_root = pre.state_root();
+        let n = batch.len();
+        let aggregator = batch.aggregator;
+
+        parole_telemetry::counter("rollup.challenges", 1);
+        parole_telemetry::counter("fraud.bisection_games", 1);
+
+        let ctrace = challenger.trace();
+        if ctrace.steps() != n || ctrace.pre_root() != pre_root {
+            // The challenger is not playing by the rules — frivolous.
+            parole_telemetry::counter("fraud.defender_wins", 1);
+            return Ok(InteractiveChallenge {
+                outcome: self.reject_challenge(verifier),
+                step: None,
+                rounds: 0,
+                diverging: Vec::new(),
+            });
+        }
+        let dtrace = defender.trace();
+        if dtrace.steps() != n || dtrace.pre_root() != pre_root {
+            // The defender cannot even trace its own batch — forfeit.
+            parole_telemetry::counter("fraud.fraud_confirmed", 1);
+            let outcome = self.slash_for_fraud(aggregator, verifier);
+            self.rollback_pending_from(idx);
+            return Ok(InteractiveChallenge {
+                outcome,
+                step: None,
+                rounds: 0,
+                diverging: Vec::new(),
+            });
+        }
+
+        let result = bisect(dtrace, ctrace);
+        parole_telemetry::observe("fraud.bisection_rounds", u64::from(result.rounds));
+
+        let batch = batch.clone();
+        let verdict = settle_step(&self.ovm, &batch, defender, challenger, result.step);
+        match verdict {
+            SettlementVerdict::DefenderWins | SettlementVerdict::ChallengerForfeit => {
+                parole_telemetry::counter("fraud.defender_wins", 1);
+                Ok(InteractiveChallenge {
+                    outcome: self.reject_challenge(verifier),
+                    step: Some(result.step),
+                    rounds: result.rounds,
+                    diverging: Vec::new(),
+                })
+            }
+            SettlementVerdict::FraudConfirmed { diverging, .. } => {
+                parole_telemetry::counter("fraud.fraud_confirmed", 1);
+                parole_telemetry::observe("fraud.diverging_records", diverging.len() as u64);
+                let outcome = self.slash_for_fraud(aggregator, verifier);
+                self.rollback_pending_from(idx);
+                Ok(InteractiveChallenge {
+                    outcome,
+                    step: Some(result.step),
+                    rounds: result.rounds,
+                    diverging,
+                })
+            }
+        }
     }
 
     /// Seals an L1 block: everything pending whose challenge window expired
@@ -542,7 +707,7 @@ impl RollupContract {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Aggregator, Verifier};
+    use crate::{Aggregator, TracedExecution, Verifier};
     use parole_nft::CollectionConfig;
     use parole_ovm::{NftTransaction, TxKind};
     use parole_primitives::TokenId;
@@ -724,9 +889,14 @@ mod tests {
         assert_eq!(snapshot.state_root(), pre.state_root());
         let outcome = rollup.challenge(ver.id(), id).unwrap();
         match outcome {
-            ChallengeOutcome::FraudProven { slashed, reward } => {
+            ChallengeOutcome::FraudProven {
+                slashed,
+                reward,
+                burned,
+            } => {
                 assert_eq!(slashed, RollupConfig::default().aggregator_bond);
                 assert_eq!(reward, slashed.mul_ratio(50, 100).unwrap());
+                assert_eq!(burned, slashed - reward);
             }
             other => panic!("expected fraud proven, got {other:?}"),
         }
@@ -739,6 +909,198 @@ mod tests {
         // The batch is gone and the staged state rolled back.
         assert!(rollup.pending_batch_ids().is_empty());
         assert_eq!(rollup.l2_state().state_root(), pre.state_root());
+    }
+
+    /// Regression pin for the bond-burn bug: a fraud slash used to zero the
+    /// aggregator bond but only account for the challenger's cut — the
+    /// remaining 50% silently vanished from every balance. The burn is now
+    /// explicit: `slashed == reward + burned` and the contract tracks the
+    /// cumulative burn.
+    #[test]
+    fn fraud_slash_burns_the_remainder_and_tracks_it() {
+        let (mut rollup, pt, mut agg, ver) = deployed();
+        assert_eq!(rollup.burned_total(), Wei::ZERO);
+        let batch = agg.build_forged_batch(rollup.l2_state(), mint_txs(pt, 2));
+        let id = rollup.submit_batch(batch).unwrap();
+        let ChallengeOutcome::FraudProven {
+            slashed,
+            reward,
+            burned,
+        } = rollup.challenge(ver.id(), id).unwrap()
+        else {
+            panic!("expected fraud proven");
+        };
+        // Every slashed Wei is either rewarded or burned — nothing vanishes.
+        assert_eq!(slashed, reward + burned);
+        assert!(!burned.is_zero(), "50% reward leaves 50% to burn");
+        assert_eq!(rollup.burned_total(), burned);
+    }
+
+    /// A batch forged mid-stream (honest execution up to step 5, then a
+    /// hidden credit to that transaction's sender) is localized by the
+    /// interactive game: exactly `log2(8) = 3` bisection rounds isolate
+    /// transaction 5, and the settlement names the inflated account as the
+    /// diverging record — without ever re-executing the batch.
+    #[test]
+    fn interactive_challenge_localizes_forged_step() {
+        let (mut rollup, pt, _, ver) = deployed();
+        let forged_step = 5usize;
+        let txs = mint_txs(pt, 8);
+        // Transaction 5's sender (see `mint_txs`): the account whose mint
+        // payment the forgery quietly refunds.
+        let thief = addr(1 + forged_step as u64 % 2);
+        let ovm = parole_ovm::Ovm::new();
+        let pre = rollup.l2_state().clone();
+
+        // The dishonest aggregator's side: traced execution with a hidden
+        // credit after step 5, commitment derived from the tampered state.
+        let defender = TracedExecution::record_with(&ovm, &pre, &txs, |i, st| {
+            if i == forged_step {
+                st.credit(thief, Wei::from_eth(1));
+            }
+        });
+        let mut post = defender.final_state().clone();
+        post.advance_block();
+        let batch = Batch {
+            aggregator: AggregatorId::new(0),
+            commitment: crate::StateCommitment {
+                pre_state_root: pre.state_root(),
+                post_state_root: post.state_root(),
+                tx_root: Batch::compute_tx_root(&txs),
+            },
+            txs: txs.clone(),
+            receipts: vec![],
+        };
+        let id = rollup.submit_batch(batch).unwrap();
+
+        // The challenger re-executes honestly from the pre-state snapshot.
+        let snapshot = rollup.challenge_pre_state(id).unwrap().clone();
+        let challenger = TracedExecution::record(&ovm, &snapshot, &txs);
+
+        let report = rollup
+            .challenge_interactive(ver.id(), id, &defender, &challenger)
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            ChallengeOutcome::FraudProven { .. }
+        ));
+        assert_eq!(report.step, Some(DisputedStep::Tx(forged_step)));
+        assert_eq!(report.rounds, 3, "2^3 txs isolate in exactly 3 rounds");
+        assert!(
+            report.diverging.contains(&RecordKey::Acct(thief)),
+            "the smuggled credit must be named: {:?}",
+            report.diverging
+        );
+        // Same economics and rollback as the reference path.
+        assert_eq!(rollup.aggregator_bond(AggregatorId::new(0)), Wei::ZERO);
+        assert!(rollup.pending_batch_ids().is_empty());
+        assert_eq!(rollup.l2_state().state_root(), pre.state_root());
+    }
+
+    /// A forgery that mutates a record *outside* the isolated
+    /// transaction's footprint (a credit to an uninvolved account) is
+    /// still caught and slashed — the defender's openings of the touched
+    /// records all agree, so the diverging list is empty, but the
+    /// single-step root mismatch alone convicts the out-of-footprint
+    /// write.
+    #[test]
+    fn interactive_challenge_catches_out_of_footprint_forgery() {
+        let (mut rollup, pt, _, ver) = deployed();
+        let forged_step = 2usize;
+        let txs = mint_txs(pt, 4);
+        let outsider = addr(66);
+        let ovm = parole_ovm::Ovm::new();
+        let pre = rollup.l2_state().clone();
+
+        let defender = TracedExecution::record_with(&ovm, &pre, &txs, |i, st| {
+            if i == forged_step {
+                st.credit(outsider, Wei::from_eth(1));
+            }
+        });
+        let mut post = defender.final_state().clone();
+        post.advance_block();
+        let batch = Batch {
+            aggregator: AggregatorId::new(0),
+            commitment: crate::StateCommitment {
+                pre_state_root: pre.state_root(),
+                post_state_root: post.state_root(),
+                tx_root: Batch::compute_tx_root(&txs),
+            },
+            txs: txs.clone(),
+            receipts: vec![],
+        };
+        let id = rollup.submit_batch(batch).unwrap();
+        let snapshot = rollup.challenge_pre_state(id).unwrap().clone();
+        let challenger = TracedExecution::record(&ovm, &snapshot, &txs);
+
+        let report = rollup
+            .challenge_interactive(ver.id(), id, &defender, &challenger)
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            ChallengeOutcome::FraudProven { .. }
+        ));
+        assert_eq!(report.step, Some(DisputedStep::Tx(forged_step)));
+        assert!(report.diverging.is_empty());
+    }
+
+    /// An honest batch survives the interactive game: the traces agree on
+    /// every transaction, the block-advance settlement reproduces the
+    /// committed post-root, and the frivolous challenger is slashed.
+    #[test]
+    fn interactive_challenge_rejects_honest_batch() {
+        let (mut rollup, pt, mut agg, ver) = deployed();
+        let txs = mint_txs(pt, 4);
+        let ovm = parole_ovm::Ovm::new();
+        let pre = rollup.l2_state().clone();
+        let batch = agg.build_batch(&pre, txs.clone());
+        let id = rollup.submit_batch(batch).unwrap();
+
+        let defender = TracedExecution::record(&ovm, &pre, &txs);
+        let snapshot = rollup.challenge_pre_state(id).unwrap().clone();
+        let challenger = TracedExecution::record(&ovm, &snapshot, &txs);
+
+        let report = rollup
+            .challenge_interactive(ver.id(), id, &defender, &challenger)
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            ChallengeOutcome::ChallengeRejected { .. }
+        ));
+        assert_eq!(report.step, Some(DisputedStep::BlockAdvance));
+        assert_eq!(report.rounds, 0);
+        assert_eq!(rollup.verifier_bond(ver.id()), Wei::ZERO);
+        // The batch survives and finalizes cleanly.
+        rollup.finalize_all();
+        assert_eq!(rollup.undetected_forgeries(), 0);
+    }
+
+    /// A post-root forged wholesale (the `build_forged_batch` hash tamper)
+    /// cannot be defended at any transaction step — the defender's only
+    /// consistent trace is the honest one, so the dispute lands on the
+    /// block advance and fraud is confirmed there.
+    #[test]
+    fn interactive_challenge_catches_hash_forged_post_root() {
+        let (mut rollup, pt, mut agg, ver) = deployed();
+        let txs = mint_txs(pt, 4);
+        let ovm = parole_ovm::Ovm::new();
+        let pre = rollup.l2_state().clone();
+        let batch = agg.build_forged_batch(&pre, txs.clone());
+        let id = rollup.submit_batch(batch).unwrap();
+
+        let defender = TracedExecution::record(&ovm, &pre, &txs);
+        let snapshot = rollup.challenge_pre_state(id).unwrap().clone();
+        let challenger = TracedExecution::record(&ovm, &snapshot, &txs);
+
+        let report = rollup
+            .challenge_interactive(ver.id(), id, &defender, &challenger)
+            .unwrap();
+        assert!(matches!(
+            report.outcome,
+            ChallengeOutcome::FraudProven { .. }
+        ));
+        assert_eq!(report.step, Some(DisputedStep::BlockAdvance));
+        assert!(rollup.pending_batch_ids().is_empty());
     }
 
     #[test]

@@ -42,12 +42,19 @@
 #![warn(missing_docs)]
 
 mod batch;
+pub mod bisection;
 pub mod calldata;
 mod contract;
 mod l1;
 mod participants;
 
 pub use batch::{Batch, BatchId, StateCommitment};
-pub use contract::{ChallengeOutcome, RollupConfig, RollupContract, RollupError};
+pub use bisection::{
+    bisect, settle_step, BisectionResult, ChallengerSide, DefenderSide, DisputedStep,
+    ExecutionTrace, SettlementVerdict, StepDefense, TracedExecution,
+};
+pub use contract::{
+    ChallengeOutcome, InteractiveChallenge, RollupConfig, RollupContract, RollupError,
+};
 pub use l1::{L1Block, L1Chain};
 pub use participants::{Aggregator, FeePriorityStrategy, OrderingStrategy, Verifier};

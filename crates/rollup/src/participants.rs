@@ -111,13 +111,20 @@ impl Aggregator {
     /// Orders `window` with the configured strategy, executes it on a fork of
     /// `state`, and produces the batch with its state commitment.
     ///
+    /// The committed post-root is the root *after* the end-of-batch block
+    /// advance — the same convention the contract applies when it re-executes
+    /// a batch (on submission, challenge and finalization). Since the state
+    /// root commits the block number, deriving the commitment without the
+    /// advance would make every honest batch look forged.
+    ///
     /// The pre-state root read inside [`StateCommitment::derive`] hits the
     /// state's commitment cache, so building many batches over the same
     /// pre-state (or having verifiers re-read it in [`Verifier::validate`])
     /// computes the Merkle tree once instead of once per participant.
     pub fn build_batch(&mut self, state: &L2State, window: Vec<NftTransaction>) -> Batch {
         let ordered = self.strategy.order(state, window);
-        let (receipts, post_state) = self.ovm.simulate_sequence(state, &ordered);
+        let (receipts, mut post_state) = self.ovm.simulate_sequence(state, &ordered);
+        post_state.advance_block();
         Batch {
             aggregator: self.id,
             commitment: StateCommitment::derive(state, &post_state, &ordered),
@@ -183,6 +190,14 @@ impl Verifier {
     /// Honestly re-executes `batch` from `pre_state` and reports whether the
     /// claimed commitment is valid.
     ///
+    /// Re-execution ends with the same block advance the contract applies
+    /// ([`crate::RollupContract::challenge`] re-executes with it) — the two
+    /// sides of the challenge game must score the same root or honest
+    /// batches would be slashed and forged ones acquitted depending on who
+    /// computed the reference. The block number is part of the state root,
+    /// so the convention is observable and pinned by
+    /// `commitment_post_root_includes_the_block_advance`.
+    ///
     /// Note what this *cannot* see: whether the order inside the batch
     /// matches the mempool's fee-priority order. A PAROLE batch passes this
     /// check (the `fraud_proof_game` tests pin that down).
@@ -193,7 +208,8 @@ impl Verifier {
         if batch.commitment.pre_state_root != pre_state.state_root() {
             return false;
         }
-        let (_, post) = self.ovm.simulate_sequence(pre_state, &batch.txs);
+        let (_, mut post) = self.ovm.simulate_sequence(pre_state, &batch.txs);
+        post.advance_block();
         post.state_root() == batch.commitment.post_state_root
     }
 
@@ -228,6 +244,32 @@ mod tests {
             })
             .collect();
         (state, txs)
+    }
+
+    /// Regression pin for the challenge-path root convention: the committed
+    /// post-root is the root *after* the end-of-batch block advance, on both
+    /// sides of the game. Under the old convention (`validate` comparing
+    /// without the advance while the contract re-executed with it) the first
+    /// assertion fails; the second fails if the block number ever drops out
+    /// of the root again (which would make the mismatch unobservable).
+    #[test]
+    fn commitment_post_root_includes_the_block_advance() {
+        let (state, txs) = setup();
+        let mut agg = Aggregator::honest(AggregatorId::new(0), Wei::from_eth(10));
+        let batch = agg.build_batch(&state, txs.clone());
+
+        let (_, mut post) = Ovm::new().simulate_sequence(&state, &txs);
+        let without_advance = post.state_root();
+        post.advance_block();
+        assert_eq!(
+            batch.commitment.post_state_root,
+            post.state_root(),
+            "commitment must score the post-advance root, like the contract"
+        );
+        assert_ne!(
+            batch.commitment.post_state_root, without_advance,
+            "the block advance must move the committed root"
+        );
     }
 
     #[test]

@@ -40,9 +40,9 @@
 //! equality after every mutation, fork and rollback.
 
 use crate::AccountState;
-use parole_crypto::{keccak256, keccak256_batch, CommitTree, Hash32};
+use parole_crypto::{keccak256, keccak256_batch, CommitTree, Hash32, MerkleProof};
 use parole_nft::Collection;
-use parole_primitives::{Address, TokenId};
+use parole_primitives::{Address, BlockNumber, TokenId};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -50,6 +50,21 @@ use std::sync::Arc;
 /// account for (mutations journaled before the cache existed, or before the
 /// last flush), so undo-log rollbacks must never clean it.
 const STICKY: u32 = u32::MAX;
+
+/// Builds the fixed-width preimage of the chain-metadata leaf — always leaf
+/// 0 of the top-level tree: `"meta" ‖ block-number (8B BE)`.
+///
+/// Committing the block number makes the *whole* L2 transition observable in
+/// the root: two parties that execute the same transactions but disagree on
+/// whether the batch seal advanced the block now derive different roots, so
+/// the verifier/contract `advance_block` convention is pinned by the fraud
+/// game itself instead of being silently unobservable.
+pub(crate) fn meta_preimage(block: BlockNumber) -> [u8; 12] {
+    let mut buf = [0u8; 12];
+    buf[..4].copy_from_slice(b"meta");
+    buf[4..12].copy_from_slice(&block.value().to_be_bytes());
+    buf
+}
 
 /// Builds the preimage of one account leaf.
 ///
@@ -94,12 +109,49 @@ pub(crate) fn token_preimage(token: TokenId, owner: Address, approved: Address) 
 /// approval count rides in the header as an explicit prefix so the
 /// committed record is count-framed like the supply fields.
 pub(crate) fn coll_preimage(addr: Address, coll: &Collection, sub_root: Hash32) -> [u8; 80] {
+    coll_header_preimage(addr, &CollectionHeader::of(coll), sub_root)
+}
+
+/// The plain-data view of a collection's header leaf: the three supply
+/// counters that ride beside the sub-tree root in the 80-byte preimage.
+///
+/// This is the piece of a token-inclusion proof a stateless verifier needs
+/// to re-derive the header leaf from a recomputed sub-root — it carries no
+/// reference into resident state, so proofs built from it verify against a
+/// bare root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionHeader {
+    /// Tokens still mintable (drives the bonding-curve price).
+    pub remaining_supply: u64,
+    /// Tokens currently active (minted and not burned).
+    pub active_supply: u64,
+    /// Tokens with a live approved operator.
+    pub approval_count: u64,
+}
+
+impl CollectionHeader {
+    pub(crate) fn of(coll: &Collection) -> Self {
+        CollectionHeader {
+            remaining_supply: coll.remaining_supply(),
+            active_supply: coll.active_supply(),
+            approval_count: coll.approval_count(),
+        }
+    }
+}
+
+/// Builds the 80-byte collection header preimage from its raw fields — the
+/// stateless twin of [`coll_preimage`], shared with proof verification.
+pub(crate) fn coll_header_preimage(
+    addr: Address,
+    header: &CollectionHeader,
+    sub_root: Hash32,
+) -> [u8; 80] {
     let mut buf = [0u8; 80];
     buf[..4].copy_from_slice(b"coll");
     buf[4..24].copy_from_slice(addr.as_bytes());
-    buf[24..32].copy_from_slice(&coll.remaining_supply().to_be_bytes());
-    buf[32..40].copy_from_slice(&coll.active_supply().to_be_bytes());
-    buf[40..48].copy_from_slice(&coll.approval_count().to_be_bytes());
+    buf[24..32].copy_from_slice(&header.remaining_supply.to_be_bytes());
+    buf[32..40].copy_from_slice(&header.active_supply.to_be_bytes());
+    buf[40..48].copy_from_slice(&header.approval_count.to_be_bytes());
     buf[48..80].copy_from_slice(sub_root.as_bytes());
     buf
 }
@@ -226,16 +278,18 @@ impl CollDirt {
 /// A materialized commitment: the resident top-level tree, the per-
 /// collection sub-trees, plus the leaf index maps.
 ///
-/// Top-level leaf order matches the naive rebuild exactly: all account
-/// leaves in address order, then all collection leaves in address order.
-/// Sub-tree leaf order is token-id order.
+/// Top-level leaf order matches the naive rebuild exactly: the chain-
+/// metadata leaf (block number) first, then all account leaves in address
+/// order, then all collection leaves in address order. Sub-tree leaf order
+/// is token-id order.
 #[derive(Debug, Clone)]
 pub(crate) struct CommitCache {
     tree: CommitTree,
-    /// Account addresses in leaf order (sorted); `acct_keys[i]` owns leaf `i`.
+    /// Account addresses in leaf order (sorted); `acct_keys[i]` owns leaf
+    /// `1 + i` (leaf 0 is the metadata leaf).
     acct_keys: Vec<Address>,
     /// Collection addresses in leaf order; `coll_keys[j]` owns leaf
-    /// `acct_keys.len() + j` and sub-tree `coll_subs[j]`.
+    /// `1 + acct_keys.len() + j` and sub-tree `coll_subs[j]`.
     coll_keys: Vec<Address>,
     /// Per-collection sub-trees, index-aligned with `coll_keys`. Each sits
     /// behind its own `Arc` so a post-fork flush clones only the sub-trees
@@ -249,12 +303,14 @@ impl CommitCache {
     fn build(
         accounts: &BTreeMap<Address, AccountState>,
         collections: &BTreeMap<Address, Collection>,
+        block: BlockNumber,
     ) -> Self {
         let acct_preimages: Vec<Vec<u8>> = accounts
             .iter()
             .map(|(addr, acct)| acct_preimage(*addr, acct))
             .collect();
-        let mut leaves = keccak256_batch(acct_preimages.iter().map(Vec::as_slice));
+        let mut leaves = vec![keccak256(&meta_preimage(block))];
+        leaves.extend(keccak256_batch(acct_preimages.iter().map(Vec::as_slice)));
         leaves.reserve(collections.len());
         let mut coll_subs = Vec::with_capacity(collections.len());
         for (addr, coll) in collections {
@@ -280,28 +336,32 @@ impl CommitCache {
         &mut self,
         accounts: &BTreeMap<Address, AccountState>,
         collections: &BTreeMap<Address, Collection>,
+        block: BlockNumber,
+        dirty_block: bool,
         dirty_accts: &BTreeMap<Address, u32>,
         dirty_colls: &BTreeMap<Address, CollDirt>,
     ) -> FlushStats {
         let mut stats = FlushStats::default();
         // Structural pass: create/destroy leaves first so every index used
-        // by the batched update below is final.
+        // by the batched update below is final. The metadata leaf at
+        // position 0 is structural never — it exists for every state.
         for &who in dirty_accts.keys() {
             match (accounts.get(&who), self.acct_keys.binary_search(&who)) {
                 (Some(acct), Err(pos)) => {
                     self.acct_keys.insert(pos, who);
-                    self.tree.insert(pos, keccak256(&acct_preimage(who, acct)));
+                    self.tree
+                        .insert(1 + pos, keccak256(&acct_preimage(who, acct)));
                     stats.top_leaves += 1;
                 }
                 (None, Ok(pos)) => {
                     self.acct_keys.remove(pos);
-                    self.tree.remove(pos);
+                    self.tree.remove(1 + pos);
                     stats.top_leaves += 1;
                 }
                 _ => {}
             }
         }
-        let offset = self.acct_keys.len();
+        let offset = 1 + self.acct_keys.len();
         for &addr in dirty_colls.keys() {
             match (collections.get(&addr), self.coll_keys.binary_search(&addr)) {
                 (Some(coll), Err(pos)) => {
@@ -334,13 +394,16 @@ impl CommitCache {
         for &who in dirty_accts.keys() {
             if let (Some(acct), Ok(pos)) = (accounts.get(&who), self.acct_keys.binary_search(&who))
             {
-                acct_positions.push(pos);
+                acct_positions.push(1 + pos);
                 acct_preimages.push(acct_preimage(who, acct));
             }
         }
         let acct_hashes = keccak256_batch(acct_preimages.iter().map(Vec::as_slice));
         let mut updates: Vec<(usize, Hash32)> =
             acct_positions.into_iter().zip(acct_hashes).collect();
+        if dirty_block {
+            updates.push((0, keccak256(&meta_preimage(block))));
+        }
         for (&addr, dirt) in dirty_colls {
             if let (Some(coll), Ok(pos)) =
                 (collections.get(&addr), self.coll_keys.binary_search(&addr))
@@ -405,6 +468,9 @@ pub(crate) struct CommitSlot {
     cache: Option<Arc<CommitCache>>,
     dirty_accts: BTreeMap<Address, u32>,
     dirty_colls: BTreeMap<Address, CollDirt>,
+    /// Mutation count for the chain-metadata leaf (block number), with the
+    /// same count / [`STICKY`] semantics as the per-record maps.
+    dirty_block: u32,
     /// Journal length at the last cache build/flush. Entries below this
     /// index have no live forward mark (see the struct docs).
     hwm: usize,
@@ -431,6 +497,24 @@ impl CommitSlot {
             let c = self.dirty_accts.entry(who).or_insert(0);
             *c = c.saturating_add(1);
         }
+    }
+
+    /// Marks the chain-metadata leaf as touched (the block number advanced).
+    #[inline]
+    pub(crate) fn mark_block(&mut self) {
+        if self.cache.is_some() {
+            self.dirty_block = self.dirty_block.saturating_add(1);
+        }
+    }
+
+    /// Rollback-marks the metadata leaf: called when `revert_to` undoes the
+    /// block-advance journal entry at `index` (see [`CommitSlot::unmark_acct`]).
+    #[inline]
+    pub(crate) fn unmark_block(&mut self, index: usize) {
+        if self.cache.is_none() {
+            return;
+        }
+        self.dirty_block = unwind(self.dirty_block, index < self.hwm);
     }
 
     /// Marks a whole collection as touched (deployed, arbitrarily mutated
@@ -520,9 +604,10 @@ impl CommitSlot {
     }
 
     /// Number of records currently marked dirty (telemetry/test hook). A
-    /// collection counts once however many of its tokens are dirty.
+    /// collection counts once however many of its tokens are dirty; the
+    /// metadata leaf counts as one record when the block number moved.
     pub(crate) fn dirty_records(&self) -> usize {
-        self.dirty_accts.len() + self.dirty_colls.len()
+        self.dirty_accts.len() + self.dirty_colls.len() + usize::from(self.dirty_block != 0)
     }
 
     /// Resets the high-water mark for a fork: clones get a fresh, empty
@@ -541,6 +626,7 @@ impl CommitSlot {
         &mut self,
         accounts: &BTreeMap<Address, AccountState>,
         collections: &BTreeMap<Address, Collection>,
+        block: BlockNumber,
         journal_len: usize,
     ) -> Hash32 {
         let _span = parole_telemetry::span("state.root");
@@ -549,33 +635,44 @@ impl CommitSlot {
         let root = match self.cache.as_mut() {
             None => {
                 parole_telemetry::counter("state.commit_builds", 1);
-                let cache = CommitCache::build(accounts, collections);
+                let cache = CommitCache::build(accounts, collections, block);
                 let root = cache.tree.root();
                 self.cache = Some(Arc::new(cache));
                 self.dirty_accts.clear();
                 self.dirty_colls.clear();
+                self.dirty_block = 0;
                 self.hwm = journal_len;
                 root
             }
             Some(shared) => {
-                if self.dirty_accts.is_empty() && self.dirty_colls.is_empty() {
+                if self.dirty_accts.is_empty()
+                    && self.dirty_colls.is_empty()
+                    && self.dirty_block == 0
+                {
                     parole_telemetry::counter("state.root_clean_hits", 1);
                     return shared.tree.root();
                 }
-                parole_telemetry::observe(
-                    "state.dirty_records",
-                    (self.dirty_accts.len() + self.dirty_colls.len()) as u64,
-                );
+                let dirty_records = self.dirty_accts.len()
+                    + self.dirty_colls.len()
+                    + usize::from(self.dirty_block != 0);
+                parole_telemetry::observe("state.dirty_records", dirty_records as u64);
                 // Copy-on-write: forks share the parent's clean cache until
                 // one side actually flushes new dirt through it.
                 let cache = Arc::make_mut(shared);
-                let stats =
-                    cache.apply(accounts, collections, &self.dirty_accts, &self.dirty_colls);
+                let stats = cache.apply(
+                    accounts,
+                    collections,
+                    block,
+                    self.dirty_block != 0,
+                    &self.dirty_accts,
+                    &self.dirty_colls,
+                );
                 parole_telemetry::observe("state.leaves_flushed", stats.top_leaves as u64);
                 parole_telemetry::observe("state.coll_leaves_flushed", stats.coll_leaves as u64);
                 parole_telemetry::observe("state.token_leaves_flushed", stats.token_leaves as u64);
                 self.dirty_accts.clear();
                 self.dirty_colls.clear();
+                self.dirty_block = 0;
                 self.hwm = journal_len;
                 cache.tree.root()
             }
@@ -587,16 +684,87 @@ impl CommitSlot {
         root
     }
 
-    /// Test-only sabotage: tampers with one cached top-level leaf *without*
-    /// marking it dirty, emulating a cache whose invalidation hooks missed
-    /// a mutation. Returns `false` when there is no materialized leaf to
-    /// corrupt.
+    /// Ensures the cache is materialized and fully flushed (same contract as
+    /// [`CommitSlot::root`]), then hands out a shared reference for proof
+    /// generation.
+    fn fresh_cache(
+        &mut self,
+        accounts: &BTreeMap<Address, AccountState>,
+        collections: &BTreeMap<Address, Collection>,
+        block: BlockNumber,
+        journal_len: usize,
+    ) -> &CommitCache {
+        let _ = self.root(accounts, collections, block, journal_len);
+        self.cache.as_ref().expect("root() materialized the cache")
+    }
+
+    /// Sibling path of `who`'s account leaf in the top-level tree, plus the
+    /// committed root it verifies against. `None` when the account does not
+    /// exist.
+    pub(crate) fn prove_acct(
+        &mut self,
+        accounts: &BTreeMap<Address, AccountState>,
+        collections: &BTreeMap<Address, Collection>,
+        block: BlockNumber,
+        journal_len: usize,
+        who: Address,
+    ) -> Option<MerkleProof> {
+        let cache = self.fresh_cache(accounts, collections, block, journal_len);
+        let pos = cache.acct_keys.binary_search(&who).ok()?;
+        cache.tree.prove(1 + pos)
+    }
+
+    /// Sibling path of `addr`'s collection-header leaf in the top-level
+    /// tree, plus the committed sub-tree root its preimage embeds. `None`
+    /// when no collection is deployed at `addr`.
+    pub(crate) fn prove_coll_header(
+        &mut self,
+        accounts: &BTreeMap<Address, AccountState>,
+        collections: &BTreeMap<Address, Collection>,
+        block: BlockNumber,
+        journal_len: usize,
+        addr: Address,
+    ) -> Option<(Hash32, MerkleProof)> {
+        let cache = self.fresh_cache(accounts, collections, block, journal_len);
+        let pos = cache.coll_keys.binary_search(&addr).ok()?;
+        let sub_root = cache.coll_subs[pos].root();
+        let path = cache.tree.prove(1 + cache.acct_keys.len() + pos)?;
+        Some((sub_root, path))
+    }
+
+    /// The two sibling paths of a token-inclusion proof: the token leaf's
+    /// path inside its collection's sub-tree, and the collection header
+    /// leaf's path in the top-level tree. `None` when the collection or the
+    /// token does not exist.
+    pub(crate) fn prove_token(
+        &mut self,
+        accounts: &BTreeMap<Address, AccountState>,
+        collections: &BTreeMap<Address, Collection>,
+        block: BlockNumber,
+        journal_len: usize,
+        addr: Address,
+        token: TokenId,
+    ) -> Option<(MerkleProof, MerkleProof)> {
+        let cache = self.fresh_cache(accounts, collections, block, journal_len);
+        let pos = cache.coll_keys.binary_search(&addr).ok()?;
+        let sub = &cache.coll_subs[pos];
+        let token_pos = sub.tokens.binary_search(&token).ok()?;
+        let token_path = sub.tree.prove(token_pos)?;
+        let header_path = cache.tree.prove(1 + cache.acct_keys.len() + pos)?;
+        Some((token_path, header_path))
+    }
+
+    /// Test-only sabotage: tampers with one cached top-level *record* leaf
+    /// (the first account — index 0 is the metadata leaf, which no record
+    /// mutation would ever repair) *without* marking it dirty, emulating a
+    /// cache whose invalidation hooks missed a mutation. Returns `false`
+    /// when there is no materialized account leaf to corrupt.
     pub(crate) fn corrupt_for_tests(&mut self) -> bool {
         match self.cache.as_mut() {
-            Some(shared) if !shared.tree.is_empty() => {
+            Some(shared) if !shared.acct_keys.is_empty() => {
                 Arc::make_mut(shared)
                     .tree
-                    .update(0, keccak256(b"deliberately stale leaf"));
+                    .update(1, keccak256(b"deliberately stale leaf"));
                 true
             }
             _ => false,
@@ -619,7 +787,7 @@ impl CommitSlot {
             return false;
         };
         let cache = Arc::make_mut(shared);
-        let offset = cache.acct_keys.len();
+        let offset = 1 + cache.acct_keys.len();
         for pos in 0..cache.coll_subs.len() {
             let addr = cache.coll_keys[pos];
             let Some(coll) = collections.get(&addr) else {

@@ -31,8 +31,13 @@
 mod account;
 mod commit;
 mod journal;
+mod proofs;
 mod world;
 
 pub use account::AccountState;
+pub use commit::CollectionHeader;
 pub use journal::{key_sets_conflict, Checkpoint, RecordKey};
+pub use proofs::{
+    AccountInclusionProof, CollectionInclusionProof, RecordProof, TokenInclusionProof,
+};
 pub use world::{L2State, StateError};

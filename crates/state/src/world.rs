@@ -287,7 +287,10 @@ impl L2State {
                         }
                     }
                 }
-                JournalEntry::Block { prev } => self.block = prev,
+                JournalEntry::Block { prev } => {
+                    Self::slot_mut(&mut self.commit).unmark_block(index);
+                    self.block = prev;
+                }
                 JournalEntry::CollectionDeployed { addr } => {
                     Self::slot_mut(&mut self.commit).unmark_coll(addr, index);
                     self.collections.remove(&addr);
@@ -342,7 +345,12 @@ impl L2State {
     }
 
     /// Advances the block number (called by the rollup when a batch seals).
+    ///
+    /// The block number is committed state — the metadata leaf of the state
+    /// root covers it — so this dirties the commitment like any other
+    /// mutation.
     pub fn advance_block(&mut self) {
+        Self::slot_mut(&mut self.commit).mark_block();
         if self.journal.recording {
             self.journal
                 .entries
@@ -726,8 +734,8 @@ impl L2State {
         self.balance_of(who) + nft_value
     }
 
-    /// The Merkle state root committing to every account and every
-    /// collection's ownership/supply state.
+    /// The Merkle state root committing to the block number, every account
+    /// and every collection's ownership/supply state.
     ///
     /// Leaves are `keccak(domain ‖ key ‖ length-prefixed record)` in
     /// deterministic (BTreeMap) order, so two states with identical contents
@@ -745,6 +753,7 @@ impl L2State {
         self.commit_slot().root(
             &self.accounts,
             &self.collections,
+            self.block,
             self.journal.entries.len(),
         )
     }
@@ -762,15 +771,22 @@ impl L2State {
     /// [`MerkleTree`] rebuilds — sharing nothing with `crate::commit`
     /// except the specification:
     ///
+    /// - metadata leaf: `"meta" ‖ block number (8B BE)`;
     /// - token leaf: `"tokn" ‖ token (8B BE) ‖ owner (20B) ‖ approved
     ///   operator or zero (20B)`, in token-id order per collection;
     /// - collection leaf: `"coll" ‖ address ‖ remaining-supply ‖
     ///   active-supply ‖ approval-count ‖ sub-tree root`;
     /// - account leaf: `"acct" ‖ address ‖ len(encoding) ‖ encoding`;
-    /// - top level: all account leaves in address order, then all
-    ///   collection leaves in address order.
+    /// - top level: the metadata leaf, then all account leaves in address
+    ///   order, then all collection leaves in address order.
     pub fn state_root_naive(&self) -> Hash32 {
-        let mut leaves = Vec::with_capacity(self.accounts.len() + self.collections.len());
+        let mut leaves = Vec::with_capacity(1 + self.accounts.len() + self.collections.len());
+        {
+            let mut buf = Vec::with_capacity(12);
+            buf.extend_from_slice(b"meta");
+            buf.extend_from_slice(&self.block.value().to_be_bytes());
+            leaves.push(keccak256(&buf));
+        }
         for (addr, acct) in &self.accounts {
             let encoded = acct.encode();
             let mut buf = Vec::with_capacity(28 + encoded.len());
@@ -804,6 +820,101 @@ impl L2State {
             leaves.push(keccak256(&buf));
         }
         MerkleTree::from_leaves(leaves).root()
+    }
+
+    /// Opens `who`'s account record against the current state root: the
+    /// claimed balance/nonce plus the sibling path binding them to
+    /// [`L2State::state_root`]. `None` when the account does not exist.
+    ///
+    /// Generation flushes the commitment cache if needed and then reads the
+    /// resident tree levels — O(log n). Verification
+    /// ([`AccountInclusionProof::verify`](crate::AccountInclusionProof::verify))
+    /// needs only the bare root.
+    pub fn prove_account(&self, who: Address) -> Option<crate::AccountInclusionProof> {
+        let account = *self.accounts.get(&who)?;
+        let path = self.commit_slot().prove_acct(
+            &self.accounts,
+            &self.collections,
+            self.block,
+            self.journal.entries.len(),
+            who,
+        )?;
+        Some(crate::AccountInclusionProof {
+            address: who,
+            account,
+            path,
+        })
+    }
+
+    /// Opens the header of the collection at `collection` (supply counters
+    /// + committed sub-root) against the current state root. `None` when no
+    /// collection is deployed there.
+    pub fn prove_collection(&self, collection: Address) -> Option<crate::CollectionInclusionProof> {
+        let coll = self.collections.get(&collection)?;
+        let header = crate::CollectionHeader::of(coll);
+        let (sub_root, path) = self.commit_slot().prove_coll_header(
+            &self.accounts,
+            &self.collections,
+            self.block,
+            self.journal.entries.len(),
+            collection,
+        )?;
+        Some(crate::CollectionInclusionProof {
+            collection,
+            header,
+            sub_root,
+            path,
+        })
+    }
+
+    /// Opens the token record `(collection, token)` — owner and approved
+    /// operator — against the current state root, composing the token
+    /// leaf's sub-tree path with the collection header's top-level path.
+    /// `None` when the collection or the token does not exist.
+    pub fn prove_token(
+        &self,
+        collection: Address,
+        token: TokenId,
+    ) -> Option<crate::TokenInclusionProof> {
+        let coll = self.collections.get(&collection)?;
+        let owner = coll.owner_of(token)?;
+        let approved = coll.get_approved(token).unwrap_or(Address::ZERO);
+        let header = crate::CollectionHeader::of(coll);
+        let (token_path, header_path) = self.commit_slot().prove_token(
+            &self.accounts,
+            &self.collections,
+            self.block,
+            self.journal.entries.len(),
+            collection,
+            token,
+        )?;
+        Some(crate::TokenInclusionProof {
+            collection,
+            token,
+            owner,
+            approved,
+            token_path,
+            header,
+            header_path,
+        })
+    }
+
+    /// Opens whatever record `key` names against the current state root.
+    /// Whole-collection keys settle at header granularity (the header's
+    /// sub-root commits to every token of the collection). `None` when the
+    /// record does not exist in this state — absence has no inclusion
+    /// proof; the settlement protocol treats a missing opening as a
+    /// divergence in itself.
+    pub fn prove_record(&self, key: &RecordKey) -> Option<crate::RecordProof> {
+        match *key {
+            RecordKey::Acct(who) => self.prove_account(who).map(crate::RecordProof::Account),
+            RecordKey::Coll(addr) | RecordKey::CollAll(addr) => self
+                .prove_collection(addr)
+                .map(crate::RecordProof::Collection),
+            RecordKey::Token(addr, token) => {
+                self.prove_token(addr, token).map(crate::RecordProof::Token)
+            }
+        }
     }
 
     /// Test-only sabotage hook for the audit mutation-smoke harness: forces
@@ -1004,8 +1115,28 @@ mod tests {
     }
 
     #[test]
-    fn empty_state_has_sentinel_root() {
-        assert!(L2State::new().state_root().is_zero());
+    fn empty_state_root_commits_the_block_number() {
+        // Even an empty world commits its block number through the metadata
+        // leaf, so the root is non-zero and moves when the block advances.
+        let mut s = L2State::new();
+        let genesis = s.state_root();
+        assert!(!genesis.is_zero());
+        assert_eq!(genesis, s.state_root_naive());
+        s.advance_block();
+        assert_ne!(s.state_root(), genesis);
+        assert_eq!(s.state_root(), s.state_root_naive());
+    }
+
+    #[test]
+    fn advance_block_moves_and_revert_restores_the_root() {
+        let (mut s, _) = journaled_fixture();
+        let before = s.state_root();
+        let cp = s.checkpoint();
+        s.advance_block();
+        assert_ne!(s.state_root(), before);
+        s.revert_to(cp);
+        assert_eq!(s.state_root(), before);
+        assert_eq!(s.state_root(), s.state_root_naive());
     }
 
     /// A state with accounts, a collection and some minted tokens, used as

@@ -115,6 +115,46 @@ pub const METRICS: &[MetricDescriptor] = &[
     ),
     m("fleet.cells", Counter, "Fleet-sweep cells evaluated"),
     m(
+        "fraud.bisection_games",
+        Counter,
+        "Interactive bisection challenge games played to settlement",
+    ),
+    m(
+        "fraud.bisection_rounds",
+        Histogram,
+        "Bisection rounds (midpoint root queries) per interactive challenge",
+    ),
+    m(
+        "fraud.defender_wins",
+        Counter,
+        "Interactive challenges settled in the defender's favour",
+    ),
+    m(
+        "fraud.diverging_records",
+        Histogram,
+        "Diverging record openings found per confirmed single-step fraud",
+    ),
+    m(
+        "fraud.fraud_confirmed",
+        Counter,
+        "Interactive challenges that confirmed fraud at the isolated step",
+    ),
+    m(
+        "fraud.proof_bytes",
+        Histogram,
+        "Serialized size of each record opening verified at settlement",
+    ),
+    m(
+        "fraud.record_proofs_verified",
+        Counter,
+        "Record-inclusion proofs checked against bare roots at settlement",
+    ),
+    m(
+        "fraud.step_roots_recorded",
+        Counter,
+        "Per-transaction intermediate roots recorded at block seal",
+    ),
+    m(
         "mdp.evaluate",
         Span,
         "One exhaustive MDP evaluation of a candidate window",

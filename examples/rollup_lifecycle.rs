@@ -89,9 +89,14 @@ fn main() {
     let forged_id = rollup.submit_batch(forged).unwrap();
 
     match rollup.challenge(VerifierId::new(0), forged_id).unwrap() {
-        ChallengeOutcome::FraudProven { slashed, reward } => {
+        ChallengeOutcome::FraudProven {
+            slashed,
+            reward,
+            burned,
+        } => {
             println!(
-                "challenge succeeded: aggregator slashed {slashed}, verifier rewarded {reward}"
+                "challenge succeeded: aggregator slashed {slashed}, \
+                 verifier rewarded {reward}, remainder burned {burned}"
             );
         }
         other => println!("unexpected outcome: {other:?}"),
