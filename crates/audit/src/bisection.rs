@@ -89,7 +89,10 @@ impl fmt::Display for BisectionViolation {
                 write!(f, "claimed trace holds {got} roots, batch needs {expected}")
             }
             BisectionViolation::PreRootMismatch { expected, got } => {
-                write!(f, "claimed pre-root {got} is not the batch pre-root {expected}")
+                write!(
+                    f,
+                    "claimed pre-root {got} is not the batch pre-root {expected}"
+                )
             }
             BisectionViolation::SearchInconsistent { linear, binary } => write!(
                 f,

@@ -625,5 +625,8 @@ fn dropped_slash_remainder_trips_the_bond_flow_auditor() {
 
     // The buggy split — reward accounted, remainder dropped — fires.
     let err = check_bond_flow(slashed, reward, Wei::ZERO).unwrap_err();
-    assert!(matches!(err, ConservationViolation::BondNotConserved { .. }));
+    assert!(matches!(
+        err,
+        ConservationViolation::BondNotConserved { .. }
+    ));
 }

@@ -334,6 +334,44 @@ fn bench_parallel_exec(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_traffic(c: &mut Criterion) {
+    use parole_bench::traffic::{generate_blocks, run_traffic, PoolVariant, TrafficConfig};
+    use parole_mempool::ExecMode;
+    use parole_primitives::StorageBackend;
+
+    let mut group = c.benchmark_group("traffic");
+    // One iteration is a whole (small) sustained-traffic run — world build,
+    // standing backlog, warm-up block and timed blocks — so keep the
+    // dimensions modest and the sample count low.
+    group.sample_size(10);
+    let mut cfg = TrafficConfig::fast();
+    cfg.accounts = 2_000;
+    cfg.blocks = 6;
+    cfg.backlog = 2_000;
+    let schedule = generate_blocks(&cfg);
+    for (name, variant) in [
+        ("arena_indexed", PoolVariant::Indexed),
+        ("btree_legacy_sort", PoolVariant::LegacyFullSort),
+    ] {
+        let backend = match variant {
+            PoolVariant::Indexed => StorageBackend::Arena,
+            PoolVariant::LegacyFullSort => StorageBackend::BTree,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("seal_pipeline", name),
+            &variant,
+            |b, &v| {
+                b.iter(|| {
+                    let run = run_traffic(&cfg, &schedule, backend, v, ExecMode::Serial);
+                    assert!(run.root_matches_naive);
+                    black_box(run.blocks_per_sec)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_dqn(c: &mut Criterion) {
     let mut group = c.benchmark_group("dqn");
     // The paper-shaped network for a mempool of 50: 400 inputs, C(50,2)
@@ -354,6 +392,6 @@ criterion_group!(
         .sample_size(10)
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_crypto, bench_ovm, bench_state_root, bench_nft_flush, bench_mempool, bench_calldata, bench_reorder_env, bench_parallel_exec, bench_dqn
+    targets = bench_crypto, bench_ovm, bench_state_root, bench_nft_flush, bench_mempool, bench_calldata, bench_reorder_env, bench_parallel_exec, bench_traffic, bench_dqn
 );
 criterion_main!(kernels);

@@ -20,6 +20,7 @@
 pub mod economy;
 pub mod kde;
 pub mod report;
+pub mod traffic;
 
 use parole::GentranseqModule;
 use parole_drl::DqnConfig;

@@ -59,7 +59,28 @@ pub fn run_meta() -> Value {
             Value::Str("timestamp".into()),
             Value::Str(iso_timestamp_utc()),
         ),
+        (
+            Value::Str("peak_rss_bytes".into()),
+            Value::Num(serde::Number::UInt(peak_rss_bytes() as u128)),
+        ),
     ])
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable.
+/// Stamped into every record's provenance envelope so a BENCH_*.json
+/// documents the memory footprint of the run that produced it.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 /// Short commit hash of HEAD, or `"unknown"` outside a git checkout.
@@ -197,7 +218,23 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(keys, ["git_revision", "threads", "features", "timestamp"]);
+        assert_eq!(
+            keys,
+            [
+                "git_revision",
+                "threads",
+                "features",
+                "timestamp",
+                "peak_rss_bytes"
+            ]
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0, "a live process has a resident set");
+        }
     }
 
     #[test]

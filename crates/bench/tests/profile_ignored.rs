@@ -1,0 +1,40 @@
+//! Ignored-by-default profiling probes for the sustained-traffic harness.
+//! Run explicitly: `cargo test -p parole-bench --release --test profile_ignored -- --ignored --nocapture`
+
+use parole_bench::traffic::{build_world, generate_blocks, TrafficConfig};
+use parole_ovm::Ovm;
+use parole_primitives::StorageBackend;
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn profile_block_phases_at_scale() {
+    let mut cfg = TrafficConfig::full();
+    cfg.blocks = 8;
+    let schedule = generate_blocks(&cfg);
+    for backend in [StorageBackend::Arena, StorageBackend::BTree] {
+        let t = Instant::now();
+        let mut state = build_world(&cfg, backend);
+        let build_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let _ = state.state_root();
+        let genesis_s = t.elapsed().as_secs_f64();
+        let ovm = Ovm::new();
+        let mut exec_s = 0.0;
+        let mut root_s = 0.0;
+        for block in &schedule {
+            let t = Instant::now();
+            let receipts = ovm.execute_sequence(&mut state, block);
+            exec_s += t.elapsed().as_secs_f64();
+            assert!(receipts.iter().all(|r| r.is_success()));
+            let t = Instant::now();
+            std::hint::black_box(state.state_root());
+            root_s += t.elapsed().as_secs_f64();
+        }
+        println!(
+            "{backend:?}: build {build_s:.2}s genesis-root {genesis_s:.2}s exec {:.1}ms/blk root {:.1}ms/blk",
+            exec_s * 1e3 / schedule.len() as f64,
+            root_s * 1e3 / schedule.len() as f64
+        );
+    }
+}

@@ -199,7 +199,13 @@ mod tests {
         let ifu = addr(1000);
         state.credit(ifu, Wei::from_milli_eth(1500));
         state.credit(addr(11), Wei::from_eth(1));
-        for (owner, token) in [(ifu, 0), (ifu, 1), (addr(1), 2), (addr(2), 3), (addr(13), 4)] {
+        for (owner, token) in [
+            (ifu, 0),
+            (ifu, 1),
+            (addr(1), 2),
+            (addr(2), 3),
+            (addr(13), 4),
+        ] {
             state
                 .nft_mint(pt, owner, TokenId::new(token))
                 .unwrap()

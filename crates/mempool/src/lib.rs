@@ -11,8 +11,10 @@
 //!
 //! This crate provides:
 //!
-//! - [`BedrockMempool`] — the fee-priority queue with FIFO tie-breaking and
-//!   fixed-interval block pacing;
+//! - [`BedrockMempool`] — a lazily-maintained priority index (max-heap on
+//!   effective tip with FIFO tie-breaking, parked sub-cap transactions,
+//!   optional per-sender chains) with fixed-interval block pacing —
+//!   `collect(n)` is O(n log P), not a full-pool sort;
 //! - [`SharedMempool`] — a thread-safe handle for fleet simulations where
 //!   many aggregators drain one mempool concurrently;
 //! - [`WorkloadGenerator`] — generates NFT transaction traffic that is
@@ -52,6 +54,6 @@ mod sequencer;
 mod workload;
 
 pub use fee_market::BaseFeeController;
-pub use pool::{BedrockMempool, SharedMempool};
+pub use pool::{BedrockMempool, PoolOpStats, SharedMempool};
 pub use sequencer::{ExecMode, Screened, ScreeningHook, SealedBlock, Sequencer};
-pub use workload::{WorkloadConfig, WorkloadGenerator};
+pub use workload::{WorkloadConfig, WorkloadGenerator, ZipfSampler};

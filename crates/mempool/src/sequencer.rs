@@ -167,6 +167,18 @@ impl Sequencer {
         self.fee_controller.base_fee()
     }
 
+    /// The per-block gas limit.
+    pub fn gas_limit(&self) -> Gas {
+        self.gas_limit
+    }
+
+    /// Adjusts the per-block gas limit (the L1-style limit drift real
+    /// sequencers apply between blocks). The fee controller's target is
+    /// unchanged; only block filling is affected.
+    pub fn set_gas_limit(&mut self, gas_limit: Gas) {
+        self.gas_limit = gas_limit;
+    }
+
     /// Seals one block: pulls fee-ordered transactions until the gas limit,
     /// optionally runs the screening hook (deferred transactions go back to
     /// the mempool), updates the base fee from the block's fullness and
@@ -178,23 +190,11 @@ impl Sequencer {
     ) -> SealedBlock {
         let _span = parole_telemetry::span("sequencer.seal_block");
         parole_telemetry::observe("sequencer.mempool_depth", self.mempool.len() as u64);
-        // Pull candidates up to the gas limit.
-        let mut candidates = Vec::new();
-        let mut gas = Gas::ZERO;
-        loop {
-            let next = self.mempool.collect(1);
-            let Some(tx) = next.into_iter().next() else {
-                break;
-            };
-            let tx_gas = self.gas_schedule.gas_for(&tx.kind);
-            if (gas + tx_gas).units() > self.gas_limit.units() {
-                // Does not fit: park it again and stop filling.
-                self.mempool.submit(tx);
-                break;
-            }
-            gas += tx_gas;
-            candidates.push(tx);
-        }
+        // Pull candidates up to the gas limit in one index pass; the first
+        // transaction that does not fit is never removed from the pool.
+        let candidates = self
+            .mempool
+            .collect_block(&self.gas_schedule, self.gas_limit);
 
         // Screening (§VIII): deferred transactions return to the mempool.
         let txs = match screening {

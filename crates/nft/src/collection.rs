@@ -1,8 +1,9 @@
 //! The limited-edition ERC-721 collection state machine.
 
+use crate::token_table::TokenTable;
 use crate::{Erc721Event, NftError};
-use parole_primitives::{Address, TokenId, Wei};
-use serde::{Deserialize, Serialize};
+use parole_primitives::{storage_backend, Address, StorageBackend, TokenId, Wei};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -90,13 +91,13 @@ impl CollectionUndo {
 /// - `remaining_supply() == max_supply − owners.len()` (`S^t` in the paper);
 /// - the event log grows monotonically and replaying it reconstructs the
 ///   ownership map (checked by tests).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Collection {
     config: CollectionConfig,
-    /// Current owner of every *active* (minted, not burned) token.
-    owners: BTreeMap<TokenId, Address>,
-    /// Per-token approved operator (cleared on every transfer/burn).
-    approvals: BTreeMap<TokenId, Address>,
+    /// Active-token records: owner + approved operator per token, on either
+    /// the flat-arena or the baseline `BTreeMap` backend. Equality,
+    /// iteration order and serialization are backend-independent.
+    tokens: TokenTable,
     /// Append-only event log.
     events: Vec<Erc721Event>,
     /// Lifetime counters (for snapshot/marketplace statistics).
@@ -113,16 +114,33 @@ impl Collection {
     /// Panics if `max_supply` is zero — a collection that can never mint is
     /// a deployment bug.
     pub fn new(config: CollectionConfig) -> Self {
+        Self::with_backend(config, storage_backend())
+    }
+
+    /// Deploys a new collection on an explicit storage backend — used by
+    /// benchmarks and differential tests that A/B both layouts in one
+    /// process. [`Collection::new`] uses the process-wide default
+    /// ([`parole_primitives::storage_backend`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_supply` is zero — a collection that can never mint is
+    /// a deployment bug.
+    pub fn with_backend(config: CollectionConfig, backend: StorageBackend) -> Self {
         assert!(config.max_supply > 0, "max_supply must be positive");
         Collection {
             config,
-            owners: BTreeMap::new(),
-            approvals: BTreeMap::new(),
+            tokens: TokenTable::new(backend),
             events: Vec::new(),
             total_mints: 0,
             total_transfers: 0,
             total_burns: 0,
         }
+    }
+
+    /// Which storage backend this collection's token table uses.
+    pub fn backend(&self) -> StorageBackend {
+        self.tokens.backend()
     }
 
     /// The deployment configuration.
@@ -132,12 +150,12 @@ impl Collection {
 
     /// Number of tokens still mintable (`S^t`). Burning frees supply.
     pub fn remaining_supply(&self) -> u64 {
-        self.config.max_supply - self.owners.len() as u64
+        self.config.max_supply - self.tokens.active_count() as u64
     }
 
     /// Number of currently active tokens.
     pub fn active_supply(&self) -> u64 {
-        self.owners.len() as u64
+        self.tokens.active_count() as u64
     }
 
     /// The current bonding-curve price (paper Eq. 10):
@@ -163,7 +181,7 @@ impl Collection {
 
     /// Current owner of `token`, if it is active.
     pub fn owner_of(&self, token: TokenId) -> Option<Address> {
-        self.owners.get(&token).copied()
+        self.tokens.owner_of(token)
     }
 
     /// `true` when `who` currently owns `token` (`O_k^{i,t}`).
@@ -173,21 +191,21 @@ impl Collection {
 
     /// Number of active tokens owned by `who` (ERC-721 `balanceOf`).
     pub fn balance_of(&self, who: Address) -> u64 {
-        self.owners.values().filter(|&&o| o == who).count() as u64
+        self.tokens.balance_of(who)
     }
 
     /// The active tokens owned by `who`, in token-id order.
     pub fn tokens_of(&self, who: Address) -> Vec<TokenId> {
-        self.owners
+        self.tokens
             .iter()
-            .filter(|(_, &o)| o == who)
-            .map(|(&t, _)| t)
+            .filter(|&(_, o)| o == who)
+            .map(|(t, _)| t)
             .collect()
     }
 
     /// Iterates over `(token, owner)` pairs of active tokens.
     pub fn iter(&self) -> impl Iterator<Item = (TokenId, Address)> + '_ {
-        self.owners.iter().map(|(&t, &o)| (t, o))
+        self.tokens.iter()
     }
 
     /// The append-only event log.
@@ -205,18 +223,19 @@ impl Collection {
     pub fn next_free_token(&self) -> Option<TokenId> {
         (0..self.config.max_supply)
             .map(TokenId::new)
-            .find(|t| !self.owners.contains_key(t))
+            .find(|&t| !self.tokens.contains(t))
     }
 
     /// Simple metadata URI (ERC-721 `tokenURI`).
     pub fn token_uri(&self, token: TokenId) -> Option<String> {
-        self.owners.get(&token).map(|_| {
-            format!(
-                "ipfs://{}/{}",
-                self.config.symbol.to_lowercase(),
-                token.value()
-            )
-        })
+        if !self.tokens.contains(token) {
+            return None;
+        }
+        Some(format!(
+            "ipfs://{}/{}",
+            self.config.symbol.to_lowercase(),
+            token.value()
+        ))
     }
 
     /// Checks the contract-level mint constraints without mutating
@@ -225,7 +244,7 @@ impl Collection {
         if token.value() >= self.config.max_supply {
             return Err(NftError::InvalidTokenId(token));
         }
-        if self.owners.contains_key(&token) {
+        if self.tokens.contains(token) {
             return Err(NftError::AlreadyMinted(token));
         }
         if self.remaining_supply() == 0 {
@@ -258,7 +277,7 @@ impl Collection {
         self.can_mint(token)?;
         let undo = self.undo_point(token);
         let old_price = self.price();
-        self.owners.insert(token, to);
+        self.tokens.set_owner(token, to);
         self.total_mints += 1;
         self.events.push(Erc721Event::Transfer {
             from: Address::ZERO,
@@ -315,8 +334,8 @@ impl Collection {
     ) -> Result<CollectionUndo, NftError> {
         self.can_transfer(from, to, token)?;
         let undo = self.undo_point(token);
-        self.owners.insert(token, to);
-        self.approvals.remove(&token);
+        self.tokens.set_owner(token, to);
+        self.tokens.set_approval(token, None);
         self.total_transfers += 1;
         self.events.push(Erc721Event::Transfer { from, to, token });
         Ok(undo)
@@ -361,9 +380,9 @@ impl Collection {
             Some(_) => {
                 let undo = self.undo_point(token);
                 if operator.is_zero() {
-                    self.approvals.remove(&token);
+                    self.tokens.set_approval(token, None);
                 } else {
-                    self.approvals.insert(token, operator);
+                    self.tokens.set_approval(token, Some(operator));
                 }
                 self.events.push(Erc721Event::Approval {
                     owner,
@@ -377,19 +396,19 @@ impl Collection {
 
     /// The approved operator for `token`, if any.
     pub fn get_approved(&self, token: TokenId) -> Option<Address> {
-        self.approvals.get(&token).copied()
+        self.tokens.approved(token)
     }
 
     /// Iterates over `(token, operator)` pairs of outstanding approvals, in
     /// token-id order.
     pub fn approvals(&self) -> impl Iterator<Item = (TokenId, Address)> + '_ {
-        self.approvals.iter().map(|(&t, &op)| (t, op))
+        self.tokens.approvals_iter()
     }
 
     /// Number of outstanding approvals — the count prefix of the collection
     /// commitment header.
     pub fn approval_count(&self) -> u64 {
-        self.approvals.len() as u64
+        self.tokens.approval_count()
     }
 
     /// Transfers on behalf of the owner; `operator` must be the owner or the
@@ -451,8 +470,7 @@ impl Collection {
         self.can_burn(owner, token)?;
         let undo = self.undo_point(token);
         let old_price = self.price();
-        self.owners.remove(&token);
-        self.approvals.remove(&token);
+        self.tokens.remove(token);
         self.total_burns += 1;
         self.events.push(Erc721Event::Transfer {
             from: owner,
@@ -469,18 +487,13 @@ impl Collection {
     pub fn apply_undo(&mut self, undo: CollectionUndo) {
         match undo.prev_owner {
             Some(owner) => {
-                self.owners.insert(undo.token, owner);
+                self.tokens.set_owner(undo.token, owner);
+                self.tokens.set_approval(undo.token, undo.prev_approval);
             }
             None => {
-                self.owners.remove(&undo.token);
-            }
-        }
-        match undo.prev_approval {
-            Some(operator) => {
-                self.approvals.insert(undo.token, operator);
-            }
-            None => {
-                self.approvals.remove(&undo.token);
+                // Undoing a mint: the token was inactive before, so it had no
+                // approval either — removal drops both.
+                self.tokens.remove(undo.token);
             }
         }
         self.events.truncate(undo.events_len);
@@ -490,8 +503,8 @@ impl Collection {
     fn undo_point(&self, token: TokenId) -> CollectionUndo {
         CollectionUndo {
             token,
-            prev_owner: self.owners.get(&token).copied(),
-            prev_approval: self.approvals.get(&token).copied(),
+            prev_owner: self.tokens.owner_of(token),
+            prev_approval: self.tokens.approved(token),
             events_len: self.events.len(),
             prev_counts: (self.total_mints, self.total_transfers, self.total_burns),
         }
@@ -513,6 +526,112 @@ impl Collection {
                 remaining_supply: self.remaining_supply(),
             });
         }
+    }
+}
+
+impl PartialEq for Collection {
+    /// Content equality, independent of the token-table backend: two
+    /// collections are equal iff they have the same config, the same active
+    /// `(token, owner)` and `(token, operator)` sets, the same event log and
+    /// the same lifetime counters. This is what the undo-path tests (and the
+    /// state journal's revert assertions) rely on.
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.total_mints == other.total_mints
+            && self.total_transfers == other.total_transfers
+            && self.total_burns == other.total_burns
+            && self.tokens.active_count() == other.tokens.active_count()
+            && self.tokens.approval_count() == other.tokens.approval_count()
+            && self.events == other.events
+            && self.tokens.iter().eq(other.tokens.iter())
+            && self
+                .tokens
+                .approvals_iter()
+                .eq(other.tokens.approvals_iter())
+    }
+}
+
+impl Eq for Collection {}
+
+impl Serialize for Collection {
+    /// Serializes to the exact shape the pre-arena derive produced — a
+    /// struct map with `owners` / `approvals` entries in token-id order — so
+    /// artifacts round-trip across backends (and across this PR).
+    fn to_value(&self) -> Value {
+        let owners: Vec<(Value, Value)> = self
+            .tokens
+            .iter()
+            .map(|(t, o)| (t.to_value(), o.to_value()))
+            .collect();
+        let approvals: Vec<(Value, Value)> = self
+            .tokens
+            .approvals_iter()
+            .map(|(t, op)| (t.to_value(), op.to_value()))
+            .collect();
+        Value::Map(vec![
+            (Value::Str("config".to_string()), self.config.to_value()),
+            (Value::Str("owners".to_string()), Value::Map(owners)),
+            (Value::Str("approvals".to_string()), Value::Map(approvals)),
+            (Value::Str("events".to_string()), self.events.to_value()),
+            (
+                Value::Str("total_mints".to_string()),
+                self.total_mints.to_value(),
+            ),
+            (
+                Value::Str("total_transfers".to_string()),
+                self.total_transfers.to_value(),
+            ),
+            (
+                Value::Str("total_burns".to_string()),
+                self.total_burns.to_value(),
+            ),
+        ])
+    }
+}
+
+/// Looks up a struct field in a serialized map value.
+fn struct_field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    match value {
+        Value::Map(entries) => entries
+            .iter()
+            .find(|(k, _)| matches!(k, Value::Str(s) if s == name))
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format!("Collection: missing field `{name}`"))),
+        other => Err(DeError::custom(format!(
+            "Collection: expected object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+impl Deserialize for Collection {
+    /// Rebuilds on the process-default backend; content equality is
+    /// backend-independent, so round-trips compare equal regardless of the
+    /// layout the serializer used.
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let config = CollectionConfig::from_value(struct_field(value, "config")?)?;
+        let owners = BTreeMap::<TokenId, Address>::from_value(struct_field(value, "owners")?)?;
+        let approvals =
+            BTreeMap::<TokenId, Address>::from_value(struct_field(value, "approvals")?)?;
+        let events = Vec::<Erc721Event>::from_value(struct_field(value, "events")?)?;
+        let total_mints = u64::from_value(struct_field(value, "total_mints")?)?;
+        let total_transfers = u64::from_value(struct_field(value, "total_transfers")?)?;
+        let total_burns = u64::from_value(struct_field(value, "total_burns")?)?;
+        let mut tokens = TokenTable::new(storage_backend());
+        for (t, o) in owners {
+            tokens.set_owner(t, o);
+        }
+        for (t, op) in approvals {
+            tokens.set_approval(t, Some(op));
+        }
+        Ok(Collection {
+            config,
+            tokens,
+            events,
+            total_mints,
+            total_transfers,
+            total_burns,
+        })
     }
 }
 

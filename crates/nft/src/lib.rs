@@ -41,7 +41,9 @@
 mod collection;
 mod error;
 mod event;
+mod token_table;
 
 pub use collection::{Collection, CollectionConfig, CollectionUndo};
 pub use error::NftError;
 pub use event::Erc721Event;
+pub use token_table::{TokenRec, TokenTable};

@@ -1,0 +1,640 @@
+//! Handle-interned flat-arena maps for the million-account hot path.
+//!
+//! [`FlatMap`] stores its records in dense slabs (`Vec<K>` / `Vec<V>`) and
+//! resolves keys through a small open-addressing index of `u32` slot handles.
+//! Compared to the pointer-chasing `BTreeMap` it replaces in the state and
+//! NFT crates it gives:
+//!
+//! - O(1) expected lookup/insert/remove with zero per-record allocation;
+//! - cache-friendly linear scans over the value slab (`values_unordered`);
+//! - stable `u32` handles ("slots") that act as the interned account id
+//!   (`Address → AcctId(u32)`) while a record stays in place — `remove`
+//!   uses swap-remove, so handles are only stable between removals;
+//! - a lazily-rebuilt sorted-order cache so deterministic key-sorted
+//!   iteration — which the commitment layer depends on for bit-identical
+//!   state roots — costs one `sort_unstable` after a burst of insertions
+//!   rather than a tree traversal per read.
+//!
+//! Determinism: the probe hash uses fixed multiply-xor constants (no
+//! `RandomState`), so index layout, iteration and behaviour are identical
+//! across runs and platforms. Sorted iteration is by `Ord` on the key and is
+//! byte-identical to iterating the equivalent `BTreeMap`.
+//!
+//! # Example
+//!
+//! ```
+//! use parole_primitives::{Address, FlatMap};
+//! let mut m: FlatMap<Address, u64> = FlatMap::new();
+//! m.insert(Address::from_low_u64(9), 90);
+//! m.insert(Address::from_low_u64(3), 30);
+//! assert_eq!(m.get(&Address::from_low_u64(3)), Some(&30));
+//! let keys: Vec<_> = m.iter_sorted().map(|(k, _)| *k).collect();
+//! assert_eq!(keys, vec![Address::from_low_u64(3), Address::from_low_u64(9)]);
+//! ```
+
+use crate::{Address, TokenId};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which backing store the state layer should use for its hot maps.
+///
+/// The arena layout is the production default; the `BTree` backend is kept
+/// as the in-process baseline so benchmarks (and the differential oracle)
+/// can A/B both layouts in a single run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageBackend {
+    /// Dense slab + open-addressing index ([`FlatMap`]).
+    Arena,
+    /// The original `std::collections::BTreeMap` layout.
+    BTree,
+}
+
+impl StorageBackend {
+    /// Short lowercase name, as accepted by `PAROLE_STATE_BACKEND`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StorageBackend::Arena => "arena",
+            StorageBackend::BTree => "btree",
+        }
+    }
+}
+
+/// The process-wide default backend for newly created states.
+///
+/// Reads `PAROLE_STATE_BACKEND` (`arena` | `btree`, case-insensitive) once;
+/// unset or unrecognized values fall back to [`StorageBackend::Arena`].
+/// Code that needs both layouts in one process (the bench harness, the
+/// differential tests) should use the explicit `with_backend` constructors
+/// instead of mutating the environment.
+pub fn storage_backend() -> StorageBackend {
+    static BACKEND: OnceLock<StorageBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| match std::env::var("PAROLE_STATE_BACKEND") {
+        Ok(v) if v.eq_ignore_ascii_case("btree") => StorageBackend::BTree,
+        _ => StorageBackend::Arena,
+    })
+}
+
+/// Keys usable in a [`FlatMap`]: cheaply copyable, totally ordered, and
+/// hashable through a deterministic fixed-constant mix.
+pub trait FlatKey: Copy + Ord + Eq + std::fmt::Debug {
+    /// A well-mixed 64-bit hash of the key. Must be deterministic across
+    /// runs and platforms (no per-process seeding).
+    fn flat_hash(&self) -> u64;
+}
+
+/// SplitMix64 finalizer: fixed constants, full avalanche.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FlatKey for Address {
+    fn flat_hash(&self) -> u64 {
+        let b = self.as_bytes();
+        let mut lo = [0u8; 8];
+        let mut hi = [0u8; 8];
+        let mut mid = [0u8; 4];
+        lo.copy_from_slice(&b[12..20]);
+        hi.copy_from_slice(&b[0..8]);
+        mid.copy_from_slice(&b[8..12]);
+        mix64(
+            u64::from_be_bytes(lo)
+                ^ u64::from_be_bytes(hi).rotate_left(17)
+                ^ u64::from(u32::from_be_bytes(mid)).rotate_left(41),
+        )
+    }
+}
+
+impl FlatKey for TokenId {
+    fn flat_hash(&self) -> u64 {
+        mix64(self.value())
+    }
+}
+
+impl FlatKey for u64 {
+    fn flat_hash(&self) -> u64 {
+        mix64(*self)
+    }
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// Lazily-maintained key-sorted view of the slab. `stale` flips on any
+/// insertion/removal; readers rebuild on demand and share the result via
+/// `Arc` so a rebuild is amortized across every reader until the next
+/// mutation.
+#[derive(Debug, Default)]
+struct OrderCache {
+    sorted: Arc<Vec<u32>>,
+    stale: bool,
+}
+
+/// A dense, handle-interned hash map. See the [module docs](self).
+#[derive(Debug)]
+pub struct FlatMap<K, V> {
+    keys: Vec<K>,
+    vals: Vec<V>,
+    /// Open-addressing table of slot handles into `keys`/`vals`.
+    /// Power-of-two length; `EMPTY` marks a free bucket.
+    index: Vec<u32>,
+    mask: usize,
+    order: Mutex<OrderCache>,
+}
+
+impl<K: FlatKey, V> Default for FlatMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: FlatKey, V> FlatMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty map pre-sized for `cap` records without rehashing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let buckets = Self::buckets_for(cap);
+        FlatMap {
+            keys: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+            index: vec![EMPTY; buckets],
+            mask: buckets - 1,
+            order: Mutex::new(OrderCache {
+                sorted: Arc::new(Vec::new()),
+                stale: false,
+            }),
+        }
+    }
+
+    fn buckets_for(records: usize) -> usize {
+        // Keep load factor under 1/2; minimum 8 buckets.
+        (records.max(4) * 2).next_power_of_two()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the map holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: &K) -> Option<usize> {
+        let mut i = (key.flat_hash() as usize) & self.mask;
+        loop {
+            let slot = self.index[i];
+            if slot == EMPTY {
+                return None;
+            }
+            if self.keys[slot as usize] == *key {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// The dense slot handle for `key`, if present. Stable until the next
+    /// removal from the map (removal swap-fills the freed slot).
+    #[inline]
+    pub fn slot_of(&self, key: &K) -> Option<u32> {
+        self.bucket_of(key).map(|b| self.index[b])
+    }
+
+    /// The key stored at a dense slot.
+    #[inline]
+    pub fn key_at(&self, slot: u32) -> &K {
+        &self.keys[slot as usize]
+    }
+
+    /// The value stored at a dense slot.
+    #[inline]
+    pub fn val_at(&self, slot: u32) -> &V {
+        &self.vals[slot as usize]
+    }
+
+    /// Mutable value at a dense slot.
+    #[inline]
+    pub fn val_at_mut(&mut self, slot: u32) -> &mut V {
+        &mut self.vals[slot as usize]
+    }
+
+    /// Shared reference to the value for `key`.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slot_of(key).map(|s| &self.vals[s as usize])
+    }
+
+    /// Mutable reference to the value for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.slot_of(key).map(|s| &mut self.vals[s as usize])
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.bucket_of(key).is_some()
+    }
+
+    fn grow(&mut self) {
+        let buckets = Self::buckets_for(self.keys.len() + 1);
+        if buckets <= self.index.len() {
+            return;
+        }
+        self.index = vec![EMPTY; buckets];
+        self.mask = buckets - 1;
+        for (slot, key) in self.keys.iter().enumerate() {
+            let mut i = (key.flat_hash() as usize) & self.mask;
+            while self.index[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.index[i] = slot as u32;
+        }
+    }
+
+    fn mark_stale(&mut self) {
+        // `&mut self` guarantees exclusivity; `lock` cannot block here.
+        self.order.lock().expect("order cache poisoned").stale = true;
+    }
+
+    /// Inserts or replaces, returning the previous value if any.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        if let Some(b) = self.bucket_of(&key) {
+            let slot = self.index[b] as usize;
+            return Some(std::mem::replace(&mut self.vals[slot], val));
+        }
+        if (self.keys.len() + 1) * 2 > self.index.len() {
+            self.grow();
+        }
+        let slot = self.keys.len() as u32;
+        let mut i = (key.flat_hash() as usize) & self.mask;
+        while self.index[i] != EMPTY {
+            i = (i + 1) & self.mask;
+        }
+        self.index[i] = slot;
+        self.keys.push(key);
+        self.vals.push(val);
+        self.mark_stale();
+        None
+    }
+
+    /// The value for `key`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        let slot = match self.slot_of(&key) {
+            Some(s) => s,
+            None => {
+                self.insert(key, default());
+                self.slot_of(&key).expect("just inserted")
+            }
+        };
+        &mut self.vals[slot as usize]
+    }
+
+    /// Removes `key`, returning its value. Swap-fills the freed dense slot
+    /// from the tail and repairs both index entries, then backward-shifts
+    /// the probe chain so linear probing needs no tombstones.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let bucket = self.bucket_of(key)?;
+        let slot = self.index[bucket] as usize;
+        self.remove_bucket(bucket);
+        let last = self.keys.len() - 1;
+        if slot != last {
+            // The record at `last` is about to swap into `slot`; repoint its
+            // index entry while the slab still holds it.
+            let moved = self
+                .bucket_of(&self.keys[last])
+                .expect("moved record must be indexed");
+            debug_assert_eq!(self.index[moved], last as u32);
+            self.index[moved] = slot as u32;
+        }
+        self.keys.swap_remove(slot);
+        let val = self.vals.swap_remove(slot);
+        self.mark_stale();
+        Some(val)
+    }
+
+    /// Backward-shift deletion for linear probing (Knuth 6.4 R): clears the
+    /// bucket and slides later chain members back so lookups never need to
+    /// probe across a hole.
+    fn remove_bucket(&mut self, mut i: usize) {
+        let mask = self.mask;
+        let mut j = i;
+        loop {
+            self.index[i] = EMPTY;
+            loop {
+                j = (j + 1) & mask;
+                let slot = self.index[j];
+                if slot == EMPTY {
+                    return;
+                }
+                let home = (self.keys[slot as usize].flat_hash() as usize) & mask;
+                // Move the record at `j` into the hole at `i` iff its home
+                // bucket lies cyclically outside (i, j].
+                if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                    self.index[i] = slot;
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drops every record, keeping allocations.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.vals.clear();
+        self.index.iter_mut().for_each(|b| *b = EMPTY);
+        self.mark_stale();
+    }
+
+    /// Unordered iteration in dense-slot order (cache-linear, not sorted).
+    pub fn iter_unordered(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.keys.iter().zip(self.vals.iter())
+    }
+
+    /// Unordered mutable iteration in dense-slot order.
+    pub fn iter_unordered_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.keys.iter().zip(self.vals.iter_mut())
+    }
+
+    /// Unordered value scan in dense-slot order.
+    pub fn values_unordered(&self) -> impl Iterator<Item = &V> {
+        self.vals.iter()
+    }
+
+    /// The key-sorted slot order, rebuilding the cache if stale. Cheap to
+    /// call repeatedly between mutations (`Arc` clone of the cached vec).
+    pub fn sorted_slots(&self) -> Arc<Vec<u32>> {
+        let mut guard = self.order.lock().expect("order cache poisoned");
+        if guard.stale || guard.sorted.len() != self.keys.len() {
+            let mut slots: Vec<u32> = (0..self.keys.len() as u32).collect();
+            slots.sort_unstable_by(|a, b| self.keys[*a as usize].cmp(&self.keys[*b as usize]));
+            guard.sorted = Arc::new(slots);
+            guard.stale = false;
+        }
+        Arc::clone(&guard.sorted)
+    }
+
+    /// Key-sorted iteration — byte-identical order to the equivalent
+    /// `BTreeMap`, as required for deterministic commitment preimages.
+    pub fn iter_sorted(&self) -> SortedIter<'_, K, V> {
+        SortedIter {
+            map: self,
+            order: self.sorted_slots(),
+            pos: 0,
+        }
+    }
+
+    /// Key-sorted key iteration.
+    pub fn keys_sorted(&self) -> impl Iterator<Item = &K> {
+        self.iter_sorted().map(|(k, _)| k)
+    }
+}
+
+/// Iterator over a [`FlatMap`] in key-sorted order. Holds an `Arc` of the
+/// order cache, so it stays valid (and cheap) across concurrent readers.
+pub struct SortedIter<'a, K, V> {
+    map: &'a FlatMap<K, V>,
+    order: Arc<Vec<u32>>,
+    pos: usize,
+}
+
+impl<'a, K: FlatKey, V> Iterator for SortedIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let slot = *self.order.get(self.pos)?;
+        self.pos += 1;
+        Some((&self.map.keys[slot as usize], &self.map.vals[slot as usize]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.order.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl<'a, K: FlatKey, V> ExactSizeIterator for SortedIter<'a, K, V> {}
+
+impl<K: FlatKey, V: Clone> Clone for FlatMap<K, V> {
+    fn clone(&self) -> Self {
+        let guard = self.order.lock().expect("order cache poisoned");
+        let order = OrderCache {
+            sorted: Arc::clone(&guard.sorted),
+            stale: guard.stale,
+        };
+        drop(guard);
+        FlatMap {
+            keys: self.keys.clone(),
+            vals: self.vals.clone(),
+            index: self.index.clone(),
+            mask: self.mask,
+            order: Mutex::new(order),
+        }
+    }
+}
+
+impl<K: FlatKey, V: PartialEq> PartialEq for FlatMap<K, V> {
+    /// Content equality: same key set, equal values — independent of
+    /// insertion order, probe layout or slot assignment.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter_unordered().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl<K: FlatKey, V: Eq> Eq for FlatMap<K, V> {}
+
+impl<K: FlatKey + Serialize, V: Serialize> Serialize for FlatMap<K, V> {
+    /// Key-sorted `[k, v]` entries — the same shape the vendored serde
+    /// renders a `BTreeMap` as, so swapping backends does not change any
+    /// serialized artifact.
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter_sorted()
+                .map(|(k, v)| (k.to_value(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: FlatKey + Deserialize, V: Deserialize> Deserialize for FlatMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let entries: Vec<(&Value, &Value)> = match value {
+            Value::Map(entries) => entries.iter().map(|(k, v)| (k, v)).collect(),
+            Value::Seq(items) => items
+                .iter()
+                .map(|item| match item {
+                    Value::Seq(pair) if pair.len() == 2 => Ok((&pair[0], &pair[1])),
+                    other => Err(DeError::custom(format!(
+                        "FlatMap: expected [key, value] pair, found {}",
+                        other.kind()
+                    ))),
+                })
+                .collect::<Result<_, _>>()?,
+            other => {
+                return Err(DeError::custom(format!(
+                    "FlatMap: expected map, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        let mut out = FlatMap::with_capacity(entries.len());
+        for (k, v) in entries {
+            out.insert(K::from_value(k)?, V::from_value(v)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: FlatKey, V> FromIterator<(K, V)> for FlatMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut out = FlatMap::with_capacity(iter.size_hint().0);
+        for (k, v) in iter {
+            out.insert(k, v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m: FlatMap<Address, u64> = FlatMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(addr(1), 10), None);
+        assert_eq!(m.insert(addr(2), 20), None);
+        assert_eq!(m.insert(addr(1), 11), Some(10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(&addr(1)), Some(&11));
+        assert_eq!(m.remove(&addr(1)), Some(11));
+        assert_eq!(m.remove(&addr(1)), None);
+        assert_eq!(m.get(&addr(1)), None);
+        assert_eq!(m.get(&addr(2)), Some(&20));
+    }
+
+    #[test]
+    fn sorted_iteration_matches_btreemap() {
+        let mut flat: FlatMap<Address, u64> = FlatMap::new();
+        let mut tree: BTreeMap<Address, u64> = BTreeMap::new();
+        // Insertion order deliberately scrambled relative to key order.
+        for v in [9u64, 2, 7, 1, 1000, 55, 3, 4, 12, 8, 600, 41] {
+            flat.insert(addr(v), v * 10);
+            tree.insert(addr(v), v * 10);
+        }
+        flat.remove(&addr(7));
+        tree.remove(&addr(7));
+        let f: Vec<_> = flat.iter_sorted().map(|(k, v)| (*k, *v)).collect();
+        let t: Vec<_> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(f, t);
+    }
+
+    #[test]
+    fn order_cache_refreshes_after_mutation() {
+        let mut m: FlatMap<u64, u64> = FlatMap::new();
+        m.insert(5, 50);
+        assert_eq!(m.iter_sorted().count(), 1);
+        m.insert(1, 10);
+        let keys: Vec<u64> = m.iter_sorted().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 5]);
+        m.remove(&1);
+        let keys: Vec<u64> = m.iter_sorted().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![5]);
+    }
+
+    #[test]
+    fn content_equality_ignores_insertion_order() {
+        let mut a: FlatMap<u64, u64> = FlatMap::new();
+        let mut b: FlatMap<u64, u64> = FlatMap::new();
+        for k in 0..100 {
+            a.insert(k, k);
+        }
+        for k in (0..100).rev() {
+            b.insert(k, k);
+        }
+        assert_eq!(a, b);
+        b.insert(100, 100);
+        assert_ne!(a, b);
+        b.remove(&100);
+        assert_eq!(a, b);
+        b.insert(5, 999);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_shape_matches_btreemap() {
+        let mut flat: FlatMap<u64, u64> = FlatMap::new();
+        let mut tree: BTreeMap<u64, u64> = BTreeMap::new();
+        for v in [5u64, 3, 8, 1] {
+            flat.insert(v, v + 100);
+            tree.insert(v, v + 100);
+        }
+        assert_eq!(
+            serde_json::to_string(&flat.to_value()),
+            serde_json::to_string(&tree.to_value())
+        );
+        let back = FlatMap::<u64, u64>::from_value(&flat.to_value()).unwrap();
+        assert_eq!(back, flat);
+    }
+
+    #[test]
+    fn slots_are_dense_and_resolvable() {
+        let mut m: FlatMap<TokenId, Address> = FlatMap::new();
+        for v in 0..50u64 {
+            m.insert(TokenId::new(v), addr(v));
+        }
+        for v in 0..50u64 {
+            let slot = m.slot_of(&TokenId::new(v)).unwrap();
+            assert!((slot as usize) < m.len());
+            assert_eq!(*m.key_at(slot), TokenId::new(v));
+            assert_eq!(*m.val_at(slot), addr(v));
+        }
+    }
+
+    #[test]
+    fn heavy_churn_differential_vs_btreemap() {
+        // Deterministic pseudo-random op stream; no external RNG needed.
+        let mut flat: FlatMap<u64, u64> = FlatMap::new();
+        let mut tree: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..20_000u64 {
+            x = mix64(x.wrapping_add(step));
+            let key = x % 512; // force collisions and reuse
+            match x % 3 {
+                0 | 1 => {
+                    assert_eq!(flat.insert(key, step), tree.insert(key, step));
+                }
+                _ => {
+                    assert_eq!(flat.remove(&key), tree.remove(&key));
+                }
+            }
+            assert_eq!(flat.len(), tree.len());
+        }
+        let f: Vec<_> = flat.iter_sorted().map(|(k, v)| (*k, *v)).collect();
+        let t: Vec<_> = tree.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(f, t);
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        assert_eq!(StorageBackend::Arena.name(), "arena");
+        assert_eq!(StorageBackend::BTree.name(), "btree");
+    }
+}

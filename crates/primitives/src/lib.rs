@@ -29,6 +29,7 @@
 
 mod address;
 mod fees;
+mod flat;
 mod gas;
 mod hash;
 mod ids;
@@ -36,6 +37,7 @@ mod wei;
 
 pub use address::Address;
 pub use fees::{FeeBundle, FeeMarketTier};
+pub use flat::{storage_backend, FlatKey, FlatMap, SortedIter, StorageBackend};
 pub use gas::Gas;
 pub use hash::Hash32;
 pub use ids::{AggregatorId, BlockNumber, TokenId, TxNonce, VerifierId};

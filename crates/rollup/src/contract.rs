@@ -1,6 +1,8 @@
 //! The optimistic rollup smart contract (ORSC).
 
-use crate::bisection::{bisect, settle_step, ChallengerSide, DefenderSide, DisputedStep, SettlementVerdict};
+use crate::bisection::{
+    bisect, settle_step, ChallengerSide, DefenderSide, DisputedStep, SettlementVerdict,
+};
 use crate::{Batch, BatchId, L1Chain};
 use parole_crypto::Hash32;
 use parole_ovm::Ovm;

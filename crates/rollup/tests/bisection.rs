@@ -76,7 +76,7 @@ proptest! {
 
         let result = bisect(&forged, &honest);
         prop_assert_eq!(result.step, DisputedStep::Tx(forged_step));
-        let bound = (usize::BITS - (n - 1).leading_zeros()) as u32;
+        let bound = usize::BITS - (n - 1).leading_zeros();
         prop_assert!(
             result.rounds <= bound,
             "{} rounds for {} txs exceeds ⌈log2⌉ = {}",

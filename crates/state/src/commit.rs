@@ -39,6 +39,7 @@
 //! differential oracle. The replay proptests in `tests/prop.rs` assert the
 //! equality after every mutation, fork and rollback.
 
+use crate::tables::{AccountTable, CollTable};
 use crate::AccountState;
 use parole_crypto::{keccak256, keccak256_batch, CommitTree, Hash32, MerkleProof};
 use parole_nft::Collection;
@@ -300,28 +301,24 @@ pub(crate) struct CommitCache {
 impl CommitCache {
     /// Builds the full commitment from scratch (the one unavoidable O(n)
     /// pass; every later flush is O(dirty · log n)).
-    fn build(
-        accounts: &BTreeMap<Address, AccountState>,
-        collections: &BTreeMap<Address, Collection>,
-        block: BlockNumber,
-    ) -> Self {
+    fn build(accounts: &AccountTable, collections: &CollTable, block: BlockNumber) -> Self {
         let acct_preimages: Vec<Vec<u8>> = accounts
-            .iter()
-            .map(|(addr, acct)| acct_preimage(*addr, acct))
+            .iter_sorted()
+            .map(|(addr, acct)| acct_preimage(addr, acct))
             .collect();
         let mut leaves = vec![keccak256(&meta_preimage(block))];
         leaves.extend(keccak256_batch(acct_preimages.iter().map(Vec::as_slice)));
         leaves.reserve(collections.len());
         let mut coll_subs = Vec::with_capacity(collections.len());
-        for (addr, coll) in collections {
+        for (addr, coll) in collections.iter_sorted() {
             let sub = CollSub::build(coll);
-            leaves.push(keccak256(&coll_preimage(*addr, coll, sub.root())));
+            leaves.push(keccak256(&coll_preimage(addr, coll, sub.root())));
             coll_subs.push(Arc::new(sub));
         }
         CommitCache {
             tree: CommitTree::from_leaves(leaves),
-            acct_keys: accounts.keys().copied().collect(),
-            coll_keys: collections.keys().copied().collect(),
+            acct_keys: accounts.iter_sorted().map(|(k, _)| k).collect(),
+            coll_keys: collections.iter_sorted().map(|(k, _)| k).collect(),
             coll_subs,
         }
     }
@@ -334,8 +331,8 @@ impl CommitCache {
     /// all affected top-level paths repair in one batched pass.
     fn apply(
         &mut self,
-        accounts: &BTreeMap<Address, AccountState>,
-        collections: &BTreeMap<Address, Collection>,
+        accounts: &AccountTable,
+        collections: &CollTable,
         block: BlockNumber,
         dirty_block: bool,
         dirty_accts: &BTreeMap<Address, u32>,
@@ -624,8 +621,8 @@ impl CommitSlot {
     /// becomes the new high-water mark for rollback-aware dirty tracking.
     pub(crate) fn root(
         &mut self,
-        accounts: &BTreeMap<Address, AccountState>,
-        collections: &BTreeMap<Address, Collection>,
+        accounts: &AccountTable,
+        collections: &CollTable,
         block: BlockNumber,
         journal_len: usize,
     ) -> Hash32 {
@@ -689,8 +686,8 @@ impl CommitSlot {
     /// generation.
     fn fresh_cache(
         &mut self,
-        accounts: &BTreeMap<Address, AccountState>,
-        collections: &BTreeMap<Address, Collection>,
+        accounts: &AccountTable,
+        collections: &CollTable,
         block: BlockNumber,
         journal_len: usize,
     ) -> &CommitCache {
@@ -703,8 +700,8 @@ impl CommitSlot {
     /// exist.
     pub(crate) fn prove_acct(
         &mut self,
-        accounts: &BTreeMap<Address, AccountState>,
-        collections: &BTreeMap<Address, Collection>,
+        accounts: &AccountTable,
+        collections: &CollTable,
         block: BlockNumber,
         journal_len: usize,
         who: Address,
@@ -719,8 +716,8 @@ impl CommitSlot {
     /// when no collection is deployed at `addr`.
     pub(crate) fn prove_coll_header(
         &mut self,
-        accounts: &BTreeMap<Address, AccountState>,
-        collections: &BTreeMap<Address, Collection>,
+        accounts: &AccountTable,
+        collections: &CollTable,
         block: BlockNumber,
         journal_len: usize,
         addr: Address,
@@ -738,8 +735,8 @@ impl CommitSlot {
     /// token does not exist.
     pub(crate) fn prove_token(
         &mut self,
-        accounts: &BTreeMap<Address, AccountState>,
-        collections: &BTreeMap<Address, Collection>,
+        accounts: &AccountTable,
+        collections: &CollTable,
         block: BlockNumber,
         journal_len: usize,
         addr: Address,
@@ -779,10 +776,7 @@ impl CommitSlot {
     /// is immediately wrong and only the independent naive rebuild (the
     /// audit differential oracle's reference side) can tell. Returns
     /// `false` when no collection has a materialized token leaf.
-    pub(crate) fn corrupt_subtree_for_tests(
-        &mut self,
-        collections: &BTreeMap<Address, Collection>,
-    ) -> bool {
+    pub(crate) fn corrupt_subtree_for_tests(&mut self, collections: &CollTable) -> bool {
         let Some(shared) = self.cache.as_mut() else {
             return false;
         };

@@ -32,6 +32,7 @@ mod account;
 mod commit;
 mod journal;
 mod proofs;
+mod tables;
 mod world;
 
 pub use account::AccountState;

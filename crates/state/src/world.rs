@@ -2,12 +2,15 @@
 
 use crate::commit::CommitSlot;
 use crate::journal::{Journal, JournalEntry, RecordKey};
+use crate::tables::{AccountTable, CollTable};
 use crate::{AccountState, Checkpoint};
 use parole_crypto::{keccak256, Hash32, MerkleTree};
 use parole_nft::{Collection, CollectionConfig, NftError};
-use parole_primitives::{Address, BlockNumber, PrimitiveError, TokenId, Wei};
+use parole_primitives::{
+    storage_backend, Address, BlockNumber, PrimitiveError, StorageBackend, TokenId, Wei,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Mutex;
 
@@ -71,8 +74,8 @@ impl From<PrimitiveError> for StateError {
 /// machinery uses both.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct L2State {
-    accounts: BTreeMap<Address, AccountState>,
-    collections: BTreeMap<Address, Collection>,
+    accounts: AccountTable,
+    collections: CollTable,
     block: BlockNumber,
     /// Undo log for in-place speculative execution. Deliberately excluded
     /// from serialization, equality and clones: checkpoints index *this*
@@ -98,7 +101,7 @@ pub struct L2State {
     /// journal it is per-state scratch: excluded from serialization,
     /// equality and clones, and cleared by [`L2State::revert_to`].
     #[serde(skip)]
-    reads: Mutex<BTreeSet<RecordKey>>,
+    reads: Mutex<Vec<RecordKey>>,
 }
 
 impl Clone for L2State {
@@ -114,7 +117,7 @@ impl Clone for L2State {
             journal: Journal::default(),
             commit: Mutex::new(slot),
             read_tracking: false,
-            reads: Mutex::new(BTreeSet::new()),
+            reads: Mutex::new(Vec::new()),
         }
     }
 }
@@ -128,17 +131,31 @@ impl PartialEq for L2State {
 }
 
 impl L2State {
-    /// An empty world state at block 0.
+    /// An empty world state at block 0, on the process-default storage
+    /// backend ([`parole_primitives::storage_backend`]).
     pub fn new() -> Self {
+        Self::with_backend(storage_backend())
+    }
+
+    /// An empty world state at block 0 on an explicit storage backend —
+    /// used by benchmarks and differential tests that A/B the flat-arena
+    /// and `BTreeMap` layouts in a single process. Collections deployed
+    /// through this state inherit its backend.
+    pub fn with_backend(backend: StorageBackend) -> Self {
         L2State {
-            accounts: BTreeMap::new(),
-            collections: BTreeMap::new(),
+            accounts: AccountTable::new(backend),
+            collections: CollTable::new(backend),
             block: BlockNumber::default(),
             journal: Journal::default(),
             commit: Mutex::new(CommitSlot::default()),
             read_tracking: false,
-            reads: Mutex::new(BTreeSet::new()),
+            reads: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Which storage backend this state's hot tables use.
+    pub fn backend(&self) -> StorageBackend {
+        self.accounts.backend()
     }
 
     /// Locks the commitment slot (the mutex is never contended on the
@@ -195,8 +212,16 @@ impl L2State {
 
     /// Drains and returns the record keys read since tracking began (or
     /// since the last drain). Tracking stays on.
+    ///
+    /// Reads are recorded append-only (a push per read, no per-read tree
+    /// insertion on the hot path) and deduplicated here, at the single
+    /// point the scheduler consumes them.
     pub fn take_read_set(&mut self) -> BTreeSet<RecordKey> {
-        std::mem::take(self.reads.get_mut().unwrap_or_else(|e| e.into_inner()))
+        self.reads
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect()
     }
 
     /// Switches read recording off and discards the pending read set.
@@ -215,7 +240,7 @@ impl L2State {
             self.reads
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .insert(key);
+                .push(key);
         }
     }
 
@@ -379,7 +404,7 @@ impl L2State {
     /// Credits `amount` to `who`, creating the account if needed.
     pub fn credit(&mut self, who: Address, amount: Wei) {
         self.journal_account(who);
-        self.accounts.entry(who).or_default().balance += amount;
+        self.accounts.or_default_mut(who).balance += amount;
     }
 
     /// Debits `amount` from `who`.
@@ -399,7 +424,7 @@ impl L2State {
             });
         }
         self.journal_account(who);
-        self.accounts.entry(who).or_default().balance -= amount;
+        self.accounts.or_default_mut(who).balance -= amount;
         Ok(())
     }
 
@@ -423,7 +448,7 @@ impl L2State {
     /// Bumps `who`'s nonce, creating the account if needed.
     pub fn bump_nonce(&mut self, who: Address) {
         self.journal_account(who);
-        let acct = self.accounts.entry(who).or_default();
+        let acct = self.accounts.or_default_mut(who);
         acct.nonce = acct.nonce.next();
     }
 
@@ -466,7 +491,10 @@ impl L2State {
                 .entries
                 .push(JournalEntry::CollectionDeployed { addr });
         }
-        self.collections.insert(addr, Collection::new(config));
+        self.collections.insert(
+            addr,
+            Collection::with_backend(config, self.collections.backend()),
+        );
         Ok(())
     }
 
@@ -615,7 +643,8 @@ impl L2State {
             .collections
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
-        Ok(coll.mint_undoable(to, token).map(|undo| {
+        let r = coll.mint_undoable(to, token);
+        Ok(r.map(|undo| {
             Self::slot_mut(&mut self.commit).mark_coll_token(collection, token);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
@@ -644,7 +673,8 @@ impl L2State {
             .collections
             .get_mut(&collection)
             .ok_or(StateError::NoSuchCollection(collection))?;
-        Ok(coll.transfer_undoable(from, to, token).map(|undo| {
+        let r = coll.transfer_undoable(from, to, token);
+        Ok(r.map(|undo| {
             Self::slot_mut(&mut self.commit).mark_coll_token(collection, token);
             if self.journal.recording {
                 self.journal.entries.push(JournalEntry::TokenOp {
@@ -719,7 +749,7 @@ impl L2State {
 
     /// Iterates over `(address, collection)` pairs in address order.
     pub fn collections(&self) -> impl Iterator<Item = (Address, &Collection)> {
-        self.collections.iter().map(|(&a, c)| (a, c))
+        self.collections.iter_sorted()
     }
 
     /// The paper's "total balance" of a user: spendable L2 balance plus the
@@ -728,7 +758,7 @@ impl L2State {
     pub fn total_balance_of(&self, who: Address) -> Wei {
         let nft_value: Wei = self
             .collections
-            .values()
+            .values_unordered()
             .map(|c| c.holdings_value(who))
             .sum();
         self.balance_of(who) + nft_value
@@ -787,7 +817,7 @@ impl L2State {
             buf.extend_from_slice(&self.block.value().to_be_bytes());
             leaves.push(keccak256(&buf));
         }
-        for (addr, acct) in &self.accounts {
+        for (addr, acct) in self.accounts.iter_sorted() {
             let encoded = acct.encode();
             let mut buf = Vec::with_capacity(28 + encoded.len());
             buf.extend_from_slice(b"acct");
@@ -796,7 +826,7 @@ impl L2State {
             buf.extend_from_slice(&encoded);
             leaves.push(keccak256(&buf));
         }
-        for (addr, coll) in &self.collections {
+        for (addr, coll) in self.collections.iter_sorted() {
             let token_leaves: Vec<Hash32> = coll
                 .iter()
                 .map(|(token, owner)| {
@@ -847,8 +877,8 @@ impl L2State {
     }
 
     /// Opens the header of the collection at `collection` (supply counters
-    /// + committed sub-root) against the current state root. `None` when no
-    /// collection is deployed there.
+    /// plus committed sub-root) against the current state root. `None` when
+    /// no collection is deployed there.
     pub fn prove_collection(&self, collection: Address) -> Option<crate::CollectionInclusionProof> {
         let coll = self.collections.get(&collection)?;
         let header = crate::CollectionHeader::of(coll);
@@ -956,7 +986,7 @@ impl L2State {
     /// conserved by everything except explicit credits/debits, which the
     /// conservation tests rely on.
     pub fn total_supply(&self) -> Wei {
-        self.accounts.values().map(|a| a.balance).sum()
+        self.accounts.values_unordered().map(|a| a.balance).sum()
     }
 }
 

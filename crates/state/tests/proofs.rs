@@ -131,7 +131,7 @@ proptest! {
         let mut acct = state.prove_account(addr(0)).expect("credited");
         prop_assert!(acct.verify(root));
         match which % 2 {
-            0 => acct.account.balance = acct.account.balance + Wei::from_wei(1),
+            0 => acct.account.balance += Wei::from_wei(1),
             _ => acct.account = parole_state::AccountState::with_balance(acct.account.balance),
         }
         // Nonce-zeroing only lies when the nonce was non-zero; balance

@@ -165,6 +165,31 @@ pub const METRICS: &[MetricDescriptor] = &[
         "Candidate orderings evaluated by the exhaustive MDP search",
     ),
     m(
+        "mempool.heap_pops",
+        Counter,
+        "Priority-heap pops (one per transaction handed to a collector)",
+    ),
+    m(
+        "mempool.heap_pushes",
+        Counter,
+        "Priority-heap pushes (submissions plus rebuild re-insertions)",
+    ),
+    m(
+        "mempool.parked",
+        Counter,
+        "Transactions parked with a fee cap below the base fee",
+    ),
+    m(
+        "mempool.rebuilds",
+        Counter,
+        "Full index re-keys triggered by base-fee changes",
+    ),
+    m(
+        "mempool.rescreened",
+        Counter,
+        "Entries re-screened across all index rebuilds",
+    ),
+    m(
         "ovm.prefix_checkpoint_hits",
         Counter,
         "Prefix-executor cache hits (shared prefix reused via checkpoint)",
