@@ -252,6 +252,8 @@ pub fn check_execution(
                     expected.active -= 1;
                     expected.burns += 1;
                 }
+                // Approvals move no tokens: every ledger counter holds.
+                TxKind::Approve { .. } | TxKind::SetApprovalForAll { .. } => {}
             }
         }
         if *got != expected {

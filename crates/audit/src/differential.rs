@@ -89,8 +89,8 @@ pub fn diff_execution(
         if want != got {
             return Err(Divergence::ReceiptMismatch {
                 slot,
-                expected: Box::new(*want),
-                got: Box::new(*got),
+                expected: Box::new(want.clone()),
+                got: Box::new(got.clone()),
             });
         }
     }

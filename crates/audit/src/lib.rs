@@ -26,6 +26,10 @@
 //!   state root by state root.
 //! - [`fee`] — an independent EIP-1559 base-fee recomputation used to audit
 //!   the sequencer's fee controller block by block.
+//! - [`replay`] — the event-replay oracle: folding a block's receipt log
+//!   stream over the pre-block state must reproduce the post-block
+//!   ownership, approval, operator and bonding-curve maps exactly, with a
+//!   fail-stop on internally inconsistent streams.
 //!
 //! The auditors are pure functions over snapshots and states; production
 //! crates wire them in behind their `audit` cargo feature so the release hot
@@ -42,6 +46,7 @@ pub mod conservation;
 pub mod differential;
 pub mod fee;
 pub mod invariants;
+pub mod replay;
 
 pub use bisection::{BisectionOracle, BisectionViolation, TraceVerdict};
 pub use conservation::{
@@ -51,6 +56,10 @@ pub use differential::{diff_execution, DifferentialOracle, Divergence, ParallelO
 pub use fee::{check_fee_update, expected_base_fee, FeeViolation};
 pub use invariants::{
     check_collection, check_facts, check_state, CollectionFacts, InvariantViolation,
+};
+pub use replay::{
+    check_event_replay, replay_events, snapshot_maps, CollectionMaps, EventReplayViolation,
+    StateMaps,
 };
 
 use std::fmt;
@@ -70,6 +79,9 @@ pub enum AuditViolation {
     Differential(Divergence),
     /// A base-fee update deviated from the EIP-1559 rule.
     FeeMarket(FeeViolation),
+    /// Replaying a block's receipt event stream over the pre-block state
+    /// failed to reproduce the post-block token maps.
+    EventReplay(EventReplayViolation),
 }
 
 impl fmt::Display for AuditViolation {
@@ -80,6 +92,7 @@ impl fmt::Display for AuditViolation {
             AuditViolation::Invariant(v) => write!(f, "invariant audit: {v}"),
             AuditViolation::Differential(v) => write!(f, "differential audit: {v}"),
             AuditViolation::FeeMarket(v) => write!(f, "fee-market audit: {v}"),
+            AuditViolation::EventReplay(v) => write!(f, "event-replay audit: {v}"),
         }
     }
 }
@@ -113,5 +126,11 @@ impl From<Divergence> for AuditViolation {
 impl From<FeeViolation> for AuditViolation {
     fn from(v: FeeViolation) -> Self {
         AuditViolation::FeeMarket(v)
+    }
+}
+
+impl From<EventReplayViolation> for AuditViolation {
+    fn from(v: EventReplayViolation) -> Self {
+        AuditViolation::EventReplay(v)
     }
 }

@@ -18,7 +18,7 @@ use parole_audit::invariants::{check_facts, CollectionFacts, InvariantViolation}
 use parole_crypto::Wallet;
 use parole_mempool::BaseFeeController;
 use parole_nft::{Collection, CollectionConfig};
-use parole_ovm::{NftTransaction, Ovm, Receipt, RevertReason, TxKind, TxStatus};
+use parole_ovm::{Bloom, NftTransaction, Ovm, Receipt, RevertReason, TxKind, TxStatus};
 use parole_primitives::{
     Address, AggregatorId, BlockNumber, FeeBundle, Gas, TokenId, TxNonce, VerifierId, Wei,
 };
@@ -99,6 +99,8 @@ fn buggy_execute_bad_signature(tx: &NftTransaction) -> Receipt {
         fee_paid: Wei::ZERO,
         price_before: Wei::ZERO,
         price_after: Wei::ZERO,
+        logs: Vec::new(),
+        bloom: Bloom::ZERO,
     }
 }
 
@@ -164,6 +166,8 @@ fn ghost_fee_on_cannot_pay_fees_trips_the_conservation_auditor() {
         fee_paid: Wei::from_gwei(42),
         price_before: Wei::ZERO,
         price_after: Wei::ZERO,
+        logs: Vec::new(),
+        bloom: Bloom::ZERO,
     };
     let err = check_execution(&pre, &state, &tx, &receipt).unwrap_err();
     assert!(matches!(err, ConservationViolation::GhostFee { .. }));
@@ -629,4 +633,60 @@ fn dropped_slash_remainder_trips_the_bond_flow_auditor() {
         err,
         ConservationViolation::BondNotConserved { .. }
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Bug 5 (seeded): state mutations that bypass the event journal.
+// ---------------------------------------------------------------------------
+
+/// The defect the event-replay oracle exists to catch: a code path that
+/// mutates token state without emitting the corresponding receipt logs —
+/// here modelled as a direct `collection_mut` transfer applied after block
+/// execution, invisible to every receipt. Replaying the receipt streams
+/// over the pre-block maps lands on the pre-tamper owner and the oracle
+/// reports the divergent token; the untampered execution passes.
+#[test]
+fn unjournaled_state_mutation_trips_the_event_replay_oracle() {
+    use parole_audit::replay::{check_event_replay, snapshot_maps, EventReplayViolation};
+
+    let mut state = L2State::new();
+    let pt = state.deploy_collection(CollectionConfig::parole_token());
+    for u in 1..=3u64 {
+        state.credit(addr(u), Wei::from_eth(5));
+    }
+    let ovm = Ovm::new();
+    let txs = [
+        NftTransaction::simple(
+            addr(1),
+            TxKind::Mint {
+                collection: pt,
+                token: TokenId::new(0),
+            },
+        ),
+        NftTransaction::simple(
+            addr(1),
+            TxKind::Approve {
+                collection: pt,
+                token: TokenId::new(0),
+                operator: addr(2),
+            },
+        ),
+    ];
+    let pre = snapshot_maps(&state);
+    let receipts = ovm.execute_sequence(&mut state, &txs);
+    assert!(receipts.iter().all(Receipt::is_success));
+    check_event_replay(&pre, &receipts, &state).expect("honest execution replays");
+
+    // Tamper: move the token behind the receipts' back.
+    state
+        .collection_mut(pt)
+        .unwrap()
+        .transfer(addr(1), addr(3), TokenId::new(0))
+        .unwrap();
+    let err = check_event_replay(&pre, &receipts, &state).unwrap_err();
+    assert!(
+        matches!(err, EventReplayViolation::OwnershipMismatch { token, .. }
+            if token == TokenId::new(0)),
+        "got {err}"
+    );
 }

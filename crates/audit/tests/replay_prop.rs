@@ -1,0 +1,192 @@
+//! Property suite for the event-replay oracle.
+//!
+//! The oracle's quiet-half contract: replaying every honest block's receipt
+//! log stream over the pre-block maps reproduces the post-block ownership,
+//! approval, operator and pricing maps exactly — under arbitrary
+//! interleavings of mint/transfer/burn/approve/setApprovalForAll (valid and
+//! reverting), across state forks at block boundaries, and after mid-block
+//! checkpoint/revert speculation (reverted work must leave no event residue
+//! behind for the oracle to trip over).
+
+use parole_audit::replay::{check_event_replay, snapshot_maps};
+use parole_nft::CollectionConfig;
+use parole_ovm::{NftTransaction, Ovm, TxKind};
+use parole_primitives::{Address, TokenId, Wei};
+use parole_state::L2State;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum RawOp {
+    Mint { sender: u64, token: u64 },
+    Transfer { sender: u64, token: u64, to: u64 },
+    Burn { sender: u64, token: u64 },
+    Approve { sender: u64, token: u64, to: u64 },
+    SetForAll { sender: u64, to: u64, on: bool },
+}
+
+fn arb_op(users: u64, tokens: u64) -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        (0..users, 0..tokens).prop_map(|(sender, token)| RawOp::Mint { sender, token }),
+        (0..users, 0..tokens, 0..users).prop_map(|(sender, token, to)| RawOp::Transfer {
+            sender,
+            token,
+            to
+        }),
+        (0..users, 0..tokens).prop_map(|(sender, token)| RawOp::Burn { sender, token }),
+        (0..users, 0..tokens, 0..users).prop_map(|(sender, token, to)| RawOp::Approve {
+            sender,
+            token,
+            to
+        }),
+        (0..users, 0..users, any::<bool>()).prop_map(|(sender, to, on)| RawOp::SetForAll {
+            sender,
+            to,
+            on
+        }),
+    ]
+}
+
+fn world(users: u64, tokens: u64) -> (L2State, Address) {
+    let mut state = L2State::new();
+    let coll = state.deploy_collection(CollectionConfig::limited_edition(
+        "Replay",
+        tokens.max(4),
+        200,
+    ));
+    for u in 1..=users {
+        state.credit(Address::from_low_u64(u), Wei::from_eth(10));
+    }
+    (state, coll)
+}
+
+fn to_tx(op: &RawOp, coll: Address) -> NftTransaction {
+    let a = |v: u64| Address::from_low_u64(v + 1);
+    let (sender, kind) = match *op {
+        RawOp::Mint { sender, token } => (
+            sender,
+            TxKind::Mint {
+                collection: coll,
+                token: TokenId::new(token),
+            },
+        ),
+        RawOp::Transfer { sender, token, to } => (
+            sender,
+            TxKind::Transfer {
+                collection: coll,
+                token: TokenId::new(token),
+                to: a(to),
+            },
+        ),
+        RawOp::Burn { sender, token } => (
+            sender,
+            TxKind::Burn {
+                collection: coll,
+                token: TokenId::new(token),
+            },
+        ),
+        RawOp::Approve { sender, token, to } => (
+            sender,
+            TxKind::Approve {
+                collection: coll,
+                token: TokenId::new(token),
+                operator: a(to),
+            },
+        ),
+        RawOp::SetForAll { sender, to, on } => (
+            sender,
+            TxKind::SetApprovalForAll {
+                collection: coll,
+                operator: a(to),
+                approved: on,
+            },
+        ),
+    };
+    NftTransaction::simple(a(sender), kind)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Block-by-block honest execution replays exactly: no interleaving of
+    /// the five operation kinds — including reverting transactions, which
+    /// must emit nothing — ever trips the oracle.
+    #[test]
+    fn honest_blocks_replay_exactly(
+        ops in prop::collection::vec(arb_op(6, 10), 1..60),
+        block_size in 1usize..9,
+    ) {
+        let (mut state, coll) = world(6, 10);
+        let ovm = Ovm::new();
+        for chunk in ops.chunks(block_size) {
+            let txs: Vec<_> = chunk.iter().map(|o| to_tx(o, coll)).collect();
+            let pre = snapshot_maps(&state);
+            let receipts = ovm.execute_sequence(&mut state, &txs);
+            prop_assert_eq!(
+                check_event_replay(&pre, &receipts, &state).map_err(|v| v.to_string()),
+                Ok(())
+            );
+        }
+    }
+
+    /// Forking the chain at a block boundary and executing divergent suffix
+    /// blocks on each branch keeps both branches replayable — the oracle
+    /// sees two independent honest histories, not a tangled one.
+    #[test]
+    fn forked_branches_both_replay(
+        prefix in prop::collection::vec(arb_op(5, 8), 1..25),
+        left in prop::collection::vec(arb_op(5, 8), 1..25),
+        right in prop::collection::vec(arb_op(5, 8), 1..25),
+    ) {
+        let (mut trunk, coll) = world(5, 8);
+        let ovm = Ovm::new();
+        let txs: Vec<_> = prefix.iter().map(|o| to_tx(o, coll)).collect();
+        let pre = snapshot_maps(&trunk);
+        let receipts = ovm.execute_sequence(&mut trunk, &txs);
+        prop_assert_eq!(
+            check_event_replay(&pre, &receipts, &trunk).map_err(|v| v.to_string()),
+            Ok(())
+        );
+
+        let mut branch = trunk.fork();
+        for (state, branch_ops) in [(&mut trunk, &left), (&mut branch, &right)] {
+            let txs: Vec<_> = branch_ops.iter().map(|o| to_tx(o, coll)).collect();
+            let pre = snapshot_maps(state);
+            let receipts = ovm.execute_sequence(state, &txs);
+            prop_assert_eq!(
+                check_event_replay(&pre, &receipts, state).map_err(|v| v.to_string()),
+                Ok(())
+            );
+        }
+    }
+
+    /// Mid-block speculation leaves no event residue: execute sacrificial
+    /// transactions under a checkpoint, roll them back with `revert_to`,
+    /// then execute a real block — the oracle replays the real block against
+    /// the pre-speculation maps as if the speculation never happened.
+    #[test]
+    fn reverted_speculation_leaves_no_event_residue(
+        speculative in prop::collection::vec(arb_op(5, 8), 1..20),
+        committed in prop::collection::vec(arb_op(5, 8), 1..20),
+    ) {
+        let (mut state, coll) = world(5, 8);
+        let ovm = Ovm::new();
+        state.begin_recording();
+
+        let pre = snapshot_maps(&state);
+        let cp = state.checkpoint();
+        let spec_txs: Vec<_> = speculative.iter().map(|o| to_tx(o, coll)).collect();
+        let _ = ovm.execute_sequence(&mut state, &spec_txs);
+        state.revert_to(cp);
+
+        // The rollback must restore the exact pre-speculation maps…
+        prop_assert_eq!(snapshot_maps(&state), pre.clone());
+
+        // …and the block that actually commits replays against them.
+        let txs: Vec<_> = committed.iter().map(|o| to_tx(o, coll)).collect();
+        let receipts = ovm.execute_sequence(&mut state, &txs);
+        prop_assert_eq!(
+            check_event_replay(&pre, &receipts, &state).map_err(|v| v.to_string()),
+            Ok(())
+        );
+    }
+}

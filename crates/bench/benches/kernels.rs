@@ -2,7 +2,7 @@
 //! cryptographic substrate, OVM sequence execution, mempool ordering and the
 //! DQN forward/backward passes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use parole_bench::economy::Economy;
 use parole_crypto::{keccak256, MerkleTree};
 use parole_drl::Mlp;
@@ -62,12 +62,12 @@ fn bench_state_root(c: &mut Criterion) {
             let coll = state.deploy_collection(CollectionConfig::limited_edition("BR", 64, 100));
             for t in 0..8u64 {
                 state
-                    .collection_mut(coll)
-                    .unwrap()
-                    .mint(
+                    .nft_mint(
+                        coll,
                         Address::from_low_u64((k * 8 + t) % n as u64 + 1),
                         TokenId::new(t),
                     )
+                    .unwrap()
                     .unwrap();
             }
         }
@@ -394,4 +394,10 @@ criterion_group!(
         .warm_up_time(std::time::Duration::from_secs(1));
     targets = bench_crypto, bench_ovm, bench_state_root, bench_nft_flush, bench_mempool, bench_calldata, bench_reorder_env, bench_parallel_exec, bench_traffic, bench_dqn
 );
-criterion_main!(kernels);
+// Hand-rolled `criterion_main!`: identical dispatch, plus the telemetry
+// panic hook so an assertion inside a benchmark still dumps the armed
+// metrics snapshot.
+fn main() {
+    parole_telemetry::install_panic_hook();
+    kernels();
+}

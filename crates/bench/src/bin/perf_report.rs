@@ -1,9 +1,9 @@
 //! Performance report for the measured optimizations, written to
 //! `target/experiments/`.
 //!
-//! Seven sections, selectable by the first CLI argument (`pr1`,
-//! `state-root`, `nft-flush`, `parallel-exec`, `fraud-proof`, `traffic` or
-//! `metrics`; no argument runs all):
+//! Eight sections, selectable by the first CLI argument (`pr1`,
+//! `state-root`, `nft-flush`, `parallel-exec`, `fraud-proof`, `traffic`,
+//! `observability` or `metrics`; no argument runs all):
 //!
 //! **`pr1`** (→ `BENCH_PR1.json`):
 //!
@@ -55,6 +55,15 @@
 //! oracle, the pool counters witness each variant's contract, and (full
 //! scale) that the arena + indexed system seals ≥ 2× faster than the
 //! baseline.
+//!
+//! **`observability`** (→ `BENCH_PR9.json`, `TRACE_PR9.trace.json`,
+//! `FLAME_PR9.folded`): the chain-level observability overhead row —
+//! identical traffic runs with the sequencer's queryable per-block log
+//! index off vs on (event emission and per-receipt blooms are
+//! unconditional), asserting the indexed run answers the Transfer smoke
+//! query exactly and (full scale) stays within 10% of the baseline
+//! throughput — plus the recorded span tree exported as
+//! Chrome-trace/Perfetto JSON and collapsed-stack flamegraph input.
 //!
 //! `metrics --list` dumps the static metric inventory and exits.
 //!
@@ -166,12 +175,12 @@ fn rich_state(accounts: usize, collections: usize) -> L2State {
         let coll = state.deploy_collection(CollectionConfig::limited_edition("PR", 64, 100));
         for t in 0..8u64 {
             state
-                .collection_mut(coll)
-                .unwrap()
-                .mint(
+                .nft_mint(
+                    coll,
                     Address::from_low_u64((k * 8 + t) % accounts as u64 + 1),
                     TokenId::new(t),
                 )
+                .unwrap()
                 .unwrap();
         }
     }
@@ -909,6 +918,187 @@ fn run_traffic_section() {
     );
 }
 
+#[derive(Serialize)]
+struct Pr9Report {
+    /// The PR 8 system under test (arena + indexed mempool, serial), with
+    /// event emission and per-receipt blooms on (they are unconditional)
+    /// but no queryable log index.
+    baseline: TrafficRun,
+    /// Same run with the sequencer's per-block log index switched on.
+    indexed: TrafficRun,
+    /// `indexed.blocks_per_sec / baseline.blocks_per_sec` — the overhead
+    /// row: how much block throughput the queryable index costs.
+    indexed_vs_baseline_throughput: f64,
+    /// Whether the indexed run stayed within 10% of the baseline.
+    within_10_pct: bool,
+    /// Chrome-trace events exported to `TRACE_PR9.trace.json` (0 without
+    /// `--features telemetry`).
+    trace_events: usize,
+    /// Collapsed-stack lines exported to `FLAME_PR9.folded`.
+    folded_lines: usize,
+}
+
+/// The `observability` section (→ `BENCH_PR9.json`, `TRACE_PR9.trace.json`,
+/// `FLAME_PR9.folded`): the chain-level observability overhead row and the
+/// span-tree trace export.
+///
+/// Event emission and per-receipt blooms are unconditional OVM behaviour
+/// (they ride every row of the `traffic` section already); the ablatable
+/// cost is the sequencer's queryable per-block [`parole_ovm::LogIndex`].
+/// Both runs seal identical blocks, so the rows isolate exactly that cost —
+/// the acceptance gate is that it stays within 10% of the PR 8 baseline
+/// throughput. The span tree accumulated across both runs is exported as
+/// Chrome-trace/Perfetto JSON and collapsed-stack flamegraph input (empty
+/// but well-formed shells without `--features telemetry`).
+fn run_observability_section() {
+    use parole_bench::traffic::{run_traffic_with, PoolVariant};
+    use parole_mempool::ExecMode;
+    use parole_primitives::StorageBackend;
+
+    let scale = parole_bench::Scale::from_env();
+    let cfg = TrafficConfig::from_scale(scale);
+    println!(
+        "observability: {} accounts, {} blocks x {} txs; ablating the queryable log index",
+        cfg.accounts, cfg.blocks, cfg.txs_per_block
+    );
+    let schedule = generate_blocks(&cfg);
+
+    parole_telemetry::reset();
+    let baseline = run_traffic_with(
+        &cfg,
+        &schedule,
+        StorageBackend::Arena,
+        PoolVariant::Indexed,
+        ExecMode::Serial,
+        false,
+    );
+    let indexed = run_traffic_with(
+        &cfg,
+        &schedule,
+        StorageBackend::Arena,
+        PoolVariant::Indexed,
+        ExecMode::Serial,
+        true,
+    );
+
+    // Trace export: whatever spans the two runs recorded, in both external
+    // profiler formats, written beside the BENCH_*.json records.
+    let snap = parole_telemetry::snapshot();
+    let trace = parole_telemetry::chrome_trace_json(&snap);
+    let folded = parole_telemetry::flamegraph_collapsed(&snap);
+    let parsed: serde::Value =
+        serde_json::from_str(&trace).expect("exported Chrome trace must be valid JSON");
+    let trace_events = match &parsed {
+        serde::Value::Map(entries) => entries
+            .iter()
+            .find_map(|(k, v)| match (k, v) {
+                (serde::Value::Str(name), serde::Value::Seq(events)) if name == "traceEvents" => {
+                    Some(events.len())
+                }
+                _ => None,
+            })
+            .expect("trace must carry a traceEvents array"),
+        _ => panic!("trace must be a JSON object"),
+    };
+    let folded_lines = folded.lines().count();
+    // Descriptor coverage: every `events.*` / `bloom.*` counter the armed
+    // runs recorded must be statically registered (the disabled build
+    // records nothing, so this is vacuous there).
+    for name in snap
+        .counters
+        .keys()
+        .filter(|n| n.starts_with("events.") || n.starts_with("bloom."))
+    {
+        assert!(
+            parole_telemetry::describe(name).is_some(),
+            "metric {name} recorded but not registered in METRICS"
+        );
+    }
+    let dir = std::path::Path::new("target/experiments");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("note: could not create {}: {e}", dir.display());
+    } else {
+        for (name, body) in [
+            ("TRACE_PR9.trace.json", &trace),
+            ("FLAME_PR9.folded", &folded),
+        ] {
+            let path = dir.join(name);
+            match std::fs::write(&path, body) {
+                Ok(()) => println!("  [recorded {}]", path.display()),
+                Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
+            }
+        }
+    }
+    println!("  trace: {trace_events} events | flamegraph: {folded_lines} stacks");
+
+    // Identical blocks, identical state trajectory — the index is a pure
+    // reader of committed receipts.
+    assert_eq!(
+        baseline.final_root, indexed.final_root,
+        "log indexing must not perturb execution"
+    );
+    assert!(baseline.root_matches_naive && indexed.root_matches_naive);
+    assert_eq!(baseline.events_emitted, indexed.events_emitted);
+    assert!(
+        indexed.events_emitted > 0,
+        "committed operations must emit log entries"
+    );
+    // The smoke query sees exactly one Transfer per executed transaction
+    // (every scheduled op is one mint/transfer/burn).
+    assert_eq!(
+        indexed.log_query_hits as usize, indexed.txs,
+        "bloom-pruned query must find every Transfer event"
+    );
+
+    let ratio = indexed.blocks_per_sec / baseline.blocks_per_sec;
+    let within_10_pct = ratio >= 0.9;
+    println!(
+        "  indexed vs baseline throughput: {ratio:.3}x ({:.1} blocks/s vs {:.1} blocks/s)",
+        indexed.blocks_per_sec, baseline.blocks_per_sec
+    );
+    if scale == parole_bench::Scale::Full {
+        assert!(
+            within_10_pct,
+            "the queryable log index must cost < 10% block throughput at full \
+             scale (measured {ratio:.3}x)"
+        );
+    }
+
+    let rows: Vec<Vec<String>> = [&baseline, &indexed]
+        .iter()
+        .map(|r| {
+            vec![
+                if r.log_index { "on" } else { "off" }.into(),
+                format!("{}", r.txs),
+                format!("{}", r.events_emitted),
+                format!("{}", r.log_query_hits),
+                format!("{:.1}", r.blocks_per_sec),
+                format!("{:.2}", r.p99_seal_ms),
+                format!("{}", r.timeline.len()),
+            ]
+        })
+        .collect();
+    parole_bench::report::print_table(
+        "Observability: queryable log-index overhead",
+        &[
+            "index", "txs", "events", "hits", "blocks/s", "p99 ms", "samples",
+        ],
+        &rows,
+    );
+
+    write_json(
+        "BENCH_PR9",
+        &Pr9Report {
+            baseline,
+            indexed,
+            indexed_vs_baseline_throughput: ratio,
+            within_10_pct,
+            trace_events,
+            folded_lines,
+        },
+    );
+}
+
 /// The `fraud-proof` section (→ `BENCH_PR7.json`).
 fn run_fraud_proof_section() {
     let mut proof_sizes = Vec::new();
@@ -1301,6 +1491,9 @@ fn print_metric_inventory() {
 }
 
 fn main() {
+    // A panic mid-section (an assertion, an audit trip) still dumps the
+    // armed telemetry snapshot before the process dies.
+    parole_telemetry::install_panic_hook();
     let mut args = std::env::args().skip(1);
     let only = args.next();
     if only.as_deref() == Some("metrics") && args.next().as_deref() == Some("--list") {
@@ -1328,6 +1521,9 @@ fn main() {
     }
     if run("traffic") {
         run_traffic_section();
+    }
+    if run("observability") {
+        run_observability_section();
     }
     if !run("pr1") {
         return;

@@ -97,7 +97,7 @@ fn main() {
         // One batch per transaction, mirroring the paper's three separate
         // testnet submissions.
         let batch = aggregator.build_batch(rollup.l2_state(), vec![tx]);
-        let receipt = batch.receipts[0];
+        let receipt = &batch.receipts[0];
         assert!(receipt.is_success(), "{label} must execute: {receipt}");
         rollup.submit_batch(batch).unwrap();
         rollup.finalize_all();

@@ -42,16 +42,20 @@ impl Economy {
             .map(|i| Address::from_low_u64(10_000 + i))
             .collect();
         let mut token = 0u64;
-        {
-            let coll = state.collection_mut(collection).expect("deployed");
-            for &ifu in &ifus {
-                coll.mint(ifu, TokenId::new(token)).unwrap();
-                coll.mint(ifu, TokenId::new(token + 1)).unwrap();
-                token += 2;
+        for &ifu in &ifus {
+            for _ in 0..2 {
+                state
+                    .nft_mint(collection, ifu, TokenId::new(token))
+                    .expect("deployed")
+                    .unwrap();
+                token += 1;
             }
-            for (i, &u) in users.iter().take(8).enumerate() {
-                coll.mint(u, TokenId::new(token + i as u64)).unwrap();
-            }
+        }
+        for (i, &u) in users.iter().take(8).enumerate() {
+            state
+                .nft_mint(collection, u, TokenId::new(token + i as u64))
+                .expect("deployed")
+                .unwrap();
         }
         for &ifu in &ifus {
             state.credit(ifu, Wei::from_eth(50));
@@ -84,10 +88,11 @@ impl Economy {
             let addr = self
                 .state
                 .deploy_collection(CollectionConfig::limited_edition("Background", 64, 100));
-            let coll = self.state.collection_mut(addr).expect("deployed");
             for t in 0..48u64 {
                 let holder = 1_000_000 + (c * 48 + t) % accounts.max(1) as u64;
-                coll.mint(Address::from_low_u64(holder), TokenId::new(t))
+                self.state
+                    .nft_mint(addr, Address::from_low_u64(holder), TokenId::new(t))
+                    .expect("deployed")
                     .unwrap();
             }
         }

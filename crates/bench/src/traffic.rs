@@ -42,7 +42,7 @@
 use crate::report::peak_rss_bytes;
 use parole_mempool::{BedrockMempool, ExecMode, PoolOpStats, Sequencer, ZipfSampler};
 use parole_nft::CollectionConfig;
-use parole_ovm::{GasSchedule, NftTransaction, TxKind};
+use parole_ovm::{EventKind, GasSchedule, LogFilter, NftTransaction, TxKind};
 use parole_primitives::{Address, FeeBundle, Gas, StorageBackend, TokenId, Wei};
 use parole_state::L2State;
 use rand::rngs::StdRng;
@@ -304,6 +304,27 @@ pub fn build_world(cfg: &TrafficConfig, backend: StorageBackend) -> L2State {
     state
 }
 
+/// One periodic measurement window of a traffic run: the per-window view
+/// that turns `BENCH_PR9.json` into a time series instead of one aggregate
+/// row. Windows cover consecutive slices of the timed region (the warm-up
+/// block is never sampled).
+#[derive(Debug, Clone, Serialize)]
+pub struct TrafficSample {
+    /// Last timed block (1-based within the timed region) the window covers.
+    pub through_block: usize,
+    /// Blocks inside this window.
+    pub window_blocks: usize,
+    /// Block-production rate over the window alone.
+    pub window_blocks_per_sec: f64,
+    /// 99th-percentile per-block latency inside the window.
+    pub window_p99_ms: f64,
+    /// Receipt log entries emitted by the window's blocks.
+    pub window_events: u64,
+    /// Keccak-256 digests recorded by telemetry during the window (0 when
+    /// the `telemetry` feature is off).
+    pub window_keccaks: u64,
+}
+
 /// One measured sustained-traffic run.
 #[derive(Debug, Serialize)]
 pub struct TrafficRun {
@@ -361,6 +382,16 @@ pub struct TrafficRun {
     pub mempool_sort_scanned: u64,
     /// Peak resident set size (bytes) sampled at the end of the run.
     pub peak_rss_bytes: u64,
+    /// Whether the sequencer maintained the queryable per-block log index.
+    pub log_index: bool,
+    /// Receipt log entries emitted across the whole run (every committed
+    /// operation emits; reverted transactions emit nothing).
+    pub events_emitted: u64,
+    /// Hits returned by the end-of-run smoke query (full block range, all
+    /// `Transfer` events); 0 when the index is off.
+    pub log_query_hits: u64,
+    /// Periodic per-window measurements (blocks/sec + p99 time series).
+    pub timeline: Vec<TrafficSample>,
 }
 
 /// Replays `schedule` through mempool → sequencer → OVM on the given
@@ -379,6 +410,22 @@ pub fn run_traffic(
     pool_variant: PoolVariant,
     exec: ExecMode,
 ) -> TrafficRun {
+    run_traffic_with(cfg, schedule, backend, pool_variant, exec, false)
+}
+
+/// [`run_traffic`] with the sequencer's queryable log index switched on or
+/// off — the knob the PR 9 overhead rows ablate. Event emission and
+/// per-receipt blooms are unconditional OVM behaviour; `index_logs` only
+/// controls whether the sequencer additionally folds every block into a
+/// [`parole_ovm::LogIndex`] (and answers one smoke query at the end).
+pub fn run_traffic_with(
+    cfg: &TrafficConfig,
+    schedule: &[Vec<NftTransaction>],
+    backend: StorageBackend,
+    pool_variant: PoolVariant,
+    exec: ExecMode,
+    index_logs: bool,
+) -> TrafficRun {
     assert!(
         schedule.len() >= 2,
         "need at least a warm-up block and one timed block"
@@ -394,7 +441,9 @@ pub fn run_traffic(
         PoolVariant::Indexed => BedrockMempool::new(base_fee),
         PoolVariant::LegacyFullSort => BedrockMempool::legacy_full_sort(base_fee),
     };
-    let mut seq = Sequencer::new(pool, cfg.gas_limit()).with_exec_mode(exec);
+    let mut seq = Sequencer::new(pool, cfg.gas_limit())
+        .with_exec_mode(exec)
+        .with_log_index(index_logs);
     // Admit the standing backlog before anything is timed: admission is
     // setup, the per-block cost of *carrying* the backlog is the thing
     // under measurement.
@@ -408,6 +457,16 @@ pub fn run_traffic(
     let mut root_ms_total = 0.0f64;
     let mut txs = 0usize;
     let mut reverts = 0usize;
+    let mut events_emitted = 0u64;
+    // Periodic sampling: ~8 windows over the timed region, turning the run
+    // into a blocks/sec + p99 time series (plus per-window event and
+    // telemetry-counter deltas).
+    let sample_every = ((schedule.len() - 1) / 8).max(1);
+    let mut timeline: Vec<TrafficSample> = Vec::new();
+    let mut window_ms: Vec<f64> = Vec::new();
+    let mut window_events = 0u64;
+    let mut window_started = Instant::now();
+    let mut window_keccak_base = parole_telemetry::snapshot().counter("crypto.keccak256");
     let mut started = Instant::now();
     for (i, block_txs) in schedule.iter().enumerate() {
         // Exact per-block gas limit: blocks can run short when the
@@ -427,6 +486,8 @@ pub fn run_traffic(
         let t3 = Instant::now();
         txs += block.txs.len();
         reverts += receipts.iter().filter(|r| !r.is_success()).count();
+        let block_events: u64 = receipts.iter().map(|r| r.logs.len() as u64).sum();
+        events_emitted += block_events;
         assert_eq!(
             block.txs.len(),
             block_txs.len(),
@@ -441,17 +502,48 @@ pub fn run_traffic(
             // Warm-up block: absorbs one-off allocator growth and page
             // faults, then the clock starts.
             started = Instant::now();
+            window_started = started;
+            window_keccak_base = parole_telemetry::snapshot().counter("crypto.keccak256");
             continue;
         }
         block_ms.push((t3 - t0).as_secs_f64() * 1e3);
         submit_ms_total += (t1 - t0).as_secs_f64() * 1e3;
         seal_ms_total += (t2 - t1).as_secs_f64() * 1e3;
         root_ms_total += (t3 - t2).as_secs_f64() * 1e3;
+        window_ms.push((t3 - t0).as_secs_f64() * 1e3);
+        window_events += block_events;
+        if window_ms.len() == sample_every || i == schedule.len() - 1 {
+            let w_elapsed = window_started.elapsed().as_secs_f64();
+            let keccaks_now = parole_telemetry::snapshot().counter("crypto.keccak256");
+            let mut sorted = window_ms.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let p99 = sorted[((sorted.len() as f64 * 0.99).ceil() as usize).min(sorted.len()) - 1];
+            timeline.push(TrafficSample {
+                through_block: block_ms.len(),
+                window_blocks: window_ms.len(),
+                window_blocks_per_sec: window_ms.len() as f64 / w_elapsed.max(f64::EPSILON),
+                window_p99_ms: p99,
+                window_events,
+                window_keccaks: keccaks_now.saturating_sub(window_keccak_base),
+            });
+            window_ms.clear();
+            window_events = 0;
+            window_started = Instant::now();
+            window_keccak_base = keccaks_now;
+        }
     }
     let elapsed = started.elapsed().as_secs_f64();
 
     let final_root = state.state_root();
     let root_matches_naive = final_root == state.state_root_naive();
+    // Smoke query: with the index on, every Transfer event of the run must
+    // be retrievable through the bloom-pruned query path.
+    let log_query_hits = if index_logs {
+        seq.query_logs(&LogFilter::all().of_kind(EventKind::Transfer))
+            .len() as u64
+    } else {
+        0
+    };
     let ops: PoolOpStats = seq.mempool_mut().op_stats();
 
     let mut sorted = block_ms.clone();
@@ -493,6 +585,10 @@ pub fn run_traffic(
         mempool_full_sorts: ops.full_sorts,
         mempool_sort_scanned: ops.sort_scanned,
         peak_rss_bytes: peak_rss_bytes(),
+        log_index: index_logs,
+        events_emitted,
+        log_query_hits,
+        timeline,
     }
 }
 
@@ -574,6 +670,56 @@ mod tests {
         assert_eq!(legacy.mempool_full_sorts as usize, cfg.blocks);
         assert!(legacy.mempool_sort_scanned as usize >= cfg.backlog * cfg.blocks);
         assert_eq!(legacy.mempool_heap_pops, 0);
+    }
+
+    /// The log-index knob must not change execution: an indexed run lands
+    /// on the same final root, carries a blocks/sec + p99 timeline, emits
+    /// one log stream per committed operation, and answers the Transfer
+    /// smoke query with every mint/transfer/burn of the run.
+    #[test]
+    fn log_indexed_run_agrees_and_answers_queries() {
+        let cfg = tiny();
+        let schedule = generate_blocks(&cfg);
+        let plain = run_traffic(
+            &cfg,
+            &schedule,
+            StorageBackend::Arena,
+            PoolVariant::Indexed,
+            ExecMode::Serial,
+        );
+        let indexed = run_traffic_with(
+            &cfg,
+            &schedule,
+            StorageBackend::Arena,
+            PoolVariant::Indexed,
+            ExecMode::Serial,
+            true,
+        );
+        assert_eq!(
+            plain.final_root, indexed.final_root,
+            "indexing receipts must not perturb execution"
+        );
+        assert!(indexed.log_index && !plain.log_index);
+        assert_eq!(plain.events_emitted, indexed.events_emitted);
+        assert!(indexed.events_emitted > 0, "committed ops must emit");
+        // Every scheduled op is exactly one mint/transfer/burn → exactly
+        // one Transfer event per executed transaction.
+        assert_eq!(indexed.log_query_hits as usize, indexed.txs);
+        assert_eq!(plain.log_query_hits, 0);
+        // The timeline covers the whole timed region, windows sum to it.
+        assert!(!indexed.timeline.is_empty());
+        let covered: usize = indexed.timeline.iter().map(|s| s.window_blocks).sum();
+        assert_eq!(covered, indexed.timed_blocks);
+        assert_eq!(
+            indexed.timeline.last().unwrap().through_block,
+            indexed.timed_blocks
+        );
+        let events_in_windows: u64 = indexed.timeline.iter().map(|s| s.window_events).sum();
+        assert!(events_in_windows <= indexed.events_emitted);
+        assert!(indexed
+            .timeline
+            .iter()
+            .all(|s| s.window_blocks_per_sec > 0.0 && s.window_p99_ms >= 0.0));
     }
 
     #[test]

@@ -79,6 +79,8 @@ pub fn assess(window: &[NftTransaction], ifus: &[Address]) -> ArbitrageAssessmen
                     ifu_transfers = true;
                 }
             }
+            // Approvals neither move the curve nor reposition IFU value.
+            TxKind::Approve { .. } | TxKind::SetApprovalForAll { .. } => {}
         }
     }
 

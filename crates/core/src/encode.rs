@@ -76,6 +76,8 @@ pub fn encode_tx(
         TxKind::Mint { .. } => (1.0, 0.0, 0.0),
         TxKind::Transfer { .. } => (0.0, 1.0, 0.0),
         TxKind::Burn { .. } => (0.0, 0.0, 1.0),
+        // Approvals are none of the three moves: all-zero one-hot.
+        TxKind::Approve { .. } | TxKind::SetApprovalForAll { .. } => (0.0, 0.0, 0.0),
     };
     [
         involved as u8 as f64,

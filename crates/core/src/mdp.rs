@@ -401,7 +401,9 @@ impl ReorderEnv {
                 match tx.kind {
                     TxKind::Mint { .. } => supply = supply.saturating_sub(1),
                     TxKind::Burn { .. } => supply += 1,
-                    TxKind::Transfer { .. } => {}
+                    TxKind::Transfer { .. }
+                    | TxKind::Approve { .. }
+                    | TxKind::SetApprovalForAll { .. } => {}
                 }
             }
             obs.extend_from_slice(&encode::encode_tx(

@@ -10,7 +10,9 @@
 
 use crate::{BaseFeeController, BedrockMempool};
 use parole_crypto::Hash32;
-use parole_ovm::{GasSchedule, NftTransaction, Ovm, ParallelExecutor, Receipt};
+use parole_ovm::{
+    Bloom, GasSchedule, LogFilter, LogHit, LogIndex, NftTransaction, Ovm, ParallelExecutor, Receipt,
+};
 use parole_primitives::Gas;
 use parole_state::L2State;
 use std::fmt;
@@ -62,6 +64,11 @@ pub struct SealedBlock {
     /// `None` when recording is off or the block was sealed without
     /// execution ([`Sequencer::seal_block`]).
     pub step_roots: Option<Vec<Hash32>>,
+    /// OR-fold of the executed receipts' blooms — the block-level bloom a
+    /// log query probes before scanning receipts. The zero bloom for
+    /// blocks sealed without execution ([`Sequencer::seal_block`]) and for
+    /// blocks that emitted nothing.
+    pub bloom: Bloom,
 }
 
 /// The block-producing sequencer.
@@ -74,6 +81,9 @@ pub struct Sequencer {
     ovm: Ovm,
     exec_mode: ExecMode,
     record_step_roots: bool,
+    /// Chain-level log index over executed blocks; `None` when indexing is
+    /// off ([`Sequencer::with_log_index`]).
+    log_index: Option<LogIndex>,
 }
 
 impl fmt::Debug for Sequencer {
@@ -102,6 +112,7 @@ impl Sequencer {
             ovm: Ovm::new(),
             exec_mode: ExecMode::default(),
             record_step_roots: false,
+            log_index: None,
         }
     }
 
@@ -140,6 +151,36 @@ impl Sequencer {
     /// Whether per-transaction state roots are recorded at seal time.
     pub fn records_step_roots(&self) -> bool {
         self.record_step_roots
+    }
+
+    /// Switches the chain-level log index on or off (builder-style, off by
+    /// default). With it on, every [`Sequencer::seal_and_execute`] block is
+    /// indexed — per-receipt logs behind per-receipt and per-block blooms —
+    /// and [`Sequencer::query_logs`] answers [`LogFilter`] queries over the
+    /// sealed chain. Turning indexing off mid-stream discards the index.
+    #[must_use]
+    pub fn with_log_index(mut self, on: bool) -> Self {
+        self.log_index = on.then(LogIndex::new);
+        self
+    }
+
+    /// Whether executed blocks are being log-indexed.
+    pub fn indexes_logs(&self) -> bool {
+        self.log_index.is_some()
+    }
+
+    /// The chain-level log index, when indexing is on.
+    pub fn log_index(&self) -> Option<&LogIndex> {
+        self.log_index.as_ref()
+    }
+
+    /// Answers a [`LogFilter`] query over every indexed block, in chain
+    /// order. Returns the empty vector when indexing is off.
+    pub fn query_logs(&self, filter: &LogFilter) -> Vec<LogHit> {
+        self.log_index
+            .as_ref()
+            .map(|index| index.query(filter))
+            .unwrap_or_default()
     }
 
     /// The configured execution mode.
@@ -242,6 +283,7 @@ impl Sequencer {
             gas_used,
             base_fee,
             step_roots: None,
+            bloom: Bloom::ZERO,
         }
     }
 
@@ -261,6 +303,10 @@ impl Sequencer {
         screening: Option<&mut ScreeningHook<'_>>,
     ) -> (SealedBlock, Vec<Receipt>) {
         let mut block = self.seal_block(state, screening);
+        // Event-replay oracle input: the pre-block token maps, captured
+        // before any transaction of this block executes.
+        #[cfg(feature = "audit")]
+        let pre_maps = parole_audit::replay::snapshot_maps(state);
         let receipts = match self.exec_mode {
             ExecMode::Serial if self.record_step_roots => {
                 let mut roots = Vec::with_capacity(block.txs.len() + 1);
@@ -333,6 +379,32 @@ impl Sequencer {
                 receipts
             }
         };
+        // Event-replay oracle: folding the block's receipt log stream over
+        // the pre-block maps must land exactly on the post-block ownership,
+        // approval, operator and curve maps (fail-stop).
+        #[cfg(feature = "audit")]
+        if let Err(violation) =
+            parole_audit::replay::check_event_replay(&pre_maps, &receipts, state)
+        {
+            panic!(
+                "sequencer event-replay audit failed at block {}: {violation}",
+                block.number
+            );
+        }
+
+        // The block bloom is the OR-fold of its receipts' blooms — computed
+        // unconditionally (it is a few hundred cheap byte-ORs) so sealed
+        // blocks always carry it; the queryable index is opt-in.
+        for r in &receipts {
+            block.bloom.accrue(&r.bloom);
+        }
+        if let Some(index) = self.log_index.as_mut() {
+            let indexed_bloom = index.index_block(block.number, &receipts);
+            debug_assert_eq!(
+                indexed_bloom, block.bloom,
+                "index bloom must equal the block's receipt fold"
+            );
+        }
         (block, receipts)
     }
 }
@@ -490,6 +562,63 @@ mod tests {
         assert_eq!(pblock.step_roots.as_ref(), Some(sroots));
     }
 
+    /// With log indexing on, sealed blocks carry a bloom folded from their
+    /// receipts, the index answers range/collection/address queries, and a
+    /// query for an uninvolved address is pruned by blooms alone.
+    #[test]
+    fn log_index_records_and_queries_sealed_blocks() {
+        use parole_ovm::{EventKind, LogFilter};
+
+        let txs: Vec<NftTransaction> = (1..=6).map(|i| tx(i, i)).collect();
+        let mut state = funded_world();
+        let mut seq = sequencer_with(txs, 250_000).with_log_index(true);
+        assert!(seq.indexes_logs());
+
+        let mut blocks = Vec::new();
+        while seq.pending() > 0 {
+            let (block, receipts) = seq.seal_and_execute(&mut state, None);
+            // Successful mints emit Transfer + PriceChanged → non-empty bloom.
+            assert!(receipts.iter().any(|r| r.is_success()));
+            assert!(!block.bloom.is_empty());
+            assert!(receipts
+                .iter()
+                .filter(|r| !r.logs.is_empty())
+                .all(|r| r.bloom_consistent()));
+            blocks.push(block);
+        }
+        let index = seq.log_index().expect("indexing is on");
+        assert_eq!(index.len(), blocks.len());
+
+        // Every mint produces exactly one Transfer and one PriceChanged.
+        let transfers = seq.query_logs(&LogFilter::all().of_kind(EventKind::Transfer));
+        let prices = seq.query_logs(&LogFilter::all().of_kind(EventKind::PriceChanged));
+        assert_eq!(transfers.len(), 6);
+        assert_eq!(prices.len(), 6);
+        // Chain order: block numbers ascend.
+        assert!(transfers.windows(2).all(|w| w[0].block <= w[1].block));
+
+        // Per-address query finds exactly that minter's Transfer.
+        let mine = seq.query_logs(&LogFilter::all().involving(Address::from_low_u64(3)));
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].entry.kind(), EventKind::Transfer);
+
+        // Range restriction cuts the result set down to one block.
+        let first = blocks[0].number;
+        let ranged = seq.query_logs(&LogFilter::all().in_blocks(first, first));
+        assert!(ranged.iter().all(|h| h.block == first));
+        assert!(!ranged.is_empty());
+
+        // An address never involved yields nothing (bloom-pruned or not).
+        assert!(seq
+            .query_logs(&LogFilter::all().involving(Address::from_low_u64(999)))
+            .is_empty());
+
+        // Indexing off: no index, queries come back empty.
+        let off = sequencer_with(vec![tx(1, 1)], 250_000);
+        assert!(!off.indexes_logs());
+        assert!(off.query_logs(&LogFilter::all()).is_empty());
+    }
+
     #[test]
     fn empty_mempool_seals_empty_blocks() {
         let mut seq = sequencer_with(vec![], 1_000_000);
@@ -511,5 +640,61 @@ mod tests {
             seq.seal_block(&state, None); // panics on any fee-audit violation
         }
         assert_eq!(seq.blocks_sealed(), 60);
+    }
+
+    /// With the `audit` feature on, every executed block also runs the
+    /// event-replay oracle: the receipt log stream folded over the pre-block
+    /// maps must reproduce the post-block token maps. A workload mixing all
+    /// five operations (with some reverting) across serial and parallel
+    /// modes must stay silent.
+    #[cfg(feature = "audit")]
+    #[test]
+    fn audited_execution_replays_event_streams() {
+        let coll = Address::from_low_u64(100);
+        let mixed: Vec<NftTransaction> = (1..=8u64)
+            .flat_map(|i| {
+                let sender = Address::from_low_u64(i);
+                [
+                    NftTransaction::with_fees(
+                        sender,
+                        TxKind::Mint {
+                            collection: coll,
+                            token: TokenId::new(i),
+                        },
+                        FeeBundle::from_gwei(300, i),
+                    ),
+                    NftTransaction::with_fees(
+                        sender,
+                        TxKind::SetApprovalForAll {
+                            collection: coll,
+                            operator: Address::from_low_u64(i + 1),
+                            approved: i % 2 == 0,
+                        },
+                        FeeBundle::from_gwei(300, i),
+                    ),
+                    // Half of these revert (wrong owner after the mint
+                    // interleaving) — reverted txs must emit nothing.
+                    NftTransaction::with_fees(
+                        sender,
+                        TxKind::Transfer {
+                            collection: coll,
+                            token: TokenId::new(i % 4),
+                            to: Address::from_low_u64(i + 10),
+                        },
+                        FeeBundle::from_gwei(300, i),
+                    ),
+                ]
+            })
+            .collect();
+        for mode in [ExecMode::Serial, ExecMode::Parallel { threads: 4 }] {
+            let mut state = funded_world();
+            let mut seq = sequencer_with(mixed.clone(), 600_000).with_exec_mode(mode);
+            let mut executed = 0;
+            while seq.pending() > 0 {
+                let (_, receipts) = seq.seal_and_execute(&mut state, None);
+                executed += receipts.len();
+            }
+            assert_eq!(executed, mixed.len(), "all txs must eventually execute");
+        }
     }
 }

@@ -4,7 +4,7 @@ use crate::token_table::TokenTable;
 use crate::{Erc721Event, NftError};
 use parole_primitives::{storage_backend, Address, StorageBackend, TokenId, Wei};
 use serde::{DeError, Deserialize, Serialize, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Immutable parameters fixed at contract deployment.
@@ -84,6 +84,30 @@ impl CollectionUndo {
     }
 }
 
+/// Everything one `set_approval_for_all` mutated, captured *before* the
+/// mutation so [`Collection::apply_operator_undo`] can restore it exactly.
+///
+/// Operator approvals are not per-token state (they live beside the token
+/// table, keyed by `(owner, operator)`), so they carry their own undo record
+/// instead of riding [`CollectionUndo`]. Same LIFO contract as the token
+/// undos.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorUndo {
+    owner: Address,
+    operator: Address,
+    prev_approved: bool,
+    events_len: usize,
+}
+
+impl OperatorUndo {
+    /// The owner whose operator set this operation mutated — the
+    /// `(collection, owner)` conflict-domain key the parallel scheduler
+    /// derives from the journal entry.
+    pub fn owner(&self) -> Address {
+        self.owner
+    }
+}
+
 /// A deployed limited-edition ERC-721 collection.
 ///
 /// Invariants maintained:
@@ -98,6 +122,11 @@ pub struct Collection {
     /// the flat-arena or the baseline `BTreeMap` backend. Equality,
     /// iteration order and serialization are backend-independent.
     tokens: TokenTable,
+    /// Blanket operator approvals (ERC-721 `isApprovedForAll`), as sorted
+    /// `(owner, operator)` pairs. Committed state: the collection-header
+    /// preimage absorbs the pair list, so a grant or revoke moves the state
+    /// root (the PR 5 lesson — per-token approvals once missed it).
+    operators: BTreeSet<(Address, Address)>,
     /// Append-only event log.
     events: Vec<Erc721Event>,
     /// Lifetime counters (for snapshot/marketplace statistics).
@@ -131,6 +160,7 @@ impl Collection {
         Collection {
             config,
             tokens: TokenTable::new(backend),
+            operators: BTreeSet::new(),
             events: Vec::new(),
             total_mints: 0,
             total_transfers: 0,
@@ -341,6 +371,20 @@ impl Collection {
         Ok(undo)
     }
 
+    /// Checks the `approve` constraints without mutating: the token must be
+    /// minted and `owner` must own it.
+    pub fn can_approve(&self, owner: Address, token: TokenId) -> Result<(), NftError> {
+        match self.owner_of(token) {
+            None => Err(NftError::NotMinted(token)),
+            Some(actual) if actual != owner => Err(NftError::NotOwner {
+                claimed: owner,
+                actual,
+                token,
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
     /// Approves `operator` to move `token` (ERC-721 `approve`).
     ///
     /// # Errors
@@ -370,28 +414,19 @@ impl Collection {
         operator: Address,
         token: TokenId,
     ) -> Result<CollectionUndo, NftError> {
-        match self.owner_of(token) {
-            None => Err(NftError::NotMinted(token)),
-            Some(actual) if actual != owner => Err(NftError::NotOwner {
-                claimed: owner,
-                actual,
-                token,
-            }),
-            Some(_) => {
-                let undo = self.undo_point(token);
-                if operator.is_zero() {
-                    self.tokens.set_approval(token, None);
-                } else {
-                    self.tokens.set_approval(token, Some(operator));
-                }
-                self.events.push(Erc721Event::Approval {
-                    owner,
-                    approved: operator,
-                    token,
-                });
-                Ok(undo)
-            }
+        self.can_approve(owner, token)?;
+        let undo = self.undo_point(token);
+        if operator.is_zero() {
+            self.tokens.set_approval(token, None);
+        } else {
+            self.tokens.set_approval(token, Some(operator));
         }
+        self.events.push(Erc721Event::Approval {
+            owner,
+            approved: operator,
+            token,
+        });
+        Ok(undo)
     }
 
     /// The approved operator for `token`, if any.
@@ -411,8 +446,103 @@ impl Collection {
         self.tokens.approval_count()
     }
 
-    /// Transfers on behalf of the owner; `operator` must be the owner or the
-    /// approved operator (ERC-721 `transferFrom`).
+    /// Checks the `set_approval_for_all` constraints without mutating:
+    /// the operator must be a real third party (non-zero, not the owner).
+    pub fn can_set_approval_for_all(
+        &self,
+        owner: Address,
+        operator: Address,
+    ) -> Result<(), NftError> {
+        if operator.is_zero() || operator == owner {
+            return Err(NftError::InvalidOperator { owner, operator });
+        }
+        Ok(())
+    }
+
+    /// Grants or revokes `operator`'s blanket right to move any of `owner`'s
+    /// tokens (ERC-721 `setApprovalForAll`). Always emits an
+    /// [`Erc721Event::ApprovalForAll`], even when the flag does not change —
+    /// mirroring the standard's unconditional event.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NftError::InvalidOperator`] for a zero or self operator.
+    pub fn set_approval_for_all(
+        &mut self,
+        owner: Address,
+        operator: Address,
+        approved: bool,
+    ) -> Result<(), NftError> {
+        self.set_approval_for_all_undoable(owner, operator, approved)
+            .map(drop)
+    }
+
+    /// [`Collection::set_approval_for_all`] that also returns an undo record
+    /// for the journal.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Collection::set_approval_for_all`]; on error
+    /// nothing is mutated and no undo record is produced.
+    pub fn set_approval_for_all_undoable(
+        &mut self,
+        owner: Address,
+        operator: Address,
+        approved: bool,
+    ) -> Result<OperatorUndo, NftError> {
+        self.can_set_approval_for_all(owner, operator)?;
+        let undo = OperatorUndo {
+            owner,
+            operator,
+            prev_approved: self.operators.contains(&(owner, operator)),
+            events_len: self.events.len(),
+        };
+        if approved {
+            self.operators.insert((owner, operator));
+        } else {
+            self.operators.remove(&(owner, operator));
+        }
+        self.events.push(Erc721Event::ApprovalForAll {
+            owner,
+            operator,
+            approved,
+        });
+        Ok(undo)
+    }
+
+    /// Restores the state captured by the `set_approval_for_all_undoable`
+    /// call that produced `undo`. Same LIFO contract as
+    /// [`Collection::apply_undo`].
+    pub fn apply_operator_undo(&mut self, undo: OperatorUndo) {
+        if undo.prev_approved {
+            self.operators.insert((undo.owner, undo.operator));
+        } else {
+            self.operators.remove(&(undo.owner, undo.operator));
+        }
+        self.events.truncate(undo.events_len);
+    }
+
+    /// `true` when `operator` holds a blanket approval from `owner`
+    /// (ERC-721 `isApprovedForAll`).
+    pub fn is_approved_for_all(&self, owner: Address, operator: Address) -> bool {
+        self.operators.contains(&(owner, operator))
+    }
+
+    /// Iterates over outstanding `(owner, operator)` blanket approvals in
+    /// sorted order — the iteration the collection-header commitment
+    /// preimage absorbs, so it must be deterministic.
+    pub fn operator_pairs(&self) -> impl Iterator<Item = (Address, Address)> + '_ {
+        self.operators.iter().copied()
+    }
+
+    /// Number of outstanding blanket operator approvals.
+    pub fn operator_approval_count(&self) -> u64 {
+        self.operators.len() as u64
+    }
+
+    /// Transfers on behalf of the owner; `operator` must be the owner, the
+    /// per-token approved operator, or hold a blanket approval from the
+    /// current owner (ERC-721 `transferFrom`).
     ///
     /// # Errors
     ///
@@ -425,8 +555,11 @@ impl Collection {
         to: Address,
         token: TokenId,
     ) -> Result<(), NftError> {
-        let authorized =
-            self.is_owner(operator, token) || self.get_approved(token) == Some(operator);
+        let authorized = self.is_owner(operator, token)
+            || self.get_approved(token) == Some(operator)
+            || self
+                .owner_of(token)
+                .is_some_and(|owner| self.is_approved_for_all(owner, operator));
         if !authorized {
             return Err(NftError::NotAuthorized { operator, token });
         }
@@ -542,6 +675,7 @@ impl PartialEq for Collection {
             && self.total_burns == other.total_burns
             && self.tokens.active_count() == other.tokens.active_count()
             && self.tokens.approval_count() == other.tokens.approval_count()
+            && self.operators == other.operators
             && self.events == other.events
             && self.tokens.iter().eq(other.tokens.iter())
             && self
@@ -568,10 +702,16 @@ impl Serialize for Collection {
             .approvals_iter()
             .map(|(t, op)| (t.to_value(), op.to_value()))
             .collect();
+        let operators: Vec<Value> = self
+            .operators
+            .iter()
+            .map(|(owner, op)| Value::Seq(vec![owner.to_value(), op.to_value()]))
+            .collect();
         Value::Map(vec![
             (Value::Str("config".to_string()), self.config.to_value()),
             (Value::Str("owners".to_string()), Value::Map(owners)),
             (Value::Str("approvals".to_string()), Value::Map(approvals)),
+            (Value::Str("operators".to_string()), Value::Seq(operators)),
             (Value::Str("events".to_string()), self.events.to_value()),
             (
                 Value::Str("total_mints".to_string()),
@@ -613,6 +753,36 @@ impl Deserialize for Collection {
         let owners = BTreeMap::<TokenId, Address>::from_value(struct_field(value, "owners")?)?;
         let approvals =
             BTreeMap::<TokenId, Address>::from_value(struct_field(value, "approvals")?)?;
+        // Pre-PR artifacts have no `operators` field: treat absent as empty.
+        let mut operators = BTreeSet::new();
+        if let Ok(field) = struct_field(value, "operators") {
+            match field {
+                Value::Seq(pairs) => {
+                    for pair in pairs {
+                        match pair {
+                            Value::Seq(items) if items.len() == 2 => {
+                                operators.insert((
+                                    Address::from_value(&items[0])?,
+                                    Address::from_value(&items[1])?,
+                                ));
+                            }
+                            other => {
+                                return Err(DeError::custom(format!(
+                                    "Collection: operator pair must be a 2-seq, found {}",
+                                    other.kind()
+                                )))
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(DeError::custom(format!(
+                        "Collection: operators must be a seq, found {}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
         let events = Vec::<Erc721Event>::from_value(struct_field(value, "events")?)?;
         let total_mints = u64::from_value(struct_field(value, "total_mints")?)?;
         let total_transfers = u64::from_value(struct_field(value, "total_transfers")?)?;
@@ -627,6 +797,7 @@ impl Deserialize for Collection {
         Ok(Collection {
             config,
             tokens,
+            operators,
             events,
             total_mints,
             total_transfers,
@@ -953,6 +1124,100 @@ mod tests {
             .is_err());
         assert!(c.burn_undoable(addr(2), TokenId::new(0)).is_err());
         assert_eq!(c, before);
+    }
+
+    #[test]
+    fn set_approval_for_all_grants_revokes_and_emits() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        assert!(!c.is_approved_for_all(addr(1), addr(9)));
+        c.set_approval_for_all(addr(1), addr(9), true).unwrap();
+        assert!(c.is_approved_for_all(addr(1), addr(9)));
+        assert_eq!(c.operator_approval_count(), 1);
+        // Blanket approval authorizes transferFrom without per-token approve.
+        c.transfer_from(addr(9), addr(1), addr(2), TokenId::new(0))
+            .unwrap();
+        assert_eq!(c.owner_of(TokenId::new(0)), Some(addr(2)));
+        // The new owner never granted anything: the old grant is dead.
+        assert_eq!(
+            c.transfer_from(addr(9), addr(2), addr(3), TokenId::new(0)),
+            Err(NftError::NotAuthorized {
+                operator: addr(9),
+                token: TokenId::new(0)
+            })
+        );
+        c.set_approval_for_all(addr(1), addr(9), false).unwrap();
+        assert!(!c.is_approved_for_all(addr(1), addr(9)));
+        let afa_events: Vec<_> = c
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Erc721Event::ApprovalForAll { .. }))
+            .collect();
+        assert_eq!(afa_events.len(), 2);
+    }
+
+    #[test]
+    fn set_approval_for_all_rejects_degenerate_operators() {
+        let mut c = pt();
+        assert_eq!(
+            c.set_approval_for_all(addr(1), Address::ZERO, true),
+            Err(NftError::InvalidOperator {
+                owner: addr(1),
+                operator: Address::ZERO
+            })
+        );
+        assert_eq!(
+            c.set_approval_for_all(addr(1), addr(1), true),
+            Err(NftError::InvalidOperator {
+                owner: addr(1),
+                operator: addr(1)
+            })
+        );
+        let before = c.clone();
+        assert!(c
+            .set_approval_for_all_undoable(addr(1), addr(1), true)
+            .is_err());
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn operator_undo_restores_exact_state() {
+        let mut c = pt();
+        c.mint(addr(1), TokenId::new(0)).unwrap();
+        c.set_approval_for_all(addr(1), addr(8), true).unwrap();
+        let before = c.clone();
+
+        let u1 = c
+            .set_approval_for_all_undoable(addr(1), addr(9), true)
+            .unwrap();
+        let u2 = c
+            .set_approval_for_all_undoable(addr(1), addr(8), false)
+            .unwrap();
+        // Re-granting an existing pair is a journaled no-op on the set but
+        // still appends an event.
+        let u3 = c
+            .set_approval_for_all_undoable(addr(1), addr(9), true)
+            .unwrap();
+        assert_ne!(c, before);
+
+        c.apply_operator_undo(u3);
+        c.apply_operator_undo(u2);
+        c.apply_operator_undo(u1);
+        assert_eq!(c, before);
+        assert!(c.is_approved_for_all(addr(1), addr(8)));
+    }
+
+    #[test]
+    fn operator_pairs_iterate_sorted() {
+        let mut c = pt();
+        c.set_approval_for_all(addr(2), addr(9), true).unwrap();
+        c.set_approval_for_all(addr(1), addr(8), true).unwrap();
+        c.set_approval_for_all(addr(1), addr(7), true).unwrap();
+        let pairs: Vec<_> = c.operator_pairs().collect();
+        assert_eq!(
+            pairs,
+            vec![(addr(1), addr(7)), (addr(1), addr(8)), (addr(2), addr(9))]
+        );
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub enum NftError {
         /// The token in question.
         token: TokenId,
     },
+    /// A `setApprovalForAll` named a degenerate operator: the zero address
+    /// or the owner itself.
+    InvalidOperator {
+        /// The owner attempting the grant.
+        owner: Address,
+        /// The rejected operator.
+        operator: Address,
+    },
     /// Transfer to the zero address (burns must use `burn`).
     TransferToZero,
     /// Self-transfer, which the simulated marketplace rejects as a trivial
@@ -58,6 +66,9 @@ impl fmt::Display for NftError {
             }
             NftError::NotAuthorized { operator, token } => {
                 write!(f, "{operator} is not authorized for {token}")
+            }
+            NftError::InvalidOperator { owner, operator } => {
+                write!(f, "{owner} cannot approve degenerate operator {operator}")
             }
             NftError::TransferToZero => write!(f, "transfer to the zero address"),
             NftError::SelfTransfer => write!(f, "self-transfer rejected"),

@@ -31,6 +31,16 @@ pub enum Erc721Event {
         /// The token in question.
         token: TokenId,
     },
+    /// `owner` granted or revoked `operator`'s right to move *any* of the
+    /// owner's tokens in this collection (ERC-721 `setApprovalForAll`).
+    ApprovalForAll {
+        /// The owner granting or revoking blanket approval.
+        owner: Address,
+        /// The operator the grant applies to.
+        operator: Address,
+        /// `true` grants, `false` revokes.
+        approved: bool,
+    },
     /// The bonding-curve price moved after a mint or burn.
     PriceChanged {
         /// Price before the operation.
@@ -72,6 +82,14 @@ impl fmt::Display for Erc721Event {
                 token,
             } => {
                 write!(f, "Approval({token}: {owner} approves {approved})")
+            }
+            Erc721Event::ApprovalForAll {
+                owner,
+                operator,
+                approved,
+            } => {
+                let verb = if *approved { "grants" } else { "revokes" };
+                write!(f, "ApprovalForAll({owner} {verb} {operator})")
             }
             Erc721Event::PriceChanged {
                 old_price,

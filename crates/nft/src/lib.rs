@@ -43,7 +43,7 @@ mod error;
 mod event;
 mod token_table;
 
-pub use collection::{Collection, CollectionConfig, CollectionUndo};
+pub use collection::{Collection, CollectionConfig, CollectionUndo, OperatorUndo};
 pub use error::NftError;
 pub use event::Erc721Event;
 pub use token_table::{TokenRec, TokenTable};

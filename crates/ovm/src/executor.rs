@@ -1,5 +1,6 @@
 //! The OVM execution engine.
 
+use crate::logs::{Bloom, LogEntry};
 use crate::{GasSchedule, NftTransaction, Receipt, RevertReason, TxKind, TxStatus};
 use parole_nft::NftError;
 use parole_primitives::Wei;
@@ -97,7 +98,8 @@ impl Ovm {
             .collection_price(tx.kind.collection())
             .unwrap_or(Wei::ZERO);
 
-        let receipt = |status: TxStatus, fee_paid: Wei, price_after: Wei| {
+        let receipt = |status: TxStatus, fee_paid: Wei, price_after: Wei, logs: Vec<LogEntry>| {
+            let bloom = Bloom::of_logs(&logs);
             let r = Receipt {
                 tx_hash: tx.tx_hash(),
                 status,
@@ -105,6 +107,8 @@ impl Ovm {
                 fee_paid,
                 price_before,
                 price_after,
+                logs,
+                bloom,
             };
             Self::record_outcome(&r);
             r
@@ -122,6 +126,7 @@ impl Ovm {
                 TxStatus::Reverted(RevertReason::BadSignature),
                 Wei::ZERO,
                 price_before,
+                Vec::new(),
             );
         }
 
@@ -132,14 +137,32 @@ impl Ovm {
                 TxStatus::Reverted(RevertReason::CannotPayFees),
                 Wei::ZERO,
                 price_before,
+                Vec::new(),
             );
         }
 
+        // Event capture brackets the operation: the collection's event log
+        // is journaled with the rest of its state, so a reverted operation
+        // leaves the high-water mark where it was and the slice below is
+        // empty. The length probe records no read — receipts are execution
+        // outputs, not state the OCC scheduler needs to serialize on.
+        let collection_addr = tx.kind.collection();
+        let events_start = state.collection_events_len(collection_addr).unwrap_or(0);
         let status = self.apply_operation(state, tx, price_before);
-        let price_after = state
-            .collection_price(tx.kind.collection())
-            .unwrap_or(Wei::ZERO);
-        receipt(status, fee, price_after)
+        let logs: Vec<LogEntry> = state
+            .collection_events_since(collection_addr, events_start)
+            .map(|events| {
+                events
+                    .iter()
+                    .map(|&event| LogEntry {
+                        collection: collection_addr,
+                        event,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let price_after = state.collection_price(collection_addr).unwrap_or(Wei::ZERO);
+        receipt(status, fee, price_after, logs)
     }
 
     /// Records per-transaction outcome telemetry; called once per
@@ -148,6 +171,10 @@ impl Ovm {
         parole_telemetry::counter("ovm.txs_executed", 1);
         if !receipt.is_success() {
             parole_telemetry::counter("ovm.txs_reverted", 1);
+        }
+        if !receipt.logs.is_empty() {
+            parole_telemetry::counter("events.emitted", receipt.logs.len() as u64);
+            parole_telemetry::counter("events.receipts_with_logs", 1);
         }
     }
 
@@ -218,6 +245,44 @@ impl Ovm {
                 }
                 state
                     .nft_burn(collection_addr, tx.sender, token)
+                    .expect("checked above")
+                    .expect("constraints just checked");
+                TxStatus::Executed
+            }
+            // ERC-721 `approve`: per-token operator grant, no payment, no
+            // curve movement. Reads exactly the token's leaf.
+            TxKind::Approve {
+                token, operator, ..
+            } => {
+                let Ok(contract_ok) = state.nft_can_approve(collection_addr, tx.sender, token)
+                else {
+                    return TxStatus::Reverted(RevertReason::NoSuchCollection);
+                };
+                if let Err(e) = contract_ok {
+                    return map_nft_error(e);
+                }
+                state
+                    .nft_approve(collection_addr, tx.sender, operator, token)
+                    .expect("checked above")
+                    .expect("constraints just checked");
+                TxStatus::Executed
+            }
+            // ERC-721 `setApprovalForAll`: blanket operator grant/revoke.
+            // Reads and writes only the sender's operator record — disjoint
+            // from every token leaf and from the supply counters.
+            TxKind::SetApprovalForAll {
+                operator, approved, ..
+            } => {
+                let Ok(contract_ok) =
+                    state.nft_can_set_approval_for_all(collection_addr, tx.sender, operator)
+                else {
+                    return TxStatus::Reverted(RevertReason::NoSuchCollection);
+                };
+                if let Err(e) = contract_ok {
+                    return map_nft_error(e);
+                }
+                state
+                    .nft_set_approval_for_all(collection_addr, tx.sender, operator, approved)
                     .expect("checked above")
                     .expect("constraints just checked");
                 TxStatus::Executed
@@ -295,6 +360,22 @@ impl Ovm {
                     .expect("validated speculation: collection exists")
                     .expect("validated speculation: burn constraints held");
             }
+            TxKind::Approve {
+                token, operator, ..
+            } => {
+                state
+                    .nft_approve(collection, tx.sender, operator, token)
+                    .expect("validated speculation: collection exists")
+                    .expect("validated speculation: approve constraints held");
+            }
+            TxKind::SetApprovalForAll {
+                operator, approved, ..
+            } => {
+                state
+                    .nft_set_approval_for_all(collection, tx.sender, operator, approved)
+                    .expect("validated speculation: collection exists")
+                    .expect("validated speculation: operator constraints held");
+            }
         }
     }
 
@@ -334,6 +415,7 @@ fn map_nft_error(e: NftError) -> TxStatus {
         NftError::NotMinted(_) => RevertReason::NoSuchToken,
         NftError::NotOwner { .. } | NftError::NotAuthorized { .. } => RevertReason::NotOwner,
         NftError::TransferToZero | NftError::SelfTransfer => RevertReason::BadTransfer,
+        NftError::InvalidOperator { .. } => RevertReason::BadOperator,
     };
     TxStatus::Reverted(reason)
 }

@@ -25,6 +25,14 @@ pub struct GasSchedule {
     pub burn_gas: Gas,
     /// Gas limit a wallet attaches to a burn.
     pub burn_limit: Gas,
+    /// Gas consumed by a per-token approve.
+    pub approve_gas: Gas,
+    /// Gas limit a wallet attaches to a per-token approve.
+    pub approve_limit: Gas,
+    /// Gas consumed by a blanket operator approval (`setApprovalForAll`).
+    pub operator_approval_gas: Gas,
+    /// Gas limit a wallet attaches to a blanket operator approval.
+    pub operator_approval_limit: Gas,
 }
 
 impl GasSchedule {
@@ -40,6 +48,13 @@ impl GasSchedule {
             // 48_874 / 70_000 = 69.82%
             burn_gas: Gas::new(48_874),
             burn_limit: Gas::new(70_000),
+            // Approvals are cheaper than moves: one storage slot, no value
+            // transfer. Mainnet ERC-721 approve ~48.5k, setApprovalForAll
+            // ~46k against the same 70k wallet limit.
+            approve_gas: Gas::new(48_500),
+            approve_limit: Gas::new(70_000),
+            operator_approval_gas: Gas::new(46_000),
+            operator_approval_limit: Gas::new(70_000),
         }
     }
 
@@ -53,6 +68,10 @@ impl GasSchedule {
             transfer_limit: Gas::new(gas * 2),
             burn_gas: Gas::new(gas),
             burn_limit: Gas::new(gas * 2),
+            approve_gas: Gas::new(gas),
+            approve_limit: Gas::new(gas * 2),
+            operator_approval_gas: Gas::new(gas),
+            operator_approval_limit: Gas::new(gas * 2),
         }
     }
 
@@ -62,6 +81,8 @@ impl GasSchedule {
             TxKind::Mint { .. } => self.mint_gas,
             TxKind::Transfer { .. } => self.transfer_gas,
             TxKind::Burn { .. } => self.burn_gas,
+            TxKind::Approve { .. } => self.approve_gas,
+            TxKind::SetApprovalForAll { .. } => self.operator_approval_gas,
         }
     }
 
@@ -71,6 +92,8 @@ impl GasSchedule {
             TxKind::Mint { .. } => self.mint_limit,
             TxKind::Transfer { .. } => self.transfer_limit,
             TxKind::Burn { .. } => self.burn_limit,
+            TxKind::Approve { .. } => self.approve_limit,
+            TxKind::SetApprovalForAll { .. } => self.operator_approval_limit,
         }
     }
 
@@ -92,7 +115,7 @@ mod tests {
     use super::*;
     use parole_primitives::{Address, TokenId};
 
-    fn kinds() -> [TxKind; 3] {
+    fn kinds() -> [TxKind; 5] {
         let c = Address::from_low_u64(1);
         let t = TokenId::new(0);
         [
@@ -109,13 +132,23 @@ mod tests {
                 collection: c,
                 token: t,
             },
+            TxKind::Approve {
+                collection: c,
+                token: t,
+                operator: Address::from_low_u64(9),
+            },
+            TxKind::SetApprovalForAll {
+                collection: c,
+                operator: Address::from_low_u64(9),
+                approved: true,
+            },
         ]
     }
 
     #[test]
     fn paper_utilisation_matches_table3() {
         let sched = GasSchedule::paper_calibrated();
-        let [mint, transfer, burn] = kinds();
+        let [mint, transfer, burn, _, _] = kinds();
         assert!((sched.utilisation_for(&mint) - 90.91).abs() < 0.01);
         assert!((sched.utilisation_for(&transfer) - 69.84).abs() < 0.01);
         assert!((sched.utilisation_for(&burn) - 69.82).abs() < 0.01);
@@ -124,17 +157,22 @@ mod tests {
     #[test]
     fn mint_is_the_heaviest_operation() {
         let sched = GasSchedule::paper_calibrated();
-        let [mint, transfer, burn] = kinds();
+        let [mint, transfer, burn, approve, sfa] = kinds();
         assert!(sched.gas_for(&mint) > sched.gas_for(&transfer));
         assert!(sched.gas_for(&mint) > sched.gas_for(&burn));
+        // Approvals undercut every move; the blanket grant is cheapest.
+        assert!(sched.gas_for(&approve) < sched.gas_for(&burn));
+        assert!(sched.gas_for(&sfa) < sched.gas_for(&approve));
     }
 
     #[test]
     fn flat_schedule_is_uniform() {
         let sched = GasSchedule::flat(1000);
-        let [mint, transfer, burn] = kinds();
+        let [mint, transfer, burn, approve, sfa] = kinds();
         assert_eq!(sched.gas_for(&mint), sched.gas_for(&transfer));
         assert_eq!(sched.gas_for(&burn), Gas::new(1000));
+        assert_eq!(sched.gas_for(&approve), Gas::new(1000));
+        assert_eq!(sched.gas_for(&sfa), Gas::new(1000));
         assert!((sched.utilisation_for(&mint) - 50.0).abs() < f64::EPSILON);
     }
 }

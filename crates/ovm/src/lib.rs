@@ -9,7 +9,12 @@
 //!
 //! - the three NFT transaction types ([`TxKind::Mint`], [`TxKind::Transfer`],
 //!   [`TxKind::Burn`]) with the full constraint semantics of the paper's
-//!   Eq. 1–6 (contract-level ownership/supply checks *and* balance checks);
+//!   Eq. 1–6 (contract-level ownership/supply checks *and* balance checks),
+//!   plus the ERC-721 approval operations ([`TxKind::Approve`],
+//!   [`TxKind::SetApprovalForAll`]);
+//! - chain-level observability: every [`Receipt`] carries the ordered
+//!   [`LogEntry`] slice its operation emitted and a 2048-bit [`Bloom`]
+//!   over it, queryable through [`LogFilter`] (see `crate::logs`);
 //! - revert semantics: a transaction whose constraints fail is skipped with a
 //!   [`Receipt`] recording the reason, leaving state untouched;
 //! - a calibrated [`GasSchedule`] reproducing the shape of the paper's
@@ -42,6 +47,7 @@
 
 mod executor;
 mod gas;
+mod logs;
 mod parallel;
 mod prefix;
 mod receipt;
@@ -49,6 +55,9 @@ mod tx;
 
 pub use executor::{Ovm, OvmConfig};
 pub use gas::GasSchedule;
+pub use logs::{
+    BlockLogs, Bloom, EventKind, LogEntry, LogFilter, LogHit, LogIndex, ReceiptLogs, BLOOM_BYTES,
+};
 pub use parallel::{ParallelExecutor, ParallelStats};
 pub use prefix::{PrefixExecutor, PrefixStats};
 pub use receipt::{Receipt, RevertReason, TxStatus};

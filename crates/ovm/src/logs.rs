@@ -1,0 +1,677 @@
+//! Receipt event logs and Ethereum-style bloom filters.
+//!
+//! Every executed transaction carries the ordered [`LogEntry`] slice its
+//! operation emitted (the collection's [`Erc721Event`]s, tagged with the
+//! emitting collection address) plus a per-receipt [`Bloom`] over the
+//! entries. Blocks OR their receipts' blooms into a block bloom, so a log
+//! query ([`LogFilter`]) can skip whole blocks — and within a block, whole
+//! receipts — without touching the entries themselves.
+//!
+//! The bloom is the Ethereum design at the same parameters: 2048 bits
+//! (256 bytes), three bit positions per indexed item, each position taken
+//! from a big-endian byte pair of the item's keccak-256 digest modulo 2048.
+//! Three kinds of item are indexed per entry: the emitting collection, the
+//! event kind, and every non-zero address the event involves — each behind
+//! a distinct domain tag so a collection address can never alias an
+//! involved address. Blooms are **false-positive-only by construction**: a
+//! member's bits are all set at insertion and never cleared, so a negative
+//! answer is definitive while a positive one merely licenses the exact
+//! scan. The proptests in `tests/logs.rs` pin the no-false-negative side.
+
+use crate::Receipt;
+use parole_crypto::keccak256;
+use parole_nft::Erc721Event;
+use parole_primitives::{Address, Hash32};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Bytes in a bloom filter (2048 bits — Ethereum's log-bloom width).
+pub const BLOOM_BYTES: usize = 256;
+
+/// Domain tag for an indexed collection address.
+const TOPIC_COLLECTION: u8 = 0x01;
+/// Domain tag for an indexed event kind.
+const TOPIC_KIND: u8 = 0x02;
+/// Domain tag for an indexed involved address.
+const TOPIC_ADDRESS: u8 = 0x03;
+
+/// One receipt log entry: an ERC-721 event plus the collection that
+/// emitted it (the event alone does not name its contract, exactly as on
+/// the real chain where the emitting address rides in the log, not the
+/// event payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The collection contract that emitted the event.
+    pub collection: Address,
+    /// The event payload.
+    pub event: Erc721Event,
+}
+
+impl LogEntry {
+    /// The entry's event kind (the coarse classification queries filter on).
+    pub fn kind(&self) -> EventKind {
+        EventKind::of(&self.event)
+    }
+
+    /// The non-zero addresses the event involves, in payload order. Mints
+    /// and burns suppress the zero side of their transfer, and
+    /// `PriceChanged` involves nobody.
+    pub fn addresses(&self) -> impl Iterator<Item = Address> {
+        let pair = match self.event {
+            Erc721Event::Transfer { from, to, .. } => [Some(from), Some(to)],
+            Erc721Event::Approval {
+                owner, approved, ..
+            } => [Some(owner), Some(approved)],
+            Erc721Event::ApprovalForAll {
+                owner, operator, ..
+            } => [Some(owner), Some(operator)],
+            Erc721Event::PriceChanged { .. } => [None, None],
+        };
+        pair.into_iter().flatten().filter(|a| !a.is_zero())
+    }
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.event, self.collection)
+    }
+}
+
+/// The coarse event classification a [`LogFilter`] can select on — one
+/// variant per [`Erc721Event`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// `Transfer` (covers mints and burns — zero-address convention).
+    Transfer,
+    /// Per-token `Approval`.
+    Approval,
+    /// Blanket `ApprovalForAll`.
+    ApprovalForAll,
+    /// Bonding-curve `PriceChanged`.
+    PriceChanged,
+}
+
+impl EventKind {
+    /// The kind of an event payload.
+    pub fn of(event: &Erc721Event) -> EventKind {
+        match event {
+            Erc721Event::Transfer { .. } => EventKind::Transfer,
+            Erc721Event::Approval { .. } => EventKind::Approval,
+            Erc721Event::ApprovalForAll { .. } => EventKind::ApprovalForAll,
+            Erc721Event::PriceChanged { .. } => EventKind::PriceChanged,
+        }
+    }
+
+    /// Stable one-byte tag (the bloom item payload).
+    fn tag(self) -> u8 {
+        match self {
+            EventKind::Transfer => 0,
+            EventKind::Approval => 1,
+            EventKind::ApprovalForAll => 2,
+            EventKind::PriceChanged => 3,
+        }
+    }
+
+    /// Short label for displays.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Transfer => "Transfer",
+            EventKind::Approval => "Approval",
+            EventKind::ApprovalForAll => "ApprovalForAll",
+            EventKind::PriceChanged => "PriceChanged",
+        }
+    }
+}
+
+/// A 2048-bit bloom filter over log entries (per-receipt, and OR-folded
+/// per-block).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Bloom([u8; BLOOM_BYTES]);
+
+impl Bloom {
+    /// The empty bloom (matches nothing, definitively).
+    pub const ZERO: Bloom = Bloom([0u8; BLOOM_BYTES]);
+
+    /// `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Number of set bits (diagnostics; density drives the false-positive
+    /// rate).
+    pub fn bits_set(&self) -> u32 {
+        self.0.iter().map(|b| b.count_ones()).sum()
+    }
+
+    /// Raw filter bytes.
+    pub fn as_bytes(&self) -> &[u8; BLOOM_BYTES] {
+        &self.0
+    }
+
+    /// The three bit positions of one item: big-endian byte pairs 0-1, 2-3
+    /// and 4-5 of `keccak256(item)`, each modulo 2048 (the Ethereum
+    /// derivation at yellow-paper parameters).
+    fn positions(item: &[u8]) -> [u16; 3] {
+        let h = keccak256(item);
+        let b = h.as_bytes();
+        let pos = |i: usize| u16::from_be_bytes([b[i], b[i + 1]]) % 2048;
+        [pos(0), pos(2), pos(4)]
+    }
+
+    fn set(&mut self, item: &[u8]) {
+        for p in Self::positions(item) {
+            self.0[(p / 8) as usize] |= 1 << (p % 8);
+        }
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        Self::positions(item)
+            .into_iter()
+            .all(|p| self.0[(p / 8) as usize] & (1 << (p % 8)) != 0)
+    }
+
+    /// Folds `other` into `self` (set union) — how a block bloom accrues
+    /// its receipts' blooms.
+    pub fn accrue(&mut self, other: &Bloom) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Indexes one log entry: its collection, its event kind, and every
+    /// non-zero involved address, each under its domain tag.
+    pub fn accrue_log(&mut self, log: &LogEntry) {
+        self.set(&Self::collection_item(log.collection));
+        self.set(&[TOPIC_KIND, log.kind().tag()]);
+        for who in log.addresses() {
+            self.set(&Self::address_item(who));
+        }
+    }
+
+    /// A bloom over exactly the given entries.
+    pub fn of_logs<'a>(logs: impl IntoIterator<Item = &'a LogEntry>) -> Bloom {
+        let mut bloom = Bloom::ZERO;
+        for log in logs {
+            bloom.accrue_log(log);
+        }
+        bloom
+    }
+
+    /// Membership probe for an emitting collection. `false` is definitive;
+    /// `true` may be a false positive.
+    pub fn might_contain_collection(&self, collection: Address) -> bool {
+        self.contains(&Self::collection_item(collection))
+    }
+
+    /// Membership probe for an event kind.
+    pub fn might_contain_kind(&self, kind: EventKind) -> bool {
+        self.contains(&[TOPIC_KIND, kind.tag()])
+    }
+
+    /// Membership probe for an involved address.
+    pub fn might_contain_address(&self, who: Address) -> bool {
+        self.contains(&Self::address_item(who))
+    }
+
+    fn collection_item(addr: Address) -> [u8; 21] {
+        let mut item = [0u8; 21];
+        item[0] = TOPIC_COLLECTION;
+        item[1..].copy_from_slice(addr.as_bytes());
+        item
+    }
+
+    fn address_item(addr: Address) -> [u8; 21] {
+        let mut item = [0u8; 21];
+        item[0] = TOPIC_ADDRESS;
+        item[1..].copy_from_slice(addr.as_bytes());
+        item
+    }
+}
+
+impl Default for Bloom {
+    fn default() -> Self {
+        Bloom::ZERO
+    }
+}
+
+impl fmt::Debug for Bloom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bloom({} bits set)", self.bits_set())
+    }
+}
+
+impl Serialize for Bloom {
+    fn to_value(&self) -> Value {
+        // Hex-compact: 512 chars instead of a 256-element number array.
+        let mut s = String::with_capacity(2 * BLOOM_BYTES);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+            s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+        }
+        Value::Str(s)
+    }
+}
+
+impl Deserialize for Bloom {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let Value::Str(s) = value else {
+            return Err(DeError::custom("Bloom: expected hex string"));
+        };
+        if s.len() != 2 * BLOOM_BYTES {
+            return Err(DeError::custom(format!(
+                "Bloom: expected {} hex chars, found {}",
+                2 * BLOOM_BYTES,
+                s.len()
+            )));
+        }
+        let nibble = |c: char| {
+            c.to_digit(16)
+                .map(|d| d as u8)
+                .ok_or_else(|| DeError::custom(format!("Bloom: bad hex digit {c:?}")))
+        };
+        let mut bytes = [0u8; BLOOM_BYTES];
+        let mut chars = s.chars();
+        for byte in &mut bytes {
+            let hi = nibble(chars.next().expect("length checked"))?;
+            let lo = nibble(chars.next().expect("length checked"))?;
+            *byte = (hi << 4) | lo;
+        }
+        Ok(Bloom(bytes))
+    }
+}
+
+/// A log query: block range × collection × event kind × involved address.
+/// Every constraint is optional; an unset field matches everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogFilter {
+    /// Lowest block number to scan (inclusive); unset = from genesis.
+    pub from_block: Option<u64>,
+    /// Highest block number to scan (inclusive); unset = to tip.
+    pub to_block: Option<u64>,
+    /// Only entries emitted by this collection.
+    pub collection: Option<Address>,
+    /// Only entries of this event kind.
+    pub kind: Option<EventKind>,
+    /// Only entries involving this address (owner, buyer, seller, operator
+    /// — any non-zero payload address).
+    pub address: Option<Address>,
+}
+
+impl LogFilter {
+    /// The unconstrained filter (matches every log everywhere).
+    pub fn all() -> LogFilter {
+        LogFilter::default()
+    }
+
+    /// Restricts the block range (inclusive on both ends).
+    pub fn in_blocks(mut self, from: u64, to: u64) -> LogFilter {
+        self.from_block = Some(from);
+        self.to_block = Some(to);
+        self
+    }
+
+    /// Restricts to one emitting collection.
+    pub fn in_collection(mut self, collection: Address) -> LogFilter {
+        self.collection = Some(collection);
+        self
+    }
+
+    /// Restricts to one event kind.
+    pub fn of_kind(mut self, kind: EventKind) -> LogFilter {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Restricts to entries involving `who`.
+    pub fn involving(mut self, who: Address) -> LogFilter {
+        self.address = Some(who);
+        self
+    }
+
+    /// Whether `block` falls inside the filter's range.
+    pub fn covers_block(&self, block: u64) -> bool {
+        self.from_block.is_none_or(|lo| block >= lo) && self.to_block.is_none_or(|hi| block <= hi)
+    }
+
+    /// Bloom pre-check: `false` means the filtered-on items are definitely
+    /// absent and the bloom's scope (receipt or block) can be skipped;
+    /// `true` means the exact scan must run. An unconstrained filter always
+    /// passes — there is nothing to probe.
+    pub fn might_match(&self, bloom: &Bloom) -> bool {
+        self.collection
+            .is_none_or(|c| bloom.might_contain_collection(c))
+            && self.kind.is_none_or(|k| bloom.might_contain_kind(k))
+            && self.address.is_none_or(|a| bloom.might_contain_address(a))
+    }
+
+    /// Exact per-entry predicate (block range not consulted — the caller
+    /// scopes the scan to in-range blocks).
+    pub fn matches(&self, log: &LogEntry) -> bool {
+        self.collection.is_none_or(|c| log.collection == c)
+            && self.kind.is_none_or(|k| log.kind() == k)
+            && self
+                .address
+                .is_none_or(|a| log.addresses().any(|who| who == a))
+    }
+}
+
+/// One transaction's logs inside a [`LogIndex`] block record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiptLogs {
+    /// Hash of the transaction that emitted the entries.
+    pub tx_hash: Hash32,
+    /// The receipt's bloom (over exactly `logs`).
+    pub bloom: Bloom,
+    /// The emitted entries, in emission order.
+    pub logs: Vec<LogEntry>,
+}
+
+/// One block's entry in a [`LogIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLogs {
+    /// The block number the logs were emitted in.
+    pub number: u64,
+    /// OR-fold of every receipt bloom in the block.
+    pub bloom: Bloom,
+    /// Per-transaction logs, in block order. Transactions that emitted
+    /// nothing are not recorded.
+    pub receipts: Vec<ReceiptLogs>,
+}
+
+/// One matching log entry returned by [`LogIndex::query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHit {
+    /// Block the entry was emitted in.
+    pub block: u64,
+    /// Hash of the emitting transaction.
+    pub tx_hash: Hash32,
+    /// Position of the entry within its receipt's log slice.
+    pub log_index: usize,
+    /// The entry itself.
+    pub entry: LogEntry,
+}
+
+/// The chain-level log index: per-block blooms over per-receipt blooms over
+/// log entries, supporting [`LogFilter`] queries that skip whole blocks —
+/// and within a scanned block, whole receipts — on definitive bloom misses.
+///
+/// Query-time telemetry (`bloom.block_skips` vs `bloom.block_scans`,
+/// `bloom.receipt_skips` vs `bloom.receipt_scans`) measures exactly how
+/// much scanning the blooms save; since blooms are false-positive-only, a
+/// skip is always sound and a scan may still yield nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LogIndex {
+    blocks: Vec<BlockLogs>,
+}
+
+impl LogIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        LogIndex::default()
+    }
+
+    /// Indexes one executed block's receipts, returning the block bloom
+    /// (the OR-fold of the receipt blooms). Blocks must be indexed in
+    /// ascending number order; empty blocks still get an entry so queries
+    /// can distinguish "no logs" from "not indexed".
+    pub fn index_block(&mut self, number: u64, receipts: &[Receipt]) -> Bloom {
+        debug_assert!(
+            self.blocks.last().is_none_or(|b| b.number < number),
+            "blocks must be indexed in ascending order"
+        );
+        let mut block_bloom = Bloom::ZERO;
+        let mut indexed = Vec::new();
+        for r in receipts {
+            if r.logs.is_empty() {
+                continue;
+            }
+            block_bloom.accrue(&r.bloom);
+            indexed.push(ReceiptLogs {
+                tx_hash: r.tx_hash,
+                bloom: r.bloom,
+                logs: r.logs.clone(),
+            });
+        }
+        parole_telemetry::counter("events.blocks_indexed", 1);
+        self.blocks.push(BlockLogs {
+            number,
+            bloom: block_bloom,
+            receipts: indexed,
+        });
+        block_bloom
+    }
+
+    /// Number of indexed blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The indexed blocks, oldest first.
+    pub fn blocks(&self) -> &[BlockLogs] {
+        &self.blocks
+    }
+
+    /// The block bloom for `number`, if that block is indexed.
+    pub fn block_bloom(&self, number: u64) -> Option<&Bloom> {
+        self.blocks
+            .binary_search_by_key(&number, |b| b.number)
+            .ok()
+            .map(|i| &self.blocks[i].bloom)
+    }
+
+    /// Runs a [`LogFilter`] over the index: block-range restriction, then
+    /// block-bloom pre-check, then receipt-bloom pre-check, then the exact
+    /// per-entry scan. Results come back in chain order (block, then
+    /// transaction, then emission order).
+    pub fn query(&self, filter: &LogFilter) -> Vec<LogHit> {
+        parole_telemetry::counter("events.queries", 1);
+        let mut hits = Vec::new();
+        for block in &self.blocks {
+            if !filter.covers_block(block.number) {
+                continue;
+            }
+            if !filter.might_match(&block.bloom) {
+                parole_telemetry::counter("bloom.block_skips", 1);
+                continue;
+            }
+            parole_telemetry::counter("bloom.block_scans", 1);
+            for receipt in &block.receipts {
+                if !filter.might_match(&receipt.bloom) {
+                    parole_telemetry::counter("bloom.receipt_skips", 1);
+                    continue;
+                }
+                parole_telemetry::counter("bloom.receipt_scans", 1);
+                for (log_index, entry) in receipt.logs.iter().enumerate() {
+                    if filter.matches(entry) {
+                        hits.push(LogHit {
+                            block: block.number,
+                            tx_hash: receipt.tx_hash,
+                            log_index,
+                            entry: *entry,
+                        });
+                    }
+                }
+            }
+        }
+        parole_telemetry::counter("events.query_hits", hits.len() as u64);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parole_primitives::{TokenId, Wei};
+
+    fn addr(v: u64) -> Address {
+        Address::from_low_u64(v)
+    }
+
+    fn transfer_log(coll: u64, from: u64, to: u64) -> LogEntry {
+        LogEntry {
+            collection: addr(coll),
+            event: Erc721Event::Transfer {
+                from: addr(from),
+                to: addr(to),
+                token: TokenId::new(0),
+            },
+        }
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let log = transfer_log(100, 1, 2);
+        let bloom = Bloom::of_logs([&log]);
+        assert!(bloom.might_contain_collection(addr(100)));
+        assert!(bloom.might_contain_kind(EventKind::Transfer));
+        assert!(bloom.might_contain_address(addr(1)));
+        assert!(bloom.might_contain_address(addr(2)));
+    }
+
+    #[test]
+    fn empty_bloom_is_definitive() {
+        let bloom = Bloom::ZERO;
+        assert!(bloom.is_empty());
+        assert!(!bloom.might_contain_collection(addr(100)));
+        assert!(!bloom.might_contain_kind(EventKind::PriceChanged));
+        assert!(!bloom.might_contain_address(addr(1)));
+        assert!(!LogFilter::all().in_collection(addr(1)).might_match(&bloom));
+        // The unconstrained filter has nothing to probe.
+        assert!(LogFilter::all().might_match(&bloom));
+    }
+
+    #[test]
+    fn accrue_is_set_union() {
+        let a = Bloom::of_logs([&transfer_log(100, 1, 2)]);
+        let b = Bloom::of_logs([&transfer_log(200, 3, 4)]);
+        let mut both = a;
+        both.accrue(&b);
+        assert!(both.might_contain_collection(addr(100)));
+        assert!(both.might_contain_collection(addr(200)));
+        assert!(both.bits_set() >= a.bits_set().max(b.bits_set()));
+    }
+
+    #[test]
+    fn zero_addresses_are_not_indexed() {
+        // A mint's zero-address "from" side must not be indexed: querying
+        // for the zero address is meaningless and indexing it would set
+        // shared bits on every mint and burn.
+        let mint = LogEntry {
+            collection: addr(100),
+            event: Erc721Event::Transfer {
+                from: Address::ZERO,
+                to: addr(1),
+                token: TokenId::new(0),
+            },
+        };
+        assert_eq!(mint.addresses().collect::<Vec<_>>(), vec![addr(1)]);
+        let price = LogEntry {
+            collection: addr(100),
+            event: Erc721Event::PriceChanged {
+                old_price: Wei::from_eth(1),
+                new_price: Wei::from_eth(2),
+                remaining_supply: 3,
+            },
+        };
+        assert_eq!(price.addresses().count(), 0);
+    }
+
+    #[test]
+    fn filter_matches_exactly() {
+        let log = transfer_log(100, 1, 2);
+        assert!(LogFilter::all().matches(&log));
+        assert!(LogFilter::all().in_collection(addr(100)).matches(&log));
+        assert!(!LogFilter::all().in_collection(addr(200)).matches(&log));
+        assert!(LogFilter::all().of_kind(EventKind::Transfer).matches(&log));
+        assert!(!LogFilter::all().of_kind(EventKind::Approval).matches(&log));
+        assert!(LogFilter::all().involving(addr(2)).matches(&log));
+        assert!(!LogFilter::all().involving(addr(3)).matches(&log));
+        assert!(LogFilter::all().in_blocks(2, 5).covers_block(3));
+        assert!(!LogFilter::all().in_blocks(2, 5).covers_block(6));
+    }
+
+    #[test]
+    fn bloom_serde_roundtrip() {
+        let bloom = Bloom::of_logs([&transfer_log(100, 1, 2)]);
+        let value = bloom.to_value();
+        let back = Bloom::from_value(&value).unwrap();
+        assert_eq!(bloom, back);
+        assert!(Bloom::from_value(&Value::Str("zz".into())).is_err());
+    }
+
+    #[test]
+    fn index_queries_respect_range_and_filters() {
+        use parole_primitives::Gas;
+        let receipt = |tag: u64, logs: Vec<LogEntry>| Receipt {
+            tx_hash: parole_crypto::keccak256(&tag.to_be_bytes()),
+            status: crate::TxStatus::Executed,
+            gas_used: Gas::new(1),
+            fee_paid: Wei::ZERO,
+            price_before: Wei::ZERO,
+            price_after: Wei::ZERO,
+            bloom: Bloom::of_logs(&logs),
+            logs,
+        };
+        let mut index = LogIndex::new();
+        index.index_block(1, &[receipt(0, vec![transfer_log(100, 1, 2)])]);
+        index.index_block(
+            2,
+            &[
+                receipt(1, vec![]),
+                receipt(2, vec![transfer_log(200, 3, 4)]),
+            ],
+        );
+        index.index_block(3, &[]);
+        assert_eq!(index.len(), 3);
+        assert!(index.block_bloom(3).unwrap().is_empty());
+        assert!(index.block_bloom(4).is_none());
+
+        let all = index.query(&LogFilter::all());
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].block, 1);
+        assert_eq!(all[1].block, 2);
+        assert_eq!(all[1].log_index, 0);
+
+        let ranged = index.query(&LogFilter::all().in_blocks(2, 3));
+        assert_eq!(ranged.len(), 1);
+        assert_eq!(ranged[0].entry.collection, addr(200));
+
+        let by_coll = index.query(&LogFilter::all().in_collection(addr(100)));
+        assert_eq!(by_coll.len(), 1);
+        assert_eq!(by_coll[0].block, 1);
+
+        let by_addr = index.query(&LogFilter::all().involving(addr(4)));
+        assert_eq!(by_addr.len(), 1);
+        assert!(index
+            .query(&LogFilter::all().involving(addr(99)))
+            .is_empty());
+    }
+
+    #[test]
+    fn kind_classification_covers_all_variants() {
+        let approval = LogEntry {
+            collection: addr(1),
+            event: Erc721Event::Approval {
+                owner: addr(1),
+                approved: addr(2),
+                token: TokenId::new(0),
+            },
+        };
+        assert_eq!(approval.kind(), EventKind::Approval);
+        let afa = LogEntry {
+            collection: addr(1),
+            event: Erc721Event::ApprovalForAll {
+                owner: addr(1),
+                operator: addr(2),
+                approved: true,
+            },
+        };
+        assert_eq!(afa.kind(), EventKind::ApprovalForAll);
+        assert_eq!(EventKind::ApprovalForAll.label(), "ApprovalForAll");
+    }
+}

@@ -264,7 +264,11 @@ fn add_header_write(writes: &mut BTreeSet<RecordKey>, tx: &NftTransaction) {
         TxKind::Mint { collection, .. } | TxKind::Burn { collection, .. } => {
             writes.insert(RecordKey::Coll(collection));
         }
-        TxKind::Transfer { .. } => {}
+        // Transfers and approvals never move the supply counters. (Approvals
+        // do move the header's approval/operator counts, but — like a
+        // transfer clearing a per-token approval — no execution path *reads*
+        // those counts, so they stay outside the header conflict domain.)
+        TxKind::Transfer { .. } | TxKind::Approve { .. } | TxKind::SetApprovalForAll { .. } => {}
     }
 }
 
@@ -299,6 +303,12 @@ fn serial_write_set(
         TxKind::Burn { token, .. } => {
             writes.insert(RecordKey::Token(collection, token));
             writes.insert(RecordKey::Coll(collection));
+        }
+        TxKind::Approve { token, .. } => {
+            writes.insert(RecordKey::Token(collection, token));
+        }
+        TxKind::SetApprovalForAll { .. } => {
+            writes.insert(RecordKey::Oper(collection, tx.sender));
         }
     }
     writes

@@ -1,5 +1,6 @@
 //! Execution receipts.
 
+use crate::logs::{Bloom, LogEntry};
 use parole_primitives::{Gas, Hash32, Wei};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -27,6 +28,8 @@ pub enum RevertReason {
     BadSignature,
     /// Degenerate transfer (to zero address or self).
     BadTransfer,
+    /// Degenerate operator for a blanket approval (zero or self).
+    BadOperator,
     /// The sender could not cover the gas fee (only with fee charging on).
     CannotPayFees,
 }
@@ -42,6 +45,7 @@ impl fmt::Display for RevertReason {
             RevertReason::NoSuchCollection => "collection not deployed",
             RevertReason::BadSignature => "signature verification failed",
             RevertReason::BadTransfer => "degenerate transfer",
+            RevertReason::BadOperator => "degenerate operator",
             RevertReason::CannotPayFees => "cannot pay gas fees",
         };
         f.write_str(s)
@@ -58,7 +62,12 @@ pub enum TxStatus {
 }
 
 /// The record the OVM produces for every processed transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Carries the ordered event logs the operation emitted plus a per-receipt
+/// bloom over them — reverted transactions always carry an empty log slice
+/// and the zero bloom (emission is journaled with the state mutations, so a
+/// revert unwinds its pending events).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Receipt {
     /// Hash of the transaction this receipt belongs to.
     pub tx_hash: Hash32,
@@ -74,6 +83,11 @@ pub struct Receipt {
     pub price_before: Wei,
     /// The price after execution (`P^t`; differs only for mints and burns).
     pub price_after: Wei,
+    /// The event log entries this transaction emitted, in emission order
+    /// (empty for reverted transactions).
+    pub logs: Vec<LogEntry>,
+    /// Bloom filter over [`Receipt::logs`] (the zero bloom when empty).
+    pub bloom: Bloom,
 }
 
 impl Receipt {
@@ -88,6 +102,12 @@ impl Receipt {
             TxStatus::Executed => None,
             TxStatus::Reverted(r) => Some(r),
         }
+    }
+
+    /// Recomputes the bloom from the carried logs and checks it matches —
+    /// the audit-mode receipt invariant.
+    pub fn bloom_consistent(&self) -> bool {
+        Bloom::of_logs(&self.logs) == self.bloom
     }
 }
 
@@ -122,13 +142,16 @@ mod tests {
             fee_paid: Wei::ZERO,
             price_before: Wei::from_eth(1),
             price_after: Wei::from_eth(1),
+            logs: Vec::new(),
+            bloom: Bloom::ZERO,
         };
         assert!(ok.is_success());
+        assert!(ok.bloom_consistent());
         assert_eq!(ok.revert_reason(), None);
 
         let bad = Receipt {
             status: TxStatus::Reverted(RevertReason::SoldOut),
-            ..ok
+            ..ok.clone()
         };
         assert!(!bad.is_success());
         assert_eq!(bad.revert_reason(), Some(RevertReason::SoldOut));

@@ -35,6 +35,26 @@ pub enum TxKind {
         /// Token identifier to burn.
         token: TokenId,
     },
+    /// Approve `operator` to move `token` (ERC-721 `approve`; a zero
+    /// operator clears the approval).
+    Approve {
+        /// Collection contract address.
+        collection: Address,
+        /// Token identifier the approval covers.
+        token: TokenId,
+        /// The operator being approved ([`Address::ZERO`] clears).
+        operator: Address,
+    },
+    /// Grant or revoke `operator`'s blanket right to move any of the
+    /// sender's tokens in `collection` (ERC-721 `setApprovalForAll`).
+    SetApprovalForAll {
+        /// Collection contract address.
+        collection: Address,
+        /// The operator the grant applies to.
+        operator: Address,
+        /// `true` grants, `false` revokes.
+        approved: bool,
+    },
 }
 
 impl TxKind {
@@ -43,16 +63,21 @@ impl TxKind {
         match self {
             TxKind::Mint { collection, .. }
             | TxKind::Transfer { collection, .. }
-            | TxKind::Burn { collection, .. } => *collection,
+            | TxKind::Burn { collection, .. }
+            | TxKind::Approve { collection, .. }
+            | TxKind::SetApprovalForAll { collection, .. } => *collection,
         }
     }
 
-    /// The token this operation touches.
-    pub fn token(&self) -> TokenId {
+    /// The token this operation touches, if it names one (blanket operator
+    /// approvals are per-owner, not per-token).
+    pub fn token(&self) -> Option<TokenId> {
         match self {
             TxKind::Mint { token, .. }
             | TxKind::Transfer { token, .. }
-            | TxKind::Burn { token, .. } => *token,
+            | TxKind::Burn { token, .. }
+            | TxKind::Approve { token, .. } => Some(*token),
+            TxKind::SetApprovalForAll { .. } => None,
         }
     }
 
@@ -62,6 +87,8 @@ impl TxKind {
             TxKind::Mint { .. } => "mint",
             TxKind::Transfer { .. } => "transfer",
             TxKind::Burn { .. } => "burn",
+            TxKind::Approve { .. } => "approve",
+            TxKind::SetApprovalForAll { .. } => "set_approval_for_all",
         }
     }
 }
@@ -164,6 +191,26 @@ impl NftTransaction {
                 out.extend_from_slice(collection.as_bytes());
                 out.extend_from_slice(&token.value().to_be_bytes());
             }
+            TxKind::Approve {
+                collection,
+                token,
+                operator,
+            } => {
+                out.push(3);
+                out.extend_from_slice(collection.as_bytes());
+                out.extend_from_slice(&token.value().to_be_bytes());
+                out.extend_from_slice(operator.as_bytes());
+            }
+            TxKind::SetApprovalForAll {
+                collection,
+                operator,
+                approved,
+            } => {
+                out.push(4);
+                out.extend_from_slice(collection.as_bytes());
+                out.extend_from_slice(operator.as_bytes());
+                out.push(approved as u8);
+            }
         }
         out.extend_from_slice(&self.fees.max_fee_per_gas.wei().to_be_bytes());
         out.extend_from_slice(&self.fees.max_priority_fee_per_gas.wei().to_be_bytes());
@@ -224,6 +271,19 @@ impl fmt::Display for NftTransaction {
                 write!(f, "Transfer {}: {} -> {}", token, self.sender, to)
             }
             TxKind::Burn { token, .. } => write!(f, "Burn {} by {}", token, self.sender),
+            TxKind::Approve {
+                token, operator, ..
+            } => write!(f, "Approve {}: {} -> {}", token, self.sender, operator),
+            TxKind::SetApprovalForAll {
+                operator, approved, ..
+            } => {
+                let verb = if approved { "grants" } else { "revokes" };
+                write!(
+                    f,
+                    "SetApprovalForAll: {} {} {}",
+                    self.sender, verb, operator
+                )
+            }
         }
     }
 }
@@ -321,8 +381,48 @@ mod tests {
     fn kind_accessors() {
         let k = kind();
         assert_eq!(k.collection(), addr(100));
-        assert_eq!(k.token(), TokenId::new(3));
+        assert_eq!(k.token(), Some(TokenId::new(3)));
         assert_eq!(k.label(), "mint");
+
+        let sfa = TxKind::SetApprovalForAll {
+            collection: addr(100),
+            operator: addr(9),
+            approved: true,
+        };
+        assert_eq!(sfa.collection(), addr(100));
+        assert_eq!(sfa.token(), None);
+        assert_eq!(sfa.label(), "set_approval_for_all");
+    }
+
+    #[test]
+    fn approval_encodings_are_distinct() {
+        let c = addr(100);
+        let approve = NftTransaction::simple(
+            addr(1),
+            TxKind::Approve {
+                collection: c,
+                token: TokenId::new(1),
+                operator: addr(9),
+            },
+        );
+        let grant = NftTransaction::simple(
+            addr(1),
+            TxKind::SetApprovalForAll {
+                collection: c,
+                operator: addr(9),
+                approved: true,
+            },
+        );
+        let revoke = NftTransaction::simple(
+            addr(1),
+            TxKind::SetApprovalForAll {
+                collection: c,
+                operator: addr(9),
+                approved: false,
+            },
+        );
+        assert_ne!(approve.tx_hash(), grant.tx_hash());
+        assert_ne!(grant.tx_hash(), revoke.tx_hash());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Property: bloom-accelerated log queries are false-positive-only.
+//!
+//! [`LogIndex::query`] prunes whole blocks and whole receipts on definitive
+//! bloom misses before running the exact per-entry scan. Soundness of that
+//! pruning is the contract under test here: for *any* executed history and
+//! *any* filter, the accelerated query must return exactly the hits an
+//! exhaustive scan over every indexed entry returns — pruning may only ever
+//! remove non-matches, never matches. A second property pins the no-false-
+//! negative direction at the bloom level: a filter built from items that are
+//! actually present in a receipt's logs always passes that receipt's bloom.
+
+use parole_nft::CollectionConfig;
+use parole_ovm::{EventKind, LogFilter, LogHit, LogIndex, NftTransaction, Ovm, Receipt, TxKind};
+use parole_primitives::{Address, TokenId, Wei};
+use parole_state::L2State;
+use proptest::prelude::*;
+
+const USERS: u64 = 6;
+const TOKENS: u64 = 10;
+
+#[derive(Debug, Clone)]
+enum RawOp {
+    Mint {
+        sender: u64,
+        coll: usize,
+        token: u64,
+    },
+    Transfer {
+        sender: u64,
+        coll: usize,
+        token: u64,
+        to: u64,
+    },
+    Burn {
+        sender: u64,
+        coll: usize,
+        token: u64,
+    },
+    Approve {
+        sender: u64,
+        coll: usize,
+        token: u64,
+        to: u64,
+    },
+    SetForAll {
+        sender: u64,
+        coll: usize,
+        to: u64,
+        on: bool,
+    },
+}
+
+fn arb_op(colls: usize) -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        (0..USERS, 0..colls, 0..TOKENS).prop_map(|(sender, coll, token)| RawOp::Mint {
+            sender,
+            coll,
+            token
+        }),
+        (0..USERS, 0..colls, 0..TOKENS, 0..USERS).prop_map(|(sender, coll, token, to)| {
+            RawOp::Transfer {
+                sender,
+                coll,
+                token,
+                to,
+            }
+        }),
+        (0..USERS, 0..colls, 0..TOKENS).prop_map(|(sender, coll, token)| RawOp::Burn {
+            sender,
+            coll,
+            token
+        }),
+        (0..USERS, 0..colls, 0..TOKENS, 0..USERS).prop_map(|(sender, coll, token, to)| {
+            RawOp::Approve {
+                sender,
+                coll,
+                token,
+                to,
+            }
+        }),
+        (0..USERS, 0..colls, 0..USERS, any::<bool>()).prop_map(|(sender, coll, to, on)| {
+            RawOp::SetForAll {
+                sender,
+                coll,
+                to,
+                on,
+            }
+        }),
+    ]
+}
+
+/// A filter assembled from independently-optional constraints. Alien values
+/// (collection 999, user 999) are in the pools so queries that match nothing
+/// — the pure bloom-skip regime — are generated too.
+fn arb_filter(max_block: u64) -> impl Strategy<Value = LogFilter> {
+    let coll_pool = prop_oneof![0..4usize, Just(999usize)];
+    let user_pool = prop_oneof![0..USERS, Just(999u64)];
+    let kind_pool = prop_oneof![
+        Just(EventKind::Transfer),
+        Just(EventKind::Approval),
+        Just(EventKind::ApprovalForAll),
+        Just(EventKind::PriceChanged),
+    ];
+    (
+        (any::<bool>(), 0..=max_block, 0..=max_block),
+        (any::<bool>(), coll_pool),
+        (any::<bool>(), kind_pool),
+        (any::<bool>(), user_pool),
+    )
+        .prop_map(
+            |((use_range, a, b), (use_coll, c), (use_kind, k), (use_addr, u))| {
+                let mut filter = LogFilter::all();
+                if use_range {
+                    filter = filter.in_blocks(a.min(b), a.max(b));
+                }
+                if use_coll {
+                    filter = filter.in_collection(coll_addr(c));
+                }
+                if use_kind {
+                    filter = filter.of_kind(k);
+                }
+                if use_addr {
+                    filter = filter.involving(Address::from_low_u64(u + 1));
+                }
+                filter
+            },
+        )
+}
+
+fn coll_addr(i: usize) -> Address {
+    // Deterministic stand-in used only for filters that target a collection
+    // by pool position; resolved against the really-deployed addresses in
+    // `executed_history`. Index 999 maps to an address no deploy ever uses.
+    Address::from_low_u64(77_000 + i as u64)
+}
+
+fn to_tx(op: &RawOp, colls: &[Address]) -> NftTransaction {
+    let a = |v: u64| Address::from_low_u64(v + 1);
+    let (sender, kind) = match *op {
+        RawOp::Mint {
+            sender,
+            coll,
+            token,
+        } => (
+            sender,
+            TxKind::Mint {
+                collection: colls[coll],
+                token: TokenId::new(token),
+            },
+        ),
+        RawOp::Transfer {
+            sender,
+            coll,
+            token,
+            to,
+        } => (
+            sender,
+            TxKind::Transfer {
+                collection: colls[coll],
+                token: TokenId::new(token),
+                to: a(to),
+            },
+        ),
+        RawOp::Burn {
+            sender,
+            coll,
+            token,
+        } => (
+            sender,
+            TxKind::Burn {
+                collection: colls[coll],
+                token: TokenId::new(token),
+            },
+        ),
+        RawOp::Approve {
+            sender,
+            coll,
+            token,
+            to,
+        } => (
+            sender,
+            TxKind::Approve {
+                collection: colls[coll],
+                token: TokenId::new(token),
+                operator: a(to),
+            },
+        ),
+        RawOp::SetForAll {
+            sender,
+            coll,
+            to,
+            on,
+        } => (
+            sender,
+            TxKind::SetApprovalForAll {
+                collection: colls[coll],
+                operator: a(to),
+                approved: on,
+            },
+        ),
+    };
+    NftTransaction::simple(a(sender), kind)
+}
+
+/// Per-block receipts of an executed history: `(block number, receipts)`.
+type BlockReceipts = Vec<(u64, Vec<Receipt>)>;
+
+/// Executes `ops` in blocks of `block_size`, indexing each block; returns
+/// the index, the per-block receipts, and the deployed collection addresses.
+fn executed_history(
+    ops: &[RawOp],
+    block_size: usize,
+    colls: usize,
+) -> (LogIndex, BlockReceipts, Vec<Address>) {
+    let mut state = L2State::new();
+    let addrs: Vec<Address> = (0..colls)
+        .map(|i| {
+            state.deploy_collection(CollectionConfig::limited_edition(
+                &format!("Lp{i}"),
+                TOKENS.max(4),
+                150,
+            ))
+        })
+        .collect();
+    for u in 1..=USERS {
+        state.credit(Address::from_low_u64(u), Wei::from_eth(10));
+    }
+    // Pre-mint half the pool per collection so transfers/burns have material.
+    for (i, &addr) in addrs.iter().enumerate() {
+        for t in 0..TOKENS / 2 {
+            state
+                .nft_mint(
+                    addr,
+                    Address::from_low_u64((t + i as u64) % USERS + 1),
+                    TokenId::new(t),
+                )
+                .expect("deployed")
+                .unwrap();
+        }
+    }
+
+    let ovm = Ovm::new();
+    let mut index = LogIndex::new();
+    let mut blocks = Vec::new();
+    for (number, chunk) in ops.chunks(block_size.max(1)).enumerate() {
+        let txs: Vec<_> = chunk.iter().map(|op| to_tx(op, &addrs)).collect();
+        let receipts = ovm.execute_sequence(&mut state, &txs);
+        index.index_block(number as u64, &receipts);
+        blocks.push((number as u64, receipts));
+    }
+    (index, blocks, addrs)
+}
+
+/// The specification `LogIndex::query` must agree with: scan every entry of
+/// every in-range block with no bloom shortcuts at all.
+fn exhaustive_query(blocks: &[(u64, Vec<Receipt>)], filter: &LogFilter) -> Vec<LogHit> {
+    let mut hits = Vec::new();
+    for (number, receipts) in blocks {
+        if !filter.covers_block(*number) {
+            continue;
+        }
+        for r in receipts {
+            for (log_index, entry) in r.logs.iter().enumerate() {
+                if filter.matches(entry) {
+                    hits.push(LogHit {
+                        block: *number,
+                        tx_hash: r.tx_hash,
+                        log_index,
+                        entry: *entry,
+                    });
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// Rewrites pool-position filter targets onto the really-deployed addresses
+/// (position 999 stays alien on purpose).
+fn resolve_collection(filter: LogFilter, addrs: &[Address]) -> LogFilter {
+    let mut filter = filter;
+    if let Some(c) = filter.collection {
+        if let Some(i) = (0..addrs.len()).find(|&i| coll_addr(i) == c) {
+            filter.collection = Some(addrs[i]);
+        }
+    }
+    filter
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// For any executed history and any batch of filters, the bloom-pruned
+    /// query equals the exhaustive scan exactly — order included. Pruning
+    /// is thereby false-positive-only: a bloom skip never drops a hit.
+    #[test]
+    fn bloom_pruned_queries_equal_exhaustive_scans(
+        ops in prop::collection::vec(arb_op(3), 1..80),
+        filters in prop::collection::vec(arb_filter(12), 1..12),
+    ) {
+        let (index, blocks, addrs) = executed_history(&ops, 7, 3);
+        for raw in filters {
+            let filter = resolve_collection(raw, &addrs);
+            let fast = index.query(&filter);
+            let slow = exhaustive_query(&blocks, &filter);
+            prop_assert_eq!(fast, slow, "bloom pruning changed the result set for {:?}", filter);
+        }
+    }
+
+    /// No false negatives at the bloom level: a filter built from items that
+    /// really occur in a receipt's log stream always passes that receipt's
+    /// bloom and the enclosing block bloom.
+    #[test]
+    fn present_items_always_pass_the_bloom(
+        ops in prop::collection::vec(arb_op(2), 1..60),
+    ) {
+        let (index, blocks, _) = executed_history(&ops, 5, 2);
+        for (number, receipts) in &blocks {
+            let block_bloom = index.block_bloom(*number).expect("indexed");
+            for r in receipts {
+                for entry in &r.logs {
+                    let f = LogFilter::all()
+                        .in_collection(entry.collection)
+                        .of_kind(entry.kind());
+                    prop_assert!(f.might_match(&r.bloom));
+                    prop_assert!(f.might_match(block_bloom));
+                    for who in entry.addresses() {
+                        let fa = LogFilter::all().involving(who);
+                        prop_assert!(fa.might_match(&r.bloom));
+                        prop_assert!(fa.might_match(block_bloom));
+                    }
+                }
+            }
+        }
+    }
+}

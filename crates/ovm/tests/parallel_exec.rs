@@ -22,6 +22,8 @@ enum RawOp {
     Mint { sender: u64, token: u64 },
     Transfer { sender: u64, token: u64, to: u64 },
     Burn { sender: u64, token: u64 },
+    Approve { sender: u64, token: u64, to: u64 },
+    SetForAll { sender: u64, to: u64, on: bool },
 }
 
 /// Operations over a bounded pool; `users`/`tokens` set conflict density.
@@ -46,6 +48,16 @@ fn arb_op(users: u64, tokens: u64) -> impl Strategy<Value = RawOp> {
             to
         }),
         (0..users, 0..tokens).prop_map(|(sender, token)| RawOp::Burn { sender, token }),
+        (0..users, 0..tokens, 0..users).prop_map(|(sender, token, to)| RawOp::Approve {
+            sender,
+            token,
+            to
+        }),
+        (0..users, 0..users, any::<bool>()).prop_map(|(sender, to, on)| RawOp::SetForAll {
+            sender,
+            to,
+            on
+        }),
     ]
 }
 
@@ -83,11 +95,23 @@ fn to_tx(op: &RawOp, coll: Address, fees: FeeBundle) -> NftTransaction {
             collection: coll,
             token: TokenId::new(token),
         },
+        RawOp::Approve { token, to, .. } => TxKind::Approve {
+            collection: coll,
+            token: TokenId::new(token),
+            operator: a(to),
+        },
+        RawOp::SetForAll { to, on, .. } => TxKind::SetApprovalForAll {
+            collection: coll,
+            operator: a(to),
+            approved: on,
+        },
     };
     let sender = match *op {
         RawOp::Mint { sender, .. }
         | RawOp::Transfer { sender, .. }
-        | RawOp::Burn { sender, .. } => a(sender),
+        | RawOp::Burn { sender, .. }
+        | RawOp::Approve { sender, .. }
+        | RawOp::SetForAll { sender, .. } => a(sender),
     };
     NftTransaction::with_fees(sender, kind, fees)
 }
@@ -120,6 +144,36 @@ fn assert_bit_identical(ovm: Ovm, base: &L2State, txs: &[NftTransaction], users:
         let (got, stats) = exec.execute_block(&mut state, txs);
 
         assert_eq!(got, want, "receipts diverge at {threads} threads");
+        // Receipt equality already covers logs/blooms, but the observability
+        // contract is load-bearing enough to pin explicitly: the ordered
+        // event stream and its bloom must be bit-identical to serial, and
+        // each receipt bloom must be exactly the bloom of its own logs.
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert_eq!(
+                g.logs, w.logs,
+                "log stream of tx {i} diverges at {threads} threads"
+            );
+            assert_eq!(
+                g.bloom, w.bloom,
+                "bloom of tx {i} diverges at {threads} threads"
+            );
+            assert!(
+                g.bloom_consistent(),
+                "tx {i} bloom inconsistent at {threads} threads"
+            );
+        }
+        let block_bloom = got.iter().fold(parole_ovm::Bloom::ZERO, |mut acc, r| {
+            acc.accrue(&r.bloom);
+            acc
+        });
+        let want_block_bloom = want.iter().fold(parole_ovm::Bloom::ZERO, |mut acc, r| {
+            acc.accrue(&r.bloom);
+            acc
+        });
+        assert_eq!(
+            block_bloom, want_block_bloom,
+            "block bloom diverges at {threads} threads"
+        );
         assert_eq!(
             state.state_root(),
             want_root,

@@ -19,9 +19,11 @@ pub const GAS_PER_ZERO_BYTE: u64 = 4;
 /// Encodes a batch's transactions into raw (uncompressed) calldata bytes.
 ///
 /// Layout per transaction: 1 tag byte, 20-byte sender, 20-byte collection,
-/// 8-byte token id, and for transfers a 20-byte recipient. Fee fields are
-/// not posted (Bedrock derives them from the signed payloads; the simulation
-/// keeps signatures off-chain).
+/// then per kind: 8-byte token id (mint/burn), token id + 20-byte recipient
+/// (transfer), token id + 20-byte operator (approve), or 20-byte operator +
+/// 1 approved byte (setApprovalForAll). Fee fields are not posted (Bedrock
+/// derives them from the signed payloads; the simulation keeps signatures
+/// off-chain).
 pub fn encode_batch(batch: &Batch) -> Vec<u8> {
     let mut out = Vec::with_capacity(batch.txs.len() * 69);
     out.extend_from_slice(&(batch.txs.len() as u32).to_be_bytes());
@@ -49,6 +51,28 @@ pub fn encode_batch(batch: &Batch) -> Vec<u8> {
                 out.extend_from_slice(tx.sender.as_bytes());
                 out.extend_from_slice(collection.as_bytes());
                 out.extend_from_slice(&token.value().to_be_bytes());
+            }
+            TxKind::Approve {
+                collection,
+                token,
+                operator,
+            } => {
+                out.push(3);
+                out.extend_from_slice(tx.sender.as_bytes());
+                out.extend_from_slice(collection.as_bytes());
+                out.extend_from_slice(&token.value().to_be_bytes());
+                out.extend_from_slice(operator.as_bytes());
+            }
+            TxKind::SetApprovalForAll {
+                collection,
+                operator,
+                approved,
+            } => {
+                out.push(4);
+                out.extend_from_slice(tx.sender.as_bytes());
+                out.extend_from_slice(collection.as_bytes());
+                out.extend_from_slice(operator.as_bytes());
+                out.push(approved as u8);
             }
         }
     }
@@ -158,6 +182,32 @@ mod tests {
         let b = batch(3); // one mint (49B), one transfer (69B), one burn (49B) + 4B header
         assert_eq!(encode_batch(&b).len(), 4 + 49 + 69 + 49);
         assert!(encode_batch(&batch(6)).len() > encode_batch(&batch(3)).len());
+    }
+
+    #[test]
+    fn approval_encodings_have_fixed_lengths() {
+        let approve = NftTransaction::simple(
+            Address::from_low_u64(1),
+            TxKind::Approve {
+                collection: Address::from_low_u64(100),
+                token: TokenId::new(0),
+                operator: Address::from_low_u64(9),
+            },
+        );
+        let sfa = NftTransaction::simple(
+            Address::from_low_u64(1),
+            TxKind::SetApprovalForAll {
+                collection: Address::from_low_u64(100),
+                operator: Address::from_low_u64(9),
+                approved: true,
+            },
+        );
+        let mut b = batch(0);
+        b.txs = vec![approve, sfa];
+        // approve = 1 + 20 + 20 + 8 + 20 = 69B; sfa = 1 + 20 + 20 + 20 + 1 = 62B.
+        assert_eq!(encode_batch(&b).len(), 4 + 69 + 62);
+        let data = encode_batch(&b);
+        assert_eq!(decompress(&compress(&data)), Some(data));
     }
 
     #[test]

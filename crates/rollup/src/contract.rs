@@ -5,7 +5,7 @@ use crate::bisection::{
 };
 use crate::{Batch, BatchId, L1Chain};
 use parole_crypto::Hash32;
-use parole_ovm::Ovm;
+use parole_ovm::{LogFilter, LogHit, LogIndex, Ovm};
 use parole_primitives::{Address, AggregatorId, BlockNumber, VerifierId, Wei};
 use parole_state::{L2State, RecordKey};
 use std::collections::{BTreeMap, VecDeque};
@@ -177,6 +177,11 @@ pub struct RollupContract {
     /// remainders). Part of the bond conservation equation the audit layer
     /// checks: every slashed Wei is either rewarded or burned.
     burned: Wei,
+    /// Log index over *finalized* batches: entries come from the contract's
+    /// own honest re-execution at finalization (never from aggregator-
+    /// claimed receipts), keyed by batch id. Rolled-back batches never
+    /// reach it.
+    log_index: LogIndex,
 }
 
 impl fmt::Debug for RollupContract {
@@ -204,6 +209,7 @@ impl RollupContract {
             ovm: Ovm::new(),
             undetected_forgeries: 0,
             burned: Wei::ZERO,
+            log_index: LogIndex::new(),
         }
     }
 
@@ -259,6 +265,20 @@ impl RollupContract {
     /// Total Wei destroyed by fraud slashes so far.
     pub fn burned_total(&self) -> Wei {
         self.burned
+    }
+
+    /// The log index over finalized batches (block number = batch id).
+    pub fn log_index(&self) -> &LogIndex {
+        &self.log_index
+    }
+
+    /// Answers a [`LogFilter`] query over the events of every *finalized*
+    /// batch, in finalization order. The "block" coordinate of a hit (and
+    /// of the filter's range) is the batch id. Pending batches are not
+    /// visible: their logs only become queryable — from the contract's own
+    /// honest re-execution — once the challenge window closes.
+    pub fn query_logs(&self, filter: &LogFilter) -> Vec<LogHit> {
+        self.log_index.query(filter)
     }
 
     /// Posts an aggregator bond (idempotent top-up).
@@ -651,7 +671,8 @@ impl RollupContract {
                         .expect("withdrawal was validated against the staged state");
                 }
                 PendingAction::Batch { id, batch, .. } => {
-                    let _ = self.ovm.execute_sequence(&mut self.canonical, &batch.txs);
+                    let receipts = self.ovm.execute_sequence(&mut self.canonical, &batch.txs);
+                    self.log_index.index_block(id.value(), &receipts);
                     self.canonical.advance_block();
                     if self.canonical.state_root() != batch.commitment.post_state_root {
                         self.undetected_forgeries += 1;
@@ -747,6 +768,40 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// Batch logs become queryable only at finalization, sourced from the
+    /// contract's honest re-execution — pending batches expose nothing.
+    #[test]
+    fn finalized_batches_answer_log_queries() {
+        use parole_ovm::{EventKind, LogFilter};
+
+        let (mut rollup, pt, mut agg, _) = deployed();
+        let batch = agg.build_batch(rollup.l2_state(), mint_txs(pt, 3));
+        let id = rollup.submit_batch(batch).unwrap();
+
+        // Pending: nothing indexed yet.
+        assert!(rollup.log_index().is_empty());
+        assert!(rollup.query_logs(&LogFilter::all()).is_empty());
+
+        rollup.finalize_all();
+        assert_eq!(rollup.log_index().len(), 1);
+        let transfers = rollup.query_logs(&LogFilter::all().of_kind(EventKind::Transfer));
+        assert_eq!(transfers.len(), 3, "three finalized mints");
+        assert!(transfers.iter().all(|h| h.block == id.value()));
+        assert!(transfers
+            .iter()
+            .all(|h| h.entry.collection == pt && h.entry.event.is_mint()));
+        // The curve moved on every mint.
+        assert_eq!(
+            rollup
+                .query_logs(&LogFilter::all().of_kind(EventKind::PriceChanged))
+                .len(),
+            3
+        );
+        // Minter-addressed query sees only that minter's transfers.
+        let u1 = rollup.query_logs(&LogFilter::all().involving(addr(1)));
+        assert_eq!(u1.len(), 2, "addr(1) minted tokens 0 and 2");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //!
 //! The hierarchy is what makes NFT-heavy workloads cheap: a single token op
 //! in a collection with `n` active tokens re-hashes one 52-byte token leaf
-//! plus O(log n) sub-tree nodes plus the 80-byte collection header and its
+//! plus O(log n) sub-tree nodes plus the 120-byte collection header and its
 //! O(log m) top-level path, instead of re-absorbing the entire ownership
 //! list (O(n) hashing) into one flat leaf. Dirty-leaf preimages are piped
 //! through [`keccak256_batch`], which recycles one sponge across the batch.
@@ -102,19 +102,39 @@ pub(crate) fn token_preimage(token: TokenId, owner: Address, approved: Address) 
 
 /// Builds the fixed-width preimage of one collection's top-level leaf:
 /// `"coll" ‖ address ‖ remaining-supply ‖ active-supply ‖ approval-count ‖
-/// sub-root`.
+/// operator-count ‖ operators-digest ‖ sub-root`.
 ///
-/// The ownership *and approval* content lives entirely in `sub_root`, the
-/// root of the collection's per-token sub-tree (approvals exist only for
-/// active tokens, so the token leaves cover the whole approvals map); the
-/// approval count rides in the header as an explicit prefix so the
-/// committed record is count-framed like the supply fields.
-pub(crate) fn coll_preimage(addr: Address, coll: &Collection, sub_root: Hash32) -> [u8; 80] {
+/// The ownership *and per-token approval* content lives entirely in
+/// `sub_root`, the root of the collection's per-token sub-tree (approvals
+/// exist only for active tokens, so the token leaves cover the whole
+/// approvals map); the approval count rides in the header as an explicit
+/// prefix so the committed record is count-framed like the supply fields.
+/// Blanket operator approvals (`setApprovalForAll`) are not per-token, so
+/// they commit through the header directly: a count plus a digest over the
+/// sorted `(owner, operator)` pairs (see [`operators_digest`]) — leaving
+/// them out would let an aggregator forge operator grants without moving
+/// the root, the same soundness hole PR 5 closed for per-token approvals.
+pub(crate) fn coll_preimage(addr: Address, coll: &Collection, sub_root: Hash32) -> [u8; 120] {
     coll_header_preimage(addr, &CollectionHeader::of(coll), sub_root)
 }
 
-/// The plain-data view of a collection's header leaf: the three supply
-/// counters that ride beside the sub-tree root in the 80-byte preimage.
+/// Digest of a collection's blanket operator approvals: `keccak("oper" ‖
+/// (owner ‖ operator)*)` over the pairs in sorted order. The pairs are
+/// fixed-width (20 + 20 bytes) and sorted, so the encoding is injective and
+/// deterministic; the empty set digests the bare `"oper"` tag.
+pub(crate) fn operators_digest(pairs: impl Iterator<Item = (Address, Address)>) -> Hash32 {
+    let mut buf = Vec::with_capacity(4 + 40 * 4);
+    buf.extend_from_slice(b"oper");
+    for (owner, operator) in pairs {
+        buf.extend_from_slice(owner.as_bytes());
+        buf.extend_from_slice(operator.as_bytes());
+    }
+    keccak256(&buf)
+}
+
+/// The plain-data view of a collection's header leaf: the counters and the
+/// operator digest that ride beside the sub-tree root in the 120-byte
+/// preimage.
 ///
 /// This is the piece of a token-inclusion proof a stateless verifier needs
 /// to re-derive the header leaf from a recomputed sub-root — it carries no
@@ -128,6 +148,10 @@ pub struct CollectionHeader {
     pub active_supply: u64,
     /// Tokens with a live approved operator.
     pub approval_count: u64,
+    /// Live `(owner, operator)` blanket-approval pairs.
+    pub operator_count: u64,
+    /// Digest over the sorted blanket-approval pairs ([`operators_digest`]).
+    pub operators_digest: Hash32,
 }
 
 impl CollectionHeader {
@@ -136,24 +160,28 @@ impl CollectionHeader {
             remaining_supply: coll.remaining_supply(),
             active_supply: coll.active_supply(),
             approval_count: coll.approval_count(),
+            operator_count: coll.operator_approval_count(),
+            operators_digest: operators_digest(coll.operator_pairs()),
         }
     }
 }
 
-/// Builds the 80-byte collection header preimage from its raw fields — the
+/// Builds the 120-byte collection header preimage from its raw fields — the
 /// stateless twin of [`coll_preimage`], shared with proof verification.
 pub(crate) fn coll_header_preimage(
     addr: Address,
     header: &CollectionHeader,
     sub_root: Hash32,
-) -> [u8; 80] {
-    let mut buf = [0u8; 80];
+) -> [u8; 120] {
+    let mut buf = [0u8; 120];
     buf[..4].copy_from_slice(b"coll");
     buf[4..24].copy_from_slice(addr.as_bytes());
     buf[24..32].copy_from_slice(&header.remaining_supply.to_be_bytes());
     buf[32..40].copy_from_slice(&header.active_supply.to_be_bytes());
     buf[40..48].copy_from_slice(&header.approval_count.to_be_bytes());
-    buf[48..80].copy_from_slice(sub_root.as_bytes());
+    buf[48..56].copy_from_slice(&header.operator_count.to_be_bytes());
+    buf[56..88].copy_from_slice(header.operators_digest.as_bytes());
+    buf[88..120].copy_from_slice(sub_root.as_bytes());
     buf
 }
 
@@ -257,22 +285,26 @@ impl CollSub {
 }
 
 /// Per-collection dirt: a whole-collection mutation count (deploy, raw
-/// `collection_mut` access, snapshot rollback) plus token-granular counts
-/// for the per-token NFT ops. Both levels carry the same mutation-count /
-/// [`STICKY`] / high-water-mark semantics as account dirt (see
-/// [`CommitSlot`]).
+/// `collection_mut` access, snapshot rollback), a header-only count
+/// (blanket operator approvals, which commit through the header leaf but
+/// leave the token sub-tree untouched), plus token-granular counts for the
+/// per-token NFT ops. All levels carry the same mutation-count / [`STICKY`]
+/// / high-water-mark semantics as account dirt (see [`CommitSlot`]).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CollDirt {
     /// Whole-collection mutation count: the caller may have changed
     /// anything, so a flush rebuilds the sub-tree from scratch.
     whole: u32,
+    /// Header-only mutation count: the flush re-hashes the 120-byte header
+    /// leaf without touching the sub-tree (operator approvals changed).
+    header: u32,
     /// Per-token mutation counts: a flush reconciles exactly these leaves.
     tokens: BTreeMap<TokenId, u32>,
 }
 
 impl CollDirt {
     fn is_clean(&self) -> bool {
-        self.whole == 0 && self.tokens.is_empty()
+        self.whole == 0 && self.header == 0 && self.tokens.is_empty()
     }
 }
 
@@ -327,7 +359,7 @@ impl CommitCache {
     /// records: created records splice a leaf in, destroyed records splice
     /// one out, surviving records re-derive their leaf hash — for
     /// collections, by rebuilding (whole-dirty) or reconciling
-    /// (token-dirty) the sub-tree and re-hashing the 80-byte header — and
+    /// (token-dirty) the sub-tree and re-hashing the 120-byte header — and
     /// all affected top-level paths repair in one batched pass.
     fn apply(
         &mut self,
@@ -522,6 +554,32 @@ impl CommitSlot {
         if self.cache.is_some() {
             let d = self.dirty_colls.entry(addr).or_default();
             d.whole = d.whole.saturating_add(1);
+        }
+    }
+
+    /// Marks a collection's header leaf as touched without invalidating any
+    /// token leaf (a blanket operator approval changed): the next flush
+    /// re-hashes the 120-byte header against the unchanged sub-root — O(log
+    /// collections), no sub-tree work at all.
+    #[inline]
+    pub(crate) fn mark_coll_header(&mut self, addr: Address) {
+        if self.cache.is_some() {
+            let d = self.dirty_colls.entry(addr).or_default();
+            d.header = d.header.saturating_add(1);
+        }
+    }
+
+    /// Rollback-marks a collection header (see [`CommitSlot::unmark_acct`]).
+    #[inline]
+    pub(crate) fn unmark_coll_header(&mut self, addr: Address, index: usize) {
+        if self.cache.is_none() {
+            return;
+        }
+        let below_hwm = index < self.hwm;
+        let dirt = self.dirty_colls.entry(addr).or_default();
+        dirt.header = unwind(dirt.header, below_hwm);
+        if dirt.is_clean() {
+            self.dirty_colls.remove(&addr);
         }
     }
 

@@ -11,7 +11,7 @@
 //! over Arc-based copy-on-write.
 
 use crate::AccountState;
-use parole_nft::{Collection, CollectionUndo};
+use parole_nft::{Collection, CollectionUndo, OperatorUndo};
 use parole_primitives::{Address, BlockNumber, TokenId};
 use std::collections::BTreeSet;
 
@@ -34,11 +34,17 @@ pub enum RecordKey {
     Acct(Address),
     /// A collection's header: supply counters and therefore its price.
     Coll(Address),
-    /// Wildcard: the entire collection — header plus every token leaf.
-    /// Produced by coarse whole-collection reads and snapshot writes.
+    /// Wildcard: the entire collection — header plus every token leaf and
+    /// operator record. Produced by coarse whole-collection reads and
+    /// snapshot writes.
     CollAll(Address),
     /// One token's leaf within a collection: owner and approved operator.
     Token(Address, TokenId),
+    /// One owner's blanket operator approvals within a collection
+    /// (`setApprovalForAll` / `isApprovedForAll`). A distinct record from
+    /// the header so approval traffic does not serialize against price
+    /// reads, even though both commit through the collection-header leaf.
+    Oper(Address, Address),
 }
 
 /// Whether two record-key sets overlap under the conflict-domain semantics
@@ -58,7 +64,7 @@ pub fn key_sets_conflict(a: &BTreeSet<RecordKey>, b: &BTreeSet<RecordKey>) -> bo
         }
         match *key {
             RecordKey::Acct(_) => {}
-            RecordKey::Coll(addr) | RecordKey::Token(addr, _) => {
+            RecordKey::Coll(addr) | RecordKey::Token(addr, _) | RecordKey::Oper(addr, _) => {
                 if large.contains(&RecordKey::CollAll(addr)) {
                     return true;
                 }
@@ -70,6 +76,11 @@ pub fn key_sets_conflict(a: &BTreeSet<RecordKey>, b: &BTreeSet<RecordKey>) -> bo
                 let tokens = RecordKey::Token(addr, TokenId::new(0))
                     ..=RecordKey::Token(addr, TokenId::new(u64::MAX));
                 if large.range(tokens).next().is_some() {
+                    return true;
+                }
+                let opers = RecordKey::Oper(addr, Address::ZERO)
+                    ..=RecordKey::Oper(addr, Address::from_bytes([0xff; 20]));
+                if large.range(opers).next().is_some() {
                     return true;
                 }
             }
@@ -107,6 +118,8 @@ pub(crate) enum JournalEntry {
     CollectionDeployed { addr: Address },
     /// A mint/transfer/burn ran through an undoable collection operation.
     TokenOp { addr: Address, undo: CollectionUndo },
+    /// A `set_approval_for_all` ran through its undoable operation.
+    OperatorOp { addr: Address, undo: OperatorUndo },
     /// Raw mutable access was handed out; the whole prior collection is
     /// retained (boxed to keep the enum small).
     CollectionSnapshot {
@@ -182,5 +195,22 @@ mod tests {
         assert!(key_sets_conflict(&token, &all));
         assert!(key_sets_conflict(&all, &all));
         assert!(!key_sets_conflict(&all, &other));
+    }
+
+    #[test]
+    fn operator_records_are_disjoint_from_header_and_tokens() {
+        let oper = set(&[RecordKey::Oper(addr(7), addr(1))]);
+        let header = set(&[RecordKey::Coll(addr(7))]);
+        let token = set(&[RecordKey::Token(addr(7), TokenId::new(9))]);
+        let all = set(&[RecordKey::CollAll(addr(7))]);
+        let other_owner = set(&[RecordKey::Oper(addr(7), addr(2))]);
+        let other_coll = set(&[RecordKey::Oper(addr(8), addr(1))]);
+        assert!(!key_sets_conflict(&oper, &header));
+        assert!(!key_sets_conflict(&oper, &token));
+        assert!(!key_sets_conflict(&oper, &other_owner));
+        assert!(!key_sets_conflict(&oper, &other_coll));
+        assert!(key_sets_conflict(&oper, &oper));
+        assert!(key_sets_conflict(&oper, &all));
+        assert!(key_sets_conflict(&all, &oper));
     }
 }

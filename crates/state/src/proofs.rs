@@ -12,8 +12,9 @@
 //! (`crate::commit`, DESIGN.md §4g/§4i):
 //!
 //! - [`AccountInclusionProof`] — one account leaf in the top-level tree;
-//! - [`CollectionInclusionProof`] — one collection's 80-byte header leaf
-//!   (supply counters + committed sub-root) in the top-level tree;
+//! - [`CollectionInclusionProof`] — one collection's 120-byte header leaf
+//!   (supply counters + operator digest + committed sub-root) in the
+//!   top-level tree;
 //! - [`TokenInclusionProof`] — the two-level composition: the token's
 //!   52-byte leaf inside the collection sub-tree *plus* the header leaf's
 //!   top-level path. Verification recomputes the sub-root from the token
@@ -90,9 +91,9 @@ impl CollectionInclusionProof {
         self.path.verify(leaf, state_root)
     }
 
-    /// Wire size: the 80-byte header preimage plus the sibling path.
+    /// Wire size: the 120-byte header preimage plus the sibling path.
     pub fn encoded_len(&self) -> usize {
-        80 + LEAF_INDEX_BYTES + PATH_NODE_BYTES * self.path.depth()
+        120 + LEAF_INDEX_BYTES + PATH_NODE_BYTES * self.path.depth()
     }
 }
 
@@ -134,10 +135,10 @@ impl TokenInclusionProof {
         self.header_path.verify(header_leaf, state_root)
     }
 
-    /// Wire size: the 52-byte token leaf preimage, the 80-byte header
+    /// Wire size: the 52-byte token leaf preimage, the 120-byte header
     /// preimage, and both sibling paths.
     pub fn encoded_len(&self) -> usize {
-        52 + 80
+        52 + 120
             + 2 * LEAF_INDEX_BYTES
             + PATH_NODE_BYTES * (self.token_path.depth() + self.header_path.depth())
     }

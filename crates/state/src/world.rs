@@ -5,7 +5,7 @@ use crate::journal::{Journal, JournalEntry, RecordKey};
 use crate::tables::{AccountTable, CollTable};
 use crate::{AccountState, Checkpoint};
 use parole_crypto::{keccak256, Hash32, MerkleTree};
-use parole_nft::{Collection, CollectionConfig, NftError};
+use parole_nft::{Collection, CollectionConfig, Erc721Event, NftError};
 use parole_primitives::{
     storage_backend, Address, BlockNumber, PrimitiveError, StorageBackend, TokenId, Wei,
 };
@@ -270,6 +270,9 @@ impl L2State {
                 JournalEntry::TokenOp { addr, undo } => {
                     keys.insert(RecordKey::Token(*addr, undo.token()));
                 }
+                JournalEntry::OperatorOp { addr, undo } => {
+                    keys.insert(RecordKey::Oper(*addr, undo.owner()));
+                }
             }
         }
         keys
@@ -326,6 +329,13 @@ impl L2State {
                         .get_mut(&addr)
                         .expect("journaled collection exists")
                         .apply_undo(undo);
+                }
+                JournalEntry::OperatorOp { addr, undo } => {
+                    Self::slot_mut(&mut self.commit).unmark_coll_header(addr, index);
+                    self.collections
+                        .get_mut(&addr)
+                        .expect("journaled collection exists")
+                        .apply_operator_undo(undo);
                 }
                 JournalEntry::CollectionSnapshot { addr, prev } => {
                     Self::slot_mut(&mut self.commit).unmark_coll(addr, index);
@@ -569,6 +579,27 @@ impl L2State {
             .ok_or(StateError::NoSuchCollection(collection))
     }
 
+    /// [`Collection::can_approve`] through the state, recording only the
+    /// token's leaf (ownership gates approval; supply counters are not
+    /// consulted). Error structure as [`L2State::nft_can_mint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_can_approve(
+        &self,
+        collection: Address,
+        owner: Address,
+        token: TokenId,
+    ) -> Result<Result<(), NftError>, StateError> {
+        self.record_read(RecordKey::Token(collection, token));
+        self.collections
+            .get(&collection)
+            .map(|c| c.can_approve(owner, token))
+            .ok_or(StateError::NoSuchCollection(collection))
+    }
+
     /// [`Collection::can_burn`] through the state, recording only the
     /// token's leaf. Error structure as [`L2State::nft_can_mint`].
     ///
@@ -747,6 +778,98 @@ impl L2State {
         }))
     }
 
+    /// Grants or revokes a blanket operator approval (ERC-721
+    /// `setApprovalForAll`), journaling a cheap operator undo record when
+    /// recording. Error structure as [`L2State::nft_mint`].
+    ///
+    /// Operator approvals are committed state — they gate `transferFrom`
+    /// and the collection-header leaf absorbs the sorted pair set — but
+    /// they touch no token leaf, so this marks only the header dirty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_set_approval_for_all(
+        &mut self,
+        collection: Address,
+        owner: Address,
+        operator: Address,
+        approved: bool,
+    ) -> Result<Result<(), NftError>, StateError> {
+        let coll = self
+            .collections
+            .get_mut(&collection)
+            .ok_or(StateError::NoSuchCollection(collection))?;
+        Ok(coll
+            .set_approval_for_all_undoable(owner, operator, approved)
+            .map(|undo| {
+                Self::slot_mut(&mut self.commit).mark_coll_header(collection);
+                if self.journal.recording {
+                    self.journal.entries.push(JournalEntry::OperatorOp {
+                        addr: collection,
+                        undo,
+                    });
+                }
+            }))
+    }
+
+    /// [`Collection::can_set_approval_for_all`] through the state, recording
+    /// the owner's operator-record read. Error structure as
+    /// [`L2State::nft_can_mint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::NoSuchCollection`] when nothing is deployed at
+    /// `collection`.
+    pub fn nft_can_set_approval_for_all(
+        &self,
+        collection: Address,
+        owner: Address,
+        operator: Address,
+    ) -> Result<Result<(), NftError>, StateError> {
+        self.record_read(RecordKey::Oper(collection, owner));
+        self.collections
+            .get(&collection)
+            .map(|c| c.can_set_approval_for_all(owner, operator))
+            .ok_or(StateError::NoSuchCollection(collection))
+    }
+
+    /// [`Collection::is_approved_for_all`] through the state, recording the
+    /// owner's operator-record read — disjoint from the header, so blanket
+    /// approval checks do not serialize against price reads.
+    pub fn nft_is_approved_for_all(
+        &self,
+        collection: Address,
+        owner: Address,
+        operator: Address,
+    ) -> Option<bool> {
+        self.record_read(RecordKey::Oper(collection, owner));
+        self.collections
+            .get(&collection)
+            .map(|c| c.is_approved_for_all(owner, operator))
+    }
+
+    /// Current length of the collection's append-only event log.
+    ///
+    /// Receipt-log plumbing, not a state read: the OVM brackets a
+    /// transaction's execution with this to delimit the slice of events that
+    /// transaction emitted, and the mutations that append events already
+    /// carry their own conflict keys — so no read is recorded.
+    pub fn collection_events_len(&self, addr: Address) -> Option<usize> {
+        self.collections.get(&addr).map(|c| c.events().len())
+    }
+
+    /// The events appended to the collection's log at or after index
+    /// `start` (empty when `start` is past the end). Same receipt-log
+    /// plumbing contract as [`L2State::collection_events_len`]: no read key
+    /// is recorded.
+    pub fn collection_events_since(&self, addr: Address, start: usize) -> Option<&[Erc721Event]> {
+        self.collections
+            .get(&addr)
+            .map(|c| &c.events()[start.min(c.events().len())..])
+    }
+
     /// Iterates over `(address, collection)` pairs in address order.
     pub fn collections(&self) -> impl Iterator<Item = (Address, &Collection)> {
         self.collections.iter_sorted()
@@ -805,7 +928,8 @@ impl L2State {
     /// - token leaf: `"tokn" ‖ token (8B BE) ‖ owner (20B) ‖ approved
     ///   operator or zero (20B)`, in token-id order per collection;
     /// - collection leaf: `"coll" ‖ address ‖ remaining-supply ‖
-    ///   active-supply ‖ approval-count ‖ sub-tree root`;
+    ///   active-supply ‖ approval-count ‖ operator-count ‖
+    ///   keccak("oper" ‖ sorted (owner ‖ operator) pairs) ‖ sub-tree root`;
     /// - account leaf: `"acct" ‖ address ‖ len(encoding) ‖ encoding`;
     /// - top level: the metadata leaf, then all account leaves in address
     ///   order, then all collection leaves in address order.
@@ -840,12 +964,23 @@ impl L2State {
                 })
                 .collect();
             let sub_root = MerkleTree::from_leaves(token_leaves).root();
-            let mut buf = Vec::with_capacity(80);
+            let oper_digest = {
+                let mut buf = Vec::with_capacity(4 + 40 * coll.operator_approval_count() as usize);
+                buf.extend_from_slice(b"oper");
+                for (owner, operator) in coll.operator_pairs() {
+                    buf.extend_from_slice(owner.as_bytes());
+                    buf.extend_from_slice(operator.as_bytes());
+                }
+                keccak256(&buf)
+            };
+            let mut buf = Vec::with_capacity(120);
             buf.extend_from_slice(b"coll");
             buf.extend_from_slice(addr.as_bytes());
             buf.extend_from_slice(&coll.remaining_supply().to_be_bytes());
             buf.extend_from_slice(&coll.active_supply().to_be_bytes());
             buf.extend_from_slice(&coll.approval_count().to_be_bytes());
+            buf.extend_from_slice(&coll.operator_approval_count().to_be_bytes());
+            buf.extend_from_slice(oper_digest.as_bytes());
             buf.extend_from_slice(sub_root.as_bytes());
             leaves.push(keccak256(&buf));
         }
@@ -930,15 +1065,16 @@ impl L2State {
     }
 
     /// Opens whatever record `key` names against the current state root.
-    /// Whole-collection keys settle at header granularity (the header's
-    /// sub-root commits to every token of the collection). `None` when the
-    /// record does not exist in this state — absence has no inclusion
-    /// proof; the settlement protocol treats a missing opening as a
-    /// divergence in itself.
+    /// Whole-collection and operator keys settle at header granularity (the
+    /// header's sub-root commits to every token, and its operator digest to
+    /// every blanket approval, of the collection). `None` when the record
+    /// does not exist in this state — absence has no inclusion proof; the
+    /// settlement protocol treats a missing opening as a divergence in
+    /// itself.
     pub fn prove_record(&self, key: &RecordKey) -> Option<crate::RecordProof> {
         match *key {
             RecordKey::Acct(who) => self.prove_account(who).map(crate::RecordProof::Account),
-            RecordKey::Coll(addr) | RecordKey::CollAll(addr) => self
+            RecordKey::Coll(addr) | RecordKey::CollAll(addr) | RecordKey::Oper(addr, _) => self
                 .prove_collection(addr)
                 .map(crate::RecordProof::Collection),
             RecordKey::Token(addr, token) => {

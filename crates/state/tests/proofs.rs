@@ -219,8 +219,10 @@ proptest! {
         for proof in &proofs {
             prop_assert!(!proof.verify(wrong));
             // 33 bytes per path node, ≤ (⌈log2 top⌉ + ⌈log2 sub⌉ + slack)
-            // nodes, plus ≤ 156 bytes of leaf preimages and indices.
-            prop_assert!(proof.encoded_len() <= 156 + 33 * 2 * depth_bound);
+            // nodes, plus ≤ 188 bytes of leaf preimages and indices (token
+            // proofs carry the 52B token leaf, the 120B header and two
+            // 8B leaf indices).
+            prop_assert!(proof.encoded_len() <= 188 + 33 * 2 * depth_bound);
         }
     }
 }

@@ -63,6 +63,26 @@ use MetricKind::{Counter, FloatSeries, Histogram, Span};
 /// tests below and the `perf_report` coverage assertion enforce both.
 pub const METRICS: &[MetricDescriptor] = &[
     m(
+        "bloom.block_scans",
+        Counter,
+        "Blocks whose block bloom matched a log filter and had to be scanned",
+    ),
+    m(
+        "bloom.block_skips",
+        Counter,
+        "Blocks pruned from log queries by the block-level bloom",
+    ),
+    m(
+        "bloom.receipt_scans",
+        Counter,
+        "Receipts whose bloom matched a log filter and had their logs scanned",
+    ),
+    m(
+        "bloom.receipt_skips",
+        Counter,
+        "Receipts pruned from log queries by the receipt-level bloom",
+    ),
+    m(
         "crypto.keccak256",
         Counter,
         "Keccak-256 digests finalized (one per hashed preimage, batched or not)",
@@ -107,6 +127,31 @@ pub const METRICS: &[MetricDescriptor] = &[
         "drl.train_steps",
         Counter,
         "Gradient/update steps performed on the Q-network",
+    ),
+    m(
+        "events.blocks_indexed",
+        Counter,
+        "Blocks folded into a per-block log index",
+    ),
+    m(
+        "events.emitted",
+        Counter,
+        "ERC-721 log entries emitted into receipts (committed operations only)",
+    ),
+    m(
+        "events.queries",
+        Counter,
+        "Log-filter queries answered by a log index",
+    ),
+    m(
+        "events.query_hits",
+        Counter,
+        "Log entries returned across all log-filter queries",
+    ),
+    m(
+        "events.receipts_with_logs",
+        Counter,
+        "Receipts that carried at least one log entry",
     ),
     m(
         "fleet.cell",

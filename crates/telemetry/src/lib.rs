@@ -13,7 +13,11 @@
 //!
 //! — plus [`snapshot`] to export everything as a [`MetricsSnapshot`]
 //! (stable-sorted, JSON-renderable, flamegraph-style span-tree dump) and
-//! [`reset`] to clear the registry between measurement windows.
+//! [`reset`] to clear the registry between measurement windows. The span
+//! tree additionally exports as Chrome-trace/Perfetto JSON
+//! ([`chrome_trace_json`]) and collapsed-stack flamegraph input
+//! ([`flamegraph_collapsed`]), and [`install_panic_hook`] arms a hook that
+//! dumps the live snapshot when a test or bench binary panics.
 //!
 //! Every metric is **statically registered** in [`descriptors::METRICS`]
 //! (name, kind, one-line doc); [`describe`] resolves a recorded name to its
@@ -44,9 +48,11 @@
 
 pub mod descriptors;
 mod snapshot;
+mod trace;
 
 pub use descriptors::{describe, MetricDescriptor, MetricKind, METRICS};
 pub use snapshot::{BucketCount, FloatStat, HistogramSnapshot, MetricsSnapshot, SpanNode};
+pub use trace::{chrome_trace_json, flamegraph_collapsed, install_panic_hook};
 
 #[cfg(feature = "enabled")]
 mod registry;

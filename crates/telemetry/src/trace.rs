@@ -1,0 +1,267 @@
+//! Trace export: the merged span tree rendered in externally consumable
+//! profiler formats.
+//!
+//! Two exporters, both pure functions of a [`MetricsSnapshot`] (so they work
+//! identically with the `enabled` feature off — they just render an empty
+//! profile):
+//!
+//! - [`chrome_trace_json`]: the Chrome Trace Event format (the JSON array
+//!   flavour wrapped in `{"traceEvents": [...]}`), loadable in
+//!   `chrome://tracing` and Perfetto. The span registry stores *merged*
+//!   aggregates — per (ancestor-chain, name) totals, not individual
+//!   activations — so the exporter synthesizes one complete ("X") event per
+//!   tree node and lays siblings out sequentially on a single track.
+//!   Timestamps are therefore synthetic; durations and nesting are real.
+//! - [`flamegraph_collapsed`]: Brendan Gregg's collapsed-stack format
+//!   (`root;child;leaf <self_ns>` per line), the input `flamegraph.pl` and
+//!   speedscope accept. Self time is cumulative time minus the children's
+//!   cumulative time, clamped at zero (clock skew between a parent's guard
+//!   and its children's can make the difference marginally negative).
+//!
+//! Also here: [`install_panic_hook`], which arms a process-wide panic hook
+//! that dumps the current telemetry snapshot to stderr before the default
+//! hook runs — so a panicking bench or test run still yields its counters
+//! and span profile.
+
+use crate::snapshot::{MetricsSnapshot, SpanNode};
+use std::fmt::Write as _;
+
+/// Renders the snapshot's span tree as Chrome Trace Event JSON
+/// (`{"traceEvents": [...]}`; one `"X"` complete event per node).
+///
+/// Sibling spans are laid out back-to-back on one synthetic track
+/// (`pid` 1, `tid` 1) starting at timestamp 0; each child runs inside its
+/// parent's interval. Timestamps are synthetic (the registry keeps merged
+/// totals, not activation start times); durations are the real cumulative
+/// nanoseconds, converted to the format's microsecond unit with fractional
+/// precision so nothing truncates to zero.
+pub fn chrome_trace_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"traceEvents\": [");
+    let mut first = true;
+    let mut cursor_ns: u128 = 0;
+    for span in &snapshot.spans {
+        emit_chrome_events(&mut out, span, cursor_ns, &mut first);
+        cursor_ns += span.total_ns;
+    }
+    out.push_str("\n]}");
+    out
+}
+
+fn emit_chrome_events(out: &mut String, node: &SpanNode, start_ns: u128, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "\n  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1, \
+         \"ts\": {}, \"dur\": {}, \"args\": {{\"count\": {}}}}}",
+        escape(&node.name),
+        micros(start_ns),
+        micros(node.total_ns),
+        node.count
+    );
+    let mut cursor_ns = start_ns;
+    for child in &node.children {
+        emit_chrome_events(out, child, cursor_ns, first);
+        cursor_ns += child.total_ns;
+    }
+}
+
+/// Nanoseconds rendered as the trace format's microseconds, keeping
+/// nanosecond precision as a fractional part.
+fn micros(ns: u128) -> String {
+    if ns.is_multiple_of(1_000) {
+        format!("{}", ns / 1_000)
+    } else {
+        format!("{}.{:03}", ns / 1_000, ns % 1_000)
+    }
+}
+
+/// Renders the snapshot's span tree in collapsed-stack ("folded") format:
+/// one `ancestor;path;name <self_ns>` line per node with non-zero self
+/// time, sorted by stack string (the tree is already name-ordered).
+///
+/// Self time is the node's cumulative nanoseconds minus its children's,
+/// clamped at zero. The output feeds `flamegraph.pl`, `inferno`, or
+/// speedscope directly.
+pub fn flamegraph_collapsed(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for span in &snapshot.spans {
+        emit_folded(&mut out, span, "");
+    }
+    out
+}
+
+fn emit_folded(out: &mut String, node: &SpanNode, prefix: &str) {
+    let stack = if prefix.is_empty() {
+        node.name.clone()
+    } else {
+        format!("{prefix};{}", node.name)
+    };
+    let children_ns: u128 = node.children.iter().map(|c| c.total_ns).sum();
+    let self_ns = node.total_ns.saturating_sub(children_ns);
+    if self_ns > 0 {
+        let _ = writeln!(out, "{stack} {self_ns}");
+    }
+    for child in &node.children {
+        emit_folded(out, child, &stack);
+    }
+}
+
+/// Minimal JSON string escaping for span names (mirrors the snapshot
+/// renderer: names are ASCII identifiers, but an exporter must not emit
+/// invalid JSON for any input).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Arms a process-wide panic hook that dumps the telemetry snapshot to
+/// stderr before delegating to the previously installed hook.
+///
+/// Intended for test and bench binaries: a panic mid-run (an assertion in
+/// the traffic harness, an audit trip) still surfaces the counters and
+/// span profile accumulated up to the failure point. With the `enabled`
+/// feature off the snapshot is empty and the hook prints a single notice
+/// line instead of a profile. Installing twice chains harmlessly (the
+/// second install wraps the first).
+pub fn install_panic_hook() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let snap = crate::snapshot();
+        if snap.is_empty() {
+            eprintln!("[telemetry] panic: no metrics armed (telemetry disabled or reset)");
+        } else {
+            eprintln!("[telemetry] panic: dumping armed metrics snapshot");
+            eprintln!("{}", snap.span_tree_text());
+            for (name, value) in &snap.counters {
+                eprintln!("[telemetry]   {name} = {value}");
+            }
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            spans: vec![
+                SpanNode {
+                    name: "seal".into(),
+                    count: 3,
+                    total_ns: 5_000_500,
+                    children: vec![
+                        SpanNode {
+                            name: "execute".into(),
+                            count: 3,
+                            total_ns: 3_000_000,
+                            children: vec![],
+                        },
+                        SpanNode {
+                            name: "root".into(),
+                            count: 3,
+                            total_ns: 1_500_000,
+                            children: vec![],
+                        },
+                    ],
+                },
+                SpanNode {
+                    name: "train".into(),
+                    count: 1,
+                    total_ns: 2_000_000,
+                    children: vec![],
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn chrome_trace_nests_children_inside_parents() {
+        let json = chrome_trace_json(&sample());
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.ends_with("]}"));
+        // Parent starts at 0 and covers 5000.5us; children start inside it.
+        assert!(json.contains("\"name\": \"seal\""));
+        assert!(json.contains("\"ts\": 0, \"dur\": 5000.500"));
+        assert!(json.contains("\"name\": \"execute\""));
+        assert!(json.contains("\"ts\": 0, \"dur\": 3000"));
+        // Second child is laid out after the first, still inside the parent.
+        assert!(json.contains("\"name\": \"root\""));
+        assert!(json.contains("\"ts\": 3000, \"dur\": 1500"));
+        // The sibling root span starts after the first root span's interval.
+        assert!(json.contains("\"ts\": 5000.500, \"dur\": 2000"));
+        // Activation counts ride along as args.
+        assert!(json.contains("\"args\": {\"count\": 3}"));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_snapshot_is_valid_shell() {
+        let json = chrome_trace_json(&MetricsSnapshot::default());
+        assert_eq!(json, "{\"traceEvents\": [\n]}");
+    }
+
+    #[test]
+    fn folded_stacks_report_self_time() {
+        let folded = flamegraph_collapsed(&sample());
+        // seal self = 5_000_500 - (3_000_000 + 1_500_000).
+        assert!(folded.contains("seal 500500\n"));
+        assert!(folded.contains("seal;execute 3000000\n"));
+        assert!(folded.contains("seal;root 1500000\n"));
+        assert!(folded.contains("train 2000000\n"));
+    }
+
+    #[test]
+    fn folded_stacks_clamp_negative_self_time() {
+        let snap = MetricsSnapshot {
+            spans: vec![SpanNode {
+                name: "outer".into(),
+                count: 1,
+                total_ns: 100,
+                children: vec![SpanNode {
+                    name: "inner".into(),
+                    count: 1,
+                    total_ns: 150, // clock skew: child measured longer
+                    children: vec![],
+                }],
+            }],
+            ..Default::default()
+        };
+        let folded = flamegraph_collapsed(&snap);
+        // The skewed parent contributes no line; the child keeps its time.
+        assert!(!folded.contains("outer "));
+        assert!(folded.contains("outer;inner 150\n"));
+    }
+
+    #[test]
+    fn micros_keeps_sub_microsecond_precision() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1_000), "1");
+        assert_eq!(micros(1_234), "1.234");
+        assert_eq!(micros(999), "0.999");
+    }
+
+    #[test]
+    fn escape_matches_json_rules() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("\u{2}"), "\\u0002");
+    }
+}
